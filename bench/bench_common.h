@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction bench binaries: standard
+// session settings (paper §6.1: 100 iterations, first 10 LHS, 5 seeds)
+// and a baseline-vs-LlamaTune pair runner.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+
+namespace llamatune {
+namespace bench {
+
+inline harness::ExperimentSpec PaperSpec(const dbsim::WorkloadSpec& workload) {
+  harness::ExperimentSpec spec;
+  spec.workload = workload;
+  spec.num_iterations = 100;
+  spec.num_seeds = 5;
+  spec.base_seed = 42;
+  return spec;
+}
+
+struct PairResult {
+  harness::MultiSeedResult baseline;
+  harness::MultiSeedResult treatment;
+  harness::Comparison comparison;
+};
+
+/// Runs vanilla-optimizer baseline vs LlamaTune treatment on one
+/// workload (identical settings otherwise).
+inline PairResult RunPair(harness::ExperimentSpec spec) {
+  PairResult out;
+  spec.use_llamatune = false;
+  out.baseline = harness::RunExperiment(spec);
+  spec.use_llamatune = true;
+  out.treatment = harness::RunExperiment(spec);
+  out.comparison = harness::Compare(out.baseline, out.treatment);
+  return out;
+}
+
+inline void PrintPaperNote(const char* experiment, const char* paper_result) {
+  std::printf("[%s] paper reference: %s\n", experiment, paper_result);
+}
+
+}  // namespace bench
+}  // namespace llamatune

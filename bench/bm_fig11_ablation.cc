@@ -1,0 +1,55 @@
+// Reproduces paper Figure 11: component ablation of LlamaTune on
+// YCSB-A, YCSB-B and TPC-C — vanilla SMAC vs HeSBO-16 only vs
+// HeSBO-16 + special-value biasing vs the full pipeline (+ search
+// space bucketization).
+
+#include "bench/bench_common.h"
+
+using namespace llamatune;
+using namespace llamatune::bench;
+using namespace llamatune::harness;
+
+int main() {
+  PrintPaperNote("Figure 11",
+                 "all variants >= SMAC; SVB drives YCSB-B (2x -> 5.5x); "
+                 "bucketization slightly hurts TPC-C but helps elsewhere");
+
+  struct Variant {
+    const char* label;
+    double svb;
+    int64_t buckets;
+  };
+  std::vector<Variant> variants = {
+      {"Low-Dim (HeSBO-16)", 0.0, 0},
+      {"Low-Dim + SVB", 0.20, 0},
+      {"LlamaTune (full)", 0.20, 10000},
+  };
+
+  for (const auto& workload :
+       {dbsim::YcsbA(), dbsim::YcsbB(), dbsim::TpcC()}) {
+    ExperimentSpec spec = PaperSpec(workload);
+    spec.use_llamatune = false;
+    MultiSeedResult baseline = RunExperiment(spec);
+
+    std::vector<std::string> labels = {"SMAC"};
+    std::vector<CurveSummary> curves = {
+        SummarizeCurves(baseline.measured_curves)};
+
+    std::printf("\n%s:\n", workload.name.c_str());
+    spec.use_llamatune = true;
+    for (const Variant& variant : variants) {
+      spec.llamatune.special_value_bias = variant.svb;
+      spec.llamatune.bucket_values = variant.buckets;
+      MultiSeedResult result = RunExperiment(spec);
+      Comparison cmp = Compare(baseline, result);
+      std::printf("  %-22s final %+6.2f%%  speedup %5.2fx [%3.0f iter]\n",
+                  variant.label, cmp.mean_improvement_pct, cmp.mean_speedup,
+                  cmp.mean_iterations_to_optimal);
+      labels.push_back(variant.label);
+      curves.push_back(SummarizeCurves(result.measured_curves));
+    }
+    PrintCurves("Figure 11: ablation on " + workload.name, labels, curves,
+                20);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces paper Table 10: optimizer computational overhead (time
+// spent in Suggest + Observe over a 100-iteration session, excluding
+// workload runs) for SMAC, GP-BO and DDPG, on the full 90-knob space
+// vs the LlamaTune 16-dim space.
+//
+// Two views: (a) google-benchmark microbenchmarks of one model-based
+// suggestion at a 50-observation history; (b) whole-session totals
+// matching the paper's table.
+
+#include <benchmark/benchmark.h>
+
+#include "src/dbsim/metrics.h"
+#include "src/dbsim/simulated_postgres.h"
+#include "src/harness/experiment.h"
+#include "src/optimizer/ddpg.h"
+#include "src/optimizer/gp_bo.h"
+#include "src/optimizer/smac.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+namespace {
+
+SearchSpace SpaceFor(bool llamatune_space) {
+  if (llamatune_space) {
+    std::vector<SearchDim> dims(16, SearchDim::Continuous(-1.0, 1.0, 10000));
+    return SearchSpace(std::move(dims));
+  }
+  ConfigSpace catalog = dbsim::PostgresV96Catalog();
+  IdentityAdapter adapter(&catalog);
+  return adapter.search_space();
+}
+
+template <typename Opt>
+void WarmUp(Opt* opt, const SearchSpace& space, int n, Rng* rng) {
+  for (int i = 0; i < n; ++i) {
+    auto p = UniformSample(space, rng);
+    opt->Observe(p, rng->Uniform(0.0, 1.0));
+  }
+}
+
+void BM_SmacSuggest(benchmark::State& state) {
+  SearchSpace space = SpaceFor(state.range(0) == 1);
+  SmacOptimizer opt(space, {}, 1);
+  Rng rng(2);
+  WarmUp(&opt, space, 50, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.Suggest());
+  }
+}
+BENCHMARK(BM_SmacSuggest)->Arg(0)->Arg(1)->ArgName("llamatune");
+
+void BM_GpBoSuggest(benchmark::State& state) {
+  SearchSpace space = SpaceFor(state.range(0) == 1);
+  GpBoOptimizer opt(space, {}, 1);
+  Rng rng(2);
+  WarmUp(&opt, space, 50, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.Suggest());
+  }
+}
+BENCHMARK(BM_GpBoSuggest)->Arg(0)->Arg(1)->ArgName("llamatune");
+
+void BM_DdpgSuggestObserve(benchmark::State& state) {
+  SearchSpace space = SpaceFor(state.range(0) == 1);
+  DdpgOptions options;
+  options.state_dim = dbsim::kNumMetrics;
+  DdpgOptimizer opt(space, options, 1);
+  Rng rng(2);
+  std::vector<double> metrics(dbsim::kNumMetrics, 0.5);
+  opt.ObserveMetrics(metrics);
+  WarmUp(&opt, space, 40, &rng);
+  for (auto _ : state) {
+    auto p = opt.Suggest();
+    opt.ObserveMetrics(metrics);
+    opt.Observe(p, rng.Uniform(0.0, 1.0));
+  }
+}
+BENCHMARK(BM_DdpgSuggestObserve)->Arg(0)->Arg(1)->ArgName("llamatune");
+
+// Whole-session optimizer time, Table 10 style.
+void SessionOverheadReport() {
+  std::printf(
+      "\n=== Table 10: optimizer overhead over a 100-iteration session "
+      "(seconds) ===\n");
+  std::printf("%-10s %-12s %-12s %s\n", "Optimizer", "Baseline",
+              "LlamaTune", "Reduction");
+  using harness::ExperimentSpec;
+  using harness::OptimizerKind;
+  for (auto kind : {OptimizerKind::kSmac, OptimizerKind::kGpBo,
+                    OptimizerKind::kDdpg}) {
+    ExperimentSpec spec;
+    spec.workload = dbsim::YcsbA();
+    spec.num_iterations = 100;
+    spec.num_seeds = 1;
+    spec.optimizer = kind;
+    spec.use_llamatune = false;
+    double base = harness::RunExperiment(spec).mean_optimizer_seconds;
+    spec.use_llamatune = true;
+    double llama = harness::RunExperiment(spec).mean_optimizer_seconds;
+    std::printf("%-10s %-12.3f %-12.3f %.0f%%\n",
+                harness::OptimizerKindName(kind), base, llama,
+                base > 0 ? 100.0 * (1.0 - llama / base) : 0.0);
+  }
+  std::printf("(paper: SMAC -86%%, GP-BO -75%%, DDPG -12%%)\n");
+}
+
+}  // namespace
+}  // namespace llamatune
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  llamatune::SessionOverheadReport();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces paper Table 11 (appendix): three early-stopping policies
+// (min-improvement %, patience) applied to LlamaTune sessions, against
+// the full-budget vanilla SMAC optimum, for all six workloads.
+
+#include "bench/bench_common.h"
+
+using namespace llamatune;
+using namespace llamatune::bench;
+using namespace llamatune::harness;
+
+int main() {
+  PrintPaperNote("Table 11",
+                 "(1%,10) stops around iter 29 with near-baseline or "
+                 "better perf; (1%,20) recovers near-full gains by ~iter 70");
+
+  struct Policy {
+    double min_improvement_pct;
+    int patience;
+  };
+  std::vector<Policy> policies = {{0.5, 10}, {1.0, 10}, {1.0, 20}};
+
+  std::printf("\n=== Table 11: early-stopped LlamaTune vs full-budget SMAC "
+              "===\n");
+  std::printf("%-10s", "Workload");
+  for (const Policy& p : policies) {
+    std::printf(" | (%.1f%%, %2d)  perf%%  iters", p.min_improvement_pct,
+                p.patience);
+  }
+  std::printf("\n");
+
+  for (const auto& workload : dbsim::AllWorkloads()) {
+    // Full-budget vanilla SMAC baseline.
+    ExperimentSpec base_spec = PaperSpec(workload);
+    MultiSeedResult baseline = RunExperiment(base_spec);
+    double baseline_final = baseline.mean_final_objective;
+
+    std::printf("%-10s", workload.name.c_str());
+    for (const Policy& policy : policies) {
+      ExperimentSpec spec = PaperSpec(workload);
+      spec.use_llamatune = true;
+      spec.early_stopping =
+          EarlyStoppingPolicy(policy.min_improvement_pct, policy.patience);
+      MultiSeedResult result = RunExperiment(spec);
+      double iters = 0.0;
+      for (const auto& session : result.sessions) {
+        iters += session.iterations_run;
+      }
+      iters /= result.sessions.size();
+      double improvement = (result.mean_final_objective - baseline_final) /
+                           std::abs(baseline_final) * 100.0;
+      std::printf(" | %12s %+6.2f  %5.1f", "", improvement, iters);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

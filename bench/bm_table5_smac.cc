@@ -1,0 +1,57 @@
+// Reproduces paper Table 5 (LlamaTune vs vanilla SMAC, throughput, six
+// workloads), Figure 9 (best-throughput convergence curves for YCSB-A,
+// TPC-C, Twitter) and Figure 10 (iteration-equivalence mapping).
+
+#include "bench/bench_common.h"
+
+using namespace llamatune;
+using namespace llamatune::bench;
+using namespace llamatune::harness;
+
+int main() {
+  PrintPaperNote("Table 5",
+                 "avg +7.13% final tput, ~5.62x mean time-to-optimal; "
+                 "YCSB-B +20.85%, TPC-C 11.0x");
+
+  std::vector<ComparisonRow> rows;
+  std::vector<std::string> fig9_labels;
+  std::vector<CurveSummary> fig9_smac, fig9_llama;
+  std::vector<std::string> fig10_labels;
+  std::vector<std::vector<int>> fig10_mappings;
+
+  for (const auto& workload : dbsim::AllWorkloads()) {
+    PairResult pair = RunPair(PaperSpec(workload));
+    rows.push_back({workload.name, pair.comparison});
+
+    CurveSummary base = SummarizeCurves(pair.baseline.measured_curves);
+    CurveSummary treat = SummarizeCurves(pair.treatment.measured_curves);
+    if (workload.name == "YCSB-A" || workload.name == "TPC-C" ||
+        workload.name == "Twitter") {
+      fig9_labels.push_back("SMAC " + workload.name);
+      fig9_smac.push_back(base);
+      fig9_labels.push_back("LlamaTune " + workload.name);
+      fig9_llama.push_back(treat);
+    }
+    fig10_labels.push_back(workload.name);
+    fig10_mappings.push_back(
+        ConvergenceMapping(SummarizeCurves(pair.treatment.objective_curves),
+                           SummarizeCurves(pair.baseline.objective_curves)));
+  }
+
+  PrintComparisonTable(
+      "Table 5: LlamaTune (HeSBO-16 + SVB 20% + K=10000) vs vanilla SMAC",
+      "Final Throughput Improvement", rows);
+
+  for (size_t i = 0; i < fig9_smac.size(); ++i) {
+    PrintCurves("Figure 9: best throughput (reqs/sec), " +
+                    fig9_labels[2 * i].substr(5),
+                {fig9_labels[2 * i], fig9_labels[2 * i + 1]},
+                {fig9_smac[i], fig9_llama[i]});
+  }
+
+  PrintConvergenceMapping(
+      "Figure 10: LlamaTune iteration -> earliest SMAC iteration with "
+      "equal best performance",
+      fig10_labels, fig10_mappings);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces paper Table 8: LlamaTune coupled with GP-BO (Gaussian
+// process with Matérn-5/2 x Hamming kernel) vs vanilla GP-BO, for all
+// six workloads.
+
+#include "bench/bench_common.h"
+
+using namespace llamatune;
+using namespace llamatune::bench;
+using namespace llamatune::harness;
+
+int main() {
+  PrintPaperNote("Table 8",
+                 "mean ~8.4x time-to-optimal; YCSB-B +21.5% (19.4x), "
+                 "TPC-C +18.6% (10.4x), RS ~flat");
+
+  std::vector<ComparisonRow> rows;
+  for (const auto& workload : dbsim::AllWorkloads()) {
+    ExperimentSpec spec = PaperSpec(workload);
+    spec.optimizer = OptimizerKind::kGpBo;
+    PairResult pair = RunPair(spec);
+    rows.push_back({workload.name, pair.comparison});
+  }
+  PrintComparisonTable("Table 8: LlamaTune vs vanilla GP-BO",
+                       "Final Throughput Improvement", rows);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces paper Table 9: LlamaTune coupled with the DDPG
+// reinforcement-learning tuner (CDBTune-style actor-critic fed by 27
+// internal DBMS metrics) vs vanilla DDPG, for YCSB-B, TPC-C, Twitter
+// and RS.
+
+#include "bench/bench_common.h"
+
+using namespace llamatune;
+using namespace llamatune::bench;
+using namespace llamatune::harness;
+
+int main() {
+  PrintPaperNote("Table 9",
+                 "mean ~4.14x time-to-optimal; YCSB-B +24.95% (5.17x)");
+
+  std::vector<ComparisonRow> rows;
+  for (const auto& workload : {dbsim::YcsbB(), dbsim::TpcC(),
+                               dbsim::Twitter(), dbsim::ResourceStresser()}) {
+    ExperimentSpec spec = PaperSpec(workload);
+    spec.optimizer = OptimizerKind::kDdpg;
+    PairResult pair = RunPair(spec);
+    rows.push_back({workload.name, pair.comparison});
+  }
+  PrintComparisonTable("Table 9: LlamaTune vs vanilla DDPG",
+                       "Final Throughput Improvement", rows);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// LlamaTune is optimizer-agnostic (paper §6.4): the same adapter
+// wraps SMAC (random-forest BO), GP-BO (Gaussian-process BO) and DDPG
+// (reinforcement learning). This example races all three, with and
+// without LlamaTune, on YCSB-B.
+
+#include <cstdio>
+
+#include "src/harness/experiment.h"
+
+using namespace llamatune;
+using namespace llamatune::harness;
+
+int main() {
+  std::printf("YCSB-B, 60 iterations, 3 seeds, throughput target\n\n");
+  std::printf("%-8s | %-22s | %-22s | gain\n", "Opt", "vanilla (reqs/sec)",
+              "LlamaTune (reqs/sec)");
+
+  for (auto kind :
+       {OptimizerKind::kSmac, OptimizerKind::kGpBo, OptimizerKind::kDdpg,
+        OptimizerKind::kBestConfig, OptimizerKind::kRandom}) {
+    ExperimentSpec spec;
+    spec.workload = dbsim::YcsbB();
+    spec.num_iterations = 60;
+    spec.num_seeds = 3;
+    spec.optimizer = kind;
+
+    spec.use_llamatune = false;
+    MultiSeedResult vanilla = RunExperiment(spec);
+    spec.use_llamatune = true;
+    MultiSeedResult llama = RunExperiment(spec);
+    Comparison cmp = Compare(vanilla, llama);
+
+    std::printf("%-8s | %22.0f | %22.0f | %+6.2f%%\n", OptimizerKindName(kind),
+                vanilla.mean_final_measured, llama.mean_final_measured,
+                cmp.mean_improvement_pct);
+  }
+
+  std::printf(
+      "\nThe adapter never touches optimizer internals: biasing and\n"
+      "projection happen after each suggestion (paper design goal).\n");
+  return 0;
+}

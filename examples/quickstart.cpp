@@ -1,0 +1,87 @@
+// Quickstart: tune the simulated PostgreSQL v9.6 for YCSB-A with the
+// full LlamaTune pipeline (HeSBO-16 projection, 20% special-value
+// biasing, K=10,000 bucketization) driving a SMAC optimizer.
+//
+//   build/examples/quickstart
+//
+// This is the minimal end-to-end use of the public API:
+//   1. pick an ObjectiveFunction (here: the bundled DBMS simulator),
+//   2. wrap its knob space in a SpaceAdapter (LlamaTuneAdapter),
+//   3. pick an Optimizer over the adapter's search space,
+//   4. drive the loop with TuningSession.
+
+#include <cstdio>
+
+#include "src/core/llamatune_adapter.h"
+#include "src/core/tuning_session.h"
+#include "src/dbsim/pg_conf.h"
+#include "src/dbsim/simulated_postgres.h"
+#include "src/optimizer/smac.h"
+
+using namespace llamatune;
+
+int main() {
+  // 1. The system under tuning: simulated PostgreSQL running YCSB-A.
+  dbsim::SimulatedPostgres db(dbsim::YcsbA(), {});
+  std::printf("Tuning %s on simulated PostgreSQL v9.6 (%d knobs, %zu "
+              "hybrid)\n",
+              db.workload().name.c_str(), db.config_space().num_knobs(),
+              db.config_space().hybrid_knob_indices().size());
+
+  // 2. LlamaTune's synthetic low-dimensional view of the knob space.
+  LlamaTuneOptions lt_options;  // paper defaults
+  LlamaTuneAdapter adapter(&db.config_space(), lt_options);
+  std::printf("Optimizer sees: %s (%d dims)\n", adapter.name().c_str(),
+              adapter.search_space().num_dims());
+
+  // 3. SMAC over the low-dimensional space.
+  SmacOptimizer optimizer(adapter.search_space(), SmacOptions{}, /*seed=*/42);
+
+  // 4. Run 100 iterations (the first 10 are the LHS initial design).
+  SessionOptions session_options;
+  session_options.num_iterations = 100;
+  TuningSession session(&db, &adapter, &optimizer, session_options);
+  SessionResult result = session.Run();
+
+  std::printf("\ndefault throughput : %8.0f reqs/sec\n",
+              result.default_performance);
+  std::printf("best throughput    : %8.0f reqs/sec  (%+.1f%%)\n",
+              result.best_performance,
+              100.0 * (result.best_performance / result.default_performance -
+                       1.0));
+
+  std::printf("\nbest-so-far curve (every 10 iterations):\n");
+  auto curve = result.kb.BestSoFarMeasured();
+  for (size_t i = 9; i < curve.size(); i += 10) {
+    std::printf("  iter %3zu: %8.0f\n", i + 1, curve[i]);
+  }
+
+  std::printf("\nheadline knobs of the best configuration:\n");
+  const ConfigSpace& space = db.config_space();
+  for (const char* name :
+       {"shared_buffers", "work_mem", "synchronous_commit",
+        "full_page_writes", "max_wal_size", "backend_flush_after",
+        "autovacuum_vacuum_scale_factor", "commit_delay"}) {
+    int idx = space.IndexOf(name);
+    const KnobSpec& spec = space.knob(idx);
+    if (spec.type == KnobType::kCategorical) {
+      std::printf("  %-34s %s\n", name,
+                  spec.categories[static_cast<int>(result.best_config[idx])]
+                      .c_str());
+    } else {
+      std::printf("  %-34s %g %s\n", name, result.best_config[idx],
+                  spec.unit.c_str());
+    }
+  }
+
+  // The deployment artifact: a postgresql.conf for the tuned config.
+  std::string conf = dbsim::EmitPostgresConf(space, result.best_config);
+  std::printf("\npostgresql.conf preview (first lines):\n");
+  size_t pos = 0;
+  for (int line = 0; line < 6 && pos != std::string::npos; ++line) {
+    size_t next = conf.find('\n', pos);
+    std::printf("  %s\n", conf.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/objective.h"
+#include "src/core/space_adapter.h"
+#include "src/model/random_forest.h"
+
+namespace llamatune {
+
+/// \brief A sampled corpus for importance analysis: unit-space points
+/// and their measured objective values (paper §2.3.2: thousands of
+/// LHS-generated configurations).
+struct ImportanceCorpus {
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+};
+
+/// \brief One knob's importance score.
+struct KnobImportance {
+  std::string knob;
+  double score = 0.0;
+};
+
+/// Generates a corpus by LHS-sampling the adapter's search space and
+/// evaluating each projected configuration on `objective`.
+ImportanceCorpus BuildCorpus(ObjectiveFunction* objective,
+                             const SpaceAdapter& adapter, int num_samples,
+                             uint64_t seed);
+
+/// \brief Permutation importance on a random-forest fit of the corpus:
+/// the out-of-fit error increase when a feature's column is shuffled.
+/// Scores are normalized to sum to 1. `adapter` supplies knob names.
+std::vector<KnobImportance> PermutationImportance(
+    const ImportanceCorpus& corpus, const SpaceAdapter& adapter,
+    uint64_t seed);
+
+/// Returns the top-k knob names from a descending-sorted ranking.
+std::vector<std::string> TopKnobs(const std::vector<KnobImportance>& ranking,
+                                  int k);
+
+}  // namespace llamatune

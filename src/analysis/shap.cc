@@ -1,0 +1,70 @@
+#include "src/analysis/shap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/model/random_forest.h"
+
+namespace llamatune {
+
+std::vector<KnobImportance> ShapImportance(const ImportanceCorpus& corpus,
+                                           const SpaceAdapter& adapter,
+                                           const std::vector<double>& baseline,
+                                           ShapOptions options,
+                                           uint64_t seed) {
+  const SearchSpace& space = adapter.search_space();
+  int d = space.num_dims();
+  int n = static_cast<int>(corpus.points.size());
+  std::vector<KnobImportance> out(d);
+  for (int j = 0; j < d; ++j) {
+    out[j].knob = adapter.config_space().knob(j).name;
+  }
+  if (n < 10) return out;
+
+  Rng rng(seed);
+  RandomForestOptions forest_options;
+  forest_options.num_trees = options.num_trees;
+  RandomForest forest(space, forest_options, rng.NextSeed());
+  forest.Fit(corpus.points, corpus.values);
+
+  std::vector<double> abs_phi(d, 0.0);
+  int explained = std::min(options.num_explained_points, n);
+  std::vector<int> chosen = rng.SampleWithoutReplacement(n, explained);
+  for (int idx : chosen) {
+    const std::vector<double>& x = corpus.points[idx];
+    std::vector<double> phi(d, 0.0);
+    for (int perm_i = 0; perm_i < options.num_permutations; ++perm_i) {
+      std::vector<int> order = rng.Permutation(d);
+      // Walk the order, switching features from baseline to x; each
+      // switch's prediction delta is that feature's marginal
+      // contribution under this order.
+      std::vector<double> current = baseline;
+      double prev = forest.PredictMean(current);
+      for (int j : order) {
+        current[j] = x[j];
+        double next = forest.PredictMean(current);
+        phi[j] += next - prev;
+        prev = next;
+      }
+    }
+    for (int j = 0; j < d; ++j) {
+      abs_phi[j] += std::abs(phi[j] / options.num_permutations);
+    }
+  }
+
+  double total = 0.0;
+  for (int j = 0; j < d; ++j) {
+    out[j].score = abs_phi[j] / explained;
+    total += out[j].score;
+  }
+  if (total > 0.0) {
+    for (auto& ki : out) ki.score /= total;
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.score > b.score;
+  });
+  return out;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/importance.h"
+
+namespace llamatune {
+
+/// \brief Monte-Carlo Shapley-value attribution (Štrumbelj &
+/// Kononenko; the sampling approximation underlying SHAP) on a
+/// random-forest surrogate fit to the corpus.
+///
+/// For each explained point, feature contributions are estimated by
+/// averaging marginal prediction deltas over random feature-insertion
+/// orders, against a baseline point (the default configuration, per
+/// the paper: SHAP "analyz[es] the performance deviation from the
+/// default configuration"). Global importance is the mean |phi_j| over
+/// a subsample of corpus points — this is the ranking the Fig. 2 /
+/// Table 1 experiment selects its top-8 from.
+struct ShapOptions {
+  int num_explained_points = 60;  ///< corpus points to attribute
+  int num_permutations = 24;      ///< feature orders per point
+  int num_trees = 24;
+};
+
+std::vector<KnobImportance> ShapImportance(const ImportanceCorpus& corpus,
+                                           const SpaceAdapter& adapter,
+                                           const std::vector<double>& baseline,
+                                           ShapOptions options, uint64_t seed);
+
+}  // namespace llamatune

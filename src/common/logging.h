@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace llamatune {
+
+/// \brief Severity levels for library logging.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// \brief Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message emitter; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace llamatune
+
+#define LT_LOG(level)                                        \
+  ::llamatune::internal::LogMessage(::llamatune::LogLevel::k##level, \
+                                    __FILE__, __LINE__)

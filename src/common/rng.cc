@@ -1,0 +1,68 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace llamatune {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+uint64_t Rng::NextSeed() { return engine_(); }
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  std::vector<int> perm = Permutation(n);
+  perm.resize(std::min<size_t>(perm.size(), static_cast<size_t>(k)));
+  return perm;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // splitmix64 finalizer applied to the xor-rotated pair; this is a
+  // stable (platform-independent) mix, unlike std::hash.
+  uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashDoubles(const std::vector<double>& values) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
+  return h;
+}
+
+}  // namespace llamatune

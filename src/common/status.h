@@ -1,0 +1,120 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace llamatune {
+
+/// \brief Error codes used across the library.
+///
+/// Modeled after the Status idiom used by Arrow and RocksDB: fallible
+/// operations return a Status (or a Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief A success-or-error outcome for fallible operations.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message. Statuses are cheap to copy (a code plus a
+/// string) and must be checked by the caller.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Lightweight alternative to exceptions for constructor-like factory
+/// functions. Accessing the value of an errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), status_(Status::OK()) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+
+ private:
+  void CheckOk() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!status_.ok()) internal::DieOnBadResult(status_);
+}
+
+/// Propagates an error Status from a callee to the caller.
+#define LT_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::llamatune::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace llamatune

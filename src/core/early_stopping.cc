@@ -1,0 +1,31 @@
+#include "src/core/early_stopping.h"
+
+#include <cmath>
+
+namespace llamatune {
+
+bool EarlyStoppingPolicy::Update(double best_so_far) {
+  if (!started_) {
+    reference_ = best_so_far;
+    started_ = true;
+    since_improvement_ = 0;
+    return false;
+  }
+  double needed = std::abs(reference_) * min_improvement_pct_ / 100.0;
+  if (best_so_far - reference_ >= needed) {
+    // Aggregate improvement large enough: reset the patience window.
+    reference_ = best_so_far;
+    since_improvement_ = 0;
+    return false;
+  }
+  ++since_improvement_;
+  return since_improvement_ >= patience_;
+}
+
+void EarlyStoppingPolicy::Reset() {
+  reference_ = -std::numeric_limits<double>::infinity();
+  since_improvement_ = 0;
+  started_ = false;
+}
+
+}  // namespace llamatune

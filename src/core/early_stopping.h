@@ -1,0 +1,35 @@
+#pragma once
+
+#include <limits>
+
+namespace llamatune {
+
+/// \brief Early-stopping policy from the paper's appendix (Prechelt's
+/// classic ML criterion): stop when `patience` iterations pass without
+/// an aggregate best-performance improvement of at least
+/// `min_improvement_pct` percent.
+class EarlyStoppingPolicy {
+ public:
+  /// \param min_improvement_pct x, in percent (e.g. 1.0 for 1%).
+  /// \param patience k, the number of iterations to wait.
+  EarlyStoppingPolicy(double min_improvement_pct, int patience)
+      : min_improvement_pct_(min_improvement_pct), patience_(patience) {}
+
+  /// Feeds the best-so-far value after an iteration; returns true when
+  /// the session should stop *after* this iteration.
+  bool Update(double best_so_far);
+
+  void Reset();
+
+  double min_improvement_pct() const { return min_improvement_pct_; }
+  int patience() const { return patience_; }
+
+ private:
+  double min_improvement_pct_;
+  int patience_;
+  double reference_ = -std::numeric_limits<double>::infinity();
+  int since_improvement_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,73 @@
+#include "src/core/identity_adapter.h"
+
+#include "src/lowdim/bucketizer.h"
+
+namespace llamatune {
+
+namespace {
+
+// Integer knobs with small ranges get an exact grid so the optimizer
+// cannot propose values between integers; larger ranges stay
+// continuous (the DBMS-side rounding is then the limiting factor).
+constexpr int64_t kMaxExactGrid = 4096;
+
+SearchSpace BuildSpace(const ConfigSpace& config_space,
+                       const IdentityAdapterOptions& options) {
+  std::vector<SearchDim> dims;
+  dims.reserve(config_space.num_knobs());
+  for (int i = 0; i < config_space.num_knobs(); ++i) {
+    const KnobSpec& spec = config_space.knob(i);
+    if (spec.type == KnobType::kCategorical) {
+      dims.push_back(SearchDim::Categorical(
+          static_cast<int64_t>(spec.categories.size())));
+      continue;
+    }
+    int64_t buckets = 0;
+    int64_t distinct = spec.NumDistinctValues();
+    if (distinct > 0 && distinct <= kMaxExactGrid) buckets = distinct;
+    dims.push_back(SearchDim::Continuous(0.0, 1.0, buckets));
+  }
+  SearchSpace space(std::move(dims));
+  if (options.bucket_values > 0) {
+    // Fig. 7 variant: bucketize knobs whose value count exceeds K.
+    Bucketizer bucketizer(options.bucket_values);
+    space = bucketizer.BucketizedKnobSpace(config_space);
+  }
+  return space;
+}
+
+}  // namespace
+
+IdentityAdapter::IdentityAdapter(const ConfigSpace* config_space,
+                                 IdentityAdapterOptions options)
+    : config_space_(config_space),
+      options_(options),
+      svb_(options.special_value_bias),
+      space_(BuildSpace(*config_space, options)) {}
+
+Configuration IdentityAdapter::Project(const std::vector<double>& point) const {
+  std::vector<double> values(config_space_->num_knobs());
+  for (int i = 0; i < config_space_->num_knobs(); ++i) {
+    const KnobSpec& spec = config_space_->knob(i);
+    if (spec.type == KnobType::kCategorical) {
+      values[i] = spec.Canonicalize(point[i]);
+      continue;
+    }
+    double u = point[i];  // unit coordinate in [0,1]
+    if (options_.special_value_bias > 0.0 && spec.is_hybrid()) {
+      values[i] = svb_.Apply(spec, u);
+    } else {
+      values[i] = config_space_->UnitToValue(i, u);
+    }
+  }
+  return Configuration(std::move(values));
+}
+
+std::string IdentityAdapter::name() const {
+  std::string n = "Identity";
+  if (options_.bucket_values > 0) n += "+BucketK";
+  if (options_.special_value_bias > 0.0) n += "+SVB";
+  return n;
+}
+
+}  // namespace llamatune

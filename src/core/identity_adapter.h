@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/space_adapter.h"
+#include "src/lowdim/special_value_bias.h"
+
+namespace llamatune {
+
+/// \brief Options for the baseline (non-projected) adapter.
+struct IdentityAdapterOptions {
+  /// 0 = expose the raw space; otherwise limit every knob to at most
+  /// this many unique values (Fig. 7 "bucketized original space").
+  int64_t bucket_values = 0;
+  /// 0 = no special-value biasing; otherwise the bias mass p applied
+  /// to hybrid knobs after suggestion (Fig. 6 on the original space).
+  double special_value_bias = 0.0;
+};
+
+/// \brief One search dimension per knob — the baseline view of the
+/// configuration space that vanilla SMAC / GP-BO / DDPG tune.
+///
+/// Numeric knobs become continuous unit dimensions [0,1] (integer
+/// knobs carry an exact grid when their range is small enough for the
+/// optimizer to see discreteness); categorical knobs stay categorical.
+class IdentityAdapter : public SpaceAdapter {
+ public:
+  IdentityAdapter(const ConfigSpace* config_space,
+                  IdentityAdapterOptions options = {});
+
+  const SearchSpace& search_space() const override { return space_; }
+  const ConfigSpace& config_space() const override { return *config_space_; }
+  Configuration Project(const std::vector<double>& point) const override;
+  std::string name() const override;
+
+ private:
+  const ConfigSpace* config_space_;
+  IdentityAdapterOptions options_;
+  SpecialValueBias svb_;
+  SearchSpace space_;
+};
+
+}  // namespace llamatune

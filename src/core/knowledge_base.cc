@@ -1,0 +1,43 @@
+#include "src/core/knowledge_base.h"
+
+#include <limits>
+
+namespace llamatune {
+
+int KnowledgeBase::BestIndex() const {
+  int best = -1;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < size(); ++i) {
+    if (records_[i].objective > best_value) {
+      best_value = records_[i].objective;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> KnowledgeBase::BestSoFarMeasured() const {
+  std::vector<double> out(records_.size());
+  double best_obj = -std::numeric_limits<double>::infinity();
+  double best_measured = 0.0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].objective > best_obj) {
+      best_obj = records_[i].objective;
+      best_measured = records_[i].measured;
+    }
+    out[i] = best_measured;
+  }
+  return out;
+}
+
+std::vector<double> KnowledgeBase::BestSoFarObjective() const {
+  std::vector<double> out(records_.size());
+  double best = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < records_.size(); ++i) {
+    best = std::max(best, records_[i].objective);
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace llamatune

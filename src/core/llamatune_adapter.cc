@@ -1,0 +1,60 @@
+#include "src/core/llamatune_adapter.h"
+
+#include "src/common/math_util.h"
+#include "src/projection/hesbo.h"
+#include "src/projection/rembo.h"
+
+namespace llamatune {
+
+LlamaTuneAdapter::LlamaTuneAdapter(const ConfigSpace* config_space,
+                                   LlamaTuneOptions options)
+    : config_space_(config_space),
+      options_(options),
+      svb_(options.special_value_bias) {
+  int high_dim = config_space_->num_knobs();
+  if (options_.projection == ProjectionKind::kHesbo) {
+    projection_ = std::make_unique<HesboProjection>(high_dim,
+                                                    options_.target_dim,
+                                                    options_.projection_seed);
+  } else {
+    projection_ = std::make_unique<RemboProjection>(high_dim,
+                                                    options_.target_dim,
+                                                    options_.projection_seed);
+  }
+  space_ = projection_->LowDimSpace();
+  if (options_.bucket_values > 0) {
+    space_ = space_.Bucketized(options_.bucket_values);
+  }
+}
+
+Configuration LlamaTuneAdapter::Project(
+    const std::vector<double>& point) const {
+  // 1. Low-dim -> [-1,1]^D (clipped for REMBO, exact for HeSBO).
+  std::vector<double> high = projection_->Project(space_.SnapPoint(point));
+  std::vector<double> values(config_space_->num_knobs());
+  for (int i = 0; i < config_space_->num_knobs(); ++i) {
+    const KnobSpec& spec = config_space_->knob(i);
+    // 2. Normalize to [0,1].
+    double u = Clamp((high[i] + 1.0) / 2.0, 0.0, 1.0);
+    // 3+4. Bias hybrid knobs, then re-scale to the physical range.
+    if (spec.is_numeric() && spec.is_hybrid() &&
+        options_.special_value_bias > 0.0) {
+      values[i] = svb_.Apply(spec, u);
+    } else {
+      values[i] = config_space_->UnitToValue(i, u);
+    }
+  }
+  return Configuration(std::move(values));
+}
+
+std::string LlamaTuneAdapter::name() const {
+  std::string n = "LlamaTune(";
+  n += projection_->name();
+  n += "-" + std::to_string(options_.target_dim);
+  if (options_.special_value_bias > 0.0) n += "+SVB";
+  if (options_.bucket_values > 0) n += "+Bucket";
+  n += ")";
+  return n;
+}
+
+}  // namespace llamatune

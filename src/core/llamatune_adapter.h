@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/space_adapter.h"
+#include "src/lowdim/special_value_bias.h"
+#include "src/projection/projection.h"
+
+namespace llamatune {
+
+/// \brief Which random projection generates the synthetic space.
+enum class ProjectionKind { kHesbo, kRembo };
+
+/// \brief The full LlamaTune pipeline configuration (paper §5).
+/// Defaults are the paper's: HeSBO with d = 16, 20% special-value
+/// bias, bucketization to K = 10,000 unique values per dimension.
+struct LlamaTuneOptions {
+  ProjectionKind projection = ProjectionKind::kHesbo;
+  int target_dim = 16;
+  double special_value_bias = 0.20;
+  int64_t bucket_values = 10000;
+  /// Seed for the (once-generated, then frozen) projection matrix.
+  uint64_t projection_seed = 1;
+};
+
+/// \brief LlamaTune's unified tuning pipeline (paper §5, Fig. 8).
+///
+/// The optimizer sees a bucketized low-dimensional space X'_d. A
+/// suggested point p is processed as:
+///   1. project p to the scaled knob space [-1,1]^D (HeSBO or REMBO,
+///      frozen random matrix),
+///   2. normalize each coordinate to [0,1],
+///   3. apply special-value biasing — hybrid knobs only,
+///   4. re-scale to each knob's physical range (categoricals binned,
+///      integers rounded).
+class LlamaTuneAdapter : public SpaceAdapter {
+ public:
+  LlamaTuneAdapter(const ConfigSpace* config_space, LlamaTuneOptions options);
+
+  const SearchSpace& search_space() const override { return space_; }
+  const ConfigSpace& config_space() const override { return *config_space_; }
+  Configuration Project(const std::vector<double>& point) const override;
+  std::string name() const override;
+
+  const Projection& projection() const { return *projection_; }
+  const LlamaTuneOptions& options() const { return options_; }
+
+ private:
+  const ConfigSpace* config_space_;
+  LlamaTuneOptions options_;
+  std::unique_ptr<Projection> projection_;
+  SpecialValueBias svb_;
+  SearchSpace space_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "src/knobs/config_space.h"
+#include "src/knobs/configuration.h"
+
+namespace llamatune {
+
+/// \brief Outcome of evaluating one DBMS configuration (one workload
+/// run, paper Fig. 1 steps 3-5).
+struct EvalResult {
+  /// The target metric value (throughput in req/s, or p95 latency in
+  /// ms, depending on the tuning target).
+  double value = 0.0;
+  /// True when the DBMS failed to start or crashed under this
+  /// configuration (e.g. OOM); the session assigns the paper's
+  /// quarter-of-worst penalty instead of `value`.
+  bool crashed = false;
+  /// Internal DBMS metrics sampled during the run (pg_stat-style);
+  /// consumed by RL optimizers as the state vector.
+  std::vector<double> metrics;
+};
+
+/// \brief The black-box objective f: configuration -> performance.
+///
+/// Implemented by the simulated DBMS in src/dbsim; users integrate a
+/// real system by implementing this interface (see
+/// examples/custom_dbms.cc).
+class ObjectiveFunction {
+ public:
+  virtual ~ObjectiveFunction() = default;
+
+  /// Runs the workload under `config` and reports the result.
+  /// Evaluations may be noisy; repeat calls can differ.
+  virtual EvalResult Evaluate(const Configuration& config) = 0;
+
+  /// The knob space this objective is defined over.
+  virtual const ConfigSpace& config_space() const = 0;
+
+  /// True when larger objective values are better (throughput);
+  /// false for latency-style targets.
+  virtual bool maximize() const { return true; }
+};
+
+}  // namespace llamatune

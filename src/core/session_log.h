@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/knowledge_base.h"
+#include "src/knobs/config_space.h"
+
+namespace llamatune {
+
+/// \brief Serializes a KnowledgeBase to CSV text: a header with knob
+/// names, then one row per evaluated iteration (iteration, objective,
+/// measured, crashed flag, physical knob values).
+///
+/// In production each iteration costs 5-10 minutes of workload time
+/// (paper §2.3.1), so persisting the knowledge base — and being able
+/// to reload it after a controller restart — is table stakes for a
+/// deployable tuner.
+std::string SerializeKnowledgeBase(const ConfigSpace& space,
+                                   const KnowledgeBase& kb);
+
+/// \brief Parses CSV produced by SerializeKnowledgeBase. Fails if the
+/// header's knob names do not match `space` exactly (a changed catalog
+/// invalidates old observations).
+Result<KnowledgeBase> ParseKnowledgeBase(const ConfigSpace& space,
+                                         const std::string& text);
+
+/// Convenience wrappers over files.
+Status SaveKnowledgeBase(const ConfigSpace& space, const KnowledgeBase& kb,
+                         const std::string& path);
+Result<KnowledgeBase> LoadKnowledgeBase(const ConfigSpace& space,
+                                        const std::string& path);
+
+}  // namespace llamatune

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/knobs/config_space.h"
+#include "src/knobs/configuration.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Bridges the optimizer-facing search space and physical DBMS
+/// configurations.
+///
+/// The optimizer tunes `search_space()` (which may be the identity
+/// unit-scaled knob space, a bucketized version of it, or a synthetic
+/// low-dimensional space); `Project()` turns an optimizer point into a
+/// concrete DBMS configuration. LlamaTune's whole contribution lives
+/// in adapters — optimizers stay untouched.
+class SpaceAdapter {
+ public:
+  virtual ~SpaceAdapter() = default;
+
+  virtual const SearchSpace& search_space() const = 0;
+  virtual const ConfigSpace& config_space() const = 0;
+
+  /// Maps an optimizer point to a physical configuration.
+  virtual Configuration Project(const std::vector<double>& point) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,66 @@
+#include "src/core/subset_adapter.h"
+
+namespace llamatune {
+
+namespace {
+
+SearchSpace BuildSubsetSpace(const ConfigSpace& config_space,
+                             const std::vector<int>& indices) {
+  std::vector<SearchDim> dims;
+  dims.reserve(indices.size());
+  for (int idx : indices) {
+    const KnobSpec& spec = config_space.knob(idx);
+    if (spec.type == KnobType::kCategorical) {
+      dims.push_back(SearchDim::Categorical(
+          static_cast<int64_t>(spec.categories.size())));
+    } else {
+      int64_t distinct = spec.NumDistinctValues();
+      int64_t buckets = (distinct > 0 && distinct <= 4096) ? distinct : 0;
+      dims.push_back(SearchDim::Continuous(0.0, 1.0, buckets));
+    }
+  }
+  return SearchSpace(std::move(dims));
+}
+
+}  // namespace
+
+SubsetAdapter::SubsetAdapter(const ConfigSpace* config_space,
+                             std::vector<int> indices)
+    : config_space_(config_space),
+      indices_(std::move(indices)),
+      space_(BuildSubsetSpace(*config_space, indices_)) {}
+
+Result<SubsetAdapter> SubsetAdapter::Create(
+    const ConfigSpace* config_space, const std::vector<std::string>& knobs) {
+  std::vector<int> indices;
+  indices.reserve(knobs.size());
+  for (const std::string& name : knobs) {
+    int idx = config_space->IndexOf(name);
+    if (idx < 0) return Status::NotFound("knob '" + name + "' not in space");
+    indices.push_back(idx);
+  }
+  if (indices.empty()) {
+    return Status::InvalidArgument("subset adapter needs >= 1 knob");
+  }
+  return SubsetAdapter(config_space, std::move(indices));
+}
+
+Configuration SubsetAdapter::Project(const std::vector<double>& point) const {
+  Configuration config = config_space_->DefaultConfiguration();
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    int idx = indices_[i];
+    const KnobSpec& spec = config_space_->knob(idx);
+    if (spec.type == KnobType::kCategorical) {
+      config[idx] = spec.Canonicalize(point[i]);
+    } else {
+      config[idx] = config_space_->UnitToValue(idx, point[i]);
+    }
+  }
+  return config;
+}
+
+std::string SubsetAdapter::name() const {
+  return "Subset(" + std::to_string(indices_.size()) + " knobs)";
+}
+
+}  // namespace llamatune

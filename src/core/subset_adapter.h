@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/space_adapter.h"
+
+namespace llamatune {
+
+/// \brief Tunes only a named subset of knobs, pinning every other knob
+/// at its default value.
+///
+/// This is the "top-k important knobs" tuning mode of the paper's
+/// motivation study (§2.3, Fig. 2): the optimizer sees one dimension
+/// per selected knob; Project() fills the rest from the default
+/// configuration.
+class SubsetAdapter : public SpaceAdapter {
+ public:
+  /// Fails with NotFound if any name is missing from `config_space`.
+  static Result<SubsetAdapter> Create(const ConfigSpace* config_space,
+                                      const std::vector<std::string>& knobs);
+
+  const SearchSpace& search_space() const override { return space_; }
+  const ConfigSpace& config_space() const override { return *config_space_; }
+  Configuration Project(const std::vector<double>& point) const override;
+  std::string name() const override;
+
+  const std::vector<int>& knob_indices() const { return indices_; }
+
+ private:
+  SubsetAdapter(const ConfigSpace* config_space, std::vector<int> indices);
+
+  const ConfigSpace* config_space_;
+  std::vector<int> indices_;
+  SearchSpace space_;
+};
+
+}  // namespace llamatune

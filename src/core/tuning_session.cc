@@ -1,0 +1,119 @@
+#include "src/core/tuning_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace llamatune {
+
+namespace {
+
+double NowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TuningSession::TuningSession(ObjectiveFunction* objective,
+                             SpaceAdapter* adapter, Optimizer* optimizer,
+                             SessionOptions options)
+    : objective_(objective),
+      adapter_(adapter),
+      optimizer_(optimizer),
+      options_(std::move(options)) {}
+
+double TuningSession::Penalized(bool /*maximize*/) const {
+  // Internal objectives are always maximize-convention; the paper
+  // assigns a quarter of the worst seen so far.
+  if (worst_objective_ >= 0.0) {
+    return worst_objective_ / options_.crash_penalty_divisor;
+  }
+  return worst_objective_ * options_.crash_penalty_divisor;
+}
+
+bool TuningSession::Step() {
+  if (stopped_) return false;
+  const bool maximize = objective_->maximize();
+
+  if (!baseline_done_) {
+    // Iteration 0: evaluate the default configuration. Establishes the
+    // crash-penalty floor and feeds the RL state, but is not an
+    // optimizer observation (synthetic spaces have no preimage).
+    Configuration def = objective_->config_space().DefaultConfiguration();
+    EvalResult result = objective_->Evaluate(def);
+    double objective_value = maximize ? result.value : -result.value;
+    default_performance_ = result.value;
+    worst_objective_ = objective_value;
+    optimizer_->ObserveMetrics(result.metrics);
+    baseline_done_ = true;
+    return true;
+  }
+
+  if (iterations_run_ >= options_.num_iterations) {
+    stopped_ = true;
+    return false;
+  }
+
+  double t0 = NowSeconds();
+  std::vector<double> point = optimizer_->Suggest();
+  optimizer_seconds_ += NowSeconds() - t0;
+
+  Configuration config = adapter_->Project(point);
+  EvalResult result = objective_->Evaluate(config);
+
+  double objective_value;
+  double measured;
+  if (result.crashed) {
+    objective_value = Penalized(maximize);
+    measured = maximize ? objective_value : -objective_value;
+  } else {
+    objective_value = maximize ? result.value : -result.value;
+    measured = result.value;
+    worst_objective_ = std::min(worst_objective_, objective_value);
+  }
+
+  t0 = NowSeconds();
+  optimizer_->ObserveMetrics(result.metrics);
+  optimizer_->Observe(point, objective_value);
+  optimizer_seconds_ += NowSeconds() - t0;
+
+  IterationRecord record;
+  record.iteration = ++iterations_run_;
+  record.point = point;
+  record.config = config;
+  record.measured = measured;
+  record.objective = objective_value;
+  record.crashed = result.crashed;
+  record.metrics = result.metrics;
+  kb_.Add(std::move(record));
+
+  if (options_.early_stopping.has_value()) {
+    double best = kb_.BestSoFarObjective().back();
+    if (options_.early_stopping->Update(best)) {
+      stopped_ = true;
+    }
+  }
+  if (iterations_run_ >= options_.num_iterations) stopped_ = true;
+  return true;
+}
+
+SessionResult TuningSession::Run() {
+  if (options_.early_stopping.has_value()) options_.early_stopping->Reset();
+  while (Step()) {
+  }
+  SessionResult result;
+  result.kb = kb_;
+  result.default_performance = default_performance_;
+  result.iterations_run = iterations_run_;
+  result.optimizer_seconds = optimizer_seconds_;
+  int best = kb_.BestIndex();
+  if (best >= 0) {
+    result.best_performance = kb_.record(best).measured;
+    result.best_config = kb_.record(best).config;
+  }
+  return result;
+}
+
+}  // namespace llamatune

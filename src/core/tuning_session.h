@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/core/early_stopping.h"
+#include "src/core/knowledge_base.h"
+#include "src/core/objective.h"
+#include "src/core/space_adapter.h"
+#include "src/optimizer/optimizer.h"
+
+namespace llamatune {
+
+/// \brief Session-level settings (paper §6.1 defaults).
+struct SessionOptions {
+  /// Tuning iterations after the default-config baseline run.
+  int num_iterations = 100;
+  /// Crash penalty: crashed configurations score (worst seen) / this
+  /// factor under maximization (and worst * factor when minimizing).
+  double crash_penalty_divisor = 4.0;
+  /// Optional early-stopping policy (appendix, Table 11).
+  std::optional<EarlyStoppingPolicy> early_stopping;
+};
+
+/// \brief Result of a full tuning session.
+struct SessionResult {
+  KnowledgeBase kb;
+  /// Measured metric of the default configuration (iteration 0).
+  double default_performance = 0.0;
+  /// Best measured metric found (max objective convention).
+  double best_performance = 0.0;
+  Configuration best_config;
+  /// Iterations actually executed (< num_iterations when stopped
+  /// early).
+  int iterations_run = 0;
+  /// Cumulative wall-clock seconds the optimizer spent in Suggest +
+  /// Observe (the paper's Table 10 "optimizer overhead"; excludes the
+  /// workload runs themselves).
+  double optimizer_seconds = 0.0;
+};
+
+/// \brief The experiment controller: drives the iterative tuning loop
+/// of paper Fig. 1 (suggest -> project -> run workload -> record).
+///
+/// Conventions matching the paper's setup:
+///  * The default configuration is evaluated first ("iteration 0") to
+///    establish the crash-penalty baseline and the RL initial state; it
+///    is *not* reported to the optimizer as an observation because
+///    synthetic low-dim spaces have no preimage for it.
+///  * Crashed runs are scored as a quarter of the worst performance
+///    seen so far.
+///  * Latency targets are negated internally so optimizers always
+///    maximize.
+class TuningSession {
+ public:
+  TuningSession(ObjectiveFunction* objective, SpaceAdapter* adapter,
+                Optimizer* optimizer, SessionOptions options = {});
+
+  /// Runs the full loop and returns the populated result.
+  SessionResult Run();
+
+  /// Runs a single iteration (exposed for incremental drivers/tests).
+  /// Returns false when the budget or early stopping ended the session.
+  bool Step();
+
+  const KnowledgeBase& knowledge_base() const { return kb_; }
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  double Penalized(bool maximize) const;
+
+  ObjectiveFunction* objective_;
+  SpaceAdapter* adapter_;
+  Optimizer* optimizer_;
+  SessionOptions options_;
+
+  KnowledgeBase kb_;
+  double default_performance_ = 0.0;
+  double worst_objective_ = 0.0;  // worst (maximize-convention) value
+  bool baseline_done_ = false;
+  bool stopped_ = false;
+  int iterations_run_ = 0;
+  double optimizer_seconds_ = 0.0;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,31 @@
+#include "src/dbsim/des/event_queue.h"
+
+#include <limits>
+
+namespace llamatune {
+namespace dbsim {
+namespace des {
+
+void EventQueue::Push(double time, int kind, int actor) {
+  Event event;
+  event.time = time;
+  event.id = next_id_++;
+  event.kind = kind;
+  event.actor = actor;
+  heap_.push(event);
+}
+
+Event EventQueue::Pop() {
+  Event event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+double EventQueue::PeekTime() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().time;
+}
+
+}  // namespace des
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace llamatune {
+namespace dbsim {
+namespace des {
+
+/// \brief One scheduled simulation event.
+struct Event {
+  double time = 0.0;   ///< simulated seconds
+  int64_t id = 0;      ///< tie-breaker (FIFO for equal times)
+  int kind = 0;        ///< interpreted by the engine
+  int actor = -1;      ///< e.g. client index
+};
+
+/// \brief Min-heap event queue keyed by (time, insertion id).
+///
+/// Deterministic: equal-time events pop in insertion order, so a
+/// simulation driven by a seeded Rng replays exactly.
+class EventQueue {
+ public:
+  void Push(double time, int kind, int actor);
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Pops the earliest event. Precondition: !empty().
+  Event Pop();
+
+  /// Time of the earliest event (infinity when empty).
+  double PeekTime() const;
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace des
+}  // namespace dbsim
+}  // namespace llamatune

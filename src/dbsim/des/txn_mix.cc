@@ -1,0 +1,126 @@
+#include "src/dbsim/des/txn_mix.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace des {
+
+TxnMix::TxnMix(std::vector<TxnType> types) : types_(std::move(types)) {
+  double total = 0.0;
+  cumulative_.reserve(types_.size());
+  for (const TxnType& t : types_) {
+    total += t.weight;
+    cumulative_.push_back(total);
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+Result<TxnMix> TxnMix::Create(std::vector<TxnType> types) {
+  if (types.empty()) {
+    return Status::InvalidArgument("transaction mix needs >= 1 type");
+  }
+  for (const TxnType& t : types) {
+    if (t.weight <= 0.0) {
+      return Status::InvalidArgument("transaction type '" + t.name +
+                                     "' needs positive weight");
+    }
+    if (t.cost_multiplier <= 0.0) {
+      return Status::InvalidArgument("transaction type '" + t.name +
+                                     "' needs positive cost");
+    }
+  }
+  return TxnMix(std::move(types));
+}
+
+int TxnMix::Sample(Rng* rng) const {
+  double u = rng->Uniform(0.0, 1.0);
+  for (size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u <= cumulative_[i]) return static_cast<int>(i);
+  }
+  return static_cast<int>(cumulative_.size()) - 1;
+}
+
+double TxnMix::MeanCostMultiplier() const {
+  double total_weight = 0.0, total = 0.0;
+  for (const TxnType& t : types_) {
+    total_weight += t.weight;
+    total += t.weight * t.cost_multiplier;
+  }
+  return total / total_weight;
+}
+
+double TxnMix::WriteFraction() const {
+  double total_weight = 0.0, writes = 0.0;
+  for (const TxnType& t : types_) {
+    total_weight += t.weight;
+    if (t.write) writes += t.weight;
+  }
+  return writes / total_weight;
+}
+
+TxnMix TpcCMix() {
+  // The standard TPC-C mix; Delivery and StockLevel carry the tail.
+  return *TxnMix::Create({
+      {"NewOrder", 45.0, 1.0, true},
+      {"Payment", 43.0, 0.45, true},
+      {"OrderStatus", 4.0, 0.5, false},
+      {"Delivery", 4.0, 3.5, true},
+      {"StockLevel", 4.0, 4.5, false},
+  });
+}
+
+TxnMix SeatsMix() {
+  return *TxnMix::Create({
+      {"FindFlights", 10.0, 1.6, false},
+      {"FindOpenSeats", 35.0, 0.7, false},
+      {"NewReservation", 20.0, 1.2, true},
+      {"UpdateCustomer", 10.0, 0.8, true},
+      {"UpdateReservation", 15.0, 0.9, true},
+      {"DeleteReservation", 10.0, 0.9, true},
+  });
+}
+
+TxnMix TwitterMix() {
+  return *TxnMix::Create({
+      {"GetTweet", 1.0, 0.6, false},
+      {"GetTweetsFromFollowing", 1.0, 1.4, true},
+      {"GetFollowers", 7.5, 1.1, true},
+      {"GetUserTweets", 90.0, 0.9, true},
+      {"InsertTweet", 0.5, 1.3, true},
+  });
+}
+
+TxnMix YcsbMix(double read_fraction) {
+  double read_weight = read_fraction * 100.0;
+  double write_weight = 100.0 - read_weight;
+  if (read_weight <= 0.0) read_weight = 0.5;
+  if (write_weight <= 0.0) write_weight = 0.5;
+  return *TxnMix::Create({
+      {"Read", read_weight, 0.9, false},
+      {"Update", write_weight, 1.1, true},
+  });
+}
+
+TxnMix ResourceStresserMix() {
+  return *TxnMix::Create({
+      {"CPU", 25.0, 1.2, false},
+      {"IO", 25.0, 1.1, true},
+      {"Contention", 25.0, 0.9, true},
+      {"Mixed", 25.0, 0.8, true},
+  });
+}
+
+TxnMix MixForWorkload(const std::string& workload_name,
+                      double read_only_fraction) {
+  if (workload_name == "TPC-C") return TpcCMix();
+  if (workload_name == "SEATS") return SeatsMix();
+  if (workload_name == "Twitter") return TwitterMix();
+  if (workload_name == "RS") return ResourceStresserMix();
+  if (workload_name.rfind("YCSB", 0) == 0) {
+    return YcsbMix(read_only_fraction);
+  }
+  return *TxnMix::Create({{"Default", 1.0, 1.0, true}});
+}
+
+}  // namespace des
+}  // namespace dbsim
+}  // namespace llamatune

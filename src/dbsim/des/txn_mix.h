@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace des {
+
+/// \brief One transaction type within a workload mix.
+///
+/// BenchBase workloads are mixes of named transaction types with very
+/// different costs (e.g. TPC-C's NewOrder vs StockLevel); the tail of
+/// the latency distribution is usually carried by the heavy types.
+/// `weight` is the relative frequency; `cost_multiplier` scales the
+/// workload's mean service demand; `write` marks read-write types.
+struct TxnType {
+  std::string name;
+  double weight = 1.0;
+  double cost_multiplier = 1.0;
+  bool write = false;
+};
+
+/// \brief Weighted sampler over a workload's transaction types.
+class TxnMix {
+ public:
+  /// Validates weights (positive, at least one type).
+  static Result<TxnMix> Create(std::vector<TxnType> types);
+
+  /// Samples a type index proportional to weight.
+  int Sample(Rng* rng) const;
+
+  int num_types() const { return static_cast<int>(types_.size()); }
+  const TxnType& type(int i) const { return types_[i]; }
+
+  /// Mix-weighted mean cost multiplier (used to normalize so the mix
+  /// preserves the workload's overall mean service demand).
+  double MeanCostMultiplier() const;
+
+  /// Mix-weighted fraction of write transactions.
+  double WriteFraction() const;
+
+ private:
+  explicit TxnMix(std::vector<TxnType> types);
+
+  std::vector<TxnType> types_;
+  std::vector<double> cumulative_;
+};
+
+/// \name Paper-workload transaction mixes
+/// Shapes follow the benchmark definitions (TPC-C's five transactions,
+/// SEATS's six, Twitter's five, YCSB's two ops, RS's four stressors);
+/// weights approximate the standard mixes.
+/// @{
+TxnMix TpcCMix();
+TxnMix SeatsMix();
+TxnMix TwitterMix();
+TxnMix YcsbMix(double read_fraction);
+TxnMix ResourceStresserMix();
+/// @}
+
+/// Mix lookup by workload name; YCSB variants derive from the
+/// read-only fraction. Unknown names get a single uniform type.
+TxnMix MixForWorkload(const std::string& workload_name,
+                      double read_only_fraction);
+
+}  // namespace des
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/knobs/config_space.h"
+
+namespace llamatune {
+namespace dbsim {
+
+/// \brief Which simulated PostgreSQL version's knob surface to expose.
+enum class PostgresVersion { kV96, kV136 };
+
+/// \brief The 90-knob tunable surface of PostgreSQL v9.6 used
+/// throughout the paper (debug/security/path knobs excluded), with the
+/// 17 hybrid knobs' special values taken from the documentation.
+ConfigSpace PostgresV96Catalog();
+
+/// \brief The 112-knob surface of PostgreSQL v13.6 (paper §6.3):
+/// the v9.6 set minus removed knobs (replacement_sort_tuples), plus
+/// the JIT / parallel-query / WAL-era additions; 23 hybrid knobs.
+ConfigSpace PostgresV136Catalog();
+
+/// Catalog by version tag.
+ConfigSpace CatalogFor(PostgresVersion version);
+
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <vector>
+
+#include "src/knobs/knob.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace internal {
+
+/// The v9.6 knob list (shared base for the v13.6 catalog).
+std::vector<KnobSpec> BaseV96Knobs();
+
+}  // namespace internal
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,127 @@
+#include <algorithm>
+
+#include "src/dbsim/knob_catalog.h"
+#include "src/dbsim/knob_catalog_internal.h"
+
+namespace llamatune {
+namespace dbsim {
+
+ConfigSpace PostgresV136Catalog() {
+  std::vector<KnobSpec> knobs = internal::BaseV96Knobs();
+
+  // replacement_sort_tuples was removed in PostgreSQL 11.
+  knobs.erase(std::remove_if(knobs.begin(), knobs.end(),
+                             [](const KnobSpec& spec) {
+                               return spec.name == "replacement_sort_tuples";
+                             }),
+              knobs.end());
+
+  // commit_delay = 0 disables the group-commit delay entirely; treated
+  // as a hybrid knob in the newer catalog (paper §6.3: re-characterize
+  // hybrid knobs when porting versions).
+  for (KnobSpec& spec : knobs) {
+    if (spec.name == "commit_delay") {
+      spec.special_values = {0};
+    }
+    // v13 default for checkpoint_completion_target related tuning was
+    // unchanged (0.5); autovacuum_vacuum_cost_delay default dropped to
+    // 2ms in v12+.
+    if (spec.name == "autovacuum_vacuum_cost_delay") {
+      spec.default_value = 2;
+    }
+    // Parallel query is on by default since v10.
+    if (spec.name == "max_parallel_workers_per_gather") {
+      spec.default_value = 2;
+    }
+  }
+
+  auto add = [&](KnobSpec spec, const char* unit = "") {
+    spec.unit = unit;
+    knobs.push_back(std::move(spec));
+  };
+
+  // ------------------------------------------------------------ JIT
+  add(BoolKnob("jit", true, "Allow JIT compilation of expressions"));
+  add(WithSpecialValues(
+          WithLogScale(RealKnob("jit_above_cost", -1, 10000000, 100000,
+                                "Query cost above which JIT is used; "
+                                "-1 disables JIT compilation")),
+          {-1}));
+  add(WithSpecialValues(
+          WithLogScale(RealKnob("jit_inline_above_cost", -1, 10000000,
+                                500000,
+                                "Query cost above which JIT inlines "
+                                "functions; -1 disables inlining")),
+          {-1}));
+  add(WithSpecialValues(
+          WithLogScale(RealKnob("jit_optimize_above_cost", -1, 10000000,
+                                500000,
+                                "Query cost above which JIT applies "
+                                "expensive optimizations; -1 disables")),
+          {-1}));
+
+  // ------------------------------------------------- parallel query
+  add(IntegerKnob("max_parallel_workers", 0, 64, 8,
+                  "Maximum parallel workers active at one time"));
+  add(IntegerKnob("max_parallel_maintenance_workers", 0, 64, 2,
+                  "Parallel workers per maintenance operation"));
+  add(BoolKnob("parallel_leader_participation", true,
+               "Leader also executes the parallel plan subtree"));
+  add(BoolKnob("enable_parallel_hash", true, "Allow parallel hash joins"));
+  add(BoolKnob("enable_parallel_append", true, "Allow parallel appends"));
+  add(BoolKnob("enable_partitionwise_join", false,
+               "Allow partitionwise join"));
+  add(BoolKnob("enable_partitionwise_aggregate", false,
+               "Allow partitionwise aggregation"));
+  add(BoolKnob("enable_gathermerge", true, "Allow gather-merge plans"));
+  add(BoolKnob("enable_incremental_sort", true,
+               "Allow incremental sort steps"));
+
+  // --------------------------------------------------------- memory
+  add(RealKnob("hash_mem_multiplier", 1.0, 64.0, 1.0,
+               "Multiple of work_mem usable by hash tables"));
+  add(WithLogScale(IntegerKnob("logical_decoding_work_mem", 64, 2097152,
+                               65536,
+                               "Memory per logical decoding session "
+                               "before spilling")),
+      "kB");
+
+  // ------------------------------------------------------------ I/O
+  add(WithSpecialValues(
+          IntegerKnob("maintenance_io_concurrency", 0, 1000, 10,
+                      "Prefetch depth for maintenance work; 0 disables "
+                      "prefetching"),
+          {0}));
+
+  // ------------------------------------------------------------ WAL
+  add(BoolKnob("wal_init_zero", true, "Zero-fill new WAL files"));
+  add(BoolKnob("wal_recycle", true, "Recycle WAL files by renaming"));
+  add(WithLogScale(IntegerKnob("wal_skip_threshold", 1, 1048576, 2048,
+                               "Size below which new-relation data is "
+                               "WAL-logged instead of fsynced at "
+                               "commit")),
+      "kB");
+  add(WithSpecialValues(
+          IntegerKnob("max_slot_wal_keep_size", -1, 65536, -1,
+                      "WAL kept for replication slots; -1 means "
+                      "unlimited"),
+          {-1}),
+      "MB");
+  add(IntegerKnob("wal_keep_size", 0, 65536, 0,
+                  "WAL kept for standby servers"),
+      "MB");
+
+  // ----------------------------------------------------- autovacuum
+  add(WithSpecialValues(
+          IntegerKnob("autovacuum_vacuum_insert_threshold", -1, 10000, 1000,
+                      "Inserted tuples before vacuum; -1 disables "
+                      "insert-driven vacuums"),
+          {-1}));
+  add(RealKnob("autovacuum_vacuum_insert_scale_factor", 0.0, 1.0, 0.2,
+               "Fraction of inserts over table size before vacuum"));
+
+  return ConfigSpace::Create(std::move(knobs)).ValueOrDie();
+}
+
+}  // namespace dbsim
+}  // namespace llamatune

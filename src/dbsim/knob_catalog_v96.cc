@@ -1,0 +1,315 @@
+#include "src/dbsim/knob_catalog.h"
+#include "src/dbsim/knob_catalog_internal.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace internal {
+
+std::vector<KnobSpec> BaseV96Knobs() {
+  std::vector<KnobSpec> knobs;
+  auto add = [&](KnobSpec spec, const char* unit = "") {
+    spec.unit = unit;
+    knobs.push_back(std::move(spec));
+  };
+
+  // ------------------------------------------------------- memory
+  add(WithLogScale(IntegerKnob("shared_buffers", 16, 2097152, 16384,
+                               "Amount of memory for shared buffers")),
+      "8kB");
+  add(WithLogScale(IntegerKnob("work_mem", 64, 2097152, 4096,
+                               "Memory for query sorts/hashes before "
+                               "spilling to temp files")),
+      "kB");
+  add(WithLogScale(IntegerKnob("maintenance_work_mem", 1024, 2097152, 65536,
+                               "Memory for maintenance operations "
+                               "(VACUUM, CREATE INDEX)")),
+      "kB");
+  add(WithLogScale(IntegerKnob("effective_cache_size", 128, 4194304, 524288,
+                               "Planner's assumption about total cache "
+                               "available to one query")),
+      "8kB");
+  add(WithLogScale(IntegerKnob("temp_buffers", 100, 131072, 1024,
+                               "Per-session temporary-table buffers")),
+      "8kB");
+  add(CategoricalKnob("huge_pages", {"try", "off", "on"}, 0,
+                      "Use huge memory pages for the main shared "
+                      "memory area"));
+
+  // ---------------------------------------------------------- WAL
+  add(WithSpecialValues(
+          IntegerKnob("wal_buffers", -1, 262143, -1,
+                      "Disk-page buffers in shared memory for WAL; -1 "
+                      "selects 1/32nd of shared_buffers"),
+          {-1}),
+      "8kB");
+  add(WithLogScale(IntegerKnob("max_wal_size", 32, 65536, 1024,
+                               "WAL size that triggers a checkpoint")),
+      "MB");
+  add(WithLogScale(IntegerKnob("min_wal_size", 32, 16384, 80,
+                               "Minimum WAL size to keep recycled")),
+      "MB");
+  add(IntegerKnob("checkpoint_timeout", 30, 3600, 300,
+                  "Maximum time between automatic checkpoints"),
+      "s");
+  add(RealKnob("checkpoint_completion_target", 0.1, 0.9, 0.5,
+               "Fraction of the checkpoint interval over which writes "
+               "are spread"));
+  add(WithSpecialValues(
+          IntegerKnob("checkpoint_flush_after", 0, 256, 32,
+                      "Pages after which checkpoint writes are flushed "
+                      "to disk; 0 disables forced writeback"),
+          {0}),
+      "8kB");
+  add(IntegerKnob("checkpoint_warning", 0, 3600, 30,
+                  "Warn if checkpoints caused by WAL fill are closer "
+                  "than this"),
+      "s");
+  add(IntegerKnob("commit_delay", 0, 100000, 0,
+                  "Delay between transaction commit and WAL flush, "
+                  "enabling group commit"),
+      "us");
+  add(IntegerKnob("commit_siblings", 0, 100, 5,
+                  "Minimum concurrent open transactions before "
+                  "honoring commit_delay"));
+  add(IntegerKnob("wal_writer_delay", 1, 10000, 200,
+                  "WAL writer wakeup interval"),
+      "ms");
+  add(WithSpecialValues(
+          WithLogScale(IntegerKnob(
+              "wal_writer_flush_after", 0, 2097152, 128,
+              "WAL amount written by the WAL writer that triggers a "
+              "flush; 0 forces a flush every time")),
+          {0}),
+      "8kB");
+  add(WithSpecialValues(
+          IntegerKnob("backend_flush_after", 0, 256, 0,
+                      "Pages after which previously performed backend "
+                      "writes are flushed to disk; 0 disables forced "
+                      "writeback (OS manages it)"),
+          {0}),
+      "8kB");
+  add(BoolKnob("full_page_writes", true,
+               "Write full pages to WAL after a checkpoint"));
+  add(BoolKnob("wal_compression", false, "Compress full-page writes"));
+  add(BoolKnob("wal_log_hints", false,
+               "WAL-log hint bit changes (for pg_rewind)"));
+  add(CategoricalKnob("synchronous_commit",
+                      {"off", "local", "remote_write", "on"}, 3,
+                      "Synchronization level before reporting commit"));
+  add(CategoricalKnob("wal_sync_method",
+                      {"fdatasync", "fsync", "open_datasync", "open_sync"}, 0,
+                      "Method used to force WAL to disk"));
+
+  // ----------------------------------------------- background writer
+  add(IntegerKnob("bgwriter_delay", 10, 10000, 200,
+                  "Background writer round interval"),
+      "ms");
+  add(WithSpecialValues(
+          IntegerKnob("bgwriter_lru_maxpages", 0, 1000, 100,
+                      "Max buffers written per bgwriter round; 0 "
+                      "disables background writing"),
+          {0}));
+  add(RealKnob("bgwriter_lru_multiplier", 0.0, 10.0, 2.0,
+               "Multiple of recent buffer demand to clean ahead"));
+  add(WithSpecialValues(
+          IntegerKnob("bgwriter_flush_after", 0, 256, 64,
+                      "Pages after which bgwriter writes are flushed; "
+                      "0 disables forced writeback"),
+          {0}),
+      "8kB");
+
+  // ------------------------------------------------------------ I/O
+  add(WithSpecialValues(
+          IntegerKnob("effective_io_concurrency", 0, 1000, 1,
+                      "Concurrent disk I/O requests (prefetch depth); "
+                      "0 disables prefetching"),
+          {0}));
+
+  // -------------------------------------------------- planner costs
+  add(RealKnob("random_page_cost", 1.0, 10.0, 4.0,
+               "Planner cost of a non-sequential page fetch"));
+  add(RealKnob("seq_page_cost", 0.1, 10.0, 1.0,
+               "Planner cost of a sequential page fetch"));
+  add(RealKnob("cpu_tuple_cost", 0.001, 1.0, 0.01,
+               "Planner cost of processing one row"));
+  add(RealKnob("cpu_index_tuple_cost", 0.0005, 1.0, 0.005,
+               "Planner cost of processing one index entry"));
+  add(RealKnob("cpu_operator_cost", 0.00025, 1.0, 0.0025,
+               "Planner cost of processing one operator/function"));
+  add(IntegerKnob("default_statistics_target", 1, 10000, 100,
+                  "Default statistics detail level for ANALYZE"));
+  add(IntegerKnob("from_collapse_limit", 1, 64, 8,
+                  "Max FROM items before subquery collapsing stops"));
+  add(IntegerKnob("join_collapse_limit", 1, 64, 8,
+                  "Max items before explicit JOIN order is kept"));
+  add(RealKnob("cursor_tuple_fraction", 0.0, 1.0, 0.1,
+               "Planner estimate of cursor rows fetched"));
+
+  // ----------------------------------------------------------- GEQO
+  add(BoolKnob("geqo", true, "Genetic query optimizer for large joins"));
+  add(IntegerKnob("geqo_threshold", 2, 64, 12,
+                  "FROM items beyond which GEQO is used"));
+  add(IntegerKnob("geqo_effort", 1, 10, 5, "GEQO effort scaling knob"));
+  add(WithSpecialValues(
+          IntegerKnob("geqo_pool_size", 0, 1000, 0,
+                      "GEQO population size; 0 chooses a suitable value "
+                      "based on geqo_effort and table count"),
+          {0}));
+  add(IntegerKnob("geqo_generations", 0, 1000, 0,
+                  "GEQO iterations; 0 derives from pool size"));
+  add(RealKnob("geqo_selection_bias", 1.5, 2.0, 2.0,
+               "GEQO selective pressure within the population"));
+  add(RealKnob("geqo_seed", 0.0, 1.0, 0.0,
+               "GEQO random path selection seed"));
+
+  // -------------------------------------------------- planner flags
+  add(BoolKnob("enable_seqscan", true, "Allow sequential scan plans"));
+  add(BoolKnob("enable_indexscan", true, "Allow index scan plans"));
+  add(BoolKnob("enable_indexonlyscan", true, "Allow index-only scans"));
+  add(BoolKnob("enable_bitmapscan", true, "Allow bitmap scan plans"));
+  add(BoolKnob("enable_hashagg", true, "Allow hashed aggregation"));
+  add(BoolKnob("enable_hashjoin", true, "Allow hash joins"));
+  add(BoolKnob("enable_mergejoin", true, "Allow merge joins"));
+  add(BoolKnob("enable_nestloop", true, "Allow nested-loop joins"));
+  add(BoolKnob("enable_sort", true, "Allow explicit sort steps"));
+  add(BoolKnob("enable_material", true, "Allow materialization"));
+  add(BoolKnob("enable_tidscan", true, "Allow TID scan plans"));
+
+  // ----------------------------------------------------- autovacuum
+  add(BoolKnob("autovacuum", true, "Run the autovacuum launcher"));
+  add(IntegerKnob("autovacuum_max_workers", 1, 20, 3,
+                  "Maximum simultaneous autovacuum workers"));
+  add(IntegerKnob("autovacuum_naptime", 1, 3600, 60,
+                  "Sleep between autovacuum runs"),
+      "s");
+  add(IntegerKnob("autovacuum_vacuum_threshold", 0, 10000, 50,
+                  "Tuple updates/deletes before vacuum"));
+  add(IntegerKnob("autovacuum_analyze_threshold", 0, 10000, 50,
+                  "Tuple changes before analyze"));
+  add(WithLogScale(RealKnob("autovacuum_vacuum_scale_factor", 0.005, 1.0, 0.2,
+                            "Fraction of table size before vacuum")));
+  add(WithLogScale(RealKnob("autovacuum_analyze_scale_factor", 0.005, 1.0, 0.1,
+                            "Fraction of table size before analyze")));
+  add(WithSpecialValues(
+          IntegerKnob("autovacuum_vacuum_cost_delay", -1, 100, 20,
+                      "Vacuum cost delay for autovacuum; -1 uses "
+                      "vacuum_cost_delay"),
+          {-1}),
+      "ms");
+  add(WithSpecialValues(
+          IntegerKnob("autovacuum_vacuum_cost_limit", -1, 10000, -1,
+                      "Vacuum cost amount for autovacuum; -1 uses "
+                      "vacuum_cost_limit"),
+          {-1}));
+  add(WithSpecialValues(
+          WithLogScale(IntegerKnob("autovacuum_work_mem", -1, 2097152, -1,
+                                   "Memory for each autovacuum worker; "
+                                   "-1 uses maintenance_work_mem")),
+          {-1}),
+      "kB");
+  add(WithLogScale(IntegerKnob("autovacuum_freeze_max_age", 100000,
+                               2000000000, 200000000,
+                               "Age at which to force a table freeze")));
+
+  // --------------------------------------------------------- vacuum
+  add(WithSpecialValues(
+          IntegerKnob("vacuum_cost_delay", 0, 100, 0,
+                      "Cost-based vacuum sleep; 0 disables cost-based "
+                      "vacuum delay entirely"),
+          {0}),
+      "ms");
+  add(IntegerKnob("vacuum_cost_limit", 1, 10000, 200,
+                  "Cost accumulated before vacuum naps"));
+  add(IntegerKnob("vacuum_cost_page_hit", 0, 100, 1,
+                  "Vacuum cost of a buffer-cache hit"));
+  add(IntegerKnob("vacuum_cost_page_miss", 0, 100, 10,
+                  "Vacuum cost of a buffer-cache miss"));
+  add(IntegerKnob("vacuum_cost_page_dirty", 0, 100, 20,
+                  "Vacuum cost of dirtying a page"));
+  add(WithLogScale(IntegerKnob("vacuum_freeze_min_age", 1, 1000000000,
+                               50000000,
+                               "Age at which VACUUM freezes row versions")));
+  add(WithLogScale(IntegerKnob("vacuum_freeze_table_age", 1, 2000000000,
+                               150000000,
+                               "Age at which VACUUM scans whole table")));
+
+  // -------------------------------------------- connections & locks
+  add(IntegerKnob("max_connections", 10, 1000, 100,
+                  "Maximum concurrent client connections"));
+  add(WithLogScale(IntegerKnob("max_files_per_process", 25, 50000, 1000,
+                               "Simultaneously open files per server "
+                               "process")));
+  add(WithSpecialValues(
+          IntegerKnob("max_prepared_transactions", 0, 1000, 0,
+                      "Simultaneously prepared transactions; 0 "
+                      "disables the prepared-transaction feature"),
+          {0}));
+  add(IntegerKnob("max_locks_per_transaction", 10, 1024, 64,
+                  "Average object locks per transaction slot"));
+  add(IntegerKnob("max_pred_locks_per_transaction", 10, 1024, 64,
+                  "Average predicate locks per transaction slot"));
+  add(WithLogScale(IntegerKnob("deadlock_timeout", 1, 10000, 1000,
+                               "Wait before checking for deadlock")),
+      "ms");
+
+  // ------------------------------------------------- parallel query
+  add(IntegerKnob("max_worker_processes", 0, 64, 8,
+                  "Maximum background worker processes"));
+  add(WithSpecialValues(
+          IntegerKnob("max_parallel_workers_per_gather", 0, 64, 0,
+                      "Workers per Gather node; 0 disables parallel "
+                      "query execution"),
+          {0}));
+  add(RealKnob("parallel_setup_cost", 0.0, 100000.0, 1000.0,
+               "Planner cost of launching parallel workers"));
+  add(RealKnob("parallel_tuple_cost", 0.0, 10.0, 0.1,
+               "Planner cost of transferring one parallel tuple"));
+  add(WithLogScale(IntegerKnob("min_parallel_relation_size", 1, 262144, 1024,
+                               "Minimum relation size considered for "
+                               "parallel scan")),
+      "8kB");
+
+  // ----------------------------------------------------------- misc
+  add(WithSpecialValues(
+          WithLogScale(IntegerKnob("temp_file_limit", -1, 10485760, -1,
+                                   "Per-session temp-file space; -1 "
+                                   "means no limit")),
+          {-1}),
+      "kB");
+  add(WithSpecialValues(
+          IntegerKnob("old_snapshot_threshold", -1, 86400, -1,
+                      "Snapshot age before 'snapshot too old'; -1 "
+                      "disables the feature"),
+          {-1}),
+      "min");
+  add(WithSpecialValues(
+          WithLogScale(IntegerKnob("replacement_sort_tuples", 0, 1000000,
+                                   150000,
+                                   "Max tuples for replacement "
+                                   "selection sort; 0 never uses it")),
+          {0}));
+  add(IntegerKnob("gin_fuzzy_search_limit", 0, 1000000, 0,
+                  "Soft limit for GIN fuzzy searches"));
+  add(WithLogScale(IntegerKnob("gin_pending_list_limit", 64, 1048576, 4096,
+                               "GIN pending list size before cleanup")),
+      "kB");
+  add(IntegerKnob("max_stack_depth", 100, 7168, 2048,
+                  "Maximum safe execution stack depth"),
+      "kB");
+
+  return knobs;
+}
+
+}  // namespace internal
+
+ConfigSpace PostgresV96Catalog() {
+  return ConfigSpace::Create(internal::BaseV96Knobs()).ValueOrDie();
+}
+
+ConfigSpace CatalogFor(PostgresVersion version) {
+  return version == PostgresVersion::kV96 ? PostgresV96Catalog()
+                                          : PostgresV136Catalog();
+}
+
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,63 @@
+#include "src/dbsim/metrics.h"
+
+#include <cmath>
+
+namespace llamatune {
+namespace dbsim {
+
+const std::vector<std::string>& MetricNames() {
+  static const std::vector<std::string> kNames = {
+      "xact_commit_rate",     "xact_rollback_rate",   "blks_read",
+      "blks_hit",             "tup_returned",         "tup_fetched",
+      "tup_inserted",         "tup_updated",          "tup_deleted",
+      "conflicts",            "deadlocks",            "temp_files",
+      "temp_bytes",           "blk_read_time",        "blk_write_time",
+      "buffers_checkpoint",   "buffers_clean",        "buffers_backend",
+      "checkpoints_timed",    "checkpoints_req",      "wal_bytes",
+      "wal_fsyncs",           "avg_latency",          "p95_latency",
+      "cpu_utilization",      "io_utilization",       "lock_wait_time",
+  };
+  return kNames;
+}
+
+namespace {
+// log1p compression keeps widely ranged counters in a NN-friendly
+// scale while preserving ordering.
+double Squash(double x) { return std::log1p(std::max(0.0, x)); }
+}  // namespace
+
+std::vector<double> CountersToMetrics(const RunCounters& c) {
+  std::vector<double> m;
+  m.reserve(kNumMetrics);
+  m.push_back(Squash(c.throughput));
+  m.push_back(Squash(c.rollback_rate));
+  m.push_back(Squash(c.blks_read_per_s));
+  m.push_back(Squash(c.blks_hit_per_s));
+  m.push_back(Squash(c.tup_returned_per_s));
+  m.push_back(Squash(c.tup_fetched_per_s));
+  m.push_back(Squash(c.tup_inserted_per_s));
+  m.push_back(Squash(c.tup_updated_per_s));
+  m.push_back(Squash(c.tup_deleted_per_s));
+  m.push_back(Squash(c.conflicts_per_s));
+  m.push_back(Squash(c.deadlocks_per_s));
+  m.push_back(Squash(c.temp_files_per_s));
+  m.push_back(Squash(c.temp_bytes_per_s));
+  m.push_back(Squash(c.blk_read_time_ms_per_s));
+  m.push_back(Squash(c.blk_write_time_ms_per_s));
+  m.push_back(Squash(c.buffers_checkpoint_per_s));
+  m.push_back(Squash(c.buffers_clean_per_s));
+  m.push_back(Squash(c.buffers_backend_per_s));
+  m.push_back(Squash(c.checkpoints_timed_per_min));
+  m.push_back(Squash(c.checkpoints_req_per_min));
+  m.push_back(Squash(c.wal_bytes_per_s));
+  m.push_back(Squash(c.wal_fsyncs_per_s));
+  m.push_back(Squash(c.avg_latency_ms));
+  m.push_back(Squash(c.p95_latency_ms));
+  m.push_back(c.cpu_utilization);
+  m.push_back(c.io_utilization);
+  m.push_back(Squash(c.lock_wait_ms_per_s));
+  return m;
+}
+
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llamatune {
+namespace dbsim {
+
+/// Number of internal DBMS metrics exposed per run (paper §6.4: 27
+/// system-wide PostgreSQL metrics feed the DDPG state).
+inline constexpr int kNumMetrics = 27;
+
+/// pg_stat-style names of the 27 metrics, in vector order.
+const std::vector<std::string>& MetricNames();
+
+/// \brief Raw per-run counters computed by the performance model;
+/// flattened into the 27-metric state vector.
+struct RunCounters {
+  double throughput = 0.0;       // committed txns / sec
+  double rollback_rate = 0.0;    // aborted txns / sec
+  double blks_read_per_s = 0.0;  // buffer misses
+  double blks_hit_per_s = 0.0;   // buffer hits
+  double tup_returned_per_s = 0.0;
+  double tup_fetched_per_s = 0.0;
+  double tup_inserted_per_s = 0.0;
+  double tup_updated_per_s = 0.0;
+  double tup_deleted_per_s = 0.0;
+  double conflicts_per_s = 0.0;
+  double deadlocks_per_s = 0.0;
+  double temp_files_per_s = 0.0;
+  double temp_bytes_per_s = 0.0;
+  double blk_read_time_ms_per_s = 0.0;
+  double blk_write_time_ms_per_s = 0.0;
+  double buffers_checkpoint_per_s = 0.0;
+  double buffers_clean_per_s = 0.0;    // written by bgwriter
+  double buffers_backend_per_s = 0.0;  // written by backends
+  double checkpoints_timed_per_min = 0.0;
+  double checkpoints_req_per_min = 0.0;
+  double wal_bytes_per_s = 0.0;
+  double wal_fsyncs_per_s = 0.0;
+  double avg_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double cpu_utilization = 0.0;
+  double io_utilization = 0.0;
+  double lock_wait_ms_per_s = 0.0;
+};
+
+/// Flattens counters into the 27-element state vector (order matches
+/// MetricNames()), normalized to roughly unit scale for NN consumption.
+std::vector<double> CountersToMetrics(const RunCounters& counters);
+
+}  // namespace dbsim
+}  // namespace llamatune

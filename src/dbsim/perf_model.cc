@@ -1,0 +1,633 @@
+#include "src/dbsim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace llamatune {
+namespace dbsim {
+
+namespace {
+
+// Simulated testbed constants beyond the public ones.
+constexpr double kSsdIoServiceMs = 0.06;  // blended read/write op
+constexpr double kOsCacheHitMs = 0.012;   // page read through OS cache
+// Extra per-page CPU/copy cost of serving hot data from the OS page
+// cache instead of shared_buffers (read() syscall + memcpy + buffer
+// eviction churn). This is what makes shared_buffers sizing matter on
+// a box whose RAM could hold the working set twice.
+constexpr double kOsCachePenaltyMs = 0.05;
+// Natural group commit: txns arriving during an in-flight WAL fsync
+// piggyback on the next one.
+constexpr double kNaturalBatchCoef = 0.15;
+constexpr double kCommitDelayBatchCoef = 0.5;  // per ms of commit_delay
+// Most of the commit delay overlaps with other backends' useful work.
+constexpr double kCommitDelayLatencyShare = 0.15;
+// WAL write bandwidth cost per KB (ms/kB at ~100 MB/s honored writes).
+constexpr double kWalBandwidthMsPerKb = 0.02;
+
+double SyncMethodFactor(const std::string& method) {
+  if (method == "fsync") return 1.05;
+  if (method == "open_datasync") return 1.15;
+  if (method == "open_sync") return 1.30;
+  return 1.0;  // fdatasync
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------
+// Long-tail penalty: the few headline knobs carry most of the tuning
+// headroom, but real DBMS spaces also expose dozens of minor knobs
+// whose bad regions each cost a little (0.5-3%). Individually these
+// effects sit below run-to-run noise, so a 100-sample high-dimensional
+// model cannot isolate them; a random projection aggregates several
+// minor knobs per synthetic dimension into a signal large enough to
+// optimize. This is the low-effective-dimensionality structure the
+// paper's techniques exploit — uniformly random configurations
+// accumulate a substantial aggregate penalty, sane defaults almost
+// none.
+static double TailPenalty(const KnobView& k, const WorkloadSpec& w, bool v13) {
+  double tail = 1.0;
+  // frac: how deep into the bad region, in [0,1]; weight: max cost.
+  auto pen = [&tail](double frac, double weight) {
+    tail *= 1.0 + weight * Clamp(frac, 0.0, 1.0);
+  };
+  // One-sided log responses: most minor knobs hurt in one direction
+  // and are roughly neutral in the other (oversized buffers waste a
+  // little, undersized ones are fine, or vice versa). `high` penalizes
+  // values above `good`, `low` penalizes below; span is in e-folds.
+  auto high = [](double v, double good, double span) {
+    if (v <= 0.0 || good <= 0.0) return 0.0;
+    return std::max(0.0, std::log(v / good)) / span;
+  };
+  auto low = [](double v, double good, double span) {
+    if (v <= 0.0) return 1.0;
+    if (good <= 0.0) return 0.0;
+    return std::max(0.0, std::log(good / v)) / span;
+  };
+
+  double p = w.planner_complexity;
+  // Planner cost constants: inflated CPU costs bias toward bad plans.
+  pen(high(k.Get("cpu_tuple_cost", 0.01), 0.02, 4.0), 0.02 * (0.3 + p));
+  pen(high(k.Get("cpu_index_tuple_cost", 0.005), 0.01, 4.0),
+      0.015 * (0.3 + p));
+  pen(high(k.Get("cpu_operator_cost", 0.0025), 0.005, 4.0),
+      0.015 * (0.3 + p));
+  // Undervalued sequential reads push index plans onto cold paths.
+  pen(low(k.Get("seq_page_cost", 1.0), 0.5, 2.0), 0.015 * (0.3 + p));
+  // A pessimistic cache estimate scares the planner away from indexes.
+  pen(low(k.Get("effective_cache_size", 524288), 131072, 3.0),
+      0.02 * (0.3 + p));
+  // Spurious deadlock checks when the timeout is far below real waits.
+  pen(low(k.Get("deadlock_timeout", 1000), 200, 4.0), 0.02 * w.contention);
+  // Oversized per-session temp buffers waste memory bandwidth.
+  pen(k.Get("temp_buffers", 1024) / 131072.0, 0.015);
+  // Tiny file quota forces reopen churn.
+  pen(low(k.Get("max_files_per_process", 1000), 500, 2.5), 0.02);
+  // Unused prepared-transaction slots cost shared memory scans.
+  pen(k.Get("max_prepared_transactions", 0) / 1000.0, 0.015);
+  pen(k.Get("max_locks_per_transaction", 64) / 1024.0, 0.01);
+  pen(k.Get("max_pred_locks_per_transaction", 64) / 1024.0, 0.01);
+  // Overweighted vacuum page costs starve vacuum progress.
+  pen(high(k.Get("vacuum_cost_page_hit", 1), 4.0, 3.0),
+      0.015 * w.vacuum_sensitivity);
+  pen(high(k.Get("vacuum_cost_page_miss", 10), 20.0, 1.5),
+      0.015 * w.vacuum_sensitivity);
+  pen(high(k.Get("vacuum_cost_page_dirty", 20), 40.0, 0.7),
+      0.015 * w.vacuum_sensitivity);
+  pen(low(k.Get("vacuum_freeze_min_age", 5e7), 1e6, 5.0), 0.01);
+  pen(low(k.Get("vacuum_freeze_table_age", 1.5e8), 3e6, 5.0), 0.01);
+  // Aggressive anti-wraparound scans when the max age is tiny.
+  pen(low(k.Get("autovacuum_freeze_max_age", 2e8), 2e7, 3.0),
+      0.02 * w.vacuum_sensitivity);
+  pen(high(k.Get("autovacuum_analyze_threshold", 50), 2000, 1.6), 0.01);
+  pen(high(k.Get("autovacuum_vacuum_threshold", 50), 2000, 1.6),
+      0.01 * w.vacuum_sensitivity);
+  pen(k.Get("autovacuum_max_workers", 3) / 20.0, 0.01);  // worker overhead
+  // GEQO mistuning on plan-heavy workloads.
+  pen(low(k.Get("geqo_effort", 5), 3, 1.2), 0.015 * p);
+  pen(k.Get("geqo_generations", 0) / 1000.0, 0.01 * p);
+  pen(low(k.Get("geqo_threshold", 12), 6, 1.2), 0.01 * p);
+  pen(high(k.Get("from_collapse_limit", 8), 20, 1.2), 0.01 * p);
+  pen(high(k.Get("join_collapse_limit", 8), 20, 1.2), 0.01 * p);
+  pen(Clamp(k.Get("cursor_tuple_fraction", 0.1) - 0.3, 0.0, 1.0) / 0.7,
+      0.01 * p);
+  pen(low(k.Get("default_statistics_target", 100), 25, 3.0),
+      0.015 * (0.2 + p));
+  // WAL writer pacing: a sleepy writer delays async durability work.
+  pen(high(k.Get("wal_writer_delay", 200), 1000, 2.5),
+      0.015 * (1.0 - w.read_only_txn_fraction));
+  pen(high(k.Get("bgwriter_delay", 200), 1000, 2.5),
+      0.01 * (1.0 - w.read_only_txn_fraction));
+  pen(low(k.Get("min_wal_size", 80), 40, 1.0), 0.005);
+  pen(low(k.Get("gin_pending_list_limit", 4096), 256, 3.0), 0.005);
+  pen(k.Get("gin_fuzzy_search_limit", 0) / 1000000.0, 0.005);
+  pen(low(k.Get("maintenance_work_mem", 65536), 8192, 2.5),
+      0.01 * w.vacuum_sensitivity);
+  pen(low(k.Get("max_stack_depth", 2048), 512, 1.5), 0.005);
+  // Parallel cost constants only matter once parallelism is on.
+  double workers = k.Get("max_parallel_workers_per_gather", 0);
+  if (workers > 0) {
+    pen(low(std::max(k.Get("parallel_setup_cost", 1000), 1.0), 100, 3.0),
+        0.01);
+    pen(low(std::max(k.Get("parallel_tuple_cost", 0.1), 0.001), 0.01, 3.0),
+        0.01);
+    pen(low(k.Get("min_parallel_relation_size", 1024), 64, 3.0), 0.005);
+  }
+  if (v13) {
+    pen(low(k.Get("logical_decoding_work_mem", 65536), 4096, 3.0), 0.005);
+    pen(high(k.Get("wal_skip_threshold", 2048), 65536, 3.0), 0.005);
+    pen(k.Get("wal_keep_size", 0) / 65536.0, 0.01);
+    if (!k.GetBool("wal_init_zero", true)) pen(1.0, 0.005);
+    if (!k.GetBool("wal_recycle", true)) pen(1.0, 0.01);
+    pen(low(k.Get("hash_mem_multiplier", 1.0), 0.5, 1.0), 0.01 * p);
+    pen(high(k.Get("autovacuum_vacuum_insert_scale_factor", 0.2), 0.5, 0.7),
+        0.01 * w.vacuum_sensitivity);
+  }
+  return tail;
+}
+
+double KnobView::Get(const std::string& name, double fallback) const {
+  int idx = space_->IndexOf(name);
+  if (idx < 0 || idx >= config_->size()) return fallback;
+  return (*config_)[idx];
+}
+
+std::string KnobView::GetCategory(const std::string& name) const {
+  int idx = space_->IndexOf(name);
+  if (idx < 0 || idx >= config_->size()) return "";
+  const KnobSpec& spec = space_->knob(idx);
+  if (spec.type != KnobType::kCategorical) return "";
+  int cat = static_cast<int>((*config_)[idx]);
+  if (cat < 0 || cat >= static_cast<int>(spec.categories.size())) return "";
+  return spec.categories[cat];
+}
+
+bool KnobView::GetBool(const std::string& name, bool fallback) const {
+  std::string cat = GetCategory(name);
+  if (cat.empty()) return fallback;
+  return cat == "on";
+}
+
+bool KnobView::Has(const std::string& name) const {
+  return space_->IndexOf(name) >= 0;
+}
+
+PerfModel::PerfModel(const ConfigSpace* space, WorkloadSpec workload,
+                     PostgresVersion version)
+    : space_(space), workload_(std::move(workload)), version_(version) {
+  // Calibrate so that the default configuration lands on the
+  // workload's default-throughput anchor (absolute numbers near the
+  // paper's plots; the response *shape* is what the model earns).
+  Configuration def = space_->DefaultConfiguration();
+  LatencyBreakdown breakdown = ComputeLatency(def);
+  if (!breakdown.crashed && breakdown.total_ms > 0.0) {
+    double desired_latency_ms =
+        static_cast<double>(workload_.clients) * 1000.0 /
+        workload_.default_throughput;
+    time_scale_ = desired_latency_ms / breakdown.total_ms;
+  }
+}
+
+PerfModel::LatencyBreakdown PerfModel::ComputeLatency(
+    const Configuration& config) const {
+  LatencyBreakdown out;
+  KnobView k(space_, &config);
+  const WorkloadSpec& w = workload_;
+  const bool v13 = version_ == PostgresVersion::kV136;
+
+  // ------------------------------------------------ memory & crashes
+  double sb_gb = k.Get("shared_buffers", 16384) * 8.0 / (1024.0 * 1024.0);
+  double wm_mb = k.Get("work_mem", 4096) / 1024.0;
+  double hash_mult = v13 ? k.Get("hash_mem_multiplier", 1.0) : 1.0;
+  double per_client_gb =
+      wm_mb * (0.3 + w.planner_complexity) * (0.5 + 0.5 * hash_mult) / 1024.0;
+  double mem_needed_gb = sb_gb + w.clients * per_client_gb * 0.5 + 0.6;
+  if (mem_needed_gb > kRamGb - 0.8) {
+    out.crashed = true;
+    out.crash_reason = "out of memory (shared_buffers + work_mem)";
+    return out;
+  }
+  if (k.Get("max_connections", 100) < w.clients) {
+    out.crashed = true;
+    out.crash_reason = "max_connections below client count";
+    return out;
+  }
+  if (k.Get("max_locks_per_transaction", 64) < w.num_tables + 4) {
+    out.crashed = true;
+    out.crash_reason = "lock table exhausted";
+    return out;
+  }
+  if (k.Get("max_files_per_process", 1000) < 50 && w.num_tables >= 9) {
+    out.crashed = true;
+    out.crash_reason = "too many open files";
+    return out;
+  }
+
+  // ------------------------------------------------------ CPU / plan
+  double p = w.planner_complexity;
+  double base_cpu = w.base_cpu_ms * (v13 ? 0.92 : 1.0);
+  double planner_factor = 1.0;
+  if (!k.GetBool("enable_hashjoin", true)) planner_factor += 0.30 * p;
+  if (!k.GetBool("enable_mergejoin", true)) planner_factor += 0.15 * p;
+  if (!k.GetBool("enable_nestloop", true)) planner_factor += 0.20 * p;
+  if (!k.GetBool("enable_indexscan", true)) planner_factor += 0.5 * (0.3 + p);
+  if (!k.GetBool("enable_indexonlyscan", true)) planner_factor += 0.05;
+  if (!k.GetBool("enable_bitmapscan", true)) planner_factor += 0.05 * p;
+  if (!k.GetBool("enable_hashagg", true)) planner_factor += 0.08 * p;
+  if (!k.GetBool("enable_sort", true)) planner_factor += 0.10 * p;
+  if (!k.GetBool("enable_material", true)) planner_factor += 0.04 * p;
+  if (!k.GetBool("enable_tidscan", true)) planner_factor += 0.01;
+  if (!k.GetBool("enable_seqscan", true)) {
+    planner_factor += 0.15 * w.scan_fraction - 0.02 * (1.0 - p);
+  }
+
+  // GEQO: join-order search quality for many-table plans, with a
+  // small global selection-bias effect (stray complex queries exist
+  // even in simple workloads).
+  double bias = k.Get("geqo_selection_bias", 2.0);
+  planner_factor += 0.03 * (0.2 + p) * (bias - 1.5) / 0.5;
+  if (p > 0.3) {
+    bool geqo_on = k.GetBool("geqo", true);
+    if (!geqo_on && w.num_tables >= 8) planner_factor += 0.06 * p;
+    double pool = k.Get("geqo_pool_size", 0);
+    if (geqo_on && pool != 0.0) {
+      if (pool < 50) planner_factor += 0.05 * p;      // degenerate pool
+      else if (pool > 500) planner_factor += 0.02 * p;  // planning time
+    }
+  }
+  double collapse = std::min(k.Get("join_collapse_limit", 8),
+                             k.Get("from_collapse_limit", 8));
+  planner_factor += 0.08 * p * std::max(0.0, (4.0 - collapse) / 3.0);
+  double dst = k.Get("default_statistics_target", 100);
+  planner_factor += 0.06 * p * std::max(0.0, (20.0 - dst) / 20.0);
+  if (dst > 5000) planner_factor += 0.01;
+  double rpc = k.Get("random_page_cost", 4.0);
+  planner_factor += 0.05 * (0.3 + p) * std::abs(rpc - 1.5) / 8.5;
+
+  // Stale statistics: analyze lag grows with the scale factor and the
+  // write rate.
+  double asf = k.Get("autovacuum_analyze_scale_factor", 0.1);
+  double write_frac = 1.0 - w.read_only_txn_fraction;
+  double stale = asf / (asf + 0.08);
+  if (!k.GetBool("autovacuum", true)) stale = 1.0;
+  planner_factor += (0.10 * p + 0.03) * stale * write_frac;
+
+  if (k.GetCategory("huge_pages") == "on" && sb_gb > 4.0) {
+    planner_factor -= 0.015;
+  }
+
+  // JIT (v13.6): compile overhead on short OLTP queries when the cost
+  // threshold is set low; -1 (special) disables JIT entirely.
+  if (v13 && k.Has("jit") && k.GetBool("jit", true)) {
+    double jit_above = k.Get("jit_above_cost", 100000);
+    if (jit_above >= 0 && jit_above < 200000) {
+      planner_factor += 0.08 * (1.0 - p) * (1.0 - jit_above / 200000.0);
+      planner_factor -= 0.03 * p * w.scan_fraction;
+    }
+  }
+
+  // work_mem spills.
+  double needed_mb = (2.0 + 30.0 * p) / (0.5 + 0.5 * hash_mult);
+  double spill = std::max(0.0, 1.0 - wm_mb / needed_mb);
+  out.spill_fraction = spill * (0.2 + p);
+
+  double cpu_ms = base_cpu * planner_factor + p * 1.2 * base_cpu * spill;
+
+  // Parallel query: helps the scan fraction, costs setup on pure OLTP.
+  double workers = std::min(k.Get("max_parallel_workers_per_gather", 0),
+                            k.Get("max_worker_processes", 8));
+  if (v13) workers = std::min(workers, k.Get("max_parallel_workers", 8));
+  if (workers > 0) {
+    double scan_cpu = base_cpu * planner_factor * w.scan_fraction;
+    double rest = cpu_ms - scan_cpu;
+    double speedup = 1.0 + 0.55 * std::min(workers, 8.0) *
+                               (v13 ? 1.0 : 0.7);
+    cpu_ms = rest + scan_cpu / speedup +
+             0.012 * base_cpu * std::min(workers, 8.0) * (1.0 - w.scan_fraction);
+  }
+
+  // ------------------------------------------------------- IO (base)
+  double os_cache_gb = std::max(0.5, kRamGb - mem_needed_gb - 0.5);
+  double expo = std::max(0.12, 1.0 - w.zipf_theta);
+  double pg_cov = Clamp(sb_gb / w.working_set_gb, 0.0, 1.0);
+  double total_cov =
+      Clamp((sb_gb + 0.55 * os_cache_gb) / w.working_set_gb, 0.0, 1.0);
+  double pg_hit = pg_cov > 0 ? std::pow(pg_cov, expo) : 0.0;
+  double total_hit = total_cov > 0 ? std::pow(total_cov, expo) : 0.0;
+  total_hit = std::max(total_hit, pg_hit);
+  double os_hit = total_hit - pg_hit;
+  double miss = 1.0 - total_hit;
+  out.buffer_hit_rate = pg_hit;
+
+  double eic = k.Get("effective_io_concurrency", 1);
+  double prefetch = 1.0;
+  if (eic >= 1.0) {
+    prefetch = 1.0 + 0.12 * std::log2(1.0 + std::min(eic, 64.0));
+  }
+  double spill_io_per_txn = out.spill_fraction * 6.0;
+  double io_ms_base =
+      w.mem_sensitivity * w.pages_per_txn *
+          (miss * kPageReadMs / prefetch +
+           os_hit * (kOsCacheHitMs + kOsCachePenaltyMs)) +
+      spill_io_per_txn * kSsdIoServiceMs;
+
+  // temp_file_limit: a finite limit below the spill volume aborts the
+  // queries that spill.
+  double tfl = k.Get("temp_file_limit", -1);
+  if (tfl != -1 && out.spill_fraction > 0.2 && p > 0.3 && tfl < 51200) {
+    out.crashed = true;
+    out.crash_reason = "temp_file_limit exceeded";
+    return out;
+  }
+
+  // --------------------------------------------------------- vacuum
+  double bloat = 0.0;
+  double vac_io_per_txn = 0.0;
+  double vs = w.vacuum_sensitivity;
+  if (!k.GetBool("autovacuum", true)) {
+    // No vacuuming at all: dead tuples accumulate for the whole run,
+    // strictly worse than even a heavily throttled autovacuum.
+    bloat = 0.7 * vs;
+  } else {
+    double sf = k.Get("autovacuum_vacuum_scale_factor", 0.2);
+    bloat = 0.35 * vs * sf / (sf + 0.04);
+    double naptime = k.Get("autovacuum_naptime", 60);
+    bloat += 0.05 * vs * naptime / 3600.0;
+    if (k.Get("autovacuum_max_workers", 3) < 2 && w.num_tables >= 9) {
+      bloat *= 1.15;
+    }
+    double aggressiveness = 0.04 / (sf + 0.04);
+    double cl = k.Get("autovacuum_vacuum_cost_limit", -1);
+    if (cl == -1) cl = k.Get("vacuum_cost_limit", 200);
+    double cd = k.Get("autovacuum_vacuum_cost_delay", v13 ? 2 : 20);
+    if (cd == -1) cd = k.Get("vacuum_cost_delay", 0);
+    // Cost-based throttling slows vacuum down; dead tuples linger.
+    // The -1 specials (inherit the unthrottled manual-vacuum settings)
+    // are the fast path here — the hybrid-knob effect SVB surfaces.
+    bloat *= 1.0 + 0.5 * cd / (cd + 5.0);
+    bloat *= 1.0 + 0.3 * std::max(0.0, 1.0 - cl / 1000.0);
+    double vac_intensity =
+        aggressiveness * std::min(1.0, cl / 2000.0) * (2.0 / (2.0 + cd));
+    double avwm = k.Get("autovacuum_work_mem", -1);
+    if (avwm == -1) avwm = k.Get("maintenance_work_mem", 65536);
+    double passes = avwm < 16384 ? 1.5 : 1.0;
+    vac_io_per_txn = vs * write_frac * 1.2 * vac_intensity * passes;
+  }
+  // Insert-driven vacuums (v13) shave a little bloat on insert-heavy
+  // workloads.
+  if (v13 && k.Get("autovacuum_vacuum_insert_threshold", 1000) != -1) {
+    bloat *= 0.95;
+  }
+
+  // --------------------------------------------- WAL statics per txn
+  double wal_kb = w.wal_kb_per_txn;
+  if (k.GetBool("wal_compression", false)) {
+    wal_kb *= 0.65;
+    cpu_ms += 0.02 * write_frac * base_cpu;
+  }
+  if (k.GetBool("wal_log_hints", false)) wal_kb *= 1.15;
+  bool fpw = k.GetBool("full_page_writes", true);
+  double sync_factor = SyncMethodFactor(k.GetCategory("wal_sync_method"));
+  double fsync_ms = kFsyncMs * sync_factor;
+  std::string sync_commit = k.GetCategory("synchronous_commit");
+  bool sc_off = sync_commit == "off" || sync_commit == "local";
+  double commit_delay_ms = k.Get("commit_delay", 0) / 1000.0;
+  double commit_siblings = k.Get("commit_siblings", 5);
+
+  // wal_buffers: -1 selects shared_buffers/32 clamped to [64kB, 16MB].
+  double wb_pages = k.Get("wal_buffers", -1);
+  if (wb_pages == -1) {
+    wb_pages = Clamp(k.Get("shared_buffers", 16384) / 32.0, 8.0, 2048.0);
+  }
+  double wb_kb = wb_pages * 8.0;
+
+  // ----------------------------------------------- backend writeback
+  double bfa = k.Get("backend_flush_after", 0);
+  double wb_sens = w.writeback_sensitivity * (v13 ? 0.45 : 1.0);
+  if (bfa == 0.0) {
+    out.writeback_ms = 0.0;
+    out.spike_factor += 0.15 * wb_sens;  // unthrottled bursts hit p95
+  } else {
+    out.writeback_ms = wb_sens * 0.38 * (24.0 / (24.0 + bfa));
+  }
+  double bg_lru = k.Get("bgwriter_lru_maxpages", 100);
+  double bg_delay = k.Get("bgwriter_delay", 200);
+  double bg_mult = k.Get("bgwriter_lru_multiplier", 2.0);
+  double bg_quality =
+      bg_lru <= 0.0
+          ? 0.0
+          : Clamp(bg_lru * (0.5 + 0.25 * bg_mult) / bg_delay / 1.5, 0.0, 1.0);
+  out.writeback_ms += 0.05 * write_frac * (1.0 - bg_quality) *
+                      (0.3 + w.writeback_sensitivity);
+  if (k.Get("bgwriter_flush_after", 64) == 0.0) out.spike_factor += 0.02;
+  if (k.Get("checkpoint_flush_after", 32) == 0.0) out.spike_factor += 0.05;
+
+  // Minor long-tail knobs.
+  if (k.Get("old_snapshot_threshold", -1) != -1) cpu_ms *= 1.01;
+  if (!v13 && k.Get("replacement_sort_tuples", 150000) == 0.0 && p > 0.3) {
+    cpu_ms *= 1.005;
+  }
+
+  // ------------------------------------------------- lock contention
+  // Conflicting transactions wait roughly for the holder's execution,
+  // so the expected wait scales with the base transaction duration.
+  double lock_ms = 1.2 * w.contention * write_frac * base_cpu *
+                   (static_cast<double>(w.clients) / 40.0);
+  double deadlock_timeout_ms = k.Get("deadlock_timeout", 1000);
+  out.spike_factor +=
+      0.3 * w.contention * std::pow(deadlock_timeout_ms / 1000.0, 0.3) *
+      write_frac;
+  out.abort_fraction = 0.03 * w.contention * write_frac;
+
+  // --------------------------------------------- closed-loop solve
+  double max_wal_mb = k.Get("max_wal_size", 1024);
+  double ckpt_timeout_s = k.Get("checkpoint_timeout", 300);
+  double cct = k.Get("checkpoint_completion_target", 0.5);
+
+  double tail = TailPenalty(k, w, v13);
+  double base_const_ms = 0.1 * base_cpu;  // parse/protocol floor
+  double latency = cpu_ms + io_ms_base + fsync_ms * write_frac + lock_ms +
+                   out.writeback_ms + base_const_ms;
+  double wal_latency = 0.0, io_latency = io_ms_base;
+  double wal_kb_eff = wal_kb;
+  double ckpt_per_min = 0.0, ckpt_req_per_min = 0.0, ckpt_spike = 0.0;
+  double ckpt_io_per_txn = 0.0;
+  double batch = 1.0;
+
+  // Fixed point over the throughput-dependent effects: natural group
+  // commit grows with the commit rate, checkpoint cadence grows with
+  // the WAL production rate, and full-page writes feed back into WAL
+  // volume. Damped iteration converges in a handful of steps.
+  for (int it = 0; it < 24; ++it) {
+    double x = static_cast<double>(w.clients) / latency;  // txn per ms
+    double committers = x * write_frac;
+
+    // Checkpoint cadence from WAL volume vs max_wal_size and timeout.
+    double wal_mb_per_min =
+        x * 1000.0 * 60.0 * write_frac * wal_kb_eff / 1024.0;
+    ckpt_req_per_min = wal_mb_per_min / std::max(max_wal_mb, 32.0);
+    double ckpt_timed_per_min = 60.0 / ckpt_timeout_s;
+    ckpt_per_min = std::max(ckpt_req_per_min, ckpt_timed_per_min);
+    // Full-page writes inflate WAL right after each checkpoint.
+    wal_kb_eff =
+        wal_kb *
+        (1.0 + (fpw ? 2.2 * Clamp(ckpt_per_min / 1.5, 0.0, 1.0) : 0.0));
+    // Checkpoint flush work: dirty share of the buffer pool per cycle.
+    double dirty_gb =
+        std::min(sb_gb * 0.5,
+                 wal_mb_per_min / std::max(ckpt_per_min, 0.05) / 1024.0);
+    double ckpt_pages_per_ms =
+        dirty_gb * 1024.0 * 128.0 * ckpt_per_min / 60000.0;
+    ckpt_io_per_txn = x > 0 ? ckpt_pages_per_ms / x : 0.0;
+    ckpt_spike = (1.0 - 0.85 * cct) * Clamp(ckpt_per_min / 2.0, 0.0, 1.0) *
+                 (fpw ? 1.2 : 0.8) * write_frac;
+
+    // WAL flush path: natural group commit + commit_delay batching.
+    batch = 1.0 + committers * fsync_ms * kNaturalBatchCoef;
+    double delay_added = 0.0;
+    if (commit_delay_ms > 0.0 && committers * latency > commit_siblings) {
+      batch += committers * std::min(commit_delay_ms, 5.0) *
+               kCommitDelayBatchCoef;
+      delay_added = commit_delay_ms * kCommitDelayLatencyShare;
+    }
+    double buffer_stall =
+        0.3 * fsync_ms *
+        std::max(0.0,
+                 1.0 - wb_kb / std::max(wal_kb_eff * committers * latency,
+                                        1.0));
+    // Async commit piggybacks on the WAL writer's cadence; at extreme
+    // commit rates natural group commit batches at least as well, so
+    // asynchronous commit never loses to synchronous commit.
+    double wal_service = sc_off
+                             ? std::min(fsync_ms * 0.06,
+                                        0.5 * fsync_ms / batch)
+                             : fsync_ms / batch;
+    // With async commit the WAL writer's flush cadence matters.
+    if (sc_off) {
+      double wwfa = k.Get("wal_writer_flush_after", 128);
+      if (wwfa == 0.0) wal_service *= 1.8;
+    }
+    double wal_bytes_ms = wal_kb_eff * kWalBandwidthMsPerKb;
+    wal_latency = w.wal_sensitivity * write_frac *
+                  (wal_service + buffer_stall + wal_bytes_ms + delay_added);
+
+    // Disk time: reads/spills plus background vacuum and checkpoint
+    // writes that steal device time from foreground work.
+    io_latency = io_ms_base +
+                 (vac_io_per_txn + ckpt_io_per_txn * 0.5) * kSsdIoServiceMs;
+
+    double bloat_mult = 1.0 + bloat;
+    // Frequent, bursty checkpoints also depress mean throughput.
+    double ckpt_mult = 1.0 + 0.2 * ckpt_spike;
+    double new_latency = (cpu_ms + io_latency + wal_latency + lock_ms +
+                          out.writeback_ms + base_const_ms) *
+                         bloat_mult * ckpt_mult * tail;
+    latency = 0.5 * latency + 0.5 * new_latency;
+  }
+
+  out.cpu_ms = cpu_ms;
+  out.io_ms = io_latency;
+  out.wal_ms = wal_latency;
+  out.lock_ms = lock_ms;
+  out.vacuum_ms = latency * bloat / (1.0 + bloat);
+  out.checkpoint_ms = ckpt_io_per_txn * kSsdIoServiceMs;
+  out.total_ms = latency;
+  out.spike_factor += ckpt_spike * 2.2;
+  out.wal_kb_per_txn = wal_kb_eff;
+  out.wal_fsyncs_per_txn = sc_off ? 0.06 : write_frac / batch;
+  out.checkpoints_per_min = ckpt_per_min;
+  out.checkpoints_req_per_min = ckpt_req_per_min;
+  return out;
+}
+
+ModelOutput PerfModel::Assemble(const LatencyBreakdown& b,
+                                double throughput) const {
+  ModelOutput out;
+  out.throughput = throughput;
+  out.avg_latency_ms = b.total_ms * time_scale_;
+  out.p95_latency_ms = out.avg_latency_ms * (1.7 + b.spike_factor);
+
+  const WorkloadSpec& w = workload_;
+  RunCounters& c = out.counters;
+  double x = throughput;  // txn/s
+  c.throughput = x * (1.0 - b.abort_fraction);
+  c.rollback_rate = x * b.abort_fraction;
+  double pages_s = x * w.pages_per_txn;
+  c.blks_hit_per_s = pages_s * b.buffer_hit_rate;
+  c.blks_read_per_s = pages_s * (1.0 - b.buffer_hit_rate);
+  c.tup_returned_per_s = x * w.pages_per_txn * 20.0;
+  c.tup_fetched_per_s = x * w.pages_per_txn * 4.0;
+  double wf = 1.0 - w.read_only_txn_fraction;
+  c.tup_inserted_per_s = x * wf * w.rows_written * 0.4;
+  c.tup_updated_per_s = x * wf * w.rows_written * 0.5;
+  c.tup_deleted_per_s = x * wf * w.rows_written * 0.1;
+  c.conflicts_per_s = x * w.contention * wf * 0.1;
+  c.deadlocks_per_s = x * w.contention * wf * 0.001;
+  c.temp_files_per_s = x * b.spill_fraction * 0.2;
+  c.temp_bytes_per_s = c.temp_files_per_s * 8.0 * 1024 * 1024;
+  c.blk_read_time_ms_per_s = x * b.io_ms;
+  c.blk_write_time_ms_per_s = x * (b.writeback_ms + b.checkpoint_ms);
+  c.buffers_checkpoint_per_s = x * b.checkpoint_ms / kSsdIoServiceMs;
+  c.buffers_clean_per_s = x * wf * w.rows_written * 0.3;
+  c.buffers_backend_per_s = x * wf * w.rows_written * 0.2;
+  c.checkpoints_timed_per_min =
+      std::max(0.0, b.checkpoints_per_min - b.checkpoints_req_per_min);
+  c.checkpoints_req_per_min = b.checkpoints_req_per_min;
+  c.wal_bytes_per_s = x * wf * b.wal_kb_per_txn * 1024.0;
+  c.wal_fsyncs_per_s = x * b.wal_fsyncs_per_txn;
+  c.avg_latency_ms = out.avg_latency_ms;
+  c.p95_latency_ms = out.p95_latency_ms;
+  c.cpu_utilization = Clamp(x * b.cpu_ms / 1000.0 / kNumCores, 0.0, 1.0);
+  c.io_utilization = Clamp(
+      x * (b.io_ms + b.checkpoint_ms) / 1000.0, 0.0, 1.0);
+  c.lock_wait_ms_per_s = x * b.lock_ms;
+  return out;
+}
+
+ModelOutput PerfModel::Run(const Configuration& config) const {
+  LatencyBreakdown b = ComputeLatency(config);
+  if (b.crashed) {
+    ModelOutput out;
+    out.crashed = true;
+    out.crash_reason = b.crash_reason;
+    return out;
+  }
+  double latency_ms = b.total_ms * time_scale_;
+  double throughput = static_cast<double>(workload_.clients) * 1000.0 /
+                      latency_ms;
+  return Assemble(b, throughput);
+}
+
+ModelOutput PerfModel::RunAtFixedRate(const Configuration& config,
+                                      double requests_per_second) const {
+  LatencyBreakdown b = ComputeLatency(config);
+  if (b.crashed) {
+    ModelOutput out;
+    out.crashed = true;
+    out.crash_reason = b.crash_reason;
+    return out;
+  }
+  double latency_ms = b.total_ms * time_scale_;
+  double max_throughput =
+      static_cast<double>(workload_.clients) * 1000.0 / latency_ms;
+  ModelOutput out = Assemble(b, std::min(requests_per_second, max_throughput));
+  double rho = requests_per_second / max_throughput;
+  if (rho >= 0.98) {
+    // Overloaded: queues grow for the whole run.
+    out.p95_latency_ms = out.avg_latency_ms * 25.0;
+    out.avg_latency_ms *= 8.0;
+  } else {
+    double queue = 1.0 + 0.6 * rho / (1.0 - rho);
+    out.avg_latency_ms *= (0.75 + 0.25 * queue);
+    out.p95_latency_ms =
+        out.avg_latency_ms * (1.55 + b.spike_factor) * queue;
+  }
+  out.counters.avg_latency_ms = out.avg_latency_ms;
+  out.counters.p95_latency_ms = out.p95_latency_ms;
+  return out;
+}
+
+}  // namespace dbsim
+}  // namespace llamatune

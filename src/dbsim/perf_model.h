@@ -1,0 +1,121 @@
+#pragma once
+
+#include <string>
+
+#include "src/dbsim/knob_catalog.h"
+#include "src/dbsim/metrics.h"
+#include "src/dbsim/workloads.h"
+#include "src/knobs/config_space.h"
+#include "src/knobs/configuration.h"
+
+namespace llamatune {
+namespace dbsim {
+
+/// \brief Noise-free output of one simulated workload run.
+struct ModelOutput {
+  bool crashed = false;
+  std::string crash_reason;
+  double throughput = 0.0;      ///< committed txns / sec
+  double avg_latency_ms = 0.0;  ///< mean per-transaction latency
+  double p95_latency_ms = 0.0;  ///< tail latency (open-loop estimate)
+  RunCounters counters;
+};
+
+/// \brief Typed view over a Configuration with name-based access and
+/// catalog-default fallback for knobs absent from a given version.
+class KnobView {
+ public:
+  KnobView(const ConfigSpace* space, const Configuration* config)
+      : space_(space), config_(config) {}
+
+  /// Numeric value of `name`, or `fallback` when the knob is absent.
+  double Get(const std::string& name, double fallback = 0.0) const;
+
+  /// Categorical knob as its category string ("" when absent).
+  std::string GetCategory(const std::string& name) const;
+
+  /// Boolean knob ("on"/"off" categorical) as bool.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  bool Has(const std::string& name) const;
+
+ private:
+  const ConfigSpace* space_;
+  const Configuration* config_;
+};
+
+/// \brief White-box analytic performance model of a PostgreSQL
+/// instance on the paper's testbed (10-core Xeon, 16 GB RAM, SATA
+/// SSD), serving 40 closed-loop clients.
+///
+/// The model composes per-transaction latency from buffer-pool /
+/// OS-cache hit rates under Zipfian skew, WAL flush + group commit,
+/// checkpoint pressure, backend writeback interference, autovacuum
+/// overhead vs. bloat, lock contention, planner quality, JIT and
+/// parallel-query effects — each gated by the workload's sensitivity
+/// profile so that only ~8-12 knobs materially matter per workload.
+///
+/// Crashes: configurations that exceed RAM (shared_buffers + per-
+/// client work memory), configure fewer connections than clients, or
+/// starve the lock table, report crashed=true.
+///
+/// The model is deterministic; run-to-run noise is added by
+/// SimulatedPostgres on top.
+class PerfModel {
+ public:
+  PerfModel(const ConfigSpace* space, WorkloadSpec workload,
+            PostgresVersion version);
+
+  /// Evaluates one configuration (closed-loop, fixed client count).
+  ModelOutput Run(const Configuration& config) const;
+
+  /// Evaluates under a fixed arrival rate (open-loop), for tail-latency
+  /// tuning targets (paper §6.2 "Optimizing for Tail Latency").
+  ModelOutput RunAtFixedRate(const Configuration& config,
+                             double requests_per_second) const;
+
+  const WorkloadSpec& workload() const { return workload_; }
+  PostgresVersion version() const { return version_; }
+
+  /// Hardware constants of the simulated testbed.
+  static constexpr double kRamGb = 16.0;
+  static constexpr double kNumCores = 10.0;
+  static constexpr double kPageReadMs = 0.08;   ///< SSD random 8kB read
+  static constexpr double kFsyncMs = 2.0;       ///< SATA SSD fsync latency
+
+ private:
+  struct LatencyBreakdown {
+    bool crashed = false;
+    std::string crash_reason;
+    double cpu_ms = 0.0;
+    double io_ms = 0.0;
+    double wal_ms = 0.0;
+    double writeback_ms = 0.0;
+    double checkpoint_ms = 0.0;
+    double vacuum_ms = 0.0;
+    double lock_ms = 0.0;
+    double total_ms = 0.0;
+    double spike_factor = 0.0;  ///< adds to the p95/avg ratio
+    double buffer_hit_rate = 0.0;
+    double wal_kb_per_txn = 0.0;
+    double wal_fsyncs_per_txn = 0.0;
+    double checkpoints_per_min = 0.0;
+    double checkpoints_req_per_min = 0.0;
+    double spill_fraction = 0.0;
+    double abort_fraction = 0.0;
+  };
+
+  LatencyBreakdown ComputeLatency(const Configuration& config) const;
+  ModelOutput Assemble(const LatencyBreakdown& breakdown,
+                       double throughput) const;
+
+  const ConfigSpace* space_;
+  WorkloadSpec workload_;
+  PostgresVersion version_;
+  /// Calibration factor making the default configuration hit the
+  /// workload's default_throughput anchor.
+  double time_scale_ = 1.0;
+};
+
+}  // namespace dbsim
+}  // namespace llamatune

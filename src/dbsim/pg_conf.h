@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "src/knobs/config_space.h"
+
+namespace llamatune {
+namespace dbsim {
+
+/// \brief Renders a Configuration as postgresql.conf content.
+///
+/// Numeric knobs are emitted with their catalog unit suffix (e.g.
+/// `shared_buffers = 786432` pages is written as `shared_buffers =
+/// 6GB` when the unit is 8kB and the value is round), categorical
+/// knobs as their category string. This is the hand-off artifact a
+/// deployment would apply to the real server after tuning.
+std::string EmitPostgresConf(const ConfigSpace& space,
+                             const Configuration& config);
+
+/// \brief Formats one knob value with unit handling (exposed for
+/// tests).
+std::string FormatKnobValue(const KnobSpec& spec, double value);
+
+}  // namespace dbsim
+}  // namespace llamatune

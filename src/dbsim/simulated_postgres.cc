@@ -1,0 +1,71 @@
+#include "src/dbsim/simulated_postgres.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/dbsim/des/des_engine.h"
+
+namespace llamatune {
+namespace dbsim {
+
+SimulatedPostgres::SimulatedPostgres(WorkloadSpec workload,
+                                     SimulatedPostgresOptions options)
+    : space_(CatalogFor(options.version)), options_(options) {
+  model_ = std::make_unique<PerfModel>(&space_, std::move(workload),
+                                       options_.version);
+}
+
+ModelOutput SimulatedPostgres::RunNoiseless(const Configuration& config) const {
+  if (options_.target == TuningTarget::kP95Latency) {
+    return model_->RunAtFixedRate(config, options_.fixed_rate);
+  }
+  return model_->Run(config);
+}
+
+EvalResult SimulatedPostgres::Evaluate(const Configuration& config) {
+  int eval_index = eval_count_++;
+  ModelOutput out = RunNoiseless(config);
+  EvalResult result;
+  if (out.crashed) {
+    result.crashed = true;
+    result.metrics.assign(kNumMetrics, 0.0);
+    return result;
+  }
+  if (options_.engine == EngineKind::kDiscreteEvent) {
+    // Execute the run transaction-by-transaction: throughput and tail
+    // latency are measured, and run-to-run noise is inherent in the
+    // sampled transaction stream (no synthetic noise on top).
+    des::DesOptions des_options;
+    des_options.max_transactions = options_.des_transactions;
+    des_options.seed = HashCombine(
+        HashCombine(options_.noise_seed, config.Hash()),
+        static_cast<uint64_t>(eval_index));
+    des::DesResult run = des::SimulateRun(out, model_->workload(),
+                                          des_options);
+    result.value = options_.target == TuningTarget::kThroughput
+                       ? run.throughput
+                       : run.p95_latency_ms;
+    RunCounters counters = out.counters;
+    counters.avg_latency_ms = run.avg_latency_ms;
+    counters.p95_latency_ms = run.p95_latency_ms;
+    result.metrics = CountersToMetrics(counters);
+    return result;
+  }
+  double noise = 1.0;
+  if (options_.noise_sigma > 0.0) {
+    Rng rng(HashCombine(HashCombine(options_.noise_seed, config.Hash()),
+                        static_cast<uint64_t>(eval_index)));
+    noise = std::exp(rng.Gaussian(0.0, options_.noise_sigma));
+  }
+  if (options_.target == TuningTarget::kThroughput) {
+    result.value = out.throughput * noise;
+  } else {
+    // Latency noise is heavier-tailed than throughput noise.
+    result.value = out.p95_latency_ms * std::pow(noise, 1.5);
+  }
+  result.metrics = CountersToMetrics(out.counters);
+  return result;
+}
+
+}  // namespace dbsim
+}  // namespace llamatune

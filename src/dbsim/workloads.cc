@@ -1,0 +1,162 @@
+#include "src/dbsim/workloads.h"
+
+namespace llamatune {
+namespace dbsim {
+
+WorkloadSpec YcsbA() {
+  WorkloadSpec w;
+  w.name = "YCSB-A";
+  w.num_tables = 1;
+  w.num_columns = 11;
+  w.read_only_txn_fraction = 0.50;
+  w.zipf_theta = 0.9;
+  w.working_set_gb = 7.0;
+  w.pages_per_txn = 3.0;
+  w.rows_written = 1.0;
+  w.wal_kb_per_txn = 1.5;
+  w.base_cpu_ms = 0.45;
+  w.contention = 0.25;
+  w.planner_complexity = 0.05;
+  w.scan_fraction = 0.0;
+  w.mem_sensitivity = 1.0;
+  w.wal_sensitivity = 1.0;
+  w.writeback_sensitivity = 0.05;
+  w.vacuum_sensitivity = 0.8;
+  w.default_throughput = 13600.0;
+  return w;
+}
+
+WorkloadSpec YcsbB() {
+  WorkloadSpec w;
+  w.name = "YCSB-B";
+  w.num_tables = 1;
+  w.num_columns = 11;
+  w.read_only_txn_fraction = 0.95;
+  w.zipf_theta = 0.9;
+  w.working_set_gb = 7.0;
+  w.pages_per_txn = 2.5;
+  w.rows_written = 1.0;
+  w.wal_kb_per_txn = 1.5;
+  w.base_cpu_ms = 0.10;
+  w.contention = 0.05;
+  w.planner_complexity = 0.05;
+  w.scan_fraction = 0.0;
+  w.mem_sensitivity = 0.5;
+  w.wal_sensitivity = 0.35;
+  // The headline hybrid-knob workload: kernel writeback interference
+  // dominates unless backend_flush_after's special value disables
+  // forced writeback (paper Fig. 4).
+  w.writeback_sensitivity = 1.2;
+  w.vacuum_sensitivity = 0.25;
+  w.default_throughput = 61000.0;
+  return w;
+}
+
+WorkloadSpec TpcC() {
+  WorkloadSpec w;
+  w.name = "TPC-C";
+  w.num_tables = 9;
+  w.num_columns = 92;
+  w.read_only_txn_fraction = 0.08;
+  w.zipf_theta = 0.4;
+  w.working_set_gb = 10.0;
+  w.pages_per_txn = 18.0;
+  w.rows_written = 12.0;
+  w.wal_kb_per_txn = 10.0;
+  w.base_cpu_ms = 2.5;
+  w.contention = 0.55;
+  w.planner_complexity = 0.45;
+  w.scan_fraction = 0.05;
+  w.mem_sensitivity = 0.7;
+  w.wal_sensitivity = 1.0;
+  w.writeback_sensitivity = 0.1;
+  w.vacuum_sensitivity = 1.0;
+  w.default_throughput = 1450.0;
+  return w;
+}
+
+WorkloadSpec Seats() {
+  WorkloadSpec w;
+  w.name = "SEATS";
+  w.num_tables = 10;
+  w.num_columns = 189;
+  w.read_only_txn_fraction = 0.45;
+  w.zipf_theta = 0.6;
+  w.working_set_gb = 9.0;
+  w.pages_per_txn = 10.0;
+  w.rows_written = 4.0;
+  w.wal_kb_per_txn = 5.0;
+  w.base_cpu_ms = 1.3;
+  w.contention = 0.35;
+  w.planner_complexity = 0.6;
+  w.scan_fraction = 0.15;
+  w.mem_sensitivity = 0.6;
+  w.wal_sensitivity = 0.8;
+  w.writeback_sensitivity = 0.08;
+  w.vacuum_sensitivity = 0.7;
+  w.default_throughput = 5600.0;
+  return w;
+}
+
+WorkloadSpec Twitter() {
+  WorkloadSpec w;
+  w.name = "Twitter";
+  w.num_tables = 5;
+  w.num_columns = 18;
+  w.read_only_txn_fraction = 0.01;
+  w.zipf_theta = 0.95;  // public traces: heavily skewed
+  w.working_set_gb = 4.0;
+  w.pages_per_txn = 2.0;
+  w.rows_written = 1.2;
+  w.wal_kb_per_txn = 1.0;
+  w.base_cpu_ms = 0.08;
+  w.contention = 0.3;
+  w.planner_complexity = 0.15;
+  w.scan_fraction = 0.0;
+  w.mem_sensitivity = 0.4;
+  w.wal_sensitivity = 0.9;
+  w.writeback_sensitivity = 0.12;
+  w.vacuum_sensitivity = 0.6;
+  w.default_throughput = 83000.0;
+  return w;
+}
+
+WorkloadSpec ResourceStresser() {
+  WorkloadSpec w;
+  w.name = "RS";
+  w.num_tables = 4;
+  w.num_columns = 23;
+  w.read_only_txn_fraction = 0.33;
+  w.zipf_theta = 0.0;  // uniform: deliberately cache-unfriendly
+  w.working_set_gb = 18.0;
+  w.pages_per_txn = 6.0;
+  w.rows_written = 2.0;
+  w.wal_kb_per_txn = 2.0;
+  // Synthetic independent contention on CPU, I/O and locks: most of
+  // the time is fixed CPU burn, so knob tuning has little headroom
+  // (paper: total gains over default only ~10%).
+  w.base_cpu_ms = 6.4;
+  w.contention = 0.5;
+  w.planner_complexity = 0.0;
+  w.scan_fraction = 0.0;
+  w.mem_sensitivity = 0.15;
+  w.wal_sensitivity = 0.25;
+  w.writeback_sensitivity = 0.02;
+  w.vacuum_sensitivity = 0.2;
+  w.default_throughput = 4700.0;
+  return w;
+}
+
+std::vector<WorkloadSpec> AllWorkloads() {
+  return {YcsbA(), YcsbB(), TpcC(), Seats(), Twitter(), ResourceStresser()};
+}
+
+Result<WorkloadSpec> WorkloadByName(const std::string& name) {
+  for (const WorkloadSpec& w : AllWorkloads()) {
+    if (w.name == name) return w;
+  }
+  return Status::NotFound("unknown workload '" + name + "'");
+}
+
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace llamatune {
+namespace dbsim {
+
+/// \brief Static description of one OLTP workload (paper Table 4 plus
+/// the sensitivity profile that drives the performance model).
+///
+/// The sensitivity fields encode *which knob groups matter and how
+/// much* for this workload — the mechanism by which the simulator
+/// earns the paper's two structural premises: (i) low effective
+/// dimensionality (each workload responds strongly to ~8-12 knobs) and
+/// (ii) workload-dependent importance (so important-knob sets do not
+/// transfer across workloads, Fig. 2b).
+struct WorkloadSpec {
+  std::string name;
+
+  // --- Table 4 properties.
+  int num_tables = 1;
+  int num_columns = 11;
+  double read_only_txn_fraction = 0.5;
+
+  // --- Access pattern.
+  double zipf_theta = 0.8;      ///< key-access skew (0 = uniform)
+  double working_set_gb = 6.0;  ///< hot data size
+  double db_size_gb = 20.0;     ///< paper: all databases are 20 GB
+  double pages_per_txn = 4.0;   ///< heap+index pages touched per txn
+  double rows_written = 1.0;    ///< rows modified per (write) txn
+  double wal_kb_per_txn = 2.0;  ///< WAL volume per write txn
+
+  // --- Cost profile.
+  double base_cpu_ms = 0.5;       ///< pure CPU time per txn at default
+  double contention = 0.1;        ///< row/lock conflict propensity [0,1]
+  double planner_complexity = 0.0;  ///< join/plan sensitivity [0,1]
+  double scan_fraction = 0.0;     ///< share of work in scans (parallel)
+
+  // --- Knob-group sensitivities [0,1]-ish multipliers.
+  double mem_sensitivity = 1.0;        ///< buffer pool / cache response
+  double wal_sensitivity = 1.0;        ///< commit path response
+  double writeback_sensitivity = 0.0;  ///< backend_flush_after response
+  double vacuum_sensitivity = 0.5;     ///< autovacuum / bloat response
+
+  // --- Execution setup (paper §6.1).
+  int clients = 40;
+
+  /// Calibration target: approximate throughput (req/s) of the default
+  /// configuration, anchoring absolute numbers near the paper's plots.
+  double default_throughput = 10000.0;
+};
+
+/// \name Workload factories (paper Table 4)
+/// @{
+WorkloadSpec YcsbA();     ///< 50/50 read-write key-value, zipfian
+WorkloadSpec YcsbB();     ///< 95/5 read-heavy key-value, zipfian
+WorkloadSpec TpcC();      ///< order processing, 9 tables, write-heavy
+WorkloadSpec Seats();     ///< airline ticketing, 10 tables
+WorkloadSpec Twitter();   ///< micro-blogging, 5 tables, skewed
+WorkloadSpec ResourceStresser();  ///< synthetic CPU/IO/lock contention
+/// @}
+
+/// All six paper workloads in Table 4 order.
+std::vector<WorkloadSpec> AllWorkloads();
+
+/// Lookup by (case-sensitive) name: "YCSB-A", "YCSB-B", "TPC-C",
+/// "SEATS", "Twitter", "RS".
+Result<WorkloadSpec> WorkloadByName(const std::string& name);
+
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,68 @@
+#include "src/harness/csv.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace llamatune {
+namespace harness {
+
+std::string CurvesToCsv(const std::vector<std::string>& labels,
+                        const std::vector<CurveSummary>& curves) {
+  std::ostringstream out;
+  out << "iteration";
+  for (const std::string& label : labels) {
+    out << "," << label << "_mean," << label << "_p5," << label << "_p95";
+  }
+  out << "\n";
+  size_t len = 0;
+  for (const CurveSummary& c : curves) len = std::max(len, c.mean.size());
+  for (size_t i = 0; i < len; ++i) {
+    out << (i + 1);
+    for (const CurveSummary& c : curves) {
+      if (i < c.mean.size()) {
+        out << "," << c.mean[i] << "," << c.lo[i] << "," << c.hi[i];
+      } else {
+        out << ",,,";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string SeedCurvesToCsv(const std::vector<std::vector<double>>& curves) {
+  std::ostringstream out;
+  out << "iteration";
+  for (size_t s = 0; s < curves.size(); ++s) out << ",seed" << s;
+  out << "\n";
+  size_t len = 0;
+  for (const auto& c : curves) len = std::max(len, c.size());
+  for (size_t i = 0; i < len; ++i) {
+    out << (i + 1);
+    for (const auto& c : curves) {
+      if (i < c.size()) {
+        out << "," << c[i];
+      } else {
+        out << ",";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  if (written != content.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace harness
+}  // namespace llamatune

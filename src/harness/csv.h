@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/harness/experiment.h"
+
+namespace llamatune {
+namespace harness {
+
+/// \brief Renders labelled best-so-far curve summaries as CSV
+/// (iteration, then mean/lo/hi per series) — the plottable artifact
+/// behind each figure bench.
+std::string CurvesToCsv(const std::vector<std::string>& labels,
+                        const std::vector<CurveSummary>& curves);
+
+/// \brief Renders per-seed raw curves (iteration, seed0..seedN).
+std::string SeedCurvesToCsv(const std::vector<std::vector<double>>& curves);
+
+/// \brief Writes `content` to `path`. Fails with an error Status on
+/// I/O problems.
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace harness
+}  // namespace llamatune

@@ -1,0 +1,182 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/math_util.h"
+#include "src/dbsim/metrics.h"
+#include "src/optimizer/best_config.h"
+#include "src/optimizer/ddpg.h"
+#include "src/optimizer/gp_bo.h"
+#include "src/optimizer/random_search.h"
+#include "src/optimizer/smac.h"
+
+namespace llamatune {
+namespace harness {
+
+const char* OptimizerKindName(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSmac:
+      return "SMAC";
+    case OptimizerKind::kGpBo:
+      return "GP-BO";
+    case OptimizerKind::kDdpg:
+      return "DDPG";
+    case OptimizerKind::kRandom:
+      return "Random";
+    case OptimizerKind::kBestConfig:
+      return "BestConfig";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         const SearchSpace& space,
+                                         uint64_t seed) {
+  switch (kind) {
+    case OptimizerKind::kSmac:
+      return std::make_unique<SmacOptimizer>(space, SmacOptions{}, seed);
+    case OptimizerKind::kGpBo:
+      return std::make_unique<GpBoOptimizer>(space, GpBoOptions{}, seed);
+    case OptimizerKind::kDdpg: {
+      DdpgOptions options;
+      options.state_dim = dbsim::kNumMetrics;
+      return std::make_unique<DdpgOptimizer>(space, options, seed);
+    }
+    case OptimizerKind::kRandom:
+      return std::make_unique<RandomSearchOptimizer>(space, seed);
+    case OptimizerKind::kBestConfig:
+      return std::make_unique<BestConfigOptimizer>(space,
+                                                   BestConfigOptions{}, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MultiSeedResult RunExperiment(const ExperimentSpec& spec) {
+  MultiSeedResult result;
+  for (int s = 0; s < spec.num_seeds; ++s) {
+    uint64_t seed = spec.base_seed + static_cast<uint64_t>(s) * 1000003ULL;
+
+    dbsim::SimulatedPostgresOptions db_options;
+    db_options.version = spec.version;
+    db_options.target = spec.target;
+    db_options.fixed_rate = spec.fixed_rate;
+    db_options.noise_seed = seed;
+    dbsim::SimulatedPostgres objective(spec.workload, db_options);
+
+    std::unique_ptr<SpaceAdapter> adapter;
+    if (spec.use_llamatune) {
+      LlamaTuneOptions lt = spec.llamatune;
+      // The projection matrix is regenerated per session seed (paper:
+      // "different random seeds as input to our optimizer").
+      lt.projection_seed = seed;
+      adapter = std::make_unique<LlamaTuneAdapter>(&objective.config_space(),
+                                                   lt);
+    } else {
+      adapter = std::make_unique<IdentityAdapter>(&objective.config_space(),
+                                                  spec.identity);
+    }
+
+    std::unique_ptr<Optimizer> optimizer =
+        MakeOptimizer(spec.optimizer, adapter->search_space(), seed);
+
+    SessionOptions session_options;
+    session_options.num_iterations = spec.num_iterations;
+    session_options.early_stopping = spec.early_stopping;
+    TuningSession session(&objective, adapter.get(), optimizer.get(),
+                          session_options);
+    SessionResult session_result = session.Run();
+
+    result.objective_curves.push_back(
+        session_result.kb.BestSoFarObjective());
+    result.measured_curves.push_back(session_result.kb.BestSoFarMeasured());
+    result.mean_optimizer_seconds += session_result.optimizer_seconds;
+    result.sessions.push_back(std::move(session_result));
+  }
+  int n = static_cast<int>(result.sessions.size());
+  if (n > 0) {
+    double obj = 0.0, meas = 0.0;
+    for (const auto& curve : result.objective_curves) obj += curve.back();
+    for (const auto& curve : result.measured_curves) meas += curve.back();
+    result.mean_final_objective = obj / n;
+    result.mean_final_measured = meas / n;
+    result.mean_optimizer_seconds /= n;
+  }
+  return result;
+}
+
+Comparison Compare(const MultiSeedResult& baseline,
+                   const MultiSeedResult& treatment) {
+  Comparison cmp;
+  double baseline_final = baseline.mean_final_objective;
+  double denom = std::max(std::abs(baseline_final), 1e-12);
+
+  std::vector<double> improvements;
+  std::vector<double> speedups;
+  std::vector<double> iters;
+  for (const auto& curve : treatment.objective_curves) {
+    improvements.push_back((curve.back() - baseline_final) / denom * 100.0);
+    int total = static_cast<int>(curve.size());
+    int first = total;  // 1-based iteration of first crossing
+    for (int i = 0; i < total; ++i) {
+      if (curve[i] >= baseline_final) {
+        first = i + 1;
+        break;
+      }
+    }
+    iters.push_back(first);
+    speedups.push_back(static_cast<double>(total) / first);
+  }
+  cmp.mean_improvement_pct = Mean(improvements);
+  cmp.improvement_ci_lo = Percentile(improvements, 5.0);
+  cmp.improvement_ci_hi = Percentile(improvements, 95.0);
+  cmp.mean_speedup = Mean(speedups);
+  cmp.speedup_ci_lo = Percentile(speedups, 5.0);
+  cmp.speedup_ci_hi = Percentile(speedups, 95.0);
+  cmp.mean_iterations_to_optimal = Mean(iters);
+  return cmp;
+}
+
+CurveSummary SummarizeCurves(const std::vector<std::vector<double>>& curves) {
+  CurveSummary summary;
+  if (curves.empty()) return summary;
+  size_t len = curves[0].size();
+  for (const auto& curve : curves) len = std::min(len, curve.size());
+  summary.mean.resize(len);
+  summary.lo.resize(len);
+  summary.hi.resize(len);
+  for (size_t i = 0; i < len; ++i) {
+    std::vector<double> column;
+    column.reserve(curves.size());
+    for (const auto& curve : curves) column.push_back(curve[i]);
+    summary.mean[i] = Mean(column);
+    summary.lo[i] = Percentile(column, 5.0);
+    summary.hi[i] = Percentile(column, 95.0);
+  }
+  return summary;
+}
+
+std::vector<int> ConvergenceMapping(const CurveSummary& treatment,
+                                    const CurveSummary& baseline) {
+  std::vector<int> mapping(treatment.mean.size());
+  int blen = static_cast<int>(baseline.mean.size());
+  for (size_t i = 0; i < treatment.mean.size(); ++i) {
+    int found = blen;
+    for (int j = 0; j < blen; ++j) {
+      if (baseline.mean[j] >= treatment.mean[i]) {
+        found = j + 1;
+        break;
+      }
+    }
+    mapping[i] = found;
+  }
+  return mapping;
+}
+
+}  // namespace harness
+}  // namespace llamatune

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/identity_adapter.h"
+#include "src/core/llamatune_adapter.h"
+#include "src/core/tuning_session.h"
+#include "src/dbsim/simulated_postgres.h"
+
+namespace llamatune {
+namespace harness {
+
+/// \brief Which optimizer drives the session.
+enum class OptimizerKind { kSmac, kGpBo, kDdpg, kRandom, kBestConfig };
+
+const char* OptimizerKindName(OptimizerKind kind);
+
+/// \brief A full experiment cell: one (workload, optimizer, adapter,
+/// target, version) combination run over several seeds with the
+/// paper's session settings (100 iterations, 10 LHS init, crash
+/// penalty, 5 seeds).
+struct ExperimentSpec {
+  dbsim::WorkloadSpec workload;
+  dbsim::PostgresVersion version = dbsim::PostgresVersion::kV96;
+  dbsim::TuningTarget target = dbsim::TuningTarget::kThroughput;
+  double fixed_rate = 0.0;  ///< req/s, latency target only
+
+  OptimizerKind optimizer = OptimizerKind::kSmac;
+  /// false: IdentityAdapter (vanilla baseline); true: LlamaTuneAdapter.
+  bool use_llamatune = false;
+  LlamaTuneOptions llamatune;
+  IdentityAdapterOptions identity;
+
+  int num_iterations = 100;
+  int num_seeds = 5;
+  uint64_t base_seed = 42;
+  std::optional<EarlyStoppingPolicy> early_stopping;
+};
+
+/// \brief Aggregated outcome across seeds.
+struct MultiSeedResult {
+  std::vector<SessionResult> sessions;
+  /// Per-seed best-so-far curves of the *internal objective*
+  /// (maximize convention; negate for latency presentation).
+  std::vector<std::vector<double>> objective_curves;
+  /// Per-seed best-so-far curves of the measured metric.
+  std::vector<std::vector<double>> measured_curves;
+  double mean_final_objective = 0.0;
+  double mean_final_measured = 0.0;
+  double mean_optimizer_seconds = 0.0;
+};
+
+/// Runs every seed of the experiment cell.
+MultiSeedResult RunExperiment(const ExperimentSpec& spec);
+
+/// \brief Paper-style treatment-vs-baseline summary: final-performance
+/// improvement and time-to-optimal speedup, with [5%, 95%] CIs over
+/// seeds (paper Tables 5-9).
+struct Comparison {
+  double mean_improvement_pct = 0.0;
+  double improvement_ci_lo = 0.0;
+  double improvement_ci_hi = 0.0;
+  double mean_speedup = 0.0;
+  double speedup_ci_lo = 0.0;
+  double speedup_ci_hi = 0.0;
+  /// Mean earliest iteration at which the treatment beats the
+  /// baseline's final optimum (paper's bracketed "[N iter]").
+  double mean_iterations_to_optimal = 0.0;
+};
+
+Comparison Compare(const MultiSeedResult& baseline,
+                   const MultiSeedResult& treatment);
+
+/// Mean and [5, 95] percentile envelope across per-seed curves,
+/// truncated to the shortest curve.
+struct CurveSummary {
+  std::vector<double> mean;
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+
+CurveSummary SummarizeCurves(const std::vector<std::vector<double>>& curves);
+
+/// Fig. 10 helper: for each treatment iteration, the earliest baseline
+/// iteration reaching the same mean best-so-far (clamped to the curve
+/// length when the baseline never reaches it).
+std::vector<int> ConvergenceMapping(const CurveSummary& treatment,
+                                    const CurveSummary& baseline);
+
+}  // namespace harness
+}  // namespace llamatune

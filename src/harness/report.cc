@@ -1,0 +1,83 @@
+#include "src/harness/report.h"
+
+#include <cstdio>
+
+namespace llamatune {
+namespace harness {
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintComparisonTable(const std::string& title,
+                          const std::string& metric_name,
+                          const std::vector<ComparisonRow>& rows) {
+  PrintHeader(title);
+  std::printf("%-10s | %s            | Time-to-Optimal Speedup\n", "Workload",
+              metric_name.c_str());
+  std::printf("%-10s | %-10s %-18s | %-18s %s\n", "", "Average",
+              "[5%, 95%] CI", "Average", "[5%, 95%] CI");
+  std::printf("-----------+--------------------------------+----------------"
+              "------------\n");
+  for (const ComparisonRow& row : rows) {
+    const Comparison& c = row.comparison;
+    std::printf(
+        "%-10s | %8.2f%%  [%6.2f%%, %6.2f%%] | %5.2fx [%3.0f iter]  "
+        "[%0.1fx, %0.1fx]\n",
+        row.label.c_str(), c.mean_improvement_pct, c.improvement_ci_lo,
+        c.improvement_ci_hi, c.mean_speedup, c.mean_iterations_to_optimal,
+        c.speedup_ci_lo, c.speedup_ci_hi);
+  }
+}
+
+void PrintCurves(const std::string& title,
+                 const std::vector<std::string>& labels,
+                 const std::vector<CurveSummary>& curves, int step) {
+  PrintHeader(title);
+  std::printf("%-6s", "iter");
+  for (const std::string& label : labels) std::printf(" | %-22s", label.c_str());
+  std::printf("\n");
+  size_t len = 0;
+  for (const CurveSummary& c : curves) len = std::max(len, c.mean.size());
+  for (size_t i = 0; i < len; i += step) {
+    size_t idx = (i == 0) ? step - 1 : i + step - 1;  // report end of window
+    idx = std::min(idx, len - 1);
+    std::printf("%-6zu", idx + 1);
+    for (const CurveSummary& c : curves) {
+      if (idx < c.mean.size()) {
+        std::printf(" | %9.1f [%8.1f,%8.1f]", c.mean[idx], c.lo[idx],
+                    c.hi[idx]);
+      } else {
+        std::printf(" | %-22s", "-");
+      }
+    }
+    std::printf("\n");
+    if (idx + 1 >= len) break;
+  }
+}
+
+void PrintConvergenceMapping(const std::string& title,
+                             const std::vector<std::string>& labels,
+                             const std::vector<std::vector<int>>& mappings,
+                             int step) {
+  PrintHeader(title);
+  std::printf("%-14s", "treat-iter");
+  for (const std::string& label : labels) std::printf(" %-10s", label.c_str());
+  std::printf("\n");
+  size_t len = 0;
+  for (const auto& m : mappings) len = std::max(len, m.size());
+  for (size_t i = step - 1; i < len; i += step) {
+    std::printf("%-14zu", i + 1);
+    for (const auto& m : mappings) {
+      if (i < m.size()) {
+        std::printf(" %-10d", m[i]);
+      } else {
+        std::printf(" %-10s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace harness
+}  // namespace llamatune

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace llamatune {
+namespace harness {
+
+/// \brief One row of a paper-style results table.
+struct ComparisonRow {
+  std::string label;
+  Comparison comparison;
+};
+
+/// Prints a Tables 5-9-style block: per-row final-performance
+/// improvement (mean + [5%, 95%] CI) and time-to-optimal speedup
+/// (mean + earliest iteration + CI). `metric_name` labels the left
+/// column pair (e.g. "Final Throughput Improvement").
+void PrintComparisonTable(const std::string& title,
+                          const std::string& metric_name,
+                          const std::vector<ComparisonRow>& rows);
+
+/// Prints best-so-far convergence series side by side (Figs. 2/3/6/7/
+/// 9/11), sampled every `step` iterations.
+void PrintCurves(const std::string& title,
+                 const std::vector<std::string>& labels,
+                 const std::vector<CurveSummary>& curves, int step = 10);
+
+/// Prints the Fig. 10 style mapping: treatment iteration -> earliest
+/// baseline iteration with equal performance.
+void PrintConvergenceMapping(const std::string& title,
+                             const std::vector<std::string>& labels,
+                             const std::vector<std::vector<int>>& mappings,
+                             int step = 10);
+
+/// Simple section header for bench output.
+void PrintHeader(const std::string& title);
+
+}  // namespace harness
+}  // namespace llamatune

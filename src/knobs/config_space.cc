@@ -1,0 +1,153 @@
+#include "src/knobs/config_space.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/math_util.h"
+
+namespace llamatune {
+
+namespace {
+
+// Effective log-domain lower bound: a positive min is used directly;
+// ranges that start at 0 or -1 (hybrid knobs) fall back to the first
+// positive regular value, or 1 when even that is non-positive.
+double LogLo(const KnobSpec& spec) {
+  if (spec.min_value > 0.0) return spec.min_value;
+  double regular = spec.RegularMin();
+  if (regular > 0.0) return regular;
+  return 1.0;
+}
+
+}  // namespace
+
+ConfigSpace::ConfigSpace(std::vector<KnobSpec> knobs)
+    : knobs_(std::move(knobs)) {
+  for (int i = 0; i < static_cast<int>(knobs_.size()); ++i) {
+    index_[knobs_[i].name] = i;
+    if (knobs_[i].is_hybrid()) hybrid_indices_.push_back(i);
+  }
+}
+
+Result<ConfigSpace> ConfigSpace::Create(std::vector<KnobSpec> knobs) {
+  if (knobs.empty()) {
+    return Status::InvalidArgument("config space needs at least one knob");
+  }
+  std::map<std::string, int> seen;
+  for (const KnobSpec& spec : knobs) {
+    Status st = spec.Validate();
+    if (!st.ok()) return st;
+    if (seen.count(spec.name) > 0) {
+      return Status::AlreadyExists("duplicate knob name '" + spec.name + "'");
+    }
+    seen[spec.name] = 1;
+  }
+  return ConfigSpace(std::move(knobs));
+}
+
+int ConfigSpace::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Configuration ConfigSpace::DefaultConfiguration() const {
+  std::vector<double> values(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    values[i] = knobs_[i].default_value;
+  }
+  return Configuration(std::move(values));
+}
+
+double ConfigSpace::UnitToValue(int knob_idx, double unit) const {
+  const KnobSpec& spec = knobs_[knob_idx];
+  double u = Clamp(unit, 0.0, 1.0);
+  if (spec.type == KnobType::kCategorical) {
+    // Equal-width bins over [0,1]; u == 1 falls in the last bin.
+    int n = static_cast<int>(spec.categories.size());
+    int bin = static_cast<int>(std::floor(u * n));
+    if (bin >= n) bin = n - 1;
+    return static_cast<double>(bin);
+  }
+  double value;
+  if (spec.log_scale) {
+    double lo = LogLo(spec);
+    double log_v = Rescale(u, 0.0, 1.0, std::log(lo), std::log(spec.max_value));
+    value = std::exp(log_v);
+    // The sub-1 head of the range (e.g. special value 0 or -1) maps
+    // from u == 0 exactly.
+    if (u == 0.0) value = spec.min_value;
+  } else {
+    value = Rescale(u, 0.0, 1.0, spec.min_value, spec.max_value);
+  }
+  return spec.Canonicalize(value);
+}
+
+double ConfigSpace::ValueToUnit(int knob_idx, double value) const {
+  const KnobSpec& spec = knobs_[knob_idx];
+  if (spec.type == KnobType::kCategorical) {
+    int n = static_cast<int>(spec.categories.size());
+    double idx = Clamp(std::floor(value), 0.0, n - 1.0);
+    return (idx + 0.5) / n;  // bucket midpoint
+  }
+  if (spec.log_scale) {
+    double lo = LogLo(spec);
+    double v = std::max(value, lo);
+    return Clamp(Rescale(std::log(v), std::log(lo), std::log(spec.max_value),
+                         0.0, 1.0),
+                 0.0, 1.0);
+  }
+  return Clamp(Rescale(value, spec.min_value, spec.max_value, 0.0, 1.0), 0.0,
+               1.0);
+}
+
+Configuration ConfigSpace::UnitPointToConfiguration(
+    const std::vector<double>& unit) const {
+  std::vector<double> values(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    values[i] = UnitToValue(static_cast<int>(i), unit[i]);
+  }
+  return Configuration(std::move(values));
+}
+
+Status ConfigSpace::ValidateConfiguration(const Configuration& config) const {
+  if (config.size() != num_knobs()) {
+    return Status::InvalidArgument("configuration size mismatch");
+  }
+  for (int i = 0; i < num_knobs(); ++i) {
+    const KnobSpec& spec = knobs_[i];
+    double v = config[i];
+    if (spec.type == KnobType::kCategorical) {
+      if (v < 0 || v >= static_cast<double>(spec.categories.size()) ||
+          v != std::floor(v)) {
+        return Status::OutOfRange("knob '" + spec.name +
+                                  "' category index invalid");
+      }
+    } else {
+      if (v < spec.min_value || v > spec.max_value) {
+        return Status::OutOfRange("knob '" + spec.name + "' out of range");
+      }
+      if (spec.type == KnobType::kInteger && v != std::llround(v)) {
+        return Status::InvalidArgument("knob '" + spec.name +
+                                       "' must be integral");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ConfigSpace::ToString(const Configuration& config) const {
+  std::ostringstream out;
+  for (int i = 0; i < num_knobs() && i < config.size(); ++i) {
+    const KnobSpec& spec = knobs_[i];
+    if (i > 0) out << ", ";
+    out << spec.name << "=";
+    if (spec.type == KnobType::kCategorical) {
+      out << spec.categories[static_cast<int>(config[i])];
+    } else {
+      out << config[i];
+    }
+  }
+  return out.str();
+}
+
+}  // namespace llamatune

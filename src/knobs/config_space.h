@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/knobs/configuration.h"
+#include "src/knobs/knob.h"
+
+namespace llamatune {
+
+/// \brief The full knob configuration space of a DBMS (paper's X_D).
+///
+/// Owns the ordered list of KnobSpecs and provides the unit-space
+/// conversions used throughout the pipeline: every knob's domain can be
+/// mapped to/from [0, 1] (min-max scaling for numerics — optionally in
+/// the log domain — and equal-width binning for categoricals, paper
+/// §3.3).
+class ConfigSpace {
+ public:
+  /// Validates every knob and checks name uniqueness.
+  static Result<ConfigSpace> Create(std::vector<KnobSpec> knobs);
+
+  int num_knobs() const { return static_cast<int>(knobs_.size()); }
+  const KnobSpec& knob(int i) const { return knobs_[i]; }
+  const std::vector<KnobSpec>& knobs() const { return knobs_; }
+
+  /// Index of the knob named `name`, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Indices of all hybrid knobs (knobs with special values).
+  const std::vector<int>& hybrid_knob_indices() const {
+    return hybrid_indices_;
+  }
+
+  /// The DBMS's untuned configuration.
+  Configuration DefaultConfiguration() const;
+
+  /// Converts a unit-space coordinate in [0,1] to a physical knob value
+  /// (rounded/typed). Categorical knobs bin [0,1] into equal-width
+  /// buckets, one per category.
+  double UnitToValue(int knob_idx, double unit) const;
+
+  /// Inverse of UnitToValue (bucket midpoint for categoricals).
+  double ValueToUnit(int knob_idx, double value) const;
+
+  /// Converts a full unit-space point to a Configuration.
+  Configuration UnitPointToConfiguration(const std::vector<double>& unit) const;
+
+  /// Per-knob validity: value in domain, correctly typed.
+  Status ValidateConfiguration(const Configuration& config) const;
+
+  /// Human-readable "name=value" listing (for logs and examples).
+  std::string ToString(const Configuration& config) const;
+
+ private:
+  explicit ConfigSpace(std::vector<KnobSpec> knobs);
+
+  std::vector<KnobSpec> knobs_;
+  std::map<std::string, int> index_;
+  std::vector<int> hybrid_indices_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,9 @@
+#include "src/knobs/configuration.h"
+
+#include "src/common/rng.h"
+
+namespace llamatune {
+
+uint64_t Configuration::Hash() const { return HashDoubles(values_); }
+
+}  // namespace llamatune

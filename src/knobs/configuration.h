@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llamatune {
+
+/// \brief One concrete DBMS configuration: a value per knob.
+///
+/// Values are stored as doubles aligned with the owning ConfigSpace's
+/// knob order: physical values for numeric knobs, category indices for
+/// categorical knobs. A Configuration is a dumb value container; the
+/// ConfigSpace interprets it.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+  double operator[](int i) const { return values_[i]; }
+  double& operator[](int i) { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Stable hash of the stored values; used to seed per-evaluation
+  /// simulator noise deterministically.
+  uint64_t Hash() const;
+
+  bool operator==(const Configuration& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,155 @@
+#include "src/knobs/knob.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace llamatune {
+
+bool KnobSpec::IsSpecialValue(double value) const {
+  for (double sv : special_values) {
+    if (value == sv) return true;
+  }
+  return false;
+}
+
+double KnobSpec::RegularMin() const {
+  if (!is_numeric()) return 0.0;
+  double lo = min_value;
+  if (!is_hybrid()) return lo;
+  double step = (type == KnobType::kInteger) ? 1.0 : 0.0;
+  // Specials conventionally sit at the bottom of the range; walk past
+  // them. (A special value strictly inside the range does not move the
+  // regular minimum.)
+  bool moved = true;
+  while (moved && lo <= max_value) {
+    moved = false;
+    if (IsSpecialValue(lo)) {
+      lo += (step > 0.0 ? step : (max_value - min_value) * 1e-6);
+      moved = true;
+    }
+  }
+  return std::min(lo, max_value);
+}
+
+int64_t KnobSpec::NumDistinctValues() const {
+  switch (type) {
+    case KnobType::kInteger:
+      return static_cast<int64_t>(std::llround(max_value - min_value)) + 1;
+    case KnobType::kReal:
+      return 0;
+    case KnobType::kCategorical:
+      return static_cast<int64_t>(categories.size());
+  }
+  return 0;
+}
+
+Status KnobSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("knob has empty name");
+  if (type == KnobType::kCategorical) {
+    if (categories.size() < 2) {
+      return Status::InvalidArgument("categorical knob '" + name +
+                                     "' needs >= 2 categories");
+    }
+    if (default_value < 0 ||
+        default_value >= static_cast<double>(categories.size())) {
+      return Status::OutOfRange("categorical knob '" + name +
+                                "' default index out of range");
+    }
+    if (!special_values.empty()) {
+      return Status::InvalidArgument("categorical knob '" + name +
+                                     "' cannot have special values");
+    }
+    return Status::OK();
+  }
+  if (!(min_value < max_value)) {
+    return Status::InvalidArgument("knob '" + name +
+                                   "' requires min_value < max_value");
+  }
+  if (default_value < min_value || default_value > max_value) {
+    return Status::OutOfRange("knob '" + name + "' default out of range");
+  }
+  for (double sv : special_values) {
+    if (sv < min_value || sv > max_value) {
+      return Status::OutOfRange("knob '" + name +
+                                "' special value out of range");
+    }
+  }
+  if (log_scale && RegularMin() <= 0.0 && min_value <= 0.0) {
+    // Log scaling operates on max(value, 1); a fully non-positive range
+    // would degenerate.
+    if (max_value <= 1.0) {
+      return Status::InvalidArgument("knob '" + name +
+                                     "' log_scale needs positive range");
+    }
+  }
+  return Status::OK();
+}
+
+double KnobSpec::Canonicalize(double value) const {
+  if (type == KnobType::kCategorical) {
+    double idx = std::floor(value);
+    return Clamp(idx, 0.0, static_cast<double>(categories.size()) - 1.0);
+  }
+  double v = Clamp(value, min_value, max_value);
+  if (type == KnobType::kInteger) v = std::llround(v);
+  return v;
+}
+
+KnobSpec IntegerKnob(std::string name, double min_value, double max_value,
+                     double default_value, std::string description) {
+  KnobSpec spec;
+  spec.name = std::move(name);
+  spec.type = KnobType::kInteger;
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  spec.default_value = default_value;
+  spec.description = std::move(description);
+  return spec;
+}
+
+KnobSpec RealKnob(std::string name, double min_value, double max_value,
+                  double default_value, std::string description) {
+  KnobSpec spec;
+  spec.name = std::move(name);
+  spec.type = KnobType::kReal;
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  spec.default_value = default_value;
+  spec.description = std::move(description);
+  return spec;
+}
+
+KnobSpec BoolKnob(std::string name, bool default_on, std::string description) {
+  KnobSpec spec;
+  spec.name = std::move(name);
+  spec.type = KnobType::kCategorical;
+  spec.categories = {"off", "on"};
+  spec.default_value = default_on ? 1.0 : 0.0;
+  spec.description = std::move(description);
+  return spec;
+}
+
+KnobSpec CategoricalKnob(std::string name, std::vector<std::string> categories,
+                         int default_index, std::string description) {
+  KnobSpec spec;
+  spec.name = std::move(name);
+  spec.type = KnobType::kCategorical;
+  spec.categories = std::move(categories);
+  spec.default_value = static_cast<double>(default_index);
+  spec.description = std::move(description);
+  return spec;
+}
+
+KnobSpec WithSpecialValues(KnobSpec spec, std::vector<double> special_values) {
+  spec.special_values = std::move(special_values);
+  return spec;
+}
+
+KnobSpec WithLogScale(KnobSpec spec) {
+  spec.log_scale = true;
+  return spec;
+}
+
+}  // namespace llamatune

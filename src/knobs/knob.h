@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace llamatune {
+
+/// \brief The value domain class of a DBMS configuration knob.
+enum class KnobType {
+  kInteger,      ///< discrete numeric, e.g. shared_buffers (in 8kB pages)
+  kReal,         ///< continuous numeric, e.g. geqo_selection_bias
+  kCategorical,  ///< unordered finite choices, e.g. enable_seqscan
+};
+
+/// \brief Static description of one tunable DBMS knob.
+///
+/// A knob is *hybrid* (paper §4.1) when `special_values` is non-empty:
+/// one or more sentinel values (usually 0 or -1 at the bottom of the
+/// range) trigger behaviour discontinuous with the rest of the domain,
+/// e.g. `backend_flush_after = 0` disables forced writeback entirely.
+///
+/// For numeric knobs, [min_value, max_value] is the *full* inclusive
+/// range as exposed to an untreated optimizer — special values included
+/// (matching how the paper's baselines tune the raw space). The
+/// special-value biasing stage remaps part of the unit interval onto
+/// the special value(s) and the remainder onto the regular range.
+struct KnobSpec {
+  std::string name;
+  KnobType type = KnobType::kReal;
+
+  /// Numeric domain (ignored for categorical knobs).
+  double min_value = 0.0;
+  double max_value = 1.0;
+
+  /// Unit-space scaling in the log domain; for knobs whose plausible
+  /// values span orders of magnitude (e.g. shared_buffers).
+  bool log_scale = false;
+
+  /// Categorical choices (ignored for numeric knobs); values are stored
+  /// as indices into this vector.
+  std::vector<std::string> categories;
+
+  /// Sentinel values with discontinuous semantics (hybrid knobs).
+  std::vector<double> special_values;
+
+  /// Value used by the DBMS when untuned.
+  double default_value = 0.0;
+
+  /// Optional physical unit, e.g. "8kB", "us", "ms".
+  std::string unit;
+
+  /// One-line summary from the DBMS documentation.
+  std::string description;
+
+  bool is_numeric() const { return type != KnobType::kCategorical; }
+  bool is_hybrid() const { return !special_values.empty(); }
+
+  /// True iff `value` is one of the knob's special values.
+  bool IsSpecialValue(double value) const;
+
+  /// Smallest value of the *regular* (non-special) range. For hybrid
+  /// knobs whose special values sit at the bottom of the range this is
+  /// the first non-special value; otherwise min_value.
+  double RegularMin() const;
+
+  /// Number of distinct values: (max-min+1) for integers, the category
+  /// count for categoricals, and 0 (meaning "continuum") for reals.
+  int64_t NumDistinctValues() const;
+
+  /// Structural sanity checks (range ordering, categories present,
+  /// default in-domain, specials in-domain).
+  Status Validate() const;
+
+  /// Clamp + round `value` into this knob's domain (snap integers,
+  /// clamp numerics, clamp categorical indices).
+  double Canonicalize(double value) const;
+};
+
+/// \name Convenience factories
+/// Builders for the common knob shapes used by the catalogs.
+/// @{
+KnobSpec IntegerKnob(std::string name, double min_value, double max_value,
+                     double default_value, std::string description = "");
+KnobSpec RealKnob(std::string name, double min_value, double max_value,
+                  double default_value, std::string description = "");
+KnobSpec BoolKnob(std::string name, bool default_on,
+                  std::string description = "");
+KnobSpec CategoricalKnob(std::string name, std::vector<std::string> categories,
+                         int default_index, std::string description = "");
+/// @}
+
+/// Marks `spec` as hybrid with the given special values (chainable).
+KnobSpec WithSpecialValues(KnobSpec spec, std::vector<double> special_values);
+
+/// Marks `spec` as log-scaled in unit space (chainable).
+KnobSpec WithLogScale(KnobSpec spec);
+
+}  // namespace llamatune

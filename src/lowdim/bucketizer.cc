@@ -1,0 +1,43 @@
+#include "src/lowdim/bucketizer.h"
+
+namespace llamatune {
+
+SearchSpace Bucketizer::Apply(const SearchSpace& space) const {
+  return space.Bucketized(max_unique_values_);
+}
+
+SearchSpace Bucketizer::BucketizedKnobSpace(
+    const ConfigSpace& config_space) const {
+  std::vector<SearchDim> dims;
+  dims.reserve(config_space.num_knobs());
+  for (int i = 0; i < config_space.num_knobs(); ++i) {
+    const KnobSpec& spec = config_space.knob(i);
+    if (spec.type == KnobType::kCategorical) {
+      dims.push_back(
+          SearchDim::Categorical(static_cast<int64_t>(spec.categories.size())));
+      continue;
+    }
+    int64_t distinct = spec.NumDistinctValues();  // 0 == continuum
+    int64_t buckets = 0;
+    if (distinct == 0 || distinct > max_unique_values_) {
+      buckets = max_unique_values_;
+    } else {
+      buckets = distinct;
+    }
+    dims.push_back(SearchDim::Continuous(0.0, 1.0, buckets));
+  }
+  return SearchSpace(std::move(dims));
+}
+
+int Bucketizer::NumAffectedKnobs(const ConfigSpace& config_space) const {
+  int n = 0;
+  for (int i = 0; i < config_space.num_knobs(); ++i) {
+    const KnobSpec& spec = config_space.knob(i);
+    if (spec.type == KnobType::kCategorical) continue;
+    int64_t distinct = spec.NumDistinctValues();
+    if (distinct == 0 || distinct > max_unique_values_) ++n;
+  }
+  return n;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/knobs/config_space.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Search-space bucketization (paper §4.2).
+///
+/// Limits the number of unique values any dimension can take to K,
+/// spreading the K values uniformly over the range. Knobs/dimensions
+/// with fewer than K values are unaffected. Exposing the bucketized
+/// grid to the optimizer (rather than post-hoc rounding) is a design
+/// requirement of the unified pipeline (paper §5): the optimizer must
+/// be aware of the larger sampling intervals or it will keep sampling
+/// at finer granularity.
+class Bucketizer {
+ public:
+  explicit Bucketizer(int64_t max_unique_values)
+      : max_unique_values_(max_unique_values) {}
+
+  int64_t max_unique_values() const { return max_unique_values_; }
+
+  /// Bucketizes every continuous dimension of `space` to at most K
+  /// unique values (already-coarser grids unchanged).
+  SearchSpace Apply(const SearchSpace& space) const;
+
+  /// Builds the optimizer-facing space for tuning `config_space`
+  /// directly (one dimension per knob, unit-scaled numerics), with
+  /// only the knobs exceeding K distinct values bucketized — the
+  /// "original space" variant used by the Fig. 7 case study.
+  SearchSpace BucketizedKnobSpace(const ConfigSpace& config_space) const;
+
+  /// Number of knobs in `config_space` whose distinct-value count
+  /// exceeds K (i.e. how many knobs bucketization actually affects);
+  /// the paper sets K from the range distribution so this is ~P% of
+  /// all knobs.
+  int NumAffectedKnobs(const ConfigSpace& config_space) const;
+
+ private:
+  int64_t max_unique_values_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,46 @@
+#include "src/lowdim/special_value_bias.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace llamatune {
+
+double SpecialValueBias::Apply(const KnobSpec& spec, double u) const {
+  u = Clamp(u, 0.0, 1.0);
+  if (!spec.is_numeric()) {
+    // Categorical knobs are never hybrid; bin uniformly.
+    int n = static_cast<int>(spec.categories.size());
+    int bin = static_cast<int>(std::floor(u * n));
+    if (bin >= n) bin = n - 1;
+    return static_cast<double>(bin);
+  }
+  if (!spec.is_hybrid() || bias_ <= 0.0) {
+    return spec.Canonicalize(
+        Rescale(u, 0.0, 1.0, spec.min_value, spec.max_value));
+  }
+  int num_special = static_cast<int>(spec.special_values.size());
+  if (u < bias_) {
+    // Split the biased band equally across the special values.
+    double band = bias_ / num_special;
+    int idx = static_cast<int>(std::floor(u / band));
+    if (idx >= num_special) idx = num_special - 1;
+    return spec.special_values[idx];
+  }
+  double t = (u - bias_) / (1.0 - bias_);
+  double lo = spec.RegularMin();
+  double value = Rescale(t, 0.0, 1.0, lo, spec.max_value);
+  value = spec.Canonicalize(value);
+  // Rounding could land back on a special value at the band edge; nudge
+  // up to keep the regular band special-free.
+  if (spec.IsSpecialValue(value)) {
+    value = spec.Canonicalize(lo);
+  }
+  return value;
+}
+
+double SpecialValueBias::SpecialMass(const KnobSpec& spec) const {
+  return (spec.is_numeric() && spec.is_hybrid()) ? bias_ : 0.0;
+}
+
+}  // namespace llamatune

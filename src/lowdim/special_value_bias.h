@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "src/knobs/knob.h"
+
+namespace llamatune {
+
+/// \brief Special-value biasing for hybrid knobs (paper §4.1, Fig. 5).
+///
+/// Hybrid knobs carry sentinel values (e.g. backend_flush_after = 0
+/// disables forced writeback) that break the numeric order BO methods
+/// rely on, and that uniform sampling is unlikely to ever hit. This
+/// transform reserves the first `bias` mass of a knob's normalized
+/// [0,1] domain for the special value(s): a normalized coordinate
+/// u < bias yields the special value, and u >= bias is linearly
+/// re-scaled onto the regular (non-special) range.
+///
+/// The transform runs *after* the optimizer's suggestion (and after
+/// any projection), so it requires no optimizer modifications and can
+/// be paired with any of them.
+class SpecialValueBias {
+ public:
+  /// \param bias probability mass reserved for special values, in
+  /// [0, 1). The paper defaults to 0.20, which gives ~90% confidence
+  /// of at least one special-value draw within 10 LHS init samples.
+  explicit SpecialValueBias(double bias = 0.20) : bias_(bias) {}
+
+  double bias() const { return bias_; }
+
+  /// Maps a normalized coordinate u in [0,1] to a physical value of
+  /// `spec`. Non-hybrid knobs are scaled onto their full range
+  /// unchanged. For hybrid knobs: u < bias picks a special value (the
+  /// [0, bias) band is split equally when there are several), else the
+  /// remaining band maps linearly onto [RegularMin, max].
+  double Apply(const KnobSpec& spec, double u) const;
+
+  /// Inverse-direction helper used in tests and analysis: the total
+  /// probability that a uniform u yields a special value (== bias for
+  /// hybrid knobs, 0 otherwise).
+  double SpecialMass(const KnobSpec& spec) const;
+
+ private:
+  double bias_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,29 @@
+#include "src/model/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace llamatune {
+
+double ExpectedImprovement(double mean, double variance, double best,
+                           double xi) {
+  double sigma = std::sqrt(std::max(variance, 0.0));
+  double improvement = mean - best - xi;
+  if (sigma < 1e-12) return std::max(0.0, improvement);
+  double z = improvement / sigma;
+  return improvement * NormCdf(z) + sigma * NormPdf(z);
+}
+
+std::vector<double> ExpectedImprovementBatch(
+    const std::vector<double>& means, const std::vector<double>& variances,
+    double best, double xi) {
+  std::vector<double> out(means.size());
+  for (size_t i = 0; i < means.size(); ++i) {
+    out[i] = ExpectedImprovement(means[i], variances[i], best, xi);
+  }
+  return out;
+}
+
+}  // namespace llamatune

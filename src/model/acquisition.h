@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+namespace llamatune {
+
+/// \brief Expected Improvement for maximization.
+///
+/// EI(x) = (mu - best) Phi(z) + sigma phi(z), z = (mu - best - xi) / sigma,
+/// where (mu, sigma^2) is the surrogate's predictive distribution at x
+/// and `best` is the incumbent objective value. `xi` is a small
+/// exploration margin. With sigma ~ 0 this degenerates to
+/// max(0, mu - best - xi).
+double ExpectedImprovement(double mean, double variance, double best,
+                           double xi = 0.0);
+
+/// \brief Batch helper: EI for parallel (mean, variance) arrays.
+std::vector<double> ExpectedImprovementBatch(const std::vector<double>& means,
+                                             const std::vector<double>& variances,
+                                             double best, double xi = 0.0);
+
+}  // namespace llamatune

@@ -1,0 +1,168 @@
+#include "src/model/gp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/math_util.h"
+#include "src/common/rng.h"
+
+namespace llamatune {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+Status CholeskyFactor(std::vector<std::vector<double>> a,
+                      std::vector<std::vector<double>>* l) {
+  int n = static_cast<int>(a.size());
+  for (int j = 0; j < n; ++j) {
+    double diag = a[j][j];
+    for (int k = 0; k < j; ++k) diag -= a[j][k] * a[j][k];
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::Internal("Cholesky: matrix not positive definite");
+    }
+    a[j][j] = std::sqrt(diag);
+    for (int i = j + 1; i < n; ++i) {
+      double acc = a[i][j];
+      for (int k = 0; k < j; ++k) acc -= a[i][k] * a[j][k];
+      a[i][j] = acc / a[j][j];
+    }
+    for (int i = 0; i < j; ++i) a[i][j] = 0.0;  // zero upper triangle
+  }
+  *l = std::move(a);
+  return Status::OK();
+}
+
+std::vector<double> ForwardSolve(const std::vector<std::vector<double>>& l,
+                                 const std::vector<double>& b) {
+  int n = static_cast<int>(l.size());
+  std::vector<double> z(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (int k = 0; k < i; ++k) acc -= l[i][k] * z[k];
+    z[i] = acc / l[i][i];
+  }
+  return z;
+}
+
+std::vector<double> BackwardSolve(const std::vector<std::vector<double>>& l,
+                                  const std::vector<double>& b) {
+  int n = static_cast<int>(l.size());
+  std::vector<double> z(n, 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = b[i];
+    for (int k = i + 1; k < n; ++k) acc -= l[k][i] * z[k];
+    z[i] = acc / l[i][i];
+  }
+  return z;
+}
+
+GaussianProcess::GaussianProcess(const SearchSpace& space, GpOptions options,
+                                 uint64_t seed)
+    : space_(space), options_(options), seed_(seed) {}
+
+Status GaussianProcess::FactorAndCache(
+    const KernelParams& params, const std::vector<std::vector<double>>& xs,
+    const std::vector<double>& ys_std) {
+  KernelParams p = params;
+  // Jitter escalation: grow the nugget until the Gram matrix factors.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    auto gram = KernelMatrix(space_, p, xs);
+    std::vector<std::vector<double>> l;
+    Status st = CholeskyFactor(std::move(gram), &l);
+    if (st.ok()) {
+      chol_ = std::move(l);
+      std::vector<double> z = ForwardSolve(chol_, ys_std);
+      alpha_ = BackwardSolve(chol_, z);
+      params_ = p;
+      // lml = -1/2 y^T alpha - sum log L_ii - n/2 log(2 pi)
+      double lml = 0.0;
+      for (size_t i = 0; i < ys_std.size(); ++i) lml -= 0.5 * ys_std[i] * alpha_[i];
+      for (size_t i = 0; i < chol_.size(); ++i) lml -= std::log(chol_[i][i]);
+      lml -= 0.5 * static_cast<double>(ys_std.size()) * std::log(2.0 * kPi);
+      lml_ = lml;
+      return Status::OK();
+    }
+    p.noise_variance = std::max(p.noise_variance, 1e-8) * 10.0;
+  }
+  return Status::Internal("GP fit failed: Gram matrix never factored");
+}
+
+double GaussianProcess::EvaluateLml(const KernelParams& params,
+                                    const std::vector<std::vector<double>>& xs,
+                                    const std::vector<double>& ys_std) const {
+  auto gram = KernelMatrix(space_, params, xs);
+  std::vector<std::vector<double>> l;
+  Status st = CholeskyFactor(std::move(gram), &l);
+  if (!st.ok()) return -std::numeric_limits<double>::infinity();
+  std::vector<double> z = ForwardSolve(l, ys_std);
+  std::vector<double> alpha = BackwardSolve(l, z);
+  double lml = 0.0;
+  for (size_t i = 0; i < ys_std.size(); ++i) lml -= 0.5 * ys_std[i] * alpha[i];
+  for (size_t i = 0; i < l.size(); ++i) lml -= std::log(l[i][i]);
+  lml -= 0.5 * static_cast<double>(ys_std.size()) * std::log(2.0 * kPi);
+  return lml;
+}
+
+Status GaussianProcess::Fit(const std::vector<std::vector<double>>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    return Status::InvalidArgument("GP::Fit requires matched non-empty data");
+  }
+  train_x_ = xs;
+  y_mean_ = Mean(ys);
+  y_std_ = std::max(Stddev(ys), 1e-9);
+  std::vector<double> ys_std(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) ys_std[i] = (ys[i] - y_mean_) / y_std_;
+
+  bool reopt = (fit_count_ % std::max(1, options_.reopt_interval)) == 0 ||
+               !fitted_;
+  ++fit_count_;
+
+  KernelParams best = params_;
+  if (reopt) {
+    Rng rng(HashCombine(seed_, static_cast<uint64_t>(fit_count_)));
+    double best_lml = -std::numeric_limits<double>::infinity();
+    for (int r = 0; r < options_.hyperparameter_restarts; ++r) {
+      KernelParams cand;
+      cand.signal_variance = std::exp(rng.Uniform(std::log(0.25), std::log(4.0)));
+      cand.lengthscale = std::exp(rng.Uniform(std::log(0.05), std::log(3.0)));
+      cand.hamming_weight = std::exp(rng.Uniform(std::log(0.1), std::log(5.0)));
+      cand.noise_variance =
+          std::exp(rng.Uniform(std::log(1e-6), std::log(1e-1)));
+      cand.noise_variance =
+          std::max(cand.noise_variance, options_.min_noise_variance);
+      double lml = EvaluateLml(cand, train_x_, ys_std);
+      if (lml > best_lml) {
+        best_lml = lml;
+        best = cand;
+      }
+    }
+    if (!std::isfinite(best_lml)) {
+      best = KernelParams{};  // fall back to defaults
+    }
+  }
+
+  Status st = FactorAndCache(best, train_x_, ys_std);
+  if (!st.ok()) return st;
+  fitted_ = true;
+  return Status::OK();
+}
+
+void GaussianProcess::Predict(const std::vector<double>& x, double* mean,
+                              double* variance) const {
+  int n = static_cast<int>(train_x_.size());
+  std::vector<double> k_star(n);
+  for (int i = 0; i < n; ++i) {
+    k_star[i] = MixedKernel(space_, params_, x, train_x_[i]);
+  }
+  double mu_std = Dot(k_star, alpha_);
+  std::vector<double> v = ForwardSolve(chol_, k_star);
+  double k_xx = MixedKernel(space_, params_, x, x) + params_.noise_variance;
+  double var_std = k_xx - Dot(v, v);
+  var_std = std::max(var_std, 1e-12);
+  *mean = mu_std * y_std_ + y_mean_;
+  *variance = var_std * y_std_ * y_std_;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/model/kernels.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Options for GP fitting.
+struct GpOptions {
+  /// Random-search restarts for hyperparameter selection by maximum
+  /// log marginal likelihood.
+  int hyperparameter_restarts = 24;
+  /// Re-optimize hyperparameters every this many Fit() calls (1 =
+  /// always); between re-optimizations the previous optimum is reused.
+  int reopt_interval = 5;
+  double min_noise_variance = 1e-6;
+};
+
+/// \brief Exact Gaussian-process regression over a mixed search space.
+///
+/// Uses the Matérn-5/2 x Hamming product kernel (see kernels.h), a
+/// Cholesky factorization of the Gram matrix, and marginal-likelihood
+/// hyperparameter selection via seeded random search. Targets are
+/// internally standardized (zero mean, unit variance) for numerical
+/// stability; predictions are returned on the original scale.
+class GaussianProcess {
+ public:
+  GaussianProcess(const SearchSpace& space, GpOptions options, uint64_t seed);
+
+  /// Fits the GP to (X, y). Returns an error if the Cholesky
+  /// factorization fails even after jitter escalation.
+  Status Fit(const std::vector<std::vector<double>>& xs,
+             const std::vector<double>& ys);
+
+  /// Predictive mean and variance at `x`.
+  void Predict(const std::vector<double>& x, double* mean,
+               double* variance) const;
+
+  bool fitted() const { return fitted_; }
+  const KernelParams& params() const { return params_; }
+
+  /// Log marginal likelihood of the current fit (diagnostics).
+  double log_marginal_likelihood() const { return lml_; }
+
+ private:
+  Status FactorAndCache(const KernelParams& params,
+                        const std::vector<std::vector<double>>& xs,
+                        const std::vector<double>& ys_std);
+  double EvaluateLml(const KernelParams& params,
+                     const std::vector<std::vector<double>>& xs,
+                     const std::vector<double>& ys_std) const;
+
+  SearchSpace space_;
+  GpOptions options_;
+  uint64_t seed_;
+  int fit_count_ = 0;
+
+  KernelParams params_;
+  std::vector<std::vector<double>> train_x_;
+  std::vector<std::vector<double>> chol_;  // lower-triangular L
+  std::vector<double> alpha_;              // K^-1 (y - mean)
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  double lml_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// \name Dense linear algebra helpers (exposed for tests)
+/// @{
+
+/// In-place Cholesky: returns lower-triangular L with A = L L^T, or an
+/// error if A is not positive definite.
+Status CholeskyFactor(std::vector<std::vector<double>> a,
+                      std::vector<std::vector<double>>* l);
+
+/// Solves L z = b (forward substitution).
+std::vector<double> ForwardSolve(const std::vector<std::vector<double>>& l,
+                                 const std::vector<double>& b);
+
+/// Solves L^T z = b (backward substitution).
+std::vector<double> BackwardSolve(const std::vector<std::vector<double>>& l,
+                                  const std::vector<double>& b);
+/// @}
+
+}  // namespace llamatune

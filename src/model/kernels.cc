@@ -1,0 +1,59 @@
+#include "src/model/kernels.h"
+
+#include <cmath>
+
+namespace llamatune {
+
+double Matern52(double r) {
+  double s = std::sqrt(5.0) * r;
+  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+double MixedKernel(const SearchSpace& space, const KernelParams& params,
+                   const std::vector<double>& a, const std::vector<double>& b) {
+  double sq_dist = 0.0;
+  int num_cont = 0;
+  int num_cat = 0;
+  int mismatches = 0;
+  for (int i = 0; i < space.num_dims(); ++i) {
+    const SearchDim& dim = space.dim(i);
+    if (dim.type == SearchDim::Type::kCategorical) {
+      ++num_cat;
+      if (a[i] != b[i]) ++mismatches;
+    } else {
+      ++num_cont;
+      double span = dim.hi - dim.lo;
+      double d = span > 0.0 ? (a[i] - b[i]) / span : 0.0;
+      sq_dist += d * d;
+    }
+  }
+  double k = params.signal_variance;
+  if (num_cont > 0) {
+    double r = std::sqrt(sq_dist) / params.lengthscale;
+    k *= Matern52(r);
+  }
+  if (num_cat > 0) {
+    double mismatch_fraction =
+        static_cast<double>(mismatches) / static_cast<double>(num_cat);
+    k *= std::exp(-params.hamming_weight * mismatch_fraction);
+  }
+  return k;
+}
+
+std::vector<std::vector<double>> KernelMatrix(
+    const SearchSpace& space, const KernelParams& params,
+    const std::vector<std::vector<double>>& xs) {
+  int n = static_cast<int>(xs.size());
+  std::vector<std::vector<double>> gram(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double k = MixedKernel(space, params, xs[i], xs[j]);
+      gram[i][j] = k;
+      gram[j][i] = k;
+    }
+    gram[i][i] += params.noise_variance;
+  }
+  return gram;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Hyperparameters of the mixed-space GP kernel.
+///
+/// GP-BO (Ru et al. 2020; paper §2.2) combines a Matérn-5/2 kernel
+/// over continuous dimensions with a Hamming kernel over categorical
+/// dimensions, multiplied together, so that categorical knobs carry no
+/// artificial ordering.
+struct KernelParams {
+  double signal_variance = 1.0;   ///< sigma_f^2
+  double lengthscale = 0.5;       ///< Matérn lengthscale (unit-scaled dims)
+  double hamming_weight = 1.0;    ///< categorical mismatch penalty rate
+  double noise_variance = 1e-4;   ///< sigma_n^2 (added on the diagonal)
+};
+
+/// \brief Matérn-5/2 correlation for scaled distance r = |x-x'| / l.
+double Matern52(double r);
+
+/// \brief Mixed Matérn-5/2 x Hamming covariance between two points of
+/// `space`. Continuous coordinates are internally normalized to [0,1]
+/// by the dimension bounds; categorical coordinates contribute
+/// exp(-hamming_weight * mismatch_fraction).
+double MixedKernel(const SearchSpace& space, const KernelParams& params,
+                   const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Dense symmetric kernel (Gram) matrix K[i][j] = k(xs[i], xs[j])
+/// with noise_variance added on the diagonal.
+std::vector<std::vector<double>> KernelMatrix(
+    const SearchSpace& space, const KernelParams& params,
+    const std::vector<std::vector<double>>& xs);
+
+}  // namespace llamatune

@@ -1,0 +1,248 @@
+#include "src/model/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/math_util.h"
+
+namespace llamatune {
+
+namespace {
+
+struct Node {
+  bool is_leaf = true;
+  // Split definition.
+  int feature = -1;
+  double threshold = 0.0;     // continuous: x[f] <= threshold goes left
+  double category = -1.0;     // categorical: x[f] == category goes left
+  bool categorical_split = false;
+  int left = -1;
+  int right = -1;
+  // Leaf statistics.
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+}  // namespace
+
+struct RandomForest::Tree {
+  std::vector<Node> nodes;
+
+  const Node& Descend(const std::vector<double>& x) const {
+    int idx = 0;
+    while (!nodes[idx].is_leaf) {
+      const Node& node = nodes[idx];
+      bool go_left;
+      if (node.categorical_split) {
+        go_left = x[node.feature] == node.category;
+      } else {
+        go_left = x[node.feature] <= node.threshold;
+      }
+      idx = go_left ? node.left : node.right;
+    }
+    return nodes[idx];
+  }
+};
+
+namespace {
+
+double SubsetVarianceTimesN(const std::vector<double>& ys,
+                            const std::vector<int>& idx) {
+  if (idx.size() < 2) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i : idx) {
+    sum += ys[i];
+    sum_sq += ys[i] * ys[i];
+  }
+  double n = static_cast<double>(idx.size());
+  return sum_sq - sum * sum / n;
+}
+
+void MakeLeaf(Node* node, const std::vector<double>& ys,
+              const std::vector<int>& idx) {
+  node->is_leaf = true;
+  double sum = 0.0;
+  for (int i : idx) sum += ys[i];
+  double n = static_cast<double>(idx.size());
+  node->mean = idx.empty() ? 0.0 : sum / n;
+  double acc = 0.0;
+  for (int i : idx) acc += (ys[i] - node->mean) * (ys[i] - node->mean);
+  node->variance = idx.size() < 2 ? 0.0 : acc / n;
+}
+
+struct SplitChoice {
+  bool valid = false;
+  int feature = -1;
+  bool categorical = false;
+  double threshold = 0.0;
+  double category = -1.0;
+  double score = std::numeric_limits<double>::infinity();
+  std::vector<int> left_idx;
+  std::vector<int> right_idx;
+};
+
+// Evaluates the best of a few random thresholds on one feature
+// (extra-trees style randomized split search: fast and a good
+// exploration/variance trade-off for surrogate forests).
+void TrySplitsOnFeature(const SearchSpace& space, int feature,
+                        const std::vector<std::vector<double>>& xs,
+                        const std::vector<double>& ys,
+                        const std::vector<int>& idx, int min_samples_leaf,
+                        Rng* rng, SplitChoice* best) {
+  const SearchDim& dim = space.dim(feature);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i : idx) {
+    lo = std::min(lo, xs[i][feature]);
+    hi = std::max(hi, xs[i][feature]);
+  }
+  if (!(hi > lo)) return;  // constant feature in this node
+
+  auto consider = [&](bool categorical, double threshold, double category) {
+    std::vector<int> left, right;
+    left.reserve(idx.size());
+    right.reserve(idx.size());
+    for (int i : idx) {
+      bool go_left = categorical ? xs[i][feature] == category
+                                 : xs[i][feature] <= threshold;
+      (go_left ? left : right).push_back(i);
+    }
+    if (static_cast<int>(left.size()) < min_samples_leaf ||
+        static_cast<int>(right.size()) < min_samples_leaf) {
+      return;
+    }
+    double score =
+        SubsetVarianceTimesN(ys, left) + SubsetVarianceTimesN(ys, right);
+    if (score < best->score) {
+      best->valid = true;
+      best->feature = feature;
+      best->categorical = categorical;
+      best->threshold = threshold;
+      best->category = category;
+      best->score = score;
+      best->left_idx = std::move(left);
+      best->right_idx = std::move(right);
+    }
+  };
+
+  if (dim.type == SearchDim::Type::kCategorical) {
+    // One-vs-rest split on a category present in this node.
+    int present = static_cast<int>(rng->UniformInt(0, idx.size() - 1));
+    double cat = xs[idx[present]][feature];
+    consider(/*categorical=*/true, 0.0, cat);
+    // Also try one more random present category for better splits.
+    present = static_cast<int>(rng->UniformInt(0, idx.size() - 1));
+    double cat2 = xs[idx[present]][feature];
+    if (cat2 != cat) consider(true, 0.0, cat2);
+  } else {
+    static constexpr int kThresholdsPerFeature = 3;
+    for (int t = 0; t < kThresholdsPerFeature; ++t) {
+      double threshold = rng->Uniform(lo, hi);
+      consider(/*categorical=*/false, threshold, -1.0);
+    }
+  }
+}
+
+}  // namespace
+
+RandomForest::RandomForest(const SearchSpace& space,
+                           RandomForestOptions options, uint64_t seed)
+    : space_(space), options_(options), rng_(seed) {}
+
+RandomForest::~RandomForest() = default;
+RandomForest::RandomForest(RandomForest&&) noexcept = default;
+RandomForest& RandomForest::operator=(RandomForest&&) noexcept = default;
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& xs,
+                       const std::vector<double>& ys) {
+  trees_.clear();
+  int n = static_cast<int>(xs.size());
+  int d = space_.num_dims();
+  int features_per_split = std::max(
+      1, static_cast<int>(std::ceil(options_.feature_fraction * d)));
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    auto tree = std::make_unique<Tree>();
+    std::vector<int> root_idx;
+    root_idx.reserve(n);
+    if (options_.bootstrap && n > 1) {
+      for (int i = 0; i < n; ++i) {
+        root_idx.push_back(static_cast<int>(rng_.UniformInt(0, n - 1)));
+      }
+    } else {
+      for (int i = 0; i < n; ++i) root_idx.push_back(i);
+    }
+
+    // Iterative tree growth with an explicit work stack.
+    struct Work {
+      int node;
+      std::vector<int> idx;
+      int depth;
+    };
+    tree->nodes.emplace_back();
+    std::vector<Work> stack;
+    stack.push_back({0, std::move(root_idx), 0});
+    while (!stack.empty()) {
+      Work work = std::move(stack.back());
+      stack.pop_back();
+      Node& node = tree->nodes[work.node];
+      bool can_split =
+          static_cast<int>(work.idx.size()) >= options_.min_samples_split &&
+          work.depth < options_.max_depth;
+      SplitChoice best;
+      if (can_split) {
+        std::vector<int> features =
+            rng_.SampleWithoutReplacement(d, features_per_split);
+        for (int f : features) {
+          TrySplitsOnFeature(space_, f, xs, ys, work.idx,
+                             options_.min_samples_leaf, &rng_, &best);
+        }
+      }
+      if (!best.valid) {
+        MakeLeaf(&node, ys, work.idx);
+        continue;
+      }
+      node.is_leaf = false;
+      node.feature = best.feature;
+      node.categorical_split = best.categorical;
+      node.threshold = best.threshold;
+      node.category = best.category;
+      int left = static_cast<int>(tree->nodes.size());
+      tree->nodes.emplace_back();
+      tree->nodes.emplace_back();
+      // Note: `node` reference may dangle after emplace_back; re-index.
+      tree->nodes[work.node].left = left;
+      tree->nodes[work.node].right = left + 1;
+      stack.push_back({left, std::move(best.left_idx), work.depth + 1});
+      stack.push_back({left + 1, std::move(best.right_idx), work.depth + 1});
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = !xs.empty();
+}
+
+void RandomForest::Predict(const std::vector<double>& x, double* mean,
+                           double* variance) const {
+  double sum = 0.0, sum_sq = 0.0, within = 0.0;
+  int m = static_cast<int>(trees_.size());
+  for (const auto& tree : trees_) {
+    const Node& leaf = tree->Descend(x);
+    sum += leaf.mean;
+    sum_sq += leaf.mean * leaf.mean;
+    within += leaf.variance;
+  }
+  double mu = sum / m;
+  // Law of total variance: Var[leaf means] + E[leaf variances].
+  double between = std::max(0.0, sum_sq / m - mu * mu);
+  *mean = mu;
+  *variance = between + within / m;
+}
+
+double RandomForest::PredictMean(const std::vector<double>& x) const {
+  double mean = 0.0, variance = 0.0;
+  Predict(x, &mean, &variance);
+  return mean;
+}
+
+}  // namespace llamatune

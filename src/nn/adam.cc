@@ -1,0 +1,34 @@
+#include "src/nn/adam.h"
+
+#include <cmath>
+
+namespace llamatune {
+
+void AdamOptimizer::Register(std::vector<double>* params,
+                             std::vector<double>* grads) {
+  Slot slot;
+  slot.params = params;
+  slot.grads = grads;
+  slot.m.assign(params->size(), 0.0);
+  slot.v.assign(params->size(), 0.0);
+  slots_.push_back(std::move(slot));
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Slot& slot : slots_) {
+    std::vector<double>& p = *slot.params;
+    const std::vector<double>& g = *slot.grads;
+    for (size_t i = 0; i < p.size(); ++i) {
+      slot.m[i] = beta1_ * slot.m[i] + (1.0 - beta1_) * g[i];
+      slot.v[i] = beta2_ * slot.v[i] + (1.0 - beta2_) * g[i] * g[i];
+      double m_hat = slot.m[i] / bias1;
+      double v_hat = slot.v[i] / bias2;
+      p[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace llamatune

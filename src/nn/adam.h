@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+namespace llamatune {
+
+/// \brief Adam optimizer state for one flat parameter array.
+///
+/// Each registered parameter array gets first/second moment buffers;
+/// Step() applies the standard bias-corrected Adam update in place.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate = 1e-3, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+  /// Registers a parameter array and its gradient array (both must
+  /// outlive the optimizer and keep their size).
+  void Register(std::vector<double>* params, std::vector<double>* grads);
+
+  /// Applies one Adam step to every registered array.
+  void Step();
+
+  double learning_rate() const { return lr_; }
+  long step_count() const { return t_; }
+
+ private:
+  struct Slot {
+    std::vector<double>* params;
+    std::vector<double>* grads;
+    std::vector<double> m;
+    std::vector<double> v;
+  };
+
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace llamatune

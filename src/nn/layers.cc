@@ -1,0 +1,73 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+namespace llamatune {
+
+LinearLayer::LinearLayer(int in_dim, int out_dim, Rng* rng)
+    : w_(out_dim, in_dim),
+      b_(out_dim, 0.0),
+      dw_(out_dim, in_dim),
+      db_(out_dim, 0.0) {
+  // Xavier/Glorot uniform initialization.
+  double bound = std::sqrt(6.0 / static_cast<double>(in_dim + out_dim));
+  for (double& v : w_.data()) v = rng->Uniform(-bound, bound);
+}
+
+std::vector<double> LinearLayer::Forward(const std::vector<double>& x) {
+  last_input_ = x;
+  std::vector<double> y = w_.Apply(x);
+  for (int i = 0; i < static_cast<int>(y.size()); ++i) y[i] += b_[i];
+  return y;
+}
+
+std::vector<double> LinearLayer::Backward(const std::vector<double>& grad_out) {
+  for (int r = 0; r < w_.rows(); ++r) {
+    db_[r] += grad_out[r];
+    for (int c = 0; c < w_.cols(); ++c) {
+      dw_.at(r, c) += grad_out[r] * last_input_[c];
+    }
+  }
+  return w_.ApplyTransposed(grad_out);
+}
+
+void LinearLayer::ZeroGrad() {
+  for (double& v : dw_.data()) v = 0.0;
+  for (double& v : db_) v = 0.0;
+}
+
+std::vector<double> TanhLayer::Forward(const std::vector<double>& x) {
+  last_output_.resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) last_output_[i] = std::tanh(x[i]);
+  return last_output_;
+}
+
+std::vector<double> TanhLayer::Backward(
+    const std::vector<double>& grad_out) const {
+  std::vector<double> grad_in(grad_out.size());
+  for (size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[i] = grad_out[i] * (1.0 - last_output_[i] * last_output_[i]);
+  }
+  return grad_in;
+}
+
+std::vector<double> ReluLayer::Forward(const std::vector<double>& x) {
+  mask_.resize(x.size());
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    mask_[i] = x[i] > 0.0;
+    y[i] = mask_[i] ? x[i] : 0.0;
+  }
+  return y;
+}
+
+std::vector<double> ReluLayer::Backward(
+    const std::vector<double>& grad_out) const {
+  std::vector<double> grad_in(grad_out.size());
+  for (size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[i] = mask_[i] ? grad_out[i] : 0.0;
+  }
+  return grad_in;
+}
+
+}  // namespace llamatune

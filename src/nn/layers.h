@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/matrix.h"
+
+namespace llamatune {
+
+/// \brief Fully connected layer y = W x + b with manual backprop.
+///
+/// Forward caches the input; Backward accumulates dW/db and returns
+/// the gradient with respect to the input. Gradients accumulate until
+/// ZeroGrad() so minibatch updates sum naturally.
+class LinearLayer {
+ public:
+  LinearLayer(int in_dim, int out_dim, Rng* rng);
+
+  std::vector<double> Forward(const std::vector<double>& x);
+  std::vector<double> Backward(const std::vector<double>& grad_out);
+
+  void ZeroGrad();
+
+  Matrix& weights() { return w_; }
+  std::vector<double>& bias() { return b_; }
+  Matrix& weight_grads() { return dw_; }
+  std::vector<double>& bias_grads() { return db_; }
+  int in_dim() const { return w_.cols(); }
+  int out_dim() const { return w_.rows(); }
+
+ private:
+  Matrix w_;
+  std::vector<double> b_;
+  Matrix dw_;
+  std::vector<double> db_;
+  std::vector<double> last_input_;
+};
+
+/// \brief Elementwise tanh with cached output for backprop.
+class TanhLayer {
+ public:
+  std::vector<double> Forward(const std::vector<double>& x);
+  std::vector<double> Backward(const std::vector<double>& grad_out) const;
+
+ private:
+  std::vector<double> last_output_;
+};
+
+/// \brief Elementwise ReLU with cached mask for backprop.
+class ReluLayer {
+ public:
+  std::vector<double> Forward(const std::vector<double>& x);
+  std::vector<double> Backward(const std::vector<double>& grad_out) const;
+
+ private:
+  std::vector<bool> mask_;
+};
+
+}  // namespace llamatune

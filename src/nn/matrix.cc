@@ -1,0 +1,25 @@
+#include "src/nn/matrix.h"
+
+namespace llamatune {
+
+std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
+  std::vector<double> y(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[static_cast<size_t>(r) * cols_];
+    for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::ApplyTransposed(const std::vector<double>& x) const {
+  std::vector<double> y(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = &data_[static_cast<size_t>(r) * cols_];
+    for (int c = 0; c < cols_; ++c) y[c] += row[c] * x[r];
+  }
+  return y;
+}
+
+}  // namespace llamatune

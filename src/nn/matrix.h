@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace llamatune {
+
+/// \brief Minimal dense row-major matrix of doubles.
+///
+/// Just enough linear algebra for the DDPG actor/critic networks:
+/// matrix-vector products, transposed products, and element access.
+/// Not a general-purpose BLAS — sizes here are tens of units, so
+/// clarity wins over vectorization.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// y = M x  (x has cols() entries; y has rows() entries).
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// y = M^T x (x has rows() entries; y has cols() entries).
+  std::vector<double> ApplyTransposed(const std::vector<double>& x) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,72 @@
+#include "src/nn/mlp.h"
+
+namespace llamatune {
+
+Mlp::Mlp(int in_dim, std::vector<int> hidden_dims, int out_dim,
+         OutputActivation output_activation, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim),
+      output_activation_(output_activation) {
+  int prev = in_dim;
+  for (int h : hidden_dims) {
+    linears_.push_back(std::make_unique<LinearLayer>(prev, h, rng));
+    prev = h;
+  }
+  linears_.push_back(std::make_unique<LinearLayer>(prev, out_dim, rng));
+  relus_.resize(hidden_dims.size());
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& x) {
+  std::vector<double> h = x;
+  for (size_t i = 0; i + 1 < linears_.size(); ++i) {
+    h = linears_[i]->Forward(h);
+    h = relus_[i].Forward(h);
+  }
+  h = linears_.back()->Forward(h);
+  if (output_activation_ == OutputActivation::kTanh) {
+    h = out_tanh_.Forward(h);
+  }
+  return h;
+}
+
+std::vector<double> Mlp::Backward(const std::vector<double>& grad_out) {
+  std::vector<double> g = grad_out;
+  if (output_activation_ == OutputActivation::kTanh) {
+    g = out_tanh_.Backward(g);
+  }
+  g = linears_.back()->Backward(g);
+  for (int i = static_cast<int>(linears_.size()) - 2; i >= 0; --i) {
+    g = relus_[i].Backward(g);
+    g = linears_[i]->Backward(g);
+  }
+  return g;
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& layer : linears_) layer->ZeroGrad();
+}
+
+void Mlp::RegisterParams(AdamOptimizer* adam) {
+  for (auto& layer : linears_) {
+    adam->Register(&layer->weights().data(), &layer->weight_grads().data());
+    adam->Register(&layer->bias(), &layer->bias_grads());
+  }
+}
+
+void Mlp::SoftUpdateFrom(const Mlp& source, double tau) {
+  for (size_t i = 0; i < linears_.size(); ++i) {
+    auto& dst_w = linears_[i]->weights().data();
+    const auto& src_w = source.linears_[i]->weights().data();
+    for (size_t k = 0; k < dst_w.size(); ++k) {
+      dst_w[k] = tau * src_w[k] + (1.0 - tau) * dst_w[k];
+    }
+    auto& dst_b = linears_[i]->bias();
+    const auto& src_b = source.linears_[i]->bias();
+    for (size_t k = 0; k < dst_b.size(); ++k) {
+      dst_b[k] = tau * src_b[k] + (1.0 - tau) * dst_b[k];
+    }
+  }
+}
+
+void Mlp::CopyFrom(const Mlp& source) { SoftUpdateFrom(source, 1.0); }
+
+}  // namespace llamatune

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/adam.h"
+#include "src/nn/layers.h"
+
+namespace llamatune {
+
+/// \brief Output nonlinearity of an Mlp.
+enum class OutputActivation { kLinear, kTanh };
+
+/// \brief Small fully connected network: Linear+ReLU hidden layers and
+/// a linear or tanh output head. Used for the DDPG actor (tanh head)
+/// and critic (linear head).
+class Mlp {
+ public:
+  Mlp(int in_dim, std::vector<int> hidden_dims, int out_dim,
+      OutputActivation output_activation, Rng* rng);
+
+  std::vector<double> Forward(const std::vector<double>& x);
+
+  /// Backpropagates d(loss)/d(output); accumulates parameter grads and
+  /// returns d(loss)/d(input).
+  std::vector<double> Backward(const std::vector<double>& grad_out);
+
+  void ZeroGrad();
+
+  /// Registers all parameters with `adam`.
+  void RegisterParams(AdamOptimizer* adam);
+
+  /// Polyak-averaged copy: this = tau * source + (1 - tau) * this.
+  /// Networks must have identical architecture.
+  void SoftUpdateFrom(const Mlp& source, double tau);
+
+  /// Hard copy of all parameters from `source`.
+  void CopyFrom(const Mlp& source);
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  OutputActivation output_activation_;
+  std::vector<std::unique_ptr<LinearLayer>> linears_;
+  std::vector<ReluLayer> relus_;
+  TanhLayer out_tanh_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,81 @@
+#include "src/optimizer/best_config.h"
+
+#include <algorithm>
+
+#include "src/common/math_util.h"
+#include "src/sampling/latin_hypercube.h"
+
+namespace llamatune {
+
+BestConfigOptimizer::BestConfigOptimizer(SearchSpace space,
+                                         BestConfigOptions options,
+                                         uint64_t seed)
+    : Optimizer(std::move(space)), options_(options), rng_(seed) {
+  ResetBox();
+}
+
+void BestConfigOptimizer::ResetBox() {
+  int d = space_.num_dims();
+  box_lo_.resize(d);
+  box_hi_.resize(d);
+  for (int i = 0; i < d; ++i) {
+    box_lo_[i] = space_.dim(i).lo;
+    box_hi_[i] = space_.dim(i).hi;
+  }
+}
+
+void BestConfigOptimizer::ShrinkBoxAround(const std::vector<double>& center) {
+  for (int i = 0; i < space_.num_dims(); ++i) {
+    const SearchDim& dim = space_.dim(i);
+    if (dim.type == SearchDim::Type::kCategorical) continue;  // stay free
+    double radius = (box_hi_[i] - box_lo_[i]) * options_.shrink / 2.0;
+    box_lo_[i] = Clamp(center[i] - radius, dim.lo, dim.hi);
+    box_hi_[i] = Clamp(center[i] + radius, dim.lo, dim.hi);
+    if (box_hi_[i] <= box_lo_[i]) {  // degenerate: reopen slightly
+      box_lo_[i] = dim.lo;
+      box_hi_[i] = dim.hi;
+    }
+  }
+}
+
+void BestConfigOptimizer::RefillRound() {
+  // LHS over the current bounding box: build a box-shaped space with
+  // the original dimension types so categorical/bucket semantics hold.
+  std::vector<SearchDim> dims;
+  dims.reserve(space_.num_dims());
+  for (int i = 0; i < space_.num_dims(); ++i) {
+    SearchDim dim = space_.dim(i);
+    if (dim.type == SearchDim::Type::kContinuous) {
+      dim.lo = box_lo_[i];
+      dim.hi = box_hi_[i];
+    }
+    dims.push_back(dim);
+  }
+  SearchSpace box(std::move(dims));
+  round_points_ = LatinHypercubeSample(box, options_.samples_per_round, &rng_);
+  // Snap onto the *original* space's grids (box grids may differ).
+  for (auto& point : round_points_) point = space_.SnapPoint(point);
+  round_cursor_ = 0;
+  round_start_best_ = BestValue();
+  have_round_baseline_ = !history_.empty();
+}
+
+std::vector<double> BestConfigOptimizer::Suggest() {
+  if (round_cursor_ >= round_points_.size()) RefillRound();
+  return round_points_[round_cursor_++];
+}
+
+void BestConfigOptimizer::Observe(const std::vector<double>& point,
+                                  double value) {
+  Optimizer::Observe(point, value);
+  if (round_cursor_ >= round_points_.size()) {
+    // Round complete: bound around an improved incumbent, else diverge.
+    if (!have_round_baseline_ || BestValue() > round_start_best_) {
+      ShrinkBoxAround(BestPoint());
+    } else {
+      ResetBox();
+    }
+  }
+}
+
+}  // namespace llamatune

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/optimizer/optimizer.h"
+
+namespace llamatune {
+
+/// \brief BestConfig options.
+struct BestConfigOptions {
+  /// LHS samples evaluated per round (the paper's k).
+  int samples_per_round = 10;
+  /// Bound shrink factor applied around the incumbent each time a
+  /// round improves it.
+  double shrink = 0.5;
+};
+
+/// \brief BestConfig-style search (Zhu et al., SoCC'17) — the
+/// search-based tuner the paper surveys (§2.2): divide-and-diverge
+/// sampling plus recursive bound-and-search. No surrogate model and no
+/// knowledge base: each round LHS-samples the current bounding box;
+/// if the round improves the incumbent the box shrinks around it,
+/// otherwise the search diverges back to the full space.
+///
+/// Included as a baseline beyond the paper's tables: it composes with
+/// LlamaTune's adapters exactly like the model-based optimizers.
+class BestConfigOptimizer : public Optimizer {
+ public:
+  BestConfigOptimizer(SearchSpace space, BestConfigOptions options,
+                      uint64_t seed);
+
+  std::vector<double> Suggest() override;
+  void Observe(const std::vector<double>& point, double value) override;
+  std::string name() const override { return "BestConfig"; }
+
+  /// Current per-dimension bounding box (exposed for tests).
+  const std::vector<double>& box_lo() const { return box_lo_; }
+  const std::vector<double>& box_hi() const { return box_hi_; }
+
+ private:
+  void ResetBox();
+  void ShrinkBoxAround(const std::vector<double>& center);
+  void RefillRound();
+
+  BestConfigOptions options_;
+  Rng rng_;
+  std::vector<double> box_lo_;
+  std::vector<double> box_hi_;
+  std::vector<std::vector<double>> round_points_;
+  size_t round_cursor_ = 0;
+  double round_start_best_ = 0.0;
+  bool have_round_baseline_ = false;
+};
+
+}  // namespace llamatune

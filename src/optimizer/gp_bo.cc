@@ -1,0 +1,91 @@
+#include "src/optimizer/gp_bo.h"
+
+#include <algorithm>
+
+#include "src/model/acquisition.h"
+#include "src/sampling/latin_hypercube.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+
+GpBoOptimizer::GpBoOptimizer(SearchSpace space, GpBoOptions options,
+                             uint64_t seed)
+    : Optimizer(std::move(space)),
+      options_(options),
+      rng_(seed),
+      gp_(space_, options.gp, HashCombine(seed, 0xfeedULL)) {}
+
+std::vector<double> GpBoOptimizer::Suggest() {
+  int iter = suggest_count_++;
+  if (iter < options_.n_init) {
+    if (init_design_.empty()) {
+      init_design_ = LatinHypercubeSample(space_, options_.n_init, &rng_);
+    }
+    return init_design_[iter];
+  }
+  return SuggestByModel();
+}
+
+std::vector<double> GpBoOptimizer::SuggestByModel() {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  xs.reserve(history_.size());
+  ys.reserve(history_.size());
+  for (const Observation& obs : history_) {
+    xs.push_back(obs.point);
+    ys.push_back(obs.value);
+  }
+  if (xs.empty()) return UniformSample(space_, &rng_);
+  Status st = gp_.Fit(xs, ys);
+  if (!st.ok()) {
+    // Degenerate Gram matrix: fall back to exploration.
+    return UniformSample(space_, &rng_);
+  }
+
+  double best = BestValue();
+
+  std::vector<std::vector<double>> candidates =
+      UniformSamples(space_, options_.num_random_candidates, &rng_);
+  std::vector<int> order(history_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return history_[a].value > history_[b].value;
+  });
+  int parents = std::min<int>(options_.num_local_parents,
+                              static_cast<int>(order.size()));
+  for (int p = 0; p < parents; ++p) {
+    const std::vector<double>& parent = history_[order[p]].point;
+    for (int k = 0; k < options_.num_neighbors_per_parent; ++k) {
+      std::vector<double> child = parent;
+      int d = space_.num_dims();
+      int num_mutations = 1 + static_cast<int>(rng_.UniformInt(0, d / 32));
+      for (int m = 0; m < num_mutations; ++m) {
+        int j = static_cast<int>(rng_.UniformInt(0, d - 1));
+        const SearchDim& dim = space_.dim(j);
+        if (dim.type == SearchDim::Type::kCategorical) {
+          child[j] =
+              static_cast<double>(rng_.UniformInt(0, dim.num_categories - 1));
+        } else {
+          double width = (dim.hi - dim.lo) * options_.neighbor_stddev;
+          child[j] = space_.Snap(j, parent[j] + rng_.Gaussian(0.0, width));
+        }
+      }
+      candidates.push_back(std::move(child));
+    }
+  }
+
+  double best_ei = -1.0;
+  int best_idx = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double mean = 0.0, variance = 0.0;
+    gp_.Predict(candidates[i], &mean, &variance);
+    double ei = ExpectedImprovement(mean, variance, best);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  return candidates[best_idx];
+}
+
+}  // namespace llamatune

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/model/gp.h"
+#include "src/optimizer/optimizer.h"
+
+namespace llamatune {
+
+/// \brief GP-BO configuration.
+struct GpBoOptions {
+  int n_init = 10;
+  int num_random_candidates = 500;
+  int num_local_parents = 5;
+  int num_neighbors_per_parent = 10;
+  double neighbor_stddev = 0.15;
+  GpOptions gp;
+};
+
+/// \brief Gaussian-process Bayesian optimization over a mixed space
+/// (Ru et al. 2020; the paper's "GP-BO" baseline).
+///
+/// Uses the Matérn-5/2 x Hamming product-kernel GP as surrogate and
+/// Expected Improvement as acquisition, with the same candidate
+/// generation scheme as SMAC (random pool + local neighborhoods).
+class GpBoOptimizer : public Optimizer {
+ public:
+  GpBoOptimizer(SearchSpace space, GpBoOptions options, uint64_t seed);
+
+  std::vector<double> Suggest() override;
+  std::string name() const override { return "GP-BO"; }
+
+ private:
+  std::vector<double> SuggestByModel();
+
+  GpBoOptions options_;
+  Rng rng_;
+  GaussianProcess gp_;
+  std::vector<std::vector<double>> init_design_;
+  int suggest_count_ = 0;
+};
+
+}  // namespace llamatune

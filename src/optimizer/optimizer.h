@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief One evaluated sample in the optimizer's knowledge base.
+struct Observation {
+  std::vector<double> point;
+  double value = 0.0;
+};
+
+/// \brief Abstract configuration optimizer (paper Fig. 1, step 2).
+///
+/// The contract is a maximize-objective suggest/observe loop over a
+/// SearchSpace. Optimizers never see physical DBMS knobs — the space
+/// they tune may be the identity-scaled knob space or a synthetic
+/// low-dimensional one; the SpaceAdapter owns that mapping. This is
+/// what lets LlamaTune's techniques compose with any optimizer without
+/// modification (paper §4.1: "requires no modifications to the
+/// underlying optimizer").
+class Optimizer {
+ public:
+  explicit Optimizer(SearchSpace space) : space_(std::move(space)) {}
+  virtual ~Optimizer() = default;
+
+  const SearchSpace& space() const { return space_; }
+
+  /// Proposes the next point to evaluate (a valid point of space()).
+  virtual std::vector<double> Suggest() = 0;
+
+  /// Records the objective value measured at `point`. Higher is
+  /// better; sessions minimizing latency negate before calling.
+  virtual void Observe(const std::vector<double>& point, double value) {
+    history_.push_back({point, value});
+  }
+
+  /// Optional hook for optimizers conditioning on DBMS internal
+  /// metrics (the RL state vector). Called by the session after each
+  /// workload run, before Observe.
+  virtual void ObserveMetrics(const std::vector<double>& /*metrics*/) {}
+
+  virtual std::string name() const = 0;
+
+  const std::vector<Observation>& history() const { return history_; }
+
+  /// Best observed value so far (-inf when empty).
+  double BestValue() const {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const Observation& obs : history_) best = std::max(best, obs.value);
+    return best;
+  }
+
+  /// Point achieving BestValue() (empty when no history).
+  std::vector<double> BestPoint() const {
+    std::vector<double> best_point;
+    double best = -std::numeric_limits<double>::infinity();
+    for (const Observation& obs : history_) {
+      if (obs.value > best) {
+        best = obs.value;
+        best_point = obs.point;
+      }
+    }
+    return best_point;
+  }
+
+ protected:
+  SearchSpace space_;
+  std::vector<Observation> history_;
+};
+
+}  // namespace llamatune

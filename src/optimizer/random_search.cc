@@ -1,0 +1,11 @@
+#include "src/optimizer/random_search.h"
+
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+
+std::vector<double> RandomSearchOptimizer::Suggest() {
+  return UniformSample(space_, &rng_);
+}
+
+}  // namespace llamatune

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/optimizer/optimizer.h"
+
+namespace llamatune {
+
+/// \brief Pure random search baseline: every suggestion is a uniform
+/// draw from the space. Useful as a control and in tests.
+class RandomSearchOptimizer : public Optimizer {
+ public:
+  RandomSearchOptimizer(SearchSpace space, uint64_t seed)
+      : Optimizer(std::move(space)), rng_(seed) {}
+
+  std::vector<double> Suggest() override;
+  std::string name() const override { return "RandomSearch"; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,98 @@
+#include "src/optimizer/search_space.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace llamatune {
+
+SearchDim SearchDim::Continuous(double lo, double hi, int64_t num_buckets) {
+  SearchDim dim;
+  dim.type = Type::kContinuous;
+  dim.lo = lo;
+  dim.hi = hi;
+  dim.num_buckets = num_buckets;
+  return dim;
+}
+
+SearchDim SearchDim::Categorical(int64_t num_categories) {
+  SearchDim dim;
+  dim.type = Type::kCategorical;
+  dim.num_categories = num_categories;
+  dim.lo = 0.0;
+  dim.hi = static_cast<double>(num_categories - 1);
+  return dim;
+}
+
+int SearchSpace::num_continuous() const {
+  int n = 0;
+  for (const SearchDim& d : dims_) {
+    if (d.type == SearchDim::Type::kContinuous) ++n;
+  }
+  return n;
+}
+
+int SearchSpace::num_categorical() const {
+  return num_dims() - num_continuous();
+}
+
+double SearchSpace::Snap(int dim_idx, double value) const {
+  const SearchDim& d = dims_[dim_idx];
+  if (d.type == SearchDim::Type::kCategorical) {
+    return Clamp(std::floor(value), 0.0,
+                 static_cast<double>(d.num_categories - 1));
+  }
+  double v = Clamp(value, d.lo, d.hi);
+  if (d.num_buckets > 1) {
+    double width = (d.hi - d.lo) / static_cast<double>(d.num_buckets - 1);
+    double steps = std::round((v - d.lo) / width);
+    v = Clamp(d.lo + steps * width, d.lo, d.hi);
+  } else if (d.num_buckets == 1) {
+    v = d.lo;
+  }
+  return v;
+}
+
+std::vector<double> SearchSpace::SnapPoint(
+    const std::vector<double>& point) const {
+  std::vector<double> out(point.size());
+  for (int i = 0; i < num_dims() && i < static_cast<int>(point.size()); ++i) {
+    out[i] = Snap(i, point[i]);
+  }
+  return out;
+}
+
+bool SearchSpace::Contains(const std::vector<double>& point) const {
+  if (static_cast<int>(point.size()) != num_dims()) return false;
+  for (int i = 0; i < num_dims(); ++i) {
+    const SearchDim& d = dims_[i];
+    double v = point[i];
+    if (d.type == SearchDim::Type::kCategorical) {
+      if (v < 0 || v >= static_cast<double>(d.num_categories) ||
+          v != std::floor(v)) {
+        return false;
+      }
+    } else {
+      if (v < d.lo || v > d.hi) return false;
+      if (d.num_buckets > 1) {
+        double width = (d.hi - d.lo) / static_cast<double>(d.num_buckets - 1);
+        double steps = (v - d.lo) / width;
+        if (std::abs(steps - std::round(steps)) > 1e-9) return false;
+      }
+    }
+  }
+  return true;
+}
+
+SearchSpace SearchSpace::Bucketized(int64_t max_unique_values) const {
+  std::vector<SearchDim> dims = dims_;
+  for (SearchDim& d : dims) {
+    if (d.type != SearchDim::Type::kContinuous) continue;
+    if (d.num_buckets == 0 || d.num_buckets > max_unique_values) {
+      d.num_buckets = max_unique_values;
+    }
+  }
+  return SearchSpace(std::move(dims));
+}
+
+}  // namespace llamatune

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace llamatune {
+
+/// \brief One dimension of an optimizer-facing search space.
+///
+/// This is deliberately decoupled from KnobSpec: the optimizer may be
+/// tuning synthetic dimensions (paper §3.1) that map to many physical
+/// knobs, or bucketized versions of real knobs. Continuous dimensions
+/// may carry a finite grid (`num_buckets` > 0), in which case valid
+/// coordinates are the `num_buckets` equally spaced values over
+/// [lo, hi] — this is how search-space bucketization (paper §4.2) is
+/// exposed to the optimizer so that it "is aware of the larger sampling
+/// intervals".
+struct SearchDim {
+  enum class Type { kContinuous, kCategorical };
+
+  Type type = Type::kContinuous;
+  double lo = 0.0;
+  double hi = 1.0;
+  int64_t num_categories = 0;
+  int64_t num_buckets = 0;  ///< 0 = continuum; else grid of this many values
+
+  static SearchDim Continuous(double lo, double hi, int64_t num_buckets = 0);
+  static SearchDim Categorical(int64_t num_categories);
+};
+
+/// \brief An ordered list of SearchDims; points are vectors of doubles
+/// (categorical coordinates hold the category index).
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<SearchDim> dims) : dims_(std::move(dims)) {}
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const SearchDim& dim(int i) const { return dims_[i]; }
+  const std::vector<SearchDim>& dims() const { return dims_; }
+
+  /// Number of continuous (resp. categorical) dimensions.
+  int num_continuous() const;
+  int num_categorical() const;
+
+  /// Snaps a single coordinate into the dimension's valid set: clamp to
+  /// [lo, hi], round to the bucket grid, floor+clamp category indices.
+  double Snap(int dim_idx, double value) const;
+
+  /// Snaps every coordinate of `point` (size must match).
+  std::vector<double> SnapPoint(const std::vector<double>& point) const;
+
+  /// True iff `point` has the right arity and every coordinate is valid
+  /// (within bounds, on-grid, integral category index).
+  bool Contains(const std::vector<double>& point) const;
+
+  /// Returns a space identical to this one but with every continuous
+  /// dimension bucketized to at most `max_unique_values` values.
+  /// Dimensions already quantized more coarsely are unaffected.
+  SearchSpace Bucketized(int64_t max_unique_values) const;
+
+ private:
+  std::vector<SearchDim> dims_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,102 @@
+#include "src/optimizer/smac.h"
+
+#include <algorithm>
+
+#include "src/model/acquisition.h"
+#include "src/sampling/latin_hypercube.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+
+SmacOptimizer::SmacOptimizer(SearchSpace space, SmacOptions options,
+                             uint64_t seed)
+    : Optimizer(std::move(space)),
+      options_(options),
+      rng_(seed),
+      forest_(space_, options.forest, HashCombine(seed, 0x5a5a5a5aULL)) {}
+
+std::vector<double> SmacOptimizer::Suggest() {
+  int iter = suggest_count_++;
+  if (iter < options_.n_init) {
+    if (init_design_.empty()) {
+      init_design_ = LatinHypercubeSample(space_, options_.n_init, &rng_);
+    }
+    return init_design_[iter];
+  }
+  if (options_.random_interleave > 0 &&
+      (iter - options_.n_init + 1) % options_.random_interleave == 0) {
+    return UniformSample(space_, &rng_);
+  }
+  return SuggestByModel();
+}
+
+std::vector<double> SmacOptimizer::MutateNeighbor(
+    const std::vector<double>& parent) {
+  std::vector<double> child = parent;
+  // SMAC's local search perturbs one parameter at a time; allow a
+  // couple more in very high-dimensional spaces.
+  int d = space_.num_dims();
+  int num_mutations = 1 + static_cast<int>(rng_.UniformInt(0, d / 32));
+  for (int m = 0; m < num_mutations; ++m) {
+    int j = static_cast<int>(rng_.UniformInt(0, d - 1));
+    const SearchDim& dim = space_.dim(j);
+    if (dim.type == SearchDim::Type::kCategorical) {
+      child[j] = static_cast<double>(rng_.UniformInt(0, dim.num_categories - 1));
+    } else {
+      double width = (dim.hi - dim.lo) * options_.neighbor_stddev;
+      child[j] = space_.Snap(j, parent[j] + rng_.Gaussian(0.0, width));
+    }
+  }
+  return child;
+}
+
+std::vector<double> SmacOptimizer::SuggestByModel() {
+  // Fit the forest to the full history.
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  xs.reserve(history_.size());
+  ys.reserve(history_.size());
+  for (const Observation& obs : history_) {
+    xs.push_back(obs.point);
+    ys.push_back(obs.value);
+  }
+  if (xs.empty()) return UniformSample(space_, &rng_);
+  forest_.Fit(xs, ys);
+
+  double best = BestValue();
+
+  // Candidate pool: uniform random + local neighborhoods of the top
+  // observed incumbents.
+  std::vector<std::vector<double>> candidates =
+      UniformSamples(space_, options_.num_random_candidates, &rng_);
+
+  std::vector<int> order(history_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return history_[a].value > history_[b].value;
+  });
+  int parents = std::min<int>(options_.num_local_parents,
+                              static_cast<int>(order.size()));
+  for (int p = 0; p < parents; ++p) {
+    const std::vector<double>& parent = history_[order[p]].point;
+    for (int k = 0; k < options_.num_neighbors_per_parent; ++k) {
+      candidates.push_back(MutateNeighbor(parent));
+    }
+  }
+
+  // Score by Expected Improvement.
+  double best_ei = -1.0;
+  int best_idx = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double mean = 0.0, variance = 0.0;
+    forest_.Predict(candidates[i], &mean, &variance);
+    double ei = ExpectedImprovement(mean, variance, best);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  return candidates[best_idx];
+}
+
+}  // namespace llamatune

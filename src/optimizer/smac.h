@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/model/random_forest.h"
+#include "src/optimizer/optimizer.h"
+
+namespace llamatune {
+
+/// \brief SMAC configuration (defaults follow the paper's setup and
+/// SMAC3's spirit at a scale appropriate for 100-iteration sessions).
+struct SmacOptions {
+  /// LHS-generated initial design size (paper: first 10 iterations).
+  int n_init = 10;
+  /// Interleave one uniformly random suggestion every this many
+  /// model-based iterations ("random configurations proposed by the
+  /// optimizer periodically", paper §4.1).
+  int random_interleave = 10;
+  /// Random candidates scored by EI each iteration.
+  int num_random_candidates = 500;
+  /// Local-search: neighbors drawn around each of the top incumbents.
+  int num_local_parents = 5;
+  int num_neighbors_per_parent = 20;
+  /// Gaussian neighborhood width as a fraction of each dim's range.
+  double neighbor_stddev = 0.15;
+  RandomForestOptions forest;
+};
+
+/// \brief Sequential Model-based Algorithm Configuration (Hutter et
+/// al. 2011) — random-forest Bayesian optimization, the paper's
+/// strongest baseline and LlamaTune's default optimizer.
+///
+/// Loop: LHS initial design; then fit the RF to all observations,
+/// generate candidates (uniform random + Gaussian neighborhoods of the
+/// best observed points), and suggest the candidate maximizing
+/// Expected Improvement. Periodically a pure random suggestion is
+/// interleaved for exploration.
+class SmacOptimizer : public Optimizer {
+ public:
+  SmacOptimizer(SearchSpace space, SmacOptions options, uint64_t seed);
+
+  std::vector<double> Suggest() override;
+  std::string name() const override { return "SMAC"; }
+
+  const SmacOptions& options() const { return options_; }
+
+ private:
+  std::vector<double> SuggestByModel();
+  std::vector<double> MutateNeighbor(const std::vector<double>& parent);
+
+  SmacOptions options_;
+  Rng rng_;
+  RandomForest forest_;
+  std::vector<std::vector<double>> init_design_;
+  int suggest_count_ = 0;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,32 @@
+#include "src/projection/hesbo.h"
+
+#include "src/common/rng.h"
+
+namespace llamatune {
+
+HesboProjection::HesboProjection(int high_dim, int low_dim, uint64_t seed)
+    : high_dim_(high_dim), low_dim_(low_dim) {
+  Rng rng(seed);
+  h_.resize(high_dim_);
+  sigma_.resize(high_dim_);
+  for (int i = 0; i < high_dim_; ++i) {
+    h_[i] = static_cast<int>(rng.UniformInt(0, low_dim_ - 1));
+    sigma_[i] = rng.Bernoulli(0.5) ? 1 : -1;
+  }
+}
+
+std::vector<double> HesboProjection::Project(
+    const std::vector<double>& p) const {
+  std::vector<double> out(high_dim_, 0.0);
+  for (int i = 0; i < high_dim_; ++i) {
+    out[i] = static_cast<double>(sigma_[i]) * p[h_[i]];
+  }
+  return out;
+}
+
+SearchSpace HesboProjection::LowDimSpace() const {
+  std::vector<SearchDim> dims(low_dim_, SearchDim::Continuous(-1.0, 1.0));
+  return SearchSpace(std::move(dims));
+}
+
+}  // namespace llamatune

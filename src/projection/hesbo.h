@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/projection/projection.h"
+
+namespace llamatune {
+
+/// \brief HeSBO count-sketch embedding (Nayebi, Munteanu & Poloczek 2019).
+///
+/// The low-dimensional space is X_d = [-1, 1]^d. Each high-dimensional
+/// coordinate i is controlled by exactly one synthetic knob h(i) with a
+/// random sign sigma(i): Project(p)[i] = sigma(i) * p[h(i)]. Because
+/// every output coordinate is a signed copy of an in-range input
+/// coordinate, the projection can never leave [-1,1]^D — no clipping,
+/// interior points stay reachable (paper §3.2).
+class HesboProjection : public Projection {
+ public:
+  HesboProjection(int high_dim, int low_dim, uint64_t seed);
+
+  int low_dim() const override { return low_dim_; }
+  int high_dim() const override { return high_dim_; }
+  std::vector<double> Project(const std::vector<double>& p) const override;
+  SearchSpace LowDimSpace() const override;
+  std::string name() const override { return "HeSBO"; }
+
+  /// The synthetic knob h(i) controlling high-dim coordinate i.
+  int bucket(int i) const { return h_[i]; }
+  /// The sign sigma(i) applied to high-dim coordinate i.
+  int sign(int i) const { return sigma_[i]; }
+
+ private:
+  int high_dim_;
+  int low_dim_;
+  std::vector<int> h_;      // size D, values in [0, d)
+  std::vector<int> sigma_;  // size D, values in {-1, +1}
+};
+
+}  // namespace llamatune

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief A randomized linear embedding from a low-dimensional search
+/// space X_d (tuned by the optimizer) into the scaled high-dimensional
+/// knob space X_D = [-1, 1]^D (paper §3.2).
+///
+/// The projection matrix is generated once at construction from an
+/// explicit seed and stays constant for the whole tuning session
+/// (paper Algorithm 1, line 1).
+class Projection {
+ public:
+  virtual ~Projection() = default;
+
+  /// Dimensionality d of the optimizer-facing space.
+  virtual int low_dim() const = 0;
+
+  /// Dimensionality D of the physical knob space.
+  virtual int high_dim() const = 0;
+
+  /// Maps a low-dimensional point p in X_d to a point in [-1, 1]^D
+  /// (clipping if the raw projection escapes the box).
+  virtual std::vector<double> Project(const std::vector<double>& p) const = 0;
+
+  /// The optimizer-facing low-dimensional box as a SearchSpace (all
+  /// continuous dimensions).
+  virtual SearchSpace LowDimSpace() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace llamatune

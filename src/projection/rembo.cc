@@ -1,0 +1,47 @@
+#include "src/projection/rembo.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/rng.h"
+
+namespace llamatune {
+
+RemboProjection::RemboProjection(int high_dim, int low_dim, uint64_t seed)
+    : high_dim_(high_dim), low_dim_(low_dim) {
+  Rng rng(seed);
+  matrix_.assign(high_dim_, std::vector<double>(low_dim_, 0.0));
+  for (int i = 0; i < high_dim_; ++i) {
+    for (int j = 0; j < low_dim_; ++j) {
+      matrix_[i][j] = rng.Gaussian();
+    }
+  }
+}
+
+std::vector<double> RemboProjection::Project(
+    const std::vector<double>& p) const {
+  std::vector<double> out(high_dim_, 0.0);
+  for (int i = 0; i < high_dim_; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < low_dim_; ++j) acc += matrix_[i][j] * p[j];
+    out[i] = Clamp(acc, -1.0, 1.0);
+  }
+  return out;
+}
+
+SearchSpace RemboProjection::LowDimSpace() const {
+  double bound = std::sqrt(static_cast<double>(low_dim_));
+  std::vector<SearchDim> dims(low_dim_, SearchDim::Continuous(-bound, bound));
+  return SearchSpace(std::move(dims));
+}
+
+double RemboProjection::ClippedFraction(const std::vector<double>& p) const {
+  std::vector<double> projected = Project(p);
+  int clipped = 0;
+  for (double v : projected) {
+    if (v == -1.0 || v == 1.0) ++clipped;
+  }
+  return static_cast<double>(clipped) / static_cast<double>(high_dim_);
+}
+
+}  // namespace llamatune

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/projection/projection.h"
+
+namespace llamatune {
+
+/// \brief REMBO random embedding (Wang et al. 2016).
+///
+/// The low-dimensional space is X_d = [-sqrt(d), sqrt(d)]^d and the
+/// projection matrix A (D x d) has i.i.d. N(0,1) entries. Projected
+/// points Ap that leave [-1,1]^D are clipped per-coordinate — the
+/// behaviour responsible for REMBO's weakness on interior optima
+/// (paper §3.2, Fig. 3): most points end up on the facets of X_D.
+class RemboProjection : public Projection {
+ public:
+  RemboProjection(int high_dim, int low_dim, uint64_t seed);
+
+  int low_dim() const override { return low_dim_; }
+  int high_dim() const override { return high_dim_; }
+  std::vector<double> Project(const std::vector<double>& p) const override;
+  SearchSpace LowDimSpace() const override;
+  std::string name() const override { return "REMBO"; }
+
+  /// Fraction of coordinates of Project(p) that sit exactly on the
+  /// [-1,1] boundary — instrumentation for the clipping pathology.
+  double ClippedFraction(const std::vector<double>& p) const;
+
+ private:
+  int high_dim_;
+  int low_dim_;
+  std::vector<std::vector<double>> matrix_;  // D rows x d cols
+};
+
+}  // namespace llamatune

@@ -1,0 +1,29 @@
+#include "src/sampling/latin_hypercube.h"
+
+namespace llamatune {
+
+std::vector<std::vector<double>> LatinHypercubeSample(const SearchSpace& space,
+                                                      int n, Rng* rng) {
+  int d = space.num_dims();
+  std::vector<std::vector<double>> points(n, std::vector<double>(d, 0.0));
+  for (int j = 0; j < d; ++j) {
+    const SearchDim& dim = space.dim(j);
+    std::vector<int> perm = rng->Permutation(n);
+    for (int i = 0; i < n; ++i) {
+      if (dim.type == SearchDim::Type::kCategorical) {
+        // Round-robin over categories through a random permutation so
+        // every category appears floor(n/k) or ceil(n/k) times.
+        int cat = perm[i] % static_cast<int>(dim.num_categories);
+        points[i][j] = static_cast<double>(cat);
+      } else {
+        double stratum_lo = static_cast<double>(perm[i]) / n;
+        double u = stratum_lo + rng->Uniform(0.0, 1.0) / n;
+        double v = dim.lo + u * (dim.hi - dim.lo);
+        points[i][j] = space.Snap(j, v);
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Latin Hypercube Sampling (McKay, Beckman & Conover 1979).
+///
+/// Generates `n` points such that, for every continuous dimension, the
+/// range is divided into `n` equal strata and each stratum contains
+/// exactly one sample. Categorical dimensions are stratified over their
+/// categories (round-robin over a random permutation). Points are
+/// snapped onto bucket grids where the space is quantized.
+///
+/// This is the space-filling design used to seed every optimizer's
+/// first `n_init` iterations (paper Algorithm 1, line 2) and to build
+/// the configuration corpora for importance ranking (paper §2.3.2).
+std::vector<std::vector<double>> LatinHypercubeSample(const SearchSpace& space,
+                                                      int n, Rng* rng);
+
+}  // namespace llamatune

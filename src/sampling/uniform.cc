@@ -1,0 +1,26 @@
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+
+std::vector<double> UniformSample(const SearchSpace& space, Rng* rng) {
+  std::vector<double> point(space.num_dims());
+  for (int j = 0; j < space.num_dims(); ++j) {
+    const SearchDim& dim = space.dim(j);
+    if (dim.type == SearchDim::Type::kCategorical) {
+      point[j] = static_cast<double>(rng->UniformInt(0, dim.num_categories - 1));
+    } else {
+      point[j] = space.Snap(j, rng->Uniform(dim.lo, dim.hi));
+    }
+  }
+  return point;
+}
+
+std::vector<std::vector<double>> UniformSamples(const SearchSpace& space, int n,
+                                                Rng* rng) {
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) points.push_back(UniformSample(space, rng));
+  return points;
+}
+
+}  // namespace llamatune

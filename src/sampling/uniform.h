@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Draws one uniform random point from `space` (snapped onto any
+/// bucket grids; categorical dims pick a uniform category).
+std::vector<double> UniformSample(const SearchSpace& space, Rng* rng);
+
+/// \brief Draws `n` i.i.d. uniform points.
+std::vector<std::vector<double>> UniformSamples(const SearchSpace& space, int n,
+                                                Rng* rng);
+
+}  // namespace llamatune

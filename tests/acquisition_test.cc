@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "src/model/acquisition.h"
+
+namespace llamatune {
+namespace {
+
+TEST(EiTest, NonNegative) {
+  EXPECT_GE(ExpectedImprovement(0.0, 1.0, 10.0), 0.0);
+  EXPECT_GE(ExpectedImprovement(-5.0, 0.01, 10.0), 0.0);
+}
+
+TEST(EiTest, ZeroVarianceDegeneratesToReluImprovement) {
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(12.0, 0.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(8.0, 0.0, 10.0), 0.0);
+}
+
+TEST(EiTest, IncreasingInMean) {
+  double prev = ExpectedImprovement(0.0, 1.0, 5.0);
+  for (double mean = 1.0; mean <= 10.0; mean += 1.0) {
+    double cur = ExpectedImprovement(mean, 1.0, 5.0);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(EiTest, PositiveWithUncertaintyEvenBelowIncumbent) {
+  EXPECT_GT(ExpectedImprovement(9.0, 4.0, 10.0), 0.0);
+}
+
+TEST(EiTest, MoreVarianceMoreExplorationValue) {
+  double low = ExpectedImprovement(9.0, 0.25, 10.0);
+  double high = ExpectedImprovement(9.0, 4.0, 10.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(EiTest, XiShrinksAcquisition) {
+  EXPECT_LT(ExpectedImprovement(11.0, 1.0, 10.0, 0.5),
+            ExpectedImprovement(11.0, 1.0, 10.0, 0.0));
+}
+
+TEST(EiTest, BatchMatchesScalar) {
+  std::vector<double> means = {1.0, 5.0, 12.0};
+  std::vector<double> variances = {1.0, 2.0, 0.5};
+  auto batch = ExpectedImprovementBatch(means, variances, 10.0);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(batch[i],
+                     ExpectedImprovement(means[i], variances[i], 10.0));
+  }
+}
+
+// Property: EI at huge mean surplus approaches the surplus itself.
+class EiAsymptote : public ::testing::TestWithParam<double> {};
+
+TEST_P(EiAsymptote, LargeImprovementAsymptote) {
+  double surplus = GetParam();
+  double ei = ExpectedImprovement(10.0 + surplus, 1.0, 10.0);
+  EXPECT_NEAR(ei, surplus, 0.05 + surplus * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Surplus, EiAsymptote,
+                         ::testing::Values(5.0, 10.0, 50.0, 100.0));
+
+}  // namespace
+}  // namespace llamatune

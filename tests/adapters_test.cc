@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/identity_adapter.h"
+#include "src/core/llamatune_adapter.h"
+#include "src/core/subset_adapter.h"
+#include "src/dbsim/knob_catalog.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+namespace {
+
+class AdapterFixture : public ::testing::Test {
+ protected:
+  ConfigSpace space_ = dbsim::PostgresV96Catalog();
+};
+
+TEST_F(AdapterFixture, IdentityDimensionPerKnob) {
+  IdentityAdapter adapter(&space_);
+  EXPECT_EQ(adapter.search_space().num_dims(), space_.num_knobs());
+}
+
+TEST_F(AdapterFixture, IdentityProjectsValidConfigs) {
+  IdentityAdapter adapter(&space_);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto p = UniformSample(adapter.search_space(), &rng);
+    Configuration c = adapter.Project(p);
+    EXPECT_TRUE(space_.ValidateConfiguration(c).ok());
+  }
+}
+
+TEST_F(AdapterFixture, IdentityWithSvbBiasesHybridKnobs) {
+  IdentityAdapterOptions options;
+  options.special_value_bias = 0.2;
+  IdentityAdapter adapter(&space_, options);
+  Rng rng(2);
+  int bfa_idx = space_.IndexOf("backend_flush_after");
+  ASSERT_GE(bfa_idx, 0);
+  int specials = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    auto p = UniformSample(adapter.search_space(), &rng);
+    Configuration c = adapter.Project(p);
+    if (c[bfa_idx] == 0.0) ++specials;
+  }
+  EXPECT_NEAR(static_cast<double>(specials) / n, 0.2, 0.03);
+  EXPECT_NE(adapter.name().find("SVB"), std::string::npos);
+}
+
+TEST_F(AdapterFixture, IdentityBucketizedSpace) {
+  IdentityAdapterOptions options;
+  options.bucket_values = 1000;
+  IdentityAdapter adapter(&space_, options);
+  for (int i = 0; i < adapter.search_space().num_dims(); ++i) {
+    const SearchDim& d = adapter.search_space().dim(i);
+    if (d.type == SearchDim::Type::kContinuous) {
+      EXPECT_LE(d.num_buckets, 1000);
+      EXPECT_GT(d.num_buckets, 0);
+    }
+  }
+}
+
+TEST_F(AdapterFixture, LlamaTuneSpaceIsBucketizedLowDim) {
+  LlamaTuneOptions options;  // paper defaults: HeSBO-16, 20%, K=10000
+  LlamaTuneAdapter adapter(&space_, options);
+  ASSERT_EQ(adapter.search_space().num_dims(), 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(adapter.search_space().dim(i).num_buckets, 10000);
+    EXPECT_EQ(adapter.search_space().dim(i).lo, -1.0);
+    EXPECT_EQ(adapter.search_space().dim(i).hi, 1.0);
+  }
+  EXPECT_NE(adapter.name().find("HeSBO-16"), std::string::npos);
+}
+
+TEST_F(AdapterFixture, LlamaTuneProjectsValidConfigs) {
+  for (auto kind : {ProjectionKind::kHesbo, ProjectionKind::kRembo}) {
+    LlamaTuneOptions options;
+    options.projection = kind;
+    LlamaTuneAdapter adapter(&space_, options);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      auto p = UniformSample(adapter.search_space(), &rng);
+      Configuration c = adapter.Project(p);
+      EXPECT_TRUE(space_.ValidateConfiguration(c).ok());
+    }
+  }
+}
+
+TEST_F(AdapterFixture, LlamaTuneSpecialValueMassOnHybrids) {
+  LlamaTuneOptions options;
+  LlamaTuneAdapter adapter(&space_, options);
+  Rng rng(4);
+  int bfa_idx = space_.IndexOf("backend_flush_after");
+  int specials = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    auto p = UniformSample(adapter.search_space(), &rng);
+    if (adapter.Project(p)[bfa_idx] == 0.0) ++specials;
+  }
+  // The projected marginal is uniform-ish, so the special band should
+  // receive roughly the configured 20% mass.
+  EXPECT_NEAR(static_cast<double>(specials) / n, 0.2, 0.04);
+}
+
+TEST_F(AdapterFixture, LlamaTuneZeroSvbOnlyHitsSpecialAtBoundary) {
+  LlamaTuneOptions options;
+  options.special_value_bias = 0.0;
+  LlamaTuneAdapter adapter(&space_, options);
+  Rng rng(5);
+  int bfa_idx = space_.IndexOf("backend_flush_after");
+  int specials = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    auto p = UniformSample(adapter.search_space(), &rng);
+    if (adapter.Project(p)[bfa_idx] == 0.0) ++specials;
+  }
+  EXPECT_LT(static_cast<double>(specials) / n, 0.02);
+}
+
+TEST_F(AdapterFixture, LlamaTuneDeterministicPerSeed) {
+  LlamaTuneOptions options;
+  options.projection_seed = 99;
+  LlamaTuneAdapter a(&space_, options), b(&space_, options);
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    auto p = UniformSample(a.search_space(), &rng);
+    EXPECT_EQ(a.Project(p), b.Project(p));
+  }
+}
+
+TEST_F(AdapterFixture, RemboNameAndBounds) {
+  LlamaTuneOptions options;
+  options.projection = ProjectionKind::kRembo;
+  options.target_dim = 8;
+  LlamaTuneAdapter adapter(&space_, options);
+  EXPECT_NE(adapter.name().find("REMBO-8"), std::string::npos);
+  EXPECT_NEAR(adapter.search_space().dim(0).hi, std::sqrt(8.0), 1e-12);
+}
+
+TEST_F(AdapterFixture, SubsetAdapterOnlyTouchesSelectedKnobs) {
+  auto result = SubsetAdapter::Create(
+      &space_, {"shared_buffers", "commit_delay", "enable_seqscan"});
+  ASSERT_TRUE(result.ok());
+  const SubsetAdapter& adapter = *result;
+  EXPECT_EQ(adapter.search_space().num_dims(), 3);
+  Rng rng(7);
+  Configuration def = space_.DefaultConfiguration();
+  for (int i = 0; i < 50; ++i) {
+    auto p = UniformSample(adapter.search_space(), &rng);
+    Configuration c = adapter.Project(p);
+    EXPECT_TRUE(space_.ValidateConfiguration(c).ok());
+    for (int j = 0; j < space_.num_knobs(); ++j) {
+      bool selected = j == space_.IndexOf("shared_buffers") ||
+                      j == space_.IndexOf("commit_delay") ||
+                      j == space_.IndexOf("enable_seqscan");
+      if (!selected) EXPECT_EQ(c[j], def[j]) << space_.knob(j).name;
+    }
+  }
+}
+
+TEST_F(AdapterFixture, SubsetAdapterRejectsUnknownKnob) {
+  auto result = SubsetAdapter::Create(&space_, {"no_such_knob"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(SubsetAdapter::Create(&space_, {}).ok());
+}
+
+// Property sweep: the full LlamaTune pipeline stays valid across
+// projection dimensions and both catalog versions.
+struct PipelineCase {
+  dbsim::PostgresVersion version;
+  int dim;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineProperty, ProjectedConfigsAlwaysValid) {
+  ConfigSpace space = dbsim::CatalogFor(GetParam().version);
+  LlamaTuneOptions options;
+  options.target_dim = GetParam().dim;
+  LlamaTuneAdapter adapter(&space, options);
+  Rng rng(GetParam().dim);
+  for (int i = 0; i < 100; ++i) {
+    auto p = UniformSample(adapter.search_space(), &rng);
+    EXPECT_TRUE(space.ValidateConfiguration(adapter.Project(p)).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PipelineProperty,
+    ::testing::Values(PipelineCase{dbsim::PostgresVersion::kV96, 8},
+                      PipelineCase{dbsim::PostgresVersion::kV96, 16},
+                      PipelineCase{dbsim::PostgresVersion::kV96, 24},
+                      PipelineCase{dbsim::PostgresVersion::kV136, 16}));
+
+}  // namespace
+}  // namespace llamatune

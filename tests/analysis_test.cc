@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/analysis/importance.h"
+#include "src/analysis/shap.h"
+#include "src/core/identity_adapter.h"
+
+namespace llamatune {
+namespace {
+
+// A synthetic objective with two planted important knobs out of ten.
+class PlantedObjective : public ObjectiveFunction {
+ public:
+  PlantedObjective() : space_(MakeSpace()) {}
+
+  static ConfigSpace MakeSpace() {
+    std::vector<KnobSpec> knobs;
+    for (int i = 0; i < 10; ++i) {
+      knobs.push_back(
+          RealKnob("knob_" + std::to_string(i), 0.0, 1.0, 0.5));
+    }
+    return *ConfigSpace::Create(std::move(knobs));
+  }
+
+  EvalResult Evaluate(const Configuration& config) override {
+    EvalResult result;
+    // knob_3 dominates, knob_7 matters, the rest are noise-free inert.
+    result.value = 100.0 * config[3] + 30.0 * config[7];
+    return result;
+  }
+
+  const ConfigSpace& config_space() const override { return space_; }
+
+ private:
+  ConfigSpace space_;
+};
+
+class AnalysisFixture : public ::testing::Test {
+ protected:
+  AnalysisFixture() : adapter_(&objective_.config_space()) {}
+  PlantedObjective objective_;
+  IdentityAdapter adapter_;
+};
+
+TEST_F(AnalysisFixture, CorpusHasRequestedSize) {
+  ImportanceCorpus corpus = BuildCorpus(&objective_, adapter_, 120, 1);
+  EXPECT_EQ(corpus.points.size(), 120u);
+  EXPECT_EQ(corpus.values.size(), 120u);
+}
+
+TEST_F(AnalysisFixture, PermutationImportanceFindsPlantedKnobs) {
+  ImportanceCorpus corpus = BuildCorpus(&objective_, adapter_, 300, 2);
+  auto ranking = PermutationImportance(corpus, adapter_, 3);
+  ASSERT_EQ(ranking.size(), 10u);
+  EXPECT_EQ(ranking[0].knob, "knob_3");
+  EXPECT_EQ(ranking[1].knob, "knob_7");
+  EXPECT_GT(ranking[0].score, ranking[1].score);
+  // Scores are normalized and descending.
+  double total = 0.0, prev = 1e18;
+  for (const auto& ki : ranking) {
+    total += ki.score;
+    EXPECT_LE(ki.score, prev);
+    prev = ki.score;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(AnalysisFixture, ShapImportanceFindsPlantedKnobs) {
+  ImportanceCorpus corpus = BuildCorpus(&objective_, adapter_, 300, 4);
+  std::vector<double> baseline(10, 0.5);
+  auto ranking = ShapImportance(corpus, adapter_, baseline, {}, 5);
+  ASSERT_EQ(ranking.size(), 10u);
+  EXPECT_EQ(ranking[0].knob, "knob_3");
+  EXPECT_EQ(ranking[1].knob, "knob_7");
+}
+
+TEST_F(AnalysisFixture, TopKnobsTruncates) {
+  ImportanceCorpus corpus = BuildCorpus(&objective_, adapter_, 200, 6);
+  auto ranking = PermutationImportance(corpus, adapter_, 7);
+  auto top = TopKnobs(ranking, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], "knob_3");
+  auto all = TopKnobs(ranking, 99);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST_F(AnalysisFixture, TinyCorpusDegradesGracefully) {
+  ImportanceCorpus corpus;
+  corpus.points = {{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}};
+  corpus.values = {1.0};
+  auto ranking = PermutationImportance(corpus, adapter_, 8);
+  EXPECT_EQ(ranking.size(), 10u);  // zero scores, but well-formed
+}
+
+TEST_F(AnalysisFixture, CrashedSamplesAreDropped) {
+  class CrashyObjective : public PlantedObjective {
+   public:
+    EvalResult Evaluate(const Configuration& config) override {
+      EvalResult result = PlantedObjective::Evaluate(config);
+      if (config[0] > 0.8) result.crashed = true;
+      return result;
+    }
+  };
+  CrashyObjective objective;
+  IdentityAdapter adapter(&objective.config_space());
+  ImportanceCorpus corpus = BuildCorpus(&objective, adapter, 200, 9);
+  EXPECT_LT(corpus.points.size(), 200u);
+  EXPECT_GT(corpus.points.size(), 120u);
+  EXPECT_EQ(corpus.points.size(), corpus.values.size());
+  for (const auto& p : corpus.points) EXPECT_LE(p[0], 0.8001);
+}
+
+// Property: importance rankings are deterministic per seed.
+class ImportanceDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImportanceDeterminism, SameSeedSameRanking) {
+  PlantedObjective objective;
+  IdentityAdapter adapter(&objective.config_space());
+  ImportanceCorpus corpus = BuildCorpus(&objective, adapter, 150, 10);
+  auto a = PermutationImportance(corpus, adapter, GetParam());
+  auto b = PermutationImportance(corpus, adapter, GetParam());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].knob, b[i].knob);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImportanceDeterminism,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace llamatune

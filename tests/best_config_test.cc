@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "src/optimizer/best_config.h"
+#include "src/optimizer/random_search.h"
+
+namespace llamatune {
+namespace {
+
+SearchSpace Box2d() {
+  return SearchSpace(
+      {SearchDim::Continuous(0.0, 1.0), SearchDim::Continuous(0.0, 1.0)});
+}
+
+double Quadratic(const std::vector<double>& p) {
+  double dx = p[0] - 0.6, dy = p[1] - 0.4;
+  return 10.0 - 20.0 * (dx * dx + dy * dy);
+}
+
+TEST(BestConfigTest, SuggestionsInBounds) {
+  BestConfigOptimizer opt(Box2d(), {}, 1);
+  for (int i = 0; i < 50; ++i) {
+    auto p = opt.Suggest();
+    EXPECT_TRUE(opt.space().Contains(p));
+    opt.Observe(p, Quadratic(p));
+  }
+}
+
+TEST(BestConfigTest, BoxShrinksOnImprovingRound) {
+  BestConfigOptions options;
+  options.samples_per_round = 5;
+  BestConfigOptimizer opt(Box2d(), options, 2);
+  double initial_width = opt.box_hi()[0] - opt.box_lo()[0];
+  // First round always "improves" (no prior incumbent).
+  for (int i = 0; i < 5; ++i) {
+    auto p = opt.Suggest();
+    opt.Observe(p, Quadratic(p));
+  }
+  double width = opt.box_hi()[0] - opt.box_lo()[0];
+  EXPECT_LT(width, initial_width);
+}
+
+TEST(BestConfigTest, DivergesWhenStuck) {
+  BestConfigOptions options;
+  options.samples_per_round = 4;
+  BestConfigOptimizer opt(Box2d(), options, 3);
+  // Round 1: establish an unbeatable incumbent.
+  for (int i = 0; i < 4; ++i) {
+    auto p = opt.Suggest();
+    opt.Observe(p, 100.0);
+  }
+  // Round 2: strictly worse values -> the box resets to full space.
+  for (int i = 0; i < 4; ++i) {
+    auto p = opt.Suggest();
+    opt.Observe(p, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(opt.box_lo()[0], 0.0);
+  EXPECT_DOUBLE_EQ(opt.box_hi()[0], 1.0);
+}
+
+TEST(BestConfigTest, FindsGoodRegionOnQuadratic) {
+  double total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    BestConfigOptimizer opt(Box2d(), {}, seed);
+    for (int i = 0; i < 60; ++i) {
+      auto p = opt.Suggest();
+      opt.Observe(p, Quadratic(p));
+    }
+    total += opt.BestValue();
+  }
+  EXPECT_GT(total / 5.0, 9.3);  // near the optimum of 10
+}
+
+TEST(BestConfigTest, HandlesCategoricalDims) {
+  SearchSpace space(
+      {SearchDim::Continuous(0.0, 1.0), SearchDim::Categorical(3)});
+  BestConfigOptimizer opt(space, {}, 4);
+  for (int i = 0; i < 40; ++i) {
+    auto p = opt.Suggest();
+    EXPECT_TRUE(space.Contains(p));
+    opt.Observe(p, p[1] == 2.0 ? 5.0 : 1.0);
+  }
+  EXPECT_EQ(opt.BestPoint()[1], 2.0);
+}
+
+TEST(BestConfigTest, DeterministicPerSeed) {
+  BestConfigOptimizer a(Box2d(), {}, 9), b(Box2d(), {}, 9);
+  for (int i = 0; i < 25; ++i) {
+    auto pa = a.Suggest();
+    auto pb = b.Suggest();
+    EXPECT_EQ(pa, pb);
+    a.Observe(pa, Quadratic(pa));
+    b.Observe(pb, Quadratic(pb));
+  }
+}
+
+TEST(BestConfigTest, RespectsBucketGrids) {
+  SearchSpace space({SearchDim::Continuous(-1.0, 1.0, 21)});
+  BestConfigOptimizer opt(space, {}, 5);
+  for (int i = 0; i < 30; ++i) {
+    auto p = opt.Suggest();
+    EXPECT_TRUE(space.Contains(p));
+    opt.Observe(p, -p[0] * p[0]);
+  }
+}
+
+}  // namespace
+}  // namespace llamatune

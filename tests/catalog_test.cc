@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/dbsim/knob_catalog.h"
+
+namespace llamatune {
+namespace {
+
+using dbsim::PostgresV136Catalog;
+using dbsim::PostgresV96Catalog;
+
+TEST(CatalogTest, V96HasNinetyKnobs) {
+  EXPECT_EQ(PostgresV96Catalog().num_knobs(), 90);
+}
+
+TEST(CatalogTest, V96HasSeventeenHybridKnobs) {
+  EXPECT_EQ(PostgresV96Catalog().hybrid_knob_indices().size(), 17u);
+}
+
+TEST(CatalogTest, V136HasOneHundredTwelveKnobs) {
+  EXPECT_EQ(PostgresV136Catalog().num_knobs(), 112);
+}
+
+TEST(CatalogTest, V136HasTwentyThreeHybridKnobs) {
+  EXPECT_EQ(PostgresV136Catalog().hybrid_knob_indices().size(), 23u);
+}
+
+TEST(CatalogTest, PaperHeadlineKnobsPresentInV96) {
+  ConfigSpace space = PostgresV96Catalog();
+  for (const char* name :
+       {"shared_buffers", "backend_flush_after", "commit_delay",
+        "wal_buffers", "geqo_pool_size", "wal_writer_flush_after",
+        "max_wal_size", "autovacuum_vacuum_scale_factor",
+        "autovacuum_analyze_scale_factor", "full_page_writes",
+        "geqo_selection_bias", "enable_seqscan", "synchronous_commit",
+        "work_mem", "max_files_per_process"}) {
+    EXPECT_GE(space.IndexOf(name), 0) << name;
+  }
+}
+
+TEST(CatalogTest, Table2SpecialValues) {
+  // The paper's Table 2 examples with their documented specials.
+  ConfigSpace space = PostgresV96Catalog();
+  const KnobSpec& bfa = space.knob(space.IndexOf("backend_flush_after"));
+  EXPECT_TRUE(bfa.IsSpecialValue(0));
+  EXPECT_EQ(bfa.min_value, 0);
+  EXPECT_EQ(bfa.max_value, 256);
+  const KnobSpec& pool = space.knob(space.IndexOf("geqo_pool_size"));
+  EXPECT_TRUE(pool.IsSpecialValue(0));
+  const KnobSpec& wb = space.knob(space.IndexOf("wal_buffers"));
+  EXPECT_TRUE(wb.IsSpecialValue(-1));
+  EXPECT_EQ(wb.default_value, -1);
+}
+
+TEST(CatalogTest, AboutHalfOfHybridDefaultsAreSpecial) {
+  // Paper §4.1: "for about half of the hybrid knobs, the special value
+  // is used in the default configuration".
+  ConfigSpace space = PostgresV96Catalog();
+  int special_defaults = 0;
+  for (int idx : space.hybrid_knob_indices()) {
+    const KnobSpec& spec = space.knob(idx);
+    if (spec.IsSpecialValue(spec.default_value)) ++special_defaults;
+  }
+  double fraction =
+      static_cast<double>(special_defaults) / space.hybrid_knob_indices().size();
+  EXPECT_GT(fraction, 0.3);
+  EXPECT_LT(fraction, 0.75);
+}
+
+TEST(CatalogTest, V136AddsJitAndParallelKnobs) {
+  ConfigSpace space = PostgresV136Catalog();
+  for (const char* name :
+       {"jit", "jit_above_cost", "max_parallel_workers",
+        "enable_parallel_hash", "hash_mem_multiplier", "wal_recycle",
+        "maintenance_io_concurrency",
+        "autovacuum_vacuum_insert_threshold"}) {
+    EXPECT_GE(space.IndexOf(name), 0) << name;
+  }
+  // Removed in PostgreSQL 11.
+  EXPECT_EQ(space.IndexOf("replacement_sort_tuples"), -1);
+}
+
+TEST(CatalogTest, V136ParallelOnByDefault) {
+  ConfigSpace space = PostgresV136Catalog();
+  const KnobSpec& k =
+      space.knob(space.IndexOf("max_parallel_workers_per_gather"));
+  EXPECT_EQ(k.default_value, 2);
+  // v9.6 defaults to parallel query disabled.
+  ConfigSpace v96 = PostgresV96Catalog();
+  EXPECT_EQ(v96.knob(v96.IndexOf("max_parallel_workers_per_gather"))
+                .default_value,
+            0);
+}
+
+TEST(CatalogTest, NamesUniqueAcrossBothCatalogs) {
+  for (auto version :
+       {dbsim::PostgresVersion::kV96, dbsim::PostgresVersion::kV136}) {
+    ConfigSpace space = dbsim::CatalogFor(version);
+    std::set<std::string> names;
+    for (int i = 0; i < space.num_knobs(); ++i) {
+      names.insert(space.knob(i).name);
+    }
+    EXPECT_EQ(static_cast<int>(names.size()), space.num_knobs());
+  }
+}
+
+TEST(CatalogTest, DefaultConfigurationsValidate) {
+  for (auto version :
+       {dbsim::PostgresVersion::kV96, dbsim::PostgresVersion::kV136}) {
+    ConfigSpace space = dbsim::CatalogFor(version);
+    EXPECT_TRUE(
+        space.ValidateConfiguration(space.DefaultConfiguration()).ok());
+  }
+}
+
+TEST(CatalogTest, MixOfKnobTypes) {
+  ConfigSpace space = PostgresV96Catalog();
+  int integers = 0, reals = 0, categoricals = 0;
+  for (int i = 0; i < space.num_knobs(); ++i) {
+    switch (space.knob(i).type) {
+      case KnobType::kInteger: ++integers; break;
+      case KnobType::kReal: ++reals; break;
+      case KnobType::kCategorical: ++categoricals; break;
+    }
+  }
+  EXPECT_GT(integers, 30);
+  EXPECT_GT(reals, 5);
+  EXPECT_GT(categoricals, 15);  // the enable_* family and friends
+}
+
+}  // namespace
+}  // namespace llamatune

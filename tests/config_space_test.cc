@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/dbsim/knob_catalog.h"
+#include "src/knobs/config_space.h"
+
+namespace llamatune {
+namespace {
+
+std::vector<KnobSpec> TinyKnobs() {
+  return {
+      IntegerKnob("int_knob", 0, 100, 50),
+      RealKnob("real_knob", 1.0, 3.0, 2.0),
+      CategoricalKnob("cat_knob", {"a", "b", "c", "d"}, 1),
+      WithLogScale(IntegerKnob("log_knob", 16, 2097152, 16384)),
+      WithSpecialValues(IntegerKnob("hybrid_knob", -1, 1000, -1), {-1}),
+  };
+}
+
+TEST(ConfigSpaceTest, CreateValidates) {
+  auto r = ConfigSpace::Create(TinyKnobs());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r).num_knobs(), 5);
+}
+
+TEST(ConfigSpaceTest, CreateRejectsEmpty) {
+  EXPECT_FALSE(ConfigSpace::Create({}).ok());
+}
+
+TEST(ConfigSpaceTest, CreateRejectsDuplicates) {
+  auto knobs = TinyKnobs();
+  knobs.push_back(IntegerKnob("int_knob", 0, 1, 0));
+  auto r = ConfigSpace::Create(std::move(knobs));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ConfigSpaceTest, IndexOf) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  EXPECT_EQ(space.IndexOf("int_knob"), 0);
+  EXPECT_EQ(space.IndexOf("cat_knob"), 2);
+  EXPECT_EQ(space.IndexOf("missing"), -1);
+}
+
+TEST(ConfigSpaceTest, HybridIndices) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  ASSERT_EQ(space.hybrid_knob_indices().size(), 1u);
+  EXPECT_EQ(space.hybrid_knob_indices()[0], 4);
+}
+
+TEST(ConfigSpaceTest, DefaultConfigurationMatchesSpecs) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  Configuration def = space.DefaultConfiguration();
+  ASSERT_EQ(def.size(), 5);
+  EXPECT_EQ(def[0], 50);
+  EXPECT_EQ(def[1], 2.0);
+  EXPECT_EQ(def[2], 1.0);
+  EXPECT_EQ(def[3], 16384);
+  EXPECT_EQ(def[4], -1);
+  EXPECT_TRUE(space.ValidateConfiguration(def).ok());
+}
+
+TEST(ConfigSpaceTest, UnitToValueEndpoints) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  EXPECT_EQ(space.UnitToValue(0, 0.0), 0);
+  EXPECT_EQ(space.UnitToValue(0, 1.0), 100);
+  EXPECT_EQ(space.UnitToValue(0, 0.5), 50);
+  EXPECT_DOUBLE_EQ(space.UnitToValue(1, 0.5), 2.0);
+  // Log-scaled knob: endpoints hit the bounds, midpoint is geometric.
+  EXPECT_EQ(space.UnitToValue(3, 0.0), 16);
+  EXPECT_EQ(space.UnitToValue(3, 1.0), 2097152);
+  double mid = space.UnitToValue(3, 0.5);
+  EXPECT_NEAR(mid, std::sqrt(16.0 * 2097152.0), mid * 0.01);
+}
+
+TEST(ConfigSpaceTest, CategoricalBinning) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  // Four categories: equal-width bins over [0,1].
+  EXPECT_EQ(space.UnitToValue(2, 0.0), 0);
+  EXPECT_EQ(space.UnitToValue(2, 0.26), 1);
+  EXPECT_EQ(space.UnitToValue(2, 0.51), 2);
+  EXPECT_EQ(space.UnitToValue(2, 0.99), 3);
+  EXPECT_EQ(space.UnitToValue(2, 1.0), 3);  // u == 1 falls in last bin
+}
+
+TEST(ConfigSpaceTest, UnitToValueClampsOutOfRangeInput) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  EXPECT_EQ(space.UnitToValue(0, -0.5), 0);
+  EXPECT_EQ(space.UnitToValue(0, 1.5), 100);
+}
+
+TEST(ConfigSpaceTest, ValidateConfigurationRejects) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  Configuration c = space.DefaultConfiguration();
+  c[0] = 500;  // out of range
+  EXPECT_FALSE(space.ValidateConfiguration(c).ok());
+  c = space.DefaultConfiguration();
+  c[0] = 3.5;  // non-integral
+  EXPECT_FALSE(space.ValidateConfiguration(c).ok());
+  c = space.DefaultConfiguration();
+  c[2] = 4;  // category index out of range
+  EXPECT_FALSE(space.ValidateConfiguration(c).ok());
+  Configuration wrong_size(std::vector<double>{1.0});
+  EXPECT_FALSE(space.ValidateConfiguration(wrong_size).ok());
+}
+
+TEST(ConfigSpaceTest, ToStringMentionsNamesAndCategories) {
+  ConfigSpace space = *ConfigSpace::Create(TinyKnobs());
+  std::string s = space.ToString(space.DefaultConfiguration());
+  EXPECT_NE(s.find("int_knob=50"), std::string::npos);
+  EXPECT_NE(s.find("cat_knob=b"), std::string::npos);
+}
+
+TEST(ConfigSpaceTest, SubUnityLogRangeIsNotDegenerate) {
+  // Regression: log-scaled knobs with range below 1 (e.g. the vacuum
+  // scale factors at [0.005, 1]) must span the full range, not pin to
+  // the top.
+  auto space = *ConfigSpace::Create(
+      {WithLogScale(RealKnob("sf", 0.005, 1.0, 0.2))});
+  EXPECT_NEAR(space.UnitToValue(0, 0.0), 0.005, 1e-9);
+  EXPECT_NEAR(space.UnitToValue(0, 1.0), 1.0, 1e-9);
+  double mid = space.UnitToValue(0, 0.5);
+  EXPECT_GT(mid, 0.01);
+  EXPECT_LT(mid, 0.3);
+}
+
+// Property sweep over every knob of both catalogs: unit round-trips.
+class UnitRoundTrip
+    : public ::testing::TestWithParam<dbsim::PostgresVersion> {};
+
+TEST_P(UnitRoundTrip, ValueToUnitInvertsUnitToValue) {
+  ConfigSpace space = dbsim::CatalogFor(GetParam());
+  Rng rng(99);
+  for (int i = 0; i < space.num_knobs(); ++i) {
+    const KnobSpec& spec = space.knob(i);
+    for (int trial = 0; trial < 8; ++trial) {
+      double u = rng.Uniform(0.0, 1.0);
+      double value = space.UnitToValue(i, u);
+      EXPECT_EQ(spec.Canonicalize(value), value) << spec.name;
+      double u2 = space.ValueToUnit(i, value);
+      double value2 = space.UnitToValue(i, u2);
+      // Round-trip through unit space is idempotent (within rounding).
+      if (spec.type == KnobType::kCategorical) {
+        EXPECT_EQ(value, value2) << spec.name;
+      } else {
+        double span = spec.max_value - spec.min_value;
+        EXPECT_NEAR(value, value2, std::max(1.0, span * 1e-6)) << spec.name;
+      }
+    }
+  }
+}
+
+TEST_P(UnitRoundTrip, UnitToValueIsMonotoneForNumerics) {
+  ConfigSpace space = dbsim::CatalogFor(GetParam());
+  for (int i = 0; i < space.num_knobs(); ++i) {
+    const KnobSpec& spec = space.knob(i);
+    if (!spec.is_numeric()) continue;
+    double prev = space.UnitToValue(i, 0.0);
+    for (double u = 0.05; u <= 1.0; u += 0.05) {
+      double cur = space.UnitToValue(i, u);
+      EXPECT_GE(cur, prev) << spec.name << " at u=" << u;
+      prev = cur;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogs, UnitRoundTrip,
+                         ::testing::Values(dbsim::PostgresVersion::kV96,
+                                           dbsim::PostgresVersion::kV136));
+
+}  // namespace
+}  // namespace llamatune

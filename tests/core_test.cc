@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/core/early_stopping.h"
+#include "src/core/knowledge_base.h"
+
+namespace llamatune {
+namespace {
+
+IterationRecord Record(int iter, double objective, double measured) {
+  IterationRecord r;
+  r.iteration = iter;
+  r.objective = objective;
+  r.measured = measured;
+  return r;
+}
+
+TEST(KnowledgeBaseTest, EmptyState) {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.empty());
+  EXPECT_EQ(kb.BestIndex(), -1);
+  EXPECT_TRUE(kb.BestSoFarObjective().empty());
+}
+
+TEST(KnowledgeBaseTest, BestIndexTracksMaxObjective) {
+  KnowledgeBase kb;
+  kb.Add(Record(1, 5.0, 5.0));
+  kb.Add(Record(2, 9.0, 9.0));
+  kb.Add(Record(3, 7.0, 7.0));
+  EXPECT_EQ(kb.BestIndex(), 1);
+  EXPECT_EQ(kb.size(), 3);
+}
+
+TEST(KnowledgeBaseTest, BestSoFarCurves) {
+  KnowledgeBase kb;
+  kb.Add(Record(1, 3.0, 3.0));
+  kb.Add(Record(2, 1.0, 1.0));
+  kb.Add(Record(3, 4.0, 4.0));
+  EXPECT_EQ(kb.BestSoFarObjective(), (std::vector<double>{3.0, 3.0, 4.0}));
+  EXPECT_EQ(kb.BestSoFarMeasured(), (std::vector<double>{3.0, 3.0, 4.0}));
+}
+
+TEST(KnowledgeBaseTest, MeasuredFollowsObjectiveForMinimization) {
+  // Latency tuning: objective = -latency, measured = latency.
+  KnowledgeBase kb;
+  kb.Add(Record(1, -10.0, 10.0));
+  kb.Add(Record(2, -20.0, 20.0));  // worse
+  kb.Add(Record(3, -5.0, 5.0));    // better
+  EXPECT_EQ(kb.BestSoFarMeasured(), (std::vector<double>{10.0, 10.0, 5.0}));
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatienceWithoutImprovement) {
+  EarlyStoppingPolicy policy(1.0, 3);
+  EXPECT_FALSE(policy.Update(100.0));  // reference
+  EXPECT_FALSE(policy.Update(100.0));  // 1 stale
+  EXPECT_FALSE(policy.Update(100.5));  // 2 stale (0.5% < 1%)
+  EXPECT_TRUE(policy.Update(100.6));   // 3 stale -> stop
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsPatience) {
+  EarlyStoppingPolicy policy(1.0, 2);
+  EXPECT_FALSE(policy.Update(100.0));
+  EXPECT_FALSE(policy.Update(100.0));
+  EXPECT_FALSE(policy.Update(102.0));  // +2% resets
+  EXPECT_FALSE(policy.Update(102.0));
+  EXPECT_TRUE(policy.Update(102.0));
+}
+
+TEST(EarlyStoppingTest, AggregateImprovementCounts) {
+  // Small per-step gains that add up past the threshold reset the
+  // window (the policy compares against the last reference, not the
+  // previous step).
+  EarlyStoppingPolicy policy(1.0, 5);
+  policy.Update(100.0);
+  EXPECT_FALSE(policy.Update(100.4));
+  EXPECT_FALSE(policy.Update(100.8));
+  EXPECT_FALSE(policy.Update(101.2));  // aggregate +1.2% -> reset
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(policy.Update(101.2));
+  EXPECT_TRUE(policy.Update(101.2));
+}
+
+TEST(EarlyStoppingTest, ResetStartsOver) {
+  EarlyStoppingPolicy policy(1.0, 1);
+  policy.Update(50.0);
+  EXPECT_TRUE(policy.Update(50.0));
+  policy.Reset();
+  EXPECT_FALSE(policy.Update(50.0));  // new reference after reset
+}
+
+TEST(EarlyStoppingTest, AccessorsEcho) {
+  EarlyStoppingPolicy policy(0.5, 10);
+  EXPECT_EQ(policy.min_improvement_pct(), 0.5);
+  EXPECT_EQ(policy.patience(), 10);
+}
+
+}  // namespace
+}  // namespace llamatune

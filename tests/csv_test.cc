@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/harness/csv.h"
+
+namespace llamatune {
+namespace harness {
+namespace {
+
+TEST(CsvTest, CurvesHeaderAndRows) {
+  CurveSummary a;
+  a.mean = {1.0, 2.0};
+  a.lo = {0.5, 1.5};
+  a.hi = {1.5, 2.5};
+  std::string csv = CurvesToCsv({"smac"}, {a});
+  EXPECT_NE(csv.find("iteration,smac_mean,smac_p5,smac_p95"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1,1,0.5,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("2,2,1.5,2.5"), std::string::npos);
+}
+
+TEST(CsvTest, RaggedCurvesPadded) {
+  CurveSummary a;
+  a.mean = {1.0};
+  a.lo = {1.0};
+  a.hi = {1.0};
+  CurveSummary b;
+  b.mean = {1.0, 2.0};
+  b.lo = {1.0, 2.0};
+  b.hi = {1.0, 2.0};
+  std::string csv = CurvesToCsv({"a", "b"}, {a, b});
+  EXPECT_NE(csv.find("2,,,,2,2,2"), std::string::npos);
+}
+
+TEST(CsvTest, SeedCurves) {
+  std::string csv = SeedCurvesToCsv({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_NE(csv.find("iteration,seed0,seed1"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,3"), std::string::npos);
+  EXPECT_NE(csv.find("2,2,4"), std::string::npos);
+}
+
+TEST(CsvTest, WriteFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/llamatune_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "hello,world\n").ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "hello,world");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFileBadPathFails) {
+  EXPECT_FALSE(WriteFile("/no/such/dir/x.csv", "x").ok());
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace llamatune

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/optimizer/ddpg.h"
+#include "src/optimizer/replay_buffer.h"
+
+namespace llamatune {
+namespace {
+
+TEST(ReplayBufferTest, GrowsThenWrapsFifo) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 5; ++i) {
+    Transition t;
+    t.reward = static_cast<double>(i);
+    buffer.Add(std::move(t));
+  }
+  EXPECT_EQ(buffer.size(), 3u);
+  // Oldest entries (0, 1) were overwritten by 3 and 4.
+  Rng rng(1);
+  bool saw_old = false;
+  for (int i = 0; i < 100; ++i) {
+    for (const Transition& t : buffer.Sample(3, &rng)) {
+      if (t.reward < 2.0) saw_old = true;
+    }
+  }
+  EXPECT_FALSE(saw_old);
+}
+
+TEST(ReplayBufferTest, SampleSizeCappedBySize) {
+  ReplayBuffer buffer(10);
+  Transition t;
+  buffer.Add(t);
+  buffer.Add(t);
+  Rng rng(2);
+  EXPECT_EQ(buffer.Sample(5, &rng).size(), 2u);
+  ReplayBuffer empty(4);
+  EXPECT_TRUE(empty.Sample(3, &rng).empty());
+}
+
+SearchSpace MixedSpace() {
+  return SearchSpace({SearchDim::Continuous(0.0, 1.0),
+                      SearchDim::Categorical(3),
+                      SearchDim::Continuous(-2.0, 2.0, 41)});
+}
+
+DdpgOptions SmallOptions() {
+  DdpgOptions options;
+  options.state_dim = 4;
+  options.actor_hidden = {8};
+  options.critic_hidden = {8};
+  options.updates_per_observe = 2;
+  return options;
+}
+
+TEST(DdpgTest, SuggestionsValidWithoutState) {
+  DdpgOptimizer opt(MixedSpace(), SmallOptions(), 1);
+  for (int i = 0; i < 10; ++i) {
+    auto p = opt.Suggest();
+    EXPECT_TRUE(opt.space().Contains(p));
+    opt.Observe(p, 1.0);
+  }
+}
+
+TEST(DdpgTest, SuggestionsValidWithState) {
+  DdpgOptimizer opt(MixedSpace(), SmallOptions(), 2);
+  opt.ObserveMetrics({0.1, 0.2, 0.3, 0.4});
+  for (int i = 0; i < 20; ++i) {
+    auto p = opt.Suggest();
+    EXPECT_TRUE(opt.space().Contains(p));
+    opt.ObserveMetrics({0.1, 0.2, 0.3, 0.4});
+    opt.Observe(p, static_cast<double>(i));
+  }
+  EXPECT_EQ(opt.history().size(), 20u);
+}
+
+TEST(DdpgTest, HandlesShortMetricsVector) {
+  // Metrics shorter than state_dim are zero-padded.
+  DdpgOptimizer opt(MixedSpace(), SmallOptions(), 3);
+  opt.ObserveMetrics({1.0});
+  auto p = opt.Suggest();
+  EXPECT_TRUE(opt.space().Contains(p));
+}
+
+TEST(DdpgTest, DeterministicGivenSeed) {
+  DdpgOptimizer a(MixedSpace(), SmallOptions(), 7);
+  DdpgOptimizer b(MixedSpace(), SmallOptions(), 7);
+  std::vector<double> metrics = {0.5, 0.5, 0.5, 0.5};
+  a.ObserveMetrics(metrics);
+  b.ObserveMetrics(metrics);
+  for (int i = 0; i < 10; ++i) {
+    auto pa = a.Suggest();
+    auto pb = b.Suggest();
+    EXPECT_EQ(pa, pb);
+    a.ObserveMetrics(metrics);
+    b.ObserveMetrics(metrics);
+    a.Observe(pa, 1.0);
+    b.Observe(pb, 1.0);
+  }
+}
+
+TEST(DdpgTest, LearnsStateIndependentGoodAction) {
+  // Bandit-style check: reward is highest when the first action
+  // coordinate is large. After training, the deterministic policy
+  // should push that coordinate up.
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  DdpgOptions options = SmallOptions();
+  options.updates_per_observe = 40;
+  options.noise_decay = 0.93;
+  DdpgOptimizer opt(space, options, 11);
+  std::vector<double> metrics = {0.5, 0.5, 0.5, 0.5};
+  opt.ObserveMetrics(metrics);
+  double last = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    auto p = opt.Suggest();
+    last = p[0];
+    opt.ObserveMetrics(metrics);
+    opt.Observe(p, p[0] * 100.0);
+  }
+  EXPECT_GT(last, 0.5);
+}
+
+}  // namespace
+}  // namespace llamatune

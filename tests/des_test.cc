@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/dbsim/des/des_engine.h"
+#include "src/dbsim/des/event_queue.h"
+#include "src/dbsim/des/zipf.h"
+#include "src/dbsim/simulated_postgres.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace des {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.Push(3.0, 1, 0);
+  queue.Push(1.0, 2, 1);
+  queue.Push(2.0, 3, 2);
+  EXPECT_EQ(queue.Pop().actor, 1);
+  EXPECT_EQ(queue.Pop().actor, 2);
+  EXPECT_EQ(queue.Pop().actor, 0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, EqualTimesAreFifo) {
+  EventQueue queue;
+  queue.Push(1.0, 0, 10);
+  queue.Push(1.0, 0, 11);
+  queue.Push(1.0, 0, 12);
+  EXPECT_EQ(queue.Pop().actor, 10);
+  EXPECT_EQ(queue.Pop().actor, 11);
+  EXPECT_EQ(queue.Pop().actor, 12);
+}
+
+TEST(EventQueueTest, PeekTime) {
+  EventQueue queue;
+  EXPECT_TRUE(std::isinf(queue.PeekTime()));
+  queue.Push(5.5, 0, 0);
+  EXPECT_DOUBLE_EQ(queue.PeekTime(), 5.5);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfianGenerator zipf(100, 0.0);
+  Rng rng(1);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next(&rng)]++;
+  EXPECT_GT(counts.size(), 95u);
+  for (auto& [k, c] : counts) EXPECT_NEAR(c, 200, 80);
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowKeys) {
+  ZipfianGenerator zipf(10000, 0.9);
+  Rng rng(2);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next(&rng) < 100) ++head;  // hottest 1% of keys
+  }
+  // With theta=0.9 the hottest 1% draws far more than 1% of accesses.
+  EXPECT_GT(static_cast<double>(head) / n, 0.3);
+}
+
+TEST(ZipfTest, KeysInRange) {
+  ZipfianGenerator zipf(50, 0.7);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t k = zipf.Next(&rng);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 50);
+  }
+}
+
+class DesFixture : public ::testing::Test {
+ protected:
+  DesFixture()
+      : space_(PostgresV96Catalog()),
+        model_(&space_, YcsbA(), PostgresVersion::kV96) {}
+
+  ConfigSpace space_;
+  PerfModel model_;
+};
+
+TEST_F(DesFixture, MeasuredMeanTracksAnalyticMean) {
+  ModelOutput analytic = model_.Run(space_.DefaultConfiguration());
+  DesOptions options;
+  options.seed = 7;
+  DesResult run = SimulateRun(analytic, YcsbA(), options);
+  EXPECT_GT(run.completed, 10000);
+  EXPECT_NEAR(run.avg_latency_ms, analytic.avg_latency_ms,
+              analytic.avg_latency_ms * 0.25);
+  EXPECT_NEAR(run.throughput, analytic.throughput,
+              analytic.throughput * 0.25);
+}
+
+TEST_F(DesFixture, TailAboveMean) {
+  ModelOutput analytic = model_.Run(space_.DefaultConfiguration());
+  DesResult run = SimulateRun(analytic, YcsbA(), {});
+  EXPECT_GT(run.p95_latency_ms, run.avg_latency_ms);
+  EXPECT_GE(run.p99_latency_ms, run.p95_latency_ms);
+}
+
+TEST_F(DesFixture, DeterministicPerSeedNoisyAcrossSeeds) {
+  ModelOutput analytic = model_.Run(space_.DefaultConfiguration());
+  DesOptions a, b;
+  a.seed = 1;
+  b.seed = 1;
+  EXPECT_DOUBLE_EQ(SimulateRun(analytic, YcsbA(), a).throughput,
+                   SimulateRun(analytic, YcsbA(), b).throughput);
+  b.seed = 2;
+  EXPECT_NE(SimulateRun(analytic, YcsbA(), a).throughput,
+            SimulateRun(analytic, YcsbA(), b).throughput);
+}
+
+TEST_F(DesFixture, CrashedAnalyticYieldsEmptyRun) {
+  ModelOutput crashed;
+  crashed.crashed = true;
+  DesResult run = SimulateRun(crashed, YcsbA(), {});
+  EXPECT_EQ(run.completed, 0);
+  EXPECT_EQ(run.throughput, 0.0);
+}
+
+TEST_F(DesFixture, LowCompletionTargetWorsensTail) {
+  // Checkpoint smoothing: cct 0.1 (bursty) vs 0.9 (spread) on a
+  // write-heavy workload.
+  ConfigSpace space = PostgresV96Catalog();
+  PerfModel tpcc(&space, TpcC(), PostgresVersion::kV96);
+  Configuration bursty = space.DefaultConfiguration();
+  bursty[space.IndexOf("checkpoint_completion_target")] = 0.1;
+  Configuration smooth = space.DefaultConfiguration();
+  smooth[space.IndexOf("checkpoint_completion_target")] = 0.9;
+  DesOptions options;
+  options.seed = 5;
+  options.max_transactions = 30000;
+  DesResult run_bursty = SimulateRun(tpcc.Run(bursty), TpcC(), options);
+  DesResult run_smooth = SimulateRun(tpcc.Run(smooth), TpcC(), options);
+  EXPECT_GT(run_bursty.p95_latency_ms / run_bursty.avg_latency_ms,
+            run_smooth.p95_latency_ms / run_smooth.avg_latency_ms);
+}
+
+TEST(DesEngineIntegration, SimulatedPostgresDiscreteEventEngine) {
+  SimulatedPostgresOptions options;
+  options.engine = EngineKind::kDiscreteEvent;
+  options.des_transactions = 8000;
+  SimulatedPostgres db(YcsbB(), options);
+  Configuration def = db.config_space().DefaultConfiguration();
+  EvalResult a = db.Evaluate(def);
+  EvalResult b = db.Evaluate(def);
+  EXPECT_GT(a.value, 0.0);
+  EXPECT_NE(a.value, b.value);  // sampling noise across repeats
+  // Measured throughput stays near the analytic rate.
+  double analytic = db.RunNoiseless(def).throughput;
+  EXPECT_NEAR(a.value, analytic, analytic * 0.3);
+}
+
+}  // namespace
+}  // namespace des
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/model/gp.h"
+
+namespace llamatune {
+namespace {
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  // A = [[4,2],[2,3]] => L = [[2,0],[1,sqrt(2)]]
+  std::vector<std::vector<double>> a = {{4.0, 2.0}, {2.0, 3.0}};
+  std::vector<std::vector<double>> l;
+  ASSERT_TRUE(CholeskyFactor(a, &l).ok());
+  EXPECT_NEAR(l[0][0], 2.0, 1e-12);
+  EXPECT_NEAR(l[1][0], 1.0, 1e-12);
+  EXPECT_NEAR(l[1][1], std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(l[0][1], 0.0);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  std::vector<std::vector<double>> a = {{1.0, 2.0}, {2.0, 1.0}};
+  std::vector<std::vector<double>> l;
+  EXPECT_FALSE(CholeskyFactor(a, &l).ok());
+}
+
+TEST(CholeskyTest, SolvesRoundTrip) {
+  std::vector<std::vector<double>> a = {
+      {6.0, 2.0, 1.0}, {2.0, 5.0, 2.0}, {1.0, 2.0, 4.0}};
+  std::vector<std::vector<double>> l;
+  ASSERT_TRUE(CholeskyFactor(a, &l).ok());
+  std::vector<double> b = {1.0, 2.0, 3.0};
+  std::vector<double> z = ForwardSolve(l, b);
+  std::vector<double> x = BackwardSolve(l, z);
+  // Check A x == b.
+  for (int i = 0; i < 3; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < 3; ++j) acc += a[i][j] * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-10);
+  }
+}
+
+TEST(KernelTest, Matern52Properties) {
+  EXPECT_DOUBLE_EQ(Matern52(0.0), 1.0);
+  EXPECT_GT(Matern52(0.5), Matern52(1.0));
+  EXPECT_GT(Matern52(1.0), Matern52(2.0));
+  EXPECT_GT(Matern52(5.0), 0.0);
+}
+
+TEST(KernelTest, MixedKernelSelfCovariance) {
+  SearchSpace space(
+      {SearchDim::Continuous(0.0, 1.0), SearchDim::Categorical(3)});
+  KernelParams params;
+  params.signal_variance = 2.0;
+  std::vector<double> x = {0.5, 1.0};
+  EXPECT_DOUBLE_EQ(MixedKernel(space, params, x, x), 2.0);
+}
+
+TEST(KernelTest, HammingPenalizesCategoryMismatch) {
+  SearchSpace space(
+      {SearchDim::Continuous(0.0, 1.0), SearchDim::Categorical(3)});
+  KernelParams params;
+  std::vector<double> a = {0.5, 0.0};
+  std::vector<double> b = {0.5, 1.0};
+  EXPECT_LT(MixedKernel(space, params, a, b),
+            MixedKernel(space, params, a, a));
+}
+
+TEST(KernelTest, MatrixIsSymmetricWithNoiseOnDiagonal) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  KernelParams params;
+  params.noise_variance = 0.5;
+  std::vector<std::vector<double>> xs = {{0.1}, {0.5}, {0.9}};
+  auto gram = KernelMatrix(space, params, xs);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(gram[i][i], params.signal_variance + 0.5, 1e-12);
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(gram[i][j], gram[j][i]);
+  }
+}
+
+class GpFixture : public ::testing::Test {
+ protected:
+  SearchSpace space_{{SearchDim::Continuous(0.0, 1.0)}};
+};
+
+TEST_F(GpFixture, RejectsEmptyOrMismatched) {
+  GaussianProcess gp(space_, {}, 1);
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({{0.5}}, {1.0, 2.0}).ok());
+}
+
+TEST_F(GpFixture, InterpolatesTrainingData) {
+  GaussianProcess gp(space_, {}, 2);
+  std::vector<std::vector<double>> xs = {{0.0}, {0.25}, {0.5}, {0.75}, {1.0}};
+  std::vector<double> ys = {0.0, 1.0, 0.0, -1.0, 0.0};
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double mean = 0, variance = 0;
+    gp.Predict(xs[i], &mean, &variance);
+    EXPECT_NEAR(mean, ys[i], 0.25);
+  }
+}
+
+TEST_F(GpFixture, VarianceGrowsAwayFromData) {
+  GaussianProcess gp(space_, {}, 3);
+  std::vector<std::vector<double>> xs = {{0.1}, {0.15}, {0.2}};
+  std::vector<double> ys = {1.0, 1.2, 1.1};
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  double mean_near = 0, var_near = 0, mean_far = 0, var_far = 0;
+  gp.Predict({0.15}, &mean_near, &var_near);
+  gp.Predict({0.95}, &mean_far, &var_far);
+  EXPECT_GT(var_far, var_near);
+}
+
+TEST_F(GpFixture, LmlIsFinite) {
+  GaussianProcess gp(space_, {}, 4);
+  Rng rng(4);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back({rng.Uniform()});
+    ys.push_back(std::sin(6.0 * xs.back()[0]));
+  }
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+}
+
+TEST_F(GpFixture, SurvivesDuplicatePoints) {
+  // Duplicate rows make the Gram matrix singular without the nugget;
+  // jitter escalation must keep the fit alive.
+  GaussianProcess gp(space_, {}, 5);
+  std::vector<std::vector<double>> xs = {{0.5}, {0.5}, {0.5}, {0.9}};
+  std::vector<double> ys = {1.0, 1.01, 0.99, 2.0};
+  EXPECT_TRUE(gp.Fit(xs, ys).ok());
+  double mean = 0, variance = 0;
+  gp.Predict({0.5}, &mean, &variance);
+  EXPECT_NEAR(mean, 1.0, 0.3);
+}
+
+TEST_F(GpFixture, MixedSpacePrediction) {
+  SearchSpace space(
+      {SearchDim::Continuous(0.0, 1.0), SearchDim::Categorical(2)});
+  GaussianProcess gp(space, {}, 6);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    double cat = static_cast<double>(rng.UniformInt(0, 1));
+    double c = rng.Uniform();
+    xs.push_back({c, cat});
+    ys.push_back(cat == 1.0 ? 5.0 + c : c);
+  }
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  double mean1 = 0, mean0 = 0, variance = 0;
+  gp.Predict({0.5, 1.0}, &mean1, &variance);
+  gp.Predict({0.5, 0.0}, &mean0, &variance);
+  EXPECT_GT(mean1, mean0 + 2.0);
+}
+
+// Property: predictions are finite and variance non-negative for
+// arbitrary data across seeds.
+class GpSanity : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpSanity, FinitePredictions) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0),
+                     SearchDim::Continuous(-5.0, 5.0),
+                     SearchDim::Categorical(3)});
+  GaussianProcess gp(space, {}, GetParam());
+  Rng rng(GetParam());
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 25; ++i) {
+    xs.push_back({rng.Uniform(), rng.Uniform(-5, 5),
+                  static_cast<double>(rng.UniformInt(0, 2))});
+    ys.push_back(rng.Gaussian(0.0, 100.0));
+  }
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  for (int i = 0; i < 50; ++i) {
+    double mean = 0, variance = -1;
+    gp.Predict({rng.Uniform(), rng.Uniform(-5, 5),
+                static_cast<double>(rng.UniformInt(0, 2))},
+               &mean, &variance);
+    EXPECT_TRUE(std::isfinite(mean));
+    EXPECT_GE(variance, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpSanity, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace llamatune {
+namespace harness {
+namespace {
+
+MultiSeedResult FromCurves(std::vector<std::vector<double>> curves) {
+  MultiSeedResult result;
+  result.objective_curves = curves;
+  result.measured_curves = curves;
+  double total = 0.0;
+  for (const auto& c : curves) total += c.back();
+  result.mean_final_objective = total / curves.size();
+  result.mean_final_measured = result.mean_final_objective;
+  return result;
+}
+
+TEST(CompareTest, ImprovementPercent) {
+  auto baseline = FromCurves({{1, 2, 10}, {1, 2, 10}});
+  auto treatment = FromCurves({{1, 2, 12}, {1, 2, 12}});
+  Comparison cmp = Compare(baseline, treatment);
+  EXPECT_NEAR(cmp.mean_improvement_pct, 20.0, 1e-9);
+}
+
+TEST(CompareTest, TimeToOptimalSpeedup) {
+  // Baseline tops out at 10 after 10 iterations; the treatment crosses
+  // 10 at iteration 2 => 5x speedup.
+  auto baseline =
+      FromCurves({{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}});
+  auto treatment =
+      FromCurves({{5, 10, 10, 10, 10, 10, 10, 10, 10, 10}});
+  Comparison cmp = Compare(baseline, treatment);
+  EXPECT_NEAR(cmp.mean_speedup, 5.0, 1e-9);
+  EXPECT_NEAR(cmp.mean_iterations_to_optimal, 2.0, 1e-9);
+}
+
+TEST(CompareTest, NeverReachingGivesUnitSpeedupFloor) {
+  auto baseline = FromCurves({{10, 10, 10, 10}});
+  auto treatment = FromCurves({{1, 2, 3, 4}});
+  Comparison cmp = Compare(baseline, treatment);
+  EXPECT_NEAR(cmp.mean_speedup, 1.0, 1e-9);
+  EXPECT_LT(cmp.mean_improvement_pct, 0.0);
+}
+
+TEST(CompareTest, CiCoversSpreadAcrossSeeds) {
+  auto baseline = FromCurves({{10, 10}, {10, 10}});
+  auto treatment = FromCurves({{11, 11}, {13, 13}});
+  Comparison cmp = Compare(baseline, treatment);
+  EXPECT_NEAR(cmp.mean_improvement_pct, 20.0, 1e-9);
+  EXPECT_LT(cmp.improvement_ci_lo, cmp.improvement_ci_hi);
+  EXPECT_GE(cmp.improvement_ci_lo, 9.9);
+  EXPECT_LE(cmp.improvement_ci_hi, 30.1);
+}
+
+TEST(CurveSummaryTest, MeanAndEnvelope) {
+  CurveSummary s = SummarizeCurves({{1, 2, 3}, {3, 4, 5}});
+  ASSERT_EQ(s.mean.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.mean[2], 4.0);
+  EXPECT_LE(s.lo[0], s.mean[0]);
+  EXPECT_GE(s.hi[0], s.mean[0]);
+}
+
+TEST(CurveSummaryTest, TruncatesToShortest) {
+  CurveSummary s = SummarizeCurves({{1, 2, 3, 4}, {1, 2}});
+  EXPECT_EQ(s.mean.size(), 2u);
+  EXPECT_TRUE(SummarizeCurves({}).mean.empty());
+}
+
+TEST(ConvergenceMappingTest, MapsToEarliestEqualIteration) {
+  CurveSummary treatment;
+  treatment.mean = {5.0, 9.0, 10.0};
+  CurveSummary baseline;
+  baseline.mean = {1.0, 5.0, 6.0, 9.0, 9.5, 10.0};
+  auto mapping = ConvergenceMapping(treatment, baseline);
+  ASSERT_EQ(mapping.size(), 3u);
+  EXPECT_EQ(mapping[0], 2);  // baseline reaches 5.0 at iteration 2
+  EXPECT_EQ(mapping[1], 4);
+  EXPECT_EQ(mapping[2], 6);
+}
+
+TEST(ConvergenceMappingTest, UnreachedClampsToLengthPlusOne) {
+  CurveSummary treatment;
+  treatment.mean = {100.0};
+  CurveSummary baseline;
+  baseline.mean = {1.0, 2.0};
+  auto mapping = ConvergenceMapping(treatment, baseline);
+  EXPECT_EQ(mapping[0], 2);  // clamped to baseline length
+}
+
+TEST(RunExperimentTest, ShapesAndDeterminism) {
+  ExperimentSpec spec;
+  spec.workload = dbsim::YcsbA();
+  spec.num_seeds = 2;
+  spec.num_iterations = 12;
+  spec.optimizer = OptimizerKind::kRandom;
+  MultiSeedResult a = RunExperiment(spec);
+  EXPECT_EQ(a.sessions.size(), 2u);
+  EXPECT_EQ(a.objective_curves[0].size(), 12u);
+  EXPECT_GT(a.mean_final_measured, 0.0);
+  MultiSeedResult b = RunExperiment(spec);
+  EXPECT_EQ(a.objective_curves, b.objective_curves);  // reproducible
+}
+
+TEST(RunExperimentTest, LlamaTuneVariantRuns) {
+  ExperimentSpec spec;
+  spec.workload = dbsim::YcsbB();
+  spec.num_seeds = 1;
+  spec.num_iterations = 15;
+  spec.use_llamatune = true;
+  MultiSeedResult r = RunExperiment(spec);
+  EXPECT_EQ(r.objective_curves[0].size(), 15u);
+  // Best-so-far is monotone.
+  for (size_t i = 1; i < r.objective_curves[0].size(); ++i) {
+    EXPECT_GE(r.objective_curves[0][i], r.objective_curves[0][i - 1]);
+  }
+}
+
+TEST(RunExperimentTest, EarlyStoppingPropagates) {
+  ExperimentSpec spec;
+  spec.workload = dbsim::YcsbA();
+  spec.num_seeds = 1;
+  spec.num_iterations = 100;
+  spec.optimizer = OptimizerKind::kRandom;
+  spec.early_stopping = EarlyStoppingPolicy(5.0, 5);
+  MultiSeedResult r = RunExperiment(spec);
+  EXPECT_LT(r.sessions[0].iterations_run, 100);
+}
+
+TEST(OptimizerKindTest, Names) {
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kSmac), "SMAC");
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kGpBo), "GP-BO");
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kDdpg), "DDPG");
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace llamatune

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/identity_adapter.h"
+#include "src/core/llamatune_adapter.h"
+#include "src/core/tuning_session.h"
+#include "src/dbsim/simulated_postgres.h"
+#include "src/optimizer/ddpg.h"
+#include "src/optimizer/gp_bo.h"
+#include "src/optimizer/smac.h"
+
+namespace llamatune {
+namespace {
+
+using dbsim::SimulatedPostgres;
+using dbsim::SimulatedPostgresOptions;
+
+TEST(IntegrationTest, SmacLlamaTuneImprovesOverDefault) {
+  SimulatedPostgres db(dbsim::YcsbA(), {});
+  LlamaTuneAdapter adapter(&db.config_space(), {});
+  SmacOptimizer optimizer(adapter.search_space(), {}, 42);
+  SessionOptions options;
+  options.num_iterations = 40;
+  TuningSession session(&db, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  EXPECT_GT(result.best_performance, result.default_performance * 1.05);
+  EXPECT_TRUE(
+      db.config_space().ValidateConfiguration(result.best_config).ok());
+}
+
+TEST(IntegrationTest, SmacIdentityImprovesOverDefault) {
+  SimulatedPostgres db(dbsim::YcsbA(), {});
+  IdentityAdapter adapter(&db.config_space());
+  SmacOptimizer optimizer(adapter.search_space(), {}, 42);
+  SessionOptions options;
+  options.num_iterations = 40;
+  TuningSession session(&db, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  EXPECT_GT(result.best_performance, result.default_performance);
+}
+
+TEST(IntegrationTest, GpBoLlamaTuneRunsAndImproves) {
+  SimulatedPostgres db(dbsim::TpcC(), {});
+  LlamaTuneAdapter adapter(&db.config_space(), {});
+  GpBoOptimizer optimizer(adapter.search_space(), {}, 7);
+  SessionOptions options;
+  options.num_iterations = 25;
+  TuningSession session(&db, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  EXPECT_GT(result.best_performance, result.default_performance);
+}
+
+TEST(IntegrationTest, DdpgSessionRunsEndToEnd) {
+  SimulatedPostgres db(dbsim::YcsbB(), {});
+  LlamaTuneAdapter adapter(&db.config_space(), {});
+  DdpgOptions ddpg_options;
+  ddpg_options.state_dim = dbsim::kNumMetrics;
+  ddpg_options.updates_per_observe = 3;
+  DdpgOptimizer optimizer(adapter.search_space(), ddpg_options, 7);
+  SessionOptions options;
+  options.num_iterations = 20;
+  TuningSession session(&db, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  EXPECT_EQ(result.iterations_run, 20);
+  EXPECT_GT(result.best_performance, 0.0);
+}
+
+TEST(IntegrationTest, LatencyTuningReducesP95) {
+  SimulatedPostgresOptions db_options;
+  db_options.target = dbsim::TuningTarget::kP95Latency;
+  db_options.fixed_rate = 700.0;
+  SimulatedPostgres db(dbsim::TpcC(), db_options);
+  LlamaTuneAdapter adapter(&db.config_space(), {});
+  SmacOptimizer optimizer(adapter.search_space(), {}, 11);
+  SessionOptions options;
+  options.num_iterations = 30;
+  TuningSession session(&db, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  // Minimization: best found p95 is no worse than the default's.
+  EXPECT_LE(result.best_performance, result.default_performance);
+}
+
+TEST(IntegrationTest, FullyDeterministicSessionReplay) {
+  auto run = []() {
+    SimulatedPostgresOptions db_options;
+    db_options.noise_seed = 5;
+    SimulatedPostgres db(dbsim::Twitter(), db_options);
+    LlamaTuneOptions lt;
+    lt.projection_seed = 5;
+    LlamaTuneAdapter adapter(&db.config_space(), lt);
+    SmacOptimizer optimizer(adapter.search_space(), {}, 5);
+    SessionOptions options;
+    options.num_iterations = 20;
+    TuningSession session(&db, &adapter, &optimizer, options);
+    return session.Run();
+  };
+  SessionResult a = run();
+  SessionResult b = run();
+  ASSERT_EQ(a.kb.size(), b.kb.size());
+  for (int i = 0; i < a.kb.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.kb.record(i).objective, b.kb.record(i).objective);
+    EXPECT_EQ(a.kb.record(i).config, b.kb.record(i).config);
+  }
+}
+
+TEST(IntegrationTest, PostgresV136SessionRuns) {
+  SimulatedPostgresOptions db_options;
+  db_options.version = dbsim::PostgresVersion::kV136;
+  SimulatedPostgres db(dbsim::Seats(), db_options);
+  EXPECT_EQ(db.config_space().num_knobs(), 112);
+  LlamaTuneAdapter adapter(&db.config_space(), {});
+  SmacOptimizer optimizer(adapter.search_space(), {}, 3);
+  SessionOptions options;
+  options.num_iterations = 20;
+  TuningSession session(&db, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  EXPECT_GT(result.best_performance, 0.0);
+}
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/dbsim/knob_catalog.h"
+#include "src/knobs/knob.h"
+
+namespace llamatune {
+namespace {
+
+TEST(KnobSpecTest, IntegerFactory) {
+  KnobSpec k = IntegerKnob("commit_delay", 0, 100000, 0, "delay");
+  EXPECT_EQ(k.type, KnobType::kInteger);
+  EXPECT_EQ(k.min_value, 0);
+  EXPECT_EQ(k.max_value, 100000);
+  EXPECT_EQ(k.default_value, 0);
+  EXPECT_FALSE(k.is_hybrid());
+  EXPECT_TRUE(k.is_numeric());
+  EXPECT_TRUE(k.Validate().ok());
+}
+
+TEST(KnobSpecTest, RealFactory) {
+  KnobSpec k = RealKnob("bias", 1.5, 2.0, 2.0);
+  EXPECT_EQ(k.type, KnobType::kReal);
+  EXPECT_EQ(k.NumDistinctValues(), 0);
+  EXPECT_TRUE(k.Validate().ok());
+}
+
+TEST(KnobSpecTest, BoolFactory) {
+  KnobSpec k = BoolKnob("autovacuum", true);
+  EXPECT_EQ(k.type, KnobType::kCategorical);
+  ASSERT_EQ(k.categories.size(), 2u);
+  EXPECT_EQ(k.categories[0], "off");
+  EXPECT_EQ(k.categories[1], "on");
+  EXPECT_EQ(k.default_value, 1.0);
+  EXPECT_EQ(k.NumDistinctValues(), 2);
+}
+
+TEST(KnobSpecTest, CategoricalFactory) {
+  KnobSpec k = CategoricalKnob("sync", {"off", "local", "on"}, 2);
+  EXPECT_EQ(k.NumDistinctValues(), 3);
+  EXPECT_FALSE(k.is_numeric());
+  EXPECT_TRUE(k.Validate().ok());
+}
+
+TEST(KnobSpecTest, HybridSpecialValues) {
+  KnobSpec k = WithSpecialValues(IntegerKnob("wal_buffers", -1, 262143, -1),
+                                 {-1});
+  EXPECT_TRUE(k.is_hybrid());
+  EXPECT_TRUE(k.IsSpecialValue(-1));
+  EXPECT_FALSE(k.IsSpecialValue(0));
+  EXPECT_EQ(k.RegularMin(), 0);  // first non-special value
+}
+
+TEST(KnobSpecTest, RegularMinSkipsConsecutiveSpecials) {
+  KnobSpec k = WithSpecialValues(IntegerKnob("x", -1, 100, 5), {-1, 0});
+  EXPECT_EQ(k.RegularMin(), 1);
+}
+
+TEST(KnobSpecTest, RegularMinNoSpecials) {
+  KnobSpec k = IntegerKnob("x", 10, 100, 50);
+  EXPECT_EQ(k.RegularMin(), 10);
+}
+
+TEST(KnobSpecTest, NumDistinctValuesInteger) {
+  EXPECT_EQ(IntegerKnob("x", 0, 256, 0).NumDistinctValues(), 257);
+  EXPECT_EQ(IntegerKnob("x", -1, 1, 0).NumDistinctValues(), 3);
+}
+
+TEST(KnobSpecTest, ValidateRejectsBadRanges) {
+  KnobSpec k = IntegerKnob("x", 10, 10, 10);
+  EXPECT_FALSE(k.Validate().ok());
+  k = IntegerKnob("x", 0, 5, 9);  // default out of range
+  EXPECT_FALSE(k.Validate().ok());
+  k = WithSpecialValues(IntegerKnob("x", 0, 5, 2), {77});
+  EXPECT_FALSE(k.Validate().ok());  // special out of range
+  KnobSpec c = CategoricalKnob("c", {"only"}, 0);
+  EXPECT_FALSE(c.Validate().ok());  // needs >= 2 categories
+  KnobSpec e;
+  EXPECT_FALSE(e.Validate().ok());  // empty name
+}
+
+TEST(KnobSpecTest, ValidateRejectsCategoricalSpecials) {
+  KnobSpec k = BoolKnob("b", true);
+  k.special_values = {0};
+  EXPECT_FALSE(k.Validate().ok());
+}
+
+TEST(KnobSpecTest, CanonicalizeClampsAndRounds) {
+  KnobSpec k = IntegerKnob("x", 0, 10, 5);
+  EXPECT_EQ(k.Canonicalize(3.4), 3.0);
+  EXPECT_EQ(k.Canonicalize(3.6), 4.0);
+  EXPECT_EQ(k.Canonicalize(-5.0), 0.0);
+  EXPECT_EQ(k.Canonicalize(50.0), 10.0);
+  KnobSpec r = RealKnob("r", 0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(r.Canonicalize(0.123), 0.123);
+  KnobSpec c = CategoricalKnob("c", {"a", "b", "c"}, 0);
+  EXPECT_EQ(c.Canonicalize(1.9), 1.0);
+  EXPECT_EQ(c.Canonicalize(9.0), 2.0);
+  EXPECT_EQ(c.Canonicalize(-1.0), 0.0);
+}
+
+// Property sweep: every knob in both catalogs is self-consistent.
+struct CatalogCase {
+  dbsim::PostgresVersion version;
+  const char* name;
+};
+
+class CatalogKnobProperty : public ::testing::TestWithParam<CatalogCase> {};
+
+TEST_P(CatalogKnobProperty, AllKnobsValidateAndDefaultsInDomain) {
+  ConfigSpace space = dbsim::CatalogFor(GetParam().version);
+  for (int i = 0; i < space.num_knobs(); ++i) {
+    const KnobSpec& k = space.knob(i);
+    EXPECT_TRUE(k.Validate().ok()) << k.name;
+    EXPECT_EQ(k.Canonicalize(k.default_value), k.default_value) << k.name;
+    if (k.is_numeric()) {
+      EXPECT_GE(k.default_value, k.min_value) << k.name;
+      EXPECT_LE(k.default_value, k.max_value) << k.name;
+      for (double sv : k.special_values) {
+        EXPECT_TRUE(k.IsSpecialValue(sv)) << k.name;
+        // The regular minimum never collides with a special value.
+        EXPECT_FALSE(k.IsSpecialValue(k.RegularMin())) << k.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalogs, CatalogKnobProperty,
+    ::testing::Values(CatalogCase{dbsim::PostgresVersion::kV96, "v96"},
+                      CatalogCase{dbsim::PostgresVersion::kV136, "v136"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/dbsim/knob_catalog.h"
+#include "src/lowdim/bucketizer.h"
+#include "src/lowdim/special_value_bias.h"
+
+namespace llamatune {
+namespace {
+
+KnobSpec HybridKnob() {
+  return WithSpecialValues(IntegerKnob("backend_flush_after", 0, 256, 0),
+                           {0});
+}
+
+TEST(SvbTest, BelowBiasYieldsSpecial) {
+  SpecialValueBias svb(0.2);
+  KnobSpec k = HybridKnob();
+  EXPECT_EQ(svb.Apply(k, 0.0), 0.0);
+  EXPECT_EQ(svb.Apply(k, 0.1), 0.0);
+  EXPECT_EQ(svb.Apply(k, 0.199), 0.0);
+}
+
+TEST(SvbTest, AboveBiasMapsOntoRegularRange) {
+  SpecialValueBias svb(0.2);
+  KnobSpec k = HybridKnob();
+  EXPECT_EQ(svb.Apply(k, 0.2), 1.0);  // regular minimum
+  EXPECT_EQ(svb.Apply(k, 1.0), 256.0);
+  double mid = svb.Apply(k, 0.6);
+  EXPECT_GT(mid, 1.0);
+  EXPECT_LT(mid, 256.0);
+  EXPECT_FALSE(k.IsSpecialValue(mid));
+}
+
+TEST(SvbTest, RegularBandIsMonotone) {
+  SpecialValueBias svb(0.2);
+  KnobSpec k = HybridKnob();
+  double prev = svb.Apply(k, 0.2);
+  for (double u = 0.25; u <= 1.0; u += 0.05) {
+    double cur = svb.Apply(k, u);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SvbTest, NonHybridPassthroughScaling) {
+  SpecialValueBias svb(0.2);
+  KnobSpec k = IntegerKnob("plain", 0, 100, 50);
+  EXPECT_EQ(svb.Apply(k, 0.0), 0.0);
+  EXPECT_EQ(svb.Apply(k, 0.5), 50.0);
+  EXPECT_EQ(svb.Apply(k, 1.0), 100.0);
+  EXPECT_EQ(svb.SpecialMass(k), 0.0);
+}
+
+TEST(SvbTest, CategoricalBinning) {
+  SpecialValueBias svb(0.2);
+  KnobSpec k = CategoricalKnob("c", {"x", "y"}, 0);
+  EXPECT_EQ(svb.Apply(k, 0.2), 0.0);
+  EXPECT_EQ(svb.Apply(k, 0.7), 1.0);
+}
+
+TEST(SvbTest, ZeroBiasDisablesSpecialHandling) {
+  SpecialValueBias svb(0.0);
+  KnobSpec k = HybridKnob();
+  // Plain min-max scaling over the full (special-inclusive) range.
+  EXPECT_EQ(svb.Apply(k, 0.0), 0.0);
+  EXPECT_EQ(svb.Apply(k, 0.5), 128.0);
+}
+
+TEST(SvbTest, MultipleSpecialsSplitTheBand) {
+  SpecialValueBias svb(0.2);
+  KnobSpec k = WithSpecialValues(IntegerKnob("multi", -1, 100, 1), {-1, 0});
+  EXPECT_EQ(svb.Apply(k, 0.01), -1.0);  // first half of the band
+  EXPECT_EQ(svb.Apply(k, 0.05), -1.0);
+  EXPECT_EQ(svb.Apply(k, 0.15), 0.0);  // second half
+  EXPECT_EQ(svb.Apply(k, 0.2), 1.0);   // regular minimum
+}
+
+TEST(SvbTest, NegativeSpecialBelowRegularRange) {
+  SpecialValueBias svb(0.2);
+  KnobSpec k = WithSpecialValues(IntegerKnob("wal_buffers", -1, 262143, -1),
+                                 {-1});
+  EXPECT_EQ(svb.Apply(k, 0.1), -1.0);
+  EXPECT_EQ(svb.Apply(k, 0.2), 0.0);
+  EXPECT_EQ(svb.Apply(k, 1.0), 262143.0);
+}
+
+// Property sweep: empirical special mass tracks the configured bias.
+class SvbMassProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvbMassProperty, EmpiricalMassMatchesBias) {
+  double bias = GetParam();
+  SpecialValueBias svb(bias);
+  KnobSpec k = HybridKnob();
+  Rng rng(17);
+  int specials = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (k.IsSpecialValue(svb.Apply(k, rng.Uniform(0.0, 1.0)))) ++specials;
+  }
+  EXPECT_NEAR(static_cast<double>(specials) / n, bias, 0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, SvbMassProperty,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.5));
+
+// ------------------------------------------------------------ Bucketizer
+
+TEST(BucketizerTest, ApplyLimitsContinuousDims) {
+  Bucketizer b(100);
+  SearchSpace s({SearchDim::Continuous(0, 1), SearchDim::Categorical(3)});
+  SearchSpace out = b.Apply(s);
+  EXPECT_EQ(out.dim(0).num_buckets, 100);
+  EXPECT_EQ(out.dim(1).type, SearchDim::Type::kCategorical);
+}
+
+TEST(BucketizerTest, KnobSpaceBucketsMatchDistinctCounts) {
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  Bucketizer b(10000);
+  SearchSpace s = b.BucketizedKnobSpace(space);
+  ASSERT_EQ(s.num_dims(), space.num_knobs());
+  for (int i = 0; i < space.num_knobs(); ++i) {
+    const KnobSpec& spec = space.knob(i);
+    if (spec.type == KnobType::kCategorical) {
+      EXPECT_EQ(s.dim(i).num_categories,
+                static_cast<int64_t>(spec.categories.size()));
+      continue;
+    }
+    int64_t distinct = spec.NumDistinctValues();
+    if (distinct != 0 && distinct <= 10000) {
+      EXPECT_EQ(s.dim(i).num_buckets, distinct) << spec.name;
+    } else {
+      EXPECT_EQ(s.dim(i).num_buckets, 10000) << spec.name;
+    }
+  }
+}
+
+TEST(BucketizerTest, PaperPolicyAffectsAboutHalfTheKnobs) {
+  // Paper §4.2: K = 10,000 was chosen so that P% ~ 50% of knobs are
+  // bucketized.
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  Bucketizer b(10000);
+  int affected = b.NumAffectedKnobs(space);
+  double fraction = static_cast<double>(affected) / space.num_knobs();
+  EXPECT_GT(fraction, 0.25);
+  EXPECT_LT(fraction, 0.75);
+}
+
+TEST(BucketizerTest, LargerKAffectsFewerKnobs) {
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  int prev = space.num_knobs() + 1;
+  for (int64_t k : {100, 10000, 1000000}) {
+    int affected = Bucketizer(k).NumAffectedKnobs(space);
+    EXPECT_LE(affected, prev);
+    prev = affected;
+  }
+}
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/nn/adam.h"
+#include "src/nn/layers.h"
+#include "src/nn/matrix.h"
+#include "src/nn/mlp.h"
+
+namespace llamatune {
+namespace {
+
+TEST(MatrixTest, ApplyAndTransposed) {
+  Matrix m(2, 3);
+  // [[1,2,3],[4,5,6]]
+  m.at(0, 0) = 1; m.at(0, 1) = 2; m.at(0, 2) = 3;
+  m.at(1, 0) = 4; m.at(1, 1) = 5; m.at(1, 2) = 6;
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  auto y = m.Apply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  std::vector<double> z = {1.0, 1.0};
+  auto t = m.ApplyTransposed(z);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 5.0);
+  EXPECT_DOUBLE_EQ(t[1], 7.0);
+  EXPECT_DOUBLE_EQ(t[2], 9.0);
+}
+
+TEST(LinearLayerTest, ForwardMatchesManual) {
+  Rng rng(1);
+  LinearLayer layer(2, 1, &rng);
+  layer.weights().at(0, 0) = 2.0;
+  layer.weights().at(0, 1) = -1.0;
+  layer.bias()[0] = 0.5;
+  auto y = layer.Forward({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 3.0 - 4.0 + 0.5);
+}
+
+TEST(LinearLayerTest, NumericalGradientCheck) {
+  Rng rng(2);
+  LinearLayer layer(3, 2, &rng);
+  std::vector<double> x = {0.3, -0.7, 1.1};
+  // Loss = sum(outputs); d(loss)/d(out) = ones.
+  layer.ZeroGrad();
+  layer.Forward(x);
+  std::vector<double> grad_in = layer.Backward({1.0, 1.0});
+
+  const double eps = 1e-6;
+  // Check dW numerically for a few entries.
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      double orig = layer.weights().at(r, c);
+      layer.weights().at(r, c) = orig + eps;
+      auto up = layer.Forward(x);
+      layer.weights().at(r, c) = orig - eps;
+      auto down = layer.Forward(x);
+      layer.weights().at(r, c) = orig;
+      double numeric =
+          ((up[0] + up[1]) - (down[0] + down[1])) / (2.0 * eps);
+      EXPECT_NEAR(layer.weight_grads().at(r, c), numeric, 1e-5);
+    }
+  }
+  // Gradient wrt input equals column sums of W.
+  for (int c = 0; c < 3; ++c) {
+    double expected = layer.weights().at(0, c) + layer.weights().at(1, c);
+    EXPECT_NEAR(grad_in[c], expected, 1e-9);
+  }
+}
+
+TEST(ActivationTest, TanhBackward) {
+  TanhLayer tanh_layer;
+  auto y = tanh_layer.Forward({0.5, -0.5});
+  EXPECT_NEAR(y[0], std::tanh(0.5), 1e-12);
+  auto g = tanh_layer.Backward({1.0, 1.0});
+  double expected = 1.0 - std::tanh(0.5) * std::tanh(0.5);
+  EXPECT_NEAR(g[0], expected, 1e-12);
+  EXPECT_NEAR(g[1], expected, 1e-12);
+}
+
+TEST(ActivationTest, ReluMask) {
+  ReluLayer relu;
+  auto y = relu.Forward({1.5, -2.0, 0.0});
+  EXPECT_EQ(y[0], 1.5);
+  EXPECT_EQ(y[1], 0.0);
+  auto g = relu.Backward({1.0, 1.0, 1.0});
+  EXPECT_EQ(g[0], 1.0);
+  EXPECT_EQ(g[1], 0.0);
+  EXPECT_EQ(g[2], 0.0);  // x == 0 counts as inactive
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  std::vector<double> params = {5.0, -3.0};
+  std::vector<double> grads(2, 0.0);
+  AdamOptimizer adam(0.1);
+  adam.Register(&params, &grads);
+  for (int step = 0; step < 500; ++step) {
+    grads[0] = 2.0 * params[0];
+    grads[1] = 2.0 * params[1];
+    adam.Step();
+  }
+  EXPECT_NEAR(params[0], 0.0, 0.05);
+  EXPECT_NEAR(params[1], 0.0, 0.05);
+  EXPECT_EQ(adam.step_count(), 500);
+}
+
+TEST(MlpTest, ForwardShapes) {
+  Rng rng(5);
+  Mlp mlp(4, {8, 8}, 3, OutputActivation::kTanh, &rng);
+  auto y = mlp.Forward({0.1, 0.2, 0.3, 0.4});
+  ASSERT_EQ(y.size(), 3u);
+  for (double v : y) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MlpTest, LearnsSimpleRegression) {
+  Rng rng(6);
+  Mlp mlp(1, {16}, 1, OutputActivation::kLinear, &rng);
+  AdamOptimizer adam(0.01);
+  mlp.RegisterParams(&adam);
+  // Fit y = 2x - 1 on [0,1].
+  for (int epoch = 0; epoch < 2000; ++epoch) {
+    double x = rng.Uniform();
+    double target = 2.0 * x - 1.0;
+    mlp.ZeroGrad();
+    double y = mlp.Forward({x})[0];
+    mlp.Backward({2.0 * (y - target)});
+    adam.Step();
+  }
+  EXPECT_NEAR(mlp.Forward({0.0})[0], -1.0, 0.15);
+  EXPECT_NEAR(mlp.Forward({0.5})[0], 0.0, 0.15);
+  EXPECT_NEAR(mlp.Forward({1.0})[0], 1.0, 0.15);
+}
+
+TEST(MlpTest, CopyAndSoftUpdate) {
+  Rng rng(7);
+  Mlp a(2, {4}, 1, OutputActivation::kLinear, &rng);
+  Mlp b(2, {4}, 1, OutputActivation::kLinear, &rng);
+  std::vector<double> x = {0.3, 0.7};
+  b.CopyFrom(a);
+  EXPECT_DOUBLE_EQ(a.Forward(x)[0], b.Forward(x)[0]);
+
+  Mlp c(2, {4}, 1, OutputActivation::kLinear, &rng);
+  double before = c.Forward(x)[0];
+  c.SoftUpdateFrom(a, 0.5);
+  double after = c.Forward(x)[0];
+  // Soft update moved the output toward a's (not a full copy).
+  EXPECT_NE(after, before);
+  EXPECT_NE(after, a.Forward(x)[0]);
+  // Repeated soft updates converge to a.
+  for (int i = 0; i < 200; ++i) c.SoftUpdateFrom(a, 0.2);
+  EXPECT_NEAR(c.Forward(x)[0], a.Forward(x)[0], 1e-6);
+}
+
+// Property: end-to-end MLP gradient check against numerical
+// differentiation for several seeds.
+class MlpGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlpGradCheck, BackpropMatchesNumericalInputGradient) {
+  Rng rng(GetParam());
+  Mlp mlp(3, {5}, 1, OutputActivation::kTanh, &rng);
+  std::vector<double> x = {0.2, -0.4, 0.9};
+  mlp.ZeroGrad();
+  mlp.Forward(x);
+  std::vector<double> grad_in = mlp.Backward({1.0});
+  const double eps = 1e-6;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    double numeric = (mlp.Forward(xp)[0] - mlp.Forward(xm)[0]) / (2 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlpGradCheck, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/dbsim/perf_model.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace {
+
+class PerfModelFixture : public ::testing::Test {
+ protected:
+  PerfModelFixture()
+      : space_(PostgresV96Catalog()),
+        model_(&space_, YcsbA(), PostgresVersion::kV96) {}
+
+  Configuration WithKnob(const std::string& name, double value) const {
+    Configuration c = space_.DefaultConfiguration();
+    c[space_.IndexOf(name)] = value;
+    return c;
+  }
+
+  ConfigSpace space_;
+  PerfModel model_;
+};
+
+TEST_F(PerfModelFixture, DefaultHitsCalibrationAnchor) {
+  ModelOutput out = model_.Run(space_.DefaultConfiguration());
+  EXPECT_FALSE(out.crashed);
+  EXPECT_NEAR(out.throughput, YcsbA().default_throughput, 1.0);
+}
+
+TEST_F(PerfModelFixture, Deterministic) {
+  Configuration c = WithKnob("shared_buffers", 262144);
+  EXPECT_DOUBLE_EQ(model_.Run(c).throughput, model_.Run(c).throughput);
+}
+
+TEST_F(PerfModelFixture, OomCrash) {
+  // 16 GB of shared buffers on a 16 GB box cannot start.
+  ModelOutput out = model_.Run(WithKnob("shared_buffers", 2097152));
+  EXPECT_TRUE(out.crashed);
+  EXPECT_NE(out.crash_reason.find("memory"), std::string::npos);
+}
+
+TEST_F(PerfModelFixture, ConnectionCrash) {
+  ModelOutput out = model_.Run(WithKnob("max_connections", 10));
+  EXPECT_TRUE(out.crashed);
+}
+
+TEST_F(PerfModelFixture, LockTableCrashOnManyTables) {
+  ConfigSpace space = PostgresV96Catalog();
+  PerfModel tpcc(&space, TpcC(), PostgresVersion::kV96);
+  Configuration c = space.DefaultConfiguration();
+  c[space.IndexOf("max_locks_per_transaction")] = 10;  // 9 tables + 4 > 10
+  EXPECT_TRUE(tpcc.Run(c).crashed);
+  // YCSB (single table) tolerates the same setting.
+  EXPECT_FALSE(model_.Run(c).crashed);
+}
+
+TEST_F(PerfModelFixture, SharedBuffersImproveThroughput) {
+  double small = model_.Run(WithKnob("shared_buffers", 16384)).throughput;
+  double large = model_.Run(WithKnob("shared_buffers", 786432)).throughput;
+  EXPECT_GT(large, small);
+}
+
+TEST_F(PerfModelFixture, AsyncCommitHelps) {
+  double sync_on = model_.Run(space_.DefaultConfiguration()).throughput;
+  double sync_off = model_.Run(WithKnob("synchronous_commit", 0)).throughput;
+  EXPECT_GT(sync_off, sync_on);
+}
+
+TEST_F(PerfModelFixture, AutovacuumOffCausesBloat) {
+  double on = model_.Run(space_.DefaultConfiguration()).throughput;
+  double off = model_.Run(WithKnob("autovacuum", 0)).throughput;
+  EXPECT_LT(off, on * 0.95);
+}
+
+TEST_F(PerfModelFixture, AggressiveVacuumScaleFactorHelps) {
+  double lazy =
+      model_.Run(WithKnob("autovacuum_vacuum_scale_factor", 0.9)).throughput;
+  double eager =
+      model_.Run(WithKnob("autovacuum_vacuum_scale_factor", 0.01)).throughput;
+  EXPECT_GT(eager, lazy);
+}
+
+TEST_F(PerfModelFixture, DisablingIndexScansIsBad) {
+  double on = model_.Run(space_.DefaultConfiguration()).throughput;
+  double off = model_.Run(WithKnob("enable_indexscan", 0)).throughput;
+  EXPECT_LT(off, on * 0.95);
+}
+
+TEST_F(PerfModelFixture, P95AboveAverageLatency) {
+  ModelOutput out = model_.Run(space_.DefaultConfiguration());
+  EXPECT_GT(out.p95_latency_ms, out.avg_latency_ms);
+}
+
+TEST_F(PerfModelFixture, FixedRateOverloadExplodesTail) {
+  Configuration def = space_.DefaultConfiguration();
+  ModelOutput closed = model_.Run(def);
+  ModelOutput light = model_.RunAtFixedRate(def, closed.throughput * 0.5);
+  ModelOutput heavy = model_.RunAtFixedRate(def, closed.throughput * 1.2);
+  EXPECT_LT(light.p95_latency_ms, heavy.p95_latency_ms);
+  EXPECT_GT(heavy.p95_latency_ms, closed.p95_latency_ms * 5.0);
+}
+
+TEST_F(PerfModelFixture, FixedRateThroughputCappedByCapacity) {
+  Configuration def = space_.DefaultConfiguration();
+  ModelOutput closed = model_.Run(def);
+  ModelOutput over = model_.RunAtFixedRate(def, closed.throughput * 3.0);
+  EXPECT_LE(over.throughput, closed.throughput * 1.001);
+}
+
+// Fig. 4 shape: on YCSB-B the special value 0 beats every regular
+// value, small regular values are worst, large ones recover.
+TEST(PerfModelYcsbB, BackendFlushAfterShape) {
+  ConfigSpace space = PostgresV96Catalog();
+  PerfModel model(&space, YcsbB(), PostgresVersion::kV96);
+  int idx = space.IndexOf("backend_flush_after");
+  auto tput = [&](double bfa) {
+    Configuration c = space.DefaultConfiguration();
+    c[idx] = bfa;
+    return model.Run(c).throughput;
+  };
+  double at0 = tput(0), at1 = tput(1), at32 = tput(32), at256 = tput(256);
+  EXPECT_GT(at0, at256);
+  EXPECT_GT(at256, at32);
+  EXPECT_GT(at32, at1);
+  // The discontinuity: the special value roughly doubles the worst.
+  EXPECT_GT(at0, at1 * 1.5);
+}
+
+TEST(PerfModelVersions, V136ShiftsBehaviour) {
+  ConfigSpace v96 = PostgresV96Catalog();
+  ConfigSpace v136 = PostgresV136Catalog();
+  PerfModel m96(&v96, YcsbB(), PostgresVersion::kV96);
+  PerfModel m136(&v136, YcsbB(), PostgresVersion::kV136);
+  // The writeback penalty narrows on the newer version: the relative
+  // gap between worst regular bfa and the special value shrinks.
+  auto gap = [](PerfModel& m, ConfigSpace& s) {
+    Configuration c = s.DefaultConfiguration();
+    int idx = s.IndexOf("backend_flush_after");
+    c[idx] = 0;
+    double best = m.Run(c).throughput;
+    c[idx] = 8;
+    double worst = m.Run(c).throughput;
+    return best / worst;
+  };
+  EXPECT_GT(gap(m96, v96), gap(m136, v136));
+}
+
+TEST(PerfModelMetrics, CountersAreConsistent) {
+  ConfigSpace space = PostgresV96Catalog();
+  PerfModel model(&space, TpcC(), PostgresVersion::kV96);
+  ModelOutput out = model.Run(space.DefaultConfiguration());
+  const RunCounters& c = out.counters;
+  EXPECT_NEAR(c.throughput + c.rollback_rate, out.throughput, 1e-6);
+  EXPECT_GT(c.blks_hit_per_s + c.blks_read_per_s, 0.0);
+  EXPECT_GT(c.wal_bytes_per_s, 0.0);
+  EXPECT_GT(c.wal_fsyncs_per_s, 0.0);
+  EXPECT_GE(c.cpu_utilization, 0.0);
+  EXPECT_LE(c.cpu_utilization, 1.0);
+  EXPECT_EQ(CountersToMetrics(c).size(), static_cast<size_t>(kNumMetrics));
+  EXPECT_EQ(MetricNames().size(), static_cast<size_t>(kNumMetrics));
+}
+
+// Property: the default configuration of every workload runs without
+// crashing and hits its calibration anchor on both versions.
+class WorkloadAnchors : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadAnchors, DefaultAnchorsHold) {
+  WorkloadSpec w = AllWorkloads()[GetParam()];
+  ConfigSpace space = PostgresV96Catalog();
+  PerfModel model(&space, w, PostgresVersion::kV96);
+  ModelOutput out = model.Run(space.DefaultConfiguration());
+  ASSERT_FALSE(out.crashed) << w.name;
+  EXPECT_NEAR(out.throughput, w.default_throughput,
+              w.default_throughput * 0.01)
+      << w.name;
+  EXPECT_GT(out.avg_latency_ms, 0.0);
+  // v13.6 also runs the default cleanly (different anchor is fine).
+  ConfigSpace space136 = PostgresV136Catalog();
+  PerfModel model136(&space136, w, PostgresVersion::kV136);
+  EXPECT_FALSE(model136.Run(space136.DefaultConfiguration()).crashed)
+      << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadAnchors, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dbsim
+}  // namespace llamatune

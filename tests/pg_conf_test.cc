@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "src/dbsim/knob_catalog.h"
+#include "src/dbsim/pg_conf.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace {
+
+TEST(PgConfTest, FormatsByteUnits) {
+  KnobSpec sb = WithLogScale(IntegerKnob("shared_buffers", 16, 2097152, 16384));
+  sb.unit = "8kB";
+  EXPECT_EQ(FormatKnobValue(sb, 16384), "128MB");
+  EXPECT_EQ(FormatKnobValue(sb, 786432), "6GB");
+  EXPECT_EQ(FormatKnobValue(sb, 100), "800kB");
+}
+
+TEST(PgConfTest, FormatsKbAndMbUnits) {
+  KnobSpec wm = IntegerKnob("work_mem", 64, 2097152, 4096);
+  wm.unit = "kB";
+  EXPECT_EQ(FormatKnobValue(wm, 4096), "4MB");
+  EXPECT_EQ(FormatKnobValue(wm, 100), "100kB");
+  KnobSpec mws = IntegerKnob("max_wal_size", 32, 65536, 1024);
+  mws.unit = "MB";
+  EXPECT_EQ(FormatKnobValue(mws, 1024), "1GB");
+  EXPECT_EQ(FormatKnobValue(mws, 100), "100MB");
+}
+
+TEST(PgConfTest, TimeUnitsAppended) {
+  KnobSpec cd = IntegerKnob("commit_delay", 0, 100000, 0);
+  cd.unit = "us";
+  EXPECT_EQ(FormatKnobValue(cd, 500), "500us");
+}
+
+TEST(PgConfTest, SpecialValuesVerbatim) {
+  KnobSpec wb = WithSpecialValues(IntegerKnob("wal_buffers", -1, 262143, -1),
+                                  {-1});
+  wb.unit = "8kB";
+  EXPECT_EQ(FormatKnobValue(wb, -1), "-1");
+  EXPECT_EQ(FormatKnobValue(wb, 512), "4MB");
+}
+
+TEST(PgConfTest, CategoricalAsString) {
+  KnobSpec sc = CategoricalKnob("synchronous_commit",
+                                {"off", "local", "remote_write", "on"}, 3);
+  EXPECT_EQ(FormatKnobValue(sc, 0), "off");
+  EXPECT_EQ(FormatKnobValue(sc, 3), "on");
+}
+
+TEST(PgConfTest, FullCatalogEmits) {
+  ConfigSpace space = PostgresV96Catalog();
+  std::string conf = EmitPostgresConf(space, space.DefaultConfiguration());
+  EXPECT_NE(conf.find("shared_buffers = 128MB"), std::string::npos);
+  EXPECT_NE(conf.find("autovacuum = on"), std::string::npos);
+  EXPECT_NE(conf.find("wal_buffers = -1"), std::string::npos);
+  // One line per knob plus the header.
+  int lines = 0;
+  for (char c : conf) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, space.num_knobs() + 1);
+}
+
+}  // namespace
+}  // namespace dbsim
+}  // namespace llamatune

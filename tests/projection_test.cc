@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/projection/hesbo.h"
+#include "src/projection/rembo.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+namespace {
+
+TEST(HesboTest, Dimensions) {
+  HesboProjection proj(90, 16, 1);
+  EXPECT_EQ(proj.high_dim(), 90);
+  EXPECT_EQ(proj.low_dim(), 16);
+  EXPECT_EQ(proj.name(), "HeSBO");
+}
+
+TEST(HesboTest, LowDimSpaceIsUnitBox) {
+  HesboProjection proj(90, 16, 1);
+  SearchSpace s = proj.LowDimSpace();
+  ASSERT_EQ(s.num_dims(), 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(s.dim(i).lo, -1.0);
+    EXPECT_EQ(s.dim(i).hi, 1.0);
+    EXPECT_EQ(s.dim(i).type, SearchDim::Type::kContinuous);
+  }
+}
+
+TEST(HesboTest, EachOutputIsSignedCopyOfOneInput) {
+  HesboProjection proj(30, 8, 5);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> p(8);
+    for (double& v : p) v = rng.Uniform(-1.0, 1.0);
+    auto out = proj.Project(p);
+    ASSERT_EQ(out.size(), 30u);
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_DOUBLE_EQ(out[i], proj.sign(i) * p[proj.bucket(i)]);
+      EXPECT_GE(out[i], -1.0);  // never leaves the box: no clipping
+      EXPECT_LE(out[i], 1.0);
+    }
+  }
+}
+
+TEST(HesboTest, BucketsAndSignsValid) {
+  HesboProjection proj(200, 16, 9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(proj.bucket(i), 0);
+    EXPECT_LT(proj.bucket(i), 16);
+    EXPECT_TRUE(proj.sign(i) == 1 || proj.sign(i) == -1);
+  }
+}
+
+TEST(HesboTest, DeterministicPerSeedDistinctAcrossSeeds) {
+  HesboProjection a(50, 8, 42), b(50, 8, 42), c(50, 8, 43);
+  int same_ac = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.bucket(i), b.bucket(i));
+    EXPECT_EQ(a.sign(i), b.sign(i));
+    if (a.bucket(i) == c.bucket(i) && a.sign(i) == c.sign(i)) ++same_ac;
+  }
+  EXPECT_LT(same_ac, 25);  // different seed => different sketch
+}
+
+TEST(RemboTest, Dimensions) {
+  RemboProjection proj(90, 16, 1);
+  EXPECT_EQ(proj.high_dim(), 90);
+  EXPECT_EQ(proj.low_dim(), 16);
+  EXPECT_EQ(proj.name(), "REMBO");
+}
+
+TEST(RemboTest, LowDimSpaceIsSqrtDBox) {
+  RemboProjection proj(90, 16, 1);
+  SearchSpace s = proj.LowDimSpace();
+  double bound = std::sqrt(16.0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(s.dim(i).lo, -bound);
+    EXPECT_DOUBLE_EQ(s.dim(i).hi, bound);
+  }
+}
+
+TEST(RemboTest, ProjectionIsClippedToBox) {
+  RemboProjection proj(60, 8, 3);
+  Rng rng(2);
+  SearchSpace low = proj.LowDimSpace();
+  for (int trial = 0; trial < 100; ++trial) {
+    auto p = UniformSample(low, &rng);
+    auto out = proj.Project(p);
+    for (double v : out) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(RemboTest, ClippingPathologyAtBoxCorners) {
+  // The clipping weakness the paper observes (§3.2): away from the
+  // origin most coordinates saturate onto the facets of [-1,1]^D.
+  RemboProjection proj(90, 16, 7);
+  std::vector<double> corner(16, std::sqrt(16.0));
+  EXPECT_GT(proj.ClippedFraction(corner), 0.8);
+  std::vector<double> origin(16, 0.0);
+  EXPECT_EQ(proj.ClippedFraction(origin), 0.0);
+}
+
+TEST(RemboTest, LinearityBeforeClipping) {
+  RemboProjection proj(40, 4, 11);
+  std::vector<double> p(4, 0.01);  // small: no clipping anywhere
+  std::vector<double> p2(4, 0.02);
+  auto out1 = proj.Project(p);
+  auto out2 = proj.Project(p2);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_NEAR(out2[i], 2.0 * out1[i], 1e-12);
+  }
+}
+
+// Property: both projections map any valid low-dim point into the
+// [-1,1]^D box, across target dims.
+class ProjectionBoxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionBoxProperty, AlwaysInsideBox) {
+  int d = GetParam();
+  HesboProjection hesbo(90, d, 13);
+  RemboProjection rembo(90, d, 13);
+  Rng rng(d);
+  for (const Projection* proj :
+       std::vector<const Projection*>{&hesbo, &rembo}) {
+    SearchSpace low = proj->LowDimSpace();
+    for (int trial = 0; trial < 50; ++trial) {
+      auto p = UniformSample(low, &rng);
+      for (double v : proj->Project(p)) {
+        EXPECT_GE(v, -1.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ProjectionBoxProperty,
+                         ::testing::Values(2, 4, 8, 16, 24, 32));
+
+}  // namespace
+}  // namespace llamatune

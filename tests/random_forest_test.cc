@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/model/random_forest.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+namespace {
+
+SearchSpace Space2d() {
+  return SearchSpace(
+      {SearchDim::Continuous(0.0, 1.0), SearchDim::Continuous(0.0, 1.0)});
+}
+
+TEST(RandomForestTest, UnfittedFlag) {
+  RandomForest rf(Space2d(), {}, 1);
+  EXPECT_FALSE(rf.fitted());
+}
+
+TEST(RandomForestTest, FitsConstantFunction) {
+  RandomForest rf(Space2d(), {}, 1);
+  Rng rng(1);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back({rng.Uniform(), rng.Uniform()});
+    ys.push_back(7.0);
+  }
+  rf.Fit(xs, ys);
+  EXPECT_TRUE(rf.fitted());
+  double mean = 0.0, variance = 1.0;
+  rf.Predict({0.5, 0.5}, &mean, &variance);
+  EXPECT_NEAR(mean, 7.0, 1e-9);
+  EXPECT_NEAR(variance, 0.0, 1e-9);
+}
+
+TEST(RandomForestTest, LearnsStepFunction) {
+  RandomForestOptions options;
+  options.num_trees = 20;
+  RandomForest rf(Space2d(), options, 2);
+  Rng rng(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    xs.push_back({a, b});
+    ys.push_back(a < 0.5 ? 0.0 : 10.0);
+  }
+  rf.Fit(xs, ys);
+  EXPECT_LT(rf.PredictMean({0.1, 0.5}), 2.0);
+  EXPECT_GT(rf.PredictMean({0.9, 0.5}), 8.0);
+}
+
+TEST(RandomForestTest, LearnsLinearTrendRanking) {
+  RandomForestOptions options;
+  options.num_trees = 20;
+  RandomForest rf(Space2d(), options, 4);
+  Rng rng(5);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    xs.push_back({a, b});
+    ys.push_back(3.0 * a + 0.1 * b);
+  }
+  rf.Fit(xs, ys);
+  // Ranking along the important axis is preserved.
+  EXPECT_LT(rf.PredictMean({0.1, 0.5}), rf.PredictMean({0.5, 0.5}));
+  EXPECT_LT(rf.PredictMean({0.5, 0.5}), rf.PredictMean({0.9, 0.5}));
+}
+
+TEST(RandomForestTest, VarianceHigherAwayFromData) {
+  RandomForestOptions options;
+  options.num_trees = 30;
+  RandomForest rf(Space2d(), options, 6);
+  Rng rng(7);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  // Train only in the left half, with a slope so leaves differ.
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.Uniform(0.0, 0.4), b = rng.Uniform();
+    xs.push_back({a, b});
+    ys.push_back(5.0 * a + rng.Gaussian(0.0, 0.1));
+  }
+  rf.Fit(xs, ys);
+  double mean_in = 0, var_in = 0, mean_out = 0, var_out = 0;
+  rf.Predict({0.2, 0.5}, &mean_in, &var_in);
+  rf.Predict({0.95, 0.5}, &mean_out, &var_out);
+  EXPECT_GE(var_out, 0.0);
+  EXPECT_GE(var_in, 0.0);
+}
+
+TEST(RandomForestTest, HandlesCategoricalSplits) {
+  SearchSpace space(
+      {SearchDim::Categorical(3), SearchDim::Continuous(0.0, 1.0)});
+  RandomForestOptions options;
+  options.num_trees = 20;
+  RandomForest rf(space, options, 8);
+  Rng rng(9);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 240; ++i) {
+    double cat = static_cast<double>(rng.UniformInt(0, 2));
+    xs.push_back({cat, rng.Uniform()});
+    ys.push_back(cat == 1.0 ? 20.0 : 1.0);  // category 1 stands out
+  }
+  rf.Fit(xs, ys);
+  EXPECT_GT(rf.PredictMean({1.0, 0.5}), 10.0);
+  EXPECT_LT(rf.PredictMean({0.0, 0.5}), 8.0);
+  EXPECT_LT(rf.PredictMean({2.0, 0.5}), 8.0);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  Rng rng(10);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back({rng.Uniform(), rng.Uniform()});
+    ys.push_back(xs.back()[0] * 2.0);
+  }
+  RandomForest a(Space2d(), {}, 77), b(Space2d(), {}, 77);
+  a.Fit(xs, ys);
+  b.Fit(xs, ys);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x = {i / 20.0, 0.3};
+    EXPECT_DOUBLE_EQ(a.PredictMean(x), b.PredictMean(x));
+  }
+}
+
+TEST(RandomForestTest, RefitReplacesModel) {
+  RandomForest rf(Space2d(), {}, 11);
+  std::vector<std::vector<double>> xs = {{0.1, 0.1}, {0.9, 0.9}, {0.5, 0.5}};
+  rf.Fit(xs, {1.0, 1.0, 1.0});
+  EXPECT_NEAR(rf.PredictMean({0.5, 0.5}), 1.0, 1e-9);
+  rf.Fit(xs, {5.0, 5.0, 5.0});
+  EXPECT_NEAR(rf.PredictMean({0.5, 0.5}), 5.0, 1e-9);
+}
+
+// Property: law-of-total-variance output is always non-negative.
+class RfVarianceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RfVarianceProperty, NonNegativeVariance) {
+  RandomForestOptions options;
+  options.num_trees = 10;
+  RandomForest rf(Space2d(), options, GetParam());
+  Rng rng(GetParam());
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back({rng.Uniform(), rng.Uniform()});
+    ys.push_back(rng.Gaussian(0.0, 3.0));
+  }
+  rf.Fit(xs, ys);
+  for (int i = 0; i < 100; ++i) {
+    double mean = 0, variance = -1;
+    rf.Predict({rng.Uniform(), rng.Uniform()}, &mean, &variance);
+    EXPECT_GE(variance, 0.0);
+    EXPECT_TRUE(std::isfinite(mean));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RfVarianceProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/sampling/latin_hypercube.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+namespace {
+
+SearchSpace ContinuousSpace(int d) {
+  std::vector<SearchDim> dims(d, SearchDim::Continuous(0.0, 1.0));
+  return SearchSpace(std::move(dims));
+}
+
+TEST(LhsTest, RightNumberOfPointsAndArity) {
+  SearchSpace s = ContinuousSpace(4);
+  Rng rng(1);
+  auto points = LatinHypercubeSample(s, 10, &rng);
+  ASSERT_EQ(points.size(), 10u);
+  for (const auto& p : points) EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(LhsTest, StratificationOneSamplePerStratum) {
+  SearchSpace s = ContinuousSpace(3);
+  Rng rng(2);
+  const int n = 20;
+  auto points = LatinHypercubeSample(s, n, &rng);
+  for (int j = 0; j < 3; ++j) {
+    std::set<int> strata;
+    for (const auto& p : points) {
+      int stratum = std::min(n - 1, static_cast<int>(p[j] * n));
+      strata.insert(stratum);
+    }
+    // Exactly one sample per stratum => all n strata present.
+    EXPECT_EQ(strata.size(), static_cast<size_t>(n));
+  }
+}
+
+TEST(LhsTest, CategoricalRoundRobinCoverage) {
+  SearchSpace s({SearchDim::Categorical(4)});
+  Rng rng(3);
+  auto points = LatinHypercubeSample(s, 12, &rng);
+  std::map<int, int> counts;
+  for (const auto& p : points) counts[static_cast<int>(p[0])]++;
+  ASSERT_EQ(counts.size(), 4u);  // every category appears
+  for (auto& [cat, count] : counts) EXPECT_EQ(count, 3);  // 12/4 each
+}
+
+TEST(LhsTest, RespectsBucketGrid) {
+  SearchSpace s({SearchDim::Continuous(0.0, 1.0, 11)});
+  Rng rng(4);
+  auto points = LatinHypercubeSample(s, 30, &rng);
+  for (const auto& p : points) {
+    EXPECT_TRUE(s.Contains(p));
+  }
+}
+
+TEST(LhsTest, Deterministic) {
+  SearchSpace s = ContinuousSpace(5);
+  Rng a(7), b(7);
+  EXPECT_EQ(LatinHypercubeSample(s, 10, &a), LatinHypercubeSample(s, 10, &b));
+}
+
+TEST(LhsTest, NonOverlappingBounds) {
+  SearchSpace s({SearchDim::Continuous(-3.0, 5.0)});
+  Rng rng(8);
+  for (const auto& p : LatinHypercubeSample(s, 50, &rng)) {
+    EXPECT_GE(p[0], -3.0);
+    EXPECT_LE(p[0], 5.0);
+  }
+}
+
+TEST(UniformTest, InBoundsAndContained) {
+  SearchSpace s({SearchDim::Continuous(0.0, 2.0, 9),
+                 SearchDim::Categorical(5),
+                 SearchDim::Continuous(-1.0, 1.0)});
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(s.Contains(UniformSample(s, &rng)));
+  }
+}
+
+TEST(UniformTest, BatchSize) {
+  SearchSpace s = ContinuousSpace(2);
+  Rng rng(10);
+  EXPECT_EQ(UniformSamples(s, 33, &rng).size(), 33u);
+}
+
+TEST(UniformTest, CategoricalUniformity) {
+  SearchSpace s({SearchDim::Categorical(3)});
+  Rng rng(11);
+  std::map<int, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    counts[static_cast<int>(UniformSample(s, &rng)[0])]++;
+  }
+  for (auto& [cat, count] : counts) EXPECT_NEAR(count, 1000, 120);
+}
+
+// Property: LHS marginal means approach 0.5 (balanced design) faster
+// than uniform sampling would guarantee.
+class LhsBalance : public ::testing::TestWithParam<int> {};
+
+TEST_P(LhsBalance, MarginalMeansBalanced) {
+  SearchSpace s = ContinuousSpace(3);
+  Rng rng(GetParam());
+  int n = 40;
+  auto points = LatinHypercubeSample(s, n, &rng);
+  for (int j = 0; j < 3; ++j) {
+    double sum = 0.0;
+    for (const auto& p : points) sum += p[j];
+    EXPECT_NEAR(sum / n, 0.5, 0.02);  // stratification bounds the error
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LhsBalance, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+namespace {
+
+SearchSpace MixedSpace() {
+  return SearchSpace({SearchDim::Continuous(0.0, 1.0),
+                      SearchDim::Continuous(-1.0, 1.0, 5),
+                      SearchDim::Categorical(3)});
+}
+
+TEST(SearchSpaceTest, DimCounts) {
+  SearchSpace s = MixedSpace();
+  EXPECT_EQ(s.num_dims(), 3);
+  EXPECT_EQ(s.num_continuous(), 2);
+  EXPECT_EQ(s.num_categorical(), 1);
+}
+
+TEST(SearchSpaceTest, SnapClampsContinuous) {
+  SearchSpace s = MixedSpace();
+  EXPECT_EQ(s.Snap(0, 1.7), 1.0);
+  EXPECT_EQ(s.Snap(0, -0.3), 0.0);
+  EXPECT_EQ(s.Snap(0, 0.42), 0.42);
+}
+
+TEST(SearchSpaceTest, SnapBucketGrid) {
+  SearchSpace s = MixedSpace();
+  // 5 buckets over [-1,1]: grid {-1, -0.5, 0, 0.5, 1}.
+  EXPECT_DOUBLE_EQ(s.Snap(1, -0.6), -0.5);
+  EXPECT_DOUBLE_EQ(s.Snap(1, 0.2), 0.0);
+  EXPECT_DOUBLE_EQ(s.Snap(1, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(s.Snap(1, -2.0), -1.0);
+}
+
+TEST(SearchSpaceTest, SnapCategoricalFloors) {
+  SearchSpace s = MixedSpace();
+  EXPECT_EQ(s.Snap(2, 1.9), 1.0);
+  EXPECT_EQ(s.Snap(2, 7.0), 2.0);
+  EXPECT_EQ(s.Snap(2, -3.0), 0.0);
+}
+
+TEST(SearchSpaceTest, SingleBucketPinsToLo) {
+  SearchSpace s({SearchDim::Continuous(2.0, 8.0, 1)});
+  EXPECT_EQ(s.Snap(0, 7.0), 2.0);
+}
+
+TEST(SearchSpaceTest, ContainsChecksEverything) {
+  SearchSpace s = MixedSpace();
+  EXPECT_TRUE(s.Contains({0.5, 0.5, 2.0}));
+  EXPECT_FALSE(s.Contains({0.5, 0.5}));          // arity
+  EXPECT_FALSE(s.Contains({1.5, 0.5, 2.0}));     // out of bounds
+  EXPECT_FALSE(s.Contains({0.5, 0.3, 2.0}));     // off the bucket grid
+  EXPECT_FALSE(s.Contains({0.5, 0.5, 1.5}));     // non-integral category
+  EXPECT_FALSE(s.Contains({0.5, 0.5, 3.0}));     // category out of range
+}
+
+TEST(SearchSpaceTest, SnapPointMakesContained) {
+  SearchSpace s = MixedSpace();
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> raw = {rng.Uniform(-3, 3), rng.Uniform(-3, 3),
+                               rng.Uniform(0, 3)};
+    EXPECT_TRUE(s.Contains(s.SnapPoint(raw)));
+  }
+}
+
+TEST(SearchSpaceTest, BucketizedLimitsOnlyFinerDims) {
+  SearchSpace s({SearchDim::Continuous(0, 1),          // continuum
+                 SearchDim::Continuous(0, 1, 3),       // already coarse
+                 SearchDim::Continuous(0, 1, 500000),  // finer than K
+                 SearchDim::Categorical(4)});
+  SearchSpace b = s.Bucketized(10000);
+  EXPECT_EQ(b.dim(0).num_buckets, 10000);
+  EXPECT_EQ(b.dim(1).num_buckets, 3);
+  EXPECT_EQ(b.dim(2).num_buckets, 10000);
+  EXPECT_EQ(b.dim(3).type, SearchDim::Type::kCategorical);
+}
+
+// Parameterized property: any snapped value lies on the K-grid and
+// there are at most K distinct snapped values.
+class BucketGridProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketGridProperty, SnappedValuesOnGrid) {
+  int k = GetParam();
+  SearchSpace s({SearchDim::Continuous(-1.0, 1.0, k)});
+  Rng rng(k);
+  std::set<double> distinct;
+  for (int i = 0; i < 2000; ++i) {
+    double v = s.Snap(0, rng.Uniform(-1.0, 1.0));
+    distinct.insert(v);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+    if (k > 1) {
+      double width = 2.0 / (k - 1);
+      double steps = (v + 1.0) / width;
+      EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    }
+  }
+  EXPECT_LE(static_cast<int>(distinct.size()), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BucketGridProperty,
+                         ::testing::Values(1, 2, 3, 7, 50, 1000, 10000));
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/session_log.h"
+#include "src/dbsim/knob_catalog.h"
+
+namespace llamatune {
+namespace {
+
+KnowledgeBase SampleKb(const ConfigSpace& space) {
+  KnowledgeBase kb;
+  for (int i = 1; i <= 3; ++i) {
+    IterationRecord record;
+    record.iteration = i;
+    record.objective = 1000.0 * i + 0.125;
+    record.measured = record.objective;
+    record.crashed = (i == 2);
+    Configuration config = space.DefaultConfiguration();
+    config[0] = space.knob(0).Canonicalize(space.knob(0).min_value + i);
+    record.config = config;
+    kb.Add(std::move(record));
+  }
+  return kb;
+}
+
+TEST(SessionLogTest, RoundTripPreservesRecords) {
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  KnowledgeBase kb = SampleKb(space);
+  std::string text = SerializeKnowledgeBase(space, kb);
+  auto loaded = ParseKnowledgeBase(space, text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded).size(), 3);
+  for (int i = 0; i < 3; ++i) {
+    const IterationRecord& a = kb.record(i);
+    const IterationRecord& b = (*loaded).record(i);
+    EXPECT_EQ(a.iteration, b.iteration);
+    EXPECT_DOUBLE_EQ(a.objective, b.objective);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.config, b.config);
+  }
+}
+
+TEST(SessionLogTest, HeaderNamesEveryKnob) {
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  std::string text = SerializeKnowledgeBase(space, KnowledgeBase());
+  EXPECT_NE(text.find("shared_buffers"), std::string::npos);
+  EXPECT_NE(text.find("backend_flush_after"), std::string::npos);
+}
+
+TEST(SessionLogTest, RejectsCatalogMismatch) {
+  ConfigSpace v96 = dbsim::PostgresV96Catalog();
+  ConfigSpace v136 = dbsim::PostgresV136Catalog();
+  std::string text = SerializeKnowledgeBase(v96, SampleKb(v96));
+  auto loaded = ParseKnowledgeBase(v136, text);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SessionLogTest, RejectsMalformedRows) {
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  std::string text = SerializeKnowledgeBase(space, KnowledgeBase());
+  EXPECT_FALSE(ParseKnowledgeBase(space, text + "1,2,3\n").ok());
+  EXPECT_FALSE(ParseKnowledgeBase(space, "").ok());
+}
+
+TEST(SessionLogTest, RejectsOutOfRangeValues) {
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  KnowledgeBase kb = SampleKb(space);
+  std::string text = SerializeKnowledgeBase(space, kb);
+  // Corrupt the first knob value of the first row to an absurd number.
+  size_t header_end = text.find('\n');
+  size_t row_start = header_end + 1;
+  // Skip the 4 bookkeeping fields.
+  size_t pos = row_start;
+  for (int commas = 0; commas < 4; ++pos) {
+    if (text[pos] == ',') ++commas;
+  }
+  size_t value_end = text.find(',', pos);
+  text.replace(pos, value_end - pos, "9e18");
+  EXPECT_FALSE(ParseKnowledgeBase(space, text).ok());
+}
+
+TEST(SessionLogTest, FileRoundTrip) {
+  ConfigSpace space = dbsim::PostgresV96Catalog();
+  KnowledgeBase kb = SampleKb(space);
+  std::string path = ::testing::TempDir() + "/llamatune_kb_test.csv";
+  ASSERT_TRUE(SaveKnowledgeBase(space, kb, path).ok());
+  auto loaded = LoadKnowledgeBase(space, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded).size(), kb.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadKnowledgeBase(space, path).ok());  // gone
+}
+
+}  // namespace
+}  // namespace llamatune

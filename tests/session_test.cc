@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/identity_adapter.h"
+#include "src/core/tuning_session.h"
+#include "src/optimizer/random_search.h"
+
+namespace llamatune {
+namespace {
+
+// A tiny controllable objective over a 2-knob space.
+class FakeObjective : public ObjectiveFunction {
+ public:
+  FakeObjective()
+      : space_(*ConfigSpace::Create({IntegerKnob("a", 0, 100, 50),
+                                     RealKnob("b", 0.0, 1.0, 0.5)})) {}
+
+  EvalResult Evaluate(const Configuration& config) override {
+    ++evaluations_;
+    EvalResult result;
+    if (crash_when_a_below_ >= 0 && config[0] < crash_when_a_below_) {
+      result.crashed = true;
+      return result;
+    }
+    result.value = config[0] + 10.0 * config[1];
+    if (!maximize_) result.value = 100.0 - result.value;  // latency-ish
+    result.metrics = {1.0, 2.0, 3.0};
+    return result;
+  }
+
+  const ConfigSpace& config_space() const override { return space_; }
+  bool maximize() const override { return maximize_; }
+
+  int evaluations_ = 0;
+  double crash_when_a_below_ = -1;
+  bool maximize_ = true;
+
+ private:
+  ConfigSpace space_;
+};
+
+TEST(SessionTest, RunsConfiguredIterationsPlusBaseline) {
+  FakeObjective objective;
+  IdentityAdapter adapter(&objective.config_space());
+  RandomSearchOptimizer optimizer(adapter.search_space(), 1);
+  SessionOptions options;
+  options.num_iterations = 25;
+  TuningSession session(&objective, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  EXPECT_EQ(result.iterations_run, 25);
+  EXPECT_EQ(result.kb.size(), 25);
+  // Baseline (default config) evaluation happens once, on top.
+  EXPECT_EQ(objective.evaluations_, 26);
+  EXPECT_EQ(result.default_performance, 50.0 + 10.0 * 0.5);
+  EXPECT_GE(result.best_performance, result.kb.record(0).measured);
+  EXPECT_GE(result.optimizer_seconds, 0.0);
+}
+
+// Drives the session through a fixed sequence of points.
+class ScriptedOptimizer : public Optimizer {
+ public:
+  ScriptedOptimizer(SearchSpace space, std::vector<std::vector<double>> plan)
+      : Optimizer(std::move(space)), plan_(std::move(plan)) {}
+  std::vector<double> Suggest() override { return plan_[next_++]; }
+  std::string name() const override { return "Scripted"; }
+
+ private:
+  std::vector<std::vector<double>> plan_;
+  size_t next_ = 0;
+};
+
+TEST(SessionTest, CrashPenaltyIsQuarterOfWorst) {
+  FakeObjective objective;
+  objective.crash_when_a_below_ = 30;  // unit a < 0.3 crashes
+  IdentityAdapter adapter(&objective.config_space());
+  // crash, good (a=100,b=1 -> 110), crash again.
+  ScriptedOptimizer optimizer(adapter.search_space(),
+                              {{0.0, 0.0}, {1.0, 1.0}, {0.1, 0.0}});
+  SessionOptions options;
+  options.num_iterations = 3;
+  TuningSession session(&objective, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  ASSERT_EQ(result.kb.size(), 3);
+  // Default (a=50, b=0.5 -> 55) sets the initial worst; both crashes
+  // score a quarter of it, the good run stands as measured.
+  EXPECT_TRUE(result.kb.record(0).crashed);
+  EXPECT_DOUBLE_EQ(result.kb.record(0).objective, 55.0 / 4.0);
+  EXPECT_FALSE(result.kb.record(1).crashed);
+  EXPECT_DOUBLE_EQ(result.kb.record(1).objective, 110.0);
+  EXPECT_TRUE(result.kb.record(2).crashed);
+  EXPECT_DOUBLE_EQ(result.kb.record(2).objective, 55.0 / 4.0);
+}
+
+TEST(SessionTest, CrashPenaltyTracksWorseningWorst) {
+  FakeObjective objective;
+  objective.crash_when_a_below_ = 20;  // only low-a configs crash
+  IdentityAdapter adapter(&objective.config_space());
+  RandomSearchOptimizer optimizer(adapter.search_space(), 3);
+  SessionOptions options;
+  options.num_iterations = 60;
+  TuningSession session(&objective, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  bool saw_crash = false, saw_ok = false;
+  double worst_ok = 55.0;
+  for (int i = 0; i < result.kb.size(); ++i) {
+    const IterationRecord& r = result.kb.record(i);
+    if (r.crashed) {
+      saw_crash = true;
+      EXPECT_DOUBLE_EQ(r.objective, worst_ok / 4.0);
+    } else {
+      saw_ok = true;
+      worst_ok = std::min(worst_ok, r.objective);
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_ok);
+}
+
+TEST(SessionTest, MinimizationNegatesObjective) {
+  FakeObjective objective;
+  objective.maximize_ = false;
+  IdentityAdapter adapter(&objective.config_space());
+  RandomSearchOptimizer optimizer(adapter.search_space(), 4);
+  SessionOptions options;
+  options.num_iterations = 30;
+  TuningSession session(&objective, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  // Internally maximizing -latency: best measured is the minimum.
+  double min_measured = 1e18;
+  for (int i = 0; i < result.kb.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.kb.record(i).objective,
+                     -result.kb.record(i).measured);
+    min_measured = std::min(min_measured, result.kb.record(i).measured);
+  }
+  EXPECT_DOUBLE_EQ(result.best_performance, min_measured);
+}
+
+TEST(SessionTest, EarlyStoppingShortensSession) {
+  FakeObjective objective;
+  IdentityAdapter adapter(&objective.config_space());
+  RandomSearchOptimizer optimizer(adapter.search_space(), 5);
+  SessionOptions options;
+  options.num_iterations = 100;
+  options.early_stopping = EarlyStoppingPolicy(5.0, 3);
+  TuningSession session(&objective, &adapter, &optimizer, options);
+  SessionResult result = session.Run();
+  EXPECT_LT(result.iterations_run, 100);
+  EXPECT_GE(result.iterations_run, 3);
+}
+
+TEST(SessionTest, StepApiMatchesRun) {
+  FakeObjective objective;
+  IdentityAdapter adapter(&objective.config_space());
+  RandomSearchOptimizer optimizer(adapter.search_space(), 6);
+  SessionOptions options;
+  options.num_iterations = 10;
+  TuningSession session(&objective, &adapter, &optimizer, options);
+  int steps = 0;
+  while (session.Step()) ++steps;
+  EXPECT_EQ(steps, 11);  // baseline + 10 iterations
+  EXPECT_EQ(session.iterations_run(), 10);
+  EXPECT_FALSE(session.Step());  // exhausted
+}
+
+TEST(SessionTest, MetricsReachOptimizer) {
+  // The RL hook: metrics from every run must be forwarded.
+  class CountingOptimizer : public RandomSearchOptimizer {
+   public:
+    using RandomSearchOptimizer::RandomSearchOptimizer;
+    void ObserveMetrics(const std::vector<double>& metrics) override {
+      ++metric_calls_;
+      last_metrics_ = metrics;
+    }
+    int metric_calls_ = 0;
+    std::vector<double> last_metrics_;
+  };
+  FakeObjective objective;
+  IdentityAdapter adapter(&objective.config_space());
+  CountingOptimizer optimizer(adapter.search_space(), 7);
+  SessionOptions options;
+  options.num_iterations = 4;
+  TuningSession session(&objective, &adapter, &optimizer, options);
+  session.Run();
+  EXPECT_EQ(optimizer.metric_calls_, 5);  // baseline + 4 iterations
+  EXPECT_EQ(optimizer.last_metrics_, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace llamatune

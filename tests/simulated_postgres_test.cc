@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dbsim/simulated_postgres.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace {
+
+TEST(SimulatedPostgresTest, MaximizeFlagFollowsTarget) {
+  SimulatedPostgres tput(YcsbA(), {});
+  EXPECT_TRUE(tput.maximize());
+  SimulatedPostgresOptions options;
+  options.target = TuningTarget::kP95Latency;
+  options.fixed_rate = 5000;
+  SimulatedPostgres latency(TpcC(), options);
+  EXPECT_FALSE(latency.maximize());
+}
+
+TEST(SimulatedPostgresTest, NoiseIsSmallAndMultiplicative) {
+  SimulatedPostgres db(YcsbA(), {});
+  Configuration def = db.config_space().DefaultConfiguration();
+  double noiseless = db.RunNoiseless(def).throughput;
+  for (int i = 0; i < 20; ++i) {
+    double v = db.Evaluate(def).value;
+    EXPECT_NEAR(v, noiseless, noiseless * 0.2);
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(SimulatedPostgresTest, RepeatEvaluationsDiffer) {
+  SimulatedPostgres db(YcsbA(), {});
+  Configuration def = db.config_space().DefaultConfiguration();
+  double a = db.Evaluate(def).value;
+  double b = db.Evaluate(def).value;
+  EXPECT_NE(a, b);  // noisy objective
+}
+
+TEST(SimulatedPostgresTest, SameSeedSameSequence) {
+  SimulatedPostgresOptions options;
+  options.noise_seed = 1234;
+  SimulatedPostgres a(YcsbA(), options), b(YcsbA(), options);
+  Configuration def = a.config_space().DefaultConfiguration();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Evaluate(def).value, b.Evaluate(def).value);
+  }
+}
+
+TEST(SimulatedPostgresTest, ZeroNoiseIsExact) {
+  SimulatedPostgresOptions options;
+  options.noise_sigma = 0.0;
+  SimulatedPostgres db(YcsbA(), options);
+  Configuration def = db.config_space().DefaultConfiguration();
+  EXPECT_DOUBLE_EQ(db.Evaluate(def).value, db.RunNoiseless(def).throughput);
+}
+
+TEST(SimulatedPostgresTest, CrashedRunsReportNoMetricsValue) {
+  SimulatedPostgres db(YcsbA(), {});
+  Configuration c = db.config_space().DefaultConfiguration();
+  c[db.config_space().IndexOf("max_connections")] = 10;
+  EvalResult result = db.Evaluate(c);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_EQ(result.metrics.size(), static_cast<size_t>(kNumMetrics));
+}
+
+TEST(SimulatedPostgresTest, LatencyTargetReturnsP95) {
+  SimulatedPostgresOptions options;
+  options.target = TuningTarget::kP95Latency;
+  options.fixed_rate = 700;
+  options.noise_sigma = 0.0;
+  SimulatedPostgres db(TpcC(), options);
+  Configuration def = db.config_space().DefaultConfiguration();
+  EXPECT_DOUBLE_EQ(db.Evaluate(def).value,
+                   db.RunNoiseless(def).p95_latency_ms);
+  EXPECT_GT(db.Evaluate(def).value, 0.0);
+}
+
+TEST(SimulatedPostgresTest, MetricsVectorShape) {
+  SimulatedPostgres db(Twitter(), {});
+  EvalResult result =
+      db.Evaluate(db.config_space().DefaultConfiguration());
+  ASSERT_EQ(result.metrics.size(), static_cast<size_t>(kNumMetrics));
+  for (double m : result.metrics) EXPECT_TRUE(std::isfinite(m));
+}
+
+TEST(SimulatedPostgresTest, EvaluationCounterAdvances) {
+  SimulatedPostgres db(YcsbA(), {});
+  EXPECT_EQ(db.evaluations(), 0);
+  db.Evaluate(db.config_space().DefaultConfiguration());
+  db.Evaluate(db.config_space().DefaultConfiguration());
+  EXPECT_EQ(db.evaluations(), 2);
+}
+
+TEST(SimulatedPostgresTest, WorkloadByNameLookup) {
+  EXPECT_TRUE(WorkloadByName("TPC-C").ok());
+  EXPECT_TRUE(WorkloadByName("RS").ok());
+  EXPECT_FALSE(WorkloadByName("TPC-H").ok());
+  EXPECT_EQ(AllWorkloads().size(), 6u);
+}
+
+TEST(SimulatedPostgresTest, WorkloadTableFourProperties) {
+  // Spot-check against the paper's Table 4.
+  WorkloadSpec ycsb_a = *WorkloadByName("YCSB-A");
+  EXPECT_EQ(ycsb_a.num_tables, 1);
+  EXPECT_EQ(ycsb_a.num_columns, 11);
+  EXPECT_DOUBLE_EQ(ycsb_a.read_only_txn_fraction, 0.50);
+  WorkloadSpec tpcc = *WorkloadByName("TPC-C");
+  EXPECT_EQ(tpcc.num_tables, 9);
+  EXPECT_DOUBLE_EQ(tpcc.read_only_txn_fraction, 0.08);
+  WorkloadSpec seats = *WorkloadByName("SEATS");
+  EXPECT_EQ(seats.num_tables, 10);
+  WorkloadSpec twitter = *WorkloadByName("Twitter");
+  EXPECT_EQ(twitter.num_tables, 5);
+  EXPECT_DOUBLE_EQ(twitter.read_only_txn_fraction, 0.01);
+  for (const WorkloadSpec& w : AllWorkloads()) {
+    EXPECT_EQ(w.db_size_gb, 20.0) << w.name;  // all databases are 20 GB
+    EXPECT_EQ(w.clients, 40) << w.name;       // 40 clients
+  }
+}
+
+}  // namespace
+}  // namespace dbsim
+}  // namespace llamatune

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/dbsim/des/txn_mix.h"
+
+namespace llamatune {
+namespace dbsim {
+namespace des {
+namespace {
+
+TEST(TxnMixTest, CreateValidates) {
+  EXPECT_FALSE(TxnMix::Create({}).ok());
+  EXPECT_FALSE(TxnMix::Create({{"x", 0.0, 1.0, false}}).ok());
+  EXPECT_FALSE(TxnMix::Create({{"x", 1.0, -1.0, false}}).ok());
+  EXPECT_TRUE(TxnMix::Create({{"x", 1.0, 1.0, false}}).ok());
+}
+
+TEST(TxnMixTest, SampleFollowsWeights) {
+  TxnMix mix = *TxnMix::Create({{"a", 80.0, 1.0, false},
+                                {"b", 20.0, 1.0, true}});
+  Rng rng(1);
+  std::map<int, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[mix.Sample(&rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.8, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+}
+
+TEST(TxnMixTest, MeanCostAndWriteFraction) {
+  TxnMix mix = *TxnMix::Create({{"light", 50.0, 1.0, false},
+                                {"heavy", 50.0, 3.0, true}});
+  EXPECT_DOUBLE_EQ(mix.MeanCostMultiplier(), 2.0);
+  EXPECT_DOUBLE_EQ(mix.WriteFraction(), 0.5);
+}
+
+TEST(TxnMixTest, TpcCMixMatchesBenchmarkShape) {
+  TxnMix mix = TpcCMix();
+  EXPECT_EQ(mix.num_types(), 5);  // the five TPC-C transactions
+  // The standard mix is ~45% NewOrder and ~8% read-only.
+  EXPECT_EQ(mix.type(0).name, "NewOrder");
+  EXPECT_NEAR(mix.type(0).weight, 45.0, 1e-9);
+  EXPECT_NEAR(1.0 - mix.WriteFraction(), 0.08, 0.001);
+}
+
+TEST(TxnMixTest, PaperWorkloadMixLookup) {
+  EXPECT_EQ(MixForWorkload("TPC-C", 0.08).num_types(), 5);
+  EXPECT_EQ(MixForWorkload("SEATS", 0.45).num_types(), 6);
+  EXPECT_EQ(MixForWorkload("Twitter", 0.01).num_types(), 5);
+  EXPECT_EQ(MixForWorkload("RS", 0.33).num_types(), 4);
+  EXPECT_EQ(MixForWorkload("YCSB-A", 0.50).num_types(), 2);
+  EXPECT_EQ(MixForWorkload("unknown", 0.5).num_types(), 1);
+}
+
+TEST(TxnMixTest, YcsbMixTracksReadFraction) {
+  TxnMix a = YcsbMix(0.5);
+  EXPECT_NEAR(a.WriteFraction(), 0.5, 1e-9);
+  TxnMix b = YcsbMix(0.95);
+  EXPECT_NEAR(b.WriteFraction(), 0.05, 1e-9);
+}
+
+TEST(TxnMixTest, HeavyTypesExist) {
+  // Every multi-type benchmark mix has a type well above the mean —
+  // the tail carrier the DES relies on.
+  for (const TxnMix& mix : {TpcCMix(), SeatsMix()}) {
+    double mean = mix.MeanCostMultiplier();
+    double heaviest = 0.0;
+    for (int i = 0; i < mix.num_types(); ++i) {
+      heaviest = std::max(heaviest, mix.type(i).cost_multiplier);
+    }
+    EXPECT_GT(heaviest, 1.5 * mean);
+  }
+  // TPC-C specifically: StockLevel is >4x the mean transaction.
+  TxnMix tpcc = TpcCMix();
+  EXPECT_GT(tpcc.type(4).cost_multiplier,
+            4.0 * tpcc.MeanCostMultiplier());
+}
+
+}  // namespace
+}  // namespace des
+}  // namespace dbsim
+}  // namespace llamatune
