@@ -30,12 +30,13 @@ struct PairResult {
 };
 
 /// Runs vanilla-optimizer baseline vs LlamaTune treatment on one
-/// workload (identical settings otherwise).
+/// workload (identical settings otherwise). Both cells go through the
+/// adapter registry: "identity" vs the "llamatune" pipeline alias.
 inline PairResult RunPair(harness::ExperimentSpec spec) {
   PairResult out;
-  spec.use_llamatune = false;
+  spec.adapter_key = "identity";
   out.baseline = harness::RunExperiment(spec);
-  spec.use_llamatune = true;
+  spec.adapter_key = "llamatune";
   out.treatment = harness::RunExperiment(spec);
   out.comparison = harness::Compare(out.baseline, out.treatment);
   return out;

@@ -16,19 +16,20 @@ int main() {
 
   struct Variant {
     const char* label;
-    double svb;
-    int64_t buckets;
+    const char* adapter_key;
   };
+  // Each ablation arm is an adapter-registry key — dropping a stage
+  // from the pipeline is dropping a component from the string.
   std::vector<Variant> variants = {
-      {"Low-Dim (HeSBO-16)", 0.0, 0},
-      {"Low-Dim + SVB", 0.20, 0},
-      {"LlamaTune (full)", 0.20, 10000},
+      {"Low-Dim (HeSBO-16)", "hesbo16"},
+      {"Low-Dim + SVB", "hesbo16+svb0.2"},
+      {"LlamaTune (full)", "hesbo16+svb0.2+bucket10000"},
   };
 
   for (const auto& workload :
        {dbsim::YcsbA(), dbsim::YcsbB(), dbsim::TpcC()}) {
     ExperimentSpec spec = PaperSpec(workload);
-    spec.use_llamatune = false;
+    spec.adapter_key = "identity";
     MultiSeedResult baseline = RunExperiment(spec);
 
     std::vector<std::string> labels = {"SMAC"};
@@ -36,10 +37,8 @@ int main() {
         SummarizeCurves(baseline.measured_curves)};
 
     std::printf("\n%s:\n", workload.name.c_str());
-    spec.use_llamatune = true;
     for (const Variant& variant : variants) {
-      spec.llamatune.special_value_bias = variant.svb;
-      spec.llamatune.bucket_values = variant.buckets;
+      spec.adapter_key = variant.adapter_key;
       MultiSeedResult result = RunExperiment(spec);
       Comparison cmp = Compare(baseline, result);
       std::printf("  %-22s final %+6.2f%%  speedup %5.2fx [%3.0f iter]\n",

@@ -17,24 +17,21 @@ int main() {
                  "10-15% below baseline (clipping)");
 
   ExperimentSpec spec = PaperSpec(dbsim::YcsbA());
-  // The case-study pipeline is the plain projection (no SVB, no
-  // bucketization) against vanilla SMAC on all knobs (paper §3.4).
-  spec.llamatune.special_value_bias = 0.0;
-  spec.llamatune.bucket_values = 0;
 
   std::vector<std::string> labels = {"High-Dim (SMAC, 90 knobs)"};
   std::vector<CurveSummary> curves;
-  spec.use_llamatune = false;
+  spec.adapter_key = "identity";
   MultiSeedResult baseline = RunExperiment(spec);
   curves.push_back(SummarizeCurves(baseline.measured_curves));
 
-  spec.use_llamatune = true;
-  for (auto kind : {ProjectionKind::kHesbo, ProjectionKind::kRembo}) {
-    spec.llamatune.projection = kind;
+  // The case-study pipeline is the plain projection (no SVB, no
+  // bucketization) against vanilla SMAC on all knobs (paper §3.4) —
+  // a bare "hesbo<d>" / "rembo<d>" stage key.
+  for (const char* stage : {"hesbo", "rembo"}) {
     for (int d : {8, 16, 24}) {
-      spec.llamatune.target_dim = d;
+      spec.adapter_key = stage + std::to_string(d);
       MultiSeedResult result = RunExperiment(spec);
-      const char* name = kind == ProjectionKind::kHesbo ? "HeSBO" : "REMBO";
+      const char* name = std::string(stage) == "hesbo" ? "HeSBO" : "REMBO";
       labels.push_back(std::string(name) + "-" + std::to_string(d));
       curves.push_back(SummarizeCurves(result.measured_curves));
       Comparison cmp = Compare(baseline, result);

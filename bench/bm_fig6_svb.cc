@@ -15,14 +15,20 @@ int main() {
 
   for (const auto& workload : {dbsim::YcsbA(), dbsim::YcsbB()}) {
     ExperimentSpec spec = PaperSpec(workload);
-    spec.use_llamatune = true;
-    spec.llamatune.bucket_values = 0;  // isolate SVB (no bucketization)
 
     std::vector<std::string> labels;
     std::vector<CurveSummary> curves;
     MultiSeedResult baseline;
     for (double bias : {0.0, 0.05, 0.10, 0.20, 0.30}) {
-      spec.llamatune.special_value_bias = bias;
+      // Isolate SVB on the HeSBO-16 space (no bucketization): the
+      // sweep is just a family of adapter keys.
+      std::string key = "hesbo16";
+      if (bias > 0.0) {
+        char suffix[16];
+        std::snprintf(suffix, sizeof(suffix), "+svb%g", bias);
+        key += suffix;
+      }
+      spec.adapter_key = key;
       MultiSeedResult result = RunExperiment(spec);
       labels.push_back(bias == 0.0 ? "No SVB"
                                    : "SVB=" + std::to_string(

@@ -29,13 +29,14 @@ int main() {
 
   for (const auto& workload : {dbsim::YcsbA(), dbsim::YcsbB()}) {
     ExperimentSpec spec = PaperSpec(workload);
-    spec.use_llamatune = false;  // identity space, bucketized per Fig. 7
 
     std::vector<std::string> labels;
     std::vector<CurveSummary> curves;
     MultiSeedResult baseline;
     for (int64_t k : {0LL, 1000LL, 5000LL, 10000LL, 20000LL}) {
-      spec.identity.bucket_values = k;
+      // Identity space, bucketized per Fig. 7: "identity+bucket<K>".
+      spec.adapter_key = k == 0 ? std::string("identity")
+                                : "identity+bucket" + std::to_string(k);
       MultiSeedResult result = RunExperiment(spec);
       labels.push_back(k == 0 ? "No Bucketization"
                               : "K=" + std::to_string(k));

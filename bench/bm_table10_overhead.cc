@@ -85,20 +85,17 @@ void SessionOverheadReport() {
   std::printf("%-10s %-12s %-12s %s\n", "Optimizer", "Baseline",
               "LlamaTune", "Reduction");
   using harness::ExperimentSpec;
-  using harness::OptimizerKind;
-  for (auto kind : {OptimizerKind::kSmac, OptimizerKind::kGpBo,
-                    OptimizerKind::kDdpg}) {
+  for (const char* key : {"smac", "gpbo", "ddpg"}) {
     ExperimentSpec spec;
     spec.workload = dbsim::YcsbA();
     spec.num_iterations = 100;
     spec.num_seeds = 1;
-    spec.optimizer = kind;
-    spec.use_llamatune = false;
+    spec.optimizer_key = key;
+    spec.adapter_key = "identity";
     double base = harness::RunExperiment(spec).mean_optimizer_seconds;
-    spec.use_llamatune = true;
+    spec.adapter_key = "llamatune";
     double llama = harness::RunExperiment(spec).mean_optimizer_seconds;
-    std::printf("%-10s %-12.3f %-12.3f %.0f%%\n",
-                harness::OptimizerKindName(kind), base, llama,
+    std::printf("%-10s %-12.3f %-12.3f %.0f%%\n", key, base, llama,
                 base > 0 ? 100.0 * (1.0 - llama / base) : 0.0);
   }
   std::printf("(paper: SMAC -86%%, GP-BO -75%%, DDPG -12%%)\n");

@@ -37,7 +37,7 @@ int main() {
     std::printf("%-10s", workload.name.c_str());
     for (const Policy& policy : policies) {
       ExperimentSpec spec = PaperSpec(workload);
-      spec.use_llamatune = true;
+      spec.adapter_key = "llamatune";
       spec.early_stopping =
           EarlyStoppingPolicy(policy.min_improvement_pct, policy.patience);
       MultiSeedResult result = RunExperiment(spec);

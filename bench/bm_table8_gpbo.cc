@@ -16,7 +16,7 @@ int main() {
   std::vector<ComparisonRow> rows;
   for (const auto& workload : dbsim::AllWorkloads()) {
     ExperimentSpec spec = PaperSpec(workload);
-    spec.optimizer = OptimizerKind::kGpBo;
+    spec.optimizer_key = "gpbo";
     PairResult pair = RunPair(spec);
     rows.push_back({workload.name, pair.comparison});
   }

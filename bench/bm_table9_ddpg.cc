@@ -17,7 +17,7 @@ int main() {
   for (const auto& workload : {dbsim::YcsbB(), dbsim::TpcC(),
                                dbsim::Twitter(), dbsim::ResourceStresser()}) {
     ExperimentSpec spec = PaperSpec(workload);
-    spec.optimizer = OptimizerKind::kDdpg;
+    spec.optimizer_key = "ddpg";
     PairResult pair = RunPair(spec);
     rows.push_back({workload.name, pair.comparison});
   }

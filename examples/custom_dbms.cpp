@@ -9,9 +9,7 @@
 
 #include <cstdio>
 
-#include "src/core/llamatune_adapter.h"
-#include "src/core/tuning_session.h"
-#include "src/optimizer/smac.h"
+#include "src/harness/tuner.h"
 
 using namespace llamatune;
 
@@ -90,16 +88,21 @@ int main() {
               cache.config_space().num_knobs(),
               cache.config_space().hybrid_knob_indices().size());
 
-  // Step 3: wrap in LlamaTune — a smaller projection fits the smaller
-  // space (rule of thumb: ~10-20%% of the knob count, paper §3.4).
-  LlamaTuneOptions options;
-  options.target_dim = 4;
-  LlamaTuneAdapter adapter(&cache.config_space(), options);
-  SmacOptimizer optimizer(adapter.search_space(), {}, 1);
-  SessionOptions session_options;
-  session_options.num_iterations = 60;
-  TuningSession session(&cache, &adapter, &optimizer, session_options);
-  SessionResult result = session.Run();
+  // Step 3: hand the objective to TunerBuilder. A smaller projection
+  // fits the smaller space (rule of thumb: ~10-20%% of the knob count,
+  // paper §3.4) — the whole pipeline is just a different key.
+  auto built = harness::TunerBuilder()
+                   .Objective(&cache)
+                   .Optimizer("smac")
+                   .Adapter("hesbo4+svb0.2+bucket10000")
+                   .Seed(1)
+                   .Iterations(60)
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  SessionResult result = (*built)->Run();
 
   std::printf("default objective : %8.0f\n", result.default_performance);
   std::printf("tuned objective   : %8.0f (%+.1f%%)\n",

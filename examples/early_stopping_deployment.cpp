@@ -4,11 +4,7 @@
 
 #include <cstdio>
 
-#include "src/core/early_stopping.h"
-#include "src/core/llamatune_adapter.h"
-#include "src/core/tuning_session.h"
-#include "src/dbsim/simulated_postgres.h"
-#include "src/optimizer/smac.h"
+#include "src/harness/tuner.h"
 
 using namespace llamatune;
 
@@ -16,21 +12,17 @@ namespace {
 
 SessionResult RunWithPolicy(double min_improvement_pct, int patience,
                             bool use_policy) {
-  dbsim::SimulatedPostgresOptions db_options;
-  db_options.noise_seed = 42;
-  dbsim::SimulatedPostgres db(dbsim::Seats(), db_options);
-  LlamaTuneOptions lt;
-  lt.projection_seed = 42;
-  LlamaTuneAdapter adapter(&db.config_space(), lt);
-  SmacOptimizer optimizer(adapter.search_space(), {}, 42);
-  SessionOptions options;
-  options.num_iterations = 100;
+  harness::TunerBuilder builder;
+  builder.Workload(dbsim::Seats())
+      .Optimizer("smac")
+      .Adapter("llamatune")
+      .Seed(42)
+      .Iterations(100);
   if (use_policy) {
-    options.early_stopping =
-        EarlyStoppingPolicy(min_improvement_pct, patience);
+    builder.EarlyStopping(
+        EarlyStoppingPolicy(min_improvement_pct, patience));
   }
-  TuningSession session(&db, &adapter, &optimizer, options);
-  return session.Run();
+  return (*builder.Build())->Run();
 }
 
 }  // namespace

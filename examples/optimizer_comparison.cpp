@@ -1,36 +1,40 @@
 // LlamaTune is optimizer-agnostic (paper §6.4): the same adapter
-// wraps SMAC (random-forest BO), GP-BO (Gaussian-process BO) and DDPG
-// (reinforcement learning). This example races all three, with and
-// without LlamaTune, on YCSB-B.
+// pipeline wraps SMAC (random-forest BO), GP-BO (Gaussian-process BO),
+// DDPG (reinforcement learning) and the search-based baselines. This
+// example races every optimizer registered in OptimizerRegistry, with
+// and without LlamaTune, on YCSB-B — registering a new backend makes
+// it show up here with no further changes.
 
 #include <cstdio>
+#include <string>
 
 #include "src/harness/experiment.h"
+#include "src/optimizer/optimizer_registry.h"
 
 using namespace llamatune;
 using namespace llamatune::harness;
 
 int main() {
   std::printf("YCSB-B, 60 iterations, 3 seeds, throughput target\n\n");
-  std::printf("%-8s | %-22s | %-22s | gain\n", "Opt", "vanilla (reqs/sec)",
-              "LlamaTune (reqs/sec)");
+  std::printf("%-12s | %-22s | %-22s | gain\n", "Opt",
+              "vanilla (reqs/sec)", "LlamaTune (reqs/sec)");
 
-  for (auto kind :
-       {OptimizerKind::kSmac, OptimizerKind::kGpBo, OptimizerKind::kDdpg,
-        OptimizerKind::kBestConfig, OptimizerKind::kRandom}) {
+  // Keys() lists canonical backends only (aliases excluded), so every
+  // registered optimizer runs exactly once.
+  for (const std::string& key : OptimizerRegistry::Global().Keys()) {
     ExperimentSpec spec;
     spec.workload = dbsim::YcsbB();
     spec.num_iterations = 60;
     spec.num_seeds = 3;
-    spec.optimizer = kind;
+    spec.optimizer_key = key;
 
-    spec.use_llamatune = false;
+    spec.adapter_key = "identity";
     MultiSeedResult vanilla = RunExperiment(spec);
-    spec.use_llamatune = true;
+    spec.adapter_key = "llamatune";
     MultiSeedResult llama = RunExperiment(spec);
     Comparison cmp = Compare(vanilla, llama);
 
-    std::printf("%-8s | %22.0f | %22.0f | %+6.2f%%\n", OptimizerKindName(kind),
+    std::printf("%-12s | %22.0f | %22.0f | %+6.2f%%\n", key.c_str(),
                 vanilla.mean_final_measured, llama.mean_final_measured,
                 cmp.mean_improvement_pct);
   }

@@ -4,44 +4,45 @@
 //
 //   build/examples/quickstart
 //
-// This is the minimal end-to-end use of the public API:
-//   1. pick an ObjectiveFunction (here: the bundled DBMS simulator),
-//   2. wrap its knob space in a SpaceAdapter (LlamaTuneAdapter),
-//   3. pick an Optimizer over the adapter's search space,
-//   4. drive the loop with TuningSession.
+// This is the minimal end-to-end use of the public API: name a
+// workload, an optimizer, and an adapter pipeline by registry key, and
+// TunerBuilder wires the whole stack. "llamatune" is an alias for
+// "hesbo16+svb0.2+bucket10000" — swap in any other stage composition
+// ("rembo8", "identity+svb0.2", ...) without touching other code.
 
 #include <cstdio>
 
-#include "src/core/llamatune_adapter.h"
-#include "src/core/tuning_session.h"
 #include "src/dbsim/pg_conf.h"
-#include "src/dbsim/simulated_postgres.h"
-#include "src/optimizer/smac.h"
+#include "src/harness/tuner.h"
 
 using namespace llamatune;
+using harness::TunerBuilder;
 
 int main() {
-  // 1. The system under tuning: simulated PostgreSQL running YCSB-A.
-  dbsim::SimulatedPostgres db(dbsim::YcsbA(), {});
+  auto built = TunerBuilder()
+                   .Workload(dbsim::YcsbA())
+                   .Optimizer("smac")
+                   .Adapter("llamatune")
+                   .Seed(42)
+                   .Iterations(100)  // the first 10 are the LHS design
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  harness::Tuner& tuner = **built;
+
+  const dbsim::SimulatedPostgres& db =
+      static_cast<const dbsim::SimulatedPostgres&>(tuner.objective());
   std::printf("Tuning %s on simulated PostgreSQL v9.6 (%d knobs, %zu "
               "hybrid)\n",
               db.workload().name.c_str(), db.config_space().num_knobs(),
               db.config_space().hybrid_knob_indices().size());
+  std::printf("Optimizer sees: %s (%d dims)\n",
+              tuner.adapter().name().c_str(),
+              tuner.adapter().search_space().num_dims());
 
-  // 2. LlamaTune's synthetic low-dimensional view of the knob space.
-  LlamaTuneOptions lt_options;  // paper defaults
-  LlamaTuneAdapter adapter(&db.config_space(), lt_options);
-  std::printf("Optimizer sees: %s (%d dims)\n", adapter.name().c_str(),
-              adapter.search_space().num_dims());
-
-  // 3. SMAC over the low-dimensional space.
-  SmacOptimizer optimizer(adapter.search_space(), SmacOptions{}, /*seed=*/42);
-
-  // 4. Run 100 iterations (the first 10 are the LHS initial design).
-  SessionOptions session_options;
-  session_options.num_iterations = 100;
-  TuningSession session(&db, &adapter, &optimizer, session_options);
-  SessionResult result = session.Run();
+  SessionResult result = tuner.Run();
 
   std::printf("\ndefault throughput : %8.0f reqs/sec\n",
               result.default_performance);

@@ -5,28 +5,28 @@
 
 #include <cstdio>
 
-#include "src/core/llamatune_adapter.h"
-#include "src/core/tuning_session.h"
-#include "src/dbsim/simulated_postgres.h"
-#include "src/optimizer/smac.h"
+#include "src/harness/tuner.h"
 
 using namespace llamatune;
 
 int main() {
-  dbsim::SimulatedPostgresOptions db_options;
-  db_options.target = dbsim::TuningTarget::kP95Latency;
-  db_options.fixed_rate = 1200.0;  // req/s, ~half the tuned capacity
-  dbsim::SimulatedPostgres db(dbsim::TpcC(), db_options);
-
+  const double fixed_rate = 1200.0;  // req/s, ~half the tuned capacity
   std::printf("Minimizing p95 latency of TPC-C at a fixed %.0f req/s\n",
-              db_options.fixed_rate);
+              fixed_rate);
 
-  LlamaTuneAdapter adapter(&db.config_space(), {});
-  SmacOptimizer optimizer(adapter.search_space(), {}, /*seed=*/7);
-  SessionOptions session_options;
-  session_options.num_iterations = 100;
-  TuningSession session(&db, &adapter, &optimizer, session_options);
-  SessionResult result = session.Run();
+  auto built = harness::TunerBuilder()
+                   .Workload(dbsim::TpcC())
+                   .Target(dbsim::TuningTarget::kP95Latency, fixed_rate)
+                   .Optimizer("smac")
+                   .Adapter("llamatune")
+                   .Seed(7)
+                   .Iterations(100)
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  SessionResult result = (*built)->Run();
 
   std::printf("\ndefault p95 : %8.2f ms\n", result.default_performance);
   std::printf("best p95    : %8.2f ms  (-%.1f%%)\n", result.best_performance,

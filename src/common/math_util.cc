@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 namespace llamatune {
 
 double Clamp(double x, double lo, double hi) {
   return std::min(std::max(x, lo), hi);
+}
+
+std::string FormatCompact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
 }
 
 double Rescale(double x, double x_lo, double x_hi, double y_lo, double y_hi) {

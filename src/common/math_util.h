@@ -1,12 +1,18 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace llamatune {
 
 /// Clamps x to [lo, hi].
 double Clamp(double x, double lo, double hi);
+
+/// Shortest "%g" rendering of a number ("0.2", "16"). Registry keys
+/// are built ("svb0.2") and parsed with this exact format — all key
+/// producers must share it so keys round-trip.
+std::string FormatCompact(double value);
 
 /// Linearly rescales x from [x_lo, x_hi] to [y_lo, y_hi].
 /// Degenerate source ranges map to y_lo.

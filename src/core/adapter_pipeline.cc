@@ -1,0 +1,98 @@
+#include "src/core/adapter_pipeline.h"
+
+#include <utility>
+
+namespace llamatune {
+
+AdapterPipeline::AdapterPipeline(
+    const ConfigSpace* config_space,
+    std::vector<std::unique_ptr<AdapterStage>> stages, uint64_t seed)
+    : config_space_(config_space), stages_(std::move(stages)), seed_(seed) {}
+
+Result<std::unique_ptr<AdapterPipeline>> AdapterPipeline::Create(
+    const ConfigSpace* config_space,
+    std::vector<std::unique_ptr<AdapterStage>> stages, uint64_t seed) {
+  if (config_space == nullptr) {
+    return Status::InvalidArgument("AdapterPipeline: null config space");
+  }
+  std::unique_ptr<AdapterPipeline> pipeline(
+      new AdapterPipeline(config_space, std::move(stages), seed));
+  LT_RETURN_NOT_OK(pipeline->Bind());
+  return pipeline;
+}
+
+Status AdapterPipeline::Bind() {
+  // The chain bottoms out in the unit knob space: one continuous [0,1]
+  // dimension per knob. A basis stage replaces this view and must
+  // therefore sit innermost.
+  std::vector<SearchDim> unit_dims(config_space_->num_knobs(),
+                                   SearchDim::Continuous(0.0, 1.0));
+  SearchSpace current(std::move(unit_dims));
+
+  StageContext ctx;
+  ctx.config_space = config_space_;
+  ctx.seed = seed_;
+
+  // A basis stage defines the bottom coordinate system, so it must be
+  // the innermost (last) stage.
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i]->is_basis() && i + 1 != stages_.size()) {
+      return Status::InvalidArgument(
+          "AdapterPipeline: basis stage '" + stages_[i]->name() +
+          "' must be innermost (only one projection/identity basis per "
+          "pipeline, listed last)");
+    }
+  }
+
+  // Bind innermost to outermost.
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    Result<SearchSpace> bound = (*it)->Bind(ctx, current);
+    if (!bound.ok()) return bound.status();
+    current = std::move(bound).ValueOrDie();
+  }
+  space_ = std::move(current);
+
+  // Resolve decode overrides: the outermost claiming stage wins, so a
+  // user-added stage can override a builtin's decode.
+  decoder_.assign(config_space_->num_knobs(), nullptr);
+  for (int i = 0; i < config_space_->num_knobs(); ++i) {
+    for (const auto& stage : stages_) {
+      if (stage->DecodesKnob(config_space_->knob(i))) {
+        decoder_[i] = stage.get();
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Configuration AdapterPipeline::Project(const std::vector<double>& point) const {
+  // Snap onto the optimizer-facing space first (bucket grids, category
+  // integrality, bound clamping) — mirrors the legacy adapters.
+  std::vector<double> p = space_.SnapPoint(point);
+  for (const auto& stage : stages_) {
+    p = stage->Apply(p);
+  }
+  std::vector<double> values(config_space_->num_knobs());
+  for (int i = 0; i < config_space_->num_knobs(); ++i) {
+    const KnobSpec& spec = config_space_->knob(i);
+    if (decoder_[i] != nullptr) {
+      values[i] = decoder_[i]->DecodeKnob(spec, p[i]);
+    } else {
+      values[i] = config_space_->UnitToValue(i, p[i]);
+    }
+  }
+  return Configuration(std::move(values));
+}
+
+std::string AdapterPipeline::name() const {
+  std::string n = "Pipeline(";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) n += "|";
+    n += stages_[i]->name();
+  }
+  n += ")";
+  return n;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/adapter_stage.h"
+#include "src/core/space_adapter.h"
+
+namespace llamatune {
+
+/// \brief A SpaceAdapter composed of chainable AdapterStages.
+///
+/// Stages are ordered optimizer-side first (outermost to innermost).
+/// The optimizer tunes the outermost stage's exposed space; Project()
+/// snaps the suggested point onto that space, runs it through every
+/// stage's Apply() down to unit knob coordinates, and decodes each
+/// coordinate to a physical value — via ConfigSpace::UnitToValue
+/// unless a stage claimed the knob (special-value biasing).
+///
+/// The full LlamaTune pipeline (paper §5, Fig. 8) is
+///   {BucketizerStage(10000), ProjectionStage(HeSBO, 16),
+///    SpecialValueBiasStage(0.2)}
+/// and reproduces the legacy LlamaTuneAdapter bit-for-bit; the vanilla
+/// baseline is {KnobNativeStage()}.
+class AdapterPipeline : public SpaceAdapter {
+ public:
+  /// Binds the stages against `config_space`. Fails when a basis stage
+  /// is not innermost, more than one basis stage is given, or any
+  /// stage rejects its position. `seed` feeds randomized stages (the
+  /// frozen projection matrix).
+  static Result<std::unique_ptr<AdapterPipeline>> Create(
+      const ConfigSpace* config_space,
+      std::vector<std::unique_ptr<AdapterStage>> stages, uint64_t seed = 1);
+
+  const SearchSpace& search_space() const override { return space_; }
+  const ConfigSpace& config_space() const override { return *config_space_; }
+  Configuration Project(const std::vector<double>& point) const override;
+
+  /// "Pipeline(bucket10000|hesbo16|svb0.2)" — stage names outermost
+  /// first; doubles as the canonical registry key when joined by '+'.
+  std::string name() const override;
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const AdapterStage& stage(int i) const { return *stages_[i]; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  AdapterPipeline(const ConfigSpace* config_space,
+                  std::vector<std::unique_ptr<AdapterStage>> stages,
+                  uint64_t seed);
+
+  Status Bind();
+
+  const ConfigSpace* config_space_;
+  std::vector<std::unique_ptr<AdapterStage>> stages_;
+  uint64_t seed_;
+  SearchSpace space_;
+  /// Per-knob decode override (nullptr -> ConfigSpace::UnitToValue).
+  std::vector<const AdapterStage*> decoder_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,198 @@
+#include "src/core/adapter_registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/core/adapter_stages.h"
+
+namespace llamatune {
+
+namespace {
+
+Result<int64_t> ParseInt(const std::string& text, const std::string& what) {
+  if (text.empty()) {
+    return Status::InvalidArgument(what + ": missing integer argument");
+  }
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument(what + ": bad integer '" + text + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(const std::string& text, const std::string& what) {
+  if (text.empty()) {
+    return Status::InvalidArgument(what + ": missing numeric argument");
+  }
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument(what + ": bad number '" + text + "'");
+  }
+  return value;
+}
+
+std::vector<std::string> SplitComponents(const std::string& key) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : key) {
+    if (c == '+') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+AdapterRegistry::AdapterRegistry() {
+  RegisterStage("identity", [](const std::string& arg)
+                    -> Result<std::unique_ptr<AdapterStage>> {
+    if (!arg.empty()) {
+      return Status::InvalidArgument("identity takes no argument, got '" +
+                                     arg + "'");
+    }
+    return std::unique_ptr<AdapterStage>(new KnobNativeStage());
+  });
+  auto projection_factory = [](ProjectionKind kind) {
+    return [kind](const std::string& arg)
+               -> Result<std::unique_ptr<AdapterStage>> {
+      Result<int64_t> dim = ParseInt(arg, "projection");
+      if (!dim.ok()) return dim.status();
+      return std::unique_ptr<AdapterStage>(
+          new ProjectionStage(kind, static_cast<int>(*dim)));
+    };
+  };
+  RegisterStage("hesbo", projection_factory(ProjectionKind::kHesbo));
+  RegisterStage("rembo", projection_factory(ProjectionKind::kRembo));
+  RegisterStage("svb", [](const std::string& arg)
+                    -> Result<std::unique_ptr<AdapterStage>> {
+    Result<double> bias = ParseDouble(arg, "svb");
+    if (!bias.ok()) return bias.status();
+    return std::unique_ptr<AdapterStage>(new SpecialValueBiasStage(*bias));
+  });
+  RegisterStage("bucket", [](const std::string& arg)
+                    -> Result<std::unique_ptr<AdapterStage>> {
+    Result<int64_t> k = ParseInt(arg, "bucket");
+    if (!k.ok()) return k.status();
+    return std::unique_ptr<AdapterStage>(new BucketizerStage(*k));
+  });
+
+  // The paper's default pipeline (§5: HeSBO d=16, 20% bias, K=10,000).
+  RegisterAlias("llamatune", "hesbo16+svb0.2+bucket10000");
+  RegisterAlias("vanilla", "identity");
+}
+
+AdapterRegistry& AdapterRegistry::Global() {
+  static AdapterRegistry* registry = new AdapterRegistry();
+  return *registry;
+}
+
+Status AdapterRegistry::RegisterStage(const std::string& prefix,
+                                      StageFactory factory) {
+  if (prefix.empty()) {
+    return Status::InvalidArgument("empty stage prefix");
+  }
+  if (!stages_.emplace(prefix, std::move(factory)).second) {
+    return Status::AlreadyExists("stage prefix '" + prefix +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Status AdapterRegistry::RegisterAlias(const std::string& alias,
+                                      const std::string& key) {
+  if (alias.empty()) {
+    return Status::InvalidArgument("empty adapter alias");
+  }
+  if (aliases_.count(alias) > 0) {
+    return Status::AlreadyExists("adapter alias '" + alias +
+                                 "' already registered");
+  }
+  aliases_[alias] = key;
+  return Status::OK();
+}
+
+Result<std::vector<std::unique_ptr<AdapterStage>>>
+AdapterRegistry::ParseStages(const std::string& key) const {
+  auto alias = aliases_.find(key);
+  const std::string& expanded = alias == aliases_.end() ? key : alias->second;
+  if (expanded.empty()) {
+    return Status::InvalidArgument("empty adapter key");
+  }
+
+  std::vector<std::unique_ptr<AdapterStage>> wrappers;
+  std::vector<std::unique_ptr<AdapterStage>> basis;
+  for (const std::string& component : SplitComponents(expanded)) {
+    // Longest registered prefix wins, so "bucket10" cannot be shadowed
+    // by a later hypothetical "buck" stage.
+    const StageFactory* factory = nullptr;
+    size_t best_len = 0;
+    for (const auto& [prefix, f] : stages_) {
+      if (prefix.size() > best_len && component.size() >= prefix.size() &&
+          component.compare(0, prefix.size(), prefix) == 0) {
+        factory = &f;
+        best_len = prefix.size();
+      }
+    }
+    if (factory == nullptr) {
+      std::string known;
+      for (const auto& [prefix, f] : stages_) {
+        if (!known.empty()) known += ", ";
+        known += prefix;
+      }
+      return Status::NotFound("unknown adapter stage '" + component +
+                              "' in key '" + key + "' (known stages: " +
+                              known + ")");
+    }
+    Result<std::unique_ptr<AdapterStage>> stage =
+        (*factory)(component.substr(best_len));
+    if (!stage.ok()) return stage.status();
+    if ((*stage)->is_basis()) {
+      basis.push_back(std::move(stage).ValueOrDie());
+    } else {
+      wrappers.push_back(std::move(stage).ValueOrDie());
+    }
+  }
+  if (basis.size() > 1) {
+    return Status::InvalidArgument(
+        "adapter key '" + key +
+        "' names more than one basis stage (projection/identity)");
+  }
+  // Canonical order: wrappers as written, basis innermost.
+  for (auto& b : basis) wrappers.push_back(std::move(b));
+  return wrappers;
+}
+
+Result<std::unique_ptr<SpaceAdapter>> AdapterRegistry::Create(
+    const std::string& key, const ConfigSpace* config_space,
+    uint64_t seed) const {
+  Result<std::vector<std::unique_ptr<AdapterStage>>> stages =
+      ParseStages(key);
+  if (!stages.ok()) return stages.status();
+  Result<std::unique_ptr<AdapterPipeline>> pipeline = AdapterPipeline::Create(
+      config_space, std::move(stages).ValueOrDie(), seed);
+  if (!pipeline.ok()) return pipeline.status();
+  return std::unique_ptr<SpaceAdapter>(std::move(pipeline).ValueOrDie());
+}
+
+std::vector<std::string> AdapterRegistry::StagePrefixes() const {
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& [prefix, f] : stages_) names.push_back(prefix);
+  return names;
+}
+
+std::vector<std::string> AdapterRegistry::Aliases() const {
+  std::vector<std::string> names;
+  names.reserve(aliases_.size());
+  for (const auto& [alias, key] : aliases_) names.push_back(alias);
+  return names;
+}
+
+}  // namespace llamatune

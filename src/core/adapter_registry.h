@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/adapter_pipeline.h"
+#include "src/core/adapter_stage.h"
+#include "src/core/space_adapter.h"
+
+namespace llamatune {
+
+/// \brief Open, string-keyed factory for adapter pipelines.
+///
+/// A pipeline key is '+'-separated stage components, each a registered
+/// prefix followed by its argument:
+///
+///   "identity"                      vanilla knob-native baseline
+///   "hesbo16"                       HeSBO projection to 16 dims
+///   "rembo8"                        REMBO projection to 8 dims
+///   "svb0.2"                        20% special-value biasing
+///   "bucket10000"                   K=10,000 bucketization
+///   "hesbo16+svb0.2+bucket10000"    the full LlamaTune pipeline
+///
+/// Component order does not matter: stages are canonicalized with the
+/// basis stage (projection/identity) innermost. Whole-key aliases are
+/// supported ("llamatune" expands to the paper's default pipeline).
+/// The registry is open — register new stage prefixes or aliases to
+/// make them addressable from the harness, benches, and TunerBuilder
+/// without touching any call site.
+class AdapterRegistry {
+ public:
+  /// Builds a stage from the text following the prefix (e.g. "16" for
+  /// "hesbo16", "" for "identity").
+  using StageFactory =
+      std::function<Result<std::unique_ptr<AdapterStage>>(const std::string&)>;
+
+  /// The process-wide registry, pre-loaded with the builtin stages
+  /// (identity, hesbo, rembo, svb, bucket) and aliases (llamatune,
+  /// vanilla).
+  static AdapterRegistry& Global();
+
+  /// Registers a stage under `prefix`. Fails with AlreadyExists on
+  /// duplicates.
+  Status RegisterStage(const std::string& prefix, StageFactory factory);
+
+  /// Registers `alias` to expand to `key`. Fails with AlreadyExists on
+  /// duplicates.
+  Status RegisterAlias(const std::string& alias, const std::string& key);
+
+  /// Parses `key` into unbound stages, canonical order (basis last).
+  /// Fails with NotFound for unknown components.
+  Result<std::vector<std::unique_ptr<AdapterStage>>> ParseStages(
+      const std::string& key) const;
+
+  /// Parses, binds, and returns the pipeline over `config_space`.
+  /// `seed` feeds randomized stages (the frozen projection matrix).
+  Result<std::unique_ptr<SpaceAdapter>> Create(const std::string& key,
+                                               const ConfigSpace* config_space,
+                                               uint64_t seed = 1) const;
+
+  std::vector<std::string> StagePrefixes() const;
+  std::vector<std::string> Aliases() const;
+
+ private:
+  AdapterRegistry();
+
+  std::map<std::string, StageFactory> stages_;
+  std::map<std::string, std::string> aliases_;
+};
+
+}  // namespace llamatune

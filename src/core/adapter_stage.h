@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/knobs/config_space.h"
+#include "src/knobs/knob.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Everything a stage may need when it is bound into a pipeline.
+struct StageContext {
+  const ConfigSpace* config_space = nullptr;
+  /// Per-session seed for randomized stages (frozen projection
+  /// matrices). The pipeline forwards its own seed here so stage
+  /// factories never hard-code one.
+  uint64_t seed = 1;
+};
+
+/// \brief One composable link of an AdapterPipeline.
+///
+/// A pipeline maps optimizer points to physical configurations in two
+/// phases:
+///   1. a chain of point transforms ending in the *unit knob space*
+///      ([0,1]^D, one coordinate per knob), and
+///   2. a terminal per-knob decode from unit coordinates to physical
+///      values (ConfigSpace::UnitToValue unless a stage overrides it).
+///
+/// A stage can participate in either phase (or both):
+///   * Space shaping + point transform: Bind() receives the search
+///     space exposed by the stage below it (closer to the DBMS) and
+///     returns the space this stage exposes to the stage above it (or
+///     the optimizer); Apply() maps a point of the exposed space into
+///     the downstream space. BucketizerStage only reshapes the space;
+///     ProjectionStage reshapes it and transforms points.
+///   * Decode override: DecodesKnob()/DecodeKnob() let a stage take
+///     over the unit->value mapping of individual knobs.
+///     SpecialValueBiasStage uses this to bias hybrid knobs.
+///
+/// Basis stages (is_basis() == true) define the coordinate system the
+/// chain bottoms out in and must sit innermost; at most one per
+/// pipeline. Without one, the pipeline's base space is the raw unit
+/// knob space (a continuous [0,1] dimension per knob).
+class AdapterStage {
+ public:
+  virtual ~AdapterStage() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True for stages that must be the innermost link (projections and
+  /// the knob-native basis): their Apply() output is interpreted as
+  /// unit knob coordinates, not as a point of another stage's space.
+  virtual bool is_basis() const { return false; }
+
+  /// Binds the stage. `downstream` is the space exposed by the stage
+  /// below (for a basis stage: the unit knob space). Returns the space
+  /// exposed upstream, or an error when the stage cannot sit here.
+  virtual Result<SearchSpace> Bind(const StageContext& ctx,
+                                   const SearchSpace& downstream) = 0;
+
+  /// Maps a point of the exposed space into the downstream space.
+  /// Space-shaping-only stages keep the identity default.
+  virtual std::vector<double> Apply(const std::vector<double>& point) const {
+    return point;
+  }
+
+  /// True when this stage overrides the unit->value decode of `spec`.
+  virtual bool DecodesKnob(const KnobSpec& /*spec*/) const { return false; }
+
+  /// Decodes a unit coordinate into a physical value for `spec`; only
+  /// called when DecodesKnob(spec) is true.
+  virtual double DecodeKnob(const KnobSpec& /*spec*/, double unit) const {
+    return unit;
+  }
+};
+
+}  // namespace llamatune

@@ -1,0 +1,157 @@
+#include "src/core/adapter_stages.h"
+
+#include "src/common/math_util.h"
+#include "src/projection/hesbo.h"
+#include "src/projection/rembo.h"
+
+namespace llamatune {
+
+namespace {
+
+// Mirrors IdentityAdapter: integer knobs with small ranges get an
+// exact grid; larger ranges stay continuous.
+constexpr int64_t kMaxExactGrid = 4096;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KnobNativeStage
+// ---------------------------------------------------------------------------
+
+SearchSpace KnobNativeStage::NativeSpace(const ConfigSpace& config_space) {
+  std::vector<SearchDim> dims;
+  dims.reserve(config_space.num_knobs());
+  for (int i = 0; i < config_space.num_knobs(); ++i) {
+    const KnobSpec& spec = config_space.knob(i);
+    if (spec.type == KnobType::kCategorical) {
+      dims.push_back(SearchDim::Categorical(
+          static_cast<int64_t>(spec.categories.size())));
+      continue;
+    }
+    int64_t buckets = 0;
+    int64_t distinct = spec.NumDistinctValues();
+    if (distinct > 0 && distinct <= kMaxExactGrid) buckets = distinct;
+    dims.push_back(SearchDim::Continuous(0.0, 1.0, buckets));
+  }
+  return SearchSpace(std::move(dims));
+}
+
+Result<SearchSpace> KnobNativeStage::Bind(const StageContext& ctx,
+                                          const SearchSpace& /*downstream*/) {
+  if (ctx.config_space == nullptr) {
+    return Status::InvalidArgument("KnobNativeStage: null config space");
+  }
+  config_space_ = ctx.config_space;
+  return NativeSpace(*config_space_);
+}
+
+std::vector<double> KnobNativeStage::Apply(
+    const std::vector<double>& point) const {
+  std::vector<double> unit(point.size());
+  for (size_t i = 0; i < point.size(); ++i) {
+    const KnobSpec& spec = config_space_->knob(static_cast<int>(i));
+    if (spec.type == KnobType::kCategorical) {
+      // Category index -> bin midpoint, so the terminal
+      // ConfigSpace::UnitToValue binning recovers the same index.
+      double n = static_cast<double>(spec.categories.size());
+      unit[i] = (spec.Canonicalize(point[i]) + 0.5) / n;
+    } else {
+      unit[i] = point[i];
+    }
+  }
+  return unit;
+}
+
+// ---------------------------------------------------------------------------
+// ProjectionStage
+// ---------------------------------------------------------------------------
+
+ProjectionStage::ProjectionStage(ProjectionKind kind, int target_dim)
+    : kind_(kind), target_dim_(target_dim) {}
+
+std::string ProjectionStage::name() const {
+  return (kind_ == ProjectionKind::kHesbo ? "hesbo" : "rembo") +
+         std::to_string(target_dim_);
+}
+
+Result<SearchSpace> ProjectionStage::Bind(const StageContext& ctx,
+                                          const SearchSpace& /*downstream*/) {
+  if (ctx.config_space == nullptr) {
+    return Status::InvalidArgument("ProjectionStage: null config space");
+  }
+  int high_dim = ctx.config_space->num_knobs();
+  if (target_dim_ <= 0 || target_dim_ > high_dim) {
+    return Status::InvalidArgument(
+        "ProjectionStage: target dimension " + std::to_string(target_dim_) +
+        " outside [1, " + std::to_string(high_dim) + "]");
+  }
+  if (kind_ == ProjectionKind::kHesbo) {
+    projection_ =
+        std::make_unique<HesboProjection>(high_dim, target_dim_, ctx.seed);
+  } else {
+    projection_ =
+        std::make_unique<RemboProjection>(high_dim, target_dim_, ctx.seed);
+  }
+  return projection_->LowDimSpace();
+}
+
+std::vector<double> ProjectionStage::Apply(
+    const std::vector<double>& point) const {
+  // Low-dim -> [-1,1]^D (clipped for REMBO, exact for HeSBO), then
+  // normalized to unit knob coordinates.
+  std::vector<double> high = projection_->Project(point);
+  for (double& v : high) v = Clamp((v + 1.0) / 2.0, 0.0, 1.0);
+  return high;
+}
+
+// ---------------------------------------------------------------------------
+// SpecialValueBiasStage
+// ---------------------------------------------------------------------------
+
+SpecialValueBiasStage::SpecialValueBiasStage(double bias) : svb_(bias) {}
+
+std::string SpecialValueBiasStage::name() const {
+  return "svb" + FormatCompact(svb_.bias());
+}
+
+Result<SearchSpace> SpecialValueBiasStage::Bind(
+    const StageContext& /*ctx*/, const SearchSpace& downstream) {
+  if (svb_.bias() < 0.0 || svb_.bias() >= 1.0) {
+    return Status::InvalidArgument("SpecialValueBiasStage: bias " +
+                                   FormatCompact(svb_.bias()) +
+                                   " outside [0, 1)");
+  }
+  return downstream;
+}
+
+bool SpecialValueBiasStage::DecodesKnob(const KnobSpec& spec) const {
+  return svb_.bias() > 0.0 && spec.is_numeric() && spec.is_hybrid();
+}
+
+double SpecialValueBiasStage::DecodeKnob(const KnobSpec& spec,
+                                         double unit) const {
+  return svb_.Apply(spec, unit);
+}
+
+// ---------------------------------------------------------------------------
+// BucketizerStage
+// ---------------------------------------------------------------------------
+
+BucketizerStage::BucketizerStage(int64_t max_unique_values)
+    : max_unique_values_(max_unique_values) {}
+
+std::string BucketizerStage::name() const {
+  return "bucket" + std::to_string(max_unique_values_);
+}
+
+Result<SearchSpace> BucketizerStage::Bind(const StageContext& /*ctx*/,
+                                          const SearchSpace& downstream) {
+  if (max_unique_values_ < 2) {
+    return Status::InvalidArgument(
+        "BucketizerStage: need at least 2 values per dimension, got " +
+        std::to_string(max_unique_values_));
+  }
+  return downstream.Bucketized(max_unique_values_);
+}
+
+}  // namespace llamatune

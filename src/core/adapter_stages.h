@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/adapter_stage.h"
+#include "src/core/llamatune_adapter.h"
+#include "src/lowdim/special_value_bias.h"
+#include "src/projection/projection.h"
+
+namespace llamatune {
+
+/// \brief Basis stage exposing the knob-native baseline space: one
+/// dimension per knob — categorical dims for categorical knobs, unit
+/// dims (with an exact grid when the integer range is small) for
+/// numerics. Apply() converts native coordinates to unit coordinates
+/// (category index -> bin midpoint).
+///
+/// This is the vanilla-optimizer view that IdentityAdapter hard-wires.
+class KnobNativeStage : public AdapterStage {
+ public:
+  KnobNativeStage() = default;
+
+  std::string name() const override { return "identity"; }
+  bool is_basis() const override { return true; }
+  Result<SearchSpace> Bind(const StageContext& ctx,
+                           const SearchSpace& downstream) override;
+  std::vector<double> Apply(const std::vector<double>& point) const override;
+
+  /// The knob-native search space over `config_space` (shared with the
+  /// legacy IdentityAdapter so the two cannot drift).
+  static SearchSpace NativeSpace(const ConfigSpace& config_space);
+
+ private:
+  const ConfigSpace* config_space_ = nullptr;
+};
+
+/// \brief Basis stage wrapping a random linear projection (HeSBO or
+/// REMBO): exposes the synthetic low-dimensional space and maps its
+/// points to unit knob coordinates (paper §3).
+class ProjectionStage : public AdapterStage {
+ public:
+  ProjectionStage(ProjectionKind kind, int target_dim);
+
+  std::string name() const override;
+  bool is_basis() const override { return true; }
+  Result<SearchSpace> Bind(const StageContext& ctx,
+                           const SearchSpace& downstream) override;
+  std::vector<double> Apply(const std::vector<double>& point) const override;
+
+  const Projection& projection() const { return *projection_; }
+  ProjectionKind kind() const { return kind_; }
+  int target_dim() const { return target_dim_; }
+
+ private:
+  ProjectionKind kind_;
+  int target_dim_;
+  std::unique_ptr<Projection> projection_;
+};
+
+/// \brief Decode-override stage applying special-value biasing to
+/// hybrid numeric knobs (paper §4.1). Space and points pass through
+/// untouched; only the terminal unit->value mapping changes.
+class SpecialValueBiasStage : public AdapterStage {
+ public:
+  explicit SpecialValueBiasStage(double bias);
+
+  std::string name() const override;
+  Result<SearchSpace> Bind(const StageContext& ctx,
+                           const SearchSpace& downstream) override;
+  bool DecodesKnob(const KnobSpec& spec) const override;
+  double DecodeKnob(const KnobSpec& spec, double unit) const override;
+
+  double bias() const { return svb_.bias(); }
+
+ private:
+  SpecialValueBias svb_;
+};
+
+/// \brief Space-shaping stage limiting every continuous downstream
+/// dimension to at most K unique values (paper §4.2). Points pass
+/// through: the pipeline snaps incoming points onto the exposed grid,
+/// so the optimizer "is aware of the larger sampling intervals".
+class BucketizerStage : public AdapterStage {
+ public:
+  explicit BucketizerStage(int64_t max_unique_values);
+
+  std::string name() const override;
+  Result<SearchSpace> Bind(const StageContext& ctx,
+                           const SearchSpace& downstream) override;
+
+  int64_t max_unique_values() const { return max_unique_values_; }
+
+ private:
+  int64_t max_unique_values_;
+};
+
+}  // namespace llamatune

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/knobs/config_space.h"
@@ -41,6 +42,13 @@ class ObjectiveFunction {
   /// True when larger objective values are better (throughput);
   /// false for latency-style targets.
   virtual bool maximize() const { return true; }
+
+  /// Optional: an independent instance of this objective that can be
+  /// evaluated concurrently with this one (its own simulator state).
+  /// The session uses clones to run a batch of configurations in
+  /// parallel. Returning nullptr (the default) disables parallel
+  /// batch evaluation — batches then evaluate sequentially on `this`.
+  virtual std::unique_ptr<ObjectiveFunction> Clone() const { return nullptr; }
 };
 
 }  // namespace llamatune

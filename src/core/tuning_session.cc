@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <future>
 
 namespace llamatune {
 
@@ -33,52 +34,38 @@ double TuningSession::Penalized(bool /*maximize*/) const {
   return worst_objective_ * options_.crash_penalty_divisor;
 }
 
-bool TuningSession::Step() {
-  if (stopped_) return false;
+bool TuningSession::StepBaseline() {
+  // Iteration 0: evaluate the default configuration. Establishes the
+  // crash-penalty floor and feeds the RL state, but is not an
+  // optimizer observation (synthetic spaces have no preimage).
   const bool maximize = objective_->maximize();
-
-  if (!baseline_done_) {
-    // Iteration 0: evaluate the default configuration. Establishes the
-    // crash-penalty floor and feeds the RL state, but is not an
-    // optimizer observation (synthetic spaces have no preimage).
-    Configuration def = objective_->config_space().DefaultConfiguration();
-    EvalResult result = objective_->Evaluate(def);
-    double objective_value = maximize ? result.value : -result.value;
-    default_performance_ = result.value;
-    worst_objective_ = objective_value;
-    optimizer_->ObserveMetrics(result.metrics);
-    baseline_done_ = true;
-    return true;
-  }
-
-  if (iterations_run_ >= options_.num_iterations) {
-    stopped_ = true;
-    return false;
-  }
-
-  double t0 = NowSeconds();
-  std::vector<double> point = optimizer_->Suggest();
-  optimizer_seconds_ += NowSeconds() - t0;
-
-  Configuration config = adapter_->Project(point);
-  EvalResult result = objective_->Evaluate(config);
-
-  double objective_value;
-  double measured;
-  if (result.crashed) {
-    objective_value = Penalized(maximize);
-    measured = maximize ? objective_value : -objective_value;
-  } else {
-    objective_value = maximize ? result.value : -result.value;
-    measured = result.value;
-    worst_objective_ = std::min(worst_objective_, objective_value);
-  }
-
-  t0 = NowSeconds();
+  Configuration def = objective_->config_space().DefaultConfiguration();
+  EvalResult result = objective_->Evaluate(def);
+  double objective_value = maximize ? result.value : -result.value;
+  default_performance_ = result.value;
+  worst_objective_ = objective_value;
   optimizer_->ObserveMetrics(result.metrics);
-  optimizer_->Observe(point, objective_value);
-  optimizer_seconds_ += NowSeconds() - t0;
+  baseline_done_ = true;
+  return true;
+}
 
+void TuningSession::ScoreResult(const EvalResult& result,
+                                double* objective_value, double* measured) {
+  const bool maximize = objective_->maximize();
+  if (result.crashed) {
+    *objective_value = Penalized(maximize);
+    *measured = maximize ? *objective_value : -*objective_value;
+  } else {
+    *objective_value = maximize ? result.value : -result.value;
+    *measured = result.value;
+    worst_objective_ = std::min(worst_objective_, *objective_value);
+  }
+}
+
+void TuningSession::AppendRecord(const std::vector<double>& point,
+                                 const Configuration& config,
+                                 const EvalResult& result,
+                                 double objective_value, double measured) {
   IterationRecord record;
   record.iteration = ++iterations_run_;
   record.point = point;
@@ -96,6 +83,106 @@ bool TuningSession::Step() {
     }
   }
   if (iterations_run_ >= options_.num_iterations) stopped_ = true;
+}
+
+bool TuningSession::StepBatch() {
+  int n = std::min(options_.batch_size,
+                   options_.num_iterations - iterations_run_);
+
+  double t0 = NowSeconds();
+  std::vector<std::vector<double>> points = optimizer_->SuggestBatch(n);
+  optimizer_seconds_ += NowSeconds() - t0;
+  // An override may return fewer points than asked; never accept more
+  // (each batch slot maps to one clone, and extra points would both
+  // overshoot the iteration budget and share clones across threads).
+  if (static_cast<int>(points.size()) > n) points.resize(n);
+  n = static_cast<int>(points.size());
+  if (n == 0) {
+    stopped_ = true;
+    return false;
+  }
+
+  std::vector<Configuration> configs;
+  configs.reserve(n);
+  for (const auto& point : points) configs.push_back(adapter_->Project(point));
+
+  // One clone per batch slot, built once and reused: each slot keeps
+  // its own evaluation counter, so a session is deterministic for a
+  // fixed (seed, batch size) pair.
+  if (!clone_pool_built_) {
+    clone_pool_built_ = true;
+    for (int i = 0; i < options_.batch_size; ++i) {
+      std::unique_ptr<ObjectiveFunction> clone = objective_->Clone();
+      if (clone == nullptr) {
+        clone_pool_.clear();
+        break;
+      }
+      clone_pool_.push_back(std::move(clone));
+    }
+  }
+
+  std::vector<EvalResult> results(n);
+  if (clone_pool_.empty()) {
+    // Objective cannot be cloned: evaluate the batch sequentially.
+    for (int i = 0; i < n; ++i) results[i] = objective_->Evaluate(configs[i]);
+  } else {
+    std::vector<std::future<EvalResult>> futures;
+    futures.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      ObjectiveFunction* instance = clone_pool_[i % clone_pool_.size()].get();
+      futures.push_back(std::async(std::launch::async,
+                                   [instance, &configs, i]() {
+                                     return instance->Evaluate(configs[i]);
+                                   }));
+    }
+    for (int i = 0; i < n; ++i) results[i] = futures[i].get();
+  }
+
+  // Score in suggestion order so crash penalties, best-so-far curves
+  // and early stopping are independent of evaluation interleaving.
+  std::vector<double> values(n);
+  std::vector<double> measured(n);
+  for (int i = 0; i < n; ++i) {
+    ScoreResult(results[i], &values[i], &measured[i]);
+  }
+  // Only genuine optimizer work counts toward optimizer_seconds_
+  // (Table 10 comparability with the sequential path).
+  t0 = NowSeconds();
+  for (int i = 0; i < n; ++i) optimizer_->ObserveMetrics(results[i].metrics);
+  optimizer_->ObserveBatch(points, values);
+  optimizer_seconds_ += NowSeconds() - t0;
+  for (int i = 0; i < n; ++i) {
+    AppendRecord(points[i], configs[i], results[i], values[i], measured[i]);
+  }
+  return true;
+}
+
+bool TuningSession::Step() {
+  if (stopped_) return false;
+  if (!baseline_done_) return StepBaseline();
+
+  if (iterations_run_ >= options_.num_iterations) {
+    stopped_ = true;
+    return false;
+  }
+
+  if (options_.batch_size > 1) return StepBatch();
+
+  double t0 = NowSeconds();
+  std::vector<double> point = optimizer_->Suggest();
+  optimizer_seconds_ += NowSeconds() - t0;
+
+  Configuration config = adapter_->Project(point);
+  EvalResult result = objective_->Evaluate(config);
+
+  double objective_value = 0.0;
+  double measured = 0.0;
+  ScoreResult(result, &objective_value, &measured);
+  t0 = NowSeconds();
+  optimizer_->ObserveMetrics(result.metrics);
+  optimizer_->Observe(point, objective_value);
+  optimizer_seconds_ += NowSeconds() - t0;
+  AppendRecord(point, config, result, objective_value, measured);
   return true;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/core/early_stopping.h"
 #include "src/core/knowledge_base.h"
@@ -19,6 +20,20 @@ struct SessionOptions {
   /// Crash penalty: crashed configurations score (worst seen) / this
   /// factor under maximization (and worst * factor when minimizing).
   double crash_penalty_divisor = 4.0;
+  /// Configurations suggested and evaluated per step. 1 reproduces the
+  /// classic sequential loop unchanged. Larger batches draw
+  /// Optimizer::SuggestBatch and evaluate concurrently across
+  /// ObjectiveFunction clones (independent simulator instances);
+  /// objectives without Clone() support fall back to sequential
+  /// evaluation within the batch.
+  ///
+  /// Best suited to model-based optimizers (SMAC, GP-BO, random):
+  /// their suggestions depend only on observed history. Stateful
+  /// step-by-step tuners (DDPG's metric-state transitions,
+  /// BestConfig's rounds) assume a strict suggest/observe alternation
+  /// and lose fidelity under batching — keep batch_size == 1 for them
+  /// unless they override SuggestBatch/ObserveBatch batch-aware.
+  int batch_size = 1;
   /// Optional early-stopping policy (appendix, Table 11).
   std::optional<EarlyStoppingPolicy> early_stopping;
 };
@@ -69,6 +84,18 @@ class TuningSession {
 
  private:
   double Penalized(bool maximize) const;
+  bool StepBaseline();
+  bool StepBatch();
+  /// Converts a raw evaluation into the internal maximize-convention
+  /// objective and the reported measured value, applying the crash
+  /// penalty and updating the penalty floor.
+  void ScoreResult(const EvalResult& result, double* objective_value,
+                   double* measured);
+  /// Appends the iteration to the knowledge base and updates the
+  /// iteration budget / early-stopping state.
+  void AppendRecord(const std::vector<double>& point,
+                    const Configuration& config, const EvalResult& result,
+                    double objective_value, double measured);
 
   ObjectiveFunction* objective_;
   SpaceAdapter* adapter_;
@@ -76,6 +103,11 @@ class TuningSession {
   SessionOptions options_;
 
   KnowledgeBase kb_;
+  /// Independent objective instances for parallel batch evaluation
+  /// (lazily built on the first batched step; empty when the
+  /// objective does not support Clone()).
+  std::vector<std::unique_ptr<ObjectiveFunction>> clone_pool_;
+  bool clone_pool_built_ = false;
   double default_performance_ = 0.0;
   double worst_objective_ = 0.0;  // worst (maximize-convention) value
   bool baseline_done_ = false;

@@ -15,6 +15,13 @@ SimulatedPostgres::SimulatedPostgres(WorkloadSpec workload,
                                        options_.version);
 }
 
+std::unique_ptr<ObjectiveFunction> SimulatedPostgres::Clone() const {
+  auto clone =
+      std::make_unique<SimulatedPostgres>(model_->workload(), options_);
+  clone->eval_count_ = eval_count_;
+  return clone;
+}
+
 ModelOutput SimulatedPostgres::RunNoiseless(const Configuration& config) const {
   if (options_.target == TuningTarget::kP95Latency) {
     return model_->RunAtFixedRate(config, options_.fixed_rate);

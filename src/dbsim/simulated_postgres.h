@@ -57,6 +57,12 @@ class SimulatedPostgres : public ObjectiveFunction {
 
   EvalResult Evaluate(const Configuration& config) override;
   const ConfigSpace& config_space() const override { return space_; }
+
+  /// Independent simulator instance over the same workload and
+  /// options (fresh evaluation counter); enables the session's
+  /// parallel batch evaluation.
+  std::unique_ptr<ObjectiveFunction> Clone() const override;
+
   bool maximize() const override {
     return options_.target == TuningTarget::kThroughput;
   }

@@ -5,12 +5,7 @@
 #include <memory>
 
 #include "src/common/math_util.h"
-#include "src/dbsim/metrics.h"
-#include "src/optimizer/best_config.h"
-#include "src/optimizer/ddpg.h"
-#include "src/optimizer/gp_bo.h"
-#include "src/optimizer/random_search.h"
-#include "src/optimizer/smac.h"
+#include "src/harness/tuner.h"
 
 namespace llamatune {
 namespace harness {
@@ -31,67 +26,80 @@ const char* OptimizerKindName(OptimizerKind kind) {
   return "?";
 }
 
-namespace {
-
-std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
-                                         const SearchSpace& space,
-                                         uint64_t seed) {
+std::string OptimizerKindKey(OptimizerKind kind) {
   switch (kind) {
     case OptimizerKind::kSmac:
-      return std::make_unique<SmacOptimizer>(space, SmacOptions{}, seed);
+      return "smac";
     case OptimizerKind::kGpBo:
-      return std::make_unique<GpBoOptimizer>(space, GpBoOptions{}, seed);
-    case OptimizerKind::kDdpg: {
-      DdpgOptions options;
-      options.state_dim = dbsim::kNumMetrics;
-      return std::make_unique<DdpgOptimizer>(space, options, seed);
-    }
+      return "gpbo";
+    case OptimizerKind::kDdpg:
+      return "ddpg";
     case OptimizerKind::kRandom:
-      return std::make_unique<RandomSearchOptimizer>(space, seed);
+      return "random";
     case OptimizerKind::kBestConfig:
-      return std::make_unique<BestConfigOptimizer>(space,
-                                                   BestConfigOptions{}, seed);
+      return "bestconfig";
   }
-  return nullptr;
+  return "smac";
 }
 
-}  // namespace
+std::string LegacyAdapterKey(const ExperimentSpec& spec) {
+  std::string key;
+  if (spec.use_llamatune) {
+    const LlamaTuneOptions& lt = spec.llamatune;
+    key = (lt.projection == ProjectionKind::kHesbo ? "hesbo" : "rembo") +
+          std::to_string(lt.target_dim);
+    if (lt.special_value_bias > 0.0) {
+      key += "+svb" + FormatCompact(lt.special_value_bias);
+    }
+    if (lt.bucket_values > 0) {
+      key += "+bucket" + std::to_string(lt.bucket_values);
+    }
+  } else {
+    key = "identity";
+    if (spec.identity.special_value_bias > 0.0) {
+      key += "+svb" + FormatCompact(spec.identity.special_value_bias);
+    }
+    if (spec.identity.bucket_values > 0) {
+      key += "+bucket" + std::to_string(spec.identity.bucket_values);
+    }
+  }
+  return key;
+}
+
+std::string ResolvedOptimizerKey(const ExperimentSpec& spec) {
+  return spec.optimizer_key.value_or(OptimizerKindKey(spec.optimizer));
+}
+
+std::string ResolvedAdapterKey(const ExperimentSpec& spec) {
+  return spec.adapter_key.value_or(LegacyAdapterKey(spec));
+}
 
 MultiSeedResult RunExperiment(const ExperimentSpec& spec) {
+  const std::string optimizer_key = ResolvedOptimizerKey(spec);
+  const std::string adapter_key = ResolvedAdapterKey(spec);
+
   MultiSeedResult result;
   for (int s = 0; s < spec.num_seeds; ++s) {
+    // The projection matrix (via the session seed) is regenerated per
+    // seed (paper: "different random seeds as input to our optimizer").
     uint64_t seed = spec.base_seed + static_cast<uint64_t>(s) * 1000003ULL;
 
-    dbsim::SimulatedPostgresOptions db_options;
-    db_options.version = spec.version;
-    db_options.target = spec.target;
-    db_options.fixed_rate = spec.fixed_rate;
-    db_options.noise_seed = seed;
-    dbsim::SimulatedPostgres objective(spec.workload, db_options);
-
-    std::unique_ptr<SpaceAdapter> adapter;
-    if (spec.use_llamatune) {
-      LlamaTuneOptions lt = spec.llamatune;
-      // The projection matrix is regenerated per session seed (paper:
-      // "different random seeds as input to our optimizer").
-      lt.projection_seed = seed;
-      adapter = std::make_unique<LlamaTuneAdapter>(&objective.config_space(),
-                                                   lt);
-    } else {
-      adapter = std::make_unique<IdentityAdapter>(&objective.config_space(),
-                                                  spec.identity);
+    TunerBuilder builder;
+    builder.Workload(spec.workload)
+        .Version(spec.version)
+        .Target(spec.target, spec.fixed_rate)
+        .Optimizer(optimizer_key)
+        .Adapter(adapter_key)
+        .Seed(seed)
+        .Iterations(spec.num_iterations)
+        .BatchSize(spec.batch_size);
+    if (spec.early_stopping.has_value()) {
+      builder.EarlyStopping(*spec.early_stopping);
     }
-
-    std::unique_ptr<Optimizer> optimizer =
-        MakeOptimizer(spec.optimizer, adapter->search_space(), seed);
-
-    SessionOptions session_options;
-    session_options.num_iterations = spec.num_iterations;
-    session_options.early_stopping = spec.early_stopping;
-    TuningSession session(&objective, adapter.get(), optimizer.get(),
-                          session_options);
-    SessionResult session_result = session.Run();
-
+    // Aborts with the status message on a bad registry key — the
+    // harness API has no error channel (ValueOrDie in operator*).
+    Result<std::unique_ptr<Tuner>> tuner = builder.Build();
+    SessionResult session_result = (*tuner)->Run();
     result.objective_curves.push_back(
         session_result.kb.BestSoFarObjective());
     result.measured_curves.push_back(session_result.kb.BestSoFarMeasured());

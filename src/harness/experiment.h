@@ -13,23 +13,46 @@
 namespace llamatune {
 namespace harness {
 
-/// \brief Which optimizer drives the session.
+/// \brief DEPRECATED optimizer selector, kept so pre-registry call
+/// sites compile; new code names optimizers by OptimizerRegistry key.
 enum class OptimizerKind { kSmac, kGpBo, kDdpg, kRandom, kBestConfig };
 
 const char* OptimizerKindName(OptimizerKind kind);
+
+/// OptimizerRegistry key for a legacy OptimizerKind.
+std::string OptimizerKindKey(OptimizerKind kind);
 
 /// \brief A full experiment cell: one (workload, optimizer, adapter,
 /// target, version) combination run over several seeds with the
 /// paper's session settings (100 iterations, 10 LHS init, crash
 /// penalty, 5 seeds).
+///
+/// Optimizer and adapter are named by registry key ("smac",
+/// "hesbo16+svb0.2+bucket10000", ...), so an experiment cell is fully
+/// described by strings — anything registered in OptimizerRegistry /
+/// AdapterRegistry is addressable without touching this struct.
 struct ExperimentSpec {
   dbsim::WorkloadSpec workload;
   dbsim::PostgresVersion version = dbsim::PostgresVersion::kV96;
   dbsim::TuningTarget target = dbsim::TuningTarget::kThroughput;
   double fixed_rate = 0.0;  ///< req/s, latency target only
 
+  /// OptimizerRegistry key; when unset, falls back to the deprecated
+  /// `optimizer` enum below.
+  std::optional<std::string> optimizer_key;
+  /// AdapterRegistry key; when unset, falls back to the deprecated
+  /// use_llamatune/llamatune/identity trio below.
+  std::optional<std::string> adapter_key;
+
+  /// Configurations evaluated per session step (parallel across
+  /// simulator clones when > 1).
+  int batch_size = 1;
+
+  // --- DEPRECATED shim (pre-registry API). These fields are only
+  // consulted when the corresponding key above is unset; they map onto
+  // registry keys via OptimizerKindKey()/LegacyAdapterKey().
   OptimizerKind optimizer = OptimizerKind::kSmac;
-  /// false: IdentityAdapter (vanilla baseline); true: LlamaTuneAdapter.
+  /// false: identity baseline; true: LlamaTune pipeline.
   bool use_llamatune = false;
   LlamaTuneOptions llamatune;
   IdentityAdapterOptions identity;
@@ -39,6 +62,15 @@ struct ExperimentSpec {
   uint64_t base_seed = 42;
   std::optional<EarlyStoppingPolicy> early_stopping;
 };
+
+/// AdapterRegistry key equivalent to the deprecated adapter fields of
+/// `spec` (e.g. use_llamatune + paper defaults -> "hesbo16+svb0.2+
+/// bucket10000"; vanilla -> "identity").
+std::string LegacyAdapterKey(const ExperimentSpec& spec);
+
+/// The keys `spec` resolves to (explicit keys win over the shim).
+std::string ResolvedOptimizerKey(const ExperimentSpec& spec);
+std::string ResolvedAdapterKey(const ExperimentSpec& spec);
 
 /// \brief Aggregated outcome across seeds.
 struct MultiSeedResult {

@@ -1,0 +1,120 @@
+#include "src/harness/tuner.h"
+
+#include <utility>
+
+#include "src/core/adapter_registry.h"
+#include "src/optimizer/optimizer_registry.h"
+
+namespace llamatune {
+namespace harness {
+
+TunerBuilder& TunerBuilder::Workload(dbsim::WorkloadSpec workload) {
+  workload_ = std::move(workload);
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::Version(dbsim::PostgresVersion version) {
+  db_options_.version = version;
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::Target(dbsim::TuningTarget target,
+                                   double fixed_rate) {
+  db_options_.target = target;
+  db_options_.fixed_rate = fixed_rate;
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::DbOptions(
+    dbsim::SimulatedPostgresOptions options) {
+  db_options_ = options;
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::Objective(ObjectiveFunction* objective) {
+  external_objective_ = objective;
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::Optimizer(std::string key) {
+  optimizer_key_ = std::move(key);
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::Adapter(std::string key) {
+  adapter_key_ = std::move(key);
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::Seed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::Iterations(int num_iterations) {
+  num_iterations_ = num_iterations;
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::BatchSize(int batch_size) {
+  batch_size_ = batch_size;
+  return *this;
+}
+
+TunerBuilder& TunerBuilder::EarlyStopping(EarlyStoppingPolicy policy) {
+  early_stopping_ = policy;
+  return *this;
+}
+
+Result<std::unique_ptr<Tuner>> TunerBuilder::Build() const {
+  if (workload_.has_value() && external_objective_ != nullptr) {
+    return Status::InvalidArgument(
+        "TunerBuilder: Workload() and Objective() are mutually exclusive");
+  }
+  if (!workload_.has_value() && external_objective_ == nullptr) {
+    return Status::FailedPrecondition(
+        "TunerBuilder: set a Workload() (simulated DBMS) or an external "
+        "Objective() before Build()");
+  }
+  if (num_iterations_ <= 0) {
+    return Status::InvalidArgument("TunerBuilder: Iterations() must be > 0");
+  }
+  if (batch_size_ <= 0) {
+    return Status::InvalidArgument("TunerBuilder: BatchSize() must be > 0");
+  }
+
+  std::unique_ptr<Tuner> tuner(new Tuner());
+  if (external_objective_ != nullptr) {
+    tuner->objective_ = external_objective_;
+  } else {
+    dbsim::SimulatedPostgresOptions db_options = db_options_;
+    db_options.noise_seed = seed_;
+    tuner->owned_objective_ = std::make_unique<dbsim::SimulatedPostgres>(
+        *workload_, db_options);
+    tuner->objective_ = tuner->owned_objective_.get();
+  }
+
+  Result<std::unique_ptr<SpaceAdapter>> adapter =
+      AdapterRegistry::Global().Create(
+          adapter_key_, &tuner->objective_->config_space(), seed_);
+  if (!adapter.ok()) return adapter.status();
+  tuner->adapter_ = std::move(adapter).ValueOrDie();
+
+  Result<std::unique_ptr<::llamatune::Optimizer>> optimizer =
+      OptimizerRegistry::Global().Create(
+          optimizer_key_, tuner->adapter_->search_space(), seed_);
+  if (!optimizer.ok()) return optimizer.status();
+  tuner->optimizer_ = std::move(optimizer).ValueOrDie();
+
+  SessionOptions session_options;
+  session_options.num_iterations = num_iterations_;
+  session_options.batch_size = batch_size_;
+  session_options.early_stopping = early_stopping_;
+  tuner->session_ = std::make_unique<TuningSession>(
+      tuner->objective_, tuner->adapter_.get(), tuner->optimizer_.get(),
+      session_options);
+  return tuner;
+}
+
+}  // namespace harness
+}  // namespace llamatune

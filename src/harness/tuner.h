@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/objective.h"
+#include "src/core/space_adapter.h"
+#include "src/core/tuning_session.h"
+#include "src/dbsim/simulated_postgres.h"
+#include "src/optimizer/optimizer.h"
+
+namespace llamatune {
+namespace harness {
+
+/// \brief A fully wired tuning stack: objective + adapter + optimizer
+/// + session, assembled by TunerBuilder. Owns every component it
+/// created (external objectives stay caller-owned).
+class Tuner {
+ public:
+  /// Runs the session to completion.
+  SessionResult Run() { return session_->Run(); }
+
+  /// Single-iteration stepping for incremental drivers.
+  bool Step() { return session_->Step(); }
+
+  ObjectiveFunction& objective() { return *objective_; }
+  const SpaceAdapter& adapter() const { return *adapter_; }
+  ::llamatune::Optimizer& optimizer() { return *optimizer_; }
+  TuningSession& session() { return *session_; }
+
+ private:
+  friend class TunerBuilder;
+  Tuner() = default;
+
+  std::unique_ptr<ObjectiveFunction> owned_objective_;
+  ObjectiveFunction* objective_ = nullptr;
+  std::unique_ptr<SpaceAdapter> adapter_;
+  std::unique_ptr<::llamatune::Optimizer> optimizer_;
+  std::unique_ptr<TuningSession> session_;
+};
+
+/// \brief Fluent assembly of a tuning stack from registry keys:
+///
+///   auto tuner = TunerBuilder()
+///                    .Workload(dbsim::YcsbA())
+///                    .Optimizer("smac")
+///                    .Adapter("llamatune")
+///                    .Seed(42)
+///                    .Iterations(100)
+///                    .Build();
+///   SessionResult result = tuner.ValueOrDie()->Run();
+///
+/// The objective is either the bundled simulator (Workload/Version/
+/// Target) or any external ObjectiveFunction (Objective()). Adapter
+/// and optimizer are resolved through AdapterRegistry and
+/// OptimizerRegistry, so everything registered there — including the
+/// user's own stages and backends — is addressable by key.
+class TunerBuilder {
+ public:
+  TunerBuilder() = default;
+
+  /// Tunes the bundled simulated PostgreSQL running `workload`.
+  TunerBuilder& Workload(dbsim::WorkloadSpec workload);
+
+  /// Simulated PostgreSQL version (default v9.6).
+  TunerBuilder& Version(dbsim::PostgresVersion version);
+
+  /// Tuning target; `fixed_rate` (req/s) applies to latency targets.
+  TunerBuilder& Target(dbsim::TuningTarget target, double fixed_rate = 0.0);
+
+  /// Full simulator option control (overrides Version/Target so far;
+  /// the builder seed still drives the noise seed).
+  TunerBuilder& DbOptions(dbsim::SimulatedPostgresOptions options);
+
+  /// Tunes an external system instead of the simulator. Caller keeps
+  /// ownership; mutually exclusive with Workload().
+  TunerBuilder& Objective(ObjectiveFunction* objective);
+
+  /// OptimizerRegistry key (default "smac").
+  TunerBuilder& Optimizer(std::string key);
+
+  /// AdapterRegistry key (default "llamatune").
+  TunerBuilder& Adapter(std::string key);
+
+  /// Seeds the optimizer, the projection matrix, and simulator noise.
+  TunerBuilder& Seed(uint64_t seed);
+
+  TunerBuilder& Iterations(int num_iterations);
+
+  /// Configurations evaluated per step (parallel across simulator
+  /// clones when > 1).
+  TunerBuilder& BatchSize(int batch_size);
+
+  TunerBuilder& EarlyStopping(EarlyStoppingPolicy policy);
+
+  /// Builds the stack. Fails when no objective source was configured,
+  /// both were, or a registry key is unknown.
+  Result<std::unique_ptr<Tuner>> Build() const;
+
+ private:
+  std::optional<dbsim::WorkloadSpec> workload_;
+  dbsim::SimulatedPostgresOptions db_options_;
+  ObjectiveFunction* external_objective_ = nullptr;
+  std::string optimizer_key_ = "smac";
+  std::string adapter_key_ = "llamatune";
+  uint64_t seed_ = 42;
+  int num_iterations_ = 100;
+  int batch_size_ = 1;
+  std::optional<EarlyStoppingPolicy> early_stopping_;
+};
+
+}  // namespace harness
+}  // namespace llamatune

@@ -34,10 +34,42 @@ class Optimizer {
   /// Proposes the next point to evaluate (a valid point of space()).
   virtual std::vector<double> Suggest() = 0;
 
+  /// Proposes `n` points to evaluate together (a batch the session may
+  /// run in parallel across simulator instances). The default is the
+  /// sequential fallback — n successive Suggest() calls — which keeps
+  /// the optimizer-agnostic contract: batching requires no optimizer
+  /// modifications, but batch-aware optimizers may override this to
+  /// diversify within the batch. Note the fallback issues n Suggest()
+  /// calls before any Observe(): optimizers that carry per-suggestion
+  /// state (DDPG's pending action, BestConfig's round cursor) should
+  /// override this — or be run with batch size 1 — to keep their
+  /// internal protocol intact.
+  virtual std::vector<std::vector<double>> SuggestBatch(int n) {
+    std::vector<std::vector<double>> batch;
+    batch.reserve(n > 0 ? n : 0);
+    for (int i = 0; i < n; ++i) batch.push_back(Suggest());
+    return batch;
+  }
+
   /// Records the objective value measured at `point`. Higher is
   /// better; sessions minimizing latency negate before calling.
   virtual void Observe(const std::vector<double>& point, double value) {
+    if (value > best_value_) {
+      best_value_ = value;
+      best_point_ = point;
+    }
     history_.push_back({point, value});
+  }
+
+  /// Records a batch of evaluations in order. The default sequential
+  /// fallback forwards to Observe() one pair at a time; batch-aware
+  /// optimizers may override to refit their model once per batch.
+  /// `points` and `values` must have equal size.
+  virtual void ObserveBatch(const std::vector<std::vector<double>>& points,
+                            const std::vector<double>& values) {
+    for (size_t i = 0; i < points.size() && i < values.size(); ++i) {
+      Observe(points[i], values[i]);
+    }
   }
 
   /// Optional hook for optimizers conditioning on DBMS internal
@@ -49,29 +81,20 @@ class Optimizer {
 
   const std::vector<Observation>& history() const { return history_; }
 
-  /// Best observed value so far (-inf when empty).
-  double BestValue() const {
-    double best = -std::numeric_limits<double>::infinity();
-    for (const Observation& obs : history_) best = std::max(best, obs.value);
-    return best;
-  }
+  /// Best observed value so far (-inf when empty). O(1): the incumbent
+  /// is tracked incrementally in Observe, not re-scanned from history.
+  double BestValue() const { return best_value_; }
 
   /// Point achieving BestValue() (empty when no history).
-  std::vector<double> BestPoint() const {
-    std::vector<double> best_point;
-    double best = -std::numeric_limits<double>::infinity();
-    for (const Observation& obs : history_) {
-      if (obs.value > best) {
-        best = obs.value;
-        best_point = obs.point;
-      }
-    }
-    return best_point;
-  }
+  const std::vector<double>& BestPoint() const { return best_point_; }
 
  protected:
   SearchSpace space_;
   std::vector<Observation> history_;
+
+ private:
+  double best_value_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> best_point_;
 };
 
 }  // namespace llamatune

@@ -1,0 +1,110 @@
+#include "src/optimizer/optimizer_registry.h"
+
+#include "src/optimizer/best_config.h"
+#include "src/optimizer/ddpg.h"
+#include "src/optimizer/gp_bo.h"
+#include "src/optimizer/random_search.h"
+#include "src/optimizer/smac.h"
+
+namespace llamatune {
+
+OptimizerRegistry::OptimizerRegistry() {
+  Register("smac", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    return std::unique_ptr<Optimizer>(
+        new SmacOptimizer(space, SmacOptions{}, seed));
+  });
+  Register("gpbo", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    return std::unique_ptr<Optimizer>(
+        new GpBoOptimizer(space, GpBoOptions{}, seed));
+  });
+  RegisterAlias("gp-bo", "gpbo");
+  Register("ddpg", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    // DdpgOptions::state_dim must equal the simulator's metric count
+    // (ObserveMetrics truncates/pads to it); registry_test pins
+    // DdpgOptions{}.state_dim == dbsim::kNumMetrics so a metric-count
+    // change cannot silently clip the RL state.
+    return std::unique_ptr<Optimizer>(
+        new DdpgOptimizer(space, DdpgOptions{}, seed));
+  });
+  Register("random", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    return std::unique_ptr<Optimizer>(new RandomSearchOptimizer(space, seed));
+  });
+  Register("bestconfig", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    return std::unique_ptr<Optimizer>(
+        new BestConfigOptimizer(space, BestConfigOptions{}, seed));
+  });
+}
+
+OptimizerRegistry& OptimizerRegistry::Global() {
+  static OptimizerRegistry* registry = new OptimizerRegistry();
+  return *registry;
+}
+
+Status OptimizerRegistry::Register(const std::string& key, Factory factory) {
+  if (key.empty()) {
+    return Status::InvalidArgument("empty optimizer key");
+  }
+  if (aliases_.count(key) > 0 ||
+      !factories_.emplace(key, std::move(factory)).second) {
+    return Status::AlreadyExists("optimizer '" + key + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status OptimizerRegistry::RegisterAlias(const std::string& alias,
+                                        const std::string& key) {
+  if (alias.empty()) {
+    return Status::InvalidArgument("empty optimizer alias");
+  }
+  if (factories_.count(alias) > 0 || aliases_.count(alias) > 0) {
+    return Status::AlreadyExists("optimizer '" + alias +
+                                 "' already registered");
+  }
+  if (factories_.count(key) == 0) {
+    return Status::NotFound("optimizer alias '" + alias +
+                            "' targets unknown key '" + key + "'");
+  }
+  aliases_[alias] = key;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Optimizer>> OptimizerRegistry::Create(
+    const std::string& key, const SearchSpace& space, uint64_t seed) const {
+  auto alias = aliases_.find(key);
+  auto it = factories_.find(alias == aliases_.end() ? key : alias->second);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [name, factory] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("unknown optimizer '" + key +
+                            "' (known: " + known + ")");
+  }
+  return it->second(space, seed);
+}
+
+bool OptimizerRegistry::Contains(const std::string& key) const {
+  return factories_.count(key) > 0 || aliases_.count(key) > 0;
+}
+
+std::vector<std::string> OptimizerRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) keys.push_back(name);
+  return keys;
+}
+
+std::vector<std::string> OptimizerRegistry::Aliases() const {
+  std::vector<std::string> names;
+  names.reserve(aliases_.size());
+  for (const auto& [alias, key] : aliases_) names.push_back(alias);
+  return names;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/optimizer/optimizer.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+
+/// \brief Open, string-keyed factory for optimizers.
+///
+/// Builtin keys: "smac", "gpbo" (alias "gp-bo"), "ddpg", "random",
+/// "bestconfig". LlamaTune's claim is that its adapters compose with
+/// *any* optimizer unchanged — the registry is how new backends become
+/// addressable from the harness, benches, and TunerBuilder without
+/// touching a switch statement.
+class OptimizerRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<Optimizer>>(
+      const SearchSpace& space, uint64_t seed)>;
+
+  /// The process-wide registry, pre-loaded with the builtins.
+  static OptimizerRegistry& Global();
+
+  /// Registers `factory` under `key` (fails with AlreadyExists on
+  /// duplicates).
+  Status Register(const std::string& key, Factory factory);
+
+  /// Registers `alias` as another name for canonical key `key`.
+  /// Aliases resolve in Create()/Contains() but are excluded from
+  /// Keys(), so enumerating backends never runs one twice.
+  Status RegisterAlias(const std::string& alias, const std::string& key);
+
+  /// Instantiates the optimizer registered under `key` (canonical or
+  /// alias) over `space`. Fails with NotFound for unknown keys
+  /// (message lists known keys).
+  Result<std::unique_ptr<Optimizer>> Create(const std::string& key,
+                                            const SearchSpace& space,
+                                            uint64_t seed) const;
+
+  bool Contains(const std::string& key) const;
+
+  /// All canonical keys (no aliases), sorted.
+  std::vector<std::string> Keys() const;
+
+  /// All registered aliases, sorted.
+  std::vector<std::string> Aliases() const;
+
+ private:
+  OptimizerRegistry();
+
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, std::string> aliases_;
+};
+
+}  // namespace llamatune

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/core/adapter_pipeline.h"
+#include "src/core/adapter_registry.h"
+#include "src/core/adapter_stages.h"
+#include "src/core/identity_adapter.h"
+#include "src/core/llamatune_adapter.h"
+#include "src/dbsim/knob_catalog.h"
+#include "src/sampling/uniform.h"
+
+namespace llamatune {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void ExpectSameSpace(const SearchSpace& a, const SearchSpace& b) {
+    ASSERT_EQ(a.num_dims(), b.num_dims());
+    for (int i = 0; i < a.num_dims(); ++i) {
+      EXPECT_EQ(a.dim(i).type, b.dim(i).type) << "dim " << i;
+      EXPECT_EQ(a.dim(i).lo, b.dim(i).lo) << "dim " << i;
+      EXPECT_EQ(a.dim(i).hi, b.dim(i).hi) << "dim " << i;
+      EXPECT_EQ(a.dim(i).num_categories, b.dim(i).num_categories)
+          << "dim " << i;
+      EXPECT_EQ(a.dim(i).num_buckets, b.dim(i).num_buckets) << "dim " << i;
+    }
+  }
+
+  // Samples points from `reference`'s search space and checks that
+  // both adapters project every one of them to the same configuration,
+  // bit for bit.
+  static void ExpectBitwiseEquivalent(const SpaceAdapter& reference,
+                                      const SpaceAdapter& pipeline,
+                                      uint64_t rng_seed, int n = 200) {
+    ExpectSameSpace(reference.search_space(), pipeline.search_space());
+    Rng rng(rng_seed);
+    for (int i = 0; i < n; ++i) {
+      auto p = UniformSample(reference.search_space(), &rng);
+      Configuration a = reference.Project(p);
+      Configuration b = pipeline.Project(p);
+      ASSERT_EQ(a.size(), b.size());
+      for (int k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k], b[k]) << "knob " << k << ", sample " << i;
+      }
+    }
+  }
+
+  ConfigSpace space_ = dbsim::PostgresV96Catalog();
+};
+
+// The acceptance regression: the registry-built
+// "hesbo16+svb0.2+bucket10000" pipeline reproduces the legacy
+// LlamaTuneAdapter's configurations bit-for-bit.
+TEST_F(PipelineFixture, PaperDefaultKeyMatchesLegacyLlamaTuneBitForBit) {
+  LlamaTuneOptions options;  // paper defaults: HeSBO-16, 20%, K=10000
+  options.projection_seed = 7;
+  LlamaTuneAdapter legacy(&space_, options);
+
+  auto pipeline = AdapterRegistry::Global().Create(
+      "hesbo16+svb0.2+bucket10000", &space_, /*seed=*/7);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ExpectBitwiseEquivalent(legacy, **pipeline, /*rng_seed=*/1);
+}
+
+TEST_F(PipelineFixture, LlamaTuneAliasMatchesExplicitKey) {
+  auto a = AdapterRegistry::Global().Create("llamatune", &space_, 11);
+  auto b = AdapterRegistry::Global().Create("hesbo16+svb0.2+bucket10000",
+                                            &space_, 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitwiseEquivalent(**a, **b, /*rng_seed=*/2);
+}
+
+TEST_F(PipelineFixture, ComponentOrderDoesNotMatter) {
+  auto a = AdapterRegistry::Global().Create("hesbo16+svb0.2+bucket10000",
+                                            &space_, 3);
+  auto b = AdapterRegistry::Global().Create("bucket10000+svb0.2+hesbo16",
+                                            &space_, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitwiseEquivalent(**a, **b, /*rng_seed=*/3);
+}
+
+TEST_F(PipelineFixture, LegacyEquivalenceAcrossVariants) {
+  struct Case {
+    ProjectionKind projection;
+    int dim;
+    double svb;
+    int64_t buckets;
+    const char* key;
+  };
+  const Case cases[] = {
+      {ProjectionKind::kHesbo, 16, 0.0, 0, "hesbo16"},
+      {ProjectionKind::kHesbo, 8, 0.2, 0, "hesbo8+svb0.2"},
+      {ProjectionKind::kHesbo, 24, 0.0, 500, "hesbo24+bucket500"},
+      {ProjectionKind::kRembo, 16, 0.2, 10000, "rembo16+svb0.2+bucket10000"},
+      {ProjectionKind::kRembo, 8, 0.05, 0, "rembo8+svb0.05"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.key);
+    LlamaTuneOptions options;
+    options.projection = c.projection;
+    options.target_dim = c.dim;
+    options.special_value_bias = c.svb;
+    options.bucket_values = c.buckets;
+    options.projection_seed = 19;
+    LlamaTuneAdapter legacy(&space_, options);
+
+    auto pipeline = AdapterRegistry::Global().Create(c.key, &space_, 19);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    ExpectBitwiseEquivalent(legacy, **pipeline, /*rng_seed=*/c.dim, 100);
+  }
+}
+
+TEST_F(PipelineFixture, IdentityKeyMatchesLegacyIdentityAdapter) {
+  struct Case {
+    double svb;
+    int64_t buckets;
+    const char* key;
+  };
+  const Case cases[] = {
+      {0.0, 0, "identity"},
+      {0.2, 0, "identity+svb0.2"},
+      {0.0, 1000, "identity+bucket1000"},
+      {0.2, 1000, "identity+svb0.2+bucket1000"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.key);
+    IdentityAdapterOptions options;
+    options.special_value_bias = c.svb;
+    options.bucket_values = c.buckets;
+    IdentityAdapter legacy(&space_, options);
+
+    auto pipeline = AdapterRegistry::Global().Create(c.key, &space_, 1);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    ExpectBitwiseEquivalent(legacy, **pipeline, /*rng_seed=*/4, 100);
+  }
+}
+
+TEST_F(PipelineFixture, SeedControlsProjectionMatrix) {
+  auto a = AdapterRegistry::Global().Create("llamatune", &space_, 1);
+  auto b = AdapterRegistry::Global().Create("llamatune", &space_, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Rng rng(5);
+  bool any_difference = false;
+  for (int i = 0; i < 50 && !any_difference; ++i) {
+    auto p = UniformSample((*a)->search_space(), &rng);
+    any_difference = !((*a)->Project(p) == (*b)->Project(p));
+  }
+  EXPECT_TRUE(any_difference) << "different seeds produced identical maps";
+}
+
+TEST_F(PipelineFixture, ProjectedConfigsAlwaysValid) {
+  for (const char* key :
+       {"llamatune", "identity", "rembo8+svb0.3", "hesbo24+bucket100",
+        "identity+svb0.1+bucket50", "svb0.2"}) {
+    SCOPED_TRACE(key);
+    auto adapter = AdapterRegistry::Global().Create(key, &space_, 13);
+    ASSERT_TRUE(adapter.ok()) << adapter.status().ToString();
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+      auto p = UniformSample((*adapter)->search_space(), &rng);
+      Configuration c = (*adapter)->Project(p);
+      EXPECT_TRUE(space_.ValidateConfiguration(c).ok());
+    }
+  }
+}
+
+TEST_F(PipelineFixture, PipelineWithoutBasisExposesUnitSpace) {
+  // A bare decode stage bottoms out in the raw unit knob space.
+  auto adapter = AdapterRegistry::Global().Create("svb0.2", &space_, 1);
+  ASSERT_TRUE(adapter.ok());
+  const SearchSpace& space = (*adapter)->search_space();
+  ASSERT_EQ(space.num_dims(), space_.num_knobs());
+  for (int i = 0; i < space.num_dims(); ++i) {
+    EXPECT_EQ(space.dim(i).type, SearchDim::Type::kContinuous);
+    EXPECT_EQ(space.dim(i).lo, 0.0);
+    EXPECT_EQ(space.dim(i).hi, 1.0);
+  }
+}
+
+TEST_F(PipelineFixture, BasisMustBeInnermost) {
+  std::vector<std::unique_ptr<AdapterStage>> stages;
+  stages.push_back(
+      std::make_unique<ProjectionStage>(ProjectionKind::kHesbo, 16));
+  stages.push_back(std::make_unique<BucketizerStage>(100));
+  auto result = AdapterPipeline::Create(&space_, std::move(stages), 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineFixture, TwoBasisStagesRejected) {
+  auto result =
+      AdapterRegistry::Global().Create("hesbo16+identity", &space_, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineFixture, NameListsStages) {
+  auto adapter =
+      AdapterRegistry::Global().Create("llamatune", &space_, 1);
+  ASSERT_TRUE(adapter.ok());
+  std::string name = (*adapter)->name();
+  EXPECT_NE(name.find("hesbo16"), std::string::npos) << name;
+  EXPECT_NE(name.find("svb0.2"), std::string::npos) << name;
+  EXPECT_NE(name.find("bucket10000"), std::string::npos) << name;
+}
+
+TEST_F(PipelineFixture, ProjectionDimensionValidated) {
+  for (const char* key : {"hesbo0", "hesbo1000", "rembo-3"}) {
+    SCOPED_TRACE(key);
+    auto result = AdapterRegistry::Global().Create(key, &space_, 1);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(PipelineFixture, WorksOnBothCatalogVersions) {
+  ConfigSpace v136 = dbsim::PostgresV136Catalog();
+  auto adapter = AdapterRegistry::Global().Create("llamatune", &v136, 21);
+  ASSERT_TRUE(adapter.ok());
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    auto p = UniformSample((*adapter)->search_space(), &rng);
+    EXPECT_TRUE(v136.ValidateConfiguration((*adapter)->Project(p)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace llamatune

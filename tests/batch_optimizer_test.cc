@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+
+#include "src/optimizer/optimizer.h"
+#include "src/optimizer/random_search.h"
+#include "src/optimizer/smac.h"
+
+namespace llamatune {
+namespace {
+
+SearchSpace SmallSpace() {
+  return SearchSpace({SearchDim::Continuous(0.0, 1.0),
+                      SearchDim::Continuous(-1.0, 1.0, 100),
+                      SearchDim::Categorical(4)});
+}
+
+// The fallback contract: SuggestBatch(n) on an unmodified optimizer is
+// exactly n successive Suggest() calls.
+TEST(SuggestBatchTest, FallbackMatchesSequentialSuggest) {
+  RandomSearchOptimizer batched(SmallSpace(), /*seed=*/17);
+  RandomSearchOptimizer sequential(SmallSpace(), /*seed=*/17);
+
+  auto batch = batched.SuggestBatch(5);
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[i], sequential.Suggest()) << "suggestion " << i;
+  }
+}
+
+TEST(SuggestBatchTest, ZeroAndNegativeSizesYieldEmptyBatch) {
+  RandomSearchOptimizer opt(SmallSpace(), 1);
+  EXPECT_TRUE(opt.SuggestBatch(0).empty());
+  EXPECT_TRUE(opt.SuggestBatch(-3).empty());
+}
+
+TEST(SuggestBatchTest, BatchPointsAreValid) {
+  SearchSpace space = SmallSpace();
+  SmacOptimizer opt(space, SmacOptions{}, /*seed=*/3);
+  for (auto& point : opt.SuggestBatch(12)) {
+    EXPECT_TRUE(space.Contains(point));
+    opt.Observe(point, 1.0);
+  }
+  // Past the init design the model path also batches.
+  for (auto& point : opt.SuggestBatch(3)) {
+    EXPECT_TRUE(space.Contains(point));
+  }
+}
+
+TEST(ObserveBatchTest, FallbackForwardsToObserveInOrder) {
+  RandomSearchOptimizer batched(SmallSpace(), 1);
+  RandomSearchOptimizer sequential(SmallSpace(), 1);
+
+  std::vector<std::vector<double>> points = {
+      {0.1, 0.0, 0.0}, {0.2, 0.5, 1.0}, {0.3, -0.5, 2.0}};
+  std::vector<double> values = {3.0, 9.0, 5.0};
+
+  batched.ObserveBatch(points, values);
+  for (size_t i = 0; i < points.size(); ++i) {
+    sequential.Observe(points[i], values[i]);
+  }
+
+  ASSERT_EQ(batched.history().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batched.history()[i].point, sequential.history()[i].point);
+    EXPECT_EQ(batched.history()[i].value, sequential.history()[i].value);
+  }
+  EXPECT_EQ(batched.BestValue(), 9.0);
+  EXPECT_EQ(batched.BestPoint(), points[1]);
+}
+
+TEST(ObserveBatchTest, MismatchedSizesObserveCommonPrefix) {
+  RandomSearchOptimizer opt(SmallSpace(), 1);
+  opt.ObserveBatch({{0.1, 0.0, 0.0}, {0.2, 0.0, 1.0}}, {1.0});
+  EXPECT_EQ(opt.history().size(), 1u);
+}
+
+// The incumbent is tracked incrementally in Observe — these pin the
+// semantics that used to come from a full history scan.
+TEST(IncumbentTest, EmptyHistory) {
+  RandomSearchOptimizer opt(SmallSpace(), 1);
+  EXPECT_EQ(opt.BestValue(), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(opt.BestPoint().empty());
+}
+
+TEST(IncumbentTest, TracksRunningMaximum) {
+  RandomSearchOptimizer opt(SmallSpace(), 1);
+  opt.Observe({0.1, 0.0, 0.0}, 5.0);
+  EXPECT_EQ(opt.BestValue(), 5.0);
+  opt.Observe({0.2, 0.0, 1.0}, 3.0);  // worse: incumbent unchanged
+  EXPECT_EQ(opt.BestValue(), 5.0);
+  EXPECT_EQ(opt.BestPoint(), (std::vector<double>{0.1, 0.0, 0.0}));
+  opt.Observe({0.3, 0.0, 2.0}, 8.0);  // better: incumbent moves
+  EXPECT_EQ(opt.BestValue(), 8.0);
+  EXPECT_EQ(opt.BestPoint(), (std::vector<double>{0.3, 0.0, 2.0}));
+}
+
+TEST(IncumbentTest, TiesKeepTheFirstObservation) {
+  RandomSearchOptimizer opt(SmallSpace(), 1);
+  opt.Observe({0.1, 0.0, 0.0}, 7.0);
+  opt.Observe({0.9, 0.0, 3.0}, 7.0);
+  EXPECT_EQ(opt.BestPoint(), (std::vector<double>{0.1, 0.0, 0.0}));
+}
+
+TEST(IncumbentTest, NegativeValuesHandled) {
+  RandomSearchOptimizer opt(SmallSpace(), 1);
+  opt.Observe({0.1, 0.0, 0.0}, -50.0);
+  EXPECT_EQ(opt.BestValue(), -50.0);
+  opt.Observe({0.2, 0.0, 1.0}, -10.0);
+  EXPECT_EQ(opt.BestValue(), -10.0);
+}
+
+TEST(IncumbentTest, MatchesHistoryScanUnderRandomWorkload) {
+  RandomSearchOptimizer opt(SmallSpace(), 23);
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    auto point = opt.Suggest();
+    opt.Observe(point, rng.Gaussian(0.0, 10.0));
+    // Reference: the old full-history scan.
+    double best = -std::numeric_limits<double>::infinity();
+    for (const Observation& obs : opt.history()) {
+      best = std::max(best, obs.value);
+    }
+    ASSERT_EQ(opt.BestValue(), best) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace llamatune

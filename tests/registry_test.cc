@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/core/adapter_registry.h"
+#include "src/core/adapter_stages.h"
+#include "src/dbsim/knob_catalog.h"
+#include "src/dbsim/metrics.h"
+#include "src/optimizer/ddpg.h"
+#include "src/optimizer/optimizer_registry.h"
+#include "src/optimizer/random_search.h"
+
+namespace llamatune {
+namespace {
+
+class RegistryFixture : public ::testing::Test {
+ protected:
+  ConfigSpace space_ = dbsim::PostgresV96Catalog();
+};
+
+// ---------------------------------------------------------------------------
+// AdapterRegistry
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, UnknownAdapterKeyIsNotFound) {
+  auto result = AdapterRegistry::Global().Create("warp9", &space_, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // The error names the offender and the known stages.
+  EXPECT_NE(result.status().message().find("warp9"), std::string::npos);
+  EXPECT_NE(result.status().message().find("hesbo"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, UnknownComponentInsideKeyIsNotFound) {
+  auto result = AdapterRegistry::Global().Create("hesbo16+frobnicate2",
+                                                 &space_, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("frobnicate2"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, MalformedStageArguments) {
+  for (const char* key : {"hesbo", "hesbox", "svb", "svb0.2.3", "bucket",
+                          "bucketx", "identity4", ""}) {
+    SCOPED_TRACE(key);
+    auto result = AdapterRegistry::Global().Create(key, &space_, 1);
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST_F(RegistryFixture, SvbBiasRangeValidated) {
+  EXPECT_FALSE(AdapterRegistry::Global().Create("svb1.5", &space_, 1).ok());
+  EXPECT_FALSE(AdapterRegistry::Global().Create("svb-0.1", &space_, 1).ok());
+  EXPECT_TRUE(AdapterRegistry::Global().Create("svb0", &space_, 1).ok());
+}
+
+TEST_F(RegistryFixture, BucketRequiresAtLeastTwoValues) {
+  EXPECT_FALSE(AdapterRegistry::Global().Create("bucket1", &space_, 1).ok());
+  EXPECT_TRUE(AdapterRegistry::Global().Create("bucket2", &space_, 1).ok());
+}
+
+TEST_F(RegistryFixture, BuiltinStagePrefixesListed) {
+  auto prefixes = AdapterRegistry::Global().StagePrefixes();
+  for (const char* expected :
+       {"identity", "hesbo", "rembo", "svb", "bucket"}) {
+    EXPECT_NE(std::find(prefixes.begin(), prefixes.end(), expected),
+              prefixes.end())
+        << expected;
+  }
+  auto aliases = AdapterRegistry::Global().Aliases();
+  EXPECT_NE(std::find(aliases.begin(), aliases.end(), "llamatune"),
+            aliases.end());
+}
+
+TEST_F(RegistryFixture, DuplicateStageAndAliasRejected) {
+  EXPECT_EQ(AdapterRegistry::Global()
+                .RegisterStage("hesbo", nullptr)
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(AdapterRegistry::Global()
+                .RegisterAlias("llamatune", "identity")
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+// A user-defined stage becomes addressable by key, composed with the
+// builtins, with no changes to any call site.
+class DoublingStage : public AdapterStage {
+ public:
+  std::string name() const override { return "reg_test_double"; }
+  Result<SearchSpace> Bind(const StageContext& /*ctx*/,
+                           const SearchSpace& downstream) override {
+    return downstream;
+  }
+};
+
+TEST_F(RegistryFixture, OpenRegistryAcceptsCustomStagesAndAliases) {
+  auto& registry = AdapterRegistry::Global();
+  ASSERT_TRUE(registry
+                  .RegisterStage("reg_test_double",
+                                 [](const std::string& arg)
+                                     -> Result<std::unique_ptr<AdapterStage>> {
+                                   (void)arg;
+                                   return std::unique_ptr<AdapterStage>(
+                                       new DoublingStage());
+                                 })
+                  .ok());
+  ASSERT_TRUE(
+      registry.RegisterAlias("reg_test_alias", "reg_test_double+hesbo8").ok());
+
+  auto adapter = registry.Create("reg_test_alias", &space_, 1);
+  ASSERT_TRUE(adapter.ok()) << adapter.status().ToString();
+  EXPECT_EQ((*adapter)->search_space().num_dims(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// OptimizerRegistry
+// ---------------------------------------------------------------------------
+
+TEST(OptimizerRegistryTest, UnknownKeyIsNotFound) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  auto result = OptimizerRegistry::Global().Create("gradient-descent", space,
+                                                   /*seed=*/1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("gradient-descent"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("smac"), std::string::npos);
+}
+
+TEST(OptimizerRegistryTest, BuiltinsInstantiable) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0),
+                     SearchDim::Continuous(0.0, 1.0, 16),
+                     SearchDim::Categorical(3)});
+  for (const char* key : {"smac", "gpbo", "gp-bo", "ddpg", "random",
+                          "bestconfig"}) {
+    SCOPED_TRACE(key);
+    auto optimizer = OptimizerRegistry::Global().Create(key, space, 5);
+    ASSERT_TRUE(optimizer.ok()) << optimizer.status().ToString();
+    auto point = (*optimizer)->Suggest();
+    EXPECT_TRUE(space.Contains(point));
+  }
+}
+
+TEST(OptimizerRegistryTest, KeysSortedAndContains) {
+  auto keys = OptimizerRegistry::Global().Keys();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(OptimizerRegistry::Global().Contains("smac"));
+  EXPECT_FALSE(OptimizerRegistry::Global().Contains("SMAC"));
+}
+
+TEST(OptimizerRegistryTest, AliasesResolveButAreNotEnumerated) {
+  auto& registry = OptimizerRegistry::Global();
+  // "gp-bo" resolves like "gpbo"...
+  EXPECT_TRUE(registry.Contains("gp-bo"));
+  auto keys = registry.Keys();
+  // ...but only the canonical key is enumerated, so drivers iterating
+  // Keys() never run the same backend twice.
+  EXPECT_EQ(std::find(keys.begin(), keys.end(), "gp-bo"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "gpbo"), keys.end());
+  auto aliases = registry.Aliases();
+  EXPECT_NE(std::find(aliases.begin(), aliases.end(), "gp-bo"),
+            aliases.end());
+
+  // Aliases must target a registered key and cannot shadow one.
+  EXPECT_EQ(registry.RegisterAlias("reg_test_ghost", "no-such-key").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.RegisterAlias("smac", "gpbo").code(),
+            StatusCode::kAlreadyExists);
+}
+
+// The registry builds DDPG with DdpgOptions defaults; this pins the
+// default state dimension to the simulator's metric vector width,
+// which the deleted harness wiring used to set explicitly.
+TEST(OptimizerRegistryTest, DdpgDefaultStateDimMatchesSimulatorMetrics) {
+  EXPECT_EQ(DdpgOptions{}.state_dim, dbsim::kNumMetrics);
+}
+
+TEST(OptimizerRegistryTest, OpenRegistryAcceptsCustomBackend) {
+  auto& registry = OptimizerRegistry::Global();
+  ASSERT_TRUE(registry
+                  .Register("reg_test_random2",
+                            [](const SearchSpace& space, uint64_t seed)
+                                -> Result<std::unique_ptr<Optimizer>> {
+                              return std::unique_ptr<Optimizer>(
+                                  new RandomSearchOptimizer(space, seed));
+                            })
+                  .ok());
+  EXPECT_EQ(registry.Register("reg_test_random2", nullptr).code(),
+            StatusCode::kAlreadyExists);
+
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  auto optimizer = registry.Create("reg_test_random2", space, 3);
+  ASSERT_TRUE(optimizer.ok());
+  EXPECT_EQ((*optimizer)->name(), "RandomSearch");
+}
+
+}  // namespace
+}  // namespace llamatune

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dbsim/workloads.h"
+#include "src/harness/experiment.h"
+#include "src/harness/tuner.h"
+
+namespace llamatune {
+namespace harness {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TunerBuilder validation
+// ---------------------------------------------------------------------------
+
+TEST(TunerBuilderTest, RequiresAnObjectiveSource) {
+  auto result = TunerBuilder().Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+class ConstantObjective : public ObjectiveFunction {
+ public:
+  ConstantObjective()
+      : space_(ConfigSpace::Create({RealKnob("x", 0.0, 1.0, 0.5)})
+                   .ValueOrDie()) {}
+  EvalResult Evaluate(const Configuration& config) override {
+    EvalResult result;
+    result.value = 1.0 + config[0];
+    return result;
+  }
+  const ConfigSpace& config_space() const override { return space_; }
+
+ private:
+  ConfigSpace space_;
+};
+
+TEST(TunerBuilderTest, WorkloadAndObjectiveAreMutuallyExclusive) {
+  ConstantObjective objective;
+  auto result =
+      TunerBuilder().Workload(dbsim::YcsbA()).Objective(&objective).Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TunerBuilderTest, UnknownRegistryKeysSurfaceAsErrors) {
+  auto bad_optimizer = TunerBuilder()
+                           .Workload(dbsim::YcsbA())
+                           .Optimizer("simulated-annealing")
+                           .Build();
+  ASSERT_FALSE(bad_optimizer.ok());
+  EXPECT_EQ(bad_optimizer.status().code(), StatusCode::kNotFound);
+
+  auto bad_adapter = TunerBuilder()
+                         .Workload(dbsim::YcsbA())
+                         .Adapter("tesseract4")
+                         .Build();
+  ASSERT_FALSE(bad_adapter.ok());
+  EXPECT_EQ(bad_adapter.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TunerBuilderTest, RejectsNonPositiveBudgets) {
+  EXPECT_FALSE(
+      TunerBuilder().Workload(dbsim::YcsbA()).Iterations(0).Build().ok());
+  EXPECT_FALSE(
+      TunerBuilder().Workload(dbsim::YcsbA()).BatchSize(0).Build().ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end runs
+// ---------------------------------------------------------------------------
+
+TEST(TunerTest, QuickstartShapeRunsThroughRegistries) {
+  auto tuner = TunerBuilder()
+                   .Workload(dbsim::YcsbA())
+                   .Optimizer("random")
+                   .Adapter("llamatune")
+                   .Seed(42)
+                   .Iterations(10)
+                   .Build();
+  ASSERT_TRUE(tuner.ok()) << tuner.status().ToString();
+  EXPECT_EQ((*tuner)->adapter().search_space().num_dims(), 16);
+
+  SessionResult result = (*tuner)->Run();
+  EXPECT_EQ(result.kb.size(), 10);
+  EXPECT_GT(result.best_performance, 0.0);
+  EXPECT_GT(result.default_performance, 0.0);
+}
+
+TEST(TunerTest, ExternalObjective) {
+  ConstantObjective objective;
+  auto tuner = TunerBuilder()
+                   .Objective(&objective)
+                   .Optimizer("random")
+                   .Adapter("identity")
+                   .Iterations(5)
+                   .Build();
+  ASSERT_TRUE(tuner.ok()) << tuner.status().ToString();
+  SessionResult result = (*tuner)->Run();
+  EXPECT_EQ(result.kb.size(), 5);
+  EXPECT_GE(result.best_performance, 1.0);
+  EXPECT_LE(result.best_performance, 2.0);
+}
+
+TEST(TunerTest, BatchedSessionEvaluatesFullBudget) {
+  auto tuner = TunerBuilder()
+                   .Workload(dbsim::YcsbB())
+                   .Optimizer("random")
+                   .Adapter("llamatune")
+                   .Seed(7)
+                   .Iterations(10)
+                   .BatchSize(4)  // 4 + 4 + 2
+                   .Build();
+  ASSERT_TRUE(tuner.ok()) << tuner.status().ToString();
+  SessionResult result = (*tuner)->Run();
+  EXPECT_EQ(result.iterations_run, 10);
+  EXPECT_EQ(result.kb.size(), 10);
+  for (int i = 0; i < result.kb.size(); ++i) {
+    EXPECT_EQ(result.kb.record(i).iteration, i + 1);
+  }
+}
+
+TEST(TunerTest, BatchedSessionIsDeterministic) {
+  auto run_once = []() {
+    auto tuner = TunerBuilder()
+                     .Workload(dbsim::YcsbA())
+                     .Optimizer("random")
+                     .Adapter("llamatune")
+                     .Seed(11)
+                     .Iterations(12)
+                     .BatchSize(3)
+                     .Build();
+    EXPECT_TRUE(tuner.ok());
+    return (*tuner)->Run().kb.BestSoFarObjective();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TunerTest, BatchFallsBackWhenObjectiveCannotClone) {
+  ConstantObjective objective;  // no Clone() override
+  auto tuner = TunerBuilder()
+                   .Objective(&objective)
+                   .Optimizer("random")
+                   .Adapter("identity")
+                   .Iterations(6)
+                   .BatchSize(4)
+                   .Build();
+  ASSERT_TRUE(tuner.ok());
+  SessionResult result = (*tuner)->Run();
+  EXPECT_EQ(result.kb.size(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentSpec through the registries
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentSpecTest, LegacyShimMapsOntoRegistryKeys) {
+  ExperimentSpec spec;
+  EXPECT_EQ(ResolvedOptimizerKey(spec), "smac");
+  EXPECT_EQ(ResolvedAdapterKey(spec), "identity");
+
+  spec.use_llamatune = true;  // paper defaults
+  EXPECT_EQ(ResolvedAdapterKey(spec), "hesbo16+svb0.2+bucket10000");
+
+  spec.llamatune.projection = ProjectionKind::kRembo;
+  spec.llamatune.target_dim = 8;
+  spec.llamatune.special_value_bias = 0.0;
+  spec.llamatune.bucket_values = 0;
+  EXPECT_EQ(ResolvedAdapterKey(spec), "rembo8");
+
+  spec.use_llamatune = false;
+  spec.identity.special_value_bias = 0.1;
+  spec.identity.bucket_values = 500;
+  EXPECT_EQ(ResolvedAdapterKey(spec), "identity+svb0.1+bucket500");
+
+  spec.optimizer = OptimizerKind::kDdpg;
+  EXPECT_EQ(ResolvedOptimizerKey(spec), "ddpg");
+
+  // Explicit keys win over the shim.
+  spec.optimizer_key = "random";
+  spec.adapter_key = "hesbo24";
+  EXPECT_EQ(ResolvedOptimizerKey(spec), "random");
+  EXPECT_EQ(ResolvedAdapterKey(spec), "hesbo24");
+}
+
+TEST(ExperimentSpecTest, KeyedAndLegacySpecsProduceIdenticalRuns) {
+  ExperimentSpec legacy;
+  legacy.workload = dbsim::YcsbB();
+  legacy.num_seeds = 1;
+  legacy.num_iterations = 8;
+  legacy.optimizer = OptimizerKind::kRandom;
+  legacy.use_llamatune = true;
+
+  ExperimentSpec keyed = legacy;
+  keyed.optimizer_key = "random";
+  keyed.adapter_key = "llamatune";
+
+  MultiSeedResult a = RunExperiment(legacy);
+  MultiSeedResult b = RunExperiment(keyed);
+  EXPECT_EQ(a.objective_curves, b.objective_curves);
+}
+
+TEST(ExperimentSpecTest, BatchedExperimentRuns) {
+  ExperimentSpec spec;
+  spec.workload = dbsim::YcsbA();
+  spec.num_seeds = 1;
+  spec.num_iterations = 9;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "llamatune";
+  spec.batch_size = 4;
+  MultiSeedResult result = RunExperiment(spec);
+  EXPECT_EQ(result.objective_curves[0].size(), 9u);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace llamatune
