@@ -1,0 +1,120 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace llamatune {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
+                             int max_parallelism) {
+  if (n <= 0) return;
+  int width = max_parallelism > 0 ? max_parallelism : num_threads() + 1;
+  if (width <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0};
+    int n = 0;
+    const std::function<void(int)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    int error_index = std::numeric_limits<int>::max();
+  };
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->fn = &fn;
+
+  // Every executor (queued helpers and the caller) drains the shared
+  // index counter; an executor that arrives after the loop is done
+  // exits immediately, so stale queued helpers are harmless no-ops.
+  auto drain = [state] {
+    for (;;) {
+      int i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) return;
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (i < state->error_index) {
+          state->error_index = i;
+          state->error = std::current_exception();
+        }
+      }
+      if (state->completed.fetch_add(1) + 1 == state->n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  int helpers = std::min(width - 1, n - 1);
+  for (int h = 0; h < helpers; ++h) Enqueue(drain);
+  drain();  // caller participates: progress is guaranteed even when
+            // every pool worker is busy with (or blocked on) other work
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->completed.load() == state->n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreads());
+  return *pool;
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("LLAMATUNE_NUM_THREADS")) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace llamatune

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace llamatune {
+
+/// \brief Shared fixed-size worker pool for the library's parallel
+/// sections: batch evaluation in TuningSession, multi-seed sharding in
+/// RunExperiment, GP hyperparameter restarts, and surrogate candidate
+/// scoring.
+///
+/// Design constraints, in order:
+///  * **Determinism.** ParallelFor assigns each index to exactly one
+///    executor and the caller only observes per-index results, so any
+///    interleaving yields identical output; every deterministic session
+///    stays bit-for-bit reproducible regardless of thread count.
+///  * **Nesting without deadlock.** The calling thread participates in
+///    its own loop, so a pool worker running a session can issue nested
+///    ParallelFor calls (batch evaluation inside a sharded experiment)
+///    and always makes progress even when every worker is busy.
+///  * **Exception safety.** The first exception (by lowest index) is
+///    captured and rethrown on the calling thread after the loop
+///    drains; remaining indices still run so the state is consistent.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers after draining queued tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `fn` on the pool and returns a future for its result.
+  /// Exceptions thrown by `fn` surface through the future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<typename std::invoke_result<F>::type> {
+    using R = typename std::invoke_result<F>::type;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [0, n), spreading indices across the
+  /// pool plus the calling thread. Blocks until all n indices have
+  /// executed. `max_parallelism` caps the number of executors
+  /// (0 = pool size + caller; 1 = serial inline, bypassing the pool).
+  /// If any fn(i) throws, the exception with the lowest index is
+  /// rethrown here after the loop completes.
+  void ParallelFor(int n, const std::function<void(int)>& fn,
+                   int max_parallelism = 0);
+
+  /// Process-wide shared pool sized by DefaultThreads(). Constructed on
+  /// first use and intentionally leaked (workers die with the process).
+  static ThreadPool& Global();
+
+  /// Hardware concurrency, overridable via the LLAMATUNE_NUM_THREADS
+  /// environment variable; at least 1.
+  static int DefaultThreads();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace llamatune

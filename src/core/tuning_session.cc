@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <future>
+
+#include "src/common/thread_pool.h"
 
 namespace llamatune {
 
@@ -126,16 +127,18 @@ bool TuningSession::StepBatch() {
     // Objective cannot be cloned: evaluate the batch sequentially.
     for (int i = 0; i < n; ++i) results[i] = objective_->Evaluate(configs[i]);
   } else {
-    std::vector<std::future<EvalResult>> futures;
-    futures.reserve(n);
-    for (int i = 0; i < n; ++i) {
-      ObjectiveFunction* instance = clone_pool_[i % clone_pool_.size()].get();
-      futures.push_back(std::async(std::launch::async,
-                                   [instance, &configs, i]() {
-                                     return instance->Evaluate(configs[i]);
-                                   }));
-    }
-    for (int i = 0; i < n; ++i) results[i] = futures[i].get();
+    // Each batch slot evaluates on its own clone over the shared pool
+    // (the caller participates, so nested parallelism — e.g. inside a
+    // seed-sharded experiment — cannot deadlock). Slot i always maps
+    // to clone i, so results are independent of scheduling.
+    ThreadPool::Global().ParallelFor(
+        n,
+        [this, &configs, &results](int i) {
+          ObjectiveFunction* instance =
+              clone_pool_[i % clone_pool_.size()].get();
+          results[i] = instance->Evaluate(configs[i]);
+        },
+        options_.num_threads);
   }
 
   // Score in suggestion order so crash penalties, best-so-far curves

@@ -34,6 +34,13 @@ struct SessionOptions {
   /// and lose fidelity under batching — keep batch_size == 1 for them
   /// unless they override SuggestBatch/ObserveBatch batch-aware.
   int batch_size = 1;
+  /// Executor cap for parallel batch evaluation over the shared
+  /// thread pool: 0 = pool size (all cores), 1 = evaluate the batch
+  /// on the calling thread, k = at most k concurrent evaluations.
+  /// Results are recorded in suggestion order regardless, so a fixed
+  /// (seed, batch size) session is bit-for-bit reproducible at any
+  /// thread count.
+  int num_threads = 0;
   /// Optional early-stopping policy (appendix, Table 11).
   std::optional<EarlyStoppingPolicy> early_stopping;
 };

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/common/math_util.h"
+#include "src/common/thread_pool.h"
 #include "src/harness/tuner.h"
 
 namespace llamatune {
@@ -78,30 +79,42 @@ MultiSeedResult RunExperiment(const ExperimentSpec& spec) {
   const std::string optimizer_key = ResolvedOptimizerKey(spec);
   const std::string adapter_key = ResolvedAdapterKey(spec);
 
-  MultiSeedResult result;
-  for (int s = 0; s < spec.num_seeds; ++s) {
-    // The projection matrix (via the session seed) is regenerated per
-    // seed (paper: "different random seeds as input to our optimizer").
-    uint64_t seed = spec.base_seed + static_cast<uint64_t>(s) * 1000003ULL;
+  // Sessions are fully independent (each builds its own objective,
+  // adapter, and optimizer from the per-seed seed), so seeds shard
+  // across the pool; slot-indexed results + in-order aggregation below
+  // keep the output identical to the sequential loop.
+  std::vector<SessionResult> sessions(spec.num_seeds);
+  ThreadPool::Global().ParallelFor(
+      spec.num_seeds,
+      [&](int s) {
+        // The projection matrix (via the session seed) is regenerated
+        // per seed (paper: "different random seeds as input to our
+        // optimizer").
+        uint64_t seed = spec.base_seed + static_cast<uint64_t>(s) * 1000003ULL;
 
-    TunerBuilder builder;
-    builder.Workload(spec.workload)
-        .Version(spec.version)
-        .Target(spec.target, spec.fixed_rate)
-        .Optimizer(optimizer_key)
-        .Adapter(adapter_key)
-        .Seed(seed)
-        .Iterations(spec.num_iterations)
-        .BatchSize(spec.batch_size);
-    if (spec.early_stopping.has_value()) {
-      builder.EarlyStopping(*spec.early_stopping);
-    }
-    // Aborts with the status message on a bad registry key — the
-    // harness API has no error channel (ValueOrDie in operator*).
-    Result<std::unique_ptr<Tuner>> tuner = builder.Build();
-    SessionResult session_result = (*tuner)->Run();
-    result.objective_curves.push_back(
-        session_result.kb.BestSoFarObjective());
+        TunerBuilder builder;
+        builder.Workload(spec.workload)
+            .Version(spec.version)
+            .Target(spec.target, spec.fixed_rate)
+            .Optimizer(optimizer_key)
+            .Adapter(adapter_key)
+            .Seed(seed)
+            .Iterations(spec.num_iterations)
+            .BatchSize(spec.batch_size)
+            .Threads(spec.num_threads);
+        if (spec.early_stopping.has_value()) {
+          builder.EarlyStopping(*spec.early_stopping);
+        }
+        // Aborts with the status message on a bad registry key — the
+        // harness API has no error channel (ValueOrDie in operator*).
+        Result<std::unique_ptr<Tuner>> tuner = builder.Build();
+        sessions[s] = (*tuner)->Run();
+      },
+      spec.num_threads);
+
+  MultiSeedResult result;
+  for (SessionResult& session_result : sessions) {
+    result.objective_curves.push_back(session_result.kb.BestSoFarObjective());
     result.measured_curves.push_back(session_result.kb.BestSoFarMeasured());
     result.mean_optimizer_seconds += session_result.optimizer_seconds;
     result.sessions.push_back(std::move(session_result));

@@ -48,6 +48,17 @@ struct ExperimentSpec {
   /// simulator clones when > 1).
   int batch_size = 1;
 
+  /// Executor cap over the shared thread pool for the sharding of
+  /// seeds across cores in RunExperiment and each session's parallel
+  /// batch evaluation. 0 = pool size (all cores), 1 = serial at those
+  /// two levels. Optimizer-internal parallel scoring (GP restarts /
+  /// candidate batches) is capped separately by GpOptions::num_threads
+  /// / SmacOptions::num_threads — or globally by sizing the shared
+  /// pool via the LLAMATUNE_NUM_THREADS environment variable. Seed
+  /// results are aggregated in seed order, so every setting produces
+  /// identical output.
+  int num_threads = 0;
+
   // --- DEPRECATED shim (pre-registry API). These fields are only
   // consulted when the corresponding key above is unset; they map onto
   // registry keys via OptimizerKindKey()/LegacyAdapterKey().

@@ -61,6 +61,11 @@ TunerBuilder& TunerBuilder::BatchSize(int batch_size) {
   return *this;
 }
 
+TunerBuilder& TunerBuilder::Threads(int num_threads) {
+  num_threads_ = num_threads;
+  return *this;
+}
+
 TunerBuilder& TunerBuilder::EarlyStopping(EarlyStoppingPolicy policy) {
   early_stopping_ = policy;
   return *this;
@@ -109,6 +114,7 @@ Result<std::unique_ptr<Tuner>> TunerBuilder::Build() const {
   SessionOptions session_options;
   session_options.num_iterations = num_iterations_;
   session_options.batch_size = batch_size_;
+  session_options.num_threads = num_threads_;
   session_options.early_stopping = early_stopping_;
   tuner->session_ = std::make_unique<TuningSession>(
       tuner->objective_, tuner->adapter_.get(), tuner->optimizer_.get(),

@@ -94,6 +94,10 @@ class TunerBuilder {
   /// clones when > 1).
   TunerBuilder& BatchSize(int batch_size);
 
+  /// Executor cap for the session's parallel batch evaluation
+  /// (0 = shared pool size, 1 = serial; see SessionOptions).
+  TunerBuilder& Threads(int num_threads);
+
   TunerBuilder& EarlyStopping(EarlyStoppingPolicy policy);
 
   /// Builds the stack. Fails when no objective source was configured,
@@ -109,6 +113,7 @@ class TunerBuilder {
   uint64_t seed_ = 42;
   int num_iterations_ = 100;
   int batch_size_ = 1;
+  int num_threads_ = 0;
   std::optional<EarlyStoppingPolicy> early_stopping_;
 };
 

@@ -1,16 +1,24 @@
 #include "src/model/gp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "src/common/math_util.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 namespace llamatune {
 
 namespace {
 constexpr double kPi = 3.14159265358979323846;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Legacy vector<vector> helpers. Kept as the reference implementation
+// for tests and for the pre-PR path replicated in bench/bm_hotpath.cc;
+// the GP itself runs on the flat-matrix routines in src/common/matrix.
+// ---------------------------------------------------------------------------
 
 Status CholeskyFactor(std::vector<std::vector<double>> a,
                       std::vector<std::vector<double>>* l) {
@@ -57,30 +65,121 @@ std::vector<double> BackwardSolve(const std::vector<std::vector<double>>& l,
   return z;
 }
 
+// ---------------------------------------------------------------------------
+// GaussianProcess
+// ---------------------------------------------------------------------------
+
 GaussianProcess::GaussianProcess(const SearchSpace& space, GpOptions options,
                                  uint64_t seed)
-    : space_(space), options_(options), seed_(seed) {}
+    : space_(space),
+      options_(options),
+      geometry_(space_),
+      seed_(seed),
+      train_cont_(0, geometry_.num_cont),
+      train_cat_(0, geometry_.num_cat) {}
 
-Status GaussianProcess::FactorAndCache(
-    const KernelParams& params, const std::vector<std::vector<double>>& xs,
-    const std::vector<double>& ys_std) {
+void GaussianProcess::Reset() {
+  n_ = 0;
+  train_cont_ = Matrix(0, geometry_.num_cont);
+  train_cat_ = Matrix(0, geometry_.num_cat);
+  train_cont_t_ = Matrix();
+  train_cat_t_ = Matrix();
+  ys_.clear();
+  ys_std_.clear();
+  s0_ = Matrix();
+  mismatch_ = Matrix();
+  geometry_rows_ = 0;
+  gram_ = Matrix();
+  chol_ = Matrix();
+  alpha_.clear();
+  params_ = KernelParams{};
+  fit_count_ = 0;
+  y_mean_ = 0.0;
+  y_std_ = 1.0;
+  lml_ = 0.0;
+  fitted_ = false;
+}
+
+void GaussianProcess::AddObservation(const std::vector<double>& x, double y) {
+  std::vector<double> cont(geometry_.num_cont);
+  std::vector<double> cat(geometry_.num_cat);
+  SplitPoint(geometry_, x.data(), cont.data(), cat.data());
+  train_cont_.AppendRow(cont.data());
+  train_cat_.AppendRow(cat.data());
+  ys_.push_back(y);
+  ++n_;
+}
+
+void GaussianProcess::ExtendGeometry() {
+  if (geometry_rows_ == n_) return;
+  bool track_mismatch = geometry_.num_cat > 0;
+  // Dim-major copies of the new training points for prediction sweeps.
+  train_cont_t_.ResizePreserve(geometry_.num_cont, n_, 0.0);
+  train_cat_t_.ResizePreserve(geometry_.num_cat, n_, 0.0);
+  for (int i = geometry_rows_; i < n_; ++i) {
+    for (int d = 0; d < geometry_.num_cont; ++d) {
+      train_cont_t_.at(d, i) = train_cont_.at(i, d);
+    }
+    for (int d = 0; d < geometry_.num_cat; ++d) {
+      train_cat_t_.at(d, i) = train_cat_.at(i, d);
+    }
+  }
+  s0_.ResizePreserve(n_, n_, 0.0);
+  if (track_mismatch) mismatch_.ResizePreserve(n_, n_, 0.0);
+  // Only the lower triangle is maintained — every consumer (Gram
+  // builds, factor extensions) reads rows j <= i.
+  for (int r = geometry_rows_; r < n_; ++r) {
+    const double* cont_r = train_cont_.Row(r);
+    const double* cat_r = train_cat_.Row(r);
+    double* s0_row = s0_.Row(r);
+    for (int j = 0; j <= r; ++j) {
+      double sq = SquaredDistance(cont_r, train_cont_.Row(j),
+                                  geometry_.num_cont);
+      s0_row[j] = std::sqrt(5.0 * sq);
+    }
+    if (track_mismatch) {
+      double* mm_row = mismatch_.Row(r);
+      for (int j = 0; j <= r; ++j) {
+        mm_row[j] =
+            CountMismatches(cat_r, train_cat_.Row(j), geometry_.num_cat);
+      }
+    }
+  }
+  geometry_rows_ = n_;
+}
+
+void GaussianProcess::BuildGram(const BoundKernel& kernel,
+                                Matrix* out) const {
+  bool track_mismatch = geometry_.num_cat > 0;
+  out->ResizePreserve(n_, n_, 0.0);
+  // Lower triangle only — the factorization never reads above the
+  // diagonal (and zeroes it on output). Two passes keep the Matérn
+  // sweep branch- and gather-free; element-wise arithmetic matches
+  // FromPrecomputed.
+  for (int i = 0; i < n_; ++i) {
+    double* out_row = out->Row(i);
+    const double* s0_row = s0_.Row(i);
+    for (int j = 0; j <= i; ++j) out_row[j] = kernel.MaternFromS0(s0_row[j]);
+    if (track_mismatch) {
+      const double* mm_row = mismatch_.Row(i);
+      for (int j = 0; j <= i; ++j) {
+        out_row[j] *= kernel.HammingFactor(mm_row[j]);
+      }
+    }
+  }
+}
+
+Status GaussianProcess::FactorFull(const KernelParams& params) {
+  BuildGram(BoundKernel(geometry_, params), &gram_);
   KernelParams p = params;
   // Jitter escalation: grow the nugget until the Gram matrix factors.
+  // The Gram matrix itself is built once — each retry only re-copies it
+  // and bumps the diagonal (the nugget is the only thing that changed).
   for (int attempt = 0; attempt < 6; ++attempt) {
-    auto gram = KernelMatrix(space_, p, xs);
-    std::vector<std::vector<double>> l;
-    Status st = CholeskyFactor(std::move(gram), &l);
-    if (st.ok()) {
-      chol_ = std::move(l);
-      std::vector<double> z = ForwardSolve(chol_, ys_std);
-      alpha_ = BackwardSolve(chol_, z);
+    chol_ = gram_;
+    for (int i = 0; i < n_; ++i) chol_.at(i, i) += p.noise_variance;
+    if (CholeskyFactorInPlace(&chol_).ok()) {
       params_ = p;
-      // lml = -1/2 y^T alpha - sum log L_ii - n/2 log(2 pi)
-      double lml = 0.0;
-      for (size_t i = 0; i < ys_std.size(); ++i) lml -= 0.5 * ys_std[i] * alpha_[i];
-      for (size_t i = 0; i < chol_.size(); ++i) lml -= std::log(chol_[i][i]);
-      lml -= 0.5 * static_cast<double>(ys_std.size()) * std::log(2.0 * kPi);
-      lml_ = lml;
       return Status::OK();
     }
     p.noise_variance = std::max(p.noise_variance, 1e-8) * 10.0;
@@ -88,54 +187,104 @@ Status GaussianProcess::FactorAndCache(
   return Status::Internal("GP fit failed: Gram matrix never factored");
 }
 
-double GaussianProcess::EvaluateLml(const KernelParams& params,
-                                    const std::vector<std::vector<double>>& xs,
-                                    const std::vector<double>& ys_std) const {
-  auto gram = KernelMatrix(space_, params, xs);
-  std::vector<std::vector<double>> l;
-  Status st = CholeskyFactor(std::move(gram), &l);
-  if (!st.ok()) return -std::numeric_limits<double>::infinity();
-  std::vector<double> z = ForwardSolve(l, ys_std);
-  std::vector<double> alpha = BackwardSolve(l, z);
+Status GaussianProcess::ExtendFactor(int old_n) {
+  bool track_mismatch = geometry_.num_cat > 0;
+  BoundKernel kernel(geometry_, params_);
+  std::vector<double> krow;
+  for (int r = old_n; r < n_; ++r) {
+    krow.resize(r + 1);
+    const double* s0_row = s0_.Row(r);
+    for (int j = 0; j <= r; ++j) krow[j] = kernel.MaternFromS0(s0_row[j]);
+    if (track_mismatch) {
+      const double* mm_row = mismatch_.Row(r);
+      for (int j = 0; j <= r; ++j) krow[j] *= kernel.HammingFactor(mm_row[j]);
+    }
+    krow[r] += params_.noise_variance;
+    Status st = CholeskyExtend(&chol_, krow.data());
+    if (!st.ok()) {
+      // Lost positive definiteness (e.g. a near-duplicate point):
+      // rebuild from scratch with jitter escalation.
+      return FactorFull(params_);
+    }
+  }
+  return Status::OK();
+}
+
+void GaussianProcess::ComputeAlphaAndLml() {
+  std::vector<double> z(n_, 0.0);
+  TriangularSolveLower(chol_, ys_std_.data(), z.data());
+  alpha_.assign(n_, 0.0);
+  TriangularSolveLowerTransposed(chol_, z.data(), alpha_.data());
+  // lml = -1/2 y^T alpha - sum log L_ii - n/2 log(2 pi)
   double lml = 0.0;
-  for (size_t i = 0; i < ys_std.size(); ++i) lml -= 0.5 * ys_std[i] * alpha[i];
-  for (size_t i = 0; i < l.size(); ++i) lml -= std::log(l[i][i]);
-  lml -= 0.5 * static_cast<double>(ys_std.size()) * std::log(2.0 * kPi);
+  for (int i = 0; i < n_; ++i) lml -= 0.5 * ys_std_[i] * alpha_[i];
+  for (int i = 0; i < n_; ++i) lml -= std::log(chol_.at(i, i));
+  lml -= 0.5 * static_cast<double>(n_) * std::log(2.0 * kPi);
+  lml_ = lml;
+}
+
+double GaussianProcess::EvaluateLml(const KernelParams& params) const {
+  Matrix l;
+  BuildGram(BoundKernel(geometry_, params), &l);
+  for (int i = 0; i < n_; ++i) l.at(i, i) += params.noise_variance;
+  if (!CholeskyFactorInPlace(&l).ok()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> z(n_, 0.0);
+  TriangularSolveLower(l, ys_std_.data(), z.data());
+  std::vector<double> alpha(n_, 0.0);
+  TriangularSolveLowerTransposed(l, z.data(), alpha.data());
+  double lml = 0.0;
+  for (int i = 0; i < n_; ++i) lml -= 0.5 * ys_std_[i] * alpha[i];
+  for (int i = 0; i < n_; ++i) lml -= std::log(l.at(i, i));
+  lml -= 0.5 * static_cast<double>(n_) * std::log(2.0 * kPi);
   return lml;
 }
 
-Status GaussianProcess::Fit(const std::vector<std::vector<double>>& xs,
-                            const std::vector<double>& ys) {
-  if (xs.empty() || xs.size() != ys.size()) {
-    return Status::InvalidArgument("GP::Fit requires matched non-empty data");
+Status GaussianProcess::Refit() {
+  if (n_ == 0) {
+    return Status::InvalidArgument("GP::Refit requires observations");
   }
-  train_x_ = xs;
-  y_mean_ = Mean(ys);
-  y_std_ = std::max(Stddev(ys), 1e-9);
-  std::vector<double> ys_std(ys.size());
-  for (size_t i = 0; i < ys.size(); ++i) ys_std[i] = (ys[i] - y_mean_) / y_std_;
+  y_mean_ = Mean(ys_);
+  y_std_ = std::max(Stddev(ys_), 1e-9);
+  ys_std_.resize(n_);
+  for (int i = 0; i < n_; ++i) ys_std_[i] = (ys_[i] - y_mean_) / y_std_;
 
   bool reopt = (fit_count_ % std::max(1, options_.reopt_interval)) == 0 ||
                !fitted_;
   ++fit_count_;
 
+  ExtendGeometry();
+
   KernelParams best = params_;
   if (reopt) {
+    // Candidates are drawn sequentially (a fixed RNG stream), then
+    // scored in parallel: the selected optimum is independent of the
+    // executor count.
     Rng rng(HashCombine(seed_, static_cast<uint64_t>(fit_count_)));
-    double best_lml = -std::numeric_limits<double>::infinity();
-    for (int r = 0; r < options_.hyperparameter_restarts; ++r) {
+    int restarts = options_.hyperparameter_restarts;
+    std::vector<KernelParams> candidates(restarts);
+    for (int r = 0; r < restarts; ++r) {
       KernelParams cand;
-      cand.signal_variance = std::exp(rng.Uniform(std::log(0.25), std::log(4.0)));
+      cand.signal_variance =
+          std::exp(rng.Uniform(std::log(0.25), std::log(4.0)));
       cand.lengthscale = std::exp(rng.Uniform(std::log(0.05), std::log(3.0)));
       cand.hamming_weight = std::exp(rng.Uniform(std::log(0.1), std::log(5.0)));
       cand.noise_variance =
           std::exp(rng.Uniform(std::log(1e-6), std::log(1e-1)));
       cand.noise_variance =
           std::max(cand.noise_variance, options_.min_noise_variance);
-      double lml = EvaluateLml(cand, train_x_, ys_std);
-      if (lml > best_lml) {
-        best_lml = lml;
-        best = cand;
+      candidates[r] = cand;
+    }
+    std::vector<double> lmls(restarts, 0.0);
+    ThreadPool::Global().ParallelFor(
+        restarts, [&](int r) { lmls[r] = EvaluateLml(candidates[r]); },
+        options_.num_threads);
+    double best_lml = -std::numeric_limits<double>::infinity();
+    for (int r = 0; r < restarts; ++r) {
+      if (lmls[r] > best_lml) {
+        best_lml = lmls[r];
+        best = candidates[r];
       }
     }
     if (!std::isfinite(best_lml)) {
@@ -143,26 +292,160 @@ Status GaussianProcess::Fit(const std::vector<std::vector<double>>& xs,
     }
   }
 
-  Status st = FactorAndCache(best, train_x_, ys_std);
-  if (!st.ok()) return st;
+  int factored = fitted_ ? chol_.rows() : 0;
+  Status st;
+  if (reopt || factored == 0) {
+    st = FactorFull(best);
+  } else if (factored == n_) {
+    // No new observations since the cached factor (e.g. several
+    // suggestions between evaluations): only the target
+    // standardization can have changed, so alpha is refreshed below
+    // and the factor is reused as-is.
+    st = Status::OK();
+  } else if (options_.incremental) {
+    st = ExtendFactor(factored);
+  } else {
+    st = FactorFull(params_);
+  }
+  if (!st.ok()) {
+    // A failed factorization leaves chol_ partially overwritten; drop
+    // the fit state so the next Refit rebuilds from scratch instead of
+    // reusing (or rank-extending) the corrupted factor.
+    fitted_ = false;
+    chol_ = Matrix();
+    return st;
+  }
+  ComputeAlphaAndLml();
   fitted_ = true;
   return Status::OK();
 }
 
+void GaussianProcess::KStarRow(const BoundKernel& kernel, const double* cont,
+                               const double* cat, int m, double* row,
+                               double* sq_scratch) const {
+  // Squared distances via dim-major passes: each pass streams one
+  // contiguous coordinate row and vectorizes across training points.
+  for (int i = 0; i < m; ++i) sq_scratch[i] = 0.0;
+  for (int d = 0; d < geometry_.num_cont; ++d) {
+    double cd = cont[d];
+    const double* __restrict__ td = train_cont_t_.Row(d);
+    double* __restrict__ sq = sq_scratch;
+    for (int i = 0; i < m; ++i) {
+      double diff = cd - td[i];
+      sq[i] += diff * diff;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    row[i] = kernel.MaternFromS0(std::sqrt(5.0 * sq_scratch[i]));
+  }
+  if (geometry_.num_cat > 0) {
+    for (int i = 0; i < m; ++i) sq_scratch[i] = 0.0;
+    for (int d = 0; d < geometry_.num_cat; ++d) {
+      double cd = cat[d];
+      const double* __restrict__ td = train_cat_t_.Row(d);
+      double* __restrict__ mm = sq_scratch;
+      for (int i = 0; i < m; ++i) mm[i] += cd != td[i] ? 1.0 : 0.0;
+    }
+    for (int i = 0; i < m; ++i) {
+      row[i] *= kernel.HammingFactor(sq_scratch[i]);
+    }
+  }
+}
+
+Status GaussianProcess::Fit(const std::vector<std::vector<double>>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    return Status::InvalidArgument("GP::Fit requires matched non-empty data");
+  }
+  Reset();
+  for (size_t i = 0; i < xs.size(); ++i) AddObservation(xs[i], ys[i]);
+  return Refit();
+}
+
 void GaussianProcess::Predict(const std::vector<double>& x, double* mean,
                               double* variance) const {
-  int n = static_cast<int>(train_x_.size());
-  std::vector<double> k_star(n);
-  for (int i = 0; i < n; ++i) {
-    k_star[i] = MixedKernel(space_, params_, x, train_x_[i]);
+  if (!fitted_ || n_ == 0) {
+    *mean = y_mean_;
+    *variance = (params_.signal_variance + params_.noise_variance) * y_std_ *
+                y_std_;
+    return;
   }
+  BoundKernel kernel(geometry_, params_);
+  std::vector<double> cont(geometry_.num_cont);
+  std::vector<double> cat(geometry_.num_cat);
+  SplitPoint(geometry_, x.data(), cont.data(), cat.data());
+  // Predictions run against the fitted prefix (observations appended
+  // since the last Refit are not part of the cached factor).
+  int m = chol_.rows();
+  std::vector<double> k_star(m);
+  std::vector<double> scratch(m);
+  KStarRow(kernel, cont.data(), cat.data(), m, k_star.data(), scratch.data());
   double mu_std = Dot(k_star, alpha_);
-  std::vector<double> v = ForwardSolve(chol_, k_star);
-  double k_xx = MixedKernel(space_, params_, x, x) + params_.noise_variance;
+  std::vector<double> v(m, 0.0);
+  TriangularSolveLower(chol_, k_star.data(), v.data());
+  double k_xx = kernel.FromDistance(0.0, 0.0) + params_.noise_variance;
   double var_std = k_xx - Dot(v, v);
   var_std = std::max(var_std, 1e-12);
   *mean = mu_std * y_std_ + y_mean_;
   *variance = var_std * y_std_ * y_std_;
+}
+
+void GaussianProcess::PredictBatch(const std::vector<std::vector<double>>& xs,
+                                   std::vector<double>* means,
+                                   std::vector<double>* variances) const {
+  int m = static_cast<int>(xs.size());
+  means->assign(m, 0.0);
+  variances->assign(m, 0.0);
+  if (m == 0) return;
+  if (!fitted_ || n_ == 0) {
+    for (int c = 0; c < m; ++c) Predict(xs[c], &(*means)[c], &(*variances)[c]);
+    return;
+  }
+
+  BoundKernel kernel(geometry_, params_);
+  double k_xx = kernel.FromDistance(0.0, 0.0) + params_.noise_variance;
+  double var_scale = y_std_ * y_std_;
+  int n = chol_.rows();  // fitted prefix
+  constexpr int kBlock = 128;
+  int num_blocks = (m + kBlock - 1) / kBlock;
+  ThreadPool::Global().ParallelFor(
+      num_blocks,
+      [&](int b) {
+        int lo = b * kBlock;
+        int hi = std::min(m, lo + kBlock);
+        int bm = hi - lo;
+        // k_star rows, candidate-major for the kernel sweep.
+        Matrix k_star(bm, n);
+        std::vector<double> cont(geometry_.num_cont);
+        std::vector<double> cat(geometry_.num_cat);
+        std::vector<double> scratch(n);
+        for (int c = 0; c < bm; ++c) {
+          SplitPoint(geometry_, xs[lo + c].data(), cont.data(), cat.data());
+          double* row = k_star.Row(c);
+          KStarRow(kernel, cont.data(), cat.data(), n, row, scratch.data());
+          double mu_std = 0.0;
+          for (int i = 0; i < n; ++i) mu_std += row[i] * alpha_[i];
+          (*means)[lo + c] = mu_std * y_std_ + y_mean_;
+        }
+        // Solve all k_star columns against the cached factor in one
+        // sweep: transpose to column-per-candidate and multi-solve.
+        Matrix v(n, bm);
+        for (int i = 0; i < n; ++i) {
+          double* v_row = v.Row(i);
+          for (int c = 0; c < bm; ++c) v_row[c] = k_star.at(c, i);
+        }
+        TriangularSolveLowerMulti(chol_, &v);
+        std::vector<double> sum_sq(bm, 0.0);
+        for (int i = 0; i < n; ++i) {
+          const double* v_row = v.Row(i);
+          for (int c = 0; c < bm; ++c) sum_sq[c] += v_row[c] * v_row[c];
+        }
+        for (int c = 0; c < bm; ++c) {
+          double var_std = std::max(k_xx - sum_sq[c], 1e-12);
+          (*variances)[lo + c] = var_std * var_scale;
+        }
+      },
+      options_.num_threads);
 }
 
 }  // namespace llamatune

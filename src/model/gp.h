@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/matrix.h"
 #include "src/common/status.h"
 #include "src/model/kernels.h"
 #include "src/optimizer/search_space.h"
@@ -14,10 +15,20 @@ struct GpOptions {
   /// Random-search restarts for hyperparameter selection by maximum
   /// log marginal likelihood.
   int hyperparameter_restarts = 24;
-  /// Re-optimize hyperparameters every this many Fit() calls (1 =
+  /// Re-optimize hyperparameters every this many Refit() calls (1 =
   /// always); between re-optimizations the previous optimum is reused.
   int reopt_interval = 5;
   double min_noise_variance = 1e-6;
+  /// Between hyperparameter re-optimizations, extend the cached
+  /// Cholesky factor by one row/column per new observation (O(n^2))
+  /// instead of refactorizing from scratch (O(n^3)). The extension
+  /// arithmetic is bit-for-bit identical to a full refactorization of
+  /// the same Gram matrix, and any extension failure falls back to the
+  /// full path, so this is purely a performance switch.
+  bool incremental = true;
+  /// Executor cap for parallel sections (hyperparameter restarts,
+  /// batch prediction). 0 = shared pool size; 1 = serial.
+  int num_threads = 0;
 };
 
 /// \brief Exact Gaussian-process regression over a mixed search space.
@@ -27,19 +38,46 @@ struct GpOptions {
 /// hyperparameter selection via seeded random search. Targets are
 /// internally standardized (zero mean, unit variance) for numerical
 /// stability; predictions are returned on the original scale.
+///
+/// The fitting hot path is incremental: training points accumulate via
+/// AddObservation(), the pairwise (distance, mismatch) geometry and the
+/// Cholesky factor are cached across Refit() calls, and — between
+/// hyperparameter re-optimizations — each new observation extends the
+/// cached factor in O(n^2) rather than refitting in O(n^3).
 class GaussianProcess {
  public:
   GaussianProcess(const SearchSpace& space, GpOptions options, uint64_t seed);
 
-  /// Fits the GP to (X, y). Returns an error if the Cholesky
-  /// factorization fails even after jitter escalation.
+  /// Replaces the training set with (X, y) and refits: equivalent to
+  /// Reset() + AddObservation()* + Refit(). Returns an error if the
+  /// Cholesky factorization fails even after jitter escalation.
   Status Fit(const std::vector<std::vector<double>>& xs,
              const std::vector<double>& ys);
+
+  /// Appends one training observation without refitting. O(d).
+  void AddObservation(const std::vector<double>& x, double y);
+
+  /// Fits to all observations added so far. Incremental when possible
+  /// (see class comment); between re-optimizations with no new data
+  /// this only re-standardizes targets and recomputes alpha in O(n^2).
+  Status Refit();
+
+  /// Drops all observations and the cached fit state.
+  void Reset();
 
   /// Predictive mean and variance at `x`.
   void Predict(const std::vector<double>& x, double* mean,
                double* variance) const;
 
+  /// Predictive mean and variance for every point in `xs` in one pass:
+  /// all k_star columns are solved against the cached Cholesky factor
+  /// blockwise (and in parallel across blocks). Per-point results are
+  /// bit-for-bit identical to Predict().
+  void PredictBatch(const std::vector<std::vector<double>>& xs,
+                    std::vector<double>* means,
+                    std::vector<double>* variances) const;
+
+  int num_observations() const { return n_; }
   bool fitted() const { return fitted_; }
   const KernelParams& params() const { return params_; }
 
@@ -47,33 +85,66 @@ class GaussianProcess {
   double log_marginal_likelihood() const { return lml_; }
 
  private:
-  Status FactorAndCache(const KernelParams& params,
-                        const std::vector<std::vector<double>>& xs,
-                        const std::vector<double>& ys_std);
-  double EvaluateLml(const KernelParams& params,
-                     const std::vector<std::vector<double>>& xs,
-                     const std::vector<double>& ys_std) const;
+  /// Extends the cached pairwise distance/mismatch matrices to cover
+  /// all n_ observations (O(new_rows * n * d)).
+  void ExtendGeometry();
+  /// Materializes the Gram matrix (no nugget) for `kernel` from the
+  /// cached geometry in O(n^2) — one exp per pair.
+  void BuildGram(const BoundKernel& kernel, Matrix* out) const;
+  /// Full factorization with jitter escalation: the Gram matrix is
+  /// built once; failed attempts only bump the diagonal nugget and
+  /// refactor (no O(n^2 d) kernel-matrix rebuild).
+  Status FactorFull(const KernelParams& params);
+  /// Rank-extends the cached factor for rows [old_n, n_). Falls back
+  /// to FactorFull() if the extension loses positive definiteness.
+  Status ExtendFactor(int old_n);
+  /// Recomputes alpha = K^-1 y_std and the log marginal likelihood
+  /// from the cached factor. O(n^2).
+  void ComputeAlphaAndLml();
+  double EvaluateLml(const KernelParams& params) const;
 
   SearchSpace space_;
   GpOptions options_;
+  KernelSpaceCache geometry_;
   uint64_t seed_;
   int fit_count_ = 0;
 
+  /// Kernel row k(x, X_train) for a split/normalized query against the
+  /// first `m` training points, via dim-major sweeps over the
+  /// transposed training blocks (vectorizes across training points).
+  /// `sq_scratch` must hold m doubles. Both Predict and PredictBatch
+  /// go through this, so their results are bit-for-bit identical.
+  void KStarRow(const BoundKernel& kernel, const double* cont,
+                const double* cat, int m, double* row,
+                double* sq_scratch) const;
+
+  int n_ = 0;
+  Matrix train_cont_;   // n x num_cont normalized continuous coords
+  Matrix train_cat_;    // n x num_cat categorical coords
+  Matrix train_cont_t_;  // num_cont x n (dim-major, for prediction sweeps)
+  Matrix train_cat_t_;   // num_cat x n
+  std::vector<double> ys_;
+  std::vector<double> ys_std_;
+  Matrix s0_;           // n x n sqrt(5 * squared scaled distance)
+  Matrix mismatch_;     // n x n categorical mismatch counts (if any)
+  int geometry_rows_ = 0;
+
   KernelParams params_;
-  std::vector<std::vector<double>> train_x_;
-  std::vector<std::vector<double>> chol_;  // lower-triangular L
-  std::vector<double> alpha_;              // K^-1 (y - mean)
+  Matrix gram_;         // cached Gram (no nugget) for params_
+  Matrix chol_;         // lower-triangular L, chol_.rows() rows factored
+  std::vector<double> alpha_;  // K^-1 (y - mean)
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
   double lml_ = 0.0;
   bool fitted_ = false;
 };
 
-/// \name Dense linear algebra helpers (exposed for tests)
+/// \name Dense linear algebra helpers (exposed for tests and the
+/// legacy-path reference in bench/bm_hotpath.cc)
 /// @{
 
-/// In-place Cholesky: returns lower-triangular L with A = L L^T, or an
-/// error if A is not positive definite.
+/// Cholesky factorization: returns lower-triangular L with A = L L^T,
+/// or an error if A is not positive definite.
 Status CholeskyFactor(std::vector<std::vector<double>> a,
                       std::vector<std::vector<double>>* l);
 

@@ -56,4 +56,77 @@ std::vector<std::vector<double>> KernelMatrix(
   return gram;
 }
 
+KernelSpaceCache::KernelSpaceCache(const SearchSpace& space) {
+  for (int i = 0; i < space.num_dims(); ++i) {
+    const SearchDim& dim = space.dim(i);
+    if (dim.type == SearchDim::Type::kCategorical) {
+      cat_dims.push_back(i);
+    } else {
+      cont_dims.push_back(i);
+      double span = dim.hi - dim.lo;
+      inv_span.push_back(span > 0.0 ? 1.0 / span : 0.0);
+    }
+  }
+  num_cont = static_cast<int>(cont_dims.size());
+  num_cat = static_cast<int>(cat_dims.size());
+}
+
+void SplitPoint(const KernelSpaceCache& cache, const double* x,
+                double* cont_out, double* cat_out) {
+  for (int k = 0; k < cache.num_cont; ++k) {
+    cont_out[k] = x[cache.cont_dims[k]] * cache.inv_span[k];
+  }
+  for (int k = 0; k < cache.num_cat; ++k) {
+    cat_out[k] = x[cache.cat_dims[k]];
+  }
+}
+
+double SquaredDistance(const double* a, const double* b, int m) {
+  // Four independent accumulators break the add-latency chain (the
+  // k_star sweep calls this once per training point per candidate).
+  // The split is fixed, so results are deterministic and every caller
+  // sees the same accumulation order.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    double d0 = a[i] - b[i];
+    double d1 = a[i + 1] - b[i + 1];
+    double d2 = a[i + 2] - b[i + 2];
+    double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double tail = 0.0;
+  for (; i < m; ++i) {
+    double d = a[i] - b[i];
+    tail += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+double CountMismatches(const double* a, const double* b, int m) {
+  double mm = 0.0;
+  for (int i = 0; i < m; ++i) {
+    if (a[i] != b[i]) mm += 1.0;
+  }
+  return mm;
+}
+
+BoundKernel::BoundKernel(const KernelSpaceCache& cache,
+                         const KernelParams& params)
+    : signal_variance_(params.signal_variance),
+      inv_lengthscale_(1.0 / params.lengthscale),
+      has_cont_(cache.num_cont > 0) {
+  if (cache.num_cat > 0) {
+    hamming_.resize(cache.num_cat + 1);
+    for (int mm = 0; mm <= cache.num_cat; ++mm) {
+      double mismatch_fraction =
+          static_cast<double>(mm) / static_cast<double>(cache.num_cat);
+      hamming_[mm] = std::exp(-params.hamming_weight * mismatch_fraction);
+    }
+  }
+}
+
 }  // namespace llamatune

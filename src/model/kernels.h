@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <vector>
 
 #include "src/optimizer/search_space.h"
@@ -34,5 +35,81 @@ double MixedKernel(const SearchSpace& space, const KernelParams& params,
 std::vector<std::vector<double>> KernelMatrix(
     const SearchSpace& space, const KernelParams& params,
     const std::vector<std::vector<double>>& xs);
+
+/// \brief Precomputed per-space kernel geometry: which dimensions are
+/// continuous vs categorical, and the inverse span of each continuous
+/// dimension.
+///
+/// The hot path splits every point once per fit into a dense continuous
+/// block (scaled by the precomputed inverse span — one multiply instead
+/// of a divide per kernel evaluation) and a dense categorical block, so
+/// distance loops are branch-free and contiguous. A point pair then
+/// reduces to (scaled distance, mismatch count), both independent of
+/// the kernel hyperparameters — hyperparameter search re-evaluates the
+/// Gram matrix in O(n^2) instead of O(n^2 d).
+struct KernelSpaceCache {
+  explicit KernelSpaceCache(const SearchSpace& space);
+
+  std::vector<int> cont_dims;     ///< indices of continuous dims
+  std::vector<int> cat_dims;      ///< indices of categorical dims
+  std::vector<double> inv_span;   ///< 1/(hi-lo) per cont_dims entry
+  int num_cont = 0;
+  int num_cat = 0;
+};
+
+/// Splits raw point `x` into normalized continuous coordinates
+/// (`cont_out`, num_cont doubles, scaled by the inverse span) and
+/// categorical coordinates (`cat_out`, num_cat doubles).
+void SplitPoint(const KernelSpaceCache& cache, const double* x,
+                double* cont_out, double* cat_out);
+
+/// Branch-free squared Euclidean distance over `m` contiguous coords.
+double SquaredDistance(const double* a, const double* b, int m);
+
+/// Number of unequal coordinates over `m` contiguous coords.
+double CountMismatches(const double* a, const double* b, int m);
+
+/// \brief Kernel evaluator bound to one (space, hyperparameter) pair.
+///
+/// Precomputes the inverse lengthscale and a Hamming-factor table over
+/// the (num_cat + 1) possible mismatch counts, so each pair evaluation
+/// costs a single exp. Used for every covariance computed from cached
+/// geometry — Gram builds, incremental row extensions, and prediction —
+/// which keeps all paths bit-for-bit consistent with each other.
+class BoundKernel {
+ public:
+  BoundKernel(const KernelSpaceCache& cache, const KernelParams& params);
+
+  /// Matérn-5/2 part (including the signal variance) from
+  /// s0 = sqrt(5 * sq_dist) — the lengthscale-free piece of the Matérn
+  /// argument, cacheable across hyperparameter changes.
+  double MaternFromS0(double s0) const {
+    if (!has_cont_) return signal_variance_;
+    double s = s0 * inv_lengthscale_;
+    return signal_variance_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+  }
+
+  /// Hamming factor for a categorical mismatch count (table lookup;
+  /// exactly 1.0 for spaces without categorical dims).
+  double HammingFactor(double mismatches) const {
+    return hamming_.empty() ? 1.0 : hamming_[static_cast<int>(mismatches)];
+  }
+
+  /// Covariance from precomputed (s0, mismatch count).
+  double FromPrecomputed(double s0, double mismatches) const {
+    return MaternFromS0(s0) * HammingFactor(mismatches);
+  }
+
+  /// Covariance from a raw squared scaled distance + mismatch count.
+  double FromDistance(double sq_dist, double mismatches) const {
+    return FromPrecomputed(std::sqrt(5.0 * sq_dist), mismatches);
+  }
+
+ private:
+  double signal_variance_;
+  double inv_lengthscale_;
+  bool has_cont_;
+  std::vector<double> hamming_;  // exp(-w * mm / num_cat) per count
+};
 
 }  // namespace llamatune

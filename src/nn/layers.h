@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/nn/matrix.h"
+#include "src/common/matrix.h"
 
 namespace llamatune {
 

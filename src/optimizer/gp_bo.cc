@@ -26,17 +26,17 @@ std::vector<double> GpBoOptimizer::Suggest() {
   return SuggestByModel();
 }
 
+void GpBoOptimizer::Observe(const std::vector<double>& point, double value) {
+  Optimizer::Observe(point, value);
+  // Stream the observation into the GP now (O(d)); the next
+  // model-based suggestion extends the cached fit instead of
+  // rebuilding the training set from history.
+  gp_.AddObservation(point, value);
+}
+
 std::vector<double> GpBoOptimizer::SuggestByModel() {
-  std::vector<std::vector<double>> xs;
-  std::vector<double> ys;
-  xs.reserve(history_.size());
-  ys.reserve(history_.size());
-  for (const Observation& obs : history_) {
-    xs.push_back(obs.point);
-    ys.push_back(obs.value);
-  }
-  if (xs.empty()) return UniformSample(space_, &rng_);
-  Status st = gp_.Fit(xs, ys);
+  if (history_.empty()) return UniformSample(space_, &rng_);
+  Status st = gp_.Refit();
   if (!st.ok()) {
     // Degenerate Gram matrix: fall back to exploration.
     return UniformSample(space_, &rng_);
@@ -74,12 +74,12 @@ std::vector<double> GpBoOptimizer::SuggestByModel() {
     }
   }
 
+  std::vector<double> means, variances;
+  gp_.PredictBatch(candidates, &means, &variances);
   double best_ei = -1.0;
   int best_idx = 0;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    double mean = 0.0, variance = 0.0;
-    gp_.Predict(candidates[i], &mean, &variance);
-    double ei = ExpectedImprovement(mean, variance, best);
+    double ei = ExpectedImprovement(means[i], variances[i], best);
     if (ei > best_ei) {
       best_ei = ei;
       best_idx = static_cast<int>(i);

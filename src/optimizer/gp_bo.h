@@ -24,11 +24,17 @@ struct GpBoOptions {
 /// Uses the Matérn-5/2 x Hamming product-kernel GP as surrogate and
 /// Expected Improvement as acquisition, with the same candidate
 /// generation scheme as SMAC (random pool + local neighborhoods).
+///
+/// Observations stream into the GP as they arrive (Observe appends in
+/// O(d)), so each model-based suggestion refits incrementally instead
+/// of re-copying the full history, and candidates are scored in one
+/// PredictBatch pass against the cached Cholesky factor.
 class GpBoOptimizer : public Optimizer {
  public:
   GpBoOptimizer(SearchSpace space, GpBoOptions options, uint64_t seed);
 
   std::vector<double> Suggest() override;
+  void Observe(const std::vector<double>& point, double value) override;
   std::string name() const override { return "GP-BO"; }
 
  private:

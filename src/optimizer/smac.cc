@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/thread_pool.h"
 #include "src/model/acquisition.h"
 #include "src/sampling/latin_hypercube.h"
 #include "src/sampling/uniform.h"
@@ -50,18 +51,16 @@ std::vector<double> SmacOptimizer::MutateNeighbor(
   return child;
 }
 
+void SmacOptimizer::Observe(const std::vector<double>& point, double value) {
+  Optimizer::Observe(point, value);
+  train_x_.push_back(point);
+  train_y_.push_back(value);
+}
+
 std::vector<double> SmacOptimizer::SuggestByModel() {
-  // Fit the forest to the full history.
-  std::vector<std::vector<double>> xs;
-  std::vector<double> ys;
-  xs.reserve(history_.size());
-  ys.reserve(history_.size());
-  for (const Observation& obs : history_) {
-    xs.push_back(obs.point);
-    ys.push_back(obs.value);
-  }
-  if (xs.empty()) return UniformSample(space_, &rng_);
-  forest_.Fit(xs, ys);
+  // Fit the forest to the incrementally maintained training views.
+  if (train_x_.empty()) return UniformSample(space_, &rng_);
+  forest_.Fit(train_x_, train_y_);
 
   double best = BestValue();
 
@@ -84,16 +83,26 @@ std::vector<double> SmacOptimizer::SuggestByModel() {
     }
   }
 
-  // Score by Expected Improvement.
+  // Score by Expected Improvement. Forest lookups are pure tree
+  // traversals, so candidates score in parallel; the first-maximum
+  // selection over the index-ordered results keeps the choice
+  // independent of the executor count.
+  int num_candidates = static_cast<int>(candidates.size());
+  std::vector<double> ei(num_candidates, 0.0);
+  ThreadPool::Global().ParallelFor(
+      num_candidates,
+      [&](int i) {
+        double mean = 0.0, variance = 0.0;
+        forest_.Predict(candidates[i], &mean, &variance);
+        ei[i] = ExpectedImprovement(mean, variance, best);
+      },
+      options_.num_threads);
   double best_ei = -1.0;
   int best_idx = 0;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    double mean = 0.0, variance = 0.0;
-    forest_.Predict(candidates[i], &mean, &variance);
-    double ei = ExpectedImprovement(mean, variance, best);
-    if (ei > best_ei) {
-      best_ei = ei;
-      best_idx = static_cast<int>(i);
+  for (int i = 0; i < num_candidates; ++i) {
+    if (ei[i] > best_ei) {
+      best_ei = ei[i];
+      best_idx = i;
     }
   }
   return candidates[best_idx];

@@ -24,6 +24,9 @@ struct SmacOptions {
   int num_neighbors_per_parent = 20;
   /// Gaussian neighborhood width as a fraction of each dim's range.
   double neighbor_stddev = 0.15;
+  /// Executor cap for parallel EI scoring over the shared pool
+  /// (0 = pool size; 1 = serial).
+  int num_threads = 0;
   RandomForestOptions forest;
 };
 
@@ -41,6 +44,7 @@ class SmacOptimizer : public Optimizer {
   SmacOptimizer(SearchSpace space, SmacOptions options, uint64_t seed);
 
   std::vector<double> Suggest() override;
+  void Observe(const std::vector<double>& point, double value) override;
   std::string name() const override { return "SMAC"; }
 
   const SmacOptions& options() const { return options_; }
@@ -53,6 +57,11 @@ class SmacOptimizer : public Optimizer {
   Rng rng_;
   RandomForest forest_;
   std::vector<std::vector<double>> init_design_;
+  /// Training views maintained incrementally in Observe, so each
+  /// model-based suggestion passes the forest a stable buffer instead
+  /// of re-copying the full history.
+  std::vector<std::vector<double>> train_x_;
+  std::vector<double> train_y_;
   int suggest_count_ = 0;
 };
 

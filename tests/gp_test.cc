@@ -188,5 +188,127 @@ TEST_P(GpSanity, FinitePredictions) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GpSanity, ::testing::Range(1, 6));
 
+// --- Incremental-fit equivalence suite -----------------------------------
+
+// Pins the incremental-Cholesky GP to the full-refit GP over a
+// 60-iteration seeded GP-BO-style session: both models see the same
+// observation stream and Refit() schedule; the incremental one extends
+// the cached factor between hyperparameter re-optimizations while the
+// reference refactorizes from scratch every time. Divergence must stay
+// within 1e-10 throughout (the extension arithmetic is in fact
+// bit-for-bit identical).
+TEST(GpIncrementalTest, MatchesFullRefitOverSession) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0),
+                     SearchDim::Continuous(-5.0, 5.0),
+                     SearchDim::Categorical(3)});
+  GpOptions incremental_opts;
+  incremental_opts.incremental = true;
+  GpOptions full_opts;
+  full_opts.incremental = false;
+  GaussianProcess incremental(space, incremental_opts, 99);
+  GaussianProcess full(space, full_opts, 99);
+
+  Rng rng(99);
+  auto draw_point = [&] {
+    return std::vector<double>{rng.Uniform(), rng.Uniform(-5, 5),
+                               static_cast<double>(rng.UniformInt(0, 2))};
+  };
+  std::vector<std::vector<double>> probes;
+  for (int i = 0; i < 8; ++i) probes.push_back(draw_point());
+
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<double> x = draw_point();
+    double y = std::sin(3.0 * x[0]) + 0.1 * x[1] + x[2] +
+               rng.Gaussian(0.0, 0.05);
+    incremental.AddObservation(x, y);
+    full.AddObservation(x, y);
+    ASSERT_TRUE(incremental.Refit().ok()) << "iteration " << iter;
+    ASSERT_TRUE(full.Refit().ok()) << "iteration " << iter;
+    EXPECT_NEAR(incremental.log_marginal_likelihood(),
+                full.log_marginal_likelihood(), 1e-10)
+        << "iteration " << iter;
+    for (const auto& probe : probes) {
+      double mean_inc = 0, var_inc = 0, mean_full = 0, var_full = 0;
+      incremental.Predict(probe, &mean_inc, &var_inc);
+      full.Predict(probe, &mean_full, &var_full);
+      ASSERT_NEAR(mean_inc, mean_full, 1e-10) << "iteration " << iter;
+      ASSERT_NEAR(var_inc, var_full, 1e-10) << "iteration " << iter;
+    }
+  }
+}
+
+TEST(GpIncrementalTest, AddObservationPlusRefitMatchesFit) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  Rng rng(5);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 15; ++i) {
+    xs.push_back({rng.Uniform()});
+    ys.push_back(std::cos(4.0 * xs.back()[0]));
+  }
+  GaussianProcess bulk(space, {}, 7);
+  ASSERT_TRUE(bulk.Fit(xs, ys).ok());
+  GaussianProcess streamed(space, {}, 7);
+  for (size_t i = 0; i < xs.size(); ++i) streamed.AddObservation(xs[i], ys[i]);
+  ASSERT_TRUE(streamed.Refit().ok());
+  for (double p : {0.0, 0.3, 0.7, 1.0}) {
+    double mean_a = 0, var_a = 0, mean_b = 0, var_b = 0;
+    bulk.Predict({p}, &mean_a, &var_a);
+    streamed.Predict({p}, &mean_b, &var_b);
+    EXPECT_DOUBLE_EQ(mean_a, mean_b);
+    EXPECT_DOUBLE_EQ(var_a, var_b);
+  }
+}
+
+TEST(GpIncrementalTest, SurvivesDuplicateAppendsBetweenReopts) {
+  // A duplicated point makes the Cholesky extension lose positive
+  // definiteness; the fallback must rebuild with jitter escalation
+  // instead of failing.
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  GpOptions opts;
+  opts.reopt_interval = 100;  // stay inside the incremental regime
+  GaussianProcess gp(space, opts, 13);
+  gp.AddObservation({0.2}, 1.0);
+  gp.AddObservation({0.8}, 2.0);
+  ASSERT_TRUE(gp.Refit().ok());
+  for (int i = 0; i < 4; ++i) {
+    gp.AddObservation({0.5}, 1.5 + 1e-3 * i);
+    ASSERT_TRUE(gp.Refit().ok()) << "append " << i;
+  }
+  double mean = 0, variance = 0;
+  gp.Predict({0.5}, &mean, &variance);
+  EXPECT_NEAR(mean, 1.5, 0.3);
+  EXPECT_GE(variance, 0.0);
+}
+
+TEST(GpPredictBatchTest, MatchesSinglePredictions) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0),
+                     SearchDim::Categorical(2)});
+  GaussianProcess gp(space, {}, 21);
+  Rng rng(21);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back({rng.Uniform(), static_cast<double>(rng.UniformInt(0, 1))});
+    ys.push_back(std::sin(5.0 * xs.back()[0]) + xs.back()[1]);
+  }
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  std::vector<std::vector<double>> queries;
+  for (int i = 0; i < 300; ++i) {
+    queries.push_back(
+        {rng.Uniform(), static_cast<double>(rng.UniformInt(0, 1))});
+  }
+  std::vector<double> means, variances;
+  gp.PredictBatch(queries, &means, &variances);
+  ASSERT_EQ(means.size(), queries.size());
+  ASSERT_EQ(variances.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double mean = 0, variance = 0;
+    gp.Predict(queries[i], &mean, &variance);
+    EXPECT_DOUBLE_EQ(means[i], mean) << "query " << i;
+    EXPECT_DOUBLE_EQ(variances[i], variance) << "query " << i;
+  }
+}
+
 }  // namespace
 }  // namespace llamatune

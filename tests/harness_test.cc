@@ -104,6 +104,23 @@ TEST(RunExperimentTest, ShapesAndDeterminism) {
   EXPECT_EQ(a.objective_curves, b.objective_curves);  // reproducible
 }
 
+TEST(RunExperimentTest, SeedShardingMatchesSerial) {
+  // Seeds shard across the thread pool by default (num_threads = 0);
+  // results must be identical to the fully serial run.
+  ExperimentSpec spec;
+  spec.workload = dbsim::YcsbA();
+  spec.num_seeds = 3;
+  spec.num_iterations = 10;
+  spec.optimizer = OptimizerKind::kRandom;
+  spec.num_threads = 0;
+  MultiSeedResult sharded = RunExperiment(spec);
+  spec.num_threads = 1;
+  MultiSeedResult serial = RunExperiment(spec);
+  EXPECT_EQ(sharded.objective_curves, serial.objective_curves);
+  EXPECT_EQ(sharded.measured_curves, serial.measured_curves);
+  EXPECT_EQ(sharded.mean_final_objective, serial.mean_final_objective);
+}
+
 TEST(RunExperimentTest, LlamaTuneVariantRuns) {
   ExperimentSpec spec;
   spec.workload = dbsim::YcsbB();

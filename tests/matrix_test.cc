@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/matrix.h"
+#include "src/common/rng.h"
+
+namespace llamatune {
+namespace {
+
+TEST(MatrixTest, FlatRowMajorAccess) {
+  Matrix m(2, 3, 0.0);
+  m.at(0, 0) = 1.0;
+  m.at(0, 2) = 2.0;
+  m.at(1, 1) = 3.0;
+  EXPECT_EQ(m.data(), (std::vector<double>{1, 0, 2, 0, 3, 0}));
+  EXPECT_EQ(m.Row(1)[1], 3.0);
+}
+
+TEST(MatrixTest, ApplyAndTranspose) {
+  Matrix m(2, 3);
+  // [[1,2,3],[4,5,6]]
+  for (int c = 0; c < 3; ++c) {
+    m.at(0, c) = c + 1.0;
+    m.at(1, c) = c + 4.0;
+  }
+  EXPECT_EQ(m.Apply({1.0, 1.0, 1.0}), (std::vector<double>{6.0, 15.0}));
+  EXPECT_EQ(m.ApplyTransposed({1.0, 1.0}),
+            (std::vector<double>{5.0, 7.0, 9.0}));
+}
+
+TEST(MatrixTest, ResizePreserveKeepsTopLeftBlock) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  m.ResizePreserve(3, 3, -1.0);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(0, 1), 2.0);
+  EXPECT_EQ(m.at(1, 0), 3.0);
+  EXPECT_EQ(m.at(1, 1), 4.0);
+  EXPECT_EQ(m.at(0, 2), -1.0);
+  EXPECT_EQ(m.at(2, 2), -1.0);
+  m.ResizePreserve(2, 2);
+  EXPECT_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(MatrixTest, AppendRowGrowsWithoutMovingCells) {
+  Matrix m(1, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  double row[] = {3.0, 4.0};
+  m.AppendRow(row);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.at(1, 0), 3.0);
+  EXPECT_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(FlatCholeskyTest, FactorsKnownMatrix) {
+  // A = [[4,2],[2,3]] => L = [[2,0],[1,sqrt(2)]]
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 3.0;
+  ASSERT_TRUE(CholeskyFactorInPlace(&a).ok());
+  EXPECT_NEAR(a.at(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(a.at(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(a.at(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(a.at(0, 1), 0.0);
+}
+
+TEST(FlatCholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;
+  EXPECT_FALSE(CholeskyFactorInPlace(&a).ok());
+}
+
+// Builds a random SPD matrix A = B B^T + n I.
+Matrix RandomSpd(int n, Rng* rng) {
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b.at(i, j) = rng->Gaussian();
+  }
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) acc += b.at(i, k) * b.at(j, k);
+      a.at(i, j) = acc;
+    }
+    a.at(i, i) += n;
+  }
+  return a;
+}
+
+TEST(FlatCholeskyTest, ExtendMatchesFullFactorizationBitForBit) {
+  Rng rng(11);
+  int n = 12;
+  Matrix a = RandomSpd(n, &rng);
+
+  // Full factorization of the whole matrix.
+  Matrix full = a;
+  ASSERT_TRUE(CholeskyFactorInPlace(&full).ok());
+
+  // Factor the leading 6x6 block, then extend row by row.
+  int start = 6;
+  Matrix inc(start, start);
+  for (int i = 0; i < start; ++i) {
+    for (int j = 0; j < start; ++j) inc.at(i, j) = a.at(i, j);
+  }
+  ASSERT_TRUE(CholeskyFactorInPlace(&inc).ok());
+  std::vector<double> row;
+  for (int r = start; r < n; ++r) {
+    row.assign(a.Row(r), a.Row(r) + r + 1);
+    ASSERT_TRUE(CholeskyExtend(&inc, row.data()).ok());
+  }
+
+  ASSERT_EQ(inc.rows(), n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // Incremental extension is bit-for-bit a suffix of the full
+      // factorization — exact equality, not approximate.
+      EXPECT_EQ(inc.at(i, j), full.at(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(FlatCholeskyTest, ExtendRejectsIndefiniteExtension) {
+  Matrix l(1, 1);
+  l.at(0, 0) = 1.0;  // A = [1]
+  // Extended matrix [[1, 2], [2, 1]] is indefinite.
+  double row[] = {2.0, 1.0};
+  EXPECT_FALSE(CholeskyExtend(&l, row).ok());
+  EXPECT_EQ(l.rows(), 1);  // untouched on failure
+}
+
+TEST(FlatSolveTest, RoundTripSolvesSystem) {
+  Rng rng(7);
+  int n = 9;
+  Matrix a = RandomSpd(n, &rng);
+  Matrix l = a;
+  ASSERT_TRUE(CholeskyFactorInPlace(&l).ok());
+  std::vector<double> b(n);
+  for (int i = 0; i < n; ++i) b[i] = rng.Gaussian();
+  std::vector<double> z(n, 0.0), x(n, 0.0);
+  TriangularSolveLower(l, b.data(), z.data());
+  TriangularSolveLowerTransposed(l, z.data(), x.data());
+  // Check A x == b.
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += a.at(i, j) * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-9);
+  }
+}
+
+TEST(FlatSolveTest, MultiRhsMatchesSingleSolvesBitForBit) {
+  Rng rng(3);
+  int n = 10, m = 7;
+  Matrix l = RandomSpd(n, &rng);
+  ASSERT_TRUE(CholeskyFactorInPlace(&l).ok());
+  Matrix rhs(n, m);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < m; ++c) rhs.at(i, c) = rng.Gaussian();
+  }
+  Matrix multi = rhs;
+  TriangularSolveLowerMulti(l, &multi);
+  std::vector<double> column(n), solved(n);
+  for (int c = 0; c < m; ++c) {
+    for (int i = 0; i < n; ++i) column[i] = rhs.at(i, c);
+    TriangularSolveLower(l, column.data(), solved.data());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(multi.at(i, c), solved[i]) << "col " << c << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llamatune

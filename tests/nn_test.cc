@@ -5,7 +5,7 @@
 #include "src/common/rng.h"
 #include "src/nn/adam.h"
 #include "src/nn/layers.h"
-#include "src/nn/matrix.h"
+#include "src/common/matrix.h"
 #include "src/nn/mlp.h"
 
 namespace llamatune {
