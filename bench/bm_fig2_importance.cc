@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "src/core/adapter_registry.h"
 #include "src/analysis/importance.h"
 #include "src/analysis/shap.h"
 #include "src/core/subset_adapter.h"
@@ -42,7 +43,9 @@ CurveSummary RunSubsetSessions(const dbsim::WorkloadSpec& workload,
     dbsim::SimulatedPostgres db(workload, db_options);
     std::unique_ptr<SpaceAdapter> adapter;
     if (knobs.empty()) {
-      adapter = std::make_unique<IdentityAdapter>(&db.config_space());
+      adapter = std::move(AdapterRegistry::Global().Create(
+                              "identity", &db.config_space(), seed))
+                    .ValueOrDie();
     } else {
       adapter = std::make_unique<SubsetAdapter>(
           std::move(SubsetAdapter::Create(&db.config_space(), knobs))
@@ -68,7 +71,11 @@ int main() {
   // --- Importance ranking from a 2,500-sample LHS corpus (paper
   // §2.3.2).
   dbsim::SimulatedPostgres db(dbsim::YcsbA(), {});
-  IdentityAdapter identity(&db.config_space());
+  std::unique_ptr<SpaceAdapter> identity_owned =
+      std::move(AdapterRegistry::Global().Create(
+                    "identity", &db.config_space(), 7))
+          .ValueOrDie();
+  SpaceAdapter& identity = *identity_owned;
   std::printf("\nBuilding 2,500-configuration LHS corpus on YCSB-A...\n");
   ImportanceCorpus corpus = BuildCorpus(&db, identity, 2500, 7);
   std::printf("corpus: %zu non-crashed samples\n", corpus.points.size());

@@ -26,7 +26,7 @@
 #include "src/common/math_util.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
-#include "src/core/identity_adapter.h"
+#include "src/core/adapter_registry.h"
 #include "src/core/tuning_session.h"
 #include "src/model/acquisition.h"
 #include "src/model/gp.h"
@@ -316,12 +316,15 @@ struct BatchResult {
 
 BatchResult RunBatchSession(int batch_size, int spin_iters) {
   SpinObjective objective(spin_iters);
-  IdentityAdapter adapter(&objective.config_space());
-  RandomSearchOptimizer optimizer(adapter.search_space(), /*seed=*/77);
+  std::unique_ptr<SpaceAdapter> adapter =
+      std::move(AdapterRegistry::Global().Create(
+                    "identity", &objective.config_space(), 77))
+          .ValueOrDie();
+  RandomSearchOptimizer optimizer(adapter->search_space(), /*seed=*/77);
   SessionOptions options;
   options.num_iterations = 48;
   options.batch_size = batch_size;
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   double t0 = NowSeconds();
   SessionResult result = session.Run();
   BatchResult out;

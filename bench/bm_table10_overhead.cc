@@ -9,6 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <utility>
+
+#include "src/core/adapter_registry.h"
+
 #include "src/dbsim/metrics.h"
 #include "src/dbsim/simulated_postgres.h"
 #include "src/harness/experiment.h"
@@ -26,8 +31,10 @@ SearchSpace SpaceFor(bool llamatune_space) {
     return SearchSpace(std::move(dims));
   }
   ConfigSpace catalog = dbsim::PostgresV96Catalog();
-  IdentityAdapter adapter(&catalog);
-  return adapter.search_space();
+  std::unique_ptr<SpaceAdapter> adapter =
+      std::move(AdapterRegistry::Global().Create("identity", &catalog, 1))
+          .ValueOrDie();
+  return adapter->search_space();
 }
 
 template <typename Opt>

@@ -1,0 +1,187 @@
+// The serve-style entry point: one TuningService process hosting many
+// concurrent tuning jobs for systems it cannot call into.
+//
+// The scenario: a fleet of eight "external DBMS instances" (stand-ins
+// for real databases living behind their own control planes). For each
+// one we open a named session with its own optimizer/adapter/seed,
+// then drive all eight through the ask/tell protocol from separate
+// threads — the service hands out configurations to try, the caller
+// measures them wherever the DBMS actually runs, and tells the results
+// back. Midway we checkpoint one job to a text blob, close it, resume
+// it under a new name, and show the resumed trajectory finishing
+// exactly as the uninterrupted ones do.
+//
+// Build & run:  cmake --build build && ./build/examples/serve_quickstart
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/tuning_service.h"
+
+using namespace llamatune;
+
+namespace {
+
+// The knob surface shared by the fleet (a real deployment would load
+// each DBMS's own catalog).
+ConfigSpace FleetKnobs() {
+  std::vector<KnobSpec> knobs;
+  knobs.push_back(IntegerKnob("shared_buffers_mb", 16, 8192, 128));
+  knobs.push_back(IntegerKnob("work_mem_mb", 1, 512, 4));
+  knobs.push_back(RealKnob("checkpoint_completion_target", 0.1, 0.9, 0.5));
+  knobs.push_back(IntegerKnob("max_parallel_workers", 0, 16, 2));
+  return ConfigSpace::Create(std::move(knobs)).ValueOrDie();
+}
+
+// Stand-in for "run the workload on instance `job` and measure": each
+// instance has a different sweet spot. In production this is the only
+// piece you write — everything else is the service.
+double MeasureOnInstance(int job, const Configuration& config) {
+  double buffers = config[0] / 8192.0;
+  double work_mem = config[1] / 512.0;
+  double target = config[2];
+  double workers = config[3] / 16.0;
+  double best_buffers = 0.25 + 0.08 * job;
+  double best_workers = 0.9 - 0.09 * job;
+  double score = 1800.0;
+  score -= 2200.0 * (buffers - best_buffers) * (buffers - best_buffers);
+  score -= 600.0 * (workers - best_workers) * (workers - best_workers);
+  score -= 250.0 * (target - 0.7) * (target - 0.7);
+  score += 120.0 * work_mem * (1.0 - work_mem);
+  return score + 10.0 * job;
+}
+
+// Drives one session to completion: ask, measure, tell, repeat.
+void DriveJob(service::TuningService& svc, const std::string& name, int job) {
+  while (true) {
+    Result<Trial> trial = svc.Ask(name);
+    if (!trial.ok()) break;  // budget exhausted
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = MeasureOnInstance(job, trial->config);
+    svc.Tell(name, result);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ConfigSpace space = FleetKnobs();
+  service::TuningService svc;
+
+  // Eight jobs, a mix of optimizers and adapters, all served at once.
+  const char* optimizers[] = {"smac", "gpbo", "random", "smac",
+                              "gpbo", "random", "smac", "gpbo"};
+  const char* adapters[] = {"identity", "hesbo2+svb0.2+bucket10000",
+                            "identity", "hesbo3+svb0.2",
+                            "identity", "hesbo2+svb0.2+bucket10000",
+                            "hesbo3",   "identity"};
+  const int kJobs = 8;
+  const int kIterations = 30;
+  for (int job = 0; job < kJobs; ++job) {
+    service::SessionSpec spec;
+    spec.space = &space;  // external: the service never evaluates
+    spec.optimizer_key = optimizers[job];
+    spec.adapter_key = adapters[job];
+    spec.seed = 1000 + job;
+    spec.num_iterations = kIterations;
+    Status created = svc.CreateSession("dbms-" + std::to_string(job), spec);
+    if (!created.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", created.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("[serve] %d sessions open\n", svc.session_count());
+
+  // Drive every job halfway, concurrently.
+  {
+    std::vector<std::thread> workers;
+    for (int job = 0; job < kJobs; ++job) {
+      workers.emplace_back([&svc, job] {
+        std::string name = "dbms-" + std::to_string(job);
+        for (int round = 0; round < kIterations / 2; ++round) {
+          Result<Trial> trial = svc.Ask(name);
+          if (!trial.ok()) return;
+          TrialResult result;
+          result.trial_id = trial->id;
+          result.value = MeasureOnInstance(job, trial->config);
+          svc.Tell(name, result);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Checkpoint job 5 mid-flight, close it, resume under a new name —
+  // exactly what a controller restart looks like.
+  Result<std::string> checkpoint = svc.Checkpoint("dbms-5");
+  if (!checkpoint.ok()) {
+    std::fprintf(stderr, "checkpoint failed\n");
+    return 1;
+  }
+  svc.Close("dbms-5");
+  {
+    service::SessionSpec spec;
+    spec.space = &space;
+    spec.optimizer_key = optimizers[5];
+    spec.adapter_key = adapters[5];
+    spec.seed = 1000 + 5;
+    spec.num_iterations = kIterations;
+    Status resumed = svc.Resume("dbms-5-resumed", spec, *checkpoint);
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", resumed.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("[serve] dbms-5 checkpointed (%zu bytes) and resumed\n",
+              checkpoint->size());
+
+  // Finish every job (the resumed one included), again concurrently.
+  {
+    std::vector<std::thread> workers;
+    for (int job = 0; job < kJobs; ++job) {
+      std::string name = job == 5 ? "dbms-5-resumed"
+                                  : "dbms-" + std::to_string(job);
+      workers.emplace_back(
+          [&svc, name, job] { DriveJob(svc, name, job); });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Status table.
+  std::printf("\n%-16s %-6s %-22s %5s %8s %9s\n", "session", "opt",
+              "adapter", "iters", "default", "best");
+  for (const service::SessionStatus& s : svc.ListSessions()) {
+    std::printf("%-16s %-6s %-22s %3d/%d %8.1f %9.1f\n", s.name.c_str(),
+                s.optimizer_key.c_str(), s.adapter_key.c_str(),
+                s.iterations_run, s.num_iterations, s.default_performance,
+                s.best_performance);
+  }
+
+  // Determinism: an uninterrupted solo run of job 5 must land exactly
+  // where the checkpoint-resumed, concurrently driven one did.
+  {
+    service::TuningService solo;
+    service::SessionSpec spec;
+    spec.space = &space;
+    spec.optimizer_key = optimizers[5];
+    spec.adapter_key = adapters[5];
+    spec.seed = 1000 + 5;
+    spec.num_iterations = kIterations;
+    solo.CreateSession("solo", spec);
+    DriveJob(solo, "solo", 5);
+    Result<SessionResult> solo_result = solo.Close("solo");
+    Result<SessionResult> resumed_result = svc.Close("dbms-5-resumed");
+    bool identical = solo_result.ok() && resumed_result.ok() &&
+                     solo_result->best_performance ==
+                         resumed_result->best_performance &&
+                     solo_result->kb.size() == resumed_result->kb.size();
+    std::printf("\n[serve] resume == uninterrupted run: %s\n",
+                identical ? "yes (bit-for-bit)" : "NO — BUG");
+    if (!identical) return 1;
+  }
+  return 0;
+}

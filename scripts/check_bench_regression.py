@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+
+Usage:
+    check_bench_regression.py <current.json> <baseline.json> [--threshold 0.20]
+
+Surfaces wall-clock regressions beyond the threshold in the GitHub
+Actions job summary ($GITHUB_STEP_SUMMARY) and as ::warning::
+annotations. Always exits 0: CI runners have noisy wall clocks, so the
+check reports trends rather than gating merges — a sustained >20%
+regression across commits is the signal to investigate.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def collect_metrics(doc):
+    """Flattens the wall-clock fields of BENCH_hotpath.json into
+    {metric_name: seconds}."""
+    metrics = {}
+    for entry in doc.get("fit_predict", []):
+        n = entry.get("n")
+        for field in ("fast_per_iter_seconds", "fast_pooled_per_iter_seconds"):
+            if field in entry:
+                metrics[f"{field}[n={n}]"] = entry[field]
+    scaling = doc.get("update_scaling", {})
+    for field in ("incremental_update_seconds_lo",
+                  "incremental_update_seconds_hi"):
+        if field in scaling:
+            metrics[f"update_scaling.{field}"] = scaling[field]
+    batch = doc.get("batch", {})
+    for field in ("batch1_seconds", "batch8_seconds"):
+        if field in batch:
+            metrics[f"batch.{field}"] = batch[field]
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_hotpath.json against the committed "
+                    "baseline and surface wall-clock regressions.")
+    parser.add_argument("current", help="freshly generated BENCH_hotpath.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression threshold (default 0.20)")
+    args = parser.parse_args()
+    threshold = args.threshold
+
+    current = collect_metrics(load(args.current))
+    baseline = collect_metrics(load(args.baseline))
+
+    rows = []
+    regressions = []
+    for name, base_value in sorted(baseline.items()):
+        cur_value = current.get(name)
+        if cur_value is None or base_value <= 0:
+            continue
+        ratio = cur_value / base_value
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = "REGRESSION"
+            regressions.append((name, base_value, cur_value, ratio))
+        elif ratio < 1.0 - threshold:
+            flag = "improved"
+        rows.append((name, base_value, cur_value, ratio, flag))
+
+    lines = []
+    lines.append("## bm_hotpath vs committed baseline")
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"**{len(regressions)} metric(s) regressed more than "
+            f"{threshold:.0%} wall-clock** (noisy CI clocks — treat "
+            "sustained regressions across commits as the signal):")
+    else:
+        lines.append(
+            f"No wall-clock metric regressed more than {threshold:.0%} "
+            "against the committed baseline.")
+    lines.append("")
+    lines.append("| metric | baseline (s) | current (s) | ratio | |")
+    lines.append("|---|---|---|---|---|")
+    for name, base_value, cur_value, ratio, flag in rows:
+        lines.append(f"| `{name}` | {base_value:.3e} | {cur_value:.3e} "
+                     f"| {ratio:.2f}x | {flag} |")
+    summary = "\n".join(lines) + "\n"
+
+    print(summary)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(summary)
+    for name, base_value, cur_value, ratio in regressions:
+        print(f"::warning title=bm_hotpath regression::{name} "
+              f"{base_value:.3e}s -> {cur_value:.3e}s ({ratio:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

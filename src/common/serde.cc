@@ -1,0 +1,77 @@
+#include "src/common/serde.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace llamatune {
+
+std::string EncodeDoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return std::string(buf);
+}
+
+Result<double> DecodeDoubleBits(const std::string& token) {
+  if (token.size() != 16 ||
+      token.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::InvalidArgument("malformed double bit pattern: " + token);
+  }
+  uint64_t bits = std::stoull(token, nullptr, 16);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string EncodeBytes(const std::string& bytes) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> DecodeBytes(const std::string& token) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  if (token.size() % 2 != 0) {
+    return Status::InvalidArgument("DecodeBytes: odd-length hex: " + token);
+  }
+  std::string out;
+  out.reserve(token.size() / 2);
+  for (size_t i = 0; i < token.size(); i += 2) {
+    int hi = nibble(token[i]);
+    int lo = nibble(token[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("DecodeBytes: bad hex digit in: " +
+                                     token);
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt64(const std::string& token) {
+  try {
+    size_t pos = 0;
+    int64_t v = std::stoll(token, &pos);
+    if (pos != token.size()) {
+      return Status::InvalidArgument("trailing characters in integer: " +
+                                     token);
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("not an integer: " + token);
+  }
+}
+
+}  // namespace llamatune

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace llamatune {
+
+/// \name Bit-exact double text codec
+///
+/// Checkpoints and the trial wire format must round-trip doubles
+/// exactly — a decimal rendering loses bits and would break the
+/// bit-for-bit resume guarantee — so doubles are encoded as the
+/// 16-hex-digit IEEE-754 bit pattern ("3ff0000000000000" for 1.0).
+/// Negative zero and non-finite values (including NaN payloads)
+/// survive the round trip unchanged.
+/// @{
+
+/// Encodes a double as its 64-bit pattern in lowercase hex.
+std::string EncodeDoubleBits(double value);
+
+/// Decodes EncodeDoubleBits output. Fails on malformed tokens.
+Result<double> DecodeDoubleBits(const std::string& token);
+
+/// @}
+
+/// Parses a whole-token base-10 signed integer (no trailing junk).
+Result<int64_t> ParseInt64(const std::string& token);
+
+/// Hex-encodes arbitrary bytes ("" -> "", "Ok" -> "4f6b"): keeps
+/// opaque payloads (objective state blobs) single-token inside the
+/// whitespace-delimited checkpoint format.
+std::string EncodeBytes(const std::string& bytes);
+
+/// Decodes EncodeBytes output. Fails on odd length or non-hex digits.
+Result<std::string> DecodeBytes(const std::string& token);
+
+}  // namespace llamatune

@@ -93,6 +93,7 @@ class Result {
     return *std::move(value_);
   }
   const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const& { return &ValueOrDie(); }
 
  private:
   void CheckOk() const;

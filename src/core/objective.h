@@ -1,8 +1,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/knobs/config_space.h"
 #include "src/knobs/configuration.h"
 
@@ -49,6 +52,22 @@ class ObjectiveFunction {
   /// parallel. Returning nullptr (the default) disables parallel
   /// batch evaluation — batches then evaluate sequentially on `this`.
   virtual std::unique_ptr<ObjectiveFunction> Clone() const { return nullptr; }
+
+  /// Optional: serializes evaluation-side state (e.g. the simulated
+  /// DBMS's per-evaluation noise counter) so a checkpointed session
+  /// can resume bit-for-bit — the session embeds this in
+  /// TuningSession::Save() and feeds it back through RestoreState() on
+  /// Restore(). Return nullopt (the default) when the objective is
+  /// stateless or its state lives outside the tuner (a real DBMS).
+  virtual std::optional<std::string> SaveState() const { return std::nullopt; }
+
+  /// Restores SaveState() output on a fresh instance. Objectives that
+  /// return state from SaveState() must implement this; the default
+  /// fails with NotImplemented.
+  virtual Status RestoreState(const std::string& /*state*/) {
+    return Status::NotImplemented(
+        "ObjectiveFunction::RestoreState not implemented");
+  }
 };
 
 }  // namespace llamatune

@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <sstream>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 namespace llamatune {
 
 namespace {
@@ -123,6 +127,49 @@ Result<KnowledgeBase> LoadKnowledgeBase(const ConfigSpace& space,
   }
   std::fclose(file);
   return ParseKnowledgeBase(space, text);
+}
+
+Status SaveCheckpointFile(const std::string& checkpoint,
+                          const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + tmp + "' for writing");
+  }
+  size_t written = std::fwrite(checkpoint.data(), 1, checkpoint.size(), file);
+  bool flushed = std::fflush(file) == 0;
+#ifndef _WIN32
+  // fflush only reaches the kernel page cache; without fsync a crash
+  // shortly after the rename can commit the name change before the
+  // data blocks, replacing the previous good checkpoint with a
+  // truncated file — the exact failure this API promises to prevent.
+  flushed = flushed && fsync(fileno(file)) == 0;
+#endif
+  std::fclose(file);
+  if (written != checkpoint.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> LoadCheckpointFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  return text;
 }
 
 }  // namespace llamatune

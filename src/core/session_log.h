@@ -31,4 +31,12 @@ Status SaveKnowledgeBase(const ConfigSpace& space, const KnowledgeBase& kb,
 Result<KnowledgeBase> LoadKnowledgeBase(const ConfigSpace& space,
                                         const std::string& path);
 
+/// \brief File wrappers for session checkpoints (the versioned text
+/// blobs of TuningSession::Save/Restore): write-then-rename so a crash
+/// mid-save never truncates the previous checkpoint — the property a
+/// controller needs before it can autosave after every round.
+Status SaveCheckpointFile(const std::string& checkpoint,
+                          const std::string& path);
+Result<std::string> LoadCheckpointFile(const std::string& path);
+
 }  // namespace llamatune

@@ -1,0 +1,129 @@
+#include "src/core/trial.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+namespace llamatune {
+
+namespace {
+
+/// Reads `count` bit-encoded doubles from the token stream. The
+/// reserve is clamped: `count` comes from untrusted text, and a
+/// corrupt header must fail through the truncated-stream error path
+/// below, not throw bad_alloc out of a Status-returning API.
+Result<std::vector<double>> ReadDoubles(std::istringstream* in, int64_t count,
+                                        const char* what) {
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(std::min<int64_t>(
+      std::max<int64_t>(count, 0), 4096)));
+  std::string token;
+  for (int64_t i = 0; i < count; ++i) {
+    if (!(*in >> token)) {
+      return Status::InvalidArgument(std::string("truncated ") + what +
+                                     " vector");
+    }
+    Result<double> v = DecodeDoubleBits(token);
+    if (!v.ok()) return v.status();
+    values.push_back(*v);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string SerializeTrial(const Trial& trial) {
+  std::ostringstream out;
+  out << "trial " << trial.id << ' ' << (trial.is_baseline ? 1 : 0);
+  out << " point " << trial.point.size();
+  for (double v : trial.point) out << ' ' << EncodeDoubleBits(v);
+  out << " config " << trial.config.size();
+  for (double v : trial.config.values()) out << ' ' << EncodeDoubleBits(v);
+  return out.str();
+}
+
+Result<Trial> ParseTrial(const std::string& line) {
+  std::istringstream in(line);
+  std::string tag;
+  if (!(in >> tag) || tag != "trial") {
+    return Status::InvalidArgument("expected 'trial' line, got: " + line);
+  }
+  std::string id_tok, baseline_tok;
+  if (!(in >> id_tok >> baseline_tok)) {
+    return Status::InvalidArgument("truncated trial header");
+  }
+  Result<int64_t> id = ParseInt64(id_tok);
+  if (!id.ok()) return id.status();
+  Result<int64_t> baseline = ParseInt64(baseline_tok);
+  if (!baseline.ok()) return baseline.status();
+
+  Trial trial;
+  trial.id = *id;
+  trial.is_baseline = *baseline != 0;
+
+  std::string section, count_tok;
+  if (!(in >> section >> count_tok) || section != "point") {
+    return Status::InvalidArgument("expected 'point' section");
+  }
+  Result<int64_t> n_point = ParseInt64(count_tok);
+  if (!n_point.ok()) return n_point.status();
+  Result<std::vector<double>> point = ReadDoubles(&in, *n_point, "point");
+  if (!point.ok()) return point.status();
+  trial.point = std::move(point).ValueOrDie();
+
+  if (!(in >> section >> count_tok) || section != "config") {
+    return Status::InvalidArgument("expected 'config' section");
+  }
+  Result<int64_t> n_config = ParseInt64(count_tok);
+  if (!n_config.ok()) return n_config.status();
+  Result<std::vector<double>> config = ReadDoubles(&in, *n_config, "config");
+  if (!config.ok()) return config.status();
+  trial.config = Configuration(std::move(config).ValueOrDie());
+  return trial;
+}
+
+std::string SerializeTrialResult(const TrialResult& result) {
+  std::ostringstream out;
+  out << "result " << result.trial_id << ' ' << (result.crashed ? 1 : 0) << ' '
+      << EncodeDoubleBits(result.value);
+  out << " metrics " << result.metrics.size();
+  for (double v : result.metrics) out << ' ' << EncodeDoubleBits(v);
+  return out.str();
+}
+
+Result<TrialResult> ParseTrialResult(const std::string& line) {
+  std::istringstream in(line);
+  std::string tag;
+  if (!(in >> tag) || tag != "result") {
+    return Status::InvalidArgument("expected 'result' line, got: " + line);
+  }
+  std::string id_tok, crashed_tok, value_tok;
+  if (!(in >> id_tok >> crashed_tok >> value_tok)) {
+    return Status::InvalidArgument("truncated result header");
+  }
+  Result<int64_t> id = ParseInt64(id_tok);
+  if (!id.ok()) return id.status();
+  Result<int64_t> crashed = ParseInt64(crashed_tok);
+  if (!crashed.ok()) return crashed.status();
+  Result<double> value = DecodeDoubleBits(value_tok);
+  if (!value.ok()) return value.status();
+
+  TrialResult result;
+  result.trial_id = *id;
+  result.crashed = *crashed != 0;
+  result.value = *value;
+
+  std::string section, count_tok;
+  if (!(in >> section >> count_tok) || section != "metrics") {
+    return Status::InvalidArgument("expected 'metrics' section");
+  }
+  Result<int64_t> n_metrics = ParseInt64(count_tok);
+  if (!n_metrics.ok()) return n_metrics.status();
+  Result<std::vector<double>> metrics = ReadDoubles(&in, *n_metrics, "metrics");
+  if (!metrics.ok()) return metrics.status();
+  result.metrics = std::move(metrics).ValueOrDie();
+  return result;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/knobs/configuration.h"
+
+namespace llamatune {
+
+/// \brief One suggested configuration awaiting measurement — the unit
+/// of the ask/tell protocol (TuningSession::Ask hands these out; the
+/// caller runs the workload and answers with a TrialResult).
+///
+/// Lifecycle: a Trial is *pending* from the Ask that created it until
+/// the Tell that matches its `id`. Every id is session-unique and
+/// monotonically increasing in ask order. Trials asked together (one
+/// AskBatch call) form a *round*; results commit to the optimizer in
+/// round order, and within a round in trial-id order, regardless of
+/// the order Tells arrive in — so a session's trajectory depends only
+/// on the measured values, never on completion interleaving.
+///
+/// Pending trials are deliberately excluded from checkpoints: asking
+/// again after TuningSession::Restore regenerates the same points
+/// (suggestions are a pure function of the committed history and the
+/// seeded RNG stream), only under fresh ids.
+struct Trial {
+  /// Session-unique handle, assigned in ask order starting at 1.
+  int64_t id = 0;
+  /// The optimizer-space point behind this trial (empty for the
+  /// baseline trial, which is not an optimizer suggestion).
+  std::vector<double> point;
+  /// The physical DBMS configuration to apply and measure.
+  Configuration config;
+  /// True for the iteration-0 default-configuration trial. The first
+  /// Ask of every session yields it; its result establishes the
+  /// crash-penalty floor and is not reported to the optimizer as an
+  /// observation (paper convention: synthetic low-dimensional spaces
+  /// have no preimage for the default configuration).
+  bool is_baseline = false;
+};
+
+/// \brief The measured outcome the caller reports for a Trial.
+struct TrialResult {
+  /// Must name a pending Trial's id; unknown or already-told ids are
+  /// rejected by Tell with NotFound / AlreadyExists.
+  int64_t trial_id = 0;
+  /// The raw measured metric (throughput req/s, or latency ms for
+  /// minimization targets). Ignored when `crashed` is true — the
+  /// session substitutes the quarter-of-worst crash penalty.
+  double value = 0.0;
+  /// True when the DBMS failed to start or crashed under this
+  /// configuration.
+  bool crashed = false;
+  /// Internal DBMS metrics sampled during the run (RL state vector);
+  /// may be empty for optimizers that do not consume them.
+  std::vector<double> metrics;
+};
+
+/// \name Bit-exact text serialization
+///
+/// Trials and results serialize to single-line, space-separated token
+/// streams. Doubles are encoded with the bit-pattern codec from
+/// src/common/serde.h, so a value survives a round trip bit-for-bit —
+/// the property the session checkpoint format relies on.
+/// @{
+
+std::string SerializeTrial(const Trial& trial);
+Result<Trial> ParseTrial(const std::string& line);
+
+std::string SerializeTrialResult(const TrialResult& result);
+Result<TrialResult> ParseTrialResult(const std::string& line);
+
+/// @}
+
+}  // namespace llamatune

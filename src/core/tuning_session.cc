@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <sstream>
+#include <utility>
 
+#include "src/common/serde.h"
 #include "src/common/thread_pool.h"
+#include "src/optimizer/history_io.h"
 
 namespace llamatune {
 
@@ -16,17 +20,58 @@ double NowSeconds() {
       .count();
 }
 
+constexpr char kCheckpointHeader[] = "llamatune-checkpoint";
+constexpr int kCheckpointVersion = 1;
+
 }  // namespace
+
+Status SessionOptions::Validate() const {
+  if (num_iterations < 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: num_iterations must be >= 0, got " +
+        std::to_string(num_iterations));
+  }
+  if (batch_size < 1) {
+    return Status::InvalidArgument(
+        "SessionOptions: batch_size must be >= 1, got " +
+        std::to_string(batch_size));
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: num_threads must be >= 0 (0 = shared pool size), "
+        "got " +
+        std::to_string(num_threads));
+  }
+  if (!(crash_penalty_divisor > 0.0)) {
+    return Status::InvalidArgument(
+        "SessionOptions: crash_penalty_divisor must be > 0");
+  }
+  return Status::OK();
+}
 
 TuningSession::TuningSession(ObjectiveFunction* objective,
                              SpaceAdapter* adapter, Optimizer* optimizer,
                              SessionOptions options)
     : objective_(objective),
+      config_space_(&objective->config_space()),
+      maximize_(objective->maximize()),
       adapter_(adapter),
       optimizer_(optimizer),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      init_status_(options_.Validate()) {}
 
-double TuningSession::Penalized(bool /*maximize*/) const {
+TuningSession::TuningSession(const ConfigSpace* config_space, bool maximize,
+                             SpaceAdapter* adapter, Optimizer* optimizer,
+                             SessionOptions options)
+    : objective_(nullptr),
+      config_space_(config_space),
+      maximize_(maximize),
+      adapter_(adapter),
+      optimizer_(optimizer),
+      options_(std::move(options)),
+      init_status_(options_.Validate()) {}
+
+double TuningSession::Penalized() const {
   // Internal objectives are always maximize-convention; the paper
   // assigns a quarter of the worst seen so far.
   if (worst_objective_ >= 0.0) {
@@ -35,42 +80,24 @@ double TuningSession::Penalized(bool /*maximize*/) const {
   return worst_objective_ * options_.crash_penalty_divisor;
 }
 
-bool TuningSession::StepBaseline() {
-  // Iteration 0: evaluate the default configuration. Establishes the
-  // crash-penalty floor and feeds the RL state, but is not an
-  // optimizer observation (synthetic spaces have no preimage).
-  const bool maximize = objective_->maximize();
-  Configuration def = objective_->config_space().DefaultConfiguration();
-  EvalResult result = objective_->Evaluate(def);
-  double objective_value = maximize ? result.value : -result.value;
-  default_performance_ = result.value;
-  worst_objective_ = objective_value;
-  optimizer_->ObserveMetrics(result.metrics);
-  baseline_done_ = true;
-  return true;
-}
-
-void TuningSession::ScoreResult(const EvalResult& result,
+void TuningSession::ScoreResult(const TrialResult& result,
                                 double* objective_value, double* measured) {
-  const bool maximize = objective_->maximize();
   if (result.crashed) {
-    *objective_value = Penalized(maximize);
-    *measured = maximize ? *objective_value : -*objective_value;
+    *objective_value = Penalized();
+    *measured = maximize_ ? *objective_value : -*objective_value;
   } else {
-    *objective_value = maximize ? result.value : -result.value;
+    *objective_value = maximize_ ? result.value : -result.value;
     *measured = result.value;
     worst_objective_ = std::min(worst_objective_, *objective_value);
   }
 }
 
-void TuningSession::AppendRecord(const std::vector<double>& point,
-                                 const Configuration& config,
-                                 const EvalResult& result,
+void TuningSession::AppendRecord(const Trial& trial, const TrialResult& result,
                                  double objective_value, double measured) {
   IterationRecord record;
   record.iteration = ++iterations_run_;
-  record.point = point;
-  record.config = config;
+  record.point = trial.point;
+  record.config = trial.config;
   record.measured = measured;
   record.objective = objective_value;
   record.crashed = result.crashed;
@@ -86,26 +113,236 @@ void TuningSession::AppendRecord(const std::vector<double>& point,
   if (iterations_run_ >= options_.num_iterations) stopped_ = true;
 }
 
-bool TuningSession::StepBatch() {
-  int n = std::min(options_.batch_size,
-                   options_.num_iterations - iterations_run_);
+int TuningSession::RemainingBudget() const {
+  int pending = static_cast<int>(pending_.size());
+  if (baseline_pending_) --pending;
+  return options_.num_iterations - iterations_run_ - pending;
+}
+
+bool TuningSession::finished() const {
+  if (!init_status_.ok()) return true;
+  if (stopped_) return true;
+  if (!baseline_done_) return false;
+  return RemainingBudget() <= 0;
+}
+
+Result<Trial> TuningSession::Ask() {
+  if (!init_status_.ok()) return init_status_;
+  if (!baseline_done_) {
+    if (baseline_pending_) {
+      return Status::FailedPrecondition(
+          "Ask: the baseline trial is outstanding; Tell its result first");
+    }
+    Trial trial;
+    trial.id = next_trial_id_++;
+    trial.config = config_space_->DefaultConfiguration();
+    trial.is_baseline = true;
+    Round round;
+    round.kind = Round::Kind::kBaseline;
+    round.requested = 1;
+    round.ids = {trial.id};
+    pending_.emplace(trial.id, PendingTrial{trial, std::nullopt});
+    open_rounds_.push_back(std::move(round));
+    baseline_pending_ = true;
+    return trial;
+  }
+  if (stopped_ && !replaying_) {
+    return Status::OutOfRange("Ask: session stopped (budget or early stop)");
+  }
+  if (RemainingBudget() <= 0) {
+    return Status::OutOfRange(
+        "Ask: iteration budget exhausted (counting pending trials)");
+  }
+  double t0 = NowSeconds();
+  std::vector<double> point = optimizer_->Suggest();
+  optimizer_seconds_ += NowSeconds() - t0;
+
+  Trial trial;
+  trial.id = next_trial_id_++;
+  trial.config = adapter_->Project(point);
+  trial.point = std::move(point);
+  Round round;
+  round.kind = Round::Kind::kSingle;
+  round.requested = 1;
+  round.ids = {trial.id};
+  pending_.emplace(trial.id, PendingTrial{trial, std::nullopt});
+  open_rounds_.push_back(std::move(round));
+  return trial;
+}
+
+Result<std::vector<Trial>> TuningSession::AskBatch(int n) {
+  if (!init_status_.ok()) return init_status_;
+  if (n < 1) {
+    return Status::InvalidArgument("AskBatch: n must be >= 1, got " +
+                                   std::to_string(n));
+  }
+  if (!baseline_done_) {
+    Result<Trial> baseline = Ask();
+    if (!baseline.ok()) return baseline.status();
+    return std::vector<Trial>{std::move(baseline).ValueOrDie()};
+  }
+  if (stopped_ && !replaying_) {
+    return Status::OutOfRange("AskBatch: session stopped");
+  }
+  int budget = RemainingBudget();
+  if (budget <= 0) {
+    return Status::OutOfRange(
+        "AskBatch: iteration budget exhausted (counting pending trials)");
+  }
+  n = std::min(n, budget);
 
   double t0 = NowSeconds();
   std::vector<std::vector<double>> points = optimizer_->SuggestBatch(n);
   optimizer_seconds_ += NowSeconds() - t0;
   // An override may return fewer points than asked; never accept more
-  // (each batch slot maps to one clone, and extra points would both
-  // overshoot the iteration budget and share clones across threads).
+  // (extra points would overshoot the iteration budget, and in the
+  // Run/Step path would share evaluation clones across threads).
   if (static_cast<int>(points.size()) > n) points.resize(n);
-  n = static_cast<int>(points.size());
-  if (n == 0) {
+  if (points.empty()) {
     stopped_ = true;
-    return false;
+    return Status::OutOfRange("AskBatch: optimizer returned no suggestions");
   }
 
-  std::vector<Configuration> configs;
-  configs.reserve(n);
-  for (const auto& point : points) configs.push_back(adapter_->Project(point));
+  Round round;
+  round.kind = Round::Kind::kBatch;
+  round.requested = n;
+  std::vector<Trial> trials;
+  trials.reserve(points.size());
+  for (auto& point : points) {
+    Trial trial;
+    trial.id = next_trial_id_++;
+    trial.config = adapter_->Project(point);
+    trial.point = std::move(point);
+    round.ids.push_back(trial.id);
+    pending_.emplace(trial.id, PendingTrial{trial, std::nullopt});
+    trials.push_back(std::move(trial));
+  }
+  open_rounds_.push_back(std::move(round));
+  return trials;
+}
+
+Status TuningSession::Tell(const TrialResult& result) {
+  if (!init_status_.ok()) return init_status_;
+  auto it = pending_.find(result.trial_id);
+  if (it == pending_.end()) {
+    if (result.trial_id >= 1 && result.trial_id < next_trial_id_) {
+      return Status::AlreadyExists(
+          "Tell: trial " + std::to_string(result.trial_id) +
+          " was already told and committed");
+    }
+    return Status::NotFound("Tell: unknown trial id " +
+                            std::to_string(result.trial_id));
+  }
+  if (it->second.result.has_value()) {
+    return Status::AlreadyExists("Tell: trial " +
+                                 std::to_string(result.trial_id) +
+                                 " was already told (buffered)");
+  }
+  it->second.result = result;
+  CommitReadyRounds();
+  return Status::OK();
+}
+
+Status TuningSession::TellBatch(const std::vector<TrialResult>& results) {
+  for (const TrialResult& result : results) {
+    LT_RETURN_NOT_OK(Tell(result));
+  }
+  return Status::OK();
+}
+
+void TuningSession::CommitReadyRounds() {
+  while (!open_rounds_.empty()) {
+    const Round& front = open_rounds_.front();
+    bool complete = true;
+    for (int64_t id : front.ids) {
+      auto it = pending_.find(id);
+      if (it == pending_.end() || !it->second.result.has_value()) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) return;
+    Round round = std::move(open_rounds_.front());
+    open_rounds_.pop_front();
+    CommitRound(round);
+    committed_rounds_.push_back(std::move(round));
+  }
+}
+
+void TuningSession::CommitRound(const Round& round) {
+  if (round.kind == Round::Kind::kBaseline) {
+    auto it = pending_.find(round.ids[0]);
+    TrialResult result = std::move(*it->second.result);
+    pending_.erase(it);
+    // Iteration 0: establishes the crash-penalty floor and feeds the
+    // RL state, but is not an optimizer observation (synthetic spaces
+    // have no preimage for the default configuration). The crashed
+    // flag is ignored here, as in the classic loop.
+    double objective_value = maximize_ ? result.value : -result.value;
+    default_performance_ = result.value;
+    worst_objective_ = objective_value;
+    baseline_metrics_ = result.metrics;
+    optimizer_->ObserveMetrics(baseline_metrics_);
+    baseline_done_ = true;
+    baseline_pending_ = false;
+    return;
+  }
+
+  int n = static_cast<int>(round.ids.size());
+  std::vector<Trial> trials;
+  std::vector<TrialResult> results;
+  trials.reserve(n);
+  results.reserve(n);
+  for (int64_t id : round.ids) {
+    auto it = pending_.find(id);
+    trials.push_back(std::move(it->second.trial));
+    results.push_back(std::move(*it->second.result));
+    pending_.erase(it);
+  }
+
+  // Score in suggestion order so crash penalties, best-so-far curves
+  // and early stopping are independent of evaluation interleaving.
+  std::vector<double> values(n);
+  std::vector<double> measured(n);
+  for (int i = 0; i < n; ++i) {
+    ScoreResult(results[i], &values[i], &measured[i]);
+  }
+  // Only genuine optimizer work counts toward optimizer_seconds_
+  // (Table 10 comparability).
+  double t0 = NowSeconds();
+  for (int i = 0; i < n; ++i) optimizer_->ObserveMetrics(results[i].metrics);
+  if (round.kind == Round::Kind::kBatch) {
+    std::vector<std::vector<double>> points(n);
+    for (int i = 0; i < n; ++i) points[i] = trials[i].point;
+    optimizer_->ObserveBatch(points, values);
+  } else {
+    optimizer_->Observe(trials[0].point, values[0]);
+  }
+  optimizer_seconds_ += NowSeconds() - t0;
+  for (int i = 0; i < n; ++i) {
+    AppendRecord(trials[i], results[i], values[i], measured[i]);
+  }
+}
+
+std::vector<TrialResult> TuningSession::EvaluateTrials(
+    const std::vector<Trial>& trials) {
+  int n = static_cast<int>(trials.size());
+  std::vector<TrialResult> results(n);
+  auto to_result = [](const Trial& trial, const EvalResult& r) {
+    TrialResult result;
+    result.trial_id = trial.id;
+    result.value = r.value;
+    result.crashed = r.crashed;
+    result.metrics = r.metrics;
+    return result;
+  };
+
+  // The baseline and the sequential (batch_size == 1) path evaluate on
+  // the objective itself, exactly like the classic loop.
+  if (n == 1 && (trials[0].is_baseline || options_.batch_size <= 1)) {
+    results[0] = to_result(trials[0], objective_->Evaluate(trials[0].config));
+    return results;
+  }
 
   // One clone per batch slot, built once and reused: each slot keeps
   // its own evaluation counter, so a session is deterministic for a
@@ -122,10 +359,11 @@ bool TuningSession::StepBatch() {
     }
   }
 
-  std::vector<EvalResult> results(n);
   if (clone_pool_.empty()) {
     // Objective cannot be cloned: evaluate the batch sequentially.
-    for (int i = 0; i < n; ++i) results[i] = objective_->Evaluate(configs[i]);
+    for (int i = 0; i < n; ++i) {
+      results[i] = to_result(trials[i], objective_->Evaluate(trials[i].config));
+    }
   } else {
     // Each batch slot evaluates on its own clone over the shared pool
     // (the caller participates, so nested parallelism — e.g. inside a
@@ -133,66 +371,61 @@ bool TuningSession::StepBatch() {
     // to clone i, so results are independent of scheduling.
     ThreadPool::Global().ParallelFor(
         n,
-        [this, &configs, &results](int i) {
+        [this, &trials, &results, &to_result](int i) {
           ObjectiveFunction* instance =
               clone_pool_[i % clone_pool_.size()].get();
-          results[i] = instance->Evaluate(configs[i]);
+          results[i] =
+              to_result(trials[i], instance->Evaluate(trials[i].config));
         },
         options_.num_threads);
   }
-
-  // Score in suggestion order so crash penalties, best-so-far curves
-  // and early stopping are independent of evaluation interleaving.
-  std::vector<double> values(n);
-  std::vector<double> measured(n);
-  for (int i = 0; i < n; ++i) {
-    ScoreResult(results[i], &values[i], &measured[i]);
-  }
-  // Only genuine optimizer work counts toward optimizer_seconds_
-  // (Table 10 comparability with the sequential path).
-  t0 = NowSeconds();
-  for (int i = 0; i < n; ++i) optimizer_->ObserveMetrics(results[i].metrics);
-  optimizer_->ObserveBatch(points, values);
-  optimizer_seconds_ += NowSeconds() - t0;
-  for (int i = 0; i < n; ++i) {
-    AppendRecord(points[i], configs[i], results[i], values[i], measured[i]);
-  }
-  return true;
+  return results;
 }
 
 bool TuningSession::Step() {
+  if (!init_status_.ok()) return false;
+  if (objective_ == nullptr) return false;  // detached: caller drives Ask/Tell
   if (stopped_) return false;
-  if (!baseline_done_) return StepBaseline();
+
+  if (!baseline_done_) {
+    Result<Trial> baseline = Ask();
+    if (!baseline.ok()) return false;
+    std::vector<TrialResult> results = EvaluateTrials({*baseline});
+    Tell(results[0]);
+    return true;
+  }
 
   if (iterations_run_ >= options_.num_iterations) {
     stopped_ = true;
     return false;
   }
 
-  if (options_.batch_size > 1) return StepBatch();
+  if (options_.batch_size > 1) {
+    Result<std::vector<Trial>> trials = AskBatch(options_.batch_size);
+    if (!trials.ok()) return false;
+    std::vector<TrialResult> results = EvaluateTrials(*trials);
+    TellBatch(results);
+    return true;
+  }
 
-  double t0 = NowSeconds();
-  std::vector<double> point = optimizer_->Suggest();
-  optimizer_seconds_ += NowSeconds() - t0;
-
-  Configuration config = adapter_->Project(point);
-  EvalResult result = objective_->Evaluate(config);
-
-  double objective_value = 0.0;
-  double measured = 0.0;
-  ScoreResult(result, &objective_value, &measured);
-  t0 = NowSeconds();
-  optimizer_->ObserveMetrics(result.metrics);
-  optimizer_->Observe(point, objective_value);
-  optimizer_seconds_ += NowSeconds() - t0;
-  AppendRecord(point, config, result, objective_value, measured);
+  Result<Trial> trial = Ask();
+  if (!trial.ok()) return false;
+  std::vector<TrialResult> results = EvaluateTrials({*trial});
+  Tell(results[0]);
   return true;
 }
 
 SessionResult TuningSession::Run() {
-  if (options_.early_stopping.has_value()) options_.early_stopping->Reset();
+  if (!init_status_.ok()) return SessionResult{};
+  if (!baseline_done_ && options_.early_stopping.has_value()) {
+    options_.early_stopping->Reset();
+  }
   while (Step()) {
   }
+  return Snapshot();
+}
+
+SessionResult TuningSession::Snapshot() const {
   SessionResult result;
   result.kb = kb_;
   result.default_performance = default_performance_;
@@ -204,6 +437,420 @@ SessionResult TuningSession::Run() {
     result.best_config = kb_.record(best).config;
   }
   return result;
+}
+
+std::string TuningSession::Save() const {
+  std::ostringstream out;
+  out << kCheckpointHeader << " v" << kCheckpointVersion << '\n';
+  out << "maximize " << (maximize_ ? 1 : 0) << '\n';
+  out << "options " << options_.num_iterations << ' ' << options_.batch_size
+      << ' ' << EncodeDoubleBits(options_.crash_penalty_divisor) << ' '
+      << (options_.early_stopping.has_value() ? 1 : 0);
+  if (options_.early_stopping.has_value()) {
+    out << ' ' << EncodeDoubleBits(options_.early_stopping->min_improvement_pct())
+        << ' ' << options_.early_stopping->patience();
+  }
+  out << '\n';
+  out << "state " << iterations_run_ << ' '
+      << EncodeDoubleBits(optimizer_seconds_) << '\n';
+  out << "baseline " << (baseline_done_ ? 1 : 0);
+  if (baseline_done_) {
+    out << ' ' << EncodeDoubleBits(default_performance_) << ' '
+        << baseline_metrics_.size();
+    for (double v : baseline_metrics_) out << ' ' << EncodeDoubleBits(v);
+  }
+  out << '\n';
+  // Evaluation-side state: the attached objective's (and its batch
+  // clones') serializable state, so the resumed session continues with
+  // the identical noise stream. Detached and stateless objectives
+  // write nothing to restore.
+  auto write_state = [&out](const char* tag, const ObjectiveFunction* fn) {
+    std::optional<std::string> state =
+        fn == nullptr ? std::nullopt : fn->SaveState();
+    out << tag << ' ' << (state.has_value() ? 1 : 0);
+    if (state.has_value()) out << ' ' << state->size() << ' '
+                               << EncodeBytes(*state);
+    out << '\n';
+  };
+  write_state("objective", objective_);
+  if (!clone_pool_built_) {
+    out << "clones -1\n";
+  } else {
+    out << "clones " << clone_pool_.size() << '\n';
+    for (const auto& clone : clone_pool_) write_state("clone", clone.get());
+  }
+  out << "rounds " << committed_rounds_.size() << '\n';
+  int record_index = 0;
+  for (const Round& round : committed_rounds_) {
+    char tag = round.kind == Round::Kind::kBaseline
+                   ? 'D'
+                   : (round.kind == Round::Kind::kSingle ? 'S' : 'B');
+    out << "round " << tag << ' ' << round.requested << ' '
+        << round.ids.size() << '\n';
+    if (round.kind == Round::Kind::kBaseline) continue;
+    for (size_t i = 0; i < round.ids.size(); ++i, ++record_index) {
+      const IterationRecord& record = kb_.record(record_index);
+      out << "told " << (record.crashed ? 1 : 0) << ' '
+          << EncodeDoubleBits(record.measured) << ' '
+          << record.metrics.size();
+      for (double v : record.metrics) out << ' ' << EncodeDoubleBits(v);
+      out << '\n';
+    }
+  }
+  out << "history " << optimizer_->history().size() << '\n';
+  out << SerializeHistory(optimizer_->history());
+  out << "end\n";
+  return out.str();
+}
+
+Status TuningSession::Restore(const std::string& checkpoint) {
+  if (!init_status_.ok()) return init_status_;
+  if (baseline_done_ || baseline_pending_ || !pending_.empty() ||
+      iterations_run_ > 0 || !kb_.empty()) {
+    return Status::FailedPrecondition(
+        "Restore: requires a freshly constructed session");
+  }
+
+  std::istringstream in(checkpoint);
+  std::string token;
+
+  // Header + version.
+  std::string header, version;
+  if (!(in >> header >> version) || header != kCheckpointHeader) {
+    return Status::InvalidArgument("Restore: not a llamatune checkpoint");
+  }
+  if (version != "v" + std::to_string(kCheckpointVersion)) {
+    return Status::InvalidArgument("Restore: unsupported checkpoint version " +
+                                   version);
+  }
+
+  auto expect = [&in](const char* tag) -> Status {
+    std::string got;
+    if (!(in >> got) || got != tag) {
+      return Status::InvalidArgument(
+          std::string("Restore: expected '") + tag + "' section, got '" +
+          got + "'");
+    }
+    return Status::OK();
+  };
+  auto read_int = [&in](const char* what) -> Result<int64_t> {
+    std::string tok;
+    if (!(in >> tok)) {
+      return Status::InvalidArgument(std::string("Restore: truncated ") +
+                                     what);
+    }
+    return ParseInt64(tok);
+  };
+  auto read_double = [&in](const char* what) -> Result<double> {
+    std::string tok;
+    if (!(in >> tok)) {
+      return Status::InvalidArgument(std::string("Restore: truncated ") +
+                                     what);
+    }
+    return DecodeDoubleBits(tok);
+  };
+
+  LT_RETURN_NOT_OK(expect("maximize"));
+  Result<int64_t> saved_maximize = read_int("maximize");
+  if (!saved_maximize.ok()) return saved_maximize.status();
+  if ((*saved_maximize != 0) != maximize_) {
+    return Status::FailedPrecondition(
+        "Restore: checkpoint maximize convention does not match this "
+        "session's objective");
+  }
+
+  LT_RETURN_NOT_OK(expect("options"));
+  Result<int64_t> saved_iters = read_int("num_iterations");
+  if (!saved_iters.ok()) return saved_iters.status();
+  Result<int64_t> saved_batch = read_int("batch_size");
+  if (!saved_batch.ok()) return saved_batch.status();
+  Result<double> saved_divisor = read_double("crash_penalty_divisor");
+  if (!saved_divisor.ok()) return saved_divisor.status();
+  Result<int64_t> saved_has_es = read_int("early stopping flag");
+  if (!saved_has_es.ok()) return saved_has_es.status();
+  double saved_es_pct = 0.0;
+  int64_t saved_es_patience = 0;
+  if (*saved_has_es != 0) {
+    Result<double> pct = read_double("early stopping pct");
+    if (!pct.ok()) return pct.status();
+    saved_es_pct = *pct;
+    Result<int64_t> patience = read_int("early stopping patience");
+    if (!patience.ok()) return patience.status();
+    saved_es_patience = *patience;
+  }
+  if (*saved_iters != options_.num_iterations ||
+      *saved_batch != options_.batch_size ||
+      EncodeDoubleBits(*saved_divisor) !=
+          EncodeDoubleBits(options_.crash_penalty_divisor) ||
+      (*saved_has_es != 0) != options_.early_stopping.has_value() ||
+      (options_.early_stopping.has_value() &&
+       (EncodeDoubleBits(saved_es_pct) !=
+            EncodeDoubleBits(options_.early_stopping->min_improvement_pct()) ||
+        saved_es_patience != options_.early_stopping->patience()))) {
+    return Status::FailedPrecondition(
+        "Restore: SessionOptions do not match the checkpoint (rebuild the "
+        "session with the saved iterations/batch/penalty/early-stopping "
+        "settings)");
+  }
+
+  LT_RETURN_NOT_OK(expect("state"));
+  Result<int64_t> saved_run = read_int("iterations_run");
+  if (!saved_run.ok()) return saved_run.status();
+  Result<double> saved_seconds = read_double("optimizer_seconds");
+  if (!saved_seconds.ok()) return saved_seconds.status();
+
+  LT_RETURN_NOT_OK(expect("baseline"));
+  Result<int64_t> baseline_done = read_int("baseline flag");
+  if (!baseline_done.ok()) return baseline_done.status();
+  double saved_default = 0.0;
+  std::vector<double> saved_baseline_metrics;
+  if (*baseline_done != 0) {
+    Result<double> def = read_double("default_performance");
+    if (!def.ok()) return def.status();
+    saved_default = *def;
+    Result<int64_t> n_metrics = read_int("baseline metrics count");
+    if (!n_metrics.ok()) return n_metrics.status();
+    for (int64_t i = 0; i < *n_metrics; ++i) {
+      Result<double> v = read_double("baseline metric");
+      if (!v.ok()) return v.status();
+      saved_baseline_metrics.push_back(*v);
+    }
+  }
+
+  auto read_state =
+      [&in, &expect, &read_int](
+          const char* tag,
+          std::optional<std::string>* state) -> Status {
+    LT_RETURN_NOT_OK(expect(tag));
+    Result<int64_t> has = read_int("state flag");
+    if (!has.ok()) return has.status();
+    state->reset();
+    if (*has == 0) return Status::OK();
+    Result<int64_t> size = read_int("state size");
+    if (!size.ok()) return size.status();
+    std::string payload;
+    if (*size > 0) {
+      std::string hex;
+      if (!(in >> hex)) {
+        return Status::InvalidArgument("Restore: truncated state payload");
+      }
+      Result<std::string> bytes = DecodeBytes(hex);
+      if (!bytes.ok()) return bytes.status();
+      payload = std::move(bytes).ValueOrDie();
+    }
+    if (static_cast<int64_t>(payload.size()) != *size) {
+      return Status::InvalidArgument("Restore: state payload size mismatch");
+    }
+    *state = std::move(payload);
+    return Status::OK();
+  };
+
+  std::optional<std::string> saved_objective_state;
+  LT_RETURN_NOT_OK(read_state("objective", &saved_objective_state));
+  LT_RETURN_NOT_OK(expect("clones"));
+  Result<int64_t> saved_clone_count = read_int("clone count");
+  if (!saved_clone_count.ok()) return saved_clone_count.status();
+  std::vector<std::optional<std::string>> saved_clone_states;
+  for (int64_t i = 0; i < *saved_clone_count; ++i) {
+    std::optional<std::string> clone_state;
+    LT_RETURN_NOT_OK(read_state("clone", &clone_state));
+    saved_clone_states.push_back(std::move(clone_state));
+  }
+
+  LT_RETURN_NOT_OK(expect("rounds"));
+  Result<int64_t> n_rounds = read_int("round count");
+  if (!n_rounds.ok()) return n_rounds.status();
+
+  struct SavedTold {
+    bool crashed = false;
+    double value = 0.0;
+    std::vector<double> metrics;
+  };
+  struct SavedRound {
+    char tag = 'S';
+    int requested = 1;
+    int size = 1;
+    std::vector<SavedTold> told;
+  };
+  std::vector<SavedRound> saved_rounds;
+  // Clamped reserve: the count is untrusted checkpoint text; bad
+  // values fail through the per-round parse errors below.
+  saved_rounds.reserve(static_cast<size_t>(
+      std::min<int64_t>(std::max<int64_t>(*n_rounds, 0), 4096)));
+  for (int64_t r = 0; r < *n_rounds; ++r) {
+    LT_RETURN_NOT_OK(expect("round"));
+    std::string tag;
+    if (!(in >> tag) || tag.size() != 1 ||
+        (tag[0] != 'D' && tag[0] != 'S' && tag[0] != 'B')) {
+      return Status::InvalidArgument("Restore: bad round kind tag");
+    }
+    SavedRound round;
+    round.tag = tag[0];
+    Result<int64_t> requested = read_int("round requested");
+    if (!requested.ok()) return requested.status();
+    round.requested = static_cast<int>(*requested);
+    Result<int64_t> size = read_int("round size");
+    if (!size.ok()) return size.status();
+    round.size = static_cast<int>(*size);
+    if (round.tag != 'D') {
+      for (int i = 0; i < round.size; ++i) {
+        LT_RETURN_NOT_OK(expect("told"));
+        SavedTold told;
+        Result<int64_t> crashed = read_int("told crashed flag");
+        if (!crashed.ok()) return crashed.status();
+        told.crashed = *crashed != 0;
+        Result<double> value = read_double("told value");
+        if (!value.ok()) return value.status();
+        told.value = *value;
+        Result<int64_t> n_metrics = read_int("told metrics count");
+        if (!n_metrics.ok()) return n_metrics.status();
+        for (int64_t m = 0; m < *n_metrics; ++m) {
+          Result<double> v = read_double("told metric");
+          if (!v.ok()) return v.status();
+          told.metrics.push_back(*v);
+        }
+        round.told.push_back(std::move(told));
+      }
+    }
+    saved_rounds.push_back(std::move(round));
+  }
+
+  LT_RETURN_NOT_OK(expect("history"));
+  Result<int64_t> n_history = read_int("history count");
+  if (!n_history.ok()) return n_history.status();
+  std::string rest;
+  std::getline(in, rest);  // consume end of the "history" line
+  std::ostringstream history_text;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "end") break;
+    history_text << line << '\n';
+  }
+  Result<std::vector<Observation>> saved_history =
+      ParseHistory(history_text.str(), static_cast<int>(*n_history));
+  if (!saved_history.ok()) return saved_history.status();
+
+  // --- Replay. The optimizer re-derives its model state and RNG
+  // position from the same deterministic call sequence the original
+  // session issued; the history block then pins the result.
+  if (options_.early_stopping.has_value()) options_.early_stopping->Reset();
+  if (*baseline_done == 0) return Status::OK();  // nothing committed yet
+
+  replaying_ = true;
+  Status replay_status = Status::OK();
+  for (const SavedRound& round : saved_rounds) {
+    if (round.tag == 'D') {
+      Result<Trial> baseline = Ask();
+      if (!baseline.ok()) {
+        replay_status = Status::Internal("Restore: baseline replay failed: " +
+                                         baseline.status().ToString());
+        break;
+      }
+      TrialResult result;
+      result.trial_id = (*baseline).id;
+      result.value = saved_default;
+      result.metrics = saved_baseline_metrics;
+      Status told = Tell(result);
+      if (!told.ok()) {
+        replay_status = told;
+        break;
+      }
+      continue;
+    }
+    std::vector<Trial> trials;
+    if (round.tag == 'S') {
+      Result<Trial> trial = Ask();
+      if (!trial.ok()) {
+        replay_status = Status::Internal("Restore: replay Ask failed: " +
+                                         trial.status().ToString());
+        break;
+      }
+      trials.push_back(std::move(trial).ValueOrDie());
+    } else {
+      Result<std::vector<Trial>> batch = AskBatch(round.requested);
+      if (!batch.ok()) {
+        replay_status = Status::Internal("Restore: replay AskBatch failed: " +
+                                         batch.status().ToString());
+        break;
+      }
+      trials = std::move(batch).ValueOrDie();
+    }
+    if (static_cast<int>(trials.size()) != round.size) {
+      replay_status = Status::Internal(
+          "Restore: replay produced a different round size than the "
+          "checkpoint (optimizer mismatch?)");
+      break;
+    }
+    for (int i = 0; i < round.size; ++i) {
+      TrialResult result;
+      result.trial_id = trials[i].id;
+      result.value = round.told[i].value;
+      result.crashed = round.told[i].crashed;
+      result.metrics = round.told[i].metrics;
+      Status told = Tell(result);
+      if (!told.ok()) {
+        replay_status = told;
+        break;
+      }
+    }
+    if (!replay_status.ok()) break;
+  }
+  replaying_ = false;
+  if (!replay_status.ok()) return replay_status;
+
+  if (iterations_run_ != static_cast<int>(*saved_run)) {
+    return Status::Internal(
+        "Restore: replay reached iteration " +
+        std::to_string(iterations_run_) + ", checkpoint recorded " +
+        std::to_string(*saved_run));
+  }
+  if (!HistoryBitsEqual(optimizer_->history(), *saved_history)) {
+    return Status::Internal(
+        "Restore: replayed optimizer history diverges from the checkpoint — "
+        "the session was rebuilt with a different seed, optimizer, or "
+        "adapter than the one that saved it");
+  }
+  // Evaluation-side state: bring the attached objective (and the
+  // batch clone pool) back to the saver's noise-stream position. A
+  // detached restore ignores these — the external system owns its own
+  // state.
+  if (objective_ != nullptr) {
+    if (saved_objective_state.has_value()) {
+      Status restored = objective_->RestoreState(*saved_objective_state);
+      if (!restored.ok()) {
+        return Status::FailedPrecondition(
+            "Restore: the attached objective rejected the checkpointed "
+            "evaluation state: " +
+            restored.ToString());
+      }
+    }
+    if (*saved_clone_count >= 0) {
+      clone_pool_.clear();
+      clone_pool_built_ = true;
+      for (size_t i = 0; i < saved_clone_states.size(); ++i) {
+        std::unique_ptr<ObjectiveFunction> clone = objective_->Clone();
+        if (clone == nullptr) {
+          return Status::FailedPrecondition(
+              "Restore: checkpoint recorded a clone pool but the attached "
+              "objective does not support Clone()");
+        }
+        if (saved_clone_states[i].has_value()) {
+          Status restored = clone->RestoreState(*saved_clone_states[i]);
+          if (!restored.ok()) {
+            return Status::FailedPrecondition(
+                "Restore: clone rejected checkpointed state: " +
+                restored.ToString());
+          }
+        }
+        clone_pool_.push_back(std::move(clone));
+      }
+    }
+  }
+
+  // Replay recomputed suggestion/observation timing; report the
+  // original session's accounting instead.
+  optimizer_seconds_ = *saved_seconds;
+  return Status::OK();
 }
 
 }  // namespace llamatune

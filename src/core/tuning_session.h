@@ -1,21 +1,28 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/early_stopping.h"
 #include "src/core/knowledge_base.h"
 #include "src/core/objective.h"
 #include "src/core/space_adapter.h"
+#include "src/core/trial.h"
 #include "src/optimizer/optimizer.h"
 
 namespace llamatune {
 
 /// \brief Session-level settings (paper §6.1 defaults).
 struct SessionOptions {
-  /// Tuning iterations after the default-config baseline run.
+  /// Tuning iterations after the default-config baseline run. 0 is
+  /// legal (baseline-only session); negative is rejected by
+  /// Validate().
   int num_iterations = 100;
   /// Crash penalty: crashed configurations score (worst seen) / this
   /// factor under maximization (and worst * factor when minimizing).
@@ -43,6 +50,13 @@ struct SessionOptions {
   int num_threads = 0;
   /// Optional early-stopping policy (appendix, Table 11).
   std::optional<EarlyStoppingPolicy> early_stopping;
+
+  /// Rejects out-of-domain settings (batch_size < 1, num_threads < 0,
+  /// num_iterations < 0, crash_penalty_divisor <= 0). TuningSession
+  /// checks this on construction and surfaces the error from the first
+  /// Ask/Tell (Run/Step refuse to start); TunerBuilder::Build fails
+  /// up front.
+  Status Validate() const;
 };
 
 /// \brief Result of a full tuning session.
@@ -62,8 +76,53 @@ struct SessionResult {
   double optimizer_seconds = 0.0;
 };
 
-/// \brief The experiment controller: drives the iterative tuning loop
-/// of paper Fig. 1 (suggest -> project -> run workload -> record).
+/// \brief The experiment controller of paper Fig. 1, redesigned around
+/// an ask/tell protocol: the session owns suggestion, projection,
+/// scoring and bookkeeping, while *evaluation* may be driven either by
+/// the session itself (Run/Step, when an ObjectiveFunction is
+/// attached) or by the caller (Ask/Tell, for external systems the
+/// tuner cannot call into).
+///
+/// ## Protocol
+///
+///  1. The first Ask() (or AskBatch()) yields the *baseline* trial —
+///     the default configuration, paper "iteration 0". No further
+///     trials are handed out until its result is told: the baseline
+///     establishes the crash-penalty floor.
+///  2. Every subsequent Ask()/AskBatch(n) draws suggestions from the
+///     optimizer, projects them through the adapter, and hands back
+///     pending Trials. AskBatch clamps n to the remaining iteration
+///     budget (counting already-pending trials).
+///  3. Tell()/TellBatch() report measurements. Results may arrive in
+///     any order; the session buffers them and *commits* strictly in
+///     round order (a round = the trials of one Ask/AskBatch call),
+///     and within a round in trial-id order. A round reaches the
+///     optimizer only when its last result arrives. This makes the
+///     trajectory — crash penalties, best-so-far curves, early
+///     stopping, optimizer state — a pure function of (seed, measured
+///     values), independent of completion interleaving.
+///
+/// Run()/Step() are reimplemented on top of this protocol and preserve
+/// the historical push-model behavior bit-for-bit (pinned by
+/// tests/ask_tell_test.cc): Step asks one round, evaluates it against
+/// the attached objective (in parallel across objective clones when
+/// batch_size > 1), and tells the results.
+///
+/// ## Checkpointing
+///
+/// Save() serializes the committed trajectory — session scalars, the
+/// per-round ask structure, each trial's measured outcome, and the
+/// optimizer-visible history — to a versioned text format. Restore()
+/// rebuilds the state on a *freshly constructed* session wired with
+/// the same components and seeds by replaying the trajectory through
+/// the protocol: the optimizer re-derives its model and RNG position
+/// deterministically, and Restore fails loudly if the replayed
+/// suggestions do not reproduce the recorded history bit-for-bit
+/// (e.g. the stack was rebuilt with a different seed or registry key).
+/// Pending (asked-but-untold) trials are not part of a checkpoint;
+/// re-asking after Restore regenerates the same points under fresh
+/// ids. After Restore, the remaining trajectory is bit-for-bit
+/// identical to the uninterrupted session's.
 ///
 /// Conventions matching the paper's setup:
 ///  * The default configuration is evaluated first ("iteration 0") to
@@ -74,40 +133,151 @@ struct SessionResult {
 ///    seen so far.
 ///  * Latency targets are negated internally so optimizers always
 ///    maximize.
+///
+/// TuningSession is not thread-safe; concurrent access must be
+/// serialized by the caller (TuningService holds one lock per
+/// session).
 class TuningSession {
  public:
+  /// Attached session: the objective supplies the config space, the
+  /// maximize convention, and evaluation for Run()/Step().
   TuningSession(ObjectiveFunction* objective, SpaceAdapter* adapter,
                 Optimizer* optimizer, SessionOptions options = {});
 
-  /// Runs the full loop and returns the populated result.
+  /// Detached session: ask/tell only — the caller owns evaluation.
+  /// `config_space` supplies the default configuration for the
+  /// baseline trial; `maximize` fixes the objective convention
+  /// (false = latency-style, values negated internally). Run()/Step()
+  /// are unavailable (Step returns false, Run returns an empty
+  /// result).
+  TuningSession(const ConfigSpace* config_space, bool maximize,
+                SpaceAdapter* adapter, Optimizer* optimizer,
+                SessionOptions options = {});
+
+  /// \name Ask/tell protocol
+  /// @{
+
+  /// Requests the next trial (a round of one; commits via
+  /// Optimizer::Observe). Fails with FailedPrecondition while the
+  /// baseline is outstanding, OutOfRange when the iteration budget is
+  /// exhausted (counting pending trials) or the session stopped early,
+  /// or the SessionOptions validation error.
+  Result<Trial> Ask();
+
+  /// Requests up to `n` trials as one round (commits via
+  /// Optimizer::ObserveBatch). n is clamped to the remaining budget;
+  /// the optimizer may return fewer. Same failure modes as Ask(),
+  /// plus InvalidArgument for n < 1.
+  Result<std::vector<Trial>> AskBatch(int n);
+
+  /// Reports one measurement. Unknown ids fail with NotFound,
+  /// duplicate tells with AlreadyExists. Commit happens when a round
+  /// completes (see class comment).
+  Status Tell(const TrialResult& result);
+
+  /// Tells several results; stops at the first error.
+  Status TellBatch(const std::vector<TrialResult>& results);
+
+  /// True once the session will hand out no further trials (budget
+  /// exhausted or early-stopped).
+  bool finished() const;
+
+  /// Trials asked but not yet told.
+  int pending_trials() const { return static_cast<int>(pending_.size()); }
+
+  /// @}
+
+  /// \name Checkpointing
+  /// @{
+
+  /// Serializes the committed trajectory (versioned text). Trials of
+  /// rounds that have not fully committed are excluded — their
+  /// measurements can be re-told after Restore against re-asked
+  /// trials, which carry the same points.
+  std::string Save() const;
+
+  /// Replays `checkpoint` into this session. Requires a fresh session
+  /// (no baseline told, nothing pending) wired with the same options
+  /// and identically seeded components as the saver; fails with
+  /// FailedPrecondition / InvalidArgument / Internal otherwise (see
+  /// class comment).
+  Status Restore(const std::string& checkpoint);
+
+  /// @}
+
+  /// Runs the full loop against the attached objective and returns the
+  /// populated result.
   SessionResult Run();
 
-  /// Runs a single iteration (exposed for incremental drivers/tests).
-  /// Returns false when the budget or early stopping ended the session.
+  /// Runs a single round (exposed for incremental drivers/tests).
+  /// Returns false when the budget or early stopping ended the
+  /// session, or when no objective is attached.
   bool Step();
+
+  /// The populated result so far (same shape Run() returns); usable on
+  /// ask/tell-driven sessions at any point.
+  SessionResult Snapshot() const;
 
   const KnowledgeBase& knowledge_base() const { return kb_; }
   int iterations_run() const { return iterations_run_; }
+  const Status& init_status() const { return init_status_; }
+
+  /// Measured metric of the default configuration (0 before the
+  /// baseline is told). Cheap — for status polling, unlike Snapshot().
+  double default_performance() const { return default_performance_; }
+
+  /// Best measured metric so far (max-objective convention; 0 when no
+  /// iteration has committed). Cheap — no KnowledgeBase copy.
+  double best_performance() const {
+    int best = kb_.BestIndex();
+    return best >= 0 ? kb_.record(best).measured : 0.0;
+  }
 
  private:
-  double Penalized(bool maximize) const;
-  bool StepBaseline();
-  bool StepBatch();
+  /// A pending (asked, untold) trial plus its buffered result.
+  struct PendingTrial {
+    Trial trial;
+    std::optional<TrialResult> result;
+  };
+  /// One Ask/AskBatch call. `requested` is recorded for checkpoint
+  /// replay: a SuggestBatch override may return fewer than requested,
+  /// and replay must re-issue the original request to keep the
+  /// optimizer's draw sequence intact.
+  struct Round {
+    enum class Kind { kBaseline, kSingle, kBatch };
+    Kind kind = Kind::kSingle;
+    int requested = 1;
+    std::vector<int64_t> ids;
+  };
+
+  double Penalized() const;
   /// Converts a raw evaluation into the internal maximize-convention
   /// objective and the reported measured value, applying the crash
   /// penalty and updating the penalty floor.
-  void ScoreResult(const EvalResult& result, double* objective_value,
+  void ScoreResult(const TrialResult& result, double* objective_value,
                    double* measured);
   /// Appends the iteration to the knowledge base and updates the
   /// iteration budget / early-stopping state.
-  void AppendRecord(const std::vector<double>& point,
-                    const Configuration& config, const EvalResult& result,
+  void AppendRecord(const Trial& trial, const TrialResult& result,
                     double objective_value, double measured);
+  /// Commits fully told rounds at the queue front, in order.
+  void CommitReadyRounds();
+  void CommitRound(const Round& round);
+  /// Iteration budget not yet consumed by committed or pending trials.
+  int RemainingBudget() const;
+  /// Evaluates trials against the attached objective: the baseline and
+  /// single-trial rounds run on the objective itself; batch rounds run
+  /// across the lazily built clone pool over the shared thread pool
+  /// (slot i -> clone i, so results are independent of scheduling).
+  std::vector<TrialResult> EvaluateTrials(const std::vector<Trial>& trials);
 
-  ObjectiveFunction* objective_;
+  ObjectiveFunction* objective_;  // null for detached sessions
+  const ConfigSpace* config_space_;
+  bool maximize_ = true;
   SpaceAdapter* adapter_;
   Optimizer* optimizer_;
   SessionOptions options_;
+  Status init_status_;
 
   KnowledgeBase kb_;
   /// Independent objective instances for parallel batch evaluation
@@ -115,10 +285,23 @@ class TuningSession {
   /// objective does not support Clone()).
   std::vector<std::unique_ptr<ObjectiveFunction>> clone_pool_;
   bool clone_pool_built_ = false;
+
+  int64_t next_trial_id_ = 1;
+  std::map<int64_t, PendingTrial> pending_;
+  std::deque<Round> open_rounds_;
+  /// Committed rounds in commit order, for checkpoint replay.
+  std::vector<Round> committed_rounds_;
+  std::vector<double> baseline_metrics_;
+
   double default_performance_ = 0.0;
   double worst_objective_ = 0.0;  // worst (maximize-convention) value
   bool baseline_done_ = false;
+  bool baseline_pending_ = false;
   bool stopped_ = false;
+  /// True while Restore() replays a checkpoint: lets replay re-ask
+  /// rounds that were asked before an early stop committed (the
+  /// original asks legitimately preceded the stop).
+  bool replaying_ = false;
   int iterations_run_ = 0;
   double optimizer_seconds_ = 0.0;
 };

@@ -22,6 +22,22 @@ std::unique_ptr<ObjectiveFunction> SimulatedPostgres::Clone() const {
   return clone;
 }
 
+Status SimulatedPostgres::RestoreState(const std::string& state) {
+  try {
+    size_t pos = 0;
+    int count = std::stoi(state, &pos);
+    if (pos != state.size() || count < 0) {
+      return Status::InvalidArgument(
+          "SimulatedPostgres::RestoreState: bad evaluation counter: " + state);
+    }
+    eval_count_ = count;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument(
+        "SimulatedPostgres::RestoreState: bad evaluation counter: " + state);
+  }
+  return Status::OK();
+}
+
 ModelOutput SimulatedPostgres::RunNoiseless(const Configuration& config) const {
   if (options_.target == TuningTarget::kP95Latency) {
     return model_->RunAtFixedRate(config, options_.fixed_rate);

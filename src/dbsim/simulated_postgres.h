@@ -63,6 +63,13 @@ class SimulatedPostgres : public ObjectiveFunction {
   /// parallel batch evaluation.
   std::unique_ptr<ObjectiveFunction> Clone() const override;
 
+  /// The per-evaluation noise counter, so checkpointed sessions resume
+  /// with the identical noise stream (see TuningSession::Save).
+  std::optional<std::string> SaveState() const override {
+    return std::to_string(eval_count_);
+  }
+  Status RestoreState(const std::string& state) override;
+
   bool maximize() const override {
     return options_.target == TuningTarget::kThroughput;
   }

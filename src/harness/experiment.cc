@@ -11,73 +11,9 @@
 namespace llamatune {
 namespace harness {
 
-const char* OptimizerKindName(OptimizerKind kind) {
-  switch (kind) {
-    case OptimizerKind::kSmac:
-      return "SMAC";
-    case OptimizerKind::kGpBo:
-      return "GP-BO";
-    case OptimizerKind::kDdpg:
-      return "DDPG";
-    case OptimizerKind::kRandom:
-      return "Random";
-    case OptimizerKind::kBestConfig:
-      return "BestConfig";
-  }
-  return "?";
-}
-
-std::string OptimizerKindKey(OptimizerKind kind) {
-  switch (kind) {
-    case OptimizerKind::kSmac:
-      return "smac";
-    case OptimizerKind::kGpBo:
-      return "gpbo";
-    case OptimizerKind::kDdpg:
-      return "ddpg";
-    case OptimizerKind::kRandom:
-      return "random";
-    case OptimizerKind::kBestConfig:
-      return "bestconfig";
-  }
-  return "smac";
-}
-
-std::string LegacyAdapterKey(const ExperimentSpec& spec) {
-  std::string key;
-  if (spec.use_llamatune) {
-    const LlamaTuneOptions& lt = spec.llamatune;
-    key = (lt.projection == ProjectionKind::kHesbo ? "hesbo" : "rembo") +
-          std::to_string(lt.target_dim);
-    if (lt.special_value_bias > 0.0) {
-      key += "+svb" + FormatCompact(lt.special_value_bias);
-    }
-    if (lt.bucket_values > 0) {
-      key += "+bucket" + std::to_string(lt.bucket_values);
-    }
-  } else {
-    key = "identity";
-    if (spec.identity.special_value_bias > 0.0) {
-      key += "+svb" + FormatCompact(spec.identity.special_value_bias);
-    }
-    if (spec.identity.bucket_values > 0) {
-      key += "+bucket" + std::to_string(spec.identity.bucket_values);
-    }
-  }
-  return key;
-}
-
-std::string ResolvedOptimizerKey(const ExperimentSpec& spec) {
-  return spec.optimizer_key.value_or(OptimizerKindKey(spec.optimizer));
-}
-
-std::string ResolvedAdapterKey(const ExperimentSpec& spec) {
-  return spec.adapter_key.value_or(LegacyAdapterKey(spec));
-}
-
 MultiSeedResult RunExperiment(const ExperimentSpec& spec) {
-  const std::string optimizer_key = ResolvedOptimizerKey(spec);
-  const std::string adapter_key = ResolvedAdapterKey(spec);
+  const std::string& optimizer_key = spec.optimizer_key;
+  const std::string& adapter_key = spec.adapter_key;
 
   // Sessions are fully independent (each builds its own objective,
   // adapter, and optimizer from the per-seed seed), so seeds shard

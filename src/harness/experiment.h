@@ -5,22 +5,11 @@
 #include <string>
 #include <vector>
 
-#include "src/core/identity_adapter.h"
-#include "src/core/llamatune_adapter.h"
 #include "src/core/tuning_session.h"
 #include "src/dbsim/simulated_postgres.h"
 
 namespace llamatune {
 namespace harness {
-
-/// \brief DEPRECATED optimizer selector, kept so pre-registry call
-/// sites compile; new code names optimizers by OptimizerRegistry key.
-enum class OptimizerKind { kSmac, kGpBo, kDdpg, kRandom, kBestConfig };
-
-const char* OptimizerKindName(OptimizerKind kind);
-
-/// OptimizerRegistry key for a legacy OptimizerKind.
-std::string OptimizerKindKey(OptimizerKind kind);
 
 /// \brief A full experiment cell: one (workload, optimizer, adapter,
 /// target, version) combination run over several seeds with the
@@ -30,19 +19,21 @@ std::string OptimizerKindKey(OptimizerKind kind);
 /// Optimizer and adapter are named by registry key ("smac",
 /// "hesbo16+svb0.2+bucket10000", ...), so an experiment cell is fully
 /// described by strings — anything registered in OptimizerRegistry /
-/// AdapterRegistry is addressable without touching this struct.
+/// AdapterRegistry is addressable without touching this struct. (The
+/// pre-registry enum/bool shim is gone; the legacy adapters survive
+/// only as bit-for-bit regression oracles in
+/// tests/adapter_pipeline_test.cc.)
 struct ExperimentSpec {
   dbsim::WorkloadSpec workload;
   dbsim::PostgresVersion version = dbsim::PostgresVersion::kV96;
   dbsim::TuningTarget target = dbsim::TuningTarget::kThroughput;
   double fixed_rate = 0.0;  ///< req/s, latency target only
 
-  /// OptimizerRegistry key; when unset, falls back to the deprecated
-  /// `optimizer` enum below.
-  std::optional<std::string> optimizer_key;
-  /// AdapterRegistry key; when unset, falls back to the deprecated
-  /// use_llamatune/llamatune/identity trio below.
-  std::optional<std::string> adapter_key;
+  /// OptimizerRegistry key.
+  std::string optimizer_key = "smac";
+  /// AdapterRegistry key ("identity" = vanilla baseline; "llamatune" =
+  /// the paper's full pipeline).
+  std::string adapter_key = "identity";
 
   /// Configurations evaluated per session step (parallel across
   /// simulator clones when > 1).
@@ -59,29 +50,11 @@ struct ExperimentSpec {
   /// identical output.
   int num_threads = 0;
 
-  // --- DEPRECATED shim (pre-registry API). These fields are only
-  // consulted when the corresponding key above is unset; they map onto
-  // registry keys via OptimizerKindKey()/LegacyAdapterKey().
-  OptimizerKind optimizer = OptimizerKind::kSmac;
-  /// false: identity baseline; true: LlamaTune pipeline.
-  bool use_llamatune = false;
-  LlamaTuneOptions llamatune;
-  IdentityAdapterOptions identity;
-
   int num_iterations = 100;
   int num_seeds = 5;
   uint64_t base_seed = 42;
   std::optional<EarlyStoppingPolicy> early_stopping;
 };
-
-/// AdapterRegistry key equivalent to the deprecated adapter fields of
-/// `spec` (e.g. use_llamatune + paper defaults -> "hesbo16+svb0.2+
-/// bucket10000"; vanilla -> "identity").
-std::string LegacyAdapterKey(const ExperimentSpec& spec);
-
-/// The keys `spec` resolves to (explicit keys win over the shim).
-std::string ResolvedOptimizerKey(const ExperimentSpec& spec);
-std::string ResolvedAdapterKey(const ExperimentSpec& spec);
 
 /// \brief Aggregated outcome across seeds.
 struct MultiSeedResult {

@@ -36,6 +36,12 @@ TunerBuilder& TunerBuilder::Objective(ObjectiveFunction* objective) {
   return *this;
 }
 
+TunerBuilder& TunerBuilder::Space(const ConfigSpace* space, bool maximize) {
+  external_space_ = space;
+  external_space_maximize_ = maximize;
+  return *this;
+}
+
 TunerBuilder& TunerBuilder::Optimizer(std::string key) {
   optimizer_key_ = std::move(key);
   return *this;
@@ -72,14 +78,32 @@ TunerBuilder& TunerBuilder::EarlyStopping(EarlyStoppingPolicy policy) {
 }
 
 Result<std::unique_ptr<Tuner>> TunerBuilder::Build() const {
-  if (workload_.has_value() && external_objective_ != nullptr) {
+  return BuildImpl(/*allow_detached=*/false);
+}
+
+Result<std::unique_ptr<Tuner>> TunerBuilder::BuildDetached() const {
+  return BuildImpl(/*allow_detached=*/true);
+}
+
+Result<std::unique_ptr<Tuner>> TunerBuilder::BuildImpl(
+    bool allow_detached) const {
+  int sources = (workload_.has_value() ? 1 : 0) +
+                (external_objective_ != nullptr ? 1 : 0) +
+                (external_space_ != nullptr ? 1 : 0);
+  if (sources > 1) {
     return Status::InvalidArgument(
-        "TunerBuilder: Workload() and Objective() are mutually exclusive");
+        "TunerBuilder: Workload(), Objective() and Space() are mutually "
+        "exclusive");
   }
-  if (!workload_.has_value() && external_objective_ == nullptr) {
+  if (sources == 0) {
     return Status::FailedPrecondition(
-        "TunerBuilder: set a Workload() (simulated DBMS) or an external "
-        "Objective() before Build()");
+        "TunerBuilder: set a Workload() (simulated DBMS), an external "
+        "Objective(), or a bare Space() before building");
+  }
+  if (external_space_ != nullptr && !allow_detached) {
+    return Status::FailedPrecondition(
+        "TunerBuilder: a bare Space() has nothing to evaluate — use "
+        "BuildDetached() and drive the session through Ask/Tell");
   }
   if (num_iterations_ <= 0) {
     return Status::InvalidArgument("TunerBuilder: Iterations() must be > 0");
@@ -89,19 +113,21 @@ Result<std::unique_ptr<Tuner>> TunerBuilder::Build() const {
   }
 
   std::unique_ptr<Tuner> tuner(new Tuner());
+  const ConfigSpace* config_space = external_space_;
   if (external_objective_ != nullptr) {
     tuner->objective_ = external_objective_;
-  } else {
+    config_space = &external_objective_->config_space();
+  } else if (workload_.has_value()) {
     dbsim::SimulatedPostgresOptions db_options = db_options_;
     db_options.noise_seed = seed_;
     tuner->owned_objective_ = std::make_unique<dbsim::SimulatedPostgres>(
         *workload_, db_options);
     tuner->objective_ = tuner->owned_objective_.get();
+    config_space = &tuner->objective_->config_space();
   }
 
   Result<std::unique_ptr<SpaceAdapter>> adapter =
-      AdapterRegistry::Global().Create(
-          adapter_key_, &tuner->objective_->config_space(), seed_);
+      AdapterRegistry::Global().Create(adapter_key_, config_space, seed_);
   if (!adapter.ok()) return adapter.status();
   tuner->adapter_ = std::move(adapter).ValueOrDie();
 
@@ -116,9 +142,16 @@ Result<std::unique_ptr<Tuner>> TunerBuilder::Build() const {
   session_options.batch_size = batch_size_;
   session_options.num_threads = num_threads_;
   session_options.early_stopping = early_stopping_;
-  tuner->session_ = std::make_unique<TuningSession>(
-      tuner->objective_, tuner->adapter_.get(), tuner->optimizer_.get(),
-      session_options);
+  LT_RETURN_NOT_OK(session_options.Validate());
+  if (tuner->objective_ != nullptr) {
+    tuner->session_ = std::make_unique<TuningSession>(
+        tuner->objective_, tuner->adapter_.get(), tuner->optimizer_.get(),
+        session_options);
+  } else {
+    tuner->session_ = std::make_unique<TuningSession>(
+        config_space, external_space_maximize_, tuner->adapter_.get(),
+        tuner->optimizer_.get(), session_options);
+  }
   return tuner;
 }
 

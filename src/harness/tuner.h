@@ -18,18 +18,44 @@ namespace harness {
 /// \brief A fully wired tuning stack: objective + adapter + optimizer
 /// + session, assembled by TunerBuilder. Owns every component it
 /// created (external objectives stay caller-owned).
+///
+/// Stacks built with Build() own an evaluable objective and support
+/// both the push loop (Run/Step) and the ask/tell protocol. Stacks
+/// built with BuildDetached() over a bare ConfigSpace have no
+/// objective — the caller drives evaluation through Ask/Tell, and
+/// Run/Step are inert (see TuningSession).
 class Tuner {
  public:
-  /// Runs the session to completion.
+  /// Runs the session to completion (requires an objective).
   SessionResult Run() { return session_->Run(); }
 
   /// Single-iteration stepping for incremental drivers.
   bool Step() { return session_->Step(); }
 
+  /// \name Ask/tell passthroughs (see TuningSession for the protocol)
+  /// @{
+  Result<Trial> Ask() { return session_->Ask(); }
+  Result<std::vector<Trial>> AskBatch(int n) { return session_->AskBatch(n); }
+  Status Tell(const TrialResult& result) { return session_->Tell(result); }
+  Status TellBatch(const std::vector<TrialResult>& results) {
+    return session_->TellBatch(results);
+  }
+  std::string Save() const { return session_->Save(); }
+  Status Restore(const std::string& checkpoint) {
+    return session_->Restore(checkpoint);
+  }
+  bool finished() const { return session_->finished(); }
+  /// @}
+
+  /// False for BuildDetached() stacks over a bare ConfigSpace.
+  bool has_objective() const { return objective_ != nullptr; }
+
+  /// The attached objective; only valid when has_objective().
   ObjectiveFunction& objective() { return *objective_; }
   const SpaceAdapter& adapter() const { return *adapter_; }
   ::llamatune::Optimizer& optimizer() { return *optimizer_; }
   TuningSession& session() { return *session_; }
+  const TuningSession& session() const { return *session_; }
 
  private:
   friend class TunerBuilder;
@@ -79,6 +105,14 @@ class TunerBuilder {
   /// ownership; mutually exclusive with Workload().
   TunerBuilder& Objective(ObjectiveFunction* objective);
 
+  /// Tunes an external system the tuner cannot call into at all: only
+  /// its knob space is known, and the caller runs every measurement
+  /// through the ask/tell protocol. `maximize` fixes the objective
+  /// convention (false for latency-style targets). Caller keeps
+  /// ownership of the space; requires BuildDetached(); mutually
+  /// exclusive with Workload() and Objective().
+  TunerBuilder& Space(const ConfigSpace* space, bool maximize = true);
+
   /// OptimizerRegistry key (default "smac").
   TunerBuilder& Optimizer(std::string key);
 
@@ -101,13 +135,26 @@ class TunerBuilder {
   TunerBuilder& EarlyStopping(EarlyStoppingPolicy policy);
 
   /// Builds the stack. Fails when no objective source was configured,
-  /// both were, or a registry key is unknown.
+  /// more than one was, or a registry key is unknown. Requires an
+  /// evaluable source (Workload or Objective) — with only Space(),
+  /// use BuildDetached().
   Result<std::unique_ptr<Tuner>> Build() const;
 
+  /// Builds an ask/tell handle: the same stack, but the session never
+  /// evaluates anything itself — the caller asks for trials, measures
+  /// them, and tells the results. Accepts any objective source;
+  /// the only way to build from a bare Space(). With a Workload or
+  /// Objective source the returned Tuner can still Run/Step.
+  Result<std::unique_ptr<Tuner>> BuildDetached() const;
+
  private:
+  Result<std::unique_ptr<Tuner>> BuildImpl(bool allow_detached) const;
+
   std::optional<dbsim::WorkloadSpec> workload_;
   dbsim::SimulatedPostgresOptions db_options_;
   ObjectiveFunction* external_objective_ = nullptr;
+  const ConfigSpace* external_space_ = nullptr;
+  bool external_space_maximize_ = true;
   std::string optimizer_key_ = "smac";
   std::string adapter_key_ = "llamatune";
   uint64_t seed_ = 42;

@@ -1,0 +1,90 @@
+#include "src/optimizer/history_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/serde.h"
+
+namespace llamatune {
+
+namespace {
+
+bool BitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+std::string SerializeHistory(const std::vector<Observation>& history) {
+  std::ostringstream out;
+  for (const Observation& obs : history) {
+    out << "obs " << obs.point.size();
+    for (double v : obs.point) out << ' ' << EncodeDoubleBits(v);
+    out << ' ' << EncodeDoubleBits(obs.value) << '\n';
+  }
+  return out.str();
+}
+
+Result<std::vector<Observation>> ParseHistory(const std::string& text,
+                                              int expected_count) {
+  std::istringstream in(text);
+  std::vector<Observation> history;
+  // Clamped: counts come from untrusted text; oversized headers must
+  // fail via the truncated-stream checks, not throw bad_alloc.
+  history.reserve(std::min(std::max(expected_count, 0), 4096));
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "obs") {
+      return Status::InvalidArgument("history: expected 'obs', got: " + tag);
+    }
+    std::string count_tok;
+    if (!(in >> count_tok)) {
+      return Status::InvalidArgument("history: truncated obs line");
+    }
+    Result<int64_t> dim = ParseInt64(count_tok);
+    if (!dim.ok()) return dim.status();
+    Observation obs;
+    obs.point.reserve(static_cast<size_t>(
+        std::min<int64_t>(std::max<int64_t>(*dim, 0), 4096)));
+    std::string token;
+    for (int64_t i = 0; i < *dim; ++i) {
+      if (!(in >> token)) {
+        return Status::InvalidArgument("history: truncated point");
+      }
+      Result<double> v = DecodeDoubleBits(token);
+      if (!v.ok()) return v.status();
+      obs.point.push_back(*v);
+    }
+    if (!(in >> token)) {
+      return Status::InvalidArgument("history: missing value");
+    }
+    Result<double> value = DecodeDoubleBits(token);
+    if (!value.ok()) return value.status();
+    obs.value = *value;
+    history.push_back(std::move(obs));
+  }
+  if (expected_count >= 0 &&
+      static_cast<int>(history.size()) != expected_count) {
+    return Status::InvalidArgument(
+        "history: observation count mismatch: expected " +
+        std::to_string(expected_count) + ", parsed " +
+        std::to_string(history.size()));
+  }
+  return history;
+}
+
+bool HistoryBitsEqual(const std::vector<Observation>& a,
+                      const std::vector<Observation>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].point.size() != b[i].point.size()) return false;
+    if (!BitsEqual(a[i].value, b[i].value)) return false;
+    for (size_t j = 0; j < a[i].point.size(); ++j) {
+      if (!BitsEqual(a[i].point[j], b[i].point[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace llamatune

@@ -1,0 +1,228 @@
+#include "src/service/tuning_service.h"
+
+#include <utility>
+
+namespace llamatune {
+namespace service {
+
+Status TuningService::BuildEntry(const SessionSpec& spec,
+                                 std::shared_ptr<Entry>* out) {
+  int sources = (spec.workload.has_value() ? 1 : 0) +
+                (spec.objective != nullptr ? 1 : 0) +
+                (spec.space != nullptr ? 1 : 0);
+  if (sources != 1) {
+    return Status::InvalidArgument(
+        "SessionSpec: set exactly one of workload, objective, space");
+  }
+
+  harness::TunerBuilder builder;
+  if (spec.workload.has_value()) {
+    builder.Workload(*spec.workload).DbOptions(spec.db_options);
+  } else if (spec.objective != nullptr) {
+    builder.Objective(spec.objective);
+  } else {
+    builder.Space(spec.space, spec.maximize);
+  }
+  builder.Optimizer(spec.optimizer_key)
+      .Adapter(spec.adapter_key)
+      .Seed(spec.seed)
+      .Iterations(spec.num_iterations)
+      .BatchSize(spec.batch_size)
+      .Threads(spec.num_threads);
+  if (spec.early_stopping.has_value()) {
+    builder.EarlyStopping(*spec.early_stopping);
+  }
+
+  // Sessions are always built detached-capable: ask/tell is the
+  // service's native protocol, and Step/Drive additionally work when
+  // an evaluable objective exists.
+  Result<std::unique_ptr<harness::Tuner>> tuner = builder.BuildDetached();
+  if (!tuner.ok()) return tuner.status();
+
+  auto entry = std::make_shared<Entry>();
+  entry->tuner = std::move(tuner).ValueOrDie();
+  entry->optimizer_key = spec.optimizer_key;
+  entry->adapter_key = spec.adapter_key;
+  entry->external = spec.space != nullptr;
+  entry->num_iterations = spec.num_iterations;
+  *out = std::move(entry);
+  return Status::OK();
+}
+
+Status TuningService::CreateSession(const std::string& name,
+                                    const SessionSpec& spec) {
+  std::shared_ptr<Entry> entry;
+  LT_RETURN_NOT_OK(BuildEntry(spec, &entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sessions_.emplace(name, std::move(entry)).second) {
+    return Status::AlreadyExists("TuningService: session '" + name +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+Status TuningService::Resume(const std::string& name, const SessionSpec& spec,
+                             const std::string& checkpoint) {
+  std::shared_ptr<Entry> entry;
+  LT_RETURN_NOT_OK(BuildEntry(spec, &entry));
+  LT_RETURN_NOT_OK(entry->tuner->Restore(checkpoint));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sessions_.emplace(name, std::move(entry)).second) {
+    return Status::AlreadyExists("TuningService: session '" + name +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<TuningService::Entry> TuningService::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<Trial> TuningService::Ask(const std::string& name) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->Ask();
+}
+
+Result<std::vector<Trial>> TuningService::AskBatch(const std::string& name,
+                                                   int n) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->AskBatch(n);
+}
+
+Status TuningService::Tell(const std::string& name,
+                           const TrialResult& result) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->Tell(result);
+}
+
+Status TuningService::TellBatch(const std::string& name,
+                                const std::vector<TrialResult>& results) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->TellBatch(results);
+}
+
+Status TuningService::Step(const std::string& name, bool* progressed) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (!entry->tuner->has_objective()) {
+    return Status::FailedPrecondition(
+        "TuningService: session '" + name +
+        "' is external (space source) — drive it through Ask/Tell");
+  }
+  bool stepped = entry->tuner->Step();
+  if (progressed != nullptr) *progressed = stepped;
+  return Status::OK();
+}
+
+Status TuningService::Drive(const std::string& name) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (!entry->tuner->has_objective()) {
+    return Status::FailedPrecondition(
+        "TuningService: session '" + name +
+        "' is external (space source) — drive it through Ask/Tell");
+  }
+  while (entry->tuner->Step()) {
+  }
+  return Status::OK();
+}
+
+Result<std::string> TuningService::Checkpoint(const std::string& name) const {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->Save();
+}
+
+SessionStatus TuningService::StatusLocked(const std::string& name,
+                                          const Entry& entry) const {
+  const TuningSession& session = entry.tuner->session();
+  SessionStatus status;
+  status.name = name;
+  status.optimizer_key = entry.optimizer_key;
+  status.adapter_key = entry.adapter_key;
+  status.external = entry.external;
+  status.iterations_run = session.iterations_run();
+  status.num_iterations = entry.num_iterations;
+  status.pending_trials = session.pending_trials();
+  status.finished = session.finished();
+  // Scalar accessors, not Snapshot(): status polling must not copy
+  // the whole knowledge base under the session lock.
+  status.default_performance = session.default_performance();
+  status.best_performance = session.best_performance();
+  return status;
+}
+
+Result<SessionStatus> TuningService::GetStatus(const std::string& name) const {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TuningService: no session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return StatusLocked(name, *entry);
+}
+
+std::vector<SessionStatus> TuningService::ListSessions() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.assign(sessions_.begin(), sessions_.end());
+  }
+  std::vector<SessionStatus> statuses;
+  statuses.reserve(entries.size());
+  for (const auto& [name, entry] : entries) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    statuses.push_back(StatusLocked(name, *entry));
+  }
+  return statuses;
+}
+
+Result<SessionResult> TuningService::Close(const std::string& name) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      return Status::NotFound("TuningService: no session '" + name + "'");
+    }
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->session().Snapshot();
+}
+
+int TuningService::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+}  // namespace service
+}  // namespace llamatune

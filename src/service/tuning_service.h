@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/early_stopping.h"
+#include "src/core/trial.h"
+#include "src/core/tuning_session.h"
+#include "src/dbsim/simulated_postgres.h"
+#include "src/harness/tuner.h"
+
+namespace llamatune {
+namespace service {
+
+/// \brief Everything needed to spin up one tuning job. Exactly one
+/// objective source must be set:
+///
+///  * `workload`   — tune the bundled simulated PostgreSQL; the
+///                   service can evaluate trials itself (Step/Drive).
+///  * `objective`  — caller-owned external ObjectiveFunction; the
+///                   service can still evaluate via Step/Drive.
+///  * `space`      — external DBMS the service cannot call into: only
+///                   the knob space is known and the caller measures
+///                   every trial through Ask/Tell.
+struct SessionSpec {
+  std::optional<dbsim::WorkloadSpec> workload;
+  dbsim::SimulatedPostgresOptions db_options;
+  ObjectiveFunction* objective = nullptr;
+  const ConfigSpace* space = nullptr;
+  /// Objective convention for `space` sources (false = latency-style).
+  bool maximize = true;
+
+  /// OptimizerRegistry / AdapterRegistry keys.
+  std::string optimizer_key = "smac";
+  std::string adapter_key = "llamatune";
+  uint64_t seed = 42;
+  int num_iterations = 100;
+  int batch_size = 1;
+  /// Executor cap for this session's parallel batch evaluation over
+  /// the shared thread pool (0 = pool size).
+  int num_threads = 0;
+  std::optional<EarlyStoppingPolicy> early_stopping;
+};
+
+/// \brief A point-in-time view of one managed session.
+struct SessionStatus {
+  std::string name;
+  std::string optimizer_key;
+  std::string adapter_key;
+  /// True when the caller drives evaluation (a `space` source).
+  bool external = false;
+  int iterations_run = 0;
+  int num_iterations = 0;
+  int pending_trials = 0;
+  /// No further trials will be handed out (budget exhausted or early
+  /// stop); pending trials may still need telling.
+  bool finished = false;
+  double default_performance = 0.0;
+  double best_performance = 0.0;
+};
+
+/// \brief The serve-style entry point: a registry of named, concurrent
+/// tuning sessions driven over the ask/tell protocol (ROADMAP
+/// "long-running tuning service" item).
+///
+/// Each session owns a full tuner stack (objective/space + adapter +
+/// optimizer + TuningSession) built through TunerBuilder from registry
+/// keys. Calls on *different* sessions proceed concurrently — the
+/// service holds one mutex per session plus a registry mutex, and all
+/// heavy optimizer work (model refits, acquisition scoring, batch
+/// evaluation) runs over the shared nest-safe ThreadPool, so N
+/// sessions time-share the machine instead of oversubscribing it.
+/// Calls on the *same* session serialize, preserving the session's
+/// deterministic trajectory; per-session results are bit-for-bit
+/// reproducible at any thread count and any cross-session
+/// interleaving.
+///
+/// Checkpoint/Resume round-trip a session through the versioned text
+/// format of TuningSession::Save/Restore: Resume(name, spec, text)
+/// rebuilds the stack from `spec` (which must match the original
+/// seed/keys/options — Restore verifies bit-for-bit and fails loudly
+/// otherwise) and replays the trajectory, after which the session
+/// continues exactly as the uninterrupted one would have.
+class TuningService {
+ public:
+  TuningService() = default;
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Registers a new session under `name`. Fails with AlreadyExists
+  /// for duplicate names, or with the TunerBuilder error for bad
+  /// specs/keys.
+  Status CreateSession(const std::string& name, const SessionSpec& spec);
+
+  /// CreateSession + TuningSession::Restore in one step.
+  Status Resume(const std::string& name, const SessionSpec& spec,
+                const std::string& checkpoint);
+
+  /// \name Ask/tell (any session)
+  /// @{
+  Result<Trial> Ask(const std::string& name);
+  Result<std::vector<Trial>> AskBatch(const std::string& name, int n);
+  Status Tell(const std::string& name, const TrialResult& result);
+  Status TellBatch(const std::string& name,
+                   const std::vector<TrialResult>& results);
+  /// @}
+
+  /// Runs one session-driven round (workload/objective sources only;
+  /// `space` sessions fail with FailedPrecondition). Returns OK with
+  /// `*progressed = false` once the session is done.
+  Status Step(const std::string& name, bool* progressed = nullptr);
+
+  /// Steps the session until it finishes (workload/objective sources).
+  Status Drive(const std::string& name);
+
+  /// Serializes the session's committed trajectory.
+  Result<std::string> Checkpoint(const std::string& name) const;
+
+  Result<SessionStatus> GetStatus(const std::string& name) const;
+
+  /// Status of every live session, sorted by name.
+  std::vector<SessionStatus> ListSessions() const;
+
+  /// Removes the session and returns its final result snapshot.
+  Result<SessionResult> Close(const std::string& name);
+
+  int session_count() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<harness::Tuner> tuner;
+    std::string optimizer_key;
+    std::string adapter_key;
+    bool external = false;
+    int num_iterations = 0;
+    /// Serializes all operations on this session; taken *after*
+    /// releasing the registry mutex so sessions never block each
+    /// other.
+    mutable std::mutex mu;
+  };
+
+  /// Looks up `name` under the registry lock; the returned shared_ptr
+  /// keeps the entry alive even if Close() races.
+  std::shared_ptr<Entry> Find(const std::string& name) const;
+  SessionStatus StatusLocked(const std::string& name,
+                             const Entry& entry) const;
+  static Status BuildEntry(const SessionSpec& spec,
+                           std::shared_ptr<Entry>* out);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+};
+
+}  // namespace service
+}  // namespace llamatune

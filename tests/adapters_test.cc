@@ -1,8 +1,14 @@
+// Adapter behavior through the registry pipeline (the legacy
+// IdentityAdapter/LlamaTuneAdapter classes survive only as bit-for-bit
+// regression oracles in tests/adapter_pipeline_test.cc).
+
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
 #include "src/common/rng.h"
-#include "src/core/identity_adapter.h"
-#include "src/core/llamatune_adapter.h"
+#include "src/core/adapter_registry.h"
 #include "src/core/subset_adapter.h"
 #include "src/dbsim/knob_catalog.h"
 #include "src/sampling/uniform.h"
@@ -10,50 +16,53 @@
 namespace llamatune {
 namespace {
 
+std::unique_ptr<SpaceAdapter> MakeAdapter(const std::string& key,
+                                          const ConfigSpace* space,
+                                          uint64_t seed = 1) {
+  return std::move(AdapterRegistry::Global().Create(key, space, seed))
+      .ValueOrDie();
+}
+
 class AdapterFixture : public ::testing::Test {
  protected:
   ConfigSpace space_ = dbsim::PostgresV96Catalog();
 };
 
 TEST_F(AdapterFixture, IdentityDimensionPerKnob) {
-  IdentityAdapter adapter(&space_);
-  EXPECT_EQ(adapter.search_space().num_dims(), space_.num_knobs());
+  auto adapter = MakeAdapter("identity", &space_);
+  EXPECT_EQ(adapter->search_space().num_dims(), space_.num_knobs());
 }
 
 TEST_F(AdapterFixture, IdentityProjectsValidConfigs) {
-  IdentityAdapter adapter(&space_);
+  auto adapter = MakeAdapter("identity", &space_);
   Rng rng(1);
   for (int i = 0; i < 200; ++i) {
-    auto p = UniformSample(adapter.search_space(), &rng);
-    Configuration c = adapter.Project(p);
+    auto p = UniformSample(adapter->search_space(), &rng);
+    Configuration c = adapter->Project(p);
     EXPECT_TRUE(space_.ValidateConfiguration(c).ok());
   }
 }
 
 TEST_F(AdapterFixture, IdentityWithSvbBiasesHybridKnobs) {
-  IdentityAdapterOptions options;
-  options.special_value_bias = 0.2;
-  IdentityAdapter adapter(&space_, options);
+  auto adapter = MakeAdapter("identity+svb0.2", &space_);
   Rng rng(2);
   int bfa_idx = space_.IndexOf("backend_flush_after");
   ASSERT_GE(bfa_idx, 0);
   int specials = 0;
   const int n = 5000;
   for (int i = 0; i < n; ++i) {
-    auto p = UniformSample(adapter.search_space(), &rng);
-    Configuration c = adapter.Project(p);
+    auto p = UniformSample(adapter->search_space(), &rng);
+    Configuration c = adapter->Project(p);
     if (c[bfa_idx] == 0.0) ++specials;
   }
   EXPECT_NEAR(static_cast<double>(specials) / n, 0.2, 0.03);
-  EXPECT_NE(adapter.name().find("SVB"), std::string::npos);
+  EXPECT_NE(adapter->name().find("svb0.2"), std::string::npos);
 }
 
 TEST_F(AdapterFixture, IdentityBucketizedSpace) {
-  IdentityAdapterOptions options;
-  options.bucket_values = 1000;
-  IdentityAdapter adapter(&space_, options);
-  for (int i = 0; i < adapter.search_space().num_dims(); ++i) {
-    const SearchDim& d = adapter.search_space().dim(i);
+  auto adapter = MakeAdapter("identity+bucket1000", &space_);
+  for (int i = 0; i < adapter->search_space().num_dims(); ++i) {
+    const SearchDim& d = adapter->search_space().dim(i);
     if (d.type == SearchDim::Type::kContinuous) {
       EXPECT_LE(d.num_buckets, 1000);
       EXPECT_GT(d.num_buckets, 0);
@@ -62,80 +71,72 @@ TEST_F(AdapterFixture, IdentityBucketizedSpace) {
 }
 
 TEST_F(AdapterFixture, LlamaTuneSpaceIsBucketizedLowDim) {
-  LlamaTuneOptions options;  // paper defaults: HeSBO-16, 20%, K=10000
-  LlamaTuneAdapter adapter(&space_, options);
-  ASSERT_EQ(adapter.search_space().num_dims(), 16);
+  // "llamatune" = paper defaults: HeSBO-16, 20% SVB, K=10000.
+  auto adapter = MakeAdapter("llamatune", &space_);
+  ASSERT_EQ(adapter->search_space().num_dims(), 16);
   for (int i = 0; i < 16; ++i) {
-    EXPECT_EQ(adapter.search_space().dim(i).num_buckets, 10000);
-    EXPECT_EQ(adapter.search_space().dim(i).lo, -1.0);
-    EXPECT_EQ(adapter.search_space().dim(i).hi, 1.0);
+    EXPECT_EQ(adapter->search_space().dim(i).num_buckets, 10000);
+    EXPECT_EQ(adapter->search_space().dim(i).lo, -1.0);
+    EXPECT_EQ(adapter->search_space().dim(i).hi, 1.0);
   }
-  EXPECT_NE(adapter.name().find("HeSBO-16"), std::string::npos);
+  EXPECT_NE(adapter->name().find("hesbo16"), std::string::npos);
 }
 
 TEST_F(AdapterFixture, LlamaTuneProjectsValidConfigs) {
-  for (auto kind : {ProjectionKind::kHesbo, ProjectionKind::kRembo}) {
-    LlamaTuneOptions options;
-    options.projection = kind;
-    LlamaTuneAdapter adapter(&space_, options);
+  for (const char* key : {"hesbo16+svb0.2+bucket10000",
+                          "rembo16+svb0.2+bucket10000"}) {
+    auto adapter = MakeAdapter(key, &space_, 3);
     Rng rng(3);
     for (int i = 0; i < 200; ++i) {
-      auto p = UniformSample(adapter.search_space(), &rng);
-      Configuration c = adapter.Project(p);
+      auto p = UniformSample(adapter->search_space(), &rng);
+      Configuration c = adapter->Project(p);
       EXPECT_TRUE(space_.ValidateConfiguration(c).ok());
     }
   }
 }
 
 TEST_F(AdapterFixture, LlamaTuneSpecialValueMassOnHybrids) {
-  LlamaTuneOptions options;
-  LlamaTuneAdapter adapter(&space_, options);
+  auto adapter = MakeAdapter("llamatune", &space_);
   Rng rng(4);
   int bfa_idx = space_.IndexOf("backend_flush_after");
   int specials = 0;
   const int n = 5000;
   for (int i = 0; i < n; ++i) {
-    auto p = UniformSample(adapter.search_space(), &rng);
-    if (adapter.Project(p)[bfa_idx] == 0.0) ++specials;
+    auto p = UniformSample(adapter->search_space(), &rng);
+    if (adapter->Project(p)[bfa_idx] == 0.0) ++specials;
   }
   // The projected marginal is uniform-ish, so the special band should
   // receive roughly the configured 20% mass.
   EXPECT_NEAR(static_cast<double>(specials) / n, 0.2, 0.04);
 }
 
-TEST_F(AdapterFixture, LlamaTuneZeroSvbOnlyHitsSpecialAtBoundary) {
-  LlamaTuneOptions options;
-  options.special_value_bias = 0.0;
-  LlamaTuneAdapter adapter(&space_, options);
+TEST_F(AdapterFixture, ZeroSvbOnlyHitsSpecialAtBoundary) {
+  auto adapter = MakeAdapter("hesbo16+bucket10000", &space_);
   Rng rng(5);
   int bfa_idx = space_.IndexOf("backend_flush_after");
   int specials = 0;
   const int n = 5000;
   for (int i = 0; i < n; ++i) {
-    auto p = UniformSample(adapter.search_space(), &rng);
-    if (adapter.Project(p)[bfa_idx] == 0.0) ++specials;
+    auto p = UniformSample(adapter->search_space(), &rng);
+    if (adapter->Project(p)[bfa_idx] == 0.0) ++specials;
   }
   EXPECT_LT(static_cast<double>(specials) / n, 0.02);
 }
 
-TEST_F(AdapterFixture, LlamaTuneDeterministicPerSeed) {
-  LlamaTuneOptions options;
-  options.projection_seed = 99;
-  LlamaTuneAdapter a(&space_, options), b(&space_, options);
+TEST_F(AdapterFixture, PipelineDeterministicPerSeed) {
+  auto a = MakeAdapter("llamatune", &space_, 99);
+  auto b = MakeAdapter("llamatune", &space_, 99);
   Rng rng(6);
   for (int i = 0; i < 20; ++i) {
-    auto p = UniformSample(a.search_space(), &rng);
-    EXPECT_EQ(a.Project(p), b.Project(p));
+    auto p = UniformSample(a->search_space(), &rng);
+    EXPECT_EQ(a->Project(p), b->Project(p));
   }
 }
 
 TEST_F(AdapterFixture, RemboNameAndBounds) {
-  LlamaTuneOptions options;
-  options.projection = ProjectionKind::kRembo;
-  options.target_dim = 8;
-  LlamaTuneAdapter adapter(&space_, options);
-  EXPECT_NE(adapter.name().find("REMBO-8"), std::string::npos);
-  EXPECT_NEAR(adapter.search_space().dim(0).hi, std::sqrt(8.0), 1e-12);
+  auto adapter = MakeAdapter("rembo8", &space_);
+  EXPECT_NE(adapter->name().find("rembo8"), std::string::npos);
+  EXPECT_NEAR(adapter->search_space().dim(0).hi, std::sqrt(8.0), 1e-12);
 }
 
 TEST_F(AdapterFixture, SubsetAdapterOnlyTouchesSelectedKnobs) {
@@ -177,13 +178,13 @@ class PipelineProperty : public ::testing::TestWithParam<PipelineCase> {};
 
 TEST_P(PipelineProperty, ProjectedConfigsAlwaysValid) {
   ConfigSpace space = dbsim::CatalogFor(GetParam().version);
-  LlamaTuneOptions options;
-  options.target_dim = GetParam().dim;
-  LlamaTuneAdapter adapter(&space, options);
+  std::string key = "hesbo" + std::to_string(GetParam().dim) +
+                    "+svb0.2+bucket10000";
+  auto adapter = MakeAdapter(key, &space, GetParam().dim);
   Rng rng(GetParam().dim);
   for (int i = 0; i < 100; ++i) {
-    auto p = UniformSample(adapter.search_space(), &rng);
-    EXPECT_TRUE(space.ValidateConfiguration(adapter.Project(p)).ok());
+    auto p = UniformSample(adapter->search_space(), &rng);
+    EXPECT_TRUE(space.ValidateConfiguration(adapter->Project(p)).ok());
   }
 }
 

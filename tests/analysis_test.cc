@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <memory>
+#include <utility>
+
 #include "src/analysis/importance.h"
 #include "src/analysis/shap.h"
-#include "src/core/identity_adapter.h"
+#include "src/core/adapter_registry.h"
 
 namespace llamatune {
 namespace {
@@ -36,11 +39,18 @@ class PlantedObjective : public ObjectiveFunction {
   ConfigSpace space_;
 };
 
+std::unique_ptr<SpaceAdapter> MakeIdentity(const ConfigSpace* space) {
+  return std::move(AdapterRegistry::Global().Create("identity", space, 1))
+      .ValueOrDie();
+}
+
 class AnalysisFixture : public ::testing::Test {
  protected:
-  AnalysisFixture() : adapter_(&objective_.config_space()) {}
+  AnalysisFixture() : adapter_owned_(MakeIdentity(&objective_.config_space())),
+                      adapter_(*adapter_owned_) {}
   PlantedObjective objective_;
-  IdentityAdapter adapter_;
+  std::unique_ptr<SpaceAdapter> adapter_owned_;
+  SpaceAdapter& adapter_;
 };
 
 TEST_F(AnalysisFixture, CorpusHasRequestedSize) {
@@ -103,7 +113,8 @@ TEST_F(AnalysisFixture, CrashedSamplesAreDropped) {
     }
   };
   CrashyObjective objective;
-  IdentityAdapter adapter(&objective.config_space());
+  auto adapter_owned = MakeIdentity(&objective.config_space());
+  SpaceAdapter& adapter = *adapter_owned;
   ImportanceCorpus corpus = BuildCorpus(&objective, adapter, 200, 9);
   EXPECT_LT(corpus.points.size(), 200u);
   EXPECT_GT(corpus.points.size(), 120u);
@@ -116,7 +127,8 @@ class ImportanceDeterminism : public ::testing::TestWithParam<int> {};
 
 TEST_P(ImportanceDeterminism, SameSeedSameRanking) {
   PlantedObjective objective;
-  IdentityAdapter adapter(&objective.config_space());
+  auto adapter_owned = MakeIdentity(&objective.config_space());
+  SpaceAdapter& adapter = *adapter_owned;
   ImportanceCorpus corpus = BuildCorpus(&objective, adapter, 150, 10);
   auto a = PermutationImportance(corpus, adapter, GetParam());
   auto b = PermutationImportance(corpus, adapter, GetParam());

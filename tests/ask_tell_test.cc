@@ -1,0 +1,684 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/adapter_registry.h"
+#include "src/core/tuning_session.h"
+#include "src/dbsim/simulated_postgres.h"
+#include "src/dbsim/workloads.h"
+#include "src/harness/tuner.h"
+#include "src/optimizer/optimizer_registry.h"
+#include "src/optimizer/random_search.h"
+
+namespace llamatune {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oracle: a verbatim replica of the pre-ask/tell TuningSession's Run
+// loop (the push model this PR re-implemented over Ask/Tell). The
+// equivalence tests below pin the redesigned session to this replica
+// bit-for-bit across a (seed, optimizer, adapter, batch) grid, so the
+// API inversion provably preserved behavior.
+// ---------------------------------------------------------------------------
+class LegacyTuningSession {
+ public:
+  LegacyTuningSession(ObjectiveFunction* objective, SpaceAdapter* adapter,
+                      Optimizer* optimizer, SessionOptions options)
+      : objective_(objective),
+        adapter_(adapter),
+        optimizer_(optimizer),
+        options_(std::move(options)) {}
+
+  SessionResult Run() {
+    if (options_.early_stopping.has_value()) options_.early_stopping->Reset();
+    while (Step()) {
+    }
+    SessionResult result;
+    result.kb = kb_;
+    result.default_performance = default_performance_;
+    result.iterations_run = iterations_run_;
+    result.optimizer_seconds = 0.0;
+    int best = kb_.BestIndex();
+    if (best >= 0) {
+      result.best_performance = kb_.record(best).measured;
+      result.best_config = kb_.record(best).config;
+    }
+    return result;
+  }
+
+  bool Step() {
+    if (stopped_) return false;
+    if (!baseline_done_) return StepBaseline();
+
+    if (iterations_run_ >= options_.num_iterations) {
+      stopped_ = true;
+      return false;
+    }
+
+    if (options_.batch_size > 1) return StepBatch();
+
+    std::vector<double> point = optimizer_->Suggest();
+    Configuration config = adapter_->Project(point);
+    EvalResult result = objective_->Evaluate(config);
+
+    double objective_value = 0.0;
+    double measured = 0.0;
+    ScoreResult(result, &objective_value, &measured);
+    optimizer_->ObserveMetrics(result.metrics);
+    optimizer_->Observe(point, objective_value);
+    AppendRecord(point, config, result, objective_value, measured);
+    return true;
+  }
+
+ private:
+  double Penalized() const {
+    if (worst_objective_ >= 0.0) {
+      return worst_objective_ / options_.crash_penalty_divisor;
+    }
+    return worst_objective_ * options_.crash_penalty_divisor;
+  }
+
+  bool StepBaseline() {
+    const bool maximize = objective_->maximize();
+    Configuration def = objective_->config_space().DefaultConfiguration();
+    EvalResult result = objective_->Evaluate(def);
+    double objective_value = maximize ? result.value : -result.value;
+    default_performance_ = result.value;
+    worst_objective_ = objective_value;
+    optimizer_->ObserveMetrics(result.metrics);
+    baseline_done_ = true;
+    return true;
+  }
+
+  void ScoreResult(const EvalResult& result, double* objective_value,
+                   double* measured) {
+    const bool maximize = objective_->maximize();
+    if (result.crashed) {
+      *objective_value = Penalized();
+      *measured = maximize ? *objective_value : -*objective_value;
+    } else {
+      *objective_value = maximize ? result.value : -result.value;
+      *measured = result.value;
+      worst_objective_ = std::min(worst_objective_, *objective_value);
+    }
+  }
+
+  void AppendRecord(const std::vector<double>& point,
+                    const Configuration& config, const EvalResult& result,
+                    double objective_value, double measured) {
+    IterationRecord record;
+    record.iteration = ++iterations_run_;
+    record.point = point;
+    record.config = config;
+    record.measured = measured;
+    record.objective = objective_value;
+    record.crashed = result.crashed;
+    record.metrics = result.metrics;
+    kb_.Add(std::move(record));
+
+    if (options_.early_stopping.has_value()) {
+      double best = kb_.BestSoFarObjective().back();
+      if (options_.early_stopping->Update(best)) {
+        stopped_ = true;
+      }
+    }
+    if (iterations_run_ >= options_.num_iterations) stopped_ = true;
+  }
+
+  bool StepBatch() {
+    int n = std::min(options_.batch_size,
+                     options_.num_iterations - iterations_run_);
+    std::vector<std::vector<double>> points = optimizer_->SuggestBatch(n);
+    if (static_cast<int>(points.size()) > n) points.resize(n);
+    n = static_cast<int>(points.size());
+    if (n == 0) {
+      stopped_ = true;
+      return false;
+    }
+
+    std::vector<Configuration> configs;
+    configs.reserve(n);
+    for (const auto& point : points) {
+      configs.push_back(adapter_->Project(point));
+    }
+
+    if (!clone_pool_built_) {
+      clone_pool_built_ = true;
+      for (int i = 0; i < options_.batch_size; ++i) {
+        std::unique_ptr<ObjectiveFunction> clone = objective_->Clone();
+        if (clone == nullptr) {
+          clone_pool_.clear();
+          break;
+        }
+        clone_pool_.push_back(std::move(clone));
+      }
+    }
+
+    std::vector<EvalResult> results(n);
+    if (clone_pool_.empty()) {
+      for (int i = 0; i < n; ++i) {
+        results[i] = objective_->Evaluate(configs[i]);
+      }
+    } else {
+      ThreadPool::Global().ParallelFor(
+          n,
+          [this, &configs, &results](int i) {
+            ObjectiveFunction* instance =
+                clone_pool_[i % clone_pool_.size()].get();
+            results[i] = instance->Evaluate(configs[i]);
+          },
+          options_.num_threads);
+    }
+
+    std::vector<double> values(n);
+    std::vector<double> measured(n);
+    for (int i = 0; i < n; ++i) {
+      ScoreResult(results[i], &values[i], &measured[i]);
+    }
+    for (int i = 0; i < n; ++i) {
+      optimizer_->ObserveMetrics(results[i].metrics);
+    }
+    optimizer_->ObserveBatch(points, values);
+    for (int i = 0; i < n; ++i) {
+      AppendRecord(points[i], configs[i], results[i], values[i], measured[i]);
+    }
+    return true;
+  }
+
+  ObjectiveFunction* objective_;
+  SpaceAdapter* adapter_;
+  Optimizer* optimizer_;
+  SessionOptions options_;
+  KnowledgeBase kb_;
+  std::vector<std::unique_ptr<ObjectiveFunction>> clone_pool_;
+  bool clone_pool_built_ = false;
+  double default_performance_ = 0.0;
+  double worst_objective_ = 0.0;
+  bool baseline_done_ = false;
+  bool stopped_ = false;
+  int iterations_run_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult ResultsBitIdentical(const SessionResult& a,
+                                               const SessionResult& b) {
+  if (a.iterations_run != b.iterations_run) {
+    return ::testing::AssertionFailure()
+           << "iterations_run " << a.iterations_run << " vs "
+           << b.iterations_run;
+  }
+  if (!SameBits(a.default_performance, b.default_performance)) {
+    return ::testing::AssertionFailure()
+           << "default_performance " << a.default_performance << " vs "
+           << b.default_performance;
+  }
+  if (!SameBits(a.best_performance, b.best_performance)) {
+    return ::testing::AssertionFailure()
+           << "best_performance " << a.best_performance << " vs "
+           << b.best_performance;
+  }
+  if (!(a.best_config == b.best_config)) {
+    return ::testing::AssertionFailure() << "best_config differs";
+  }
+  if (a.kb.size() != b.kb.size()) {
+    return ::testing::AssertionFailure()
+           << "kb size " << a.kb.size() << " vs " << b.kb.size();
+  }
+  for (int i = 0; i < a.kb.size(); ++i) {
+    const IterationRecord& ra = a.kb.record(i);
+    const IterationRecord& rb = b.kb.record(i);
+    if (ra.iteration != rb.iteration || ra.crashed != rb.crashed ||
+        !SameBits(ra.measured, rb.measured) ||
+        !SameBits(ra.objective, rb.objective) ||
+        ra.point.size() != rb.point.size() ||
+        !(ra.config == rb.config) || ra.metrics.size() != rb.metrics.size()) {
+      return ::testing::AssertionFailure() << "record " << i << " differs";
+    }
+    for (size_t j = 0; j < ra.point.size(); ++j) {
+      if (!SameBits(ra.point[j], rb.point[j])) {
+        return ::testing::AssertionFailure()
+               << "record " << i << " point[" << j << "] differs";
+      }
+    }
+    for (size_t j = 0; j < ra.metrics.size(); ++j) {
+      if (!SameBits(ra.metrics[j], rb.metrics[j])) {
+        return ::testing::AssertionFailure()
+               << "record " << i << " metrics[" << j << "] differs";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// One fully wired component stack (objective + adapter + optimizer),
+/// reconstructible identically for the legacy and redesigned sessions.
+struct Stack {
+  std::unique_ptr<ObjectiveFunction> objective;
+  std::unique_ptr<SpaceAdapter> adapter;
+  std::unique_ptr<Optimizer> optimizer;
+};
+
+Stack MakeSimStack(const std::string& optimizer_key,
+                   const std::string& adapter_key, uint64_t seed) {
+  Stack stack;
+  dbsim::SimulatedPostgresOptions db_options;
+  db_options.noise_seed = seed;
+  stack.objective = std::make_unique<dbsim::SimulatedPostgres>(
+      dbsim::YcsbA(), db_options);
+  stack.adapter = std::move(AdapterRegistry::Global().Create(
+                                adapter_key,
+                                &stack.objective->config_space(), seed))
+                      .ValueOrDie();
+  stack.optimizer = std::move(OptimizerRegistry::Global().Create(
+                                  optimizer_key,
+                                  stack.adapter->search_space(), seed))
+                        .ValueOrDie();
+  return stack;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence grid: Run() over ask/tell vs the pre-PR push loop.
+// ---------------------------------------------------------------------------
+
+struct GridCase {
+  const char* optimizer_key;
+  const char* adapter_key;
+  uint64_t seed;
+  int batch_size;
+  int iterations;
+};
+
+class RunEquivalence : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(RunEquivalence, BitForBitMatchesLegacyLoop) {
+  const GridCase& c = GetParam();
+  SessionOptions options;
+  options.num_iterations = c.iterations;
+  options.batch_size = c.batch_size;
+
+  Stack legacy_stack = MakeSimStack(c.optimizer_key, c.adapter_key, c.seed);
+  LegacyTuningSession legacy(legacy_stack.objective.get(),
+                             legacy_stack.adapter.get(),
+                             legacy_stack.optimizer.get(), options);
+  SessionResult expected = legacy.Run();
+
+  Stack stack = MakeSimStack(c.optimizer_key, c.adapter_key, c.seed);
+  TuningSession session(stack.objective.get(), stack.adapter.get(),
+                        stack.optimizer.get(), options);
+  SessionResult actual = session.Run();
+
+  EXPECT_TRUE(ResultsBitIdentical(expected, actual));
+  EXPECT_EQ(expected.iterations_run, c.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RunEquivalence,
+    ::testing::Values(
+        GridCase{"random", "identity", 1, 1, 25},
+        GridCase{"random", "llamatune", 7, 1, 25},
+        GridCase{"random", "hesbo8+svb0.1", 3, 4, 24},
+        GridCase{"smac", "identity", 42, 1, 14},
+        GridCase{"smac", "llamatune", 42, 4, 16},
+        GridCase{"gpbo", "llamatune", 42, 1, 14},
+        GridCase{"gpbo", "hesbo8", 11, 4, 16},
+        GridCase{"bestconfig", "identity", 5, 1, 12},
+        GridCase{"ddpg", "llamatune", 5, 1, 12}));
+
+TEST(RunEquivalenceExtras, EarlyStoppingMatchesLegacyLoop) {
+  SessionOptions options;
+  options.num_iterations = 60;
+  options.early_stopping = EarlyStoppingPolicy(5.0, 3);
+
+  Stack legacy_stack = MakeSimStack("random", "llamatune", 9);
+  LegacyTuningSession legacy(legacy_stack.objective.get(),
+                             legacy_stack.adapter.get(),
+                             legacy_stack.optimizer.get(), options);
+  SessionResult expected = legacy.Run();
+
+  Stack stack = MakeSimStack("random", "llamatune", 9);
+  TuningSession session(stack.objective.get(), stack.adapter.get(),
+                        stack.optimizer.get(), options);
+  SessionResult actual = session.Run();
+
+  EXPECT_LT(expected.iterations_run, 60);
+  EXPECT_TRUE(ResultsBitIdentical(expected, actual));
+}
+
+TEST(RunEquivalenceExtras, StepMatchesRunTrajectory) {
+  SessionOptions options;
+  options.num_iterations = 20;
+  options.batch_size = 2;
+
+  Stack a = MakeSimStack("smac", "llamatune", 13);
+  TuningSession run_session(a.objective.get(), a.adapter.get(),
+                            a.optimizer.get(), options);
+  SessionResult via_run = run_session.Run();
+
+  Stack b = MakeSimStack("smac", "llamatune", 13);
+  TuningSession step_session(b.objective.get(), b.adapter.get(),
+                             b.optimizer.get(), options);
+  while (step_session.Step()) {
+  }
+  EXPECT_TRUE(ResultsBitIdentical(via_run, step_session.Snapshot()));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol semantics.
+// ---------------------------------------------------------------------------
+
+// A tiny controllable objective over a 2-knob space.
+class FakeObjective : public ObjectiveFunction {
+ public:
+  FakeObjective()
+      : space_(*ConfigSpace::Create({IntegerKnob("a", 0, 100, 50),
+                                     RealKnob("b", 0.0, 1.0, 0.5)})) {}
+
+  EvalResult Evaluate(const Configuration& config) override {
+    EvalResult result;
+    result.value = config[0] + 10.0 * config[1];
+    result.metrics = {1.0, 2.0};
+    return result;
+  }
+
+  const ConfigSpace& config_space() const override { return space_; }
+
+ private:
+  ConfigSpace space_;
+};
+
+struct ProtocolFixture {
+  explicit ProtocolFixture(SessionOptions options = MakeOptions()) {
+    adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                  .ValueOrDie();
+    optimizer = std::make_unique<RandomSearchOptimizer>(
+        adapter->search_space(), 1);
+    session = std::make_unique<TuningSession>(&objective, adapter.get(),
+                                              optimizer.get(), options);
+  }
+
+  static SessionOptions MakeOptions() {
+    SessionOptions options;
+    options.num_iterations = 10;
+    return options;
+  }
+
+  FakeObjective objective;
+  std::unique_ptr<SpaceAdapter> adapter;
+  std::unique_ptr<Optimizer> optimizer;
+  std::unique_ptr<TuningSession> session;
+};
+
+TrialResult Measure(FakeObjective& objective, const Trial& trial) {
+  EvalResult eval = objective.Evaluate(trial.config);
+  TrialResult result;
+  result.trial_id = trial.id;
+  result.value = eval.value;
+  result.crashed = eval.crashed;
+  result.metrics = eval.metrics;
+  return result;
+}
+
+TEST(AskTellProtocol, FirstAskIsBaselineAndBlocksUntilTold) {
+  ProtocolFixture f;
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_TRUE(baseline->is_baseline);
+  EXPECT_TRUE(baseline->point.empty());
+  EXPECT_EQ(baseline->config,
+            f.objective.config_space().DefaultConfiguration());
+
+  // No more trials until the baseline is told.
+  Result<Trial> blocked = f.session->Ask();
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+  Result<Trial> next = f.session->Ask();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->is_baseline);
+  EXPECT_FALSE(next->point.empty());
+}
+
+TEST(AskTellProtocol, AskBatchBeforeBaselineYieldsBaselineOnly) {
+  ProtocolFixture f;
+  Result<std::vector<Trial>> batch = f.session->AskBatch(4);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_TRUE((*batch)[0].is_baseline);
+}
+
+TEST(AskTellProtocol, TellErrors) {
+  ProtocolFixture f;
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+
+  TrialResult bogus;
+  bogus.trial_id = 999;
+  EXPECT_EQ(f.session->Tell(bogus).code(), StatusCode::kNotFound);
+
+  TrialResult result = Measure(f.objective, *baseline);
+  ASSERT_TRUE(f.session->Tell(result).ok());
+  // Baseline already committed.
+  EXPECT_EQ(f.session->Tell(result).code(), StatusCode::kAlreadyExists);
+
+  // Duplicate tell while a round is still open (batch of 2, one told
+  // twice).
+  Result<std::vector<Trial>> batch = f.session->AskBatch(2);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  TrialResult first = Measure(f.objective, (*batch)[0]);
+  ASSERT_TRUE(f.session->Tell(first).ok());
+  EXPECT_EQ(f.session->Tell(first).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AskTellProtocol, BudgetCountsPendingTrials) {
+  SessionOptions options;
+  options.num_iterations = 5;
+  ProtocolFixture f(options);
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+
+  Result<std::vector<Trial>> batch = f.session->AskBatch(10);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 5u);  // clamped to the remaining budget
+  EXPECT_EQ(f.session->pending_trials(), 5);
+
+  // Budget exhausted while those are pending.
+  Result<Trial> over = f.session->Ask();
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+
+  std::vector<TrialResult> results;
+  for (const Trial& trial : *batch) results.push_back(Measure(f.objective, trial));
+  ASSERT_TRUE(f.session->TellBatch(results).ok());
+  EXPECT_EQ(f.session->iterations_run(), 5);
+  EXPECT_TRUE(f.session->finished());
+  EXPECT_FALSE(f.session->Step());
+}
+
+TEST(AskTellProtocol, OutOfOrderTellsCommitInAskOrder) {
+  SessionOptions options;
+  options.num_iterations = 8;
+
+  // Session A: tell a 4-trial round in reverse order.
+  ProtocolFixture a(options);
+  {
+    Result<Trial> baseline = a.session->Ask();
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_TRUE(a.session->Tell(Measure(a.objective, *baseline)).ok());
+    Result<std::vector<Trial>> batch = a.session->AskBatch(4);
+    ASSERT_TRUE(batch.ok());
+    std::vector<TrialResult> results;
+    for (const Trial& trial : *batch) {
+      results.push_back(Measure(a.objective, trial));
+    }
+    std::reverse(results.begin(), results.end());
+    // Nothing commits until the round's last result arrives.
+    ASSERT_TRUE(a.session->Tell(results[0]).ok());
+    EXPECT_EQ(a.session->iterations_run(), 0);
+    for (size_t i = 1; i < results.size(); ++i) {
+      ASSERT_TRUE(a.session->Tell(results[i]).ok());
+    }
+    EXPECT_EQ(a.session->iterations_run(), 4);
+  }
+
+  // Session B: identical stack, told in order.
+  ProtocolFixture b(options);
+  {
+    Result<Trial> baseline = b.session->Ask();
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_TRUE(b.session->Tell(Measure(b.objective, *baseline)).ok());
+    Result<std::vector<Trial>> batch = b.session->AskBatch(4);
+    ASSERT_TRUE(batch.ok());
+    for (const Trial& trial : *batch) {
+      ASSERT_TRUE(b.session->Tell(Measure(b.objective, trial)).ok());
+    }
+  }
+
+  EXPECT_TRUE(ResultsBitIdentical(a.session->Snapshot(), b.session->Snapshot()));
+}
+
+TEST(AskTellProtocol, InterleavedSingleRoundsCommitInAskOrder) {
+  SessionOptions options;
+  options.num_iterations = 4;
+  ProtocolFixture f(options);
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+
+  Result<Trial> t1 = f.session->Ask();
+  Result<Trial> t2 = f.session->Ask();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  // Telling the later round first buffers it.
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *t2)).ok());
+  EXPECT_EQ(f.session->iterations_run(), 0);
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *t1)).ok());
+  EXPECT_EQ(f.session->iterations_run(), 2);
+  // kb order follows ask order, not tell order.
+  EXPECT_EQ(f.session->knowledge_base().record(0).point, t1->point);
+  EXPECT_EQ(f.session->knowledge_base().record(1).point, t2->point);
+}
+
+TEST(AskTellProtocol, DetachedSessionMatchesAttachedRun) {
+  FakeObjective objective;
+  SessionOptions options;
+  options.num_iterations = 12;
+
+  // Attached push-model run.
+  Result<std::unique_ptr<harness::Tuner>> attached =
+      harness::TunerBuilder()
+          .Objective(&objective)
+          .Optimizer("random")
+          .Adapter("identity")
+          .Seed(21)
+          .Iterations(12)
+          .Build();
+  ASSERT_TRUE(attached.ok());
+  SessionResult expected = (*attached)->Run();
+
+  // Detached ask/tell over the bare space; the caller measures with
+  // an identical objective.
+  FakeObjective measurer;
+  Result<std::unique_ptr<harness::Tuner>> detached =
+      harness::TunerBuilder()
+          .Space(&objective.config_space())
+          .Optimizer("random")
+          .Adapter("identity")
+          .Seed(21)
+          .Iterations(12)
+          .BuildDetached();
+  ASSERT_TRUE(detached.ok());
+  harness::Tuner& tuner = **detached;
+  EXPECT_FALSE(tuner.has_objective());
+  EXPECT_FALSE(tuner.Step());  // push loop is inert when detached
+  while (true) {
+    Result<Trial> trial = tuner.Ask();
+    if (!trial.ok()) break;
+    tuner.Tell(Measure(measurer, *trial));
+  }
+  EXPECT_TRUE(tuner.finished());
+  EXPECT_TRUE(ResultsBitIdentical(expected, tuner.session().Snapshot()));
+}
+
+TEST(AskTellProtocol, BareSpaceRequiresBuildDetached) {
+  FakeObjective objective;
+  Result<std::unique_ptr<harness::Tuner>> built =
+      harness::TunerBuilder()
+          .Space(&objective.config_space())
+          .Optimizer("random")
+          .Adapter("identity")
+          .Build();
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// SessionOptions validation (satellite): invalid settings surface as
+// Status instead of silently misbehaving.
+// ---------------------------------------------------------------------------
+
+TEST(SessionOptionsValidation, RejectsOutOfDomainSettings) {
+  SessionOptions bad_batch;
+  bad_batch.batch_size = 0;
+  EXPECT_EQ(bad_batch.Validate().code(), StatusCode::kInvalidArgument);
+
+  SessionOptions bad_threads;
+  bad_threads.num_threads = -1;
+  EXPECT_EQ(bad_threads.Validate().code(), StatusCode::kInvalidArgument);
+
+  SessionOptions bad_iters;
+  bad_iters.num_iterations = -5;
+  EXPECT_EQ(bad_iters.Validate().code(), StatusCode::kInvalidArgument);
+
+  SessionOptions bad_divisor;
+  bad_divisor.crash_penalty_divisor = 0.0;
+  EXPECT_EQ(bad_divisor.Validate().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(SessionOptions{}.Validate().ok());
+  SessionOptions baseline_only;
+  baseline_only.num_iterations = 0;
+  EXPECT_TRUE(baseline_only.Validate().ok());
+}
+
+TEST(SessionOptionsValidation, InvalidOptionsSurfaceFromSessionAndBuilder) {
+  SessionOptions options;
+  options.batch_size = -2;
+  ProtocolFixture f(options);
+  EXPECT_FALSE(f.session->init_status().ok());
+  Result<Trial> trial = f.session->Ask();
+  EXPECT_FALSE(trial.ok());
+  EXPECT_EQ(trial.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(f.session->Step());
+  SessionResult result = f.session->Run();
+  EXPECT_EQ(result.iterations_run, 0);
+  EXPECT_EQ(result.kb.size(), 0);
+
+  FakeObjective objective;
+  Result<std::unique_ptr<harness::Tuner>> built =
+      harness::TunerBuilder()
+          .Objective(&objective)
+          .Optimizer("random")
+          .Adapter("identity")
+          .BatchSize(-1)
+          .Build();
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace llamatune

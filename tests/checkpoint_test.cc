@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <cstdio>
+
+#include "src/core/adapter_registry.h"
+#include "src/core/session_log.h"
+#include "src/core/tuning_session.h"
+#include "src/dbsim/simulated_postgres.h"
+#include "src/dbsim/workloads.h"
+#include "src/optimizer/optimizer_registry.h"
+
+namespace llamatune {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult ResultsBitIdentical(const SessionResult& a,
+                                               const SessionResult& b) {
+  if (a.iterations_run != b.iterations_run) {
+    return ::testing::AssertionFailure()
+           << "iterations_run " << a.iterations_run << " vs "
+           << b.iterations_run;
+  }
+  if (!SameBits(a.default_performance, b.default_performance) ||
+      !SameBits(a.best_performance, b.best_performance) ||
+      !(a.best_config == b.best_config) || a.kb.size() != b.kb.size()) {
+    return ::testing::AssertionFailure() << "summary fields differ";
+  }
+  for (int i = 0; i < a.kb.size(); ++i) {
+    const IterationRecord& ra = a.kb.record(i);
+    const IterationRecord& rb = b.kb.record(i);
+    if (ra.crashed != rb.crashed || !SameBits(ra.measured, rb.measured) ||
+        !SameBits(ra.objective, rb.objective) || !(ra.config == rb.config) ||
+        ra.point.size() != rb.point.size()) {
+      return ::testing::AssertionFailure() << "record " << i << " differs";
+    }
+    for (size_t j = 0; j < ra.point.size(); ++j) {
+      if (!SameBits(ra.point[j], rb.point[j])) {
+        return ::testing::AssertionFailure()
+               << "record " << i << " point[" << j << "] differs";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct Stack {
+  std::unique_ptr<ObjectiveFunction> objective;
+  std::unique_ptr<SpaceAdapter> adapter;
+  std::unique_ptr<Optimizer> optimizer;
+  std::unique_ptr<TuningSession> session;
+};
+
+Stack MakeStack(const std::string& optimizer_key,
+                const std::string& adapter_key, uint64_t seed,
+                SessionOptions options) {
+  Stack stack;
+  dbsim::SimulatedPostgresOptions db_options;
+  db_options.noise_seed = seed;
+  stack.objective = std::make_unique<dbsim::SimulatedPostgres>(
+      dbsim::YcsbA(), db_options);
+  stack.adapter = std::move(AdapterRegistry::Global().Create(
+                                adapter_key,
+                                &stack.objective->config_space(), seed))
+                      .ValueOrDie();
+  stack.optimizer = std::move(OptimizerRegistry::Global().Create(
+                                  optimizer_key,
+                                  stack.adapter->search_space(), seed))
+                        .ValueOrDie();
+  stack.session = std::make_unique<TuningSession>(
+      stack.objective.get(), stack.adapter.get(), stack.optimizer.get(),
+      options);
+  return stack;
+}
+
+struct CheckpointCase {
+  const char* optimizer_key;
+  const char* adapter_key;
+  int batch_size;
+  int total_iterations;
+  int checkpoint_after_steps;  // Step() calls before Save (incl. baseline)
+};
+
+class CheckpointResume : public ::testing::TestWithParam<CheckpointCase> {};
+
+// Save mid-session, restore into a fresh identically seeded stack (a
+// new process would construct exactly this), and require the remaining
+// trajectory to be bit-for-bit identical to an uninterrupted run.
+TEST_P(CheckpointResume, ResumedTrajectoryIsBitForBit) {
+  const CheckpointCase& c = GetParam();
+  SessionOptions options;
+  options.num_iterations = c.total_iterations;
+  options.batch_size = c.batch_size;
+  const uint64_t seed = 42;
+
+  // Uninterrupted reference run.
+  Stack reference = MakeStack(c.optimizer_key, c.adapter_key, seed, options);
+  SessionResult uninterrupted = reference.session->Run();
+
+  // Interrupted run: step partway, checkpoint, abandon.
+  Stack first = MakeStack(c.optimizer_key, c.adapter_key, seed, options);
+  for (int i = 0; i < c.checkpoint_after_steps; ++i) {
+    ASSERT_TRUE(first.session->Step());
+  }
+  std::string checkpoint = first.session->Save();
+
+  // "Fresh process": a brand-new stack wired with the same seeds and
+  // keys, restored from the text checkpoint, run to completion.
+  Stack resumed = MakeStack(c.optimizer_key, c.adapter_key, seed, options);
+  Status restored = resumed.session->Restore(checkpoint);
+  ASSERT_TRUE(restored.ok()) << restored.ToString();
+  EXPECT_EQ(resumed.session->iterations_run(),
+            first.session->iterations_run());
+  SessionResult final_result = resumed.session->Run();
+
+  EXPECT_TRUE(ResultsBitIdentical(uninterrupted, final_result));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PerOptimizer, CheckpointResume,
+    ::testing::Values(
+        // Random: pure RNG-stream optimizer.
+        CheckpointCase{"random", "llamatune", 1, 20, 9},
+        // SMAC: checkpoint past the initial design, inside the
+        // model-based phase (n_init = 10), so the RF refit + EI
+        // scoring path replays.
+        CheckpointCase{"smac", "llamatune", 1, 16, 13},
+        // GP-BO: same, exercising incremental GP refit replay.
+        CheckpointCase{"gpbo", "llamatune", 1, 16, 13},
+        // Batched rounds (SuggestBatch/ObserveBatch replay).
+        CheckpointCase{"smac", "identity", 4, 16, 4},
+        CheckpointCase{"random", "hesbo8+svb0.1", 3, 18, 3}));
+
+TEST(CheckpointTest, BaselineOnlyCheckpointRestores) {
+  SessionOptions options;
+  options.num_iterations = 8;
+  Stack first = MakeStack("random", "identity", 7, options);
+  ASSERT_TRUE(first.session->Step());  // baseline only
+  std::string checkpoint = first.session->Save();
+
+  Stack resumed = MakeStack("random", "identity", 7, options);
+  ASSERT_TRUE(resumed.session->Restore(checkpoint).ok());
+  SessionResult via_resume = resumed.session->Run();
+
+  Stack reference = MakeStack("random", "identity", 7, options);
+  SessionResult uninterrupted = reference.session->Run();
+  EXPECT_TRUE(ResultsBitIdentical(uninterrupted, via_resume));
+}
+
+TEST(CheckpointTest, FreshSessionCheckpointIsEmptyButValid) {
+  SessionOptions options;
+  options.num_iterations = 5;
+  Stack first = MakeStack("random", "identity", 3, options);
+  std::string checkpoint = first.session->Save();
+
+  Stack resumed = MakeStack("random", "identity", 3, options);
+  ASSERT_TRUE(resumed.session->Restore(checkpoint).ok());
+  EXPECT_EQ(resumed.session->iterations_run(), 0);
+  SessionResult via_resume = resumed.session->Run();
+  Stack reference = MakeStack("random", "identity", 3, options);
+  EXPECT_TRUE(ResultsBitIdentical(reference.session->Run(), via_resume));
+}
+
+TEST(CheckpointTest, PendingTrialsAreRegeneratedIdenticallyAfterRestore) {
+  SessionOptions options;
+  options.num_iterations = 10;
+  Stack first = MakeStack("random", "llamatune", 17, options);
+  ASSERT_TRUE(first.session->Step());  // baseline
+  ASSERT_TRUE(first.session->Step());
+  // Ask a batch but do not tell it: these pending trials are excluded
+  // from the checkpoint.
+  Result<std::vector<Trial>> pending = first.session->AskBatch(3);
+  ASSERT_TRUE(pending.ok());
+  std::string checkpoint = first.session->Save();
+
+  Stack resumed = MakeStack("random", "llamatune", 17, options);
+  ASSERT_TRUE(resumed.session->Restore(checkpoint).ok());
+  EXPECT_EQ(resumed.session->pending_trials(), 0);
+  // Re-asking regenerates the same points (fresh ids).
+  Result<std::vector<Trial>> reasked = resumed.session->AskBatch(3);
+  ASSERT_TRUE(reasked.ok());
+  ASSERT_EQ(reasked->size(), pending->size());
+  for (size_t i = 0; i < pending->size(); ++i) {
+    ASSERT_EQ((*reasked)[i].point.size(), (*pending)[i].point.size());
+    for (size_t j = 0; j < (*pending)[i].point.size(); ++j) {
+      EXPECT_TRUE(
+          SameBits((*reasked)[i].point[j], (*pending)[i].point[j]));
+    }
+    EXPECT_EQ((*reasked)[i].config, (*pending)[i].config);
+  }
+}
+
+TEST(CheckpointTest, RestoreRejectsWrongSeed) {
+  SessionOptions options;
+  options.num_iterations = 12;
+  Stack first = MakeStack("random", "llamatune", 42, options);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(first.session->Step());
+  std::string checkpoint = first.session->Save();
+
+  // A stack wired with a different seed replays a different
+  // trajectory; the history pin must catch it.
+  Stack wrong = MakeStack("random", "llamatune", 43, options);
+  Status restored = wrong.session->Restore(checkpoint);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kInternal);
+}
+
+TEST(CheckpointTest, RestoreRejectsMismatchedOptions) {
+  SessionOptions options;
+  options.num_iterations = 12;
+  Stack first = MakeStack("random", "identity", 42, options);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(first.session->Step());
+  std::string checkpoint = first.session->Save();
+
+  SessionOptions other = options;
+  other.num_iterations = 20;
+  Stack mismatched = MakeStack("random", "identity", 42, other);
+  Status restored = mismatched.session->Restore(checkpoint);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RestoreRequiresFreshSession) {
+  SessionOptions options;
+  options.num_iterations = 12;
+  Stack first = MakeStack("random", "identity", 42, options);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(first.session->Step());
+  std::string checkpoint = first.session->Save();
+
+  Stack used = MakeStack("random", "identity", 42, options);
+  ASSERT_TRUE(used.session->Step());
+  Status restored = used.session->Restore(checkpoint);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RestoreRejectsGarbage) {
+  SessionOptions options;
+  Stack fresh = MakeStack("random", "identity", 1, options);
+  EXPECT_FALSE(fresh.session->Restore("").ok());
+  EXPECT_FALSE(fresh.session->Restore("not a checkpoint").ok());
+  EXPECT_FALSE(
+      fresh.session->Restore("llamatune-checkpoint v99\nmaximize 1\n").ok());
+}
+
+TEST(CheckpointTest, CheckpointFileRoundTrips) {
+  SessionOptions options;
+  options.num_iterations = 14;
+  Stack first = MakeStack("random", "llamatune", 23, options);
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(first.session->Step());
+
+  std::string path = ::testing::TempDir() + "/llamatune_checkpoint.txt";
+  ASSERT_TRUE(SaveCheckpointFile(first.session->Save(), path).ok());
+  Result<std::string> loaded = LoadCheckpointFile(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Stack resumed = MakeStack("random", "llamatune", 23, options);
+  ASSERT_TRUE(resumed.session->Restore(*loaded).ok());
+  SessionResult via_file = resumed.session->Run();
+
+  Stack reference = MakeStack("random", "llamatune", 23, options);
+  EXPECT_TRUE(ResultsBitIdentical(reference.session->Run(), via_file));
+  std::remove(path.c_str());
+
+  EXPECT_EQ(LoadCheckpointFile("/no/such/dir/ckpt").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, EarlyStoppedSessionRoundTrips) {
+  SessionOptions options;
+  options.num_iterations = 60;
+  options.early_stopping = EarlyStoppingPolicy(5.0, 3);
+  Stack first = MakeStack("random", "llamatune", 9, options);
+  SessionResult stopped = first.session->Run();
+  ASSERT_LT(stopped.iterations_run, 60);
+  std::string checkpoint = first.session->Save();
+
+  Stack resumed = MakeStack("random", "llamatune", 9, options);
+  Status restored = resumed.session->Restore(checkpoint);
+  ASSERT_TRUE(restored.ok()) << restored.ToString();
+  EXPECT_TRUE(resumed.session->finished());
+  EXPECT_TRUE(ResultsBitIdentical(stopped, resumed.session->Snapshot()));
+}
+
+}  // namespace
+}  // namespace llamatune

@@ -95,7 +95,7 @@ TEST(RunExperimentTest, ShapesAndDeterminism) {
   spec.workload = dbsim::YcsbA();
   spec.num_seeds = 2;
   spec.num_iterations = 12;
-  spec.optimizer = OptimizerKind::kRandom;
+  spec.optimizer_key = "random";
   MultiSeedResult a = RunExperiment(spec);
   EXPECT_EQ(a.sessions.size(), 2u);
   EXPECT_EQ(a.objective_curves[0].size(), 12u);
@@ -111,7 +111,7 @@ TEST(RunExperimentTest, SeedShardingMatchesSerial) {
   spec.workload = dbsim::YcsbA();
   spec.num_seeds = 3;
   spec.num_iterations = 10;
-  spec.optimizer = OptimizerKind::kRandom;
+  spec.optimizer_key = "random";
   spec.num_threads = 0;
   MultiSeedResult sharded = RunExperiment(spec);
   spec.num_threads = 1;
@@ -126,7 +126,7 @@ TEST(RunExperimentTest, LlamaTuneVariantRuns) {
   spec.workload = dbsim::YcsbB();
   spec.num_seeds = 1;
   spec.num_iterations = 15;
-  spec.use_llamatune = true;
+  spec.adapter_key = "llamatune";
   MultiSeedResult r = RunExperiment(spec);
   EXPECT_EQ(r.objective_curves[0].size(), 15u);
   // Best-so-far is monotone.
@@ -140,17 +140,10 @@ TEST(RunExperimentTest, EarlyStoppingPropagates) {
   spec.workload = dbsim::YcsbA();
   spec.num_seeds = 1;
   spec.num_iterations = 100;
-  spec.optimizer = OptimizerKind::kRandom;
+  spec.optimizer_key = "random";
   spec.early_stopping = EarlyStoppingPolicy(5.0, 5);
   MultiSeedResult r = RunExperiment(spec);
   EXPECT_LT(r.sessions[0].iterations_run, 100);
-}
-
-TEST(OptimizerKindTest, Names) {
-  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kSmac), "SMAC");
-  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kGpBo), "GP-BO");
-  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kDdpg), "DDPG");
-  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kRandom), "Random");
 }
 
 }  // namespace

@@ -2,8 +2,7 @@
 
 #include <memory>
 
-#include "src/core/identity_adapter.h"
-#include "src/core/llamatune_adapter.h"
+#include "src/core/adapter_registry.h"
 #include "src/core/tuning_session.h"
 #include "src/dbsim/simulated_postgres.h"
 #include "src/optimizer/ddpg.h"
@@ -16,13 +15,20 @@ namespace {
 using dbsim::SimulatedPostgres;
 using dbsim::SimulatedPostgresOptions;
 
+std::unique_ptr<SpaceAdapter> MakeAdapter(const std::string& key,
+                                          const ConfigSpace* space,
+                                          uint64_t seed = 1) {
+  return std::move(AdapterRegistry::Global().Create(key, space, seed))
+      .ValueOrDie();
+}
+
 TEST(IntegrationTest, SmacLlamaTuneImprovesOverDefault) {
   SimulatedPostgres db(dbsim::YcsbA(), {});
-  LlamaTuneAdapter adapter(&db.config_space(), {});
-  SmacOptimizer optimizer(adapter.search_space(), {}, 42);
+  auto adapter = MakeAdapter("llamatune", &db.config_space());
+  SmacOptimizer optimizer(adapter->search_space(), {}, 42);
   SessionOptions options;
   options.num_iterations = 40;
-  TuningSession session(&db, &adapter, &optimizer, options);
+  TuningSession session(&db, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   EXPECT_GT(result.best_performance, result.default_performance * 1.05);
   EXPECT_TRUE(
@@ -31,36 +37,36 @@ TEST(IntegrationTest, SmacLlamaTuneImprovesOverDefault) {
 
 TEST(IntegrationTest, SmacIdentityImprovesOverDefault) {
   SimulatedPostgres db(dbsim::YcsbA(), {});
-  IdentityAdapter adapter(&db.config_space());
-  SmacOptimizer optimizer(adapter.search_space(), {}, 42);
+  auto adapter = MakeAdapter("identity", &db.config_space());
+  SmacOptimizer optimizer(adapter->search_space(), {}, 42);
   SessionOptions options;
   options.num_iterations = 40;
-  TuningSession session(&db, &adapter, &optimizer, options);
+  TuningSession session(&db, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   EXPECT_GT(result.best_performance, result.default_performance);
 }
 
 TEST(IntegrationTest, GpBoLlamaTuneRunsAndImproves) {
   SimulatedPostgres db(dbsim::TpcC(), {});
-  LlamaTuneAdapter adapter(&db.config_space(), {});
-  GpBoOptimizer optimizer(adapter.search_space(), {}, 7);
+  auto adapter = MakeAdapter("llamatune", &db.config_space());
+  GpBoOptimizer optimizer(adapter->search_space(), {}, 7);
   SessionOptions options;
   options.num_iterations = 25;
-  TuningSession session(&db, &adapter, &optimizer, options);
+  TuningSession session(&db, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   EXPECT_GT(result.best_performance, result.default_performance);
 }
 
 TEST(IntegrationTest, DdpgSessionRunsEndToEnd) {
   SimulatedPostgres db(dbsim::YcsbB(), {});
-  LlamaTuneAdapter adapter(&db.config_space(), {});
+  auto adapter = MakeAdapter("llamatune", &db.config_space());
   DdpgOptions ddpg_options;
   ddpg_options.state_dim = dbsim::kNumMetrics;
   ddpg_options.updates_per_observe = 3;
-  DdpgOptimizer optimizer(adapter.search_space(), ddpg_options, 7);
+  DdpgOptimizer optimizer(adapter->search_space(), ddpg_options, 7);
   SessionOptions options;
   options.num_iterations = 20;
-  TuningSession session(&db, &adapter, &optimizer, options);
+  TuningSession session(&db, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   EXPECT_EQ(result.iterations_run, 20);
   EXPECT_GT(result.best_performance, 0.0);
@@ -71,11 +77,11 @@ TEST(IntegrationTest, LatencyTuningReducesP95) {
   db_options.target = dbsim::TuningTarget::kP95Latency;
   db_options.fixed_rate = 700.0;
   SimulatedPostgres db(dbsim::TpcC(), db_options);
-  LlamaTuneAdapter adapter(&db.config_space(), {});
-  SmacOptimizer optimizer(adapter.search_space(), {}, 11);
+  auto adapter = MakeAdapter("llamatune", &db.config_space());
+  SmacOptimizer optimizer(adapter->search_space(), {}, 11);
   SessionOptions options;
   options.num_iterations = 30;
-  TuningSession session(&db, &adapter, &optimizer, options);
+  TuningSession session(&db, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   // Minimization: best found p95 is no worse than the default's.
   EXPECT_LE(result.best_performance, result.default_performance);
@@ -86,13 +92,11 @@ TEST(IntegrationTest, FullyDeterministicSessionReplay) {
     SimulatedPostgresOptions db_options;
     db_options.noise_seed = 5;
     SimulatedPostgres db(dbsim::Twitter(), db_options);
-    LlamaTuneOptions lt;
-    lt.projection_seed = 5;
-    LlamaTuneAdapter adapter(&db.config_space(), lt);
-    SmacOptimizer optimizer(adapter.search_space(), {}, 5);
+    auto adapter = MakeAdapter("llamatune", &db.config_space(), 5);
+    SmacOptimizer optimizer(adapter->search_space(), {}, 5);
     SessionOptions options;
     options.num_iterations = 20;
-    TuningSession session(&db, &adapter, &optimizer, options);
+    TuningSession session(&db, adapter.get(), &optimizer, options);
     return session.Run();
   };
   SessionResult a = run();
@@ -109,11 +113,11 @@ TEST(IntegrationTest, PostgresV136SessionRuns) {
   db_options.version = dbsim::PostgresVersion::kV136;
   SimulatedPostgres db(dbsim::Seats(), db_options);
   EXPECT_EQ(db.config_space().num_knobs(), 112);
-  LlamaTuneAdapter adapter(&db.config_space(), {});
-  SmacOptimizer optimizer(adapter.search_space(), {}, 3);
+  auto adapter = MakeAdapter("llamatune", &db.config_space());
+  SmacOptimizer optimizer(adapter->search_space(), {}, 3);
   SessionOptions options;
   options.num_iterations = 20;
-  TuningSession session(&db, &adapter, &optimizer, options);
+  TuningSession session(&db, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   EXPECT_GT(result.best_performance, 0.0);
 }

@@ -6,9 +6,11 @@
 
 #include <cmath>
 
+#include <memory>
+#include <utility>
+
 #include "src/common/rng.h"
-#include "src/core/identity_adapter.h"
-#include "src/core/llamatune_adapter.h"
+#include "src/core/adapter_registry.h"
 #include "src/dbsim/perf_model.h"
 #include "src/dbsim/simulated_postgres.h"
 #include "src/sampling/uniform.h"
@@ -79,10 +81,12 @@ TEST_P(WorkloadSweep, CrashRulesFireEverywhere) {
 TEST_P(WorkloadSweep, MetricsAlwaysFiniteAndSized) {
   SimulatedPostgres db(workload_, {});
   Rng rng(GetParam() + 1);
-  IdentityAdapter adapter(&db.config_space());
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                               "identity", &db.config_space(), 1))
+                     .ValueOrDie();
   for (int i = 0; i < 25; ++i) {
-    auto point = UniformSample(adapter.search_space(), &rng);
-    EvalResult result = db.Evaluate(adapter.Project(point));
+    auto point = UniformSample(adapter->search_space(), &rng);
+    EvalResult result = db.Evaluate(adapter->Project(point));
     ASSERT_EQ(result.metrics.size(), static_cast<size_t>(kNumMetrics));
     for (double m : result.metrics) {
       EXPECT_TRUE(std::isfinite(m));
@@ -124,16 +128,16 @@ class ProjectionSeedSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ProjectionSeedSweep, PipelineValidAndCalibrated) {
   ConfigSpace space = PostgresV96Catalog();
-  LlamaTuneOptions options;
-  options.projection_seed = GetParam();
-  LlamaTuneAdapter adapter(&space, options);
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                               "llamatune", &space, GetParam()))
+                     .ValueOrDie();
   Rng rng(GetParam());
   int bfa = space.IndexOf("backend_flush_after");
   int specials = 0;
   const int n = 2000;
   for (int i = 0; i < n; ++i) {
-    auto point = UniformSample(adapter.search_space(), &rng);
-    Configuration config = adapter.Project(point);
+    auto point = UniformSample(adapter->search_space(), &rng);
+    Configuration config = adapter->Project(point);
     ASSERT_TRUE(space.ValidateConfiguration(config).ok());
     if (config[bfa] == 0.0) ++specials;
   }

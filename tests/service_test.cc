@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dbsim/workloads.h"
+#include "src/harness/tuner.h"
+#include "src/knobs/config_space.h"
+#include "src/service/tuning_service.h"
+
+namespace llamatune {
+namespace {
+
+using service::SessionSpec;
+using service::SessionStatus;
+using service::TuningService;
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The "external DBMS" of these tests: a deterministic closed-form
+/// performance surface per job, measured outside the service.
+double ExternalMeasure(int job, const Configuration& config) {
+  double x = config[0] / 100.0;
+  double y = config[1];
+  double peak_x = 0.2 + 0.08 * job;
+  double peak_y = 0.9 - 0.07 * job;
+  return 1000.0 - 900.0 * ((x - peak_x) * (x - peak_x) +
+                           (y - peak_y) * (y - peak_y)) +
+         25.0 * job;
+}
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  ServiceFixture()
+      : space_(*ConfigSpace::Create({IntegerKnob("cache_mb", 0, 100, 50),
+                                     RealKnob("target_ratio", 0.0, 1.0, 0.5)})) {
+  }
+
+  SessionSpec ExternalSpec(int job) const {
+    SessionSpec spec;
+    spec.space = &space_;
+    spec.optimizer_key = "random";
+    spec.adapter_key = "identity";
+    spec.seed = 100 + job;
+    spec.num_iterations = 20;
+    return spec;
+  }
+
+  /// Drives one external session to completion through ask/tell.
+  static void DriveExternal(TuningService& service, const std::string& name,
+                            int job) {
+    while (true) {
+      Result<Trial> trial = service.Ask(name);
+      if (!trial.ok()) break;
+      TrialResult result;
+      result.trial_id = trial->id;
+      result.value = ExternalMeasure(job, trial->config);
+      Status told = service.Tell(name, result);
+      ASSERT_TRUE(told.ok()) << told.ToString();
+    }
+  }
+
+  ConfigSpace space_;
+};
+
+TEST_F(ServiceFixture, EightConcurrentExternalSessionsAreDeterministic) {
+  // Reference results: each job driven alone through a plain detached
+  // tuner stack.
+  std::vector<SessionResult> solo;
+  for (int job = 0; job < 8; ++job) {
+    Result<std::unique_ptr<harness::Tuner>> tuner =
+        harness::TunerBuilder()
+            .Space(&space_)
+            .Optimizer("random")
+            .Adapter("identity")
+            .Seed(100 + job)
+            .Iterations(20)
+            .BuildDetached();
+    ASSERT_TRUE(tuner.ok());
+    while (true) {
+      Result<Trial> trial = (*tuner)->Ask();
+      if (!trial.ok()) break;
+      TrialResult result;
+      result.trial_id = trial->id;
+      result.value = ExternalMeasure(job, trial->config);
+      ASSERT_TRUE((*tuner)->Tell(result).ok());
+    }
+    solo.push_back((*tuner)->session().Snapshot());
+  }
+
+  // The service hosts all 8 sessions at once, each driven by its own
+  // thread (asks/tells from different sessions interleave freely).
+  TuningService service;
+  for (int job = 0; job < 8; ++job) {
+    ASSERT_TRUE(
+        service.CreateSession("job-" + std::to_string(job), ExternalSpec(job))
+            .ok());
+  }
+  EXPECT_EQ(service.session_count(), 8);
+
+  std::vector<std::thread> workers;
+  for (int job = 0; job < 8; ++job) {
+    workers.emplace_back([&service, job] {
+      DriveExternal(service, "job-" + std::to_string(job), job);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Per-session results are bit-for-bit identical to the solo runs,
+  // regardless of the concurrent interleaving.
+  for (int job = 0; job < 8; ++job) {
+    Result<SessionResult> closed = service.Close("job-" + std::to_string(job));
+    ASSERT_TRUE(closed.ok());
+    EXPECT_EQ(closed->iterations_run, solo[job].iterations_run);
+    EXPECT_TRUE(
+        SameBits(closed->best_performance, solo[job].best_performance));
+    EXPECT_TRUE(SameBits(closed->default_performance,
+                         solo[job].default_performance));
+    ASSERT_EQ(closed->kb.size(), solo[job].kb.size());
+    for (int i = 0; i < closed->kb.size(); ++i) {
+      EXPECT_TRUE(SameBits(closed->kb.record(i).measured,
+                           solo[job].kb.record(i).measured));
+      EXPECT_EQ(closed->kb.record(i).config, solo[job].kb.record(i).config);
+    }
+  }
+  EXPECT_EQ(service.session_count(), 0);
+}
+
+TEST_F(ServiceFixture, CheckpointResumeThroughService) {
+  TuningService service;
+  SessionSpec spec = ExternalSpec(3);
+  ASSERT_TRUE(service.CreateSession("job", spec).ok());
+
+  // Drive half the budget, checkpoint, abandon the session.
+  for (int round = 0; round < 11; ++round) {
+    Result<Trial> trial = service.Ask("job");
+    ASSERT_TRUE(trial.ok());
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(3, trial->config);
+    ASSERT_TRUE(service.Tell("job", result).ok());
+  }
+  Result<std::string> checkpoint = service.Checkpoint("job");
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(service.Close("job").ok());
+
+  // Resume under a new name and finish.
+  ASSERT_TRUE(service.Resume("job-resumed", spec, *checkpoint).ok());
+  Result<SessionStatus> status = service.GetStatus("job-resumed");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->iterations_run, 10);  // 11 rounds = baseline + 10
+  DriveExternal(service, "job-resumed", 3);
+  Result<SessionResult> resumed = service.Close("job-resumed");
+  ASSERT_TRUE(resumed.ok());
+
+  // Reference: the same job driven to completion without interruption.
+  TuningService reference_service;
+  ASSERT_TRUE(reference_service.CreateSession("ref", spec).ok());
+  DriveExternal(reference_service, "ref", 3);
+  Result<SessionResult> reference = reference_service.Close("ref");
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_EQ(resumed->kb.size(), reference->kb.size());
+  for (int i = 0; i < resumed->kb.size(); ++i) {
+    EXPECT_TRUE(SameBits(resumed->kb.record(i).measured,
+                         reference->kb.record(i).measured));
+  }
+  EXPECT_TRUE(
+      SameBits(resumed->best_performance, reference->best_performance));
+}
+
+TEST_F(ServiceFixture, WorkloadSessionsStepAndDrive) {
+  TuningService service;
+  SessionSpec spec;
+  spec.workload = dbsim::YcsbA();
+  spec.optimizer_key = "random";
+  spec.adapter_key = "llamatune";
+  spec.seed = 5;
+  spec.num_iterations = 6;
+  ASSERT_TRUE(service.CreateSession("sim", spec).ok());
+
+  bool progressed = false;
+  ASSERT_TRUE(service.Step("sim", &progressed).ok());  // baseline
+  EXPECT_TRUE(progressed);
+  ASSERT_TRUE(service.Drive("sim").ok());
+
+  Result<SessionStatus> status = service.GetStatus("sim");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->iterations_run, 6);
+  EXPECT_TRUE(status->finished);
+  EXPECT_FALSE(status->external);
+  EXPECT_GT(status->best_performance, 0.0);
+
+  ASSERT_TRUE(service.Step("sim", &progressed).ok());
+  EXPECT_FALSE(progressed);
+  ASSERT_TRUE(service.Close("sim").ok());
+}
+
+TEST_F(ServiceFixture, ErrorsSurfaceAsStatuses) {
+  TuningService service;
+  SessionSpec spec = ExternalSpec(0);
+
+  // Unknown names.
+  EXPECT_EQ(service.Ask("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Checkpoint("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Close("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.GetStatus("nope").status().code(), StatusCode::kNotFound);
+
+  // Duplicate create.
+  ASSERT_TRUE(service.CreateSession("job", spec).ok());
+  EXPECT_EQ(service.CreateSession("job", spec).code(),
+            StatusCode::kAlreadyExists);
+
+  // Step on an external session.
+  EXPECT_EQ(service.Step("job").code(), StatusCode::kFailedPrecondition);
+
+  // Bad specs.
+  SessionSpec empty;
+  EXPECT_EQ(service.CreateSession("bad", empty).code(),
+            StatusCode::kInvalidArgument);
+  SessionSpec both = spec;
+  both.workload = dbsim::YcsbA();
+  EXPECT_EQ(service.CreateSession("bad", both).code(),
+            StatusCode::kInvalidArgument);
+  SessionSpec bad_key = spec;
+  bad_key.optimizer_key = "no-such-optimizer";
+  EXPECT_EQ(service.CreateSession("bad", bad_key).code(),
+            StatusCode::kNotFound);
+
+  // Resume with a mismatched spec fails loudly and registers nothing.
+  Result<Trial> baseline = service.Ask("job");
+  ASSERT_TRUE(baseline.ok());
+  TrialResult result;
+  result.trial_id = baseline->id;
+  result.value = ExternalMeasure(0, baseline->config);
+  ASSERT_TRUE(service.Tell("job", result).ok());
+  Result<std::string> checkpoint = service.Checkpoint("job");
+  ASSERT_TRUE(checkpoint.ok());
+  SessionSpec other_options = spec;
+  other_options.num_iterations = 99;
+  EXPECT_FALSE(service.Resume("resumed", other_options, *checkpoint).ok());
+  EXPECT_EQ(service.GetStatus("resumed").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ServiceFixture, ListSessionsReportsAll) {
+  TuningService service;
+  for (int job = 0; job < 3; ++job) {
+    ASSERT_TRUE(
+        service.CreateSession("job-" + std::to_string(job), ExternalSpec(job))
+            .ok());
+  }
+  std::vector<SessionStatus> statuses = service.ListSessions();
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0].name, "job-0");
+  EXPECT_EQ(statuses[2].name, "job-2");
+  for (const SessionStatus& status : statuses) {
+    EXPECT_TRUE(status.external);
+    EXPECT_EQ(status.iterations_run, 0);
+    EXPECT_EQ(status.num_iterations, 20);
+    EXPECT_FALSE(status.finished);
+    EXPECT_EQ(status.optimizer_key, "random");
+    EXPECT_EQ(status.adapter_key, "identity");
+  }
+}
+
+}  // namespace
+}  // namespace llamatune

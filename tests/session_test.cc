@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
-#include "src/core/identity_adapter.h"
+#include "src/core/adapter_registry.h"
 #include "src/core/tuning_session.h"
 #include "src/optimizer/random_search.h"
 
@@ -42,11 +44,13 @@ class FakeObjective : public ObjectiveFunction {
 
 TEST(SessionTest, RunsConfiguredIterationsPlusBaseline) {
   FakeObjective objective;
-  IdentityAdapter adapter(&objective.config_space());
-  RandomSearchOptimizer optimizer(adapter.search_space(), 1);
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                     .ValueOrDie();
+  RandomSearchOptimizer optimizer(adapter->search_space(), 1);
   SessionOptions options;
   options.num_iterations = 25;
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   EXPECT_EQ(result.iterations_run, 25);
   EXPECT_EQ(result.kb.size(), 25);
@@ -73,13 +77,15 @@ class ScriptedOptimizer : public Optimizer {
 TEST(SessionTest, CrashPenaltyIsQuarterOfWorst) {
   FakeObjective objective;
   objective.crash_when_a_below_ = 30;  // unit a < 0.3 crashes
-  IdentityAdapter adapter(&objective.config_space());
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                     .ValueOrDie();
   // crash, good (a=100,b=1 -> 110), crash again.
-  ScriptedOptimizer optimizer(adapter.search_space(),
+  ScriptedOptimizer optimizer(adapter->search_space(),
                               {{0.0, 0.0}, {1.0, 1.0}, {0.1, 0.0}});
   SessionOptions options;
   options.num_iterations = 3;
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   ASSERT_EQ(result.kb.size(), 3);
   // Default (a=50, b=0.5 -> 55) sets the initial worst; both crashes
@@ -95,11 +101,13 @@ TEST(SessionTest, CrashPenaltyIsQuarterOfWorst) {
 TEST(SessionTest, CrashPenaltyTracksWorseningWorst) {
   FakeObjective objective;
   objective.crash_when_a_below_ = 20;  // only low-a configs crash
-  IdentityAdapter adapter(&objective.config_space());
-  RandomSearchOptimizer optimizer(adapter.search_space(), 3);
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                     .ValueOrDie();
+  RandomSearchOptimizer optimizer(adapter->search_space(), 3);
   SessionOptions options;
   options.num_iterations = 60;
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   bool saw_crash = false, saw_ok = false;
   double worst_ok = 55.0;
@@ -120,11 +128,13 @@ TEST(SessionTest, CrashPenaltyTracksWorseningWorst) {
 TEST(SessionTest, MinimizationNegatesObjective) {
   FakeObjective objective;
   objective.maximize_ = false;
-  IdentityAdapter adapter(&objective.config_space());
-  RandomSearchOptimizer optimizer(adapter.search_space(), 4);
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                     .ValueOrDie();
+  RandomSearchOptimizer optimizer(adapter->search_space(), 4);
   SessionOptions options;
   options.num_iterations = 30;
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   // Internally maximizing -latency: best measured is the minimum.
   double min_measured = 1e18;
@@ -138,12 +148,14 @@ TEST(SessionTest, MinimizationNegatesObjective) {
 
 TEST(SessionTest, EarlyStoppingShortensSession) {
   FakeObjective objective;
-  IdentityAdapter adapter(&objective.config_space());
-  RandomSearchOptimizer optimizer(adapter.search_space(), 5);
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                     .ValueOrDie();
+  RandomSearchOptimizer optimizer(adapter->search_space(), 5);
   SessionOptions options;
   options.num_iterations = 100;
   options.early_stopping = EarlyStoppingPolicy(5.0, 3);
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   SessionResult result = session.Run();
   EXPECT_LT(result.iterations_run, 100);
   EXPECT_GE(result.iterations_run, 3);
@@ -151,11 +163,13 @@ TEST(SessionTest, EarlyStoppingShortensSession) {
 
 TEST(SessionTest, StepApiMatchesRun) {
   FakeObjective objective;
-  IdentityAdapter adapter(&objective.config_space());
-  RandomSearchOptimizer optimizer(adapter.search_space(), 6);
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                     .ValueOrDie();
+  RandomSearchOptimizer optimizer(adapter->search_space(), 6);
   SessionOptions options;
   options.num_iterations = 10;
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   int steps = 0;
   while (session.Step()) ++steps;
   EXPECT_EQ(steps, 11);  // baseline + 10 iterations
@@ -176,11 +190,13 @@ TEST(SessionTest, MetricsReachOptimizer) {
     std::vector<double> last_metrics_;
   };
   FakeObjective objective;
-  IdentityAdapter adapter(&objective.config_space());
-  CountingOptimizer optimizer(adapter.search_space(), 7);
+  auto adapter = std::move(AdapterRegistry::Global().Create(
+                            "identity", &objective.config_space(), 1))
+                     .ValueOrDie();
+  CountingOptimizer optimizer(adapter->search_space(), 7);
   SessionOptions options;
   options.num_iterations = 4;
-  TuningSession session(&objective, &adapter, &optimizer, options);
+  TuningSession session(&objective, adapter.get(), &optimizer, options);
   session.Run();
   EXPECT_EQ(optimizer.metric_calls_, 5);  // baseline + 4 iterations
   EXPECT_EQ(optimizer.last_metrics_, (std::vector<double>{1.0, 2.0, 3.0}));

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/common/serde.h"
+#include "src/core/trial.h"
+#include "src/optimizer/history_io.h"
+
+namespace llamatune {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(SerdeTest, DoubleBitsRoundTripExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0,
+                           1.0 / 3.0,
+                           -1e308,
+                           5e-324,  // smallest denormal
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  for (double v : values) {
+    Result<double> back = DecodeDoubleBits(EncodeDoubleBits(v));
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(SameBits(v, *back)) << "value " << v;
+  }
+  EXPECT_EQ(EncodeDoubleBits(1.0), "3ff0000000000000");
+}
+
+TEST(SerdeTest, DecodeRejectsMalformedTokens) {
+  EXPECT_FALSE(DecodeDoubleBits("").ok());
+  EXPECT_FALSE(DecodeDoubleBits("3ff").ok());
+  EXPECT_FALSE(DecodeDoubleBits("3ff000000000000g").ok());
+  EXPECT_FALSE(DecodeDoubleBits("3ff00000000000000").ok());  // 17 digits
+}
+
+TEST(SerdeTest, ParseInt64RejectsJunk) {
+  ASSERT_TRUE(ParseInt64("-42").ok());
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_FALSE(ParseInt64("42x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+}
+
+TEST(TrialTest, TrialRoundTrips) {
+  Trial trial;
+  trial.id = 17;
+  trial.point = {0.25, -0.5, 1.0 / 3.0};
+  trial.config = Configuration({128.0, 0.875, 3.0});
+  trial.is_baseline = false;
+
+  Result<Trial> back = ParseTrial(SerializeTrial(trial));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->id, trial.id);
+  EXPECT_EQ(back->is_baseline, trial.is_baseline);
+  ASSERT_EQ(back->point.size(), trial.point.size());
+  for (size_t i = 0; i < trial.point.size(); ++i) {
+    EXPECT_TRUE(SameBits(back->point[i], trial.point[i]));
+  }
+  EXPECT_EQ(back->config, trial.config);
+}
+
+TEST(TrialTest, BaselineTrialRoundTrips) {
+  Trial trial;
+  trial.id = 1;
+  trial.is_baseline = true;
+  trial.config = Configuration({50.0, 0.5});
+
+  Result<Trial> back = ParseTrial(SerializeTrial(trial));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->is_baseline);
+  EXPECT_TRUE(back->point.empty());
+  EXPECT_EQ(back->config, trial.config);
+}
+
+TEST(TrialTest, TrialResultRoundTrips) {
+  TrialResult result;
+  result.trial_id = 99;
+  result.value = 1234.5678;
+  result.crashed = true;
+  result.metrics = {1.0, -0.0, 2.5};
+
+  Result<TrialResult> back = ParseTrialResult(SerializeTrialResult(result));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->trial_id, result.trial_id);
+  EXPECT_EQ(back->crashed, result.crashed);
+  EXPECT_TRUE(SameBits(back->value, result.value));
+  ASSERT_EQ(back->metrics.size(), result.metrics.size());
+  for (size_t i = 0; i < result.metrics.size(); ++i) {
+    EXPECT_TRUE(SameBits(back->metrics[i], result.metrics[i]));
+  }
+}
+
+TEST(TrialTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseTrial("").ok());
+  EXPECT_FALSE(ParseTrial("result 1 0 0000000000000000 metrics 0").ok());
+  EXPECT_FALSE(ParseTrial("trial 1 0 point 2 3ff0000000000000").ok());
+  EXPECT_FALSE(ParseTrialResult("trial 1 0 point 0 config 0").ok());
+  EXPECT_FALSE(ParseTrialResult("result 1 0").ok());
+}
+
+TEST(HistoryIoTest, HistoryRoundTripsBitForBit) {
+  std::vector<Observation> history;
+  history.push_back({{0.1, 0.2, 0.3}, 55.5});
+  history.push_back({{1.0 / 7.0, -0.0}, -1e-9});
+  history.push_back({{}, 0.0});
+
+  std::string text = SerializeHistory(history);
+  Result<std::vector<Observation>> back =
+      ParseHistory(text, static_cast<int>(history.size()));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(HistoryBitsEqual(history, *back));
+}
+
+TEST(HistoryIoTest, CountMismatchAndGarbageFail) {
+  std::vector<Observation> history = {{{0.5}, 1.0}};
+  std::string text = SerializeHistory(history);
+  EXPECT_FALSE(ParseHistory(text, 2).ok());
+  EXPECT_FALSE(ParseHistory("obs 1 zzz", 1).ok());
+  EXPECT_FALSE(ParseHistory("nonsense", -1).ok());
+}
+
+TEST(HistoryIoTest, BitsEqualDistinguishesValues) {
+  std::vector<Observation> a = {{{0.5}, 1.0}};
+  std::vector<Observation> b = {{{0.5}, 1.0}};
+  EXPECT_TRUE(HistoryBitsEqual(a, b));
+  b[0].value = std::nextafter(1.0, 2.0);
+  EXPECT_FALSE(HistoryBitsEqual(a, b));
+  b[0].value = 1.0;
+  b[0].point[0] = -0.5;
+  EXPECT_FALSE(HistoryBitsEqual(a, b));
+  b.clear();
+  EXPECT_FALSE(HistoryBitsEqual(a, b));
+}
+
+}  // namespace
+}  // namespace llamatune

@@ -155,48 +155,24 @@ TEST(TunerTest, BatchFallsBackWhenObjectiveCannotClone) {
 // ExperimentSpec through the registries
 // ---------------------------------------------------------------------------
 
-TEST(ExperimentSpecTest, LegacyShimMapsOntoRegistryKeys) {
+TEST(ExperimentSpecTest, DefaultsToSmacOverIdentity) {
   ExperimentSpec spec;
-  EXPECT_EQ(ResolvedOptimizerKey(spec), "smac");
-  EXPECT_EQ(ResolvedAdapterKey(spec), "identity");
-
-  spec.use_llamatune = true;  // paper defaults
-  EXPECT_EQ(ResolvedAdapterKey(spec), "hesbo16+svb0.2+bucket10000");
-
-  spec.llamatune.projection = ProjectionKind::kRembo;
-  spec.llamatune.target_dim = 8;
-  spec.llamatune.special_value_bias = 0.0;
-  spec.llamatune.bucket_values = 0;
-  EXPECT_EQ(ResolvedAdapterKey(spec), "rembo8");
-
-  spec.use_llamatune = false;
-  spec.identity.special_value_bias = 0.1;
-  spec.identity.bucket_values = 500;
-  EXPECT_EQ(ResolvedAdapterKey(spec), "identity+svb0.1+bucket500");
-
-  spec.optimizer = OptimizerKind::kDdpg;
-  EXPECT_EQ(ResolvedOptimizerKey(spec), "ddpg");
-
-  // Explicit keys win over the shim.
-  spec.optimizer_key = "random";
-  spec.adapter_key = "hesbo24";
-  EXPECT_EQ(ResolvedOptimizerKey(spec), "random");
-  EXPECT_EQ(ResolvedAdapterKey(spec), "hesbo24");
+  EXPECT_EQ(spec.optimizer_key, "smac");
+  EXPECT_EQ(spec.adapter_key, "identity");
 }
 
-TEST(ExperimentSpecTest, KeyedAndLegacySpecsProduceIdenticalRuns) {
-  ExperimentSpec legacy;
-  legacy.workload = dbsim::YcsbB();
-  legacy.num_seeds = 1;
-  legacy.num_iterations = 8;
-  legacy.optimizer = OptimizerKind::kRandom;
-  legacy.use_llamatune = true;
+TEST(ExperimentSpecTest, AliasAndExplicitPipelineKeysProduceIdenticalRuns) {
+  ExperimentSpec aliased;
+  aliased.workload = dbsim::YcsbB();
+  aliased.num_seeds = 1;
+  aliased.num_iterations = 8;
+  aliased.optimizer_key = "random";
+  aliased.adapter_key = "llamatune";  // alias for the paper pipeline
 
-  ExperimentSpec keyed = legacy;
-  keyed.optimizer_key = "random";
-  keyed.adapter_key = "llamatune";
+  ExperimentSpec keyed = aliased;
+  keyed.adapter_key = "hesbo16+svb0.2+bucket10000";
 
-  MultiSeedResult a = RunExperiment(legacy);
+  MultiSeedResult a = RunExperiment(aliased);
   MultiSeedResult b = RunExperiment(keyed);
   EXPECT_EQ(a.objective_curves, b.objective_curves);
 }
