@@ -1,14 +1,25 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+"""Compare a fresh bench JSON against the committed baseline.
 
 Usage:
     check_bench_regression.py <current.json> <baseline.json> [--threshold 0.20]
 
-Surfaces wall-clock regressions beyond the threshold in the GitHub
-Actions job summary ($GITHUB_STEP_SUMMARY) and as ::warning::
-annotations. Always exits 0: CI runners have noisy wall clocks, so the
-check reports trends rather than gating merges — a sustained >20%
-regression across commits is the signal to investigate.
+Handles both bench formats, keyed by their "bench" field:
+
+* ``hotpath`` (BENCH_hotpath.json) — wall-clock metrics only.
+* ``batch`` (BENCH_batch.json) — per-(optimizer, batch size) series:
+  sample-efficiency metrics (``mean_evals_to_fallback_best``, lower is
+  better — deterministic for fixed seeds, so any drift is a real
+  behavior change) and optimizer wall-clock (noisy). Metric names embed
+  the run configuration, so a baseline generated with different
+  iterations/seeds simply fails to intersect instead of comparing
+  incomparable numbers.
+
+Surfaces regressions beyond the threshold in the GitHub Actions job
+summary ($GITHUB_STEP_SUMMARY) and as ::warning:: annotations. Always
+exits 0: CI runners have noisy wall clocks, so the check reports trends
+rather than gating merges — a sustained >20% regression across commits
+is the signal to investigate.
 """
 
 import argparse
@@ -22,7 +33,7 @@ def load(path):
         return json.load(f)
 
 
-def collect_metrics(doc):
+def collect_hotpath_metrics(doc):
     """Flattens the wall-clock fields of BENCH_hotpath.json into
     {metric_name: seconds}."""
     metrics = {}
@@ -43,49 +54,104 @@ def collect_metrics(doc):
     return metrics
 
 
+# Threshold applied to metrics that are deterministic for fixed seeds
+# (evals-to-target): any drift beyond float formatting is a real
+# behavior change, not clock noise, so it is flagged immediately
+# instead of hiding under the wall-clock threshold.
+DETERMINISTIC_THRESHOLD = 0.001
+
+
+def collect_batch_metrics(doc):
+    """Flattens BENCH_batch.json series into
+    {metric_name: (value, deterministic)}.
+
+    All collected metrics are lower-is-better, matching the shared
+    ratio check: evals-to-target counts evaluations (deterministic for
+    fixed seeds), *_seconds counts wall-clock (noisy)."""
+    config = doc.get("config", {})
+    suffix = (f"iters={config.get('iterations')},"
+              f"seeds={config.get('seeds')}")
+    metrics = {}
+    for entry in doc.get("series", []):
+        key = (f"{entry.get('optimizer')},q={entry.get('batch_size')},"
+               f"{suffix}")
+        if "mean_evals_to_fallback_best" in entry:
+            metrics[f"mean_evals_to_fallback_best[{key}]"] = (
+                entry["mean_evals_to_fallback_best"], True)
+        if "mean_optimizer_seconds" in entry:
+            metrics[f"mean_optimizer_seconds[{key}]"] = (
+                entry["mean_optimizer_seconds"], False)
+    return metrics
+
+
+def collect_metrics(doc):
+    """Returns {metric_name: (value, deterministic)}."""
+    if doc.get("bench") == "batch":
+        return collect_batch_metrics(doc)
+    return {name: (value, False)
+            for name, value in collect_hotpath_metrics(doc).items()}
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Compare BENCH_hotpath.json against the committed "
-                    "baseline and surface wall-clock regressions.")
-    parser.add_argument("current", help="freshly generated BENCH_hotpath.json")
+        description="Compare a bench JSON against the committed baseline "
+                    "and surface regressions.")
+    parser.add_argument("current", help="freshly generated bench JSON")
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="relative regression threshold (default 0.20)")
     args = parser.parse_args()
     threshold = args.threshold
 
-    current = collect_metrics(load(args.current))
-    baseline = collect_metrics(load(args.baseline))
+    current_doc = load(args.current)
+    baseline_doc = load(args.baseline)
+    bench = current_doc.get("bench", "hotpath")
+    if baseline_doc.get("bench", "hotpath") != bench:
+        print(f"::warning title=bench mismatch::current is '{bench}', "
+              f"baseline is '{baseline_doc.get('bench')}' — nothing compared")
+        return 0
+
+    current = collect_metrics(current_doc)
+    baseline = collect_metrics(baseline_doc)
 
     rows = []
     regressions = []
-    for name, base_value in sorted(baseline.items()):
-        cur_value = current.get(name)
-        if cur_value is None or base_value <= 0:
+    for name, (base_value, deterministic) in sorted(baseline.items()):
+        cur_entry = current.get(name)
+        if cur_entry is None or base_value <= 0:
             continue
+        cur_value = cur_entry[0]
         ratio = cur_value / base_value
+        # Deterministic metrics tolerate only float-formatting jitter;
+        # wall-clock metrics use the (noisy-CI) threshold.
+        limit = DETERMINISTIC_THRESHOLD if deterministic else threshold
         flag = ""
-        if ratio > 1.0 + threshold:
-            flag = "REGRESSION"
+        if ratio > 1.0 + limit:
+            flag = "REGRESSION (deterministic)" if deterministic \
+                else "REGRESSION"
             regressions.append((name, base_value, cur_value, ratio))
-        elif ratio < 1.0 - threshold:
+        elif ratio < 1.0 - limit:
             flag = "improved"
         rows.append((name, base_value, cur_value, ratio, flag))
 
     lines = []
-    lines.append("## bm_hotpath vs committed baseline")
+    lines.append(f"## bm_{bench} vs committed baseline")
     lines.append("")
-    if regressions:
+    if not rows:
+        lines.append("No comparable metrics found (baseline generated with "
+                     "different settings?).")
+    elif regressions:
         lines.append(
             f"**{len(regressions)} metric(s) regressed more than "
-            f"{threshold:.0%} wall-clock** (noisy CI clocks — treat "
-            "sustained regressions across commits as the signal):")
+            f"{threshold:.0%}** (wall-clock metrics are noisy on CI; "
+            "evals-to-target metrics are deterministic — treat any drift "
+            "there as a real behavior change):")
     else:
         lines.append(
-            f"No wall-clock metric regressed more than {threshold:.0%} "
+            f"No metric regressed more than {threshold:.0%} "
             "against the committed baseline.")
     lines.append("")
-    lines.append("| metric | baseline (s) | current (s) | ratio | |")
+    lines.append("| metric | baseline | current | ratio | |")
     lines.append("|---|---|---|---|---|")
     for name, base_value, cur_value, ratio, flag in rows:
         lines.append(f"| `{name}` | {base_value:.3e} | {cur_value:.3e} "
@@ -98,8 +164,8 @@ def main():
         with open(summary_path, "a") as f:
             f.write(summary)
     for name, base_value, cur_value, ratio in regressions:
-        print(f"::warning title=bm_hotpath regression::{name} "
-              f"{base_value:.3e}s -> {cur_value:.3e}s ({ratio:.2f}x)")
+        print(f"::warning title=bm_{bench} regression::{name} "
+              f"{base_value:.3e} -> {cur_value:.3e} ({ratio:.2f}x)")
     return 0
 
 

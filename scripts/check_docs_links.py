@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Usage:
+    check_docs_links.py [file-or-dir ...]   (default: README.md docs/)
+
+Scans markdown files for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and verifies that every
+relative target resolves to an existing file or directory (anchors and
+query strings are stripped; absolute URLs, mailto:, and pure-anchor
+links are skipped). Exits 1 listing every dead link — this is the CI
+gate that keeps README/docs cross-references from rotting as files
+move.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) / ![alt](target); stops at the first ')' or
+# whitespace (titles like [x](y "t") keep only y).
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?[^)]*\)")
+# Reference definitions: [label]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "#")
+
+
+def iter_markdown_files(roots):
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+        elif os.path.isdir(root):
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for name in sorted(filenames):
+                    if name.endswith(".md"):
+                        yield os.path.join(dirpath, name)
+
+
+def blank_code_spans(text):
+    """Replaces fenced code blocks and inline code spans with
+    whitespace (newlines preserved, so line numbers stay stable):
+    C++ lambdas like `[](const T&)` would otherwise parse as links."""
+    out = []
+    in_fence = False
+    for line in text.split("\n"):
+        stripped = line.lstrip()
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        if in_fence:
+            out.append("")
+        else:
+            out.append(re.sub(r"`[^`]*`", lambda m: " " * len(m.group(0)),
+                              line))
+    return "\n".join(out)
+
+
+def check_file(path):
+    """Returns [(line_number, target)] for every dead relative link."""
+    with open(path, encoding="utf-8") as f:
+        text = blank_code_spans(f.read())
+    dead = []
+    targets = []
+    for match in INLINE_LINK.finditer(text):
+        targets.append((match.start(), match.group(1)))
+    for match in REF_DEF.finditer(text):
+        targets.append((match.start(), match.group(1)))
+    base = os.path.dirname(path)
+    for offset, target in targets:
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = target.split("#", 1)[0].split("?", 1)[0]
+        if not resolved:
+            continue
+        if not os.path.exists(os.path.join(base, resolved)):
+            line = text.count("\n", 0, offset) + 1
+            dead.append((line, target))
+    return dead
+
+
+def main():
+    roots = sys.argv[1:] or ["README.md", "docs"]
+    dead_total = 0
+    files_checked = 0
+    for path in iter_markdown_files(roots):
+        files_checked += 1
+        for line, target in check_file(path):
+            print(f"{path}:{line}: dead relative link: {target}")
+            dead_total += 1
+    if dead_total:
+        print(f"\n{dead_total} dead link(s) across {files_checked} "
+              "markdown file(s)")
+        return 1
+    print(f"OK: no dead relative links in {files_checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,10 @@ struct SessionOptions {
   /// evaluation within the batch.
   ///
   /// Best suited to model-based optimizers (SMAC, GP-BO, random):
-  /// their suggestions depend only on observed history. Stateful
+  /// their suggestions depend only on observed history. SMAC and the
+  /// "gpbo-qei"/"gpbo-lp" registry keys are batch-aware — they
+  /// diversify within a round instead of re-asking the model the same
+  /// question n times (see docs/registry-keys.md). Stateful
   /// step-by-step tuners (DDPG's metric-state transitions,
   /// BestConfig's rounds) assume a strict suggest/observe alternation
   /// and lose fidelity under batching — keep batch_size == 1 for them

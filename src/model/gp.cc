@@ -94,6 +94,7 @@ void GaussianProcess::Reset() {
   alpha_.clear();
   params_ = KernelParams{};
   fit_count_ = 0;
+  reopt_owed_ = false;
   y_mean_ = 0.0;
   y_std_ = 1.0;
   lml_ = 0.0;
@@ -241,6 +242,21 @@ double GaussianProcess::EvaluateLml(const KernelParams& params) const {
   return lml;
 }
 
+void GaussianProcess::AdvanceFitSchedule(int steps) {
+  if (steps <= 0) return;
+  int interval = std::max(1, options_.reopt_interval);
+  // Refit() tests fit_count_ % interval before incrementing, so the
+  // values skipped here — [fit_count_, fit_count_ + steps - 1] minus
+  // the one the next Refit() will test — may contain a boundary.
+  // Conservatively flag any boundary in the advanced-over range that
+  // the next call's own test would miss.
+  int lo = fit_count_;
+  int hi = fit_count_ + steps - 1;
+  if ((hi / interval) * interval >= lo) reopt_owed_ = true;
+  fit_count_ += steps;
+  if (fit_count_ % interval == 0) reopt_owed_ = false;  // next test catches it
+}
+
 Status GaussianProcess::Refit() {
   if (n_ == 0) {
     return Status::InvalidArgument("GP::Refit requires observations");
@@ -250,8 +266,10 @@ Status GaussianProcess::Refit() {
   ys_std_.resize(n_);
   for (int i = 0; i < n_; ++i) ys_std_[i] = (ys_[i] - y_mean_) / y_std_;
 
-  bool reopt = (fit_count_ % std::max(1, options_.reopt_interval)) == 0 ||
+  bool reopt = reopt_owed_ ||
+               (fit_count_ % std::max(1, options_.reopt_interval)) == 0 ||
                !fitted_;
+  reopt_owed_ = false;
   ++fit_count_;
 
   ExtendGeometry();
@@ -317,6 +335,29 @@ Status GaussianProcess::Refit() {
   }
   ComputeAlphaAndLml();
   fitted_ = true;
+  return Status::OK();
+}
+
+Status GaussianProcess::Condition(const std::vector<double>& x, double y) {
+  if (!fitted_ || chol_.rows() != n_) {
+    return Status::FailedPrecondition(
+        "GP::Condition requires a fitted model with a current factor");
+  }
+  int old_n = n_;
+  AddObservation(x, y);
+  ExtendGeometry();
+  // The standardization stays frozen at the last Refit(): fantasies
+  // are drawn from the fitted posterior, whose scale they must share.
+  ys_std_.push_back((y - y_mean_) / y_std_);
+  Status st = ExtendFactor(old_n);
+  if (!st.ok()) {
+    // ExtendFactor already fell back to a full refactorization; a
+    // failure here means even jitter escalation could not recover.
+    fitted_ = false;
+    chol_ = Matrix();
+    return st;
+  }
+  ComputeAlphaAndLml();
   return Status::OK();
 }
 

@@ -62,8 +62,32 @@ class GaussianProcess {
   /// this only re-standardizes targets and recomputes alpha in O(n^2).
   Status Refit();
 
+  /// Advances the Refit() schedule by `steps` extra calls without
+  /// fitting. A batch-aware optimizer that refits once per q-point
+  /// round (instead of once per suggestion) calls this with q-1 so the
+  /// hyperparameter re-optimization cadence stays "every
+  /// reopt_interval suggestions", matching the sequential path's model
+  /// quality per observation. A re-optimization boundary inside the
+  /// skipped stretch is not lost: the next Refit() honors it (without
+  /// this, a batch size sharing a factor with reopt_interval could
+  /// phase-skip every boundary and never re-optimize again).
+  void AdvanceFitSchedule(int steps);
+
   /// Drops all observations and the cached fit state.
   void Reset();
+
+  /// Fantasy conditioning: appends (x, y) as a training observation and
+  /// rank-extends the cached Cholesky factor under the *current*
+  /// hyperparameters and target standardization — no hyperparameter
+  /// re-optimization, no Refit() schedule advance. O(n^2), and
+  /// bit-for-bit deterministic at any thread count. Requires fitted().
+  ///
+  /// This is the greedy q-EI primitive: a *copy* of a fitted GP is
+  /// conditioned on hallucinated outcomes (the posterior mean at each
+  /// picked point) so subsequent acquisition maximizations are pushed
+  /// away from points the batch already covers, then the copy is
+  /// discarded. The real model never sees fantasies.
+  Status Condition(const std::vector<double>& x, double y);
 
   /// Predictive mean and variance at `x`.
   void Predict(const std::vector<double>& x, double* mean,
@@ -108,6 +132,9 @@ class GaussianProcess {
   KernelSpaceCache geometry_;
   uint64_t seed_;
   int fit_count_ = 0;
+  /// AdvanceFitSchedule() jumped over a reopt boundary: the next
+  /// Refit() re-optimizes hyperparameters regardless of phase.
+  bool reopt_owed_ = false;
 
   /// Kernel row k(x, X_train) for a split/normalized query against the
   /// first `m` training points, via dim-major sweeps over the

@@ -1,12 +1,44 @@
 #include "src/optimizer/gp_bo.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 
+#include "src/common/math_util.h"
 #include "src/model/acquisition.h"
 #include "src/sampling/latin_hypercube.h"
 #include "src/sampling/uniform.h"
 
 namespace llamatune {
+
+namespace {
+
+/// First maximum of EI over index-ordered (means, variances) — the
+/// same reduction Suggest() runs, shared by every batch mode so the
+/// scan order (and thus the pick) never depends on the executor count.
+int ArgmaxEi(const std::vector<double>& means,
+             const std::vector<double>& variances, double best) {
+  double best_ei = -1.0;
+  int best_idx = 0;
+  for (size_t i = 0; i < means.size(); ++i) {
+    double ei = ExpectedImprovement(means[i], variances[i], best);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  return best_idx;
+}
+
+bool ContainsPoint(const std::vector<std::vector<double>>& set,
+                   const std::vector<double>& point) {
+  for (const std::vector<double>& p : set) {
+    if (p == point) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 GpBoOptimizer::GpBoOptimizer(SearchSpace space, GpBoOptions options,
                              uint64_t seed)
@@ -15,15 +47,27 @@ GpBoOptimizer::GpBoOptimizer(SearchSpace space, GpBoOptions options,
       rng_(seed),
       gp_(space_, options.gp, HashCombine(seed, 0xfeedULL)) {}
 
+std::vector<double> GpBoOptimizer::InitPoint(int iter) {
+  if (init_design_.empty()) {
+    init_design_ = LatinHypercubeSample(space_, options_.n_init, &rng_);
+  }
+  return init_design_[iter];
+}
+
 std::vector<double> GpBoOptimizer::Suggest() {
   int iter = suggest_count_++;
-  if (iter < options_.n_init) {
-    if (init_design_.empty()) {
-      init_design_ = LatinHypercubeSample(space_, options_.n_init, &rng_);
-    }
-    return init_design_[iter];
-  }
+  if (iter < options_.n_init) return InitPoint(iter);
   return SuggestByModel();
+}
+
+std::vector<std::vector<double>> GpBoOptimizer::SuggestBatch(int n) {
+  // q == 1 degrades every mode to the plain EI suggestion: the
+  // fallback is a single Suggest() call, bit-for-bit.
+  if (n <= 1 || options_.batch_mode == GpBatchMode::kSequential) {
+    return Optimizer::SuggestBatch(n);
+  }
+  return options_.batch_mode == GpBatchMode::kFantasyQei ? SuggestBatchQei(n)
+                                                         : SuggestBatchLp(n);
 }
 
 void GpBoOptimizer::Observe(const std::vector<double>& point, double value) {
@@ -34,27 +78,27 @@ void GpBoOptimizer::Observe(const std::vector<double>& point, double value) {
   gp_.AddObservation(point, value);
 }
 
-std::vector<double> GpBoOptimizer::SuggestByModel() {
-  if (history_.empty()) return UniformSample(space_, &rng_);
-  Status st = gp_.Refit();
-  if (!st.ok()) {
-    // Degenerate Gram matrix: fall back to exploration.
-    return UniformSample(space_, &rng_);
-  }
-
-  double best = BestValue();
-
+std::vector<std::vector<double>> GpBoOptimizer::GenerateCandidates(
+    const std::vector<Observation>& extra) {
   std::vector<std::vector<double>> candidates =
       UniformSamples(space_, options_.num_random_candidates, &rng_);
-  std::vector<int> order(history_.size());
+  size_t n_hist = history_.size();
+  auto value_at = [&](int i) {
+    return static_cast<size_t>(i) < n_hist ? history_[i].value
+                                           : extra[i - n_hist].value;
+  };
+  auto point_at = [&](int i) -> const std::vector<double>& {
+    return static_cast<size_t>(i) < n_hist ? history_[i].point
+                                           : extra[i - n_hist].point;
+  };
+  std::vector<int> order(n_hist + extra.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return history_[a].value > history_[b].value;
-  });
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return value_at(a) > value_at(b); });
   int parents = std::min<int>(options_.num_local_parents,
                               static_cast<int>(order.size()));
   for (int p = 0; p < parents; ++p) {
-    const std::vector<double>& parent = history_[order[p]].point;
+    const std::vector<double>& parent = point_at(order[p]);
     for (int k = 0; k < options_.num_neighbors_per_parent; ++k) {
       std::vector<double> child = parent;
       int d = space_.num_dims();
@@ -73,19 +117,237 @@ std::vector<double> GpBoOptimizer::SuggestByModel() {
       candidates.push_back(std::move(child));
     }
   }
+  return candidates;
+}
 
+std::vector<double> GpBoOptimizer::SuggestByModel() {
+  if (history_.empty()) return UniformSample(space_, &rng_);
+  Status st = gp_.Refit();
+  if (!st.ok()) {
+    // Degenerate Gram matrix: fall back to exploration.
+    return UniformSample(space_, &rng_);
+  }
+
+  double best = BestValue();
+  std::vector<std::vector<double>> candidates = GenerateCandidates({});
   std::vector<double> means, variances;
   gp_.PredictBatch(candidates, &means, &variances);
-  double best_ei = -1.0;
-  int best_idx = 0;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    double ei = ExpectedImprovement(means[i], variances[i], best);
-    if (ei > best_ei) {
-      best_ei = ei;
-      best_idx = static_cast<int>(i);
+  return candidates[ArgmaxEi(means, variances, best)];
+}
+
+std::vector<std::vector<double>> GpBoOptimizer::SuggestBatchQei(int n) {
+  std::vector<std::vector<double>> batch;
+  batch.reserve(n);
+  // Fantasy state, built lazily at the round's first model-based pick:
+  // the GP is refit once on the real history, then a copy of the
+  // fitted model absorbs one hallucinated observation per pick.
+  std::optional<GaussianProcess> fantasy;
+  std::vector<Observation> fantasies;
+  double fantasy_best = BestValue();
+  bool model_ready = false;
+  bool model_ok = true;
+  for (int i = 0; i < n; ++i) {
+    int iter = suggest_count_++;
+    if (iter < options_.n_init) {
+      batch.push_back(InitPoint(iter));
+      continue;
+    }
+    if (!model_ready) {
+      model_ready = true;
+      if (history_.empty()) {
+        model_ok = false;
+      } else {
+        model_ok = gp_.Refit().ok();
+        // One Refit covers the round's n - i model picks; keep the
+        // hyperparameter re-optimization cadence per *suggestion* in
+        // step with the sequential path (which refits per Suggest).
+        gp_.AdvanceFitSchedule(n - i - 1);
+      }
+    }
+    if (!model_ok) {
+      // Mirrors Suggest(): no history / degenerate Gram -> exploration.
+      batch.push_back(UniformSample(space_, &rng_));
+      continue;
+    }
+    const GaussianProcess& model = fantasy.has_value() ? *fantasy : gp_;
+    std::vector<std::vector<double>> candidates = GenerateCandidates(fantasies);
+    std::vector<double> means, variances;
+    model.PredictBatch(candidates, &means, &variances);
+    // Highest-EI candidate at least qei_min_distance away from every
+    // point the batch already holds: conditioning alone cannot
+    // separate re-picks when the learned noise floor keeps the
+    // posterior variance up (the fantasy only collapses the epistemic
+    // part). Falls back to the unconstrained maximum if the whole pool
+    // sits inside the exclusion balls.
+    int best_idx = -1;
+    double best_ei = -1.0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      bool excluded = false;
+      for (const std::vector<double>& prev : batch) {
+        if (NormalizedDistance(space_, candidates[c], prev) <
+            options_.qei_min_distance) {
+          excluded = true;
+          break;
+        }
+      }
+      if (excluded) continue;
+      double ei = ExpectedImprovement(means[c], variances[c], fantasy_best);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_idx = static_cast<int>(c);
+      }
+    }
+    if (best_idx < 0) best_idx = ArgmaxEi(means, variances, fantasy_best);
+    std::vector<double> pick = candidates[best_idx];
+    if (i + 1 < n) {
+      // Hallucinate the outcome at the posterior mean and condition the
+      // fantasy model, collapsing its variance there so the next EI
+      // maximum lands elsewhere. Deliberately unlike the classic
+      // kriging believer, the EI incumbent (fantasy_best) is NOT
+      // raised to the hallucinated mean: inflating the bar with
+      // unverified lies made later picks flee to far high-variance
+      // regions and measurably hurt sample efficiency on the
+      // batch-quality grid; the separation radius below handles
+      // re-pick pressure instead.
+      if (!fantasy.has_value()) fantasy = gp_;
+      double mu = means[best_idx];
+      if (fantasy->Condition(pick, mu).ok()) {
+        fantasies.push_back({pick, mu});
+      } else {
+        // Conditioning lost positive definiteness even after jitter
+        // escalation: explore for the rest of the round.
+        model_ok = false;
+      }
+    }
+    batch.push_back(std::move(pick));
+  }
+  return batch;
+}
+
+double GpBoOptimizer::EstimateLipschitz() const {
+  // Steepest observed slope over recent history pairs. The window cap
+  // keeps the sweep O(min(n, 256)^2) — late in a session the recent
+  // observations dominate the slope estimate anyway.
+  constexpr int kWindow = 256;
+  int n = static_cast<int>(history_.size());
+  int start = n > kWindow ? n - kWindow : 0;
+  double lipschitz = 0.0;
+  for (int i = start; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double dist = NormalizedDistance(space_, history_[i].point,
+                                       history_[j].point);
+      if (dist > 1e-12) {
+        lipschitz = std::max(
+            lipschitz, std::abs(history_[i].value - history_[j].value) / dist);
+      }
     }
   }
-  return candidates[best_idx];
+  return std::max(lipschitz, options_.lp_min_lipschitz);
+}
+
+std::vector<std::vector<double>> GpBoOptimizer::SuggestBatchLp(int n) {
+  std::vector<std::vector<double>> batch;
+  batch.reserve(n);
+  // Shared round state, built at the first model-based pick: one
+  // candidate pool, one PredictBatch, one EI vector.
+  std::vector<std::vector<double>> candidates;
+  std::vector<double> means, variances, ei;
+  /// One exclusion ball per point the round already holds — prior
+  /// model picks AND any init-design picks of a straddling round
+  /// (their predicted outcomes are unknown too, and a model pick
+  /// epsilon-close to one wastes an evaluation just the same).
+  struct PenaltyBall {
+    std::vector<double> point;
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  std::vector<PenaltyBall> balls;
+  double lipschitz = 0.0;
+  double incumbent = BestValue();
+  bool model_ready = false;
+  bool model_ok = true;
+  for (int i = 0; i < n; ++i) {
+    int iter = suggest_count_++;
+    if (iter < options_.n_init) {
+      batch.push_back(InitPoint(iter));
+      continue;
+    }
+    if (!model_ready) {
+      model_ready = true;
+      int model_picks = n - i;
+      if (history_.empty()) {
+        model_ok = false;
+      } else {
+        model_ok = gp_.Refit().ok();
+        // One Refit covers all of the round's model picks (see
+        // SuggestBatchQei).
+        gp_.AdvanceFitSchedule(model_picks - 1);
+      }
+      if (model_ok) {
+        // One candidate pool per model pick — the same total candidate
+        // budget the sequential fallback scans across its q Suggest()
+        // calls — scored in a single PredictBatch pass.
+        for (int k = 0; k < model_picks; ++k) {
+          std::vector<std::vector<double>> pool = GenerateCandidates({});
+          for (auto& point : pool) candidates.push_back(std::move(point));
+        }
+        gp_.PredictBatch(candidates, &means, &variances);
+        ei = ExpectedImprovementBatch(means, variances, incumbent);
+        lipschitz = EstimateLipschitz();
+        if (!batch.empty()) {
+          // Seed balls around the round's init picks.
+          std::vector<double> init_means, init_variances;
+          gp_.PredictBatch(batch, &init_means, &init_variances);
+          for (size_t b = 0; b < batch.size(); ++b) {
+            balls.push_back({batch[b], init_means[b], init_variances[b]});
+          }
+        }
+      }
+    }
+    if (!model_ok) {
+      batch.push_back(UniformSample(space_, &rng_));
+      continue;
+    }
+    // M approximates the objective's maximum: the exclusion radius
+    // around ball b is ~ (M - mu_b) / L (González et al. 2016). Picks
+    // predicted above the incumbent raise M so their own ball does not
+    // invert.
+    double m = incumbent;
+    for (const PenaltyBall& ball : balls) m = std::max(m, ball.mean);
+    int best_idx = -1;
+    double best_score = -1.0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      // Exclude any point the round already holds (picks and their
+      // duplicates elsewhere in the pool — coarse grids repeat).
+      if (ContainsPoint(batch, candidates[c])) continue;
+      double score = ei[c];
+      // Penalties only shrink the score, so candidates already below
+      // the running maximum can be pruned before the distance loop.
+      if (score <= best_score) continue;
+      for (const PenaltyBall& ball : balls) {
+        double sigma2 = std::max(ball.variance, 1e-12);
+        double dist = NormalizedDistance(space_, candidates[c], ball.point);
+        double z = (lipschitz * dist - std::max(m - ball.mean, 0.0)) /
+                   std::sqrt(2.0 * sigma2);
+        score *= NormCdf(z);
+        if (score <= best_score) break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_idx = static_cast<int>(c);
+      }
+    }
+    if (best_idx < 0) {
+      // Every candidate is already in the batch (q exceeds the pool):
+      // fall back to exploration.
+      batch.push_back(UniformSample(space_, &rng_));
+      continue;
+    }
+    balls.push_back(
+        {candidates[best_idx], means[best_idx], variances[best_idx]});
+    batch.push_back(candidates[best_idx]);
+  }
+  return batch;
 }
 
 }  // namespace llamatune

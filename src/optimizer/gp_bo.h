@@ -8,6 +8,31 @@
 
 namespace llamatune {
 
+/// \brief Batch-suggestion strategy for GpBoOptimizer::SuggestBatch.
+///
+/// At q == 1 every mode is the plain EI suggestion (bit-for-bit
+/// identical to Suggest()); the modes only differ in how picks 2..q of
+/// one round avoid collapsing onto the same acquisition maximum.
+enum class GpBatchMode {
+  /// The optimizer-agnostic fallback: q successive Suggest() calls.
+  /// Without intermediate observations these tend to return
+  /// near-duplicates of the same EI maximum.
+  kSequential,
+  /// Greedy q-EI via fantasized observations (Ginsbourger et al.'s
+  /// "constant liar"/kriging-believer family): pick the EI maximum,
+  /// hallucinate its outcome at the posterior mean, rank-1-condition a
+  /// copy of the GP (GaussianProcess::Condition, O(n^2)), repeat. The
+  /// strongest batch quality; costs one PredictBatch + one O(n^2)
+  /// update per pick.
+  kFantasyQei,
+  /// Local penalization (González et al. 2016): score one shared
+  /// candidate pool once, then multiply EI by a penalty that vanishes
+  /// inside a Lipschitz-estimated exclusion ball around each point the
+  /// batch already picked. Cheapest batch-aware mode — a single
+  /// PredictBatch for the whole round.
+  kLocalPenalization,
+};
+
 /// \brief GP-BO configuration.
 struct GpBoOptions {
   int n_init = 10;
@@ -15,6 +40,20 @@ struct GpBoOptions {
   int num_local_parents = 5;
   int num_neighbors_per_parent = 10;
   double neighbor_stddev = 0.15;
+  /// How SuggestBatch diversifies within a round (registry keys:
+  /// "gpbo" = kSequential, "gpbo-qei" = kFantasyQei, "gpbo-lp" =
+  /// kLocalPenalization).
+  GpBatchMode batch_mode = GpBatchMode::kSequential;
+  /// Local penalization: floor on the Lipschitz estimate (guards the
+  /// degenerate all-equal-observations case, where no exclusion radius
+  /// is inferable).
+  double lp_min_lipschitz = 1e-6;
+  /// q-EI: minimum NormalizedDistance between the picks of one round.
+  /// Fantasy conditioning only collapses the epistemic variance — with
+  /// a large learned noise floor the EI maximum barely moves — so a
+  /// hard separation radius backs it up (the unconstrained maximum is
+  /// restored when the whole pool is inside the exclusion balls).
+  double qei_min_distance = 0.05;
   GpOptions gp;
 };
 
@@ -29,16 +68,39 @@ struct GpBoOptions {
 /// O(d)), so each model-based suggestion refits incrementally instead
 /// of re-copying the full history, and candidates are scored in one
 /// PredictBatch pass against the cached Cholesky factor.
+///
+/// SuggestBatch is batch-aware under GpBoOptions::batch_mode: the GP
+/// is refit once per round and every candidate pool is scored through
+/// PredictBatch over the shared pool, so a q-point round costs a small
+/// constant factor of a single suggestion instead of q model refits.
+/// All modes draw RNG serially and reduce scores in index order, so
+/// batches are identical at any thread count.
 class GpBoOptimizer : public Optimizer {
  public:
   GpBoOptimizer(SearchSpace space, GpBoOptions options, uint64_t seed);
 
   std::vector<double> Suggest() override;
+  std::vector<std::vector<double>> SuggestBatch(int n) override;
   void Observe(const std::vector<double>& point, double value) override;
   std::string name() const override { return "GP-BO"; }
 
+  const GpBoOptions& options() const { return options_; }
+
  private:
+  /// The iter'th point of the lazily drawn LHS initial design.
+  std::vector<double> InitPoint(int iter);
   std::vector<double> SuggestByModel();
+  std::vector<std::vector<double>> SuggestBatchQei(int n);
+  std::vector<std::vector<double>> SuggestBatchLp(int n);
+  /// Candidate pool: uniform random + Gaussian neighborhoods around the
+  /// best of history_ plus `extra` (within-batch fantasy observations).
+  /// With `extra` empty this is byte-identical to the Suggest() path.
+  std::vector<std::vector<double>> GenerateCandidates(
+      const std::vector<Observation>& extra);
+  /// Max |Δvalue| / NormalizedDistance over recent history pairs — the
+  /// objective's steepest observed slope, which sizes the local
+  /// penalization exclusion balls.
+  double EstimateLipschitz() const;
 
   GpBoOptions options_;
   Rng rng_;

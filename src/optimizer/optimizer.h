@@ -39,11 +39,15 @@ class Optimizer {
   /// sequential fallback — n successive Suggest() calls — which keeps
   /// the optimizer-agnostic contract: batching requires no optimizer
   /// modifications, but batch-aware optimizers may override this to
-  /// diversify within the batch. Note the fallback issues n Suggest()
-  /// calls before any Observe(): optimizers that carry per-suggestion
-  /// state (DDPG's pending action, BestConfig's round cursor) should
-  /// override this — or be run with batch size 1 — to keep their
-  /// internal protocol intact.
+  /// diversify within the batch (GP-BO's q-EI / local-penalization
+  /// modes and SMAC's near-duplicate exclusion do; see
+  /// docs/registry-keys.md). Overrides must degrade to a single
+  /// Suggest() at n == 1, bit for bit — tests/batch_optimizer_test.cc
+  /// pins this for every registered optimizer. Note the fallback
+  /// issues n Suggest() calls before any Observe(): optimizers that
+  /// carry per-suggestion state (DDPG's pending action, BestConfig's
+  /// round cursor) should override this — or be run with batch size
+  /// 1 — to keep their internal protocol intact.
   virtual std::vector<std::vector<double>> SuggestBatch(int n) {
     std::vector<std::vector<double>> batch;
     batch.reserve(n > 0 ? n : 0);

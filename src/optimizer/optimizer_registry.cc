@@ -20,6 +20,21 @@ OptimizerRegistry::OptimizerRegistry() {
         new GpBoOptimizer(space, GpBoOptions{}, seed));
   });
   RegisterAlias("gp-bo", "gpbo");
+  // Batch-aware GP-BO variants: identical to "gpbo" at batch size 1
+  // (and under Suggest()); they differ only in how SuggestBatch
+  // diversifies picks 2..q of a round.
+  Register("gpbo-qei", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    GpBoOptions options;
+    options.batch_mode = GpBatchMode::kFantasyQei;
+    return std::unique_ptr<Optimizer>(new GpBoOptimizer(space, options, seed));
+  });
+  Register("gpbo-lp", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    GpBoOptions options;
+    options.batch_mode = GpBatchMode::kLocalPenalization;
+    return std::unique_ptr<Optimizer>(new GpBoOptimizer(space, options, seed));
+  });
   Register("ddpg", [](const SearchSpace& space, uint64_t seed)
                -> Result<std::unique_ptr<Optimizer>> {
     // DdpgOptions::state_dim must equal the simulator's metric count

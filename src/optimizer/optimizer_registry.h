@@ -15,8 +15,12 @@ namespace llamatune {
 
 /// \brief Open, string-keyed factory for optimizers.
 ///
-/// Builtin keys: "smac", "gpbo" (alias "gp-bo"), "ddpg", "random",
-/// "bestconfig". LlamaTune's claim is that its adapters compose with
+/// Builtin keys: "smac", "gpbo" (alias "gp-bo"), "gpbo-qei", "gpbo-lp",
+/// "ddpg", "random", "bestconfig". The "-qei" / "-lp" suffixed GP-BO
+/// keys select the batch-aware SuggestBatch modes (greedy q-EI via
+/// fantasized observations / local penalization; see GpBatchMode) and
+/// behave exactly like "gpbo" at batch size 1.
+/// LlamaTune's claim is that its adapters compose with
 /// *any* optimizer unchanged — the registry is how new backends become
 /// addressable from the harness, benches, and TunerBuilder without
 /// touching a switch statement.

@@ -84,6 +84,27 @@ bool SearchSpace::Contains(const std::vector<double>& point) const {
   return true;
 }
 
+double NormalizedDistance(const SearchSpace& space,
+                          const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  int d = space.num_dims();
+  if (d == 0) return 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < d; ++i) {
+    const SearchDim& dim = space.dim(i);
+    if (dim.type == SearchDim::Type::kCategorical) {
+      if (a[i] != b[i]) sq += 1.0;
+    } else {
+      double span = dim.hi - dim.lo;
+      if (span > 0.0) {
+        double delta = (a[i] - b[i]) / span;
+        sq += delta * delta;
+      }
+    }
+  }
+  return std::sqrt(sq / static_cast<double>(d));
+}
+
 SearchSpace SearchSpace::Bucketized(int64_t max_unique_values) const {
   std::vector<SearchDim> dims = dims_;
   for (SearchDim& d : dims) {

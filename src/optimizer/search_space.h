@@ -66,4 +66,15 @@ class SearchSpace {
   std::vector<SearchDim> dims_;
 };
 
+/// \brief Scale-free distance between two points of `space` in [0, 1]:
+/// the RMS of per-dimension normalized deltas, where a continuous
+/// delta is |a-b| / (hi-lo) and a categorical delta is 1 on mismatch.
+/// 0 = identical points, 1 = maximally far in every dimension. This is
+/// the metric the batch-aware optimizers share — SMAC's near-duplicate
+/// exclusion and GP-BO's local-penalization radii (where a Lipschitz
+/// constant estimated in this metric has the objective's units).
+double NormalizedDistance(const SearchSpace& space,
+                          const std::vector<double>& a,
+                          const std::vector<double>& b);
+
 }  // namespace llamatune

@@ -16,19 +16,45 @@ SmacOptimizer::SmacOptimizer(SearchSpace space, SmacOptions options,
       rng_(seed),
       forest_(space_, options.forest, HashCombine(seed, 0x5a5a5a5aULL)) {}
 
+std::vector<double> SmacOptimizer::InitPoint(int iter) {
+  if (init_design_.empty()) {
+    init_design_ = LatinHypercubeSample(space_, options_.n_init, &rng_);
+  }
+  return init_design_[iter];
+}
+
+bool SmacOptimizer::IsRandomInterleave(int iter) const {
+  return options_.random_interleave > 0 &&
+         (iter - options_.n_init + 1) % options_.random_interleave == 0;
+}
+
 std::vector<double> SmacOptimizer::Suggest() {
   int iter = suggest_count_++;
-  if (iter < options_.n_init) {
-    if (init_design_.empty()) {
-      init_design_ = LatinHypercubeSample(space_, options_.n_init, &rng_);
-    }
-    return init_design_[iter];
-  }
-  if (options_.random_interleave > 0 &&
-      (iter - options_.n_init + 1) % options_.random_interleave == 0) {
-    return UniformSample(space_, &rng_);
-  }
+  if (iter < options_.n_init) return InitPoint(iter);
+  if (IsRandomInterleave(iter)) return UniformSample(space_, &rng_);
   return SuggestByModel();
+}
+
+std::vector<std::vector<double>> SmacOptimizer::SuggestBatch(int n) {
+  // q == 1 (or diversification disabled) is the plain sequential
+  // fallback — bit-for-bit a single Suggest() call at n == 1.
+  if (n <= 1 || !(options_.batch_min_distance > 0.0)) {
+    return Optimizer::SuggestBatch(n);
+  }
+  std::vector<std::vector<double>> batch;
+  batch.reserve(n);
+  bool forest_ready = false;
+  for (int i = 0; i < n; ++i) {
+    int iter = suggest_count_++;
+    if (iter < options_.n_init) {
+      batch.push_back(InitPoint(iter));
+    } else if (IsRandomInterleave(iter)) {
+      batch.push_back(UniformSample(space_, &rng_));
+    } else {
+      batch.push_back(SuggestByModelDiverse(batch, &forest_ready));
+    }
+  }
+  return batch;
 }
 
 std::vector<double> SmacOptimizer::MutateNeighbor(
@@ -57,11 +83,8 @@ void SmacOptimizer::Observe(const std::vector<double>& point, double value) {
   train_y_.push_back(value);
 }
 
-std::vector<double> SmacOptimizer::SuggestByModel() {
-  // Fit the forest to the incrementally maintained training views.
-  if (train_x_.empty()) return UniformSample(space_, &rng_);
-  forest_.Fit(train_x_, train_y_);
-
+std::vector<std::vector<double>> SmacOptimizer::ScoreCandidates(
+    std::vector<double>* ei) {
   double best = BestValue();
 
   // Candidate pool: uniform random + local neighborhoods of the top
@@ -84,28 +107,82 @@ std::vector<double> SmacOptimizer::SuggestByModel() {
   }
 
   // Score by Expected Improvement. Forest lookups are pure tree
-  // traversals, so candidates score in parallel; the first-maximum
-  // selection over the index-ordered results keeps the choice
-  // independent of the executor count.
+  // traversals, so candidates score in parallel; consumers reduce the
+  // index-ordered scores, keeping every pick independent of the
+  // executor count.
   int num_candidates = static_cast<int>(candidates.size());
-  std::vector<double> ei(num_candidates, 0.0);
+  ei->assign(num_candidates, 0.0);
   ThreadPool::Global().ParallelFor(
       num_candidates,
       [&](int i) {
         double mean = 0.0, variance = 0.0;
         forest_.Predict(candidates[i], &mean, &variance);
-        ei[i] = ExpectedImprovement(mean, variance, best);
+        (*ei)[i] = ExpectedImprovement(mean, variance, best);
       },
       options_.num_threads);
+  return candidates;
+}
+
+std::vector<double> SmacOptimizer::SuggestByModel() {
+  // Fit the forest to the incrementally maintained training views.
+  if (train_x_.empty()) return UniformSample(space_, &rng_);
+  forest_.Fit(train_x_, train_y_);
+
+  std::vector<double> ei;
+  std::vector<std::vector<double>> candidates = ScoreCandidates(&ei);
   double best_ei = -1.0;
   int best_idx = 0;
-  for (int i = 0; i < num_candidates; ++i) {
+  for (size_t i = 0; i < ei.size(); ++i) {
     if (ei[i] > best_ei) {
       best_ei = ei[i];
-      best_idx = i;
+      best_idx = static_cast<int>(i);
     }
   }
   return candidates[best_idx];
+}
+
+std::vector<double> SmacOptimizer::SuggestByModelDiverse(
+    const std::vector<std::vector<double>>& taken, bool* forest_ready) {
+  if (train_x_.empty()) return UniformSample(space_, &rng_);
+  // One forest fit per round: no observations arrive between the picks
+  // of a batch, so refitting per pick would train on identical data.
+  if (!*forest_ready) {
+    forest_.Fit(train_x_, train_y_);
+    *forest_ready = true;
+  }
+  std::vector<double> ei;
+  std::vector<std::vector<double>> candidates = ScoreCandidates(&ei);
+
+  // One pass over the index-ordered scores: best challenger that is
+  // not a near-duplicate of a point the round already holds, plus the
+  // unconstrained maximum as fallback (the same first-maximum
+  // tie-break Suggest() uses).
+  int best_idx = -1;
+  double best_ei = -1.0;
+  int best_any_idx = 0;
+  double best_any_ei = -1.0;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (ei[c] > best_any_ei) {
+      best_any_ei = ei[c];
+      best_any_idx = static_cast<int>(c);
+    }
+    if (ei[c] <= best_ei) continue;
+    bool distinct = true;
+    for (const std::vector<double>& prev : taken) {
+      if (NormalizedDistance(space_, candidates[c], prev) <
+          options_.batch_min_distance) {
+        distinct = false;
+        break;
+      }
+    }
+    if (distinct) {
+      best_ei = ei[c];
+      best_idx = static_cast<int>(c);
+    }
+  }
+  // Every challenger a near-duplicate (tiny spaces / huge q): the
+  // unconstrained maximum is still the best answer.
+  return candidates[best_idx >= 0 ? best_idx : best_any_idx];
 }
 
 }  // namespace llamatune

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 
+#include "src/optimizer/gp_bo.h"
 #include "src/optimizer/optimizer.h"
+#include "src/optimizer/optimizer_registry.h"
 #include "src/optimizer/random_search.h"
 #include "src/optimizer/smac.h"
 
@@ -17,6 +22,15 @@ SearchSpace SmallSpace() {
   return SearchSpace({SearchDim::Continuous(0.0, 1.0),
                       SearchDim::Continuous(-1.0, 1.0, 100),
                       SearchDim::Categorical(4)});
+}
+
+/// Smooth deterministic objective for driving model-based optimizers.
+double Smooth(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    acc += std::sin(2.0 * x[i] + static_cast<double>(i));
+  }
+  return acc;
 }
 
 // The fallback contract: SuggestBatch(n) on an unmodified optimizer is
@@ -112,6 +126,163 @@ TEST(IncumbentTest, NegativeValuesHandled) {
   EXPECT_EQ(opt.BestValue(), -50.0);
   opt.Observe({0.2, 0.0, 1.0}, -10.0);
   EXPECT_EQ(opt.BestValue(), -10.0);
+}
+
+// ---------------------------------------------------------------------------
+// SuggestBatch(1) == Suggest(), bit for bit, for every registered
+// optimizer — including the batch-aware ones, whose qEI / local
+// penalization / diversification modes must degrade to the plain
+// acquisition at q = 1.
+// ---------------------------------------------------------------------------
+
+class SuggestBatchOfOnePin : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuggestBatchOfOnePin, BitForBitMatchesSuggest) {
+  const std::string key = GetParam();
+  SearchSpace space = SmallSpace();
+  std::unique_ptr<Optimizer> batched =
+      std::move(OptimizerRegistry::Global().Create(key, space, 99))
+          .ValueOrDie();
+  std::unique_ptr<Optimizer> sequential =
+      std::move(OptimizerRegistry::Global().Create(key, space, 99))
+          .ValueOrDie();
+  for (int i = 0; i < 16; ++i) {
+    auto batch = batched->SuggestBatch(1);
+    ASSERT_EQ(batch.size(), 1u) << key << " iteration " << i;
+    auto point = sequential->Suggest();
+    ASSERT_EQ(batch[0], point) << key << " iteration " << i;
+    double value = Smooth(point);
+    batched->ObserveBatch({batch[0]}, {value});
+    sequential->Observe(point, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, SuggestBatchOfOnePin,
+                         ::testing::Values("random", "smac", "gpbo",
+                                           "gpbo-qei", "gpbo-lp", "ddpg",
+                                           "bestconfig"));
+
+// The batch-mode keys are pure SuggestBatch variants: under Suggest()
+// (and hence SuggestBatch(1)) they are indistinguishable from plain
+// "gpbo" at the same seed.
+TEST(SuggestBatchOfOneTest, QeiAndLpDegradeToPlainGpBo) {
+  SearchSpace space = SmallSpace();
+  auto plain = std::move(OptimizerRegistry::Global().Create("gpbo", space, 5))
+                   .ValueOrDie();
+  auto qei =
+      std::move(OptimizerRegistry::Global().Create("gpbo-qei", space, 5))
+          .ValueOrDie();
+  auto lp = std::move(OptimizerRegistry::Global().Create("gpbo-lp", space, 5))
+                .ValueOrDie();
+  for (int i = 0; i < 14; ++i) {
+    auto expected = plain->Suggest();
+    ASSERT_EQ(qei->SuggestBatch(1)[0], expected) << "iteration " << i;
+    ASSERT_EQ(lp->SuggestBatch(1)[0], expected) << "iteration " << i;
+    double value = Smooth(expected);
+    plain->Observe(expected, value);
+    qei->Observe(expected, value);
+    lp->Observe(expected, value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-aware behavior: valid points, full batches across the init
+// boundary, and within-round diversity past the init design.
+// ---------------------------------------------------------------------------
+
+class BatchAwareValidity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchAwareValidity, FullValidBatchesAcrossInitBoundary) {
+  const std::string key = GetParam();
+  SearchSpace space = SmallSpace();
+  std::unique_ptr<Optimizer> opt =
+      std::move(OptimizerRegistry::Global().Create(key, space, 3))
+          .ValueOrDie();
+  // Rounds of 4 straddle the 10-point init design (picks 8..11 mix
+  // init and model-based suggestions).
+  for (int round = 0; round < 5; ++round) {
+    auto batch = opt->SuggestBatch(4);
+    ASSERT_EQ(batch.size(), 4u) << key << " round " << round;
+    std::vector<double> values;
+    for (const auto& point : batch) {
+      EXPECT_TRUE(space.Contains(point)) << key << " round " << round;
+      values.push_back(Smooth(point));
+    }
+    opt->ObserveBatch(batch, values);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchAwareKeys, BatchAwareValidity,
+                         ::testing::Values("gpbo-qei", "gpbo-lp", "smac"));
+
+TEST(BatchDiversityTest, SmacExcludesNearDuplicateChallengers) {
+  SearchSpace space = SmallSpace();
+  SmacOptions options;
+  // The min-distance guarantee covers model-based picks only; disable
+  // the random interleave so every post-init pick is model-based.
+  options.random_interleave = 0;
+  SmacOptimizer opt(space, options, 11);
+  // Get past the init design with single suggestions.
+  for (int i = 0; i < options.n_init; ++i) {
+    auto point = opt.Suggest();
+    opt.Observe(point, Smooth(point));
+  }
+  for (int round = 0; round < 3; ++round) {
+    auto batch = opt.SuggestBatch(4);
+    ASSERT_EQ(batch.size(), 4u);
+    for (size_t a = 0; a < batch.size(); ++a) {
+      for (size_t b = a + 1; b < batch.size(); ++b) {
+        EXPECT_GE(NormalizedDistance(space, batch[a], batch[b]),
+                  options.batch_min_distance)
+            << "round " << round << " picks " << a << "," << b;
+      }
+    }
+    std::vector<double> values;
+    for (const auto& point : batch) values.push_back(Smooth(point));
+    opt.ObserveBatch(batch, values);
+  }
+}
+
+class GpBatchDiversity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GpBatchDiversity, ModelPicksWithinARoundAreDistinct) {
+  SearchSpace space = SmallSpace();
+  std::unique_ptr<Optimizer> opt =
+      std::move(OptimizerRegistry::Global().Create(GetParam(), space, 21))
+          .ValueOrDie();
+  for (int i = 0; i < 10; ++i) {
+    auto point = opt->Suggest();
+    opt->Observe(point, Smooth(point));
+  }
+  for (int round = 0; round < 3; ++round) {
+    auto batch = opt->SuggestBatch(4);
+    ASSERT_EQ(batch.size(), 4u);
+    for (size_t a = 0; a < batch.size(); ++a) {
+      for (size_t b = a + 1; b < batch.size(); ++b) {
+        EXPECT_GT(NormalizedDistance(space, batch[a], batch[b]), 0.0)
+            << "round " << round << " picks " << a << "," << b
+            << " collapsed onto the same point";
+      }
+    }
+    std::vector<double> values;
+    for (const auto& point : batch) values.push_back(Smooth(point));
+    opt->ObserveBatch(batch, values);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpBatchKeys, GpBatchDiversity,
+                         ::testing::Values("gpbo-qei", "gpbo-lp"));
+
+TEST(NormalizedDistanceTest, RmsMetricBasics) {
+  SearchSpace space = SmallSpace();
+  std::vector<double> a{0.0, -1.0, 0.0};
+  EXPECT_EQ(NormalizedDistance(space, a, a), 0.0);
+  // Max distance in every dimension -> 1.
+  std::vector<double> b{1.0, 1.0, 3.0};
+  EXPECT_NEAR(NormalizedDistance(space, a, b), 1.0, 1e-12);
+  // One categorical mismatch out of three dims -> sqrt(1/3).
+  std::vector<double> c{0.0, -1.0, 2.0};
+  EXPECT_NEAR(NormalizedDistance(space, a, c), std::sqrt(1.0 / 3.0), 1e-12);
 }
 
 TEST(IncumbentTest, MatchesHistoryScanUnderRandomWorkload) {

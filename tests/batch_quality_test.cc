@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+// Batch quality on the fixed-seed simulator grid (ISSUE 4 acceptance
+// criterion): at batch size 4, gpbo-qei must reach the sequential
+// fallback's best-seen objective in <= 0.75x the evaluations, and
+// gpbo-lp must not lose to the fallback.
+//
+// The grid definition (TPC-C, noiseless simulator, hesbo8 projection,
+// base seed) is shared with bench/bm_batch.cc via
+// bench::RunBatchGridCell, so the grid this test pins is exactly the
+// grid CI regression-tracks through BENCH_batch.json. Curves are
+// averaged over the seed grid before comparison: per-seed "reach the
+// final best" comparisons on this landscape measure which run's last
+// needle-jump landed later, not batch quality. Every cell is
+// bit-for-bit deterministic at any thread count, so these are pinned
+// inequalities guarding the batch suggestion logic — they either hold
+// exactly or the logic changed.
+
+namespace llamatune {
+namespace {
+
+constexpr int kIterations = 64;
+constexpr int kBatch = 4;
+constexpr int kNumSeeds = 5;
+
+/// Mean best-so-far curve over the seed grid.
+std::vector<double> MeanCurve(const std::string& optimizer_key) {
+  std::vector<double> mean(kIterations, 0.0);
+  for (int s = 0; s < kNumSeeds; ++s) {
+    uint64_t seed = bench::kBatchGridBaseSeed + static_cast<uint64_t>(s);
+    std::vector<double> curve =
+        bench::RunBatchGridCell(optimizer_key, seed, kIterations, kBatch)
+            .kb.BestSoFarObjective();
+    EXPECT_EQ(curve.size(), static_cast<size_t>(kIterations));
+    for (int i = 0; i < kIterations && i < static_cast<int>(curve.size());
+         ++i) {
+      mean[i] += curve[i];
+    }
+  }
+  for (double& v : mean) v /= kNumSeeds;
+  return mean;
+}
+
+TEST(BatchQualityTest, QeiReachesFallbackBestIn075xEvaluations) {
+  std::vector<double> fallback = MeanCurve("gpbo");
+  std::vector<double> qei = MeanCurve("gpbo-qei");
+  double target = fallback.back();
+  int fallback_evals = bench::EvalsToReach(fallback, target);
+  int qei_evals = bench::EvalsToReach(qei, target);
+
+  // The batch-aware mode must reach the fallback's best at all...
+  EXPECT_LE(qei_evals, kIterations);
+  // ...and within 0.75x the evaluations (the ISSUE 4 acceptance
+  // bound; the pinned grid currently measures ~0.52x).
+  EXPECT_LE(qei_evals, 0.75 * fallback_evals)
+      << "qEI took " << qei_evals << " evaluations to reach " << target
+      << " vs " << fallback_evals << " for the sequential fallback";
+}
+
+TEST(BatchQualityTest, LocalPenalizationDoesNotLoseToFallback) {
+  std::vector<double> fallback = MeanCurve("gpbo");
+  std::vector<double> lp = MeanCurve("gpbo-lp");
+  double target = fallback.back();
+  int fallback_evals = bench::EvalsToReach(fallback, target);
+  int lp_evals = bench::EvalsToReach(lp, target);
+
+  // LP is the cheaper mode; it must still dominate the naive fallback
+  // on this grid (currently ~0.39x).
+  EXPECT_LE(lp_evals, kIterations);
+  EXPECT_LE(lp_evals, fallback_evals)
+      << "LP took " << lp_evals << " evaluations to reach " << target
+      << " vs " << fallback_evals << " for the sequential fallback";
+}
+
+}  // namespace
+}  // namespace llamatune

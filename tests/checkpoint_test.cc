@@ -136,7 +136,12 @@ INSTANTIATE_TEST_SUITE_P(
         CheckpointCase{"gpbo", "llamatune", 1, 16, 13},
         // Batched rounds (SuggestBatch/ObserveBatch replay).
         CheckpointCase{"smac", "identity", 4, 16, 4},
-        CheckpointCase{"random", "hesbo8+svb0.1", 3, 18, 3}));
+        CheckpointCase{"random", "hesbo8+svb0.1", 3, 18, 3},
+        // Batch-aware SuggestBatch overrides: replay must re-drive the
+        // fantasy-conditioned / penalized picks bit-for-bit past the
+        // init design.
+        CheckpointCase{"gpbo-qei", "hesbo8", 4, 20, 4},
+        CheckpointCase{"gpbo-lp", "llamatune", 4, 20, 4}));
 
 TEST(CheckpointTest, BaselineOnlyCheckpointRestores) {
   SessionOptions options;

@@ -281,6 +281,75 @@ TEST(GpIncrementalTest, SurvivesDuplicateAppendsBetweenReopts) {
   EXPECT_GE(variance, 0.0);
 }
 
+// Condition(): the greedy q-EI fantasy primitive. Conditioning a
+// fitted GP on (x, y) must shrink the posterior variance at x, pull
+// the mean toward y, and leave the original model untouched when the
+// fantasy runs on a copy.
+TEST(GpConditionTest, ShrinksVarianceAndPullsMeanAtConditionedPoint) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  GaussianProcess gp(space, {}, 11);
+  std::vector<std::vector<double>> xs = {{0.1}, {0.3}, {0.9}};
+  std::vector<double> ys = {1.0, 1.4, 0.2};
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+
+  std::vector<double> x = {0.6};
+  double mean_before = 0, var_before = 0;
+  gp.Predict(x, &mean_before, &var_before);
+
+  GaussianProcess fantasy = gp;  // the real model must never see fantasies
+  double fantasy_y = mean_before + 1.0;
+  ASSERT_TRUE(fantasy.Condition(x, fantasy_y).ok());
+  EXPECT_EQ(fantasy.num_observations(), 4);
+
+  double mean_after = 0, var_after = 0;
+  fantasy.Predict(x, &mean_after, &var_after);
+  EXPECT_LT(var_after, var_before);
+  EXPECT_GT(mean_after, mean_before);  // pulled toward the higher fantasy
+
+  // The copied-from model is untouched.
+  EXPECT_EQ(gp.num_observations(), 3);
+  double mean_orig = 0, var_orig = 0;
+  gp.Predict(x, &mean_orig, &var_orig);
+  EXPECT_EQ(mean_orig, mean_before);
+  EXPECT_EQ(var_orig, var_before);
+}
+
+// AdvanceFitSchedule must not lose a hyperparameter-reopt boundary it
+// jumps over: the next Refit() owes it, regardless of landing phase.
+TEST(GpFitScheduleTest, AdvanceOwesSkippedReoptBoundary) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  GpOptions options;
+  options.reopt_interval = 100;  // no natural boundary in this test
+  GaussianProcess advanced(space, options, 5);
+  GaussianProcess plain(space, options, 5);
+  std::vector<std::vector<double>> xs = {{0.1}, {0.5}, {0.9}};
+  std::vector<double> ys = {0.0, 1.0, 0.5};
+  ASSERT_TRUE(advanced.Fit(xs, ys).ok());  // reopts (unfitted)
+  ASSERT_TRUE(plain.Fit(xs, ys).ok());
+  ASSERT_EQ(advanced.params().lengthscale, plain.params().lengthscale);
+
+  // Jump over the boundary at fit call 100 without landing on one.
+  advanced.AdvanceFitSchedule(150);
+  advanced.AddObservation({0.3}, 2.0);
+  plain.AddObservation({0.3}, 2.0);
+  ASSERT_TRUE(advanced.Refit().ok());
+  ASSERT_TRUE(plain.Refit().ok());
+  // `plain` is still inside the interval: hyperparameters frozen.
+  // `advanced` owed the skipped boundary: it re-optimized, and the
+  // reopt RNG stream (seeded by fit count) draws different candidates.
+  EXPECT_NE(advanced.params().lengthscale, plain.params().lengthscale);
+}
+
+TEST(GpConditionTest, RequiresFittedModel) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  GaussianProcess gp(space, {}, 12);
+  EXPECT_FALSE(gp.Condition({0.5}, 1.0).ok());
+  gp.AddObservation({0.2}, 1.0);
+  // Observations added after the last Refit() are not covered by the
+  // cached factor either.
+  EXPECT_FALSE(gp.Condition({0.5}, 1.0).ok());
+}
+
 TEST(GpPredictBatchTest, MatchesSinglePredictions) {
   SearchSpace space({SearchDim::Continuous(0.0, 1.0),
                      SearchDim::Categorical(2)});
