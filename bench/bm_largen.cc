@@ -1,0 +1,303 @@
+// Large-n GP scaling benchmark (ISSUE 5): the exact incremental GP
+// against the inducing-point sparse GP as the training set grows past
+// the point where O(n^3) reopts and O(n^2 * pool) scoring dominate.
+//
+// Part 1 — suggest-loop wall-clock. For each n in {200, 500, 1000,
+// 2000} (capped by --max-n), a fixed synthetic observation stream is
+// loaded into each model, then a measured window of 5 iterations runs
+// the full suggest loop: AddObservation + Refit + PredictBatch over a
+// 550-candidate pool + EI argmax. With reopt_interval = 5 the window
+// amortizes exactly one hyperparameter re-optimization, matching the
+// steady-state cost of a real GP-BO session. Both arms share the
+// stream, the candidate pools, and the serial executor (num_threads =
+// 1) so the ratio is the algorithmic gain, not pool luck.
+//
+// Part 2 — quality. The fixed-seed noiseless TPC-C / hesbo8 grid
+// (shared definition: bench_common.h, the same cells bm_batch and
+// tests/batch_quality_test.cc pin): exact "gpbo" vs a sparse arm
+// whose switchover engages right after the init design (threshold 16,
+// m = 20 — the tests/sparse_gp_test.cc configuration). Best-so-far
+// means and evals-to-target are bit-for-bit deterministic for fixed
+// seeds, so CI treats any drift there as a real behavior change.
+//
+// Emits machine-readable BENCH_largen.json:
+//   scaling[] — per-n exact/sparse fit+suggest seconds and speedup
+//   quality   — mean final best per arm, relative gap, evals-to-target
+//
+// Usage: bm_largen [--max-n=N] [--grid-iterations=I] [--grid-seeds=S]
+//        CI smoke passes --max-n=500 --grid-iterations=64
+//        --grid-seeds=5 (the committed baseline's exact flags: the
+//        quality metric names embed (iterations, seeds), so mismatched
+//        settings silently compare nothing).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/math_util.h"
+#include "src/common/rng.h"
+#include "src/model/acquisition.h"
+#include "src/model/gp.h"
+#include "src/model/sparse_gp.h"
+#include "src/optimizer/gp_bo.h"
+#include "src/optimizer/optimizer_registry.h"
+#include "src/optimizer/search_space.h"
+
+namespace llamatune {
+namespace {
+
+double NowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+// The bm_hotpath synthetic space: 16 continuous + 4 categorical dims.
+SearchSpace BenchSpace() {
+  std::vector<SearchDim> dims;
+  for (int i = 0; i < 16; ++i) dims.push_back(SearchDim::Continuous(0.0, 1.0));
+  for (int i = 0; i < 4; ++i) dims.push_back(SearchDim::Categorical(4));
+  return SearchSpace(dims);
+}
+
+std::vector<double> DrawPoint(const SearchSpace& space, Rng* rng) {
+  std::vector<double> x(space.num_dims());
+  for (int i = 0; i < space.num_dims(); ++i) {
+    const SearchDim& dim = space.dim(i);
+    x[i] = dim.type == SearchDim::Type::kCategorical
+               ? static_cast<double>(rng->UniformInt(0, dim.num_categories - 1))
+               : rng->Uniform(dim.lo, dim.hi);
+  }
+  return x;
+}
+
+double SyntheticObjective(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    acc += std::sin(3.0 * x[i] + static_cast<double>(i));
+  }
+  return acc;
+}
+
+constexpr int kCandidates = 550;
+constexpr int kWindow = 5;  // one reopt boundary per window (interval 5)
+constexpr int kScalingNumInducing = 64;   // sparse arm of the scaling rows
+constexpr int kQualitySparseThreshold = 16;  // quality-grid sparse arm
+constexpr int kQualityNumInducing = 20;
+
+/// Measured suggest-loop window at size n for one model. `model` must
+/// already hold n observations and be warm-fitted; the window then
+/// runs kWindow full iterations (observe + refit + score). Returns
+/// mean seconds per iteration.
+template <typename Model>
+double MeasureWindow(const SearchSpace& space, Model* model, int n) {
+  Rng data_rng(HashCombine(7777, static_cast<uint64_t>(n)));
+  double t0 = NowSeconds();
+  for (int w = 0; w < kWindow; ++w) {
+    std::vector<double> x = DrawPoint(space, &data_rng);
+    model->AddObservation(x, SyntheticObjective(x));
+    if (!model->Refit().ok()) std::abort();
+    Rng cand_rng(HashCombine(9000, static_cast<uint64_t>(n * 10 + w)));
+    std::vector<std::vector<double>> candidates;
+    candidates.reserve(kCandidates);
+    for (int c = 0; c < kCandidates; ++c) {
+      candidates.push_back(DrawPoint(space, &cand_rng));
+    }
+    std::vector<double> means, variances;
+    model->PredictBatch(candidates, &means, &variances);
+    int pick = ArgmaxExpectedImprovement(means, variances, 0.0);
+    if (pick < 0) std::abort();
+  }
+  return (NowSeconds() - t0) / kWindow;
+}
+
+struct ScalingEntry {
+  int n = 0;
+  double exact_per_iter_seconds = 0.0;
+  double sparse_per_iter_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+ScalingEntry MeasureAtN(const SearchSpace& space, int n) {
+  // Identical observation stream for both arms.
+  Rng rng(4242);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(DrawPoint(space, &rng));
+    ys.push_back(SyntheticObjective(xs.back()));
+  }
+  GpOptions options;  // paper defaults: 24 restarts, reopt every 5
+  options.num_threads = 1;
+
+  ScalingEntry entry;
+  entry.n = n;
+  {
+    GaussianProcess exact(space, options, 1);
+    for (int i = 0; i < n; ++i) exact.AddObservation(xs[i], ys[i]);
+    if (!exact.Refit().ok()) std::abort();  // warm-up (full reopt)
+    entry.exact_per_iter_seconds = MeasureWindow(space, &exact, n);
+  }
+  {
+    GpOptions sparse_options = options;
+    sparse_options.num_inducing = kScalingNumInducing;
+    SparseGaussianProcess sparse(space, sparse_options, 1);
+    for (int i = 0; i < n; ++i) sparse.AddObservation(xs[i], ys[i]);
+    if (!sparse.Refit().ok()) std::abort();
+    entry.sparse_per_iter_seconds = MeasureWindow(space, &sparse, n);
+  }
+  entry.speedup = entry.exact_per_iter_seconds /
+                  std::max(entry.sparse_per_iter_seconds, 1e-12);
+  return entry;
+}
+
+struct QualityResult {
+  double exact_mean_best = 0.0;
+  double sparse_mean_best = 0.0;
+  double relative_gap = 0.0;  // (exact - sparse) / |exact|; < 0 = sparse won
+  int exact_evals_to_best = 0;
+  int sparse_evals_to_exact_best = 0;
+  /// Evals for the sparse mean curve to reach 98% of the exact arm's
+  /// final mean best. The CI-tracked deterministic quality metric:
+  /// unlike evals-to-exact-best (which can pin at budget + 1 when the
+  /// last needle-jump lands later), this sits mid-curve, so both
+  /// regressions and improvements move it.
+  int sparse_evals_to_98pct = 0;
+};
+
+QualityResult RunQualityGrid(int iterations, int seeds) {
+  // The sparse arm the unit test pins (tests/sparse_gp_test.cc):
+  // switchover right past the init design, 20 inducing points.
+  if (!OptimizerRegistry::Global().Contains("gpbo-sparse-bench")) {
+    OptimizerRegistry::Global().Register(
+        "gpbo-sparse-bench",
+        [](const SearchSpace& space,
+           uint64_t seed) -> Result<std::unique_ptr<Optimizer>> {
+          GpBoOptions options;
+          options.gp.sparse_threshold = kQualitySparseThreshold;
+          options.gp.num_inducing = kQualityNumInducing;
+          return std::unique_ptr<Optimizer>(
+              new GpBoOptimizer(space, options, seed));
+        });
+  }
+  std::vector<double> exact_mean(iterations, 0.0);
+  std::vector<double> sparse_mean(iterations, 0.0);
+  for (int s = 0; s < seeds; ++s) {
+    uint64_t seed = bench::kBatchGridBaseSeed + static_cast<uint64_t>(s);
+    std::vector<double> exact_curve =
+        bench::RunBatchGridCell("gpbo", seed, iterations, 1).kb
+            .BestSoFarObjective();
+    std::vector<double> sparse_curve =
+        bench::RunBatchGridCell("gpbo-sparse-bench", seed, iterations, 1).kb
+            .BestSoFarObjective();
+    for (int i = 0; i < iterations; ++i) {
+      exact_mean[i] += exact_curve[i];
+      sparse_mean[i] += sparse_curve[i];
+    }
+  }
+  for (double& v : exact_mean) v /= seeds;
+  for (double& v : sparse_mean) v /= seeds;
+  QualityResult out;
+  out.exact_mean_best = exact_mean.back();
+  out.sparse_mean_best = sparse_mean.back();
+  out.relative_gap = (out.exact_mean_best - out.sparse_mean_best) /
+                     std::max(std::abs(out.exact_mean_best), 1e-12);
+  out.exact_evals_to_best =
+      bench::EvalsToReach(exact_mean, out.exact_mean_best);
+  out.sparse_evals_to_exact_best =
+      bench::EvalsToReach(sparse_mean, out.exact_mean_best);
+  out.sparse_evals_to_98pct =
+      bench::EvalsToReach(sparse_mean, 0.98 * out.exact_mean_best);
+  return out;
+}
+
+}  // namespace
+}  // namespace llamatune
+
+int main(int argc, char** argv) {
+  using namespace llamatune;
+
+  int max_n = 2000;
+  int grid_iterations = 64;
+  int grid_seeds = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-n=", 8) == 0) {
+      max_n = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--grid-iterations=", 18) == 0) {
+      grid_iterations = std::atoi(argv[i] + 18);
+    } else if (std::strncmp(argv[i], "--grid-seeds=", 13) == 0) {
+      grid_seeds = std::atoi(argv[i] + 13);
+    }
+  }
+
+  SearchSpace space = BenchSpace();
+  std::vector<ScalingEntry> scaling;
+  for (int n : {200, 500, 1000, 2000}) {
+    if (n > max_n) continue;
+    std::printf("[largen] n=%d: exact vs sparse suggest loop...\n", n);
+    scaling.push_back(MeasureAtN(space, n));
+    const ScalingEntry& e = scaling.back();
+    std::printf("[largen] n=%4d  exact %8.2f ms/iter  sparse %7.2f ms/iter  "
+                "speedup %5.1fx\n",
+                e.n, e.exact_per_iter_seconds * 1e3,
+                e.sparse_per_iter_seconds * 1e3, e.speedup);
+  }
+
+  std::printf("[largen] quality grid (%d iterations, %d seeds)...\n",
+              grid_iterations, grid_seeds);
+  QualityResult quality = RunQualityGrid(grid_iterations, grid_seeds);
+  std::printf("[largen] quality: exact best %.4f, sparse best %.4f "
+              "(gap %.2f%%), sparse reached exact's best in %d evals "
+              "(exact: %d)\n",
+              quality.exact_mean_best, quality.sparse_mean_best,
+              quality.relative_gap * 100.0,
+              quality.sparse_evals_to_exact_best,
+              quality.exact_evals_to_best);
+
+  FILE* json = std::fopen("BENCH_largen.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_largen.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"largen\",\n");
+  // Provenance for both arms: the scaling rows use num_inducing; the
+  // quality grid uses (quality_sparse_threshold, quality_num_inducing)
+  // — recorded so a baseline drift can be traced to the right arm.
+  std::fprintf(json,
+               "  \"config\": {\"candidates\": %d, \"window\": %d, "
+               "\"num_inducing\": %d, \"grid_iterations\": %d, "
+               "\"grid_seeds\": %d, \"quality_sparse_threshold\": %d, "
+               "\"quality_num_inducing\": %d, \"workload\": \"tpcc\", "
+               "\"adapter\": \"hesbo8\", \"noise_sigma\": 0.0},\n",
+               kCandidates, kWindow, kScalingNumInducing, grid_iterations,
+               grid_seeds, kQualitySparseThreshold, kQualityNumInducing);
+  std::fprintf(json, "  \"scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingEntry& e = scaling[i];
+    std::fprintf(json,
+                 "    {\"n\": %d, \"exact_per_iter_seconds\": %.6e, "
+                 "\"sparse_per_iter_seconds\": %.6e, \"speedup\": %.2f}%s\n",
+                 e.n, e.exact_per_iter_seconds, e.sparse_per_iter_seconds,
+                 e.speedup, i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"quality\": {\"exact_mean_best\": %.6f, "
+               "\"sparse_mean_best\": %.6f, \"relative_gap\": %.4f, "
+               "\"exact_evals_to_best\": %d, "
+               "\"sparse_evals_to_exact_best\": %d, "
+               "\"sparse_evals_to_98pct\": %d}\n",
+               quality.exact_mean_best, quality.sparse_mean_best,
+               quality.relative_gap, quality.exact_evals_to_best,
+               quality.sparse_evals_to_exact_best,
+               quality.sparse_evals_to_98pct);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("[largen] wrote BENCH_largen.json\n");
+  return 0;
+}

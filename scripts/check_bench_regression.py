@@ -4,7 +4,7 @@
 Usage:
     check_bench_regression.py <current.json> <baseline.json> [--threshold 0.20]
 
-Handles both bench formats, keyed by their "bench" field:
+Handles the three bench formats, keyed by their "bench" field:
 
 * ``hotpath`` (BENCH_hotpath.json) — wall-clock metrics only.
 * ``batch`` (BENCH_batch.json) — per-(optimizer, batch size) series:
@@ -14,6 +14,13 @@ Handles both bench formats, keyed by their "bench" field:
   the run configuration, so a baseline generated with different
   iterations/seeds simply fails to intersect instead of comparing
   incomparable numbers.
+* ``largen`` (BENCH_largen.json) — per-n exact/sparse suggest-loop
+  wall-clock (noisy) plus the deterministic sparse-quality metric
+  ``sparse_evals_to_98pct`` (evals for the sparse arm's mean curve to
+  reach 98% of the exact arm's final best on the fixed-seed grid;
+  names embed the grid configuration like ``batch``). A baseline from
+  a full run (n up to 2000) still intersects a smoke run capped at a
+  smaller --max-n: missing n entries are skipped, not flagged.
 
 Surfaces regressions beyond the threshold in the GitHub Actions job
 summary ($GITHUB_STEP_SUMMARY) and as ::warning:: annotations. Always
@@ -84,10 +91,36 @@ def collect_batch_metrics(doc):
     return metrics
 
 
+def collect_largen_metrics(doc):
+    """Flattens BENCH_largen.json into {metric_name: (value,
+    deterministic)}.
+
+    Per-n suggest-loop seconds are wall-clock (noisy); the sparse
+    quality metric (evals for the sparse arm to reach 98% of the exact
+    arm's best on the fixed-seed grid) is deterministic. All collected
+    metrics are lower-is-better."""
+    config = doc.get("config", {})
+    metrics = {}
+    for entry in doc.get("scaling", []):
+        n = entry.get("n")
+        for field in ("exact_per_iter_seconds", "sparse_per_iter_seconds"):
+            if field in entry:
+                metrics[f"{field}[n={n}]"] = (entry[field], False)
+    quality = doc.get("quality", {})
+    if "sparse_evals_to_98pct" in quality:
+        key = (f"iters={config.get('grid_iterations')},"
+               f"seeds={config.get('grid_seeds')}")
+        metrics[f"sparse_evals_to_98pct[{key}]"] = (
+            quality["sparse_evals_to_98pct"], True)
+    return metrics
+
+
 def collect_metrics(doc):
     """Returns {metric_name: (value, deterministic)}."""
     if doc.get("bench") == "batch":
         return collect_batch_metrics(doc)
+    if doc.get("bench") == "largen":
+        return collect_largen_metrics(doc)
     return {name: (value, False)
             for name, value in collect_hotpath_metrics(doc).items()}
 

@@ -16,14 +16,51 @@ double ExpectedImprovement(double mean, double variance, double best,
   return improvement * NormCdf(z) + sigma * NormPdf(z);
 }
 
+void ExpectedImprovementInto(const double* means, const double* variances,
+                             int count, double best, double xi, double* out) {
+  // One uniform pass: both the smooth EI and the zero-variance
+  // degenerate value are computed, then a select picks per lane. The
+  // arithmetic (and thus the result bits) matches the scalar
+  // ExpectedImprovement exactly; the dead smooth lane may hold
+  // NaN/Inf when sigma ~ 0, which the select discards.
+  for (int i = 0; i < count; ++i) {
+    double sigma = std::sqrt(std::max(variances[i], 0.0));
+    double improvement = means[i] - best - xi;
+    double z = improvement / sigma;
+    double smooth = improvement * NormCdf(z) + sigma * NormPdf(z);
+    out[i] = sigma < 1e-12 ? std::max(0.0, improvement) : smooth;
+  }
+}
+
 std::vector<double> ExpectedImprovementBatch(
     const std::vector<double>& means, const std::vector<double>& variances,
     double best, double xi) {
   std::vector<double> out(means.size());
-  for (size_t i = 0; i < means.size(); ++i) {
-    out[i] = ExpectedImprovement(means[i], variances[i], best, xi);
-  }
+  ExpectedImprovementInto(means.data(), variances.data(),
+                          static_cast<int>(means.size()), best, xi,
+                          out.data());
   return out;
+}
+
+int ArgmaxExpectedImprovement(const std::vector<double>& means,
+                              const std::vector<double>& variances,
+                              double best, double xi) {
+  std::vector<double> ei(means.size());
+  ExpectedImprovementInto(means.data(), variances.data(),
+                          static_cast<int>(means.size()), best, xi,
+                          ei.data());
+  double best_ei = -1.0;
+  int best_idx = 0;
+  for (size_t i = 0; i < ei.size(); ++i) {
+    // A non-finite EI (degenerate surrogate output) must never win —
+    // and never poison the running maximum through a NaN comparison.
+    if (!std::isfinite(ei[i])) continue;
+    if (ei[i] > best_ei) {
+      best_ei = ei[i];
+      best_idx = static_cast<int>(i);
+    }
+  }
+  return best_idx;
 }
 
 }  // namespace llamatune

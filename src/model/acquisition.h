@@ -14,9 +14,31 @@ namespace llamatune {
 double ExpectedImprovement(double mean, double variance, double best,
                            double xi = 0.0);
 
+/// \brief Structure-of-arrays EI kernel: writes EI for `count`
+/// contiguous (mean, variance) pairs into `out` in one branch-free
+/// pass (the sigma ~ 0 degenerate case is a select, not a branch, so
+/// the loop body is uniform and auto-vectorizes around the Phi/phi
+/// calls). Per-element results are bit-for-bit identical to the scalar
+/// ExpectedImprovement. This is the acquisition-scoring hot path: the
+/// GP hands back contiguous means/variances from PredictBatch and the
+/// whole pool is scored without re-marshalling.
+void ExpectedImprovementInto(const double* means, const double* variances,
+                             int count, double best, double xi, double* out);
+
 /// \brief Batch helper: EI for parallel (mean, variance) arrays.
 std::vector<double> ExpectedImprovementBatch(const std::vector<double>& means,
                                              const std::vector<double>& variances,
                                              double best, double xi = 0.0);
+
+/// \brief First index of the maximum *finite* EI over index-ordered
+/// (means, variances) — the shared acquisition reduction for every
+/// suggestion path, so the scan order (and thus the pick) never
+/// depends on the executor count. Degenerate pool entries (NaN/Inf
+/// means or variances, whose EI is non-finite) can never win: NaN
+/// comparisons are not trusted to order them out, they are skipped
+/// explicitly. Returns 0 for an empty pool or an all-degenerate pool.
+int ArgmaxExpectedImprovement(const std::vector<double>& means,
+                              const std::vector<double>& variances,
+                              double best, double xi = 0.0);
 
 }  // namespace llamatune

@@ -65,6 +65,21 @@ std::vector<double> BackwardSolve(const std::vector<std::vector<double>>& l,
   return z;
 }
 
+std::vector<KernelParams> DrawKernelRestarts(const GpOptions& options,
+                                             uint64_t seed, int fit_count) {
+  Rng rng(HashCombine(seed, static_cast<uint64_t>(fit_count)));
+  std::vector<KernelParams> candidates(options.hyperparameter_restarts);
+  for (KernelParams& cand : candidates) {
+    cand.signal_variance = std::exp(rng.Uniform(std::log(0.25), std::log(4.0)));
+    cand.lengthscale = std::exp(rng.Uniform(std::log(0.05), std::log(3.0)));
+    cand.hamming_weight = std::exp(rng.Uniform(std::log(0.1), std::log(5.0)));
+    cand.noise_variance = std::exp(rng.Uniform(std::log(1e-6), std::log(1e-1)));
+    cand.noise_variance =
+        std::max(cand.noise_variance, options.min_noise_variance);
+  }
+  return candidates;
+}
+
 // ---------------------------------------------------------------------------
 // GaussianProcess
 // ---------------------------------------------------------------------------
@@ -91,6 +106,7 @@ void GaussianProcess::Reset() {
   geometry_rows_ = 0;
   gram_ = Matrix();
   chol_ = Matrix();
+  z_.clear();
   alpha_.clear();
   params_ = KernelParams{};
   fit_count_ = 0;
@@ -171,6 +187,9 @@ void GaussianProcess::BuildGram(const BoundKernel& kernel,
 }
 
 Status GaussianProcess::FactorFull(const KernelParams& params) {
+  // A rebuilt factor (possibly with an escalated nugget) invalidates
+  // the cached forward-solve prefix.
+  z_.clear();
   BuildGram(BoundKernel(geometry_, params), &gram_);
   KernelParams p = params;
   // Jitter escalation: grow the nugget until the Gram matrix factors.
@@ -212,10 +231,21 @@ Status GaussianProcess::ExtendFactor(int old_n) {
 }
 
 void GaussianProcess::ComputeAlphaAndLml() {
-  std::vector<double> z(n_, 0.0);
-  TriangularSolveLower(chol_, ys_std_.data(), z.data());
+  // Resume the cached forward-solve prefix: entry i of z = L^-1 y_std
+  // depends only on rows [0, i] of L and y_std, both of which a
+  // CholeskyExtend leaves untouched, so continuing the substitution
+  // from z_.size() is bit-for-bit a full TriangularSolveLower. After a
+  // FactorFull the prefix is empty and this IS the full solve.
+  int start = static_cast<int>(z_.size());
+  z_.resize(n_, 0.0);
+  for (int i = start; i < n_; ++i) {
+    const double* row_i = chol_.Row(i);
+    double acc = ys_std_[i];
+    for (int k = 0; k < i; ++k) acc -= row_i[k] * z_[k];
+    z_[i] = acc / row_i[i];
+  }
   alpha_.assign(n_, 0.0);
-  TriangularSolveLowerTransposed(chol_, z.data(), alpha_.data());
+  TriangularSolveLowerTransposed(chol_, z_.data(), alpha_.data());
   // lml = -1/2 y^T alpha - sum log L_ii - n/2 log(2 pi)
   double lml = 0.0;
   for (int i = 0; i < n_; ++i) lml -= 0.5 * ys_std_[i] * alpha_[i];
@@ -261,16 +291,27 @@ Status GaussianProcess::Refit() {
   if (n_ == 0) {
     return Status::InvalidArgument("GP::Refit requires observations");
   }
-  y_mean_ = Mean(ys_);
-  y_std_ = std::max(Stddev(ys_), 1e-9);
-  ys_std_.resize(n_);
-  for (int i = 0; i < n_; ++i) ys_std_[i] = (ys_[i] - y_mean_) / y_std_;
-
   bool reopt = reopt_owed_ ||
                (fit_count_ % std::max(1, options_.reopt_interval)) == 0 ||
                !fitted_;
   reopt_owed_ = false;
   ++fit_count_;
+
+  // Target standardization refreshes at re-optimization boundaries and
+  // stays frozen between them (see class comment): the frozen prefix
+  // of ys_std_ is what lets the cached forward-solve vector z_ survive
+  // factor extensions. New observations since the last boundary are
+  // standardized with the frozen (mean, stddev).
+  if (reopt) {
+    y_mean_ = Mean(ys_);
+    y_std_ = std::max(Stddev(ys_), 1e-9);
+    ys_std_.resize(n_);
+    for (int i = 0; i < n_; ++i) ys_std_[i] = (ys_[i] - y_mean_) / y_std_;
+  } else {
+    for (int i = static_cast<int>(ys_std_.size()); i < n_; ++i) {
+      ys_std_.push_back((ys_[i] - y_mean_) / y_std_);
+    }
+  }
 
   ExtendGeometry();
 
@@ -279,21 +320,9 @@ Status GaussianProcess::Refit() {
     // Candidates are drawn sequentially (a fixed RNG stream), then
     // scored in parallel: the selected optimum is independent of the
     // executor count.
-    Rng rng(HashCombine(seed_, static_cast<uint64_t>(fit_count_)));
-    int restarts = options_.hyperparameter_restarts;
-    std::vector<KernelParams> candidates(restarts);
-    for (int r = 0; r < restarts; ++r) {
-      KernelParams cand;
-      cand.signal_variance =
-          std::exp(rng.Uniform(std::log(0.25), std::log(4.0)));
-      cand.lengthscale = std::exp(rng.Uniform(std::log(0.05), std::log(3.0)));
-      cand.hamming_weight = std::exp(rng.Uniform(std::log(0.1), std::log(5.0)));
-      cand.noise_variance =
-          std::exp(rng.Uniform(std::log(1e-6), std::log(1e-1)));
-      cand.noise_variance =
-          std::max(cand.noise_variance, options_.min_noise_variance);
-      candidates[r] = cand;
-    }
+    std::vector<KernelParams> candidates =
+        DrawKernelRestarts(options_, seed_, fit_count_);
+    int restarts = static_cast<int>(candidates.size());
     std::vector<double> lmls(restarts, 0.0);
     ThreadPool::Global().ParallelFor(
         restarts, [&](int r) { lmls[r] = EvaluateLml(candidates[r]); },
@@ -316,9 +345,13 @@ Status GaussianProcess::Refit() {
     st = FactorFull(best);
   } else if (factored == n_) {
     // No new observations since the cached factor (e.g. several
-    // suggestions between evaluations): only the target
-    // standardization can have changed, so alpha is refreshed below
-    // and the factor is reused as-is.
+    // suggestions between evaluations): with the standardization
+    // frozen between boundaries, the factor, z prefix, alpha, and lml
+    // are all still current — nothing to do.
+    if (static_cast<int>(z_.size()) == n_ &&
+        static_cast<int>(alpha_.size()) == n_) {
+      return Status::OK();
+    }
     st = Status::OK();
   } else if (options_.incremental) {
     st = ExtendFactor(factored);
@@ -331,6 +364,7 @@ Status GaussianProcess::Refit() {
     // reusing (or rank-extending) the corrupted factor.
     fitted_ = false;
     chol_ = Matrix();
+    z_.clear();
     return st;
   }
   ComputeAlphaAndLml();
@@ -355,6 +389,7 @@ Status GaussianProcess::Condition(const std::vector<double>& x, double y) {
     // failure here means even jitter escalation could not recover.
     fitted_ = false;
     chol_ = Matrix();
+    z_.clear();
     return st;
   }
   ComputeAlphaAndLml();
@@ -405,30 +440,14 @@ Status GaussianProcess::Fit(const std::vector<std::vector<double>>& xs,
 
 void GaussianProcess::Predict(const std::vector<double>& x, double* mean,
                               double* variance) const {
-  if (!fitted_ || n_ == 0) {
-    *mean = y_mean_;
-    *variance = (params_.signal_variance + params_.noise_variance) * y_std_ *
-                y_std_;
-    return;
-  }
-  BoundKernel kernel(geometry_, params_);
-  std::vector<double> cont(geometry_.num_cont);
-  std::vector<double> cat(geometry_.num_cat);
-  SplitPoint(geometry_, x.data(), cont.data(), cat.data());
-  // Predictions run against the fitted prefix (observations appended
-  // since the last Refit are not part of the cached factor).
-  int m = chol_.rows();
-  std::vector<double> k_star(m);
-  std::vector<double> scratch(m);
-  KStarRow(kernel, cont.data(), cat.data(), m, k_star.data(), scratch.data());
-  double mu_std = Dot(k_star, alpha_);
-  std::vector<double> v(m, 0.0);
-  TriangularSolveLower(chol_, k_star.data(), v.data());
-  double k_xx = kernel.FromDistance(0.0, 0.0) + params_.noise_variance;
-  double var_std = k_xx - Dot(v, v);
-  var_std = std::max(var_std, 1e-12);
-  *mean = mu_std * y_std_ + y_mean_;
-  *variance = var_std * y_std_ * y_std_;
+  // One-element batch: Predict() and PredictBatch() share every
+  // instruction of the scoring path (k_star build, triangular solves,
+  // reductions), so their results are bit-for-bit identical by
+  // construction — there is no separate scalar path to drift.
+  std::vector<double> means, variances;
+  PredictBatch({x}, &means, &variances);
+  *mean = means[0];
+  *variance = variances[0];
 }
 
 void GaussianProcess::PredictBatch(const std::vector<std::vector<double>>& xs,
@@ -439,9 +458,20 @@ void GaussianProcess::PredictBatch(const std::vector<std::vector<double>>& xs,
   variances->assign(m, 0.0);
   if (m == 0) return;
   if (!fitted_ || n_ == 0) {
-    for (int c = 0; c < m; ++c) Predict(xs[c], &(*means)[c], &(*variances)[c]);
+    // Prior-only batch: fill the same constants Predict() returns for
+    // an unfitted model in one contiguous pass (no per-candidate
+    // scalar fallback — every entry is bit-for-bit Predict()).
+    double prior_var =
+        (params_.signal_variance + params_.noise_variance) * y_std_ * y_std_;
+    for (int c = 0; c < m; ++c) {
+      (*means)[c] = y_mean_;
+      (*variances)[c] = prior_var;
+    }
     return;
   }
+  // A fitted model always takes the blockwise path — observations
+  // appended after the last Refit() (pending mid-round points) simply
+  // cap the solve at the factored prefix, exactly as Predict() does.
 
   BoundKernel kernel(geometry_, params_);
   double k_xx = kernel.FromDistance(0.0, 0.0) + params_.noise_variance;

@@ -29,6 +29,19 @@ struct GpOptions {
   /// Executor cap for parallel sections (hyperparameter restarts,
   /// batch prediction). 0 = shared pool size; 1 = serial.
   int num_threads = 0;
+  /// Exact -> sparse switchover for GP-BO: once the training set
+  /// reaches this many observations, suggestion scoring runs through
+  /// the inducing-point SparseGaussianProcess (O(n m^2) fit, O(m^2)
+  /// predict) instead of the exact model. 0 disables the switchover —
+  /// and trajectories below the threshold are bit-for-bit identical to
+  /// a sparse-disabled run, so enabling it can only change large-n
+  /// behavior. Consumed by GpBoOptimizer and SparseGaussianProcess,
+  /// not by the exact GaussianProcess itself.
+  int sparse_threshold = 0;
+  /// Inducing-point budget m for the sparse predictor (clamped to the
+  /// training-set size). Larger m tracks the exact posterior more
+  /// closely at O(n m^2) fit cost.
+  int num_inducing = 64;
 };
 
 /// \brief Exact Gaussian-process regression over a mixed search space.
@@ -44,6 +57,20 @@ struct GpOptions {
 /// Cholesky factor are cached across Refit() calls, and — between
 /// hyperparameter re-optimizations — each new observation extends the
 /// cached factor in O(n^2) rather than refitting in O(n^3).
+///
+/// Target standardization follows the hyperparameter schedule: the
+/// (mean, stddev) pair refreshes at re-optimization boundaries (where
+/// the full O(n^3) refactorization happens anyway) and stays frozen
+/// between them — the hyperparameters in use were selected under that
+/// standardization, so the model stays internally consistent. The
+/// freeze is what makes the *alpha-prefix invariant* hold: the forward
+/// -solve vector z = L^-1 y_std is cached alongside the factor, a
+/// CholeskyExtend step appends exactly one new z entry (forward
+/// substitution is prefix-stable), and refreshing alpha costs one
+/// O(n^2) back-substitution instead of two full triangular solves.
+/// The cached-prefix arithmetic is bit-for-bit identical to solving
+/// from scratch against the same factor (tests/gp_test.cc pins the
+/// incremental path against the full-refit path over a session).
 class GaussianProcess {
  public:
   GaussianProcess(const SearchSpace& space, GpOptions options, uint64_t seed);
@@ -58,8 +85,10 @@ class GaussianProcess {
   void AddObservation(const std::vector<double>& x, double y);
 
   /// Fits to all observations added so far. Incremental when possible
-  /// (see class comment); between re-optimizations with no new data
-  /// this only re-standardizes targets and recomputes alpha in O(n^2).
+  /// (see class comment): between re-optimizations each new
+  /// observation costs one O(n^2) factor extension plus one O(n^2)
+  /// back-substitution (the forward-solve prefix is cached), and with
+  /// no new data the call is O(1) — the cached fit is already current.
   Status Refit();
 
   /// Advances the Refit() schedule by `steps` extra calls without
@@ -123,7 +152,11 @@ class GaussianProcess {
   /// to FactorFull() if the extension loses positive definiteness.
   Status ExtendFactor(int old_n);
   /// Recomputes alpha = K^-1 y_std and the log marginal likelihood
-  /// from the cached factor. O(n^2).
+  /// from the cached factor, resuming the cached forward-solve prefix
+  /// z_ where it left off: after a FactorFull the prefix is empty and
+  /// this is the classic two full solves; after a CholeskyExtend it is
+  /// one new z entry plus one O(n^2) back-substitution. Bit-for-bit
+  /// identical either way (forward substitution is prefix-stable).
   void ComputeAlphaAndLml();
   double EvaluateLml(const KernelParams& params) const;
 
@@ -159,12 +192,26 @@ class GaussianProcess {
   KernelParams params_;
   Matrix gram_;         // cached Gram (no nugget) for params_
   Matrix chol_;         // lower-triangular L, chol_.rows() rows factored
+  /// Cached forward-solve prefix z = L^-1 y_std, valid for the first
+  /// z_.size() rows of chol_. Cleared whenever the factor or the
+  /// standardization is rebuilt (FactorFull); extended in O(n) per new
+  /// row otherwise.
+  std::vector<double> z_;
   std::vector<double> alpha_;  // K^-1 (y - mean)
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
   double lml_ = 0.0;
   bool fitted_ = false;
 };
+
+/// Draws the hyperparameter-restart candidates for fit call
+/// `fit_count` from a fixed serial RNG stream (log-uniform priors,
+/// noise clamped to GpOptions::min_noise_variance). One definition
+/// shared by the exact and sparse models, so their restart priors can
+/// never drift apart; candidates are scored in parallel by the caller
+/// and the stream is executor-independent.
+std::vector<KernelParams> DrawKernelRestarts(const GpOptions& options,
+                                             uint64_t seed, int fit_count);
 
 /// \name Dense linear algebra helpers (exposed for tests and the
 /// legacy-path reference in bench/bm_hotpath.cc)

@@ -13,23 +13,6 @@ namespace llamatune {
 
 namespace {
 
-/// First maximum of EI over index-ordered (means, variances) — the
-/// same reduction Suggest() runs, shared by every batch mode so the
-/// scan order (and thus the pick) never depends on the executor count.
-int ArgmaxEi(const std::vector<double>& means,
-             const std::vector<double>& variances, double best) {
-  double best_ei = -1.0;
-  int best_idx = 0;
-  for (size_t i = 0; i < means.size(); ++i) {
-    double ei = ExpectedImprovement(means[i], variances[i], best);
-    if (ei > best_ei) {
-      best_ei = ei;
-      best_idx = static_cast<int>(i);
-    }
-  }
-  return best_idx;
-}
-
 bool ContainsPoint(const std::vector<std::vector<double>>& set,
                    const std::vector<double>& point) {
   for (const std::vector<double>& p : set) {
@@ -45,7 +28,17 @@ GpBoOptimizer::GpBoOptimizer(SearchSpace space, GpBoOptions options,
     : Optimizer(std::move(space)),
       options_(options),
       rng_(seed),
-      gp_(space_, options.gp, HashCombine(seed, 0xfeedULL)) {}
+      gp_(space_, options.gp, HashCombine(seed, 0xfeedULL)) {
+  if (options_.gp.sparse_threshold > 0) {
+    sparse_gp_ = std::make_unique<SparseGaussianProcess>(
+        space_, options_.gp, HashCombine(seed, 0xfeedULL));
+  }
+}
+
+bool GpBoOptimizer::UseSparse() const {
+  return sparse_gp_ != nullptr &&
+         static_cast<int>(history_.size()) >= options_.gp.sparse_threshold;
+}
 
 std::vector<double> GpBoOptimizer::InitPoint(int iter) {
   if (init_design_.empty()) {
@@ -76,6 +69,7 @@ void GpBoOptimizer::Observe(const std::vector<double>& point, double value) {
   // model-based suggestion extends the cached fit instead of
   // rebuilding the training set from history.
   gp_.AddObservation(point, value);
+  if (sparse_gp_ != nullptr) sparse_gp_->AddObservation(point, value);
 }
 
 std::vector<std::vector<double>> GpBoOptimizer::GenerateCandidates(
@@ -122,17 +116,27 @@ std::vector<std::vector<double>> GpBoOptimizer::GenerateCandidates(
 
 std::vector<double> GpBoOptimizer::SuggestByModel() {
   if (history_.empty()) return UniformSample(space_, &rng_);
+  double best = BestValue();
+  std::vector<double> means, variances;
+  if (UseSparse()) {
+    // Large-n path: the exact model keeps accumulating observations
+    // (O(d) appends, no fit cost) but the O(n^3)/O(n^2 * pool) exact
+    // fit+score is replaced by the O(n m^2)/O(m^2 * pool) sparse one.
+    Status st = sparse_gp_->Refit();
+    if (!st.ok()) return UniformSample(space_, &rng_);
+    std::vector<std::vector<double>> candidates = GenerateCandidates({});
+    sparse_gp_->PredictBatch(candidates, &means, &variances);
+    return candidates[ArgmaxExpectedImprovement(means, variances, best)];
+  }
   Status st = gp_.Refit();
   if (!st.ok()) {
     // Degenerate Gram matrix: fall back to exploration.
     return UniformSample(space_, &rng_);
   }
 
-  double best = BestValue();
   std::vector<std::vector<double>> candidates = GenerateCandidates({});
-  std::vector<double> means, variances;
   gp_.PredictBatch(candidates, &means, &variances);
-  return candidates[ArgmaxEi(means, variances, best)];
+  return candidates[ArgmaxExpectedImprovement(means, variances, best)];
 }
 
 std::vector<std::vector<double>> GpBoOptimizer::SuggestBatchQei(int n) {
@@ -173,15 +177,22 @@ std::vector<std::vector<double>> GpBoOptimizer::SuggestBatchQei(int n) {
     std::vector<std::vector<double>> candidates = GenerateCandidates(fantasies);
     std::vector<double> means, variances;
     model.PredictBatch(candidates, &means, &variances);
-    // Highest-EI candidate at least qei_min_distance away from every
-    // point the batch already holds: conditioning alone cannot
-    // separate re-picks when the learned noise floor keeps the
-    // posterior variance up (the fantasy only collapses the epistemic
-    // part). Falls back to the unconstrained maximum if the whole pool
-    // sits inside the exclusion balls.
+    // One SoA pass scores the whole pool, then the exclusion scan
+    // reads the contiguous EI array: highest-EI candidate at least
+    // qei_min_distance away from every point the batch already holds
+    // (conditioning alone cannot separate re-picks when the learned
+    // noise floor keeps the posterior variance up — the fantasy only
+    // collapses the epistemic part). Falls back to the unconstrained
+    // maximum if the whole pool sits inside the exclusion balls.
+    std::vector<double> ei =
+        ExpectedImprovementBatch(means, variances, fantasy_best);
     int best_idx = -1;
     double best_ei = -1.0;
     for (size_t c = 0; c < candidates.size(); ++c) {
+      // Non-finite EI (NaN *or* Inf from a degenerate surrogate
+      // output) never wins — an Inf pick would poison the fantasy
+      // model through Condition().
+      if (!std::isfinite(ei[c]) || ei[c] <= best_ei) continue;
       bool excluded = false;
       for (const std::vector<double>& prev : batch) {
         if (NormalizedDistance(space_, candidates[c], prev) <
@@ -191,13 +202,22 @@ std::vector<std::vector<double>> GpBoOptimizer::SuggestBatchQei(int n) {
         }
       }
       if (excluded) continue;
-      double ei = ExpectedImprovement(means[c], variances[c], fantasy_best);
-      if (ei > best_ei) {
-        best_ei = ei;
-        best_idx = static_cast<int>(c);
+      best_ei = ei[c];
+      best_idx = static_cast<int>(c);
+    }
+    if (best_idx < 0) {
+      // Whole pool excluded: unconstrained maximum over the EI vector
+      // already in hand (same reduction ArgmaxExpectedImprovement
+      // runs — index order, non-finite skipped).
+      best_idx = 0;
+      for (size_t c = 0; c < ei.size(); ++c) {
+        if (!std::isfinite(ei[c])) continue;
+        if (ei[c] > best_ei) {
+          best_ei = ei[c];
+          best_idx = static_cast<int>(c);
+        }
       }
     }
-    if (best_idx < 0) best_idx = ArgmaxEi(means, variances, fantasy_best);
     std::vector<double> pick = candidates[best_idx];
     if (i + 1 < n) {
       // Hallucinate the outcome at the posterior mean and condition the

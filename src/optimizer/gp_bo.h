@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "src/common/rng.h"
 #include "src/model/gp.h"
+#include "src/model/sparse_gp.h"
 #include "src/optimizer/optimizer.h"
 
 namespace llamatune {
@@ -75,6 +77,15 @@ struct GpBoOptions {
 /// constant factor of a single suggestion instead of q model refits.
 /// All modes draw RNG serially and reduce scores in index order, so
 /// batches are identical at any thread count.
+///
+/// Large-n path: with GpOptions::sparse_threshold > 0, plain EI
+/// suggestions (Suggest() and the sequential-fallback batches built
+/// from it) switch to the inducing-point SparseGaussianProcess once
+/// the history reaches the threshold — O(n m^2) fit and O(m^2)
+/// scoring instead of the exact O(n^3)/O(n^2 * pool). Below the
+/// threshold the exact path runs unchanged, bit for bit. The fantasy-
+/// conditioning (q-EI) and local-penalization batch modes keep the
+/// exact model — Condition() is an exact-factor primitive.
 class GpBoOptimizer : public Optimizer {
  public:
   GpBoOptimizer(SearchSpace space, GpBoOptions options, uint64_t seed);
@@ -102,9 +113,18 @@ class GpBoOptimizer : public Optimizer {
   /// penalization exclusion balls.
   double EstimateLipschitz() const;
 
+  /// True once the history is large enough for the sparse model to
+  /// take over plain-EI suggestion scoring.
+  bool UseSparse() const;
+
   GpBoOptions options_;
   Rng rng_;
   GaussianProcess gp_;
+  /// Inducing-point model for the large-n path; constructed only when
+  /// GpOptions::sparse_threshold > 0 (observations stream into it in
+  /// O(d) alongside the exact model; it never fits below the
+  /// threshold).
+  std::unique_ptr<SparseGaussianProcess> sparse_gp_;
   std::vector<std::vector<double>> init_design_;
   int suggest_count_ = 0;
 };

@@ -35,6 +35,26 @@ OptimizerRegistry::OptimizerRegistry() {
     options.batch_mode = GpBatchMode::kLocalPenalization;
     return std::unique_ptr<Optimizer>(new GpBoOptimizer(space, options, seed));
   });
+  // Large-n GP-BO: identical to "gpbo" until the history reaches
+  // GpOptions::sparse_threshold, then suggestion scoring switches to
+  // the inducing-point sparse GP (O(n m^2) fit, O(m^2) predict) so
+  // long sessions never hit the exact model's O(n^3) wall. The
+  // "-sparse128" variant doubles the inducing budget for a closer
+  // posterior at 4x the fit cost.
+  Register("gpbo-sparse", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    GpBoOptions options;
+    options.gp.sparse_threshold = 256;
+    options.gp.num_inducing = 64;
+    return std::unique_ptr<Optimizer>(new GpBoOptimizer(space, options, seed));
+  });
+  Register("gpbo-sparse128", [](const SearchSpace& space, uint64_t seed)
+               -> Result<std::unique_ptr<Optimizer>> {
+    GpBoOptions options;
+    options.gp.sparse_threshold = 256;
+    options.gp.num_inducing = 128;
+    return std::unique_ptr<Optimizer>(new GpBoOptimizer(space, options, seed));
+  });
   Register("ddpg", [](const SearchSpace& space, uint64_t seed)
                -> Result<std::unique_ptr<Optimizer>> {
     // DdpgOptions::state_dim must equal the simulator's metric count

@@ -16,10 +16,13 @@ namespace llamatune {
 /// \brief Open, string-keyed factory for optimizers.
 ///
 /// Builtin keys: "smac", "gpbo" (alias "gp-bo"), "gpbo-qei", "gpbo-lp",
-/// "ddpg", "random", "bestconfig". The "-qei" / "-lp" suffixed GP-BO
-/// keys select the batch-aware SuggestBatch modes (greedy q-EI via
-/// fantasized observations / local penalization; see GpBatchMode) and
-/// behave exactly like "gpbo" at batch size 1.
+/// "gpbo-sparse", "gpbo-sparse128", "ddpg", "random", "bestconfig".
+/// The "-qei" / "-lp" suffixed GP-BO keys select the batch-aware
+/// SuggestBatch modes (greedy q-EI via fantasized observations / local
+/// penalization; see GpBatchMode) and behave exactly like "gpbo" at
+/// batch size 1. The "-sparse" keys enable the large-n inducing-point
+/// switchover (GpOptions::sparse_threshold) and behave exactly like
+/// "gpbo" below the threshold.
 /// LlamaTune's claim is that its adapters compose with
 /// *any* optimizer unchanged — the registry is how new backends become
 /// addressable from the harness, benches, and TunerBuilder without

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "src/model/acquisition.h"
 
 namespace llamatune {
@@ -48,6 +52,52 @@ TEST(EiTest, BatchMatchesScalar) {
     EXPECT_DOUBLE_EQ(batch[i],
                      ExpectedImprovement(means[i], variances[i], 10.0));
   }
+}
+
+// The SoA kernel's branch-free select must reproduce the scalar EI to
+// the last bit across the degenerate boundary (zero / negative /
+// subnormal variance), where the smooth lane holds NaN or Inf.
+TEST(EiTest, SoaKernelMatchesScalarAcrossDegenerateVariance) {
+  std::vector<double> means = {12.0, 8.0, 10.0, 11.0, 9.5, 10.0};
+  std::vector<double> variances = {0.0, 0.0, 0.0, 1e-30, -1.0, 4.0};
+  std::vector<double> out(means.size());
+  ExpectedImprovementInto(means.data(), variances.data(),
+                          static_cast<int>(means.size()), 10.0, 0.0,
+                          out.data());
+  for (size_t i = 0; i < means.size(); ++i) {
+    double scalar = ExpectedImprovement(means[i], variances[i], 10.0);
+    EXPECT_DOUBLE_EQ(out[i], scalar) << "entry " << i;
+    EXPECT_TRUE(std::isfinite(out[i])) << "entry " << i;
+  }
+}
+
+TEST(ArgmaxEiTest, PicksFirstMaximumInIndexOrder) {
+  std::vector<double> means = {10.5, 11.0, 11.0, 10.0};
+  std::vector<double> variances = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(ArgmaxExpectedImprovement(means, variances, 10.0), 1);
+}
+
+// A degenerate pool entry (NaN mean / variance from a blown-up
+// surrogate) must never win the argmax — and must not poison the
+// running maximum through a NaN comparison.
+TEST(ArgmaxEiTest, NanEntriesNeverWin) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> means = {nan, 10.2, 12.0, 11.0};
+  std::vector<double> variances = {1.0, nan, 1.0, 1.0};
+  EXPECT_EQ(ArgmaxExpectedImprovement(means, variances, 10.0), 2);
+  // All-degenerate pool: still a valid index.
+  std::vector<double> all_nan = {nan, nan};
+  std::vector<double> unit = {1.0, 1.0};
+  EXPECT_EQ(ArgmaxExpectedImprovement(all_nan, unit, 10.0), 0);
+}
+
+// Constant-objective pool: every variance collapses to ~0 and every
+// EI to exactly 0 — the reduction must return a valid index instead of
+// tripping on the degenerate scores.
+TEST(ArgmaxEiTest, AllZeroEiReturnsFirstIndex) {
+  std::vector<double> means(8, 5.0);
+  std::vector<double> variances(8, 0.0);
+  EXPECT_EQ(ArgmaxExpectedImprovement(means, variances, 5.0), 0);
 }
 
 // Property: EI at huge mean surplus approaches the surplus itself.

@@ -11,6 +11,7 @@
 #include "src/core/session_log.h"
 #include "src/core/tuning_session.h"
 #include "src/dbsim/simulated_postgres.h"
+#include "src/optimizer/gp_bo.h"
 #include "src/dbsim/workloads.h"
 #include "src/optimizer/optimizer_registry.h"
 
@@ -58,9 +59,29 @@ struct Stack {
   std::unique_ptr<TuningSession> session;
 };
 
+/// A sparse-switchover GP-BO arm with a threshold small enough for a
+/// short session to cross: iterations past ~14 observations score
+/// through the inducing-point model. Registered on first use (the
+/// registry is open; same pattern as bm_batch's "smac-seq" arm).
+void RegisterSparseTestKey() {
+  const char* kKey = "gpbo-sparse-ckpt";
+  if (OptimizerRegistry::Global().Contains(kKey)) return;
+  OptimizerRegistry::Global().Register(
+      kKey,
+      [](const SearchSpace& space,
+         uint64_t seed) -> Result<std::unique_ptr<Optimizer>> {
+        GpBoOptions options;
+        options.gp.sparse_threshold = 14;
+        options.gp.num_inducing = 8;
+        return std::unique_ptr<Optimizer>(
+            new GpBoOptimizer(space, options, seed));
+      });
+}
+
 Stack MakeStack(const std::string& optimizer_key,
                 const std::string& adapter_key, uint64_t seed,
                 SessionOptions options) {
+  RegisterSparseTestKey();
   Stack stack;
   dbsim::SimulatedPostgresOptions db_options;
   db_options.noise_seed = seed;
@@ -141,7 +162,15 @@ INSTANTIATE_TEST_SUITE_P(
         // fantasy-conditioned / penalized picks bit-for-bit past the
         // init design.
         CheckpointCase{"gpbo-qei", "hesbo8", 4, 20, 4},
-        CheckpointCase{"gpbo-lp", "llamatune", 4, 20, 4}));
+        CheckpointCase{"gpbo-lp", "llamatune", 4, 20, 4},
+        // Sparse switchover (threshold 14, see RegisterSparseTestKey):
+        // a session that crosses into the inducing-point regime must
+        // replay bit-for-bit whether the checkpoint lands after the
+        // crossing (exact AND sparse iterations replayed) ...
+        CheckpointCase{"gpbo-sparse-ckpt", "hesbo8", 1, 26, 21},
+        // ... or before it (the restored process re-crosses on its
+        // own during the remaining iterations).
+        CheckpointCase{"gpbo-sparse-ckpt", "hesbo8", 1, 26, 9}));
 
 TEST(CheckpointTest, BaselineOnlyCheckpointRestores) {
   SessionOptions options;

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "src/common/rng.h"
 #include "src/model/gp.h"
 
 namespace llamatune {
 namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
 
 TEST(CholeskyTest, FactorsKnownMatrix) {
   // A = [[4,2],[2,3]] => L = [[2,0],[1,sqrt(2)]]
@@ -237,6 +242,88 @@ TEST(GpIncrementalTest, MatchesFullRefitOverSession) {
   }
 }
 
+// The alpha-prefix invariant: the incremental path persists the
+// forward-solve vector z = L^-1 y_std across CholeskyExtend steps and
+// refreshes alpha with a single back-substitution, while the full path
+// refactorizes and re-solves from scratch every Refit(). Both share
+// the boundary-frozen target standardization, so every prediction and
+// the log marginal likelihood must agree to the last bit over a
+// GP-BO-style session — including across reopt boundaries (where both
+// paths rebuild) and the in-between stretches (where only the
+// incremental one resumes its cached prefix).
+TEST(GpIncrementalTest, AlphaPrefixCacheIsBitForBitAgainstFullSolves) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0),
+                     SearchDim::Continuous(-5.0, 5.0),
+                     SearchDim::Categorical(3)});
+  GpOptions incremental_opts;
+  incremental_opts.incremental = true;
+  GpOptions full_opts;
+  full_opts.incremental = false;
+  GaussianProcess incremental(space, incremental_opts, 321);
+  GaussianProcess full(space, full_opts, 321);
+
+  Rng rng(321);
+  auto draw_point = [&] {
+    return std::vector<double>{rng.Uniform(), rng.Uniform(-5, 5),
+                               static_cast<double>(rng.UniformInt(0, 2))};
+  };
+  std::vector<std::vector<double>> probes;
+  for (int i = 0; i < 6; ++i) probes.push_back(draw_point());
+
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<double> x = draw_point();
+    double y = std::cos(2.0 * x[0]) + 0.2 * x[1] - x[2];
+    incremental.AddObservation(x, y);
+    full.AddObservation(x, y);
+    ASSERT_TRUE(incremental.Refit().ok()) << "iteration " << iter;
+    ASSERT_TRUE(full.Refit().ok()) << "iteration " << iter;
+    ASSERT_TRUE(SameBits(incremental.log_marginal_likelihood(),
+                         full.log_marginal_likelihood()))
+        << "iteration " << iter;
+    for (const auto& probe : probes) {
+      double mean_inc = 0, var_inc = 0, mean_full = 0, var_full = 0;
+      incremental.Predict(probe, &mean_inc, &var_inc);
+      full.Predict(probe, &mean_full, &var_full);
+      ASSERT_TRUE(SameBits(mean_inc, mean_full)) << "iteration " << iter;
+      ASSERT_TRUE(SameBits(var_inc, var_full)) << "iteration " << iter;
+    }
+  }
+}
+
+// A lost-positive-definiteness fallback mid-stretch (duplicate points
+// force CholeskyExtend to fail and FactorFull to rebuild with jitter)
+// must invalidate the cached prefix and still match the full path.
+TEST(GpIncrementalTest, AlphaPrefixSurvivesExtensionFallback) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  GpOptions opts;
+  opts.reopt_interval = 100;  // stay inside the incremental regime
+  GaussianProcess gp(space, opts, 17);
+  GpOptions full_opts = opts;
+  full_opts.incremental = false;
+  GaussianProcess full(space, full_opts, 17);
+  auto observe_both = [&](double x, double y) {
+    gp.AddObservation({x}, y);
+    full.AddObservation({x}, y);
+    ASSERT_TRUE(gp.Refit().ok());
+    ASSERT_TRUE(full.Refit().ok());
+  };
+  observe_both(0.2, 1.0);
+  observe_both(0.8, 2.0);
+  // Duplicates: extension fails, FactorFull clears the z prefix.
+  observe_both(0.5, 1.5);
+  observe_both(0.5, 1.5);
+  observe_both(0.6, 1.7);
+  for (double p : {0.1, 0.5, 0.9}) {
+    double mean_a = 0, var_a = 0, mean_b = 0, var_b = 0;
+    gp.Predict({p}, &mean_a, &var_a);
+    full.Predict({p}, &mean_b, &var_b);
+    // The jitter-escalation entry point differs between the two paths
+    // only in when it runs, not what it computes.
+    EXPECT_TRUE(SameBits(mean_a, mean_b)) << "probe " << p;
+    EXPECT_TRUE(SameBits(var_a, var_b)) << "probe " << p;
+  }
+}
+
 TEST(GpIncrementalTest, AddObservationPlusRefitMatchesFit) {
   SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
   Rng rng(5);
@@ -376,6 +463,58 @@ TEST(GpPredictBatchTest, MatchesSinglePredictions) {
     gp.Predict(queries[i], &mean, &variance);
     EXPECT_DOUBLE_EQ(means[i], mean) << "query " << i;
     EXPECT_DOUBLE_EQ(variances[i], variance) << "query " << i;
+  }
+}
+
+// Pending observations (appended after the last Refit, mid-round) must
+// not knock PredictBatch off the blockwise path: it solves against the
+// factored prefix exactly as Predict() does, bit for bit.
+TEST(GpPredictBatchTest, MatchesPredictWithPendingObservations) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0),
+                     SearchDim::Categorical(2)});
+  GaussianProcess gp(space, {}, 31);
+  Rng rng(31);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back({rng.Uniform(), static_cast<double>(rng.UniformInt(0, 1))});
+    ys.push_back(std::sin(5.0 * xs.back()[0]) + xs.back()[1]);
+  }
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  // Mid-round: three observations stream in without a Refit.
+  for (int i = 0; i < 3; ++i) {
+    gp.AddObservation({rng.Uniform(), 0.0}, 0.5);
+  }
+  ASSERT_EQ(gp.num_observations(), 23);
+  std::vector<std::vector<double>> queries;
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back(
+        {rng.Uniform(), static_cast<double>(rng.UniformInt(0, 1))});
+  }
+  std::vector<double> means, variances;
+  gp.PredictBatch(queries, &means, &variances);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double mean = 0, variance = 0;
+    gp.Predict(queries[i], &mean, &variance);
+    ASSERT_TRUE(SameBits(means[i], mean)) << "query " << i;
+    ASSERT_TRUE(SameBits(variances[i], variance)) << "query " << i;
+  }
+}
+
+// The unfitted batch is a contiguous prior fill — still bit-for-bit
+// what per-point Predict() returns.
+TEST(GpPredictBatchTest, UnfittedBatchMatchesPredictPrior) {
+  SearchSpace space({SearchDim::Continuous(0.0, 1.0)});
+  GaussianProcess gp(space, {}, 32);
+  gp.AddObservation({0.4}, 1.0);  // observations but no Refit yet
+  std::vector<std::vector<double>> queries = {{0.1}, {0.5}, {0.9}};
+  std::vector<double> means, variances;
+  gp.PredictBatch(queries, &means, &variances);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double mean = 0, variance = 0;
+    gp.Predict(queries[i], &mean, &variance);
+    EXPECT_TRUE(SameBits(means[i], mean)) << "query " << i;
+    EXPECT_TRUE(SameBits(variances[i], variance)) << "query " << i;
   }
 }
 

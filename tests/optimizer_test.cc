@@ -129,6 +129,65 @@ TEST(GpBoTest, HandlesMixedSpace) {
   EXPECT_GT(opt.BestValue(), 3.0);
 }
 
+// Regression for the ArgmaxEi degenerate-pool guard: a constant
+// objective collapses the target stddev to its floor, every pool
+// variance to ~0, and every EI to exactly 0 — suggestions must stay
+// valid points (never a NaN-comparison winner, never a crash), in
+// every batch mode.
+TEST(GpBoTest, SurvivesConstantObjective) {
+  for (GpBatchMode mode :
+       {GpBatchMode::kSequential, GpBatchMode::kFantasyQei,
+        GpBatchMode::kLocalPenalization}) {
+    GpBoOptions options;
+    options.batch_mode = mode;
+    GpBoOptimizer opt(Box2d(), options, 9);
+    for (int i = 0; i < 8; ++i) {
+      for (const auto& p : opt.SuggestBatch(2)) {
+        EXPECT_TRUE(opt.space().Contains(p));
+        for (double v : p) EXPECT_TRUE(std::isfinite(v));
+        opt.Observe(p, 7.0);  // constant objective
+      }
+    }
+  }
+}
+
+TEST(GpBoTest, SparseSwitchoverKeepsSuggestionsValid) {
+  // Tiny threshold: the inducing-point path takes over a few
+  // iterations past the init design and must keep producing valid,
+  // deterministic suggestions.
+  GpBoOptions options;
+  options.gp.sparse_threshold = 14;
+  options.gp.num_inducing = 8;
+  GpBoOptimizer opt(Box2d(), options, 12);
+  GpBoOptimizer twin(Box2d(), options, 12);
+  for (int i = 0; i < 30; ++i) {
+    auto p = opt.Suggest();
+    auto q = twin.Suggest();
+    EXPECT_EQ(p, q) << "iteration " << i;
+    EXPECT_TRUE(opt.space().Contains(p));
+    opt.Observe(p, Quadratic(p));
+    twin.Observe(q, Quadratic(q));
+  }
+  EXPECT_GT(opt.BestValue(), 8.0);
+}
+
+// Below the threshold the sparse-enabled optimizer is bit-for-bit the
+// plain one — enabling the switchover cannot change small-n runs.
+TEST(GpBoTest, SparseConfigIdenticalBelowThreshold) {
+  GpBoOptions sparse_options;
+  sparse_options.gp.sparse_threshold = 100;  // never reached here
+  sparse_options.gp.num_inducing = 8;
+  GpBoOptimizer sparse(Box2d(), sparse_options, 23);
+  GpBoOptimizer plain(Box2d(), {}, 23);
+  for (int i = 0; i < 20; ++i) {
+    auto ps = sparse.Suggest();
+    auto pp = plain.Suggest();
+    EXPECT_EQ(ps, pp) << "iteration " << i;
+    sparse.Observe(ps, Quadratic(ps));
+    plain.Observe(pp, Quadratic(pp));
+  }
+}
+
 TEST(GpBoTest, DeterministicGivenSeed) {
   GpBoOptimizer a(Box2d(), {}, 23), b(Box2d(), {}, 23);
   for (int i = 0; i < 15; ++i) {
