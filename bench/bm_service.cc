@@ -1,0 +1,234 @@
+// Service/wire front-end load benchmark: many short-lived tuning
+// sessions driven over real TCP sockets against an in-process
+// TuningServer, from several concurrent client threads.
+//
+// Each "session" is the full caller-measured lifecycle — Hello,
+// CreateSession, ask/tell for a fixed iteration budget, Checkpoint,
+// Close — so throughput covers framing, dispatch, quota bookkeeping
+// and service work, not just raw socket echo.
+//
+// Emits machine-readable BENCH_service.json in the working directory:
+//   sessions_per_sec     — completed session lifecycles per second
+//                          (headline, higher is better)
+//   per_session_seconds  — mean wall-clock per session lifecycle
+//                          (lower is better; what the regression
+//                          check compares)
+//   ask_seconds p50/p99  — per-Ask round-trip latency over the wire
+//
+// Usage: bm_service [--sessions=N] [--iterations=N] [--clients=N]
+//        (defaults: 200 sessions, 6 ask/tell rounds each, 4 clients)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/knobs/knob.h"
+#include "src/net/tuning_client.h"
+#include "src/net/tuning_server.h"
+
+namespace llamatune {
+namespace {
+
+double NowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+double Measure(const Configuration& config) {
+  double x = config[0] / 100.0;
+  double y = config[1];
+  return 1000.0 - 900.0 * ((x - 0.37) * (x - 0.37) + (y - 0.58) * (y - 0.58));
+}
+
+net::WireSessionSpec BenchSpec(int iterations, uint64_t seed) {
+  net::WireSessionSpec spec;
+  spec.space_knobs = {IntegerKnob("cache_mb", 0, 100, 50),
+                      RealKnob("target_ratio", 0.0, 1.0, 0.5)};
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = seed;
+  spec.num_iterations = iterations;
+  return spec;
+}
+
+double Percentile(std::vector<double> sorted_ascending, double p) {
+  if (sorted_ascending.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted_ascending.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_ascending.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_ascending[lo] * (1.0 - frac) + sorted_ascending[hi] * frac;
+}
+
+struct ClientStats {
+  int sessions_completed = 0;
+  int errors = 0;
+  std::vector<double> ask_seconds;
+  std::vector<double> session_seconds;
+};
+
+// One worker: connects once, then runs its share of session
+// lifecycles back to back over that connection.
+ClientStats RunClient(uint16_t port, int client_id, int sessions,
+                      int iterations) {
+  ClientStats stats;
+  net::TuningClient client;
+  if (!client.Connect("127.0.0.1", port).ok() ||
+      !client.Hello("bench-tenant-" + std::to_string(client_id)).ok()) {
+    stats.errors = sessions;
+    return stats;
+  }
+  for (int s = 0; s < sessions; ++s) {
+    const std::string name =
+        "job-" + std::to_string(client_id) + "-" + std::to_string(s);
+    double t0 = NowSeconds();
+    uint64_t seed = 1000 + static_cast<uint64_t>(client_id) * 100000 + s;
+    if (!client.CreateSession(name, BenchSpec(iterations, seed)).ok()) {
+      ++stats.errors;
+      continue;
+    }
+    bool ok = true;
+    for (int round = 0; round < iterations && ok; ++round) {
+      double a0 = NowSeconds();
+      Result<Trial> trial = client.Ask(name);
+      stats.ask_seconds.push_back(NowSeconds() - a0);
+      if (!trial.ok()) {
+        ok = false;
+        break;
+      }
+      TrialResult result;
+      result.trial_id = trial->id;
+      result.value = Measure(trial->config);
+      ok = client.Tell(name, result).ok();
+    }
+    ok = ok && client.Checkpoint(name).ok();
+    ok = ok && client.Close(name).ok();
+    if (ok) {
+      ++stats.sessions_completed;
+      stats.session_seconds.push_back(NowSeconds() - t0);
+    } else {
+      ++stats.errors;
+      (void)client.Close(name);  // best-effort cleanup
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+}  // namespace llamatune
+
+int main(int argc, char** argv) {
+  using namespace llamatune;
+
+  int sessions = 200;
+  int iterations = 6;
+  int clients = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+      sessions = std::atoi(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--iterations=", 13) == 0) {
+      iterations = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::atoi(argv[i] + 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bm_service [--sessions=N] [--iterations=N] "
+                   "[--clients=N]\n");
+      return 2;
+    }
+  }
+  sessions = std::max(sessions, 1);
+  iterations = std::max(iterations, 1);
+  clients = std::max(clients, 1);
+
+  net::TuningServerOptions options;
+  net::TuningServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("[service] %d sessions x %d iterations over %d clients "
+              "(port %u)...\n",
+              sessions, iterations, clients, server.port());
+
+  // Split the session budget across clients; the first few absorb the
+  // remainder so the total is exact.
+  std::vector<int> share(clients, sessions / clients);
+  for (int i = 0; i < sessions % clients; ++i) ++share[i];
+
+  std::vector<ClientStats> stats(clients);
+  double t0 = NowSeconds();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        stats[c] = RunClient(server.port(), c, share[c], iterations);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  double wall = NowSeconds() - t0;
+  server.Stop();
+
+  int completed = 0;
+  int errors = 0;
+  std::vector<double> ask_seconds;
+  std::vector<double> session_seconds;
+  for (const ClientStats& s : stats) {
+    completed += s.sessions_completed;
+    errors += s.errors;
+    ask_seconds.insert(ask_seconds.end(), s.ask_seconds.begin(),
+                       s.ask_seconds.end());
+    session_seconds.insert(session_seconds.end(), s.session_seconds.begin(),
+                           s.session_seconds.end());
+  }
+  std::sort(ask_seconds.begin(), ask_seconds.end());
+  double session_sum = 0.0;
+  for (double v : session_seconds) session_sum += v;
+  double per_session =
+      completed > 0 ? session_sum / static_cast<double>(completed) : 0.0;
+  double sessions_per_sec =
+      wall > 0.0 ? static_cast<double>(completed) / wall : 0.0;
+  double ask_p50 = Percentile(ask_seconds, 0.50);
+  double ask_p99 = Percentile(ask_seconds, 0.99);
+
+  FILE* json = std::fopen("BENCH_service.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"service\",\n");
+  std::fprintf(json,
+               "  \"config\": {\"sessions\": %d, \"iterations\": %d, "
+               "\"clients\": %d},\n",
+               sessions, iterations, clients);
+  std::fprintf(json, "  \"sessions_completed\": %d,\n", completed);
+  std::fprintf(json, "  \"errors\": %d,\n", errors);
+  std::fprintf(json, "  \"wall_seconds\": %.4f,\n", wall);
+  std::fprintf(json, "  \"sessions_per_sec\": %.2f,\n", sessions_per_sec);
+  std::fprintf(json, "  \"per_session_seconds\": %.6e,\n", per_session);
+  std::fprintf(json,
+               "  \"ask_seconds\": {\"count\": %zu, \"p50\": %.6e, "
+               "\"p99\": %.6e}\n",
+               ask_seconds.size(), ask_p50, ask_p99);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+
+  std::printf("[service] %d/%d sessions ok (%d errors) in %.2f s — "
+              "%.1f sessions/s, per-session %.3f ms, "
+              "ask p50 %.3f ms p99 %.3f ms\n",
+              completed, sessions, errors, wall, sessions_per_sec,
+              per_session * 1e3, ask_p50 * 1e3, ask_p99 * 1e3);
+  std::printf("[service] wrote BENCH_service.json\n");
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,238 @@
+// The wire front-end: TuningService behind a TCP line protocol.
+//
+// Two modes in one binary:
+//
+//   --serve   Run a TuningServer until SIGINT/SIGTERM. Prints the
+//             bound port (and writes it to --port-file for scripted
+//             startup), autosaves sessions periodically when
+//             --autosave-dir is set, and evicts idle sessions when
+//             --idle-eviction-ms is set. This is the process the
+//             crash/kill/resume integration test kills -9.
+//
+//   (default) Self-contained demo: starts a server in-process on an
+//             ephemeral port, connects a TuningClient over real
+//             sockets, runs a caller-measured session plus a
+//             server-driven workload session, checkpoints over the
+//             wire and verifies the remote trajectory matches an
+//             in-process run bit-for-bit.
+//
+// Build & run:  cmake --build build && ./build/examples/serve_remote
+// Server:       ./build/examples/serve_remote --serve --port 7421
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/knobs/config_space.h"
+#include "src/net/tuning_client.h"
+#include "src/net/tuning_server.h"
+#include "src/service/tuning_service.h"
+
+using namespace llamatune;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int RunServer(const net::TuningServerOptions& options,
+              const std::string& port_file) {
+  net::TuningServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("[serve_remote] listening on %s:%u\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // tmp + rename so a watcher never reads a half-written port.
+    std::string tmp = port_file + ".tmp";
+    FILE* out = std::fopen(tmp.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(out, "%u\n", server.port());
+    std::fclose(out);
+    std::rename(tmp.c_str(), port_file.c_str());
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("[serve_remote] shutting down\n");
+  server.Stop();  // drains handlers, final autosave
+  return 0;
+}
+
+// A checkpoint's "state" line carries accumulated wall-clock optimizer
+// seconds — the only non-deterministic bytes in an otherwise bit-exact
+// trajectory. Zero that token so equality means "identical history".
+std::string Trajectory(const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("state ", 0) == 0) {
+      line = line.substr(0, line.find_last_of(' ')) + " <wall-clock>";
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+double Measure(const Configuration& config) {
+  double x = config[0] / 100.0;
+  double y = config[1];
+  return 1000.0 - 900.0 * ((x - 0.3) * (x - 0.3) + (y - 0.6) * (y - 0.6));
+}
+
+net::WireSessionSpec ExternalSpec() {
+  net::WireSessionSpec spec;
+  spec.space_knobs = {IntegerKnob("cache_mb", 0, 100, 50),
+                      RealKnob("target_ratio", 0.0, 1.0, 0.5)};
+  spec.optimizer_key = "smac";
+  spec.adapter_key = "identity";
+  spec.seed = 7;
+  spec.num_iterations = 15;
+  return spec;
+}
+
+int RunDemo() {
+  net::TuningServerOptions options;
+  net::TuningServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("[demo] server on 127.0.0.1:%u\n", server.port());
+
+  net::TuningClient client;
+  if (!client.Connect("127.0.0.1", server.port()).ok() ||
+      !client.Hello("demo-tenant").ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+
+  // 1. A caller-measured session: the server hands out configurations,
+  //    this process measures them (stand-in for a real DBMS).
+  if (!client.CreateSession("external", ExternalSpec()).ok()) return 1;
+  while (true) {
+    Result<Trial> trial = client.Ask("external");
+    if (!trial.ok()) break;  // budget exhausted
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = Measure(trial->config);
+    if (!client.Tell("external", result).ok()) return 1;
+  }
+
+  // 2. A workload-backed session the server drives to completion in
+  //    the background while we poll.
+  net::WireSessionSpec sim;
+  sim.workload = "YCSB-A";
+  sim.optimizer_key = "random";
+  sim.adapter_key = "llamatune";
+  sim.seed = 11;
+  sim.num_iterations = 8;
+  if (!client.CreateSession("sim", sim).ok()) return 1;
+  if (!client.StartDrive("sim").ok()) return 1;
+  while (true) {
+    Result<net::WireSessionStatus> status = client.GetStatus("sim");
+    if (!status.ok()) return 1;
+    if (status->status.finished && !status->driving) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  std::printf("\n%-10s %5s %9s %9s\n", "session", "iters", "default", "best");
+  Result<std::vector<net::WireSessionStatus>> list = client.ListSessions();
+  if (!list.ok()) return 1;
+  for (const net::WireSessionStatus& s : *list) {
+    std::printf("%-10s %3d/%d %9.1f %9.1f\n", s.status.name.c_str(),
+                s.status.iterations_run, s.status.num_iterations,
+                s.status.default_performance, s.status.best_performance);
+  }
+
+  // 3. The determinism pin: the wire-driven external session's
+  //    checkpoint equals an in-process run of the same spec.
+  Result<std::string> remote = client.Checkpoint("external");
+  if (!remote.ok()) return 1;
+  ConfigSpace space =
+      ConfigSpace::Create(ExternalSpec().space_knobs).ValueOrDie();
+  service::TuningService local;
+  service::SessionSpec spec;
+  spec.space = &space;
+  spec.optimizer_key = "smac";
+  spec.adapter_key = "identity";
+  spec.seed = 7;
+  spec.num_iterations = 15;
+  local.CreateSession("ref", spec);
+  while (true) {
+    Result<Trial> trial = local.Ask("ref");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = Measure(trial->config);
+    local.Tell("ref", result);
+  }
+  bool identical =
+      Trajectory(*remote) == Trajectory(*local.Checkpoint("ref"));
+  std::printf("\n[demo] wire-driven == in-process checkpoint: %s\n",
+              identical ? "yes (bit-for-bit)" : "NO — BUG");
+
+  client.Close("external");
+  client.Close("sim");
+  server.Stop();
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve = false;
+  std::string port_file;
+  net::TuningServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--autosave-dir") {
+      options.autosave_dir = next();
+    } else if (arg == "--autosave-interval-ms") {
+      options.autosave_interval_ms = std::atol(next());
+    } else if (arg == "--idle-eviction-ms") {
+      options.idle_eviction_ms = std::atol(next());
+    } else if (arg == "--max-sessions-per-tenant") {
+      options.max_sessions_per_tenant = std::atoi(next());
+    } else if (arg == "--max-pending") {
+      options.max_pending_requests = std::atoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_remote [--serve] [--host H] [--port P] "
+                   "[--port-file F] [--autosave-dir D] "
+                   "[--autosave-interval-ms N] [--idle-eviction-ms N] "
+                   "[--max-sessions-per-tenant N] [--max-pending N]\n");
+      return 2;
+    }
+  }
+  return serve ? RunServer(options, port_file) : RunDemo();
+}

@@ -21,6 +21,13 @@ Handles the three bench formats, keyed by their "bench" field:
   names embed the grid configuration like ``batch``). A baseline from
   a full run (n up to 2000) still intersects a smoke run capped at a
   smaller --max-n: missing n entries are skipped, not flagged.
+* ``service`` (BENCH_service.json) — wire front-end load driver:
+  per-session lifecycle wall-clock and ask round-trip latency over
+  real sockets. All compared metrics are lower-is-better seconds
+  (noisy); the headline ``sessions_per_sec`` is higher-is-better and
+  deliberately not compared. Metric names embed the run configuration
+  so mismatched settings fail to intersect instead of comparing
+  incomparable numbers.
 
 Surfaces regressions beyond the threshold in the GitHub Actions job
 summary ($GITHUB_STEP_SUMMARY) and as ::warning:: annotations. Always
@@ -115,12 +122,36 @@ def collect_largen_metrics(doc):
     return metrics
 
 
+def collect_service_metrics(doc):
+    """Flattens BENCH_service.json into {metric_name: (value,
+    deterministic)}.
+
+    All collected metrics are lower-is-better wall-clock seconds
+    (noisy). ``sessions_per_sec`` is higher-is-better, so it is
+    reported in the JSON for humans but never compared here."""
+    config = doc.get("config", {})
+    key = (f"sessions={config.get('sessions')},"
+           f"iters={config.get('iterations')},"
+           f"clients={config.get('clients')}")
+    metrics = {}
+    if "per_session_seconds" in doc:
+        metrics[f"per_session_seconds[{key}]"] = (
+            doc["per_session_seconds"], False)
+    ask = doc.get("ask_seconds", {})
+    for field in ("p50", "p99"):
+        if field in ask:
+            metrics[f"ask_seconds.{field}[{key}]"] = (ask[field], False)
+    return metrics
+
+
 def collect_metrics(doc):
     """Returns {metric_name: (value, deterministic)}."""
     if doc.get("bench") == "batch":
         return collect_batch_metrics(doc)
     if doc.get("bench") == "largen":
         return collect_largen_metrics(doc)
+    if doc.get("bench") == "service":
+        return collect_service_metrics(doc)
     return {name: (value, False)
             for name, value in collect_hotpath_metrics(doc).items()}
 

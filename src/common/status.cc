@@ -25,6 +25,14 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kSessionNotFound:
+      return "SessionNotFound";
+    case StatusCode::kSessionAlreadyExists:
+      return "SessionAlreadyExists";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

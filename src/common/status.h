@@ -19,6 +19,22 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotImplemented,
+  /// A named tuning session does not exist. Distinct from the generic
+  /// kNotFound (which still covers registry keys, files, trial ids...)
+  /// so remote callers can tell "no such session" apart from "bad
+  /// spec" without string matching; carried as its own error code by
+  /// the wire protocol.
+  kSessionNotFound,
+  /// A session with that name is already registered (duplicate
+  /// CreateSession, or Resume into a live name). Distinct from the
+  /// generic kAlreadyExists for the same reason as kSessionNotFound.
+  kSessionAlreadyExists,
+  /// Transient overload — the operation was refused by admission
+  /// control and should be retried later (the wire protocol's Busy).
+  kUnavailable,
+  /// A hard per-tenant limit was hit (the wire protocol's
+  /// QuotaExceeded); retrying without releasing resources won't help.
+  kResourceExhausted,
 };
 
 /// \brief A success-or-error outcome for fallible operations.
@@ -53,6 +69,18 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status SessionNotFound(std::string msg) {
+    return Status(StatusCode::kSessionNotFound, std::move(msg));
+  }
+  static Status SessionAlreadyExists(std::string msg) {
+    return Status(StatusCode::kSessionAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

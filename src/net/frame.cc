@@ -1,0 +1,63 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace llamatune {
+namespace net {
+
+std::string EncodeFrame(MessageKind kind, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(kind));
+  out.push_back('\0');  // reserved
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((len >> shift) & 0xFF));
+  }
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  buffer_.append(data, n);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  if (buffer_.size() < kFrameHeaderBytes) return std::optional<Frame>();
+
+  const unsigned char* head =
+      reinterpret_cast<const unsigned char*>(buffer_.data());
+  if (head[0] != kFrameMagic) {
+    error_ = Status::InvalidArgument("frame: bad magic byte");
+    return error_;
+  }
+  if (head[1] != kProtocolVersion) {
+    error_ = Status::FailedPrecondition(
+        "frame: protocol version " + std::to_string(head[1]) +
+        ", this build speaks " + std::to_string(kProtocolVersion));
+    return error_;
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(head[4 + i]) << (8 * i);
+  }
+  if (len > max_payload_) {
+    error_ = Status::OutOfRange("frame: payload of " + std::to_string(len) +
+                                " bytes exceeds the " +
+                                std::to_string(max_payload_) + "-byte cap");
+    return error_;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + len) return std::optional<Frame>();
+
+  Frame frame;
+  frame.kind = static_cast<MessageKind>(head[2]);
+  frame.payload.assign(buffer_, kFrameHeaderBytes, len);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace net
+}  // namespace llamatune

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace llamatune {
+namespace net {
+
+/// \brief Every request and reply on the wire (docs/wire-protocol.md).
+///
+/// Values are part of the protocol: never renumber, only append.
+/// Requests live below 64, replies at 64 and above. A frame whose kind
+/// byte maps to no enumerator is *well-framed garbage* — the decoder
+/// hands it up (framing survives) and the server answers with a typed
+/// kUnknownKind error instead of dropping the connection.
+enum class MessageKind : uint8_t {
+  // --- Requests.
+  kHello = 1,          ///< declare tenant identity for this connection
+  kCreateSession = 2,  ///< name + wire spec
+  kResume = 3,         ///< name + wire spec + checkpoint text
+  kResumeSaved = 4,    ///< name only; server loads its autosave file
+  kAsk = 5,
+  kAskBatch = 6,
+  kTell = 7,
+  kTellBatch = 8,
+  kStep = 9,
+  kStartDrive = 10,  ///< background drive-to-completion (returns at once)
+  kGetStatus = 11,
+  kListSessions = 12,
+  kCheckpoint = 13,
+  kClose = 14,
+  kPing = 15,
+
+  // --- Replies.
+  kOk = 64,            ///< empty success (create/resume/tell/drive/hello)
+  kError = 65,         ///< WireError code + message
+  kTrialReply = 66,    ///< one serialized Trial
+  kTrialsReply = 67,   ///< n serialized Trials
+  kSteppedReply = 68,  ///< progressed flag
+  kStatusReply = 69,   ///< one wire SessionStatus
+  kStatusListReply = 70,
+  kCheckpointReply = 71,  ///< checkpoint text
+  kClosedReply = 72,      ///< final result scalars
+  kPongReply = 73,
+};
+
+/// First byte on the wire; a connection speaking anything else is not
+/// this protocol and is dropped after a typed error.
+constexpr uint8_t kFrameMagic = 0xA7;
+
+/// Bumped only for incompatible frame/payload changes; a frame
+/// carrying a different version is a framing fault — the server
+/// answers kBadFrame and hangs up (the versioning rule in
+/// docs/wire-protocol.md).
+constexpr uint8_t kProtocolVersion = 1;
+
+/// Frame header: magic, version, kind, reserved, then the payload
+/// length as 4 little-endian bytes.
+constexpr size_t kFrameHeaderBytes = 8;
+
+/// Default cap on a single frame's payload. Large enough for any
+/// realistic checkpoint, small enough that a hostile length field
+/// cannot make the server allocate unbounded memory.
+constexpr size_t kDefaultMaxFramePayload = 16u << 20;
+
+/// \brief One decoded frame: the kind byte (possibly an unknown value
+/// — see MessageKind) and the raw payload bytes.
+struct Frame {
+  MessageKind kind = MessageKind::kPing;
+  std::string payload;
+};
+
+/// Encodes a complete frame (header + payload), ready to write.
+std::string EncodeFrame(MessageKind kind, const std::string& payload);
+
+/// \brief Incremental frame parser for a byte stream.
+///
+/// Feed() arbitrary chunks as they arrive off a socket — single bytes,
+/// half a header, three frames at once — and drain complete frames
+/// with Next(). Framing errors (bad magic, version mismatch, payload
+/// over the cap) are *sticky*: once the stream desynchronizes there is
+/// no way to find the next frame boundary, so every later Next()
+/// returns the same error and the connection must be torn down.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes from the stream.
+  void Feed(const char* data, size_t n);
+
+  /// Returns the next complete frame, std::nullopt when more bytes are
+  /// needed, or the (sticky) framing error.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  Status error_;  // sticky framing error
+};
+
+}  // namespace net
+}  // namespace llamatune

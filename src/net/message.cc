@@ -1,0 +1,732 @@
+#include "src/net/message.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "src/common/serde.h"
+
+namespace llamatune {
+namespace net {
+
+WireError WireErrorFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireError::kInternal;  // callers must not encode OK as error
+    case StatusCode::kInvalidArgument:
+      return WireError::kInvalidArgument;
+    case StatusCode::kOutOfRange:
+      return WireError::kOutOfRange;
+    case StatusCode::kNotFound:
+      return WireError::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return WireError::kAlreadyExists;
+    case StatusCode::kFailedPrecondition:
+      return WireError::kFailedPrecondition;
+    case StatusCode::kInternal:
+      return WireError::kInternal;
+    case StatusCode::kNotImplemented:
+      return WireError::kNotImplemented;
+    case StatusCode::kSessionNotFound:
+      return WireError::kSessionNotFound;
+    case StatusCode::kSessionAlreadyExists:
+      return WireError::kSessionAlreadyExists;
+    case StatusCode::kUnavailable:
+      return WireError::kBusy;
+    case StatusCode::kResourceExhausted:
+      return WireError::kQuotaExceeded;
+  }
+  return WireError::kInternal;
+}
+
+Status StatusFromWireError(WireError code, std::string message) {
+  switch (code) {
+    case WireError::kMalformed:
+      return Status::InvalidArgument(std::move(message));
+    case WireError::kUnknownKind:
+      return Status::NotImplemented(std::move(message));
+    case WireError::kBadFrame:
+      return Status::InvalidArgument(std::move(message));
+    case WireError::kBusy:
+      return Status::Unavailable(std::move(message));
+    case WireError::kQuotaExceeded:
+      return Status::ResourceExhausted(std::move(message));
+    case WireError::kSessionNotFound:
+      return Status::SessionNotFound(std::move(message));
+    case WireError::kSessionAlreadyExists:
+      return Status::SessionAlreadyExists(std::move(message));
+    case WireError::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case WireError::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case WireError::kNotFound:
+      return Status::NotFound(std::move(message));
+    case WireError::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case WireError::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case WireError::kInternal:
+      return Status::Internal(std::move(message));
+    case WireError::kNotImplemented:
+      return Status::NotImplemented(std::move(message));
+    case WireError::kShuttingDown:
+      return Status::Unavailable(std::move(message));
+  }
+  return Status::Internal("unknown wire error code: " + std::move(message));
+}
+
+namespace {
+
+/// Strings travel as one 'x'-prefixed hex token so that empty strings
+/// and strings with whitespace survive the token stream.
+void PutStr(std::ostringstream* out, const char* tag, const std::string& s) {
+  *out << ' ' << tag << " x" << EncodeBytes(s);
+}
+
+Result<std::string> GetStr(std::istringstream* in, const char* tag) {
+  std::string got_tag, token;
+  if (!(*in >> got_tag >> token) || got_tag != tag) {
+    return Status::InvalidArgument(std::string("wire: expected '") + tag +
+                                   "' string field");
+  }
+  if (token.empty() || token[0] != 'x') {
+    return Status::InvalidArgument(std::string("wire: field '") + tag +
+                                   "' is not an x-prefixed hex token");
+  }
+  return DecodeBytes(token.substr(1));
+}
+
+void PutInt(std::ostringstream* out, const char* tag, int64_t value) {
+  *out << ' ' << tag << ' ' << value;
+}
+
+Result<int64_t> GetInt(std::istringstream* in, const char* tag) {
+  std::string got_tag, token;
+  if (!(*in >> got_tag >> token) || got_tag != tag) {
+    return Status::InvalidArgument(std::string("wire: expected '") + tag +
+                                   "' integer field");
+  }
+  return ParseInt64(token);
+}
+
+void PutU64(std::ostringstream* out, const char* tag, uint64_t value) {
+  *out << ' ' << tag << ' ' << value;
+}
+
+Result<uint64_t> GetU64(std::istringstream* in, const char* tag) {
+  std::string got_tag, token;
+  if (!(*in >> got_tag >> token) || got_tag != tag) {
+    return Status::InvalidArgument(std::string("wire: expected '") + tag +
+                                   "' u64 field");
+  }
+  if (token.empty()) return Status::InvalidArgument("wire: empty u64 token");
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size() || token[0] == '-') {
+    return Status::InvalidArgument("wire: bad u64 token: " + token);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+void PutBits(std::ostringstream* out, const char* tag, double value) {
+  *out << ' ' << tag << ' ' << EncodeDoubleBits(value);
+}
+
+Result<double> GetBits(std::istringstream* in, const char* tag) {
+  std::string got_tag, token;
+  if (!(*in >> got_tag >> token) || got_tag != tag) {
+    return Status::InvalidArgument(std::string("wire: expected '") + tag +
+                                   "' double field");
+  }
+  return DecodeDoubleBits(token);
+}
+
+void PutBool(std::ostringstream* out, const char* tag, bool value) {
+  PutInt(out, tag, value ? 1 : 0);
+}
+
+Result<bool> GetBool(std::istringstream* in, const char* tag) {
+  Result<int64_t> value = GetInt(in, tag);
+  if (!value.ok()) return value.status();
+  return *value != 0;
+}
+
+/// Clamp untrusted element counts before reserve() (idiom of
+/// src/core/trial.cc): a corrupt count must fail through the
+/// truncated-stream path, not throw bad_alloc.
+size_t ClampReserve(int64_t count) {
+  return static_cast<size_t>(
+      std::min<int64_t>(std::max<int64_t>(count, 0), 4096));
+}
+
+Result<std::string> DecodeHeaderName(std::istringstream* in,
+                                     const char* header) {
+  std::string tag;
+  if (!(*in >> tag) || tag != header) {
+    return Status::InvalidArgument(std::string("wire: expected '") + header +
+                                   "' payload");
+  }
+  return GetStr(in, "name");
+}
+
+void EncodeKnob(std::ostringstream* out, const KnobSpec& knob) {
+  *out << " knob";
+  PutStr(out, "name", knob.name);
+  PutInt(out, "type", static_cast<int>(knob.type));
+  PutBits(out, "min", knob.min_value);
+  PutBits(out, "max", knob.max_value);
+  PutBool(out, "log", knob.log_scale);
+  PutBits(out, "default", knob.default_value);
+  PutInt(out, "cats", static_cast<int64_t>(knob.categories.size()));
+  for (const std::string& category : knob.categories) {
+    *out << " x" << EncodeBytes(category);
+  }
+  PutInt(out, "specials", static_cast<int64_t>(knob.special_values.size()));
+  for (double value : knob.special_values) {
+    *out << ' ' << EncodeDoubleBits(value);
+  }
+  PutStr(out, "unit", knob.unit);
+}
+
+Result<KnobSpec> DecodeKnob(std::istringstream* in) {
+  std::string tag;
+  if (!(*in >> tag) || tag != "knob") {
+    return Status::InvalidArgument("wire: expected 'knob' entry");
+  }
+  KnobSpec knob;
+  Result<std::string> name = GetStr(in, "name");
+  if (!name.ok()) return name.status();
+  knob.name = *name;
+  Result<int64_t> type = GetInt(in, "type");
+  if (!type.ok()) return type.status();
+  if (*type < 0 || *type > static_cast<int>(KnobType::kCategorical)) {
+    return Status::InvalidArgument("wire: bad knob type " +
+                                   std::to_string(*type));
+  }
+  knob.type = static_cast<KnobType>(*type);
+  Result<double> min_value = GetBits(in, "min");
+  if (!min_value.ok()) return min_value.status();
+  knob.min_value = *min_value;
+  Result<double> max_value = GetBits(in, "max");
+  if (!max_value.ok()) return max_value.status();
+  knob.max_value = *max_value;
+  Result<bool> log_scale = GetBool(in, "log");
+  if (!log_scale.ok()) return log_scale.status();
+  knob.log_scale = *log_scale;
+  Result<double> default_value = GetBits(in, "default");
+  if (!default_value.ok()) return default_value.status();
+  knob.default_value = *default_value;
+
+  Result<int64_t> num_categories = GetInt(in, "cats");
+  if (!num_categories.ok()) return num_categories.status();
+  knob.categories.reserve(ClampReserve(*num_categories));
+  for (int64_t i = 0; i < *num_categories; ++i) {
+    std::string token;
+    if (!(*in >> token) || token.empty() || token[0] != 'x') {
+      return Status::InvalidArgument("wire: truncated knob categories");
+    }
+    Result<std::string> category = DecodeBytes(token.substr(1));
+    if (!category.ok()) return category.status();
+    knob.categories.push_back(*category);
+  }
+
+  Result<int64_t> num_specials = GetInt(in, "specials");
+  if (!num_specials.ok()) return num_specials.status();
+  knob.special_values.reserve(ClampReserve(*num_specials));
+  for (int64_t i = 0; i < *num_specials; ++i) {
+    std::string token;
+    if (!(*in >> token)) {
+      return Status::InvalidArgument("wire: truncated knob special values");
+    }
+    Result<double> value = DecodeDoubleBits(token);
+    if (!value.ok()) return value.status();
+    knob.special_values.push_back(*value);
+  }
+
+  Result<std::string> unit = GetStr(in, "unit");
+  if (!unit.ok()) return unit.status();
+  knob.unit = *unit;
+  return knob;
+}
+
+void EncodeSpecInto(std::ostringstream* out, const WireSessionSpec& spec) {
+  *out << " spec 1";
+  PutStr(out, "workload", spec.workload);
+  PutInt(out, "knobs", static_cast<int64_t>(spec.space_knobs.size()));
+  for (const KnobSpec& knob : spec.space_knobs) EncodeKnob(out, knob);
+  PutBool(out, "maximize", spec.maximize);
+  PutStr(out, "optimizer", spec.optimizer_key);
+  PutStr(out, "adapter", spec.adapter_key);
+  PutU64(out, "seed", spec.seed);
+  PutInt(out, "iterations", spec.num_iterations);
+  PutInt(out, "batch", spec.batch_size);
+  PutInt(out, "threads", spec.num_threads);
+}
+
+Result<WireSessionSpec> DecodeSpecFrom(std::istringstream* in) {
+  std::string tag, version;
+  if (!(*in >> tag >> version) || tag != "spec" || version != "1") {
+    return Status::InvalidArgument("wire: expected 'spec 1' section");
+  }
+  WireSessionSpec spec;
+  Result<std::string> workload = GetStr(in, "workload");
+  if (!workload.ok()) return workload.status();
+  spec.workload = *workload;
+  Result<int64_t> num_knobs = GetInt(in, "knobs");
+  if (!num_knobs.ok()) return num_knobs.status();
+  spec.space_knobs.reserve(ClampReserve(*num_knobs));
+  for (int64_t i = 0; i < *num_knobs; ++i) {
+    Result<KnobSpec> knob = DecodeKnob(in);
+    if (!knob.ok()) return knob.status();
+    spec.space_knobs.push_back(std::move(knob).ValueOrDie());
+  }
+  if (spec.workload.empty() == spec.space_knobs.empty()) {
+    return Status::InvalidArgument(
+        "wire: spec must carry exactly one source (workload name or knob "
+        "space)");
+  }
+  Result<bool> maximize = GetBool(in, "maximize");
+  if (!maximize.ok()) return maximize.status();
+  spec.maximize = *maximize;
+  Result<std::string> optimizer = GetStr(in, "optimizer");
+  if (!optimizer.ok()) return optimizer.status();
+  spec.optimizer_key = *optimizer;
+  Result<std::string> adapter = GetStr(in, "adapter");
+  if (!adapter.ok()) return adapter.status();
+  spec.adapter_key = *adapter;
+  Result<uint64_t> seed = GetU64(in, "seed");
+  if (!seed.ok()) return seed.status();
+  spec.seed = *seed;
+  Result<int64_t> iterations = GetInt(in, "iterations");
+  if (!iterations.ok()) return iterations.status();
+  spec.num_iterations = static_cast<int>(*iterations);
+  Result<int64_t> batch = GetInt(in, "batch");
+  if (!batch.ok()) return batch.status();
+  spec.batch_size = static_cast<int>(*batch);
+  Result<int64_t> threads = GetInt(in, "threads");
+  if (!threads.ok()) return threads.status();
+  spec.num_threads = static_cast<int>(*threads);
+  return spec;
+}
+
+void EncodeStatusInto(std::ostringstream* out, const WireSessionStatus& s) {
+  *out << " status";
+  PutStr(out, "name", s.status.name);
+  PutStr(out, "optimizer", s.status.optimizer_key);
+  PutStr(out, "adapter", s.status.adapter_key);
+  PutBool(out, "external", s.status.external);
+  PutInt(out, "iters", s.status.iterations_run);
+  PutInt(out, "total", s.status.num_iterations);
+  PutInt(out, "pending", s.status.pending_trials);
+  PutBool(out, "finished", s.status.finished);
+  PutBits(out, "defperf", s.status.default_performance);
+  PutBits(out, "bestperf", s.status.best_performance);
+  PutInt(out, "created", s.status.created_unix_ms);
+  PutInt(out, "active", s.status.last_activity_unix_ms);
+  PutBool(out, "driving", s.driving);
+}
+
+Result<WireSessionStatus> DecodeStatusFrom(std::istringstream* in) {
+  std::string tag;
+  if (!(*in >> tag) || tag != "status") {
+    return Status::InvalidArgument("wire: expected 'status' section");
+  }
+  WireSessionStatus out;
+  Result<std::string> name = GetStr(in, "name");
+  if (!name.ok()) return name.status();
+  out.status.name = *name;
+  Result<std::string> optimizer = GetStr(in, "optimizer");
+  if (!optimizer.ok()) return optimizer.status();
+  out.status.optimizer_key = *optimizer;
+  Result<std::string> adapter = GetStr(in, "adapter");
+  if (!adapter.ok()) return adapter.status();
+  out.status.adapter_key = *adapter;
+  Result<bool> external = GetBool(in, "external");
+  if (!external.ok()) return external.status();
+  out.status.external = *external;
+  Result<int64_t> iters = GetInt(in, "iters");
+  if (!iters.ok()) return iters.status();
+  out.status.iterations_run = static_cast<int>(*iters);
+  Result<int64_t> total = GetInt(in, "total");
+  if (!total.ok()) return total.status();
+  out.status.num_iterations = static_cast<int>(*total);
+  Result<int64_t> pending = GetInt(in, "pending");
+  if (!pending.ok()) return pending.status();
+  out.status.pending_trials = static_cast<int>(*pending);
+  Result<bool> finished = GetBool(in, "finished");
+  if (!finished.ok()) return finished.status();
+  out.status.finished = *finished;
+  Result<double> defperf = GetBits(in, "defperf");
+  if (!defperf.ok()) return defperf.status();
+  out.status.default_performance = *defperf;
+  Result<double> bestperf = GetBits(in, "bestperf");
+  if (!bestperf.ok()) return bestperf.status();
+  out.status.best_performance = *bestperf;
+  Result<int64_t> created = GetInt(in, "created");
+  if (!created.ok()) return created.status();
+  out.status.created_unix_ms = *created;
+  Result<int64_t> active = GetInt(in, "active");
+  if (!active.ok()) return active.status();
+  out.status.last_activity_unix_ms = *active;
+  Result<bool> driving = GetBool(in, "driving");
+  if (!driving.ok()) return driving.status();
+  out.driving = *driving;
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeHello(const std::string& tenant) {
+  std::ostringstream out;
+  out << "hello";
+  PutStr(&out, "tenant", tenant);
+  return out.str();
+}
+
+Result<std::string> DecodeHello(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "hello") {
+    return Status::InvalidArgument("wire: expected 'hello' payload");
+  }
+  return GetStr(&in, "tenant");
+}
+
+std::string EncodeSessionSpec(const WireSessionSpec& spec) {
+  std::ostringstream out;
+  out << "specdoc";
+  EncodeSpecInto(&out, spec);
+  return out.str();
+}
+
+Result<WireSessionSpec> DecodeSessionSpec(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "specdoc") {
+    return Status::InvalidArgument("wire: expected 'specdoc' payload");
+  }
+  return DecodeSpecFrom(&in);
+}
+
+std::string EncodeCreateSession(const std::string& name,
+                                const WireSessionSpec& spec) {
+  std::ostringstream out;
+  out << "create";
+  PutStr(&out, "name", name);
+  EncodeSpecInto(&out, spec);
+  return out.str();
+}
+
+Status DecodeCreateSession(const std::string& payload, std::string* name,
+                           WireSessionSpec* spec) {
+  std::istringstream in(payload);
+  Result<std::string> got_name = DecodeHeaderName(&in, "create");
+  if (!got_name.ok()) return got_name.status();
+  Result<WireSessionSpec> got_spec = DecodeSpecFrom(&in);
+  if (!got_spec.ok()) return got_spec.status();
+  *name = *got_name;
+  *spec = std::move(got_spec).ValueOrDie();
+  return Status::OK();
+}
+
+std::string EncodeResume(const std::string& name, const WireSessionSpec& spec,
+                         const std::string& checkpoint) {
+  std::ostringstream out;
+  out << "resume";
+  PutStr(&out, "name", name);
+  PutStr(&out, "checkpoint", checkpoint);
+  EncodeSpecInto(&out, spec);
+  return out.str();
+}
+
+Status DecodeResume(const std::string& payload, std::string* name,
+                    WireSessionSpec* spec, std::string* checkpoint) {
+  std::istringstream in(payload);
+  Result<std::string> got_name = DecodeHeaderName(&in, "resume");
+  if (!got_name.ok()) return got_name.status();
+  Result<std::string> got_checkpoint = GetStr(&in, "checkpoint");
+  if (!got_checkpoint.ok()) return got_checkpoint.status();
+  Result<WireSessionSpec> got_spec = DecodeSpecFrom(&in);
+  if (!got_spec.ok()) return got_spec.status();
+  *name = *got_name;
+  *checkpoint = std::move(got_checkpoint).ValueOrDie();
+  *spec = std::move(got_spec).ValueOrDie();
+  return Status::OK();
+}
+
+std::string EncodeNameOnly(const std::string& name) {
+  std::ostringstream out;
+  out << "session";
+  PutStr(&out, "name", name);
+  return out.str();
+}
+
+Result<std::string> DecodeNameOnly(const std::string& payload) {
+  std::istringstream in(payload);
+  return DecodeHeaderName(&in, "session");
+}
+
+std::string EncodeAskBatch(const std::string& name, int n) {
+  std::ostringstream out;
+  out << "askbatch";
+  PutStr(&out, "name", name);
+  PutInt(&out, "n", n);
+  return out.str();
+}
+
+Status DecodeAskBatch(const std::string& payload, std::string* name, int* n) {
+  std::istringstream in(payload);
+  Result<std::string> got_name = DecodeHeaderName(&in, "askbatch");
+  if (!got_name.ok()) return got_name.status();
+  Result<int64_t> got_n = GetInt(&in, "n");
+  if (!got_n.ok()) return got_n.status();
+  *name = *got_name;
+  *n = static_cast<int>(*got_n);
+  return Status::OK();
+}
+
+std::string EncodeTell(const std::string& name, const TrialResult& result) {
+  std::ostringstream out;
+  out << "tell";
+  PutStr(&out, "name", name);
+  PutStr(&out, "result", SerializeTrialResult(result));
+  return out.str();
+}
+
+Status DecodeTell(const std::string& payload, std::string* name,
+                  TrialResult* result) {
+  std::istringstream in(payload);
+  Result<std::string> got_name = DecodeHeaderName(&in, "tell");
+  if (!got_name.ok()) return got_name.status();
+  Result<std::string> line = GetStr(&in, "result");
+  if (!line.ok()) return line.status();
+  Result<TrialResult> got_result = ParseTrialResult(*line);
+  if (!got_result.ok()) return got_result.status();
+  *name = *got_name;
+  *result = std::move(got_result).ValueOrDie();
+  return Status::OK();
+}
+
+std::string EncodeTellBatch(const std::string& name,
+                            const std::vector<TrialResult>& results) {
+  std::ostringstream out;
+  out << "tellbatch";
+  PutStr(&out, "name", name);
+  PutInt(&out, "n", static_cast<int64_t>(results.size()));
+  for (const TrialResult& result : results) {
+    out << " x" << EncodeBytes(SerializeTrialResult(result));
+  }
+  return out.str();
+}
+
+Status DecodeTellBatch(const std::string& payload, std::string* name,
+                       std::vector<TrialResult>* results) {
+  std::istringstream in(payload);
+  Result<std::string> got_name = DecodeHeaderName(&in, "tellbatch");
+  if (!got_name.ok()) return got_name.status();
+  Result<int64_t> n = GetInt(&in, "n");
+  if (!n.ok()) return n.status();
+  std::vector<TrialResult> out;
+  out.reserve(ClampReserve(*n));
+  for (int64_t i = 0; i < *n; ++i) {
+    std::string token;
+    if (!(in >> token) || token.empty() || token[0] != 'x') {
+      return Status::InvalidArgument("wire: truncated tellbatch results");
+    }
+    Result<std::string> line = DecodeBytes(token.substr(1));
+    if (!line.ok()) return line.status();
+    Result<TrialResult> result = ParseTrialResult(*line);
+    if (!result.ok()) return result.status();
+    out.push_back(std::move(result).ValueOrDie());
+  }
+  *name = *got_name;
+  *results = std::move(out);
+  return Status::OK();
+}
+
+std::string EncodeError(WireError code, const std::string& message) {
+  std::ostringstream out;
+  out << "error";
+  PutInt(&out, "code", static_cast<int>(code));
+  PutStr(&out, "message", message);
+  return out.str();
+}
+
+Status DecodeError(const std::string& payload, WireError* code,
+                   std::string* message) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "error") {
+    return Status::InvalidArgument("wire: expected 'error' payload");
+  }
+  Result<int64_t> got_code = GetInt(&in, "code");
+  if (!got_code.ok()) return got_code.status();
+  Result<std::string> got_message = GetStr(&in, "message");
+  if (!got_message.ok()) return got_message.status();
+  *code = static_cast<WireError>(*got_code);
+  *message = *got_message;
+  return Status::OK();
+}
+
+std::string EncodeTrialReply(const Trial& trial) {
+  std::ostringstream out;
+  out << "trialreply";
+  PutStr(&out, "trial", SerializeTrial(trial));
+  return out.str();
+}
+
+Result<Trial> DecodeTrialReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "trialreply") {
+    return Status::InvalidArgument("wire: expected 'trialreply' payload");
+  }
+  Result<std::string> line = GetStr(&in, "trial");
+  if (!line.ok()) return line.status();
+  return ParseTrial(*line);
+}
+
+std::string EncodeTrialsReply(const std::vector<Trial>& trials) {
+  std::ostringstream out;
+  out << "trialsreply";
+  PutInt(&out, "n", static_cast<int64_t>(trials.size()));
+  for (const Trial& trial : trials) {
+    out << " x" << EncodeBytes(SerializeTrial(trial));
+  }
+  return out.str();
+}
+
+Result<std::vector<Trial>> DecodeTrialsReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "trialsreply") {
+    return Status::InvalidArgument("wire: expected 'trialsreply' payload");
+  }
+  Result<int64_t> n = GetInt(&in, "n");
+  if (!n.ok()) return n.status();
+  std::vector<Trial> trials;
+  trials.reserve(ClampReserve(*n));
+  for (int64_t i = 0; i < *n; ++i) {
+    std::string token;
+    if (!(in >> token) || token.empty() || token[0] != 'x') {
+      return Status::InvalidArgument("wire: truncated trials reply");
+    }
+    Result<std::string> line = DecodeBytes(token.substr(1));
+    if (!line.ok()) return line.status();
+    Result<Trial> trial = ParseTrial(*line);
+    if (!trial.ok()) return trial.status();
+    trials.push_back(std::move(trial).ValueOrDie());
+  }
+  return trials;
+}
+
+std::string EncodeSteppedReply(bool progressed) {
+  std::ostringstream out;
+  out << "stepped";
+  PutBool(&out, "progressed", progressed);
+  return out.str();
+}
+
+Result<bool> DecodeSteppedReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "stepped") {
+    return Status::InvalidArgument("wire: expected 'stepped' payload");
+  }
+  return GetBool(&in, "progressed");
+}
+
+std::string EncodeStatusReply(const WireSessionStatus& status) {
+  std::ostringstream out;
+  out << "statusreply";
+  EncodeStatusInto(&out, status);
+  return out.str();
+}
+
+Result<WireSessionStatus> DecodeStatusReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "statusreply") {
+    return Status::InvalidArgument("wire: expected 'statusreply' payload");
+  }
+  return DecodeStatusFrom(&in);
+}
+
+std::string EncodeStatusListReply(const std::vector<WireSessionStatus>& list) {
+  std::ostringstream out;
+  out << "statuslist";
+  PutInt(&out, "n", static_cast<int64_t>(list.size()));
+  for (const WireSessionStatus& status : list) {
+    EncodeStatusInto(&out, status);
+  }
+  return out.str();
+}
+
+Result<std::vector<WireSessionStatus>> DecodeStatusListReply(
+    const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "statuslist") {
+    return Status::InvalidArgument("wire: expected 'statuslist' payload");
+  }
+  Result<int64_t> n = GetInt(&in, "n");
+  if (!n.ok()) return n.status();
+  std::vector<WireSessionStatus> list;
+  list.reserve(ClampReserve(*n));
+  for (int64_t i = 0; i < *n; ++i) {
+    Result<WireSessionStatus> status = DecodeStatusFrom(&in);
+    if (!status.ok()) return status.status();
+    list.push_back(std::move(status).ValueOrDie());
+  }
+  return list;
+}
+
+std::string EncodeCheckpointReply(const std::string& checkpoint) {
+  std::ostringstream out;
+  out << "checkpointreply";
+  PutStr(&out, "checkpoint", checkpoint);
+  return out.str();
+}
+
+Result<std::string> DecodeCheckpointReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "checkpointreply") {
+    return Status::InvalidArgument("wire: expected 'checkpointreply' payload");
+  }
+  return GetStr(&in, "checkpoint");
+}
+
+std::string EncodeClosedReply(const WireCloseResult& result) {
+  std::ostringstream out;
+  out << "closed";
+  PutInt(&out, "iterations", result.iterations_run);
+  PutBits(&out, "best", result.best_performance);
+  PutBits(&out, "default", result.default_performance);
+  return out.str();
+}
+
+Result<WireCloseResult> DecodeClosedReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "closed") {
+    return Status::InvalidArgument("wire: expected 'closed' payload");
+  }
+  WireCloseResult result;
+  Result<int64_t> iterations = GetInt(&in, "iterations");
+  if (!iterations.ok()) return iterations.status();
+  result.iterations_run = static_cast<int>(*iterations);
+  Result<double> best = GetBits(&in, "best");
+  if (!best.ok()) return best.status();
+  result.best_performance = *best;
+  Result<double> default_performance = GetBits(&in, "default");
+  if (!default_performance.ok()) return default_performance.status();
+  result.default_performance = *default_performance;
+  return result;
+}
+
+}  // namespace net
+}  // namespace llamatune

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/trial.h"
+#include "src/knobs/knob.h"
+#include "src/net/frame.h"
+#include "src/service/tuning_service.h"
+
+namespace llamatune {
+namespace net {
+
+/// \brief Typed error codes carried by kError replies
+/// (docs/wire-protocol.md lists the full table).
+///
+/// Values are part of the protocol: never renumber, only append. The
+/// codes mirror StatusCode where one exists — WireErrorFromStatus /
+/// StatusFromWireError round-trip losslessly — plus the wire-only
+/// conditions (malformed payloads, garbage kinds, framing faults).
+enum class WireError : uint8_t {
+  kMalformed = 1,    ///< frame was sound but the payload didn't parse
+  kUnknownKind = 2,  ///< well-framed request with an unassigned kind byte
+  kBadFrame = 3,     ///< framing fault; sent once, then the conn closes
+  kBusy = 4,         ///< admission queue full — retry later
+  kQuotaExceeded = 5,  ///< per-tenant session quota hit
+  kSessionNotFound = 6,
+  kSessionAlreadyExists = 7,
+  kInvalidArgument = 8,
+  kOutOfRange = 9,
+  kNotFound = 10,
+  kAlreadyExists = 11,
+  kFailedPrecondition = 12,
+  kInternal = 13,
+  kNotImplemented = 14,
+  kShuttingDown = 15,  ///< server is stopping; connection will close
+};
+
+WireError WireErrorFromStatus(const Status& status);
+
+/// Rebuilds a Status from a kError reply (the client's view).
+Status StatusFromWireError(WireError code, std::string message);
+
+/// \brief A SessionSpec that can cross the wire. Exactly one source:
+/// a workload *name* (resolved server-side via dbsim::WorkloadByName)
+/// or a serialized knob space (the server owns the rebuilt ConfigSpace
+/// for the session's lifetime). Pointer-based sources (external
+/// ObjectiveFunction) and per-session simulator/early-stopping options
+/// cannot cross a process boundary and stay API-only.
+struct WireSessionSpec {
+  /// Workload source ("YCSB-A", "TPC-C", ...); empty for space specs.
+  std::string workload;
+  /// Space source: the external DBMS's knob list (KnobSpec.description
+  /// is not sent — it is cosmetic and can be large).
+  std::vector<KnobSpec> space_knobs;
+  /// Objective convention for space sources (false = latency-style).
+  bool maximize = true;
+
+  std::string optimizer_key = "smac";
+  std::string adapter_key = "llamatune";
+  uint64_t seed = 42;
+  int num_iterations = 100;
+  int batch_size = 1;
+  int num_threads = 0;
+};
+
+/// \brief SessionStatus plus the server-side overlay.
+struct WireSessionStatus {
+  service::SessionStatus status;
+  /// True while a background drive (kStartDrive) is running.
+  bool driving = false;
+};
+
+/// \brief Final scalars returned by kClosedReply (the full
+/// SessionResult knowledge base stays server-side; fetch a checkpoint
+/// before closing if you need the trajectory).
+struct WireCloseResult {
+  int iterations_run = 0;
+  double best_performance = 0.0;
+  double default_performance = 0.0;
+};
+
+/// \name Payload codecs
+///
+/// Payloads are single-line whitespace-delimited token streams in the
+/// style of the checkpoint format: doubles as bit-pattern hex
+/// (serde.h), strings as 'x'-prefixed hex so empty strings survive
+/// tokenization, nested structures (trials, results, checkpoints) as
+/// one hex token of their own serialized form. Every decoder is total:
+/// any byte sequence returns a Status, never crashes (fuzz-pinned by
+/// tests/net_test.cc).
+/// @{
+
+std::string EncodeHello(const std::string& tenant);
+Result<std::string> DecodeHello(const std::string& payload);
+
+std::string EncodeSessionSpec(const WireSessionSpec& spec);
+Result<WireSessionSpec> DecodeSessionSpec(const std::string& payload);
+
+std::string EncodeCreateSession(const std::string& name,
+                                const WireSessionSpec& spec);
+Status DecodeCreateSession(const std::string& payload, std::string* name,
+                           WireSessionSpec* spec);
+
+std::string EncodeResume(const std::string& name, const WireSessionSpec& spec,
+                         const std::string& checkpoint);
+Status DecodeResume(const std::string& payload, std::string* name,
+                    WireSessionSpec* spec, std::string* checkpoint);
+
+/// kResumeSaved, kAsk, kStep, kStartDrive, kGetStatus, kCheckpoint and
+/// kClose all carry just a session name.
+std::string EncodeNameOnly(const std::string& name);
+Result<std::string> DecodeNameOnly(const std::string& payload);
+
+std::string EncodeAskBatch(const std::string& name, int n);
+Status DecodeAskBatch(const std::string& payload, std::string* name, int* n);
+
+std::string EncodeTell(const std::string& name, const TrialResult& result);
+Status DecodeTell(const std::string& payload, std::string* name,
+                  TrialResult* result);
+
+std::string EncodeTellBatch(const std::string& name,
+                            const std::vector<TrialResult>& results);
+Status DecodeTellBatch(const std::string& payload, std::string* name,
+                       std::vector<TrialResult>* results);
+
+std::string EncodeError(WireError code, const std::string& message);
+Status DecodeError(const std::string& payload, WireError* code,
+                   std::string* message);
+
+std::string EncodeTrialReply(const Trial& trial);
+Result<Trial> DecodeTrialReply(const std::string& payload);
+
+std::string EncodeTrialsReply(const std::vector<Trial>& trials);
+Result<std::vector<Trial>> DecodeTrialsReply(const std::string& payload);
+
+std::string EncodeSteppedReply(bool progressed);
+Result<bool> DecodeSteppedReply(const std::string& payload);
+
+std::string EncodeStatusReply(const WireSessionStatus& status);
+Result<WireSessionStatus> DecodeStatusReply(const std::string& payload);
+
+std::string EncodeStatusListReply(const std::vector<WireSessionStatus>& list);
+Result<std::vector<WireSessionStatus>> DecodeStatusListReply(
+    const std::string& payload);
+
+std::string EncodeCheckpointReply(const std::string& checkpoint);
+Result<std::string> DecodeCheckpointReply(const std::string& payload);
+
+std::string EncodeClosedReply(const WireCloseResult& result);
+Result<WireCloseResult> DecodeClosedReply(const std::string& payload);
+
+/// @}
+
+}  // namespace net
+}  // namespace llamatune

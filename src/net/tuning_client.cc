@@ -1,0 +1,210 @@
+#include "src/net/tuning_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace llamatune {
+namespace net {
+
+TuningClient::~TuningClient() { Disconnect(); }
+
+Status TuningClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("client: already connected");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("client: bad IPv4 address '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("client: socket(): ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("client: connect(" + host + ":" +
+                                     std::to_string(port) +
+                                     "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  return Status::OK();
+}
+
+void TuningClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TuningClient::WriteAll(const std::string& bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + written, bytes.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("client: send(): ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> TuningClient::Call(MessageKind kind, const std::string& payload,
+                                 MessageKind expected) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  LT_RETURN_NOT_OK(WriteAll(EncodeFrame(kind, payload)));
+  char buf[4096];
+  for (;;) {
+    Result<std::optional<Frame>> next = decoder_.Next();
+    if (!next.ok()) {
+      Disconnect();
+      return next.status();
+    }
+    if (next->has_value()) {
+      Frame frame = std::move(**next);
+      if (frame.kind == MessageKind::kError) {
+        WireError code = WireError::kInternal;
+        std::string message;
+        Status parse = DecodeError(frame.payload, &code, &message);
+        if (!parse.ok()) return parse;
+        return StatusFromWireError(code, std::move(message));
+      }
+      if (frame.kind != expected) {
+        Disconnect();
+        return Status::Internal(
+            "client: unexpected reply kind " +
+            std::to_string(static_cast<int>(frame.kind)) + " (wanted " +
+            std::to_string(static_cast<int>(expected)) + ")");
+      }
+      return frame;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Disconnect();
+      return Status::Internal("client: server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::Internal(std::string("client: recv(): ") +
+                                       std::strerror(errno));
+      Disconnect();
+      return status;
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Status TuningClient::Hello(const std::string& tenant) {
+  return Call(MessageKind::kHello, EncodeHello(tenant), MessageKind::kOk)
+      .status();
+}
+
+Status TuningClient::CreateSession(const std::string& name,
+                                   const WireSessionSpec& spec) {
+  return Call(MessageKind::kCreateSession, EncodeCreateSession(name, spec),
+              MessageKind::kOk)
+      .status();
+}
+
+Status TuningClient::Resume(const std::string& name,
+                            const WireSessionSpec& spec,
+                            const std::string& checkpoint) {
+  return Call(MessageKind::kResume, EncodeResume(name, spec, checkpoint),
+              MessageKind::kOk)
+      .status();
+}
+
+Status TuningClient::ResumeSaved(const std::string& name) {
+  return Call(MessageKind::kResumeSaved, EncodeNameOnly(name), MessageKind::kOk)
+      .status();
+}
+
+Result<Trial> TuningClient::Ask(const std::string& name) {
+  Result<Frame> reply =
+      Call(MessageKind::kAsk, EncodeNameOnly(name), MessageKind::kTrialReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeTrialReply(reply->payload);
+}
+
+Result<std::vector<Trial>> TuningClient::AskBatch(const std::string& name,
+                                                  int n) {
+  Result<Frame> reply = Call(MessageKind::kAskBatch, EncodeAskBatch(name, n),
+                             MessageKind::kTrialsReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeTrialsReply(reply->payload);
+}
+
+Status TuningClient::Tell(const std::string& name, const TrialResult& result) {
+  return Call(MessageKind::kTell, EncodeTell(name, result), MessageKind::kOk)
+      .status();
+}
+
+Status TuningClient::TellBatch(const std::string& name,
+                               const std::vector<TrialResult>& results) {
+  return Call(MessageKind::kTellBatch, EncodeTellBatch(name, results),
+              MessageKind::kOk)
+      .status();
+}
+
+Status TuningClient::Step(const std::string& name, bool* progressed) {
+  Result<Frame> reply = Call(MessageKind::kStep, EncodeNameOnly(name),
+                             MessageKind::kSteppedReply);
+  if (!reply.ok()) return reply.status();
+  Result<bool> got = DecodeSteppedReply(reply->payload);
+  if (!got.ok()) return got.status();
+  if (progressed != nullptr) *progressed = *got;
+  return Status::OK();
+}
+
+Status TuningClient::StartDrive(const std::string& name) {
+  return Call(MessageKind::kStartDrive, EncodeNameOnly(name), MessageKind::kOk)
+      .status();
+}
+
+Result<WireSessionStatus> TuningClient::GetStatus(const std::string& name) {
+  Result<Frame> reply = Call(MessageKind::kGetStatus, EncodeNameOnly(name),
+                             MessageKind::kStatusReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeStatusReply(reply->payload);
+}
+
+Result<std::vector<WireSessionStatus>> TuningClient::ListSessions() {
+  Result<Frame> reply = Call(MessageKind::kListSessions, "",
+                             MessageKind::kStatusListReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeStatusListReply(reply->payload);
+}
+
+Result<std::string> TuningClient::Checkpoint(const std::string& name) {
+  Result<Frame> reply = Call(MessageKind::kCheckpoint, EncodeNameOnly(name),
+                             MessageKind::kCheckpointReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeCheckpointReply(reply->payload);
+}
+
+Result<WireCloseResult> TuningClient::Close(const std::string& name) {
+  Result<Frame> reply = Call(MessageKind::kClose, EncodeNameOnly(name),
+                             MessageKind::kClosedReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeClosedReply(reply->payload);
+}
+
+Status TuningClient::Ping() {
+  return Call(MessageKind::kPing, "", MessageKind::kPongReply).status();
+}
+
+}  // namespace net
+}  // namespace llamatune

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/trial.h"
+#include "src/net/frame.h"
+#include "src/net/message.h"
+
+namespace llamatune {
+namespace net {
+
+/// \brief Blocking client for a TuningServer: the remote face of
+/// TuningService, one method per request kind.
+///
+/// The client is deliberately thin — it owns one TCP connection, sends
+/// one frame per call and blocks until the matching reply arrives
+/// (kError replies come back as the typed Status they encode, so
+/// remote error handling reads exactly like in-process error
+/// handling). It is not thread-safe; use one client per thread or
+/// serialize calls externally.
+class TuningClient {
+ public:
+  TuningClient() = default;
+  ~TuningClient();
+  TuningClient(const TuningClient&) = delete;
+  TuningClient& operator=(const TuningClient&) = delete;
+
+  /// Connects to `host:port`. `host` must be a numeric IPv4 address
+  /// (the server binds "127.0.0.1" by default).
+  Status Connect(const std::string& host, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Declares this connection's tenant for quota accounting. Optional;
+  /// connections that never say hello share the "" tenant.
+  Status Hello(const std::string& tenant);
+
+  Status CreateSession(const std::string& name, const WireSessionSpec& spec);
+  Status Resume(const std::string& name, const WireSessionSpec& spec,
+                const std::string& checkpoint);
+  /// Resumes from the server-side autosave of `name` (see
+  /// TuningServerOptions::autosave_dir).
+  Status ResumeSaved(const std::string& name);
+
+  Result<Trial> Ask(const std::string& name);
+  Result<std::vector<Trial>> AskBatch(const std::string& name, int n);
+  Status Tell(const std::string& name, const TrialResult& result);
+  Status TellBatch(const std::string& name,
+                   const std::vector<TrialResult>& results);
+
+  Status Step(const std::string& name, bool* progressed = nullptr);
+  /// Asks the server to drive the session to completion in the
+  /// background; returns as soon as the drive is registered. Poll
+  /// GetStatus() for progress (WireSessionStatus::driving).
+  Status StartDrive(const std::string& name);
+
+  Result<WireSessionStatus> GetStatus(const std::string& name);
+  Result<std::vector<WireSessionStatus>> ListSessions();
+  Result<std::string> Checkpoint(const std::string& name);
+  Result<WireCloseResult> Close(const std::string& name);
+
+  Status Ping();
+
+ private:
+  /// Sends one request frame, blocks for one reply frame. A kError
+  /// reply is decoded into its typed Status; a reply of any kind other
+  /// than `expected` is an Internal error (protocol violation).
+  Result<Frame> Call(MessageKind kind, const std::string& payload,
+                     MessageKind expected);
+  Status WriteAll(const std::string& bytes);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace llamatune

@@ -1,0 +1,737 @@
+#include "src/net/tuning_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/thread_pool.h"
+#include "src/dbsim/workloads.h"
+
+namespace llamatune {
+namespace net {
+
+namespace {
+
+/// Writes all of [data, data+n) to a non-blocking socket, waiting for
+/// writability when the send buffer fills. Returns false on error or
+/// on a peer that stays unwritable for 5s (a stalled reader must not
+/// wedge the server forever).
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t rc = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      off += static_cast<size_t>(rc);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd p;
+      p.fd = fd;
+      p.events = POLLOUT;
+      p.revents = 0;
+      if (::poll(&p, 1, 5000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string MalformedReplyFrame(const Status& status) {
+  return EncodeFrame(MessageKind::kError,
+                     EncodeError(WireError::kMalformed, status.message()));
+}
+
+}  // namespace
+
+TuningServer::Conn::~Conn() { ::close(fd); }
+
+TuningServer::TuningServer(TuningServerOptions options)
+    : options_(std::move(options)) {}
+
+TuningServer::~TuningServer() { Stop(); }
+
+Status TuningServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server: already running");
+  }
+  if (!options_.autosave_dir.empty()) {
+    ::mkdir(options_.autosave_dir.c_str(), 0755);
+    struct stat sb;
+    if (::stat(options_.autosave_dir.c_str(), &sb) != 0 ||
+        !S_ISDIR(sb.st_mode)) {
+      return Status::InvalidArgument("server: autosave dir '" +
+                                     options_.autosave_dir +
+                                     "' is not a usable directory");
+    }
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("server: bad IPv4 address '" +
+                                   options_.host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("server: socket(): ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal(
+        "server: bind(" + options_.host + ":" +
+        std::to_string(options_.port) + "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status status = Status::Internal(std::string("server: getsockname(): ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, 128) != 0) {
+    Status status = Status::Internal(std::string("server: listen(): ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::pipe2(wake_pipe_, O_NONBLOCK) != 0) {
+    Status status = Status::Internal(std::string("server: pipe2(): ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  listen_fd_ = fd;
+  stopping_.store(false);
+  running_.store(true);
+  loop_ = std::thread(&TuningServer::EventLoop, this);
+  return Status::OK();
+}
+
+void TuningServer::Stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  char byte = 'x';
+  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  loop_.join();
+  {
+    std::unique_lock<std::mutex> lock(tasks_mu_);
+    tasks_cv_.wait(lock, [this] { return active_tasks_ == 0; });
+  }
+  if (!options_.autosave_dir.empty()) {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    AutosaveSweep();
+  }
+  conns_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  running_.store(false);
+}
+
+void TuningServer::EventLoop() {
+  const int64_t autosave_period = options_.autosave_interval_ms;
+  const int64_t evict_period =
+      options_.idle_eviction_ms > 0
+          ? std::max<int64_t>(options_.idle_eviction_ms / 4, 10)
+          : 0;
+  int64_t next_autosave = autosave_period > 0
+                              ? service::NowUnixMillis() + autosave_period
+                              : INT64_MAX;
+  int64_t next_evict =
+      evict_period > 0 ? service::NowUnixMillis() + evict_period : INT64_MAX;
+
+  std::vector<pollfd> fds;
+  while (!stopping_.load()) {
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+
+    int64_t now = service::NowUnixMillis();
+    int64_t next_timer = std::min(next_autosave, next_evict);
+    int timeout_ms = 1000;
+    if (next_timer != INT64_MAX) {
+      int64_t wait = next_timer - now;
+      if (wait < 0) wait = 0;
+      if (wait < timeout_ms) timeout_ms = static_cast<int>(wait);
+    }
+    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (stopping_.load()) break;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    now = service::NowUnixMillis();
+    if (now >= next_autosave) {
+      std::lock_guard<std::mutex> lock(maintenance_mu_);
+      AutosaveSweep();
+      next_autosave = now + autosave_period;
+    }
+    if (now >= next_evict) {
+      std::lock_guard<std::mutex> lock(maintenance_mu_);
+      EvictionSweep();
+      next_evict = now + evict_period;
+    }
+    if (rc == 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      for (;;) {
+        int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (cfd < 0) break;
+        conns_.emplace(
+            cfd, std::make_shared<Conn>(cfd, options_.max_frame_payload));
+      }
+    }
+    for (size_t i = 2; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      auto it = conns_.find(fds[i].fd);
+      if (it == conns_.end()) continue;
+      ConnPtr conn = it->second;
+      bool alive = true;
+      HandleReadable(conn);
+      if (conn->closed.load()) alive = false;
+      if (!alive) conns_.erase(it);
+    }
+  }
+}
+
+void TuningServer::HandleReadable(const ConnPtr& conn) {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn->closed.store(true);
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->closed.store(true);
+    break;
+  }
+
+  for (;;) {
+    Result<std::optional<Frame>> next = conn->decoder.Next();
+    if (!next.ok()) {
+      // Framing faults are unrecoverable (the stream has lost sync):
+      // answer once with BadFrame, then drop the connection.
+      WriteFrame(conn, MessageKind::kError,
+                 EncodeError(WireError::kBadFrame, next.status().ToString()));
+      conn->closed.store(true);
+      return;
+    }
+    if (!next->has_value()) return;
+    Frame frame = std::move(**next);
+
+    if (pending_requests_.load() >= options_.max_pending_requests) {
+      busy_rejections_.fetch_add(1);
+      WriteFrame(conn, MessageKind::kError,
+                 EncodeError(WireError::kBusy,
+                             "server busy: pending-request queue is full"));
+      continue;
+    }
+    pending_requests_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->inbox.push_back(std::move(frame));
+    }
+    Dispatch(conn);
+  }
+}
+
+void TuningServer::Dispatch(const ConnPtr& conn) {
+  Frame frame;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->busy || conn->inbox.empty()) return;
+    conn->busy = true;
+    frame = std::move(conn->inbox.front());
+    conn->inbox.pop_front();
+  }
+  TaskStarted();
+  ThreadPool::Global().Submit(
+      [this, conn, frame = std::move(frame)]() mutable {
+        RunHandler(conn, std::move(frame));
+      });
+}
+
+void TuningServer::RunHandler(const ConnPtr& conn, Frame frame) {
+  std::string reply = HandleRequest(conn, frame);
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (!conn->closed.load() &&
+        !SendAll(conn->fd, reply.data(), reply.size())) {
+      conn->closed.store(true);
+    }
+  }
+  pending_requests_.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->busy = false;
+  }
+  Dispatch(conn);
+  TaskFinished();
+}
+
+void TuningServer::WriteFrame(const ConnPtr& conn, MessageKind kind,
+                              const std::string& payload) {
+  std::string bytes = EncodeFrame(kind, payload);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load()) return;
+  if (!SendAll(conn->fd, bytes.data(), bytes.size())) {
+    conn->closed.store(true);
+  }
+}
+
+std::string TuningServer::ErrorReplyFrame(const Status& status) const {
+  return EncodeFrame(
+      MessageKind::kError,
+      EncodeError(WireErrorFromStatus(status), status.message()));
+}
+
+std::string TuningServer::HandleRequest(const ConnPtr& conn,
+                                        const Frame& frame) {
+  switch (frame.kind) {
+    case MessageKind::kHello: {
+      Result<std::string> tenant = DecodeHello(frame.payload);
+      if (!tenant.ok()) return MalformedReplyFrame(tenant.status());
+      conn->tenant = *tenant;
+      return EncodeFrame(MessageKind::kOk, "");
+    }
+    case MessageKind::kCreateSession:
+    case MessageKind::kResume:
+      return HandleCreateOrResume(conn, frame);
+    case MessageKind::kResumeSaved: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      return HandleResumeSaved(conn, *name);
+    }
+    case MessageKind::kAsk: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      Result<Trial> trial = service_.Ask(*name);
+      if (!trial.ok()) return ErrorReplyFrame(trial.status());
+      return EncodeFrame(MessageKind::kTrialReply, EncodeTrialReply(*trial));
+    }
+    case MessageKind::kAskBatch: {
+      std::string name;
+      int n = 0;
+      Status parse = DecodeAskBatch(frame.payload, &name, &n);
+      if (!parse.ok()) return MalformedReplyFrame(parse);
+      Result<std::vector<Trial>> trials = service_.AskBatch(name, n);
+      if (!trials.ok()) return ErrorReplyFrame(trials.status());
+      return EncodeFrame(MessageKind::kTrialsReply,
+                         EncodeTrialsReply(*trials));
+    }
+    case MessageKind::kTell: {
+      std::string name;
+      TrialResult result;
+      Status parse = DecodeTell(frame.payload, &name, &result);
+      if (!parse.ok()) return MalformedReplyFrame(parse);
+      Status told = service_.Tell(name, result);
+      if (!told.ok()) return ErrorReplyFrame(told);
+      return EncodeFrame(MessageKind::kOk, "");
+    }
+    case MessageKind::kTellBatch: {
+      std::string name;
+      std::vector<TrialResult> results;
+      Status parse = DecodeTellBatch(frame.payload, &name, &results);
+      if (!parse.ok()) return MalformedReplyFrame(parse);
+      Status told = service_.TellBatch(name, results);
+      if (!told.ok()) return ErrorReplyFrame(told);
+      return EncodeFrame(MessageKind::kOk, "");
+    }
+    case MessageKind::kStep: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      bool progressed = false;
+      Status stepped = service_.Step(*name, &progressed);
+      if (!stepped.ok()) return ErrorReplyFrame(stepped);
+      return EncodeFrame(MessageKind::kSteppedReply,
+                         EncodeSteppedReply(progressed));
+    }
+    case MessageKind::kStartDrive: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      return HandleStartDrive(*name);
+    }
+    case MessageKind::kGetStatus: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      Result<service::SessionStatus> status = service_.GetStatus(*name);
+      if (!status.ok()) return ErrorReplyFrame(status.status());
+      WireSessionStatus wire;
+      wire.status = *status;
+      {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        auto it = metas_.find(*name);
+        if (it != metas_.end()) wire.driving = it->second->driving.load();
+      }
+      return EncodeFrame(MessageKind::kStatusReply, EncodeStatusReply(wire));
+    }
+    case MessageKind::kListSessions: {
+      std::vector<service::SessionStatus> statuses = service_.ListSessions();
+      std::vector<WireSessionStatus> wire;
+      wire.reserve(statuses.size());
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      for (service::SessionStatus& status : statuses) {
+        WireSessionStatus w;
+        auto it = metas_.find(status.name);
+        if (it != metas_.end()) w.driving = it->second->driving.load();
+        w.status = std::move(status);
+        wire.push_back(std::move(w));
+      }
+      return EncodeFrame(MessageKind::kStatusListReply,
+                         EncodeStatusListReply(wire));
+    }
+    case MessageKind::kCheckpoint: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      Result<std::string> checkpoint = service_.Checkpoint(*name);
+      if (!checkpoint.ok()) return ErrorReplyFrame(checkpoint.status());
+      return EncodeFrame(MessageKind::kCheckpointReply,
+                         EncodeCheckpointReply(*checkpoint));
+    }
+    case MessageKind::kClose: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      return HandleClose(*name);
+    }
+    case MessageKind::kPing:
+      return EncodeFrame(MessageKind::kPongReply, frame.payload);
+    default:
+      return EncodeFrame(
+          MessageKind::kError,
+          EncodeError(WireError::kUnknownKind,
+                      "unknown or non-request message kind " +
+                          std::to_string(static_cast<int>(frame.kind))));
+  }
+}
+
+std::string TuningServer::HandleCreateOrResume(const ConnPtr& conn,
+                                               const Frame& frame) {
+  std::string name, checkpoint;
+  WireSessionSpec wire;
+  Status parse =
+      frame.kind == MessageKind::kCreateSession
+          ? DecodeCreateSession(frame.payload, &name, &wire)
+          : DecodeResume(frame.payload, &name, &wire, &checkpoint);
+  if (!parse.ok()) return MalformedReplyFrame(parse);
+
+  auto meta = std::make_shared<SessionMeta>();
+  meta->spec = wire;
+  meta->tenant = conn->tenant;
+  service::SessionSpec spec;
+  Status built = BuildSessionSpec(wire, &meta->owned_space, &spec);
+  if (!built.ok()) return ErrorReplyFrame(built);
+
+  Status quota = ReserveTenantSlot(meta->tenant);
+  if (!quota.ok()) return ErrorReplyFrame(quota);
+  Status registered = frame.kind == MessageKind::kCreateSession
+                          ? service_.CreateSession(name, spec)
+                          : service_.Resume(name, spec, checkpoint);
+  if (!registered.ok()) {
+    ReleaseTenantSlot(meta->tenant);
+    return ErrorReplyFrame(registered);
+  }
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    metas_[name] = std::move(meta);
+  }
+  return EncodeFrame(MessageKind::kOk, "");
+}
+
+std::string TuningServer::HandleResumeSaved(const ConnPtr& conn,
+                                            const std::string& name) {
+  if (options_.autosave_dir.empty()) {
+    return ErrorReplyFrame(
+        Status::FailedPrecondition("server: autosave is not configured"));
+  }
+  std::ifstream in(AutosavePath(name), std::ios::binary);
+  if (!in) {
+    return ErrorReplyFrame(
+        Status::NotFound("server: no autosave for session '" + name + "'"));
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  std::string text = content.str();
+  size_t newline = text.find('\n');
+  if (newline == std::string::npos) {
+    return ErrorReplyFrame(
+        Status::Internal("server: corrupt autosave for '" + name + "'"));
+  }
+  Result<WireSessionSpec> wire = DecodeSessionSpec(text.substr(0, newline));
+  if (!wire.ok()) return ErrorReplyFrame(wire.status());
+  std::string checkpoint = text.substr(newline + 1);
+
+  auto meta = std::make_shared<SessionMeta>();
+  meta->spec = *wire;
+  meta->tenant = conn->tenant;
+  service::SessionSpec spec;
+  Status built = BuildSessionSpec(meta->spec, &meta->owned_space, &spec);
+  if (!built.ok()) return ErrorReplyFrame(built);
+
+  Status quota = ReserveTenantSlot(meta->tenant);
+  if (!quota.ok()) return ErrorReplyFrame(quota);
+  Status resumed = service_.Resume(name, spec, checkpoint);
+  if (!resumed.ok()) {
+    ReleaseTenantSlot(meta->tenant);
+    return ErrorReplyFrame(resumed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    metas_[name] = std::move(meta);
+  }
+  return EncodeFrame(MessageKind::kOk, "");
+}
+
+std::string TuningServer::HandleStartDrive(const std::string& name) {
+  Result<service::SessionStatus> status = service_.GetStatus(name);
+  if (!status.ok()) return ErrorReplyFrame(status.status());
+  if (status->external) {
+    return ErrorReplyFrame(Status::FailedPrecondition(
+        "server: session '" + name +
+        "' is caller-driven (space source); use Ask/Tell"));
+  }
+  MetaPtr meta;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = metas_.find(name);
+    if (it != metas_.end()) meta = it->second;
+  }
+  if (meta == nullptr) {
+    // Session created in-process through service(): still driveable,
+    // just invisible to autosave (no wire spec to persist).
+    meta = std::make_shared<SessionMeta>();
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    metas_.emplace(name, meta);
+    meta = metas_[name];
+  }
+  if (meta->driving.exchange(true)) {
+    return EncodeFrame(MessageKind::kOk, "");  // idempotent
+  }
+  TaskStarted();
+  ThreadPool::Global().Submit([this, name, meta] { DriveStep(name, meta); });
+  return EncodeFrame(MessageKind::kOk, "");
+}
+
+void TuningServer::DriveStep(const std::string& name, MetaPtr meta) {
+  bool progressed = false;
+  Status status = service_.Step(name, &progressed);
+  if (stopping_.load() || !status.ok() || !progressed) {
+    meta->driving.store(false);
+    TaskFinished();
+    return;
+  }
+  // Requeue one step at a time instead of looping: on a small pool
+  // this interleaves fairly with request handlers and other drives.
+  ThreadPool::Global().Submit([this, name, meta = std::move(meta)] {
+    DriveStep(name, std::move(meta));
+  });
+}
+
+std::string TuningServer::HandleClose(const std::string& name) {
+  Result<SessionResult> closed = service_.Close(name);
+  if (!closed.ok()) return ErrorReplyFrame(closed.status());
+  MetaPtr meta;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = metas_.find(name);
+    if (it != metas_.end()) {
+      meta = std::move(it->second);
+      metas_.erase(it);
+    }
+  }
+  if (meta != nullptr) {
+    ReleaseTenantSlot(meta->tenant);
+    if (!options_.autosave_dir.empty()) {
+      ::unlink(AutosavePath(name).c_str());  // explicit close: done for good
+    }
+  }
+  WireCloseResult result;
+  result.iterations_run = closed->iterations_run;
+  result.best_performance = closed->best_performance;
+  result.default_performance = closed->default_performance;
+  return EncodeFrame(MessageKind::kClosedReply, EncodeClosedReply(result));
+}
+
+Status TuningServer::BuildSessionSpec(const WireSessionSpec& wire,
+                                      std::unique_ptr<ConfigSpace>* owned_space,
+                                      service::SessionSpec* out) {
+  if (!wire.workload.empty()) {
+    Result<dbsim::WorkloadSpec> workload = dbsim::WorkloadByName(wire.workload);
+    if (!workload.ok()) return workload.status();
+    out->workload = *workload;
+  } else {
+    Result<ConfigSpace> space = ConfigSpace::Create(wire.space_knobs);
+    if (!space.ok()) return space.status();
+    *owned_space =
+        std::make_unique<ConfigSpace>(std::move(space).ValueOrDie());
+    out->space = owned_space->get();
+    out->maximize = wire.maximize;
+  }
+  out->optimizer_key = wire.optimizer_key;
+  out->adapter_key = wire.adapter_key;
+  out->seed = wire.seed;
+  out->num_iterations = wire.num_iterations;
+  out->batch_size = wire.batch_size;
+  out->num_threads = wire.num_threads;
+  return Status::OK();
+}
+
+Status TuningServer::ReserveTenantSlot(const std::string& tenant) {
+  if (options_.max_sessions_per_tenant <= 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  int& count = tenant_sessions_[tenant];
+  if (count >= options_.max_sessions_per_tenant) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' is at its session quota (" +
+        std::to_string(options_.max_sessions_per_tenant) + ")");
+  }
+  ++count;
+  return Status::OK();
+}
+
+void TuningServer::ReleaseTenantSlot(const std::string& tenant) {
+  if (options_.max_sessions_per_tenant <= 0) return;
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = tenant_sessions_.find(tenant);
+  if (it != tenant_sessions_.end() && --it->second <= 0) {
+    tenant_sessions_.erase(it);
+  }
+}
+
+std::string TuningServer::AutosavePath(const std::string& name) const {
+  // Hex-encode the session name so arbitrary names can't escape the
+  // autosave directory or collide with each other's files.
+  return options_.autosave_dir + "/" + EncodeBytes(name) + ".autosave";
+}
+
+Status TuningServer::AutosaveSession(const std::string& name,
+                                     const MetaPtr& meta) {
+  Result<std::string> checkpoint = service_.Checkpoint(name);
+  if (!checkpoint.ok()) return checkpoint.status();
+  std::string path = AutosavePath(name);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("server: cannot write autosave tmp " + tmp);
+    }
+    out << EncodeSessionSpec(meta->spec) << '\n' << *checkpoint;
+    if (!out.good()) {
+      return Status::Internal("server: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(std::string("server: rename(): ") +
+                            std::strerror(errno));
+  }
+  autosaves_written_.fetch_add(1);
+  return Status::OK();
+}
+
+void TuningServer::AutosaveSweep() {
+  if (options_.autosave_dir.empty()) return;
+  for (const service::SessionStatus& status : service_.ListSessions()) {
+    MetaPtr meta;
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      auto it = metas_.find(status.name);
+      if (it != metas_.end()) meta = it->second;
+    }
+    // Only wire-created sessions carry a serializable spec; sessions
+    // created in-process (or bare drive metas) cannot be autosaved.
+    if (meta == nullptr ||
+        (meta->spec.workload.empty() && meta->spec.space_knobs.empty())) {
+      continue;
+    }
+    AutosaveSession(status.name, meta).ok();
+  }
+}
+
+void TuningServer::EvictionSweep() {
+  if (options_.idle_eviction_ms <= 0) return;
+  int64_t now = service::NowUnixMillis();
+  for (const service::SessionStatus& status : service_.ListSessions()) {
+    MetaPtr meta;
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      auto it = metas_.find(status.name);
+      if (it != metas_.end()) meta = it->second;
+    }
+    // The server only evicts sessions it created over the wire.
+    if (meta == nullptr || meta->driving.load()) continue;
+    if (now - status.last_activity_unix_ms < options_.idle_eviction_ms) {
+      continue;
+    }
+    if (!options_.autosave_dir.empty() &&
+        !(meta->spec.workload.empty() && meta->spec.space_knobs.empty())) {
+      AutosaveSession(status.name, meta).ok();
+    }
+    if (service_.Close(status.name).ok()) {
+      sessions_evicted_.fetch_add(1);
+      ReleaseTenantSlot(meta->tenant);
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      metas_.erase(status.name);
+    }
+  }
+}
+
+void TuningServer::RunMaintenance() {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  AutosaveSweep();
+  EvictionSweep();
+}
+
+void TuningServer::TaskStarted() {
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  ++active_tasks_;
+}
+
+void TuningServer::TaskFinished() {
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  --active_tasks_;
+  tasks_cv_.notify_all();
+}
+
+}  // namespace net
+}  // namespace llamatune

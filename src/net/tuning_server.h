@@ -1,0 +1,205 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/knobs/config_space.h"
+#include "src/net/frame.h"
+#include "src/net/message.h"
+#include "src/service/tuning_service.h"
+
+namespace llamatune {
+namespace net {
+
+/// \brief Knobs for one TuningServer instance.
+struct TuningServerOptions {
+  /// Numeric IPv4 bind address.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Per-tenant cap on live sessions created over the wire
+  /// (CreateSession / Resume / ResumeSaved); 0 = unlimited. Exceeding
+  /// it earns a QuotaExceeded error reply.
+  int max_sessions_per_tenant = 0;
+  /// Server-wide cap on requests admitted but not yet answered.
+  /// Overflow earns an immediate Busy error reply (which may overtake
+  /// earlier in-flight replies on the same connection).
+  int max_pending_requests = 256;
+  /// Per-connection frame payload cap (oversized frames are a framing
+  /// fault: one BadFrame error, then the connection closes).
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+
+  /// Sessions with no driving activity (ask/tell/step/drive — status
+  /// polls and checkpoints don't count) for this long are autosaved
+  /// (if autosave_dir is set) and closed; 0 disables eviction.
+  int64_t idle_eviction_ms = 0;
+  /// Directory for autosave snapshots (created by Start if missing);
+  /// empty disables autosave. Each wire-created session periodically
+  /// saves to <hex(name)>.autosave — spec line + checkpoint text — and
+  /// can be revived by ResumeSaved after a crash or eviction.
+  std::string autosave_dir;
+  /// Autosave sweep period; 0 disables the periodic sweep (explicit
+  /// RunMaintenance() calls still autosave).
+  int64_t autosave_interval_ms = 0;
+};
+
+/// \brief TCP front-end for TuningService: one poll()-based event-loop
+/// thread accepts connections and deframes requests; complete requests
+/// run on the shared ThreadPool. Replies on one connection stay in
+/// request order (per-connection FIFO — at most one in-flight handler
+/// per connection), while different connections proceed concurrently,
+/// mirroring the service's per-session concurrency contract.
+///
+/// Hardening beyond plain dispatch: per-tenant session quotas,
+/// admission control with Busy backpressure, idle-session eviction,
+/// periodic checkpoint autosave with ResumeSaved recovery, and
+/// background drive-to-completion for workload-backed sessions.
+class TuningServer {
+ public:
+  explicit TuningServer(TuningServerOptions options = TuningServerOptions());
+  ~TuningServer();
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  /// Binds, listens and starts the event loop.
+  Status Start();
+  /// Stops accepting, joins the loop, drains in-flight handlers and
+  /// background drives, closes all connections. Sessions stay in the
+  /// service (final autosave runs first when autosave is configured).
+  void Stop();
+
+  /// The bound port (valid after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  /// The underlying registry — in-process callers may drive sessions
+  /// directly, but sessions created this way are invisible to autosave
+  /// and quotas (the server has no wire spec for them).
+  service::TuningService& service() { return service_; }
+
+  /// Runs one autosave + eviction sweep synchronously (the same sweep
+  /// the loop runs on its timers). Exposed so tests don't race timers.
+  void RunMaintenance();
+
+  /// \name Observability counters
+  /// @{
+  int64_t busy_rejections() const { return busy_rejections_.load(); }
+  int64_t sessions_evicted() const { return sessions_evicted_.load(); }
+  int64_t autosaves_written() const { return autosaves_written_.load(); }
+  /// @}
+
+ private:
+  /// Per-connection state. Owned jointly by the event loop (poll set)
+  /// and any in-flight handler via shared_ptr; the destructor closes
+  /// the fd, so a handler can never write into a recycled descriptor.
+  struct Conn {
+    explicit Conn(int fd, size_t max_payload)
+        : fd(fd), decoder(max_payload) {}
+    ~Conn();
+    const int fd;
+    FrameDecoder decoder;
+    /// Tenant declared by kHello; "" until then.
+    std::string tenant;
+    /// Queued requests + the one-in-flight flag (guarded by mu).
+    std::deque<Frame> inbox;
+    bool busy = false;
+    std::mutex mu;
+    /// Serializes whole-frame writes so replies never interleave.
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  /// Server-side record of a wire-created session (what the service
+  /// itself doesn't know: the serializable spec, the owning tenant,
+  /// the rebuilt ConfigSpace for space sources, the drive flag).
+  struct SessionMeta {
+    WireSessionSpec spec;
+    std::string tenant;
+    std::unique_ptr<ConfigSpace> owned_space;
+    std::atomic<bool> driving{false};
+  };
+  using MetaPtr = std::shared_ptr<SessionMeta>;
+
+  void EventLoop();
+  void HandleReadable(const ConnPtr& conn);
+  /// Starts the next queued request if none is in flight (takes
+  /// conn->mu).
+  void Dispatch(const ConnPtr& conn);
+  /// Runs on the pool: answers one request, then re-dispatches.
+  void RunHandler(const ConnPtr& conn, Frame frame);
+  std::string HandleRequest(const ConnPtr& conn, const Frame& frame);
+  void WriteFrame(const ConnPtr& conn, MessageKind kind,
+                  const std::string& payload);
+  std::string ErrorReplyFrame(const Status& status) const;
+
+  /// Request handlers (pool threads).
+  std::string HandleCreateOrResume(const ConnPtr& conn, const Frame& frame);
+  std::string HandleResumeSaved(const ConnPtr& conn, const std::string& name);
+  std::string HandleStartDrive(const std::string& name);
+  std::string HandleClose(const std::string& name);
+  void DriveStep(const std::string& name, MetaPtr meta);
+
+  /// Converts a wire spec into a live SessionSpec (resolving the
+  /// workload name or rebuilding the knob space into *owned_space).
+  static Status BuildSessionSpec(const WireSessionSpec& wire,
+                                 std::unique_ptr<ConfigSpace>* owned_space,
+                                 service::SessionSpec* out);
+
+  /// Quota bookkeeping (meta_mu_).
+  Status ReserveTenantSlot(const std::string& tenant);
+  void ReleaseTenantSlot(const std::string& tenant);
+
+  std::string AutosavePath(const std::string& name) const;
+  Status AutosaveSession(const std::string& name, const MetaPtr& meta);
+  void AutosaveSweep();
+  void EvictionSweep();
+
+  void TaskStarted();
+  void TaskFinished();
+
+  TuningServerOptions options_;
+  service::TuningService service_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// fd -> connection, owned by the event loop (loop thread only after
+  /// Start, so unguarded there; Stop joins the loop before clearing).
+  std::map<int, ConnPtr> conns_;
+
+  /// Wire-created sessions + per-tenant counts (guarded by meta_mu_).
+  std::mutex meta_mu_;
+  std::map<std::string, MetaPtr> metas_;
+  std::map<std::string, int> tenant_sessions_;
+
+  /// One sweep at a time (loop timer vs RunMaintenance).
+  std::mutex maintenance_mu_;
+
+  /// Admitted-but-unanswered requests, for backpressure.
+  std::atomic<int> pending_requests_{0};
+  /// In-flight pool tasks (handlers + drive steps), drained by Stop.
+  std::mutex tasks_mu_;
+  std::condition_variable tasks_cv_;
+  int active_tasks_ = 0;
+
+  std::atomic<int64_t> busy_rejections_{0};
+  std::atomic<int64_t> sessions_evicted_{0};
+  std::atomic<int64_t> autosaves_written_{0};
+};
+
+}  // namespace net
+}  // namespace llamatune

@@ -1,9 +1,24 @@
 #include "src/service/tuning_service.h"
 
+#include <chrono>
 #include <utility>
 
 namespace llamatune {
 namespace service {
+
+int64_t NowUnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+Status NoSession(const std::string& name) {
+  return Status::SessionNotFound("TuningService: no session '" + name + "'");
+}
+
+}  // namespace
 
 Status TuningService::BuildEntry(const SessionSpec& spec,
                                  std::shared_ptr<Entry>* out) {
@@ -45,6 +60,9 @@ Status TuningService::BuildEntry(const SessionSpec& spec,
   entry->adapter_key = spec.adapter_key;
   entry->external = spec.space != nullptr;
   entry->num_iterations = spec.num_iterations;
+  entry->created_unix_ms = NowUnixMillis();
+  entry->last_activity_unix_ms.store(entry->created_unix_ms,
+                                     std::memory_order_relaxed);
   *out = std::move(entry);
   return Status::OK();
 }
@@ -55,8 +73,8 @@ Status TuningService::CreateSession(const std::string& name,
   LT_RETURN_NOT_OK(BuildEntry(spec, &entry));
   std::lock_guard<std::mutex> lock(mu_);
   if (!sessions_.emplace(name, std::move(entry)).second) {
-    return Status::AlreadyExists("TuningService: session '" + name +
-                                 "' already exists");
+    return Status::SessionAlreadyExists("TuningService: session '" + name +
+                                        "' already exists");
   }
   return Status::OK();
 }
@@ -68,8 +86,8 @@ Status TuningService::Resume(const std::string& name, const SessionSpec& spec,
   LT_RETURN_NOT_OK(entry->tuner->Restore(checkpoint));
   std::lock_guard<std::mutex> lock(mu_);
   if (!sessions_.emplace(name, std::move(entry)).second) {
-    return Status::AlreadyExists("TuningService: session '" + name +
-                                 "' already exists");
+    return Status::SessionAlreadyExists("TuningService: session '" + name +
+                                        "' already exists");
   }
   return Status::OK();
 }
@@ -83,9 +101,9 @@ std::shared_ptr<TuningService::Entry> TuningService::Find(
 
 Result<Trial> TuningService::Ask(const std::string& name) {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
+  entry->last_activity_unix_ms.store(NowUnixMillis(),
+                                     std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(entry->mu);
   return entry->tuner->Ask();
 }
@@ -93,9 +111,9 @@ Result<Trial> TuningService::Ask(const std::string& name) {
 Result<std::vector<Trial>> TuningService::AskBatch(const std::string& name,
                                                    int n) {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
+  entry->last_activity_unix_ms.store(NowUnixMillis(),
+                                     std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(entry->mu);
   return entry->tuner->AskBatch(n);
 }
@@ -103,9 +121,9 @@ Result<std::vector<Trial>> TuningService::AskBatch(const std::string& name,
 Status TuningService::Tell(const std::string& name,
                            const TrialResult& result) {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
+  entry->last_activity_unix_ms.store(NowUnixMillis(),
+                                     std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(entry->mu);
   return entry->tuner->Tell(result);
 }
@@ -113,18 +131,18 @@ Status TuningService::Tell(const std::string& name,
 Status TuningService::TellBatch(const std::string& name,
                                 const std::vector<TrialResult>& results) {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
+  entry->last_activity_unix_ms.store(NowUnixMillis(),
+                                     std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(entry->mu);
   return entry->tuner->TellBatch(results);
 }
 
 Status TuningService::Step(const std::string& name, bool* progressed) {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
+  entry->last_activity_unix_ms.store(NowUnixMillis(),
+                                     std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(entry->mu);
   if (!entry->tuner->has_objective()) {
     return Status::FailedPrecondition(
@@ -138,9 +156,7 @@ Status TuningService::Step(const std::string& name, bool* progressed) {
 
 Status TuningService::Drive(const std::string& name) {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
   std::lock_guard<std::mutex> lock(entry->mu);
   if (!entry->tuner->has_objective()) {
     return Status::FailedPrecondition(
@@ -148,15 +164,15 @@ Status TuningService::Drive(const std::string& name) {
         "' is external (space source) — drive it through Ask/Tell");
   }
   while (entry->tuner->Step()) {
+    entry->last_activity_unix_ms.store(NowUnixMillis(),
+                                       std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
 Result<std::string> TuningService::Checkpoint(const std::string& name) const {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
   std::lock_guard<std::mutex> lock(entry->mu);
   return entry->tuner->Save();
 }
@@ -177,14 +193,15 @@ SessionStatus TuningService::StatusLocked(const std::string& name,
   // the whole knowledge base under the session lock.
   status.default_performance = session.default_performance();
   status.best_performance = session.best_performance();
+  status.created_unix_ms = entry.created_unix_ms;
+  status.last_activity_unix_ms =
+      entry.last_activity_unix_ms.load(std::memory_order_relaxed);
   return status;
 }
 
 Result<SessionStatus> TuningService::GetStatus(const std::string& name) const {
   std::shared_ptr<Entry> entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("TuningService: no session '" + name + "'");
-  }
+  if (entry == nullptr) return NoSession(name);
   std::lock_guard<std::mutex> lock(entry->mu);
   return StatusLocked(name, *entry);
 }
@@ -209,9 +226,7 @@ Result<SessionResult> TuningService::Close(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(name);
-    if (it == sessions_.end()) {
-      return Status::NotFound("TuningService: no session '" + name + "'");
-    }
+    if (it == sessions_.end()) return NoSession(name);
     entry = std::move(it->second);
     sessions_.erase(it);
   }

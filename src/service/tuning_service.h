@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -63,7 +64,20 @@ struct SessionStatus {
   bool finished = false;
   double default_performance = 0.0;
   double best_performance = 0.0;
+  /// Wall-clock milliseconds since the Unix epoch when the session was
+  /// created (CreateSession/Resume).
+  int64_t created_unix_ms = 0;
+  /// Wall-clock milliseconds of the last *driving* operation — ask,
+  /// tell, step, or drive. Status polls and checkpoints deliberately
+  /// do not count as activity, so idle-eviction sweeps that poll
+  /// GetStatus (or autosave sweeps that call Checkpoint) cannot keep a
+  /// dead session alive forever.
+  int64_t last_activity_unix_ms = 0;
 };
+
+/// Wall-clock milliseconds since the Unix epoch (the timebase of the
+/// SessionStatus timestamps).
+int64_t NowUnixMillis();
 
 /// \brief The serve-style entry point: a registry of named, concurrent
 /// tuning sessions driven over the ask/tell protocol (ROADMAP
@@ -93,9 +107,9 @@ class TuningService {
   TuningService(const TuningService&) = delete;
   TuningService& operator=(const TuningService&) = delete;
 
-  /// Registers a new session under `name`. Fails with AlreadyExists
-  /// for duplicate names, or with the TunerBuilder error for bad
-  /// specs/keys.
+  /// Registers a new session under `name`. Fails with
+  /// SessionAlreadyExists for duplicate names, or with the
+  /// TunerBuilder error for bad specs/keys.
   Status CreateSession(const std::string& name, const SessionSpec& spec);
 
   /// CreateSession + TuningSession::Restore in one step.
@@ -139,6 +153,10 @@ class TuningService {
     std::string adapter_key;
     bool external = false;
     int num_iterations = 0;
+    int64_t created_unix_ms = 0;
+    /// Updated lock-free by every driving operation (see
+    /// SessionStatus::last_activity_unix_ms for what counts).
+    std::atomic<int64_t> last_activity_unix_ms{0};
     /// Serializes all operations on this session; taken *after*
     /// releasing the registry mutex so sessions never block each
     /// other.

@@ -1,0 +1,484 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/frame.h"
+#include "src/net/message.h"
+
+namespace llamatune {
+namespace net {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(FrameTest, RoundTripsSingleFrame) {
+  std::string bytes = EncodeFrame(MessageKind::kPing, "payload bytes");
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 13);
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->kind, MessageKind::kPing);
+  EXPECT_EQ((*frame)->payload, "payload bytes");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+
+  // No second frame.
+  Result<std::optional<Frame>> none = decoder.Next();
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(FrameTest, PartialReadsYieldNothingUntilComplete) {
+  std::string bytes = EncodeFrame(MessageKind::kAsk, "0123456789");
+  FrameDecoder decoder;
+  // Feed one byte at a time: every prefix must decode to "not yet".
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(bytes.data() + i, 1);
+    Result<std::optional<Frame>> frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << "at byte " << i;
+    EXPECT_FALSE(frame->has_value()) << "at byte " << i;
+  }
+  decoder.Feed(bytes.data() + bytes.size() - 1, 1);
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->payload, "0123456789");
+}
+
+TEST(FrameTest, DecodesBackToBackFramesFromOneFeed) {
+  std::string bytes = EncodeFrame(MessageKind::kPing, "one") +
+                      EncodeFrame(MessageKind::kClose, "") +
+                      EncodeFrame(MessageKind::kTell, "three");
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+
+  std::vector<Frame> frames;
+  for (;;) {
+    Result<std::optional<Frame>> next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    frames.push_back(std::move(**next));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].payload, "one");
+  EXPECT_EQ(frames[1].kind, MessageKind::kClose);
+  EXPECT_EQ(frames[1].payload, "");
+  EXPECT_EQ(frames[2].payload, "three");
+}
+
+TEST(FrameTest, BadMagicIsStickyError) {
+  FrameDecoder decoder;
+  std::string junk = "GET / HTTP/1.1\r\n";
+  decoder.Feed(junk.data(), junk.size());
+  Result<std::optional<Frame>> first = decoder.Next();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kInvalidArgument);
+
+  // Even a valid frame afterwards cannot clear the desync.
+  std::string good = EncodeFrame(MessageKind::kPing, "");
+  decoder.Feed(good.data(), good.size());
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(FrameTest, RejectsFutureProtocolVersion) {
+  std::string bytes = EncodeFrame(MessageKind::kPing, "");
+  bytes[1] = static_cast<char>(kProtocolVersion + 1);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FrameTest, RejectsOversizedPayloadBeforeBuffering) {
+  // A 64-byte cap: the header alone must trip the error, without
+  // waiting for (or allocating) the declared payload.
+  FrameDecoder decoder(/*max_payload=*/64);
+  std::string bytes = EncodeFrame(MessageKind::kTell, std::string(65, 'x'));
+  decoder.Feed(bytes.data(), kFrameHeaderBytes);  // header only
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FrameTest, GarbageKindSurvivesFramingLayer) {
+  // Framing is agnostic to kind values: an unassigned kind byte must
+  // still deframe (the server answers it with an UnknownKind error,
+  // pinned in server_test.cc).
+  std::string bytes = EncodeFrame(static_cast<MessageKind>(201), "zzz");
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ(static_cast<int>((*frame)->kind), 201);
+  EXPECT_EQ((*frame)->payload, "zzz");
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+TEST(MessageTest, HelloRoundTripsIncludingEmptyAndSpacedTenants) {
+  for (const std::string& tenant : {std::string(""), std::string("team-a"),
+                                    std::string("has space\tand\ttabs")}) {
+    Result<std::string> back = DecodeHello(EncodeHello(tenant));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, tenant);
+  }
+}
+
+WireSessionSpec SpaceSpecForTest() {
+  WireSessionSpec spec;
+  KnobSpec cache = IntegerKnob("cache_mb", 0, 4096, 128);
+  cache = WithSpecialValues(std::move(cache), {0.0, -1.0});
+  cache = WithLogScale(std::move(cache));
+  cache.unit = "MB";
+  KnobSpec policy = CategoricalKnob("policy", {"lru", "fifo", "clock"}, 1);
+  KnobSpec ratio = RealKnob("ratio", 0.0, 1.0, 0.25);
+  spec.space_knobs = {cache, policy, ratio};
+  spec.maximize = false;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 0xDEADBEEFCAFEF00DULL;  // needs the full u64 range
+  spec.num_iterations = 33;
+  spec.batch_size = 4;
+  spec.num_threads = 2;
+  return spec;
+}
+
+TEST(MessageTest, SessionSpecRoundTripsSpaceSource) {
+  WireSessionSpec spec = SpaceSpecForTest();
+  Result<WireSessionSpec> back = DecodeSessionSpec(EncodeSessionSpec(spec));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->workload, "");
+  ASSERT_EQ(back->space_knobs.size(), 3u);
+  const KnobSpec& cache = back->space_knobs[0];
+  EXPECT_EQ(cache.name, "cache_mb");
+  EXPECT_EQ(cache.type, KnobType::kInteger);
+  EXPECT_TRUE(SameBits(cache.min_value, 0.0));
+  EXPECT_TRUE(SameBits(cache.max_value, 4096.0));
+  EXPECT_TRUE(cache.log_scale);
+  EXPECT_TRUE(SameBits(cache.default_value, 128.0));
+  EXPECT_EQ(cache.special_values, (std::vector<double>{0.0, -1.0}));
+  EXPECT_EQ(cache.unit, "MB");
+  const KnobSpec& policy = back->space_knobs[1];
+  EXPECT_EQ(policy.type, KnobType::kCategorical);
+  EXPECT_EQ(policy.categories,
+            (std::vector<std::string>{"lru", "fifo", "clock"}));
+  EXPECT_FALSE(back->maximize);
+  EXPECT_EQ(back->optimizer_key, "random");
+  EXPECT_EQ(back->adapter_key, "identity");
+  EXPECT_EQ(back->seed, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(back->num_iterations, 33);
+  EXPECT_EQ(back->batch_size, 4);
+  EXPECT_EQ(back->num_threads, 2);
+}
+
+TEST(MessageTest, SessionSpecRoundTripsWorkloadSource) {
+  WireSessionSpec spec;
+  spec.workload = "YCSB-A";
+  spec.seed = 7;
+  Result<WireSessionSpec> back = DecodeSessionSpec(EncodeSessionSpec(spec));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->workload, "YCSB-A");
+  EXPECT_TRUE(back->space_knobs.empty());
+  EXPECT_EQ(back->seed, 7u);
+}
+
+TEST(MessageTest, SessionSpecRejectsZeroOrTwoSources) {
+  WireSessionSpec neither;  // no workload, no knobs
+  EXPECT_FALSE(DecodeSessionSpec(EncodeSessionSpec(neither)).ok());
+
+  WireSessionSpec both = SpaceSpecForTest();
+  both.workload = "YCSB-A";
+  EXPECT_FALSE(DecodeSessionSpec(EncodeSessionSpec(both)).ok());
+}
+
+TEST(MessageTest, CreateAndResumeCarryNameSpecCheckpoint) {
+  WireSessionSpec spec = SpaceSpecForTest();
+  std::string name, checkpoint;
+  WireSessionSpec got;
+  ASSERT_TRUE(
+      DecodeCreateSession(EncodeCreateSession("job one", spec), &name, &got)
+          .ok());
+  EXPECT_EQ(name, "job one");
+  EXPECT_EQ(got.seed, spec.seed);
+
+  std::string multiline_checkpoint = "llamatune-checkpoint v3\nline two\n";
+  ASSERT_TRUE(DecodeResume(EncodeResume("j", spec, multiline_checkpoint),
+                           &name, &got, &checkpoint)
+                  .ok());
+  EXPECT_EQ(name, "j");
+  EXPECT_EQ(checkpoint, multiline_checkpoint);
+}
+
+TEST(MessageTest, TrialAndResultRepliesAreBitExact) {
+  Trial trial;
+  trial.id = 42;
+  trial.point = {0.125, std::nextafter(1.0, 2.0), -0.0};
+  trial.config = Configuration{std::vector<double>{3.0, 0.5}};
+  trial.is_baseline = false;
+  Result<Trial> back = DecodeTrialReply(EncodeTrialReply(trial));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->id, 42);
+  ASSERT_EQ(back->point.size(), 3u);
+  EXPECT_TRUE(SameBits(back->point[1], std::nextafter(1.0, 2.0)));
+  EXPECT_TRUE(SameBits(back->point[2], -0.0));
+
+  TrialResult result;
+  result.trial_id = 42;
+  result.value = std::numeric_limits<double>::quiet_NaN();
+  result.crashed = true;
+  result.metrics = {1.0, 2.5};
+  std::string rname;
+  TrialResult rback;
+  ASSERT_TRUE(DecodeTell(EncodeTell("job", result), &rname, &rback).ok());
+  EXPECT_EQ(rname, "job");
+  EXPECT_EQ(rback.trial_id, 42);
+  EXPECT_TRUE(std::isnan(rback.value));
+  EXPECT_TRUE(rback.crashed);
+  EXPECT_EQ(rback.metrics, (std::vector<double>{1.0, 2.5}));
+}
+
+TEST(MessageTest, BatchesRoundTrip) {
+  std::string name;
+  int n = 0;
+  ASSERT_TRUE(DecodeAskBatch(EncodeAskBatch("s", 5), &name, &n).ok());
+  EXPECT_EQ(name, "s");
+  EXPECT_EQ(n, 5);
+
+  std::vector<Trial> trials(2);
+  trials[0].id = 1;
+  trials[0].is_baseline = true;
+  trials[1].id = 2;
+  trials[1].point = {0.5};
+  Result<std::vector<Trial>> tback =
+      DecodeTrialsReply(EncodeTrialsReply(trials));
+  ASSERT_TRUE(tback.ok());
+  ASSERT_EQ(tback->size(), 2u);
+  EXPECT_TRUE((*tback)[0].is_baseline);
+  EXPECT_EQ((*tback)[1].point, (std::vector<double>{0.5}));
+
+  std::vector<TrialResult> results(2);
+  results[0].trial_id = 1;
+  results[0].value = 10.0;
+  results[1].trial_id = 2;
+  results[1].crashed = true;
+  std::vector<TrialResult> rback;
+  ASSERT_TRUE(
+      DecodeTellBatch(EncodeTellBatch("s", results), &name, &rback).ok());
+  ASSERT_EQ(rback.size(), 2u);
+  EXPECT_TRUE(SameBits(rback[0].value, 10.0));
+  EXPECT_TRUE(rback[1].crashed);
+}
+
+TEST(MessageTest, StatusRepliesCarryTimestampsAndDriving) {
+  WireSessionStatus status;
+  status.status.name = "job";
+  status.status.optimizer_key = "smac";
+  status.status.adapter_key = "llamatune";
+  status.status.external = true;
+  status.status.iterations_run = 7;
+  status.status.num_iterations = 100;
+  status.status.pending_trials = 3;
+  status.status.finished = false;
+  status.status.default_performance = 123.5;
+  status.status.best_performance = 456.25;
+  status.status.created_unix_ms = 1754500000000LL;
+  status.status.last_activity_unix_ms = 1754500001234LL;
+  status.driving = true;
+
+  Result<WireSessionStatus> back = DecodeStatusReply(EncodeStatusReply(status));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->status.name, "job");
+  EXPECT_EQ(back->status.pending_trials, 3);
+  EXPECT_EQ(back->status.created_unix_ms, 1754500000000LL);
+  EXPECT_EQ(back->status.last_activity_unix_ms, 1754500001234LL);
+  EXPECT_TRUE(back->driving);
+
+  Result<std::vector<WireSessionStatus>> list =
+      DecodeStatusListReply(EncodeStatusListReply({status, status}));
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[1].status.name, "job");
+}
+
+TEST(MessageTest, ErrorRoundTripsEveryCode) {
+  for (int code = 1; code <= 15; ++code) {
+    WireError in = static_cast<WireError>(code);
+    WireError out = WireError::kInternal;
+    std::string message;
+    ASSERT_TRUE(
+        DecodeError(EncodeError(in, "why it failed"), &out, &message).ok());
+    EXPECT_EQ(out, in);
+    EXPECT_EQ(message, "why it failed");
+  }
+}
+
+TEST(MessageTest, StatusToWireErrorMappingRoundTrips) {
+  // The session/hardening codes must survive the wire as themselves —
+  // that is the whole point of satellite-typed errors.
+  const std::vector<Status> statuses = {
+      Status::SessionNotFound("a"),    Status::SessionAlreadyExists("b"),
+      Status::Unavailable("c"),        Status::ResourceExhausted("d"),
+      Status::InvalidArgument("e"),    Status::NotFound("f"),
+      Status::FailedPrecondition("g"), Status::Internal("h"),
+  };
+  for (const Status& status : statuses) {
+    Status back =
+        StatusFromWireError(WireErrorFromStatus(status), status.message());
+    EXPECT_EQ(back.code(), status.code()) << status.ToString();
+    EXPECT_EQ(back.message(), status.message());
+  }
+}
+
+TEST(MessageTest, CheckpointAndClosedRepliesRoundTrip) {
+  std::string checkpoint = "v3\nwith\nnewlines and spaces\n";
+  Result<std::string> cback =
+      DecodeCheckpointReply(EncodeCheckpointReply(checkpoint));
+  ASSERT_TRUE(cback.ok());
+  EXPECT_EQ(*cback, checkpoint);
+
+  WireCloseResult close;
+  close.iterations_run = 20;
+  close.best_performance = 999.125;
+  close.default_performance = -3.5;
+  Result<WireCloseResult> back = DecodeClosedReply(EncodeClosedReply(close));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->iterations_run, 20);
+  EXPECT_TRUE(SameBits(back->best_performance, 999.125));
+  EXPECT_TRUE(SameBits(back->default_performance, -3.5));
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: decoders are total functions
+// ---------------------------------------------------------------------------
+
+std::string RandomBytes(Rng& rng, int max_len) {
+  int len = static_cast<int>(rng.UniformInt(0, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  return out;
+}
+
+TEST(FuzzTest, FrameDecoderNeverCrashesOnRandomBytes) {
+  Rng rng(20260807);
+  for (int round = 0; round < 2000; ++round) {
+    FrameDecoder decoder(/*max_payload=*/1 << 16);
+    std::string bytes = RandomBytes(rng, 256);
+    // Occasionally give the stream a valid prelude so decoding gets
+    // past the magic/version checks and exercises the length path.
+    if (rng.Bernoulli(0.5)) {
+      std::string valid = EncodeFrame(MessageKind::kPing, "seed");
+      bytes = valid.substr(0, rng.UniformInt(0, valid.size())) + bytes;
+    }
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      size_t chunk = static_cast<size_t>(rng.UniformInt(1, 32));
+      chunk = std::min(chunk, bytes.size() - offset);
+      decoder.Feed(bytes.data() + offset, chunk);
+      offset += chunk;
+      // Drain; both errors and frames are acceptable, crashing is not.
+      for (;;) {
+        Result<std::optional<Frame>> next = decoder.Next();
+        if (!next.ok() || !next->has_value()) break;
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, PayloadDecodersNeverCrashOnRandomBytes) {
+  Rng rng(77002);
+  // Seed corpus: valid payloads that get truncated/mutated, plus pure
+  // noise.
+  WireSessionSpec spec = SpaceSpecForTest();
+  Trial trial;
+  trial.id = 3;
+  trial.point = {0.5, 0.25};
+  TrialResult result;
+  result.trial_id = 3;
+  result.value = 1.5;
+  WireSessionStatus status;
+  status.status.name = "s";
+  const std::vector<std::string> corpus = {
+      EncodeHello("tenant"),
+      EncodeSessionSpec(spec),
+      EncodeCreateSession("n", spec),
+      EncodeResume("n", spec, "checkpoint text"),
+      EncodeNameOnly("n"),
+      EncodeAskBatch("n", 3),
+      EncodeTell("n", result),
+      EncodeTellBatch("n", {result, result}),
+      EncodeError(WireError::kBusy, "m"),
+      EncodeTrialReply(trial),
+      EncodeTrialsReply({trial}),
+      EncodeSteppedReply(true),
+      EncodeStatusReply(status),
+      EncodeStatusListReply({status}),
+      EncodeCheckpointReply("cp"),
+      EncodeClosedReply(WireCloseResult()),
+  };
+
+  for (int round = 0; round < 3000; ++round) {
+    std::string payload;
+    int mode = static_cast<int>(rng.UniformInt(0, 2));
+    if (mode == 0) {
+      payload = RandomBytes(rng, 200);
+    } else {
+      payload = corpus[rng.UniformInt(0, corpus.size() - 1)];
+      if (mode == 1 && !payload.empty()) {
+        payload.resize(rng.UniformInt(0, payload.size()));  // truncate
+      } else {
+        for (int m = 0; m < 4 && !payload.empty(); ++m) {   // mutate
+          payload[rng.UniformInt(0, payload.size() - 1)] =
+              static_cast<char>(rng.UniformInt(0, 255));
+        }
+      }
+    }
+
+    // Every decoder must return (ok or error), never crash or throw.
+    std::string s1, s2;
+    int n = 0;
+    WireSessionSpec d_spec;
+    TrialResult d_result;
+    std::vector<TrialResult> d_results;
+    WireError d_code = WireError::kInternal;
+    DecodeHello(payload);
+    DecodeSessionSpec(payload);
+    DecodeCreateSession(payload, &s1, &d_spec);
+    DecodeResume(payload, &s1, &d_spec, &s2);
+    DecodeNameOnly(payload);
+    DecodeAskBatch(payload, &s1, &n);
+    DecodeTell(payload, &s1, &d_result);
+    DecodeTellBatch(payload, &s1, &d_results);
+    DecodeError(payload, &d_code, &s1);
+    DecodeTrialReply(payload);
+    DecodeTrialsReply(payload);
+    DecodeSteppedReply(payload);
+    DecodeStatusReply(payload);
+    DecodeStatusListReply(payload);
+    DecodeCheckpointReply(payload);
+    DecodeClosedReply(payload);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace llamatune

@@ -1,0 +1,230 @@
+// Crash/kill/resume integration test: forks the serve_remote example
+// as a real server process, drives a session over the wire, kills the
+// server with SIGKILL (no shutdown path runs — only the periodic
+// autosave can have persisted state), restarts it on the same autosave
+// directory, resumes, and verifies the continuation is bit-for-bit the
+// uninterrupted run.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/knobs/config_space.h"
+#include "src/net/tuning_client.h"
+#include "src/service/tuning_service.h"
+
+namespace llamatune {
+namespace net {
+namespace {
+
+double ExternalMeasure(const Configuration& config) {
+  double x = config[0] / 100.0;
+  double y = config[1];
+  return 1000.0 - 900.0 * ((x - 0.44) * (x - 0.44) + (y - 0.69) * (y - 0.69));
+}
+
+std::vector<KnobSpec> TestKnobs() {
+  return {IntegerKnob("cache_mb", 0, 100, 50),
+          RealKnob("target_ratio", 0.0, 1.0, 0.5)};
+}
+
+WireSessionSpec CrashWireSpec() {
+  WireSessionSpec spec;
+  spec.space_knobs = TestKnobs();
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 4242;
+  spec.num_iterations = 16;
+  return spec;
+}
+
+/// A checkpoint's "state" line carries accumulated wall-clock
+/// optimizer seconds — the only non-deterministic bytes in an
+/// otherwise bit-exact trajectory. Zero that token so equality means
+/// "identical trial history".
+std::string Trajectory(const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("state ", 0) == 0) {
+      line = line.substr(0, line.find_last_of(' ')) + " <wall-clock>";
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+class ServerProcess {
+ public:
+  /// Forks serve_remote --serve on an ephemeral port. Returns the
+  /// bound port via the port-file handshake, or -1.
+  int Launch(const std::string& bin, const std::string& autosave_dir,
+             const std::string& port_file) {
+    ::unlink(port_file.c_str());
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::execl(bin.c_str(), bin.c_str(), "--serve", "--port", "0",
+              "--port-file", port_file.c_str(), "--autosave-dir",
+              autosave_dir.c_str(), "--autosave-interval-ms", "25",
+              static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    if (pid_ < 0) return -1;
+    for (int i = 0; i < 1000; ++i) {
+      FILE* in = std::fopen(port_file.c_str(), "r");
+      if (in != nullptr) {
+        int port = -1;
+        if (std::fscanf(in, "%d", &port) != 1) port = -1;
+        std::fclose(in);
+        if (port > 0) return port;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return -1;
+  }
+
+  void Kill9() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+  }
+
+  ~ServerProcess() { Kill9(); }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+TEST(ServerCrashTest, Kill9ThenResumeSavedMatchesUninterruptedRun) {
+#ifndef LLAMATUNE_SERVE_REMOTE_BIN
+  GTEST_SKIP() << "serve_remote example not built";
+#else
+  const std::string bin = LLAMATUNE_SERVE_REMOTE_BIN;
+  struct stat sb;
+  if (::stat(bin.c_str(), &sb) != 0) {
+    GTEST_SKIP() << "serve_remote binary missing at " << bin;
+  }
+  const std::string dir = ::testing::TempDir() + "llamatune-crash-" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string port_file = dir + "/port";
+  const std::string autosave =
+      dir + "/" + EncodeBytes("crash-job") + ".autosave";
+
+  // --- Phase 1: drive half the budget against a live server.
+  ServerProcess first;
+  int port = first.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "server did not come up";
+
+  TuningClient client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(client.Hello("crash-tenant").ok());
+  ASSERT_TRUE(client.CreateSession("crash-job", CrashWireSpec()).ok());
+  for (int round = 0; round < 8; ++round) {
+    Result<Trial> trial = client.Ask("crash-job");
+    ASSERT_TRUE(trial.ok()) << trial.status().ToString();
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    ASSERT_TRUE(client.Tell("crash-job", result).ok());
+  }
+  // Wait until the autosave sweep has captured all 8 rounds: the file
+  // must exist AND its checkpoint must be the current one.
+  Result<std::string> at_kill = client.Checkpoint("crash-job");
+  ASSERT_TRUE(at_kill.ok());
+  bool captured = false;
+  for (int i = 0; i < 1000 && !captured; ++i) {
+    FILE* in = std::fopen(autosave.c_str(), "r");
+    if (in != nullptr) {
+      std::string content;
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+        content.append(buf, n);
+      }
+      std::fclose(in);
+      captured = content.find(*at_kill) != std::string::npos;
+    }
+    if (!captured) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(captured) << "autosave never caught up before the kill";
+
+  // --- The crash: SIGKILL, no graceful shutdown of any kind.
+  first.Kill9();
+  client.Disconnect();
+
+  // --- Phase 2: new server process, same autosave dir, resume.
+  ServerProcess second;
+  port = second.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "restarted server did not come up";
+  TuningClient revived;
+  ASSERT_TRUE(
+      revived.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(revived.Hello("crash-tenant").ok());
+  Status resumed = revived.ResumeSaved("crash-job");
+  ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+
+  Result<WireSessionStatus> status = revived.GetStatus("crash-job");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status.iterations_run, 7);  // baseline + 7 counted
+
+  for (;;) {
+    Result<Trial> trial = revived.Ask("crash-job");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    ASSERT_TRUE(revived.Tell("crash-job", result).ok());
+  }
+  Result<std::string> after_crash = revived.Checkpoint("crash-job");
+  ASSERT_TRUE(after_crash.ok());
+  second.Kill9();
+
+  // --- Reference: the same session never interrupted, in-process.
+  ConfigSpace space = *ConfigSpace::Create(TestKnobs());
+  service::TuningService reference;
+  service::SessionSpec spec;
+  spec.space = &space;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 4242;
+  spec.num_iterations = 16;
+  ASSERT_TRUE(reference.CreateSession("ref", spec).ok());
+  for (;;) {
+    Result<Trial> trial = reference.Ask("ref");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    ASSERT_TRUE(reference.Tell("ref", result).ok());
+  }
+  Result<std::string> uninterrupted = reference.Checkpoint("ref");
+  ASSERT_TRUE(uninterrupted.ok());
+
+  // The pin: kill -9 plus autosave-based resume loses nothing — the
+  // final trajectory is byte-identical to never having crashed.
+  EXPECT_EQ(Trajectory(*after_crash), Trajectory(*uninterrupted));
+#endif
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace llamatune

@@ -1,0 +1,499 @@
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/knobs/config_space.h"
+#include "src/net/frame.h"
+#include "src/net/message.h"
+#include "src/net/tuning_client.h"
+#include "src/net/tuning_server.h"
+#include "src/service/tuning_service.h"
+
+namespace llamatune {
+namespace net {
+namespace {
+
+using service::SessionSpec;
+using service::TuningService;
+
+/// Same deterministic "external DBMS" surface as service_test.cc: the
+/// wire-vs-in-process equality pins depend on both sides measuring
+/// identically.
+double ExternalMeasure(int job, const Configuration& config) {
+  double x = config[0] / 100.0;
+  double y = config[1];
+  double peak_x = 0.2 + 0.08 * job;
+  double peak_y = 0.9 - 0.07 * job;
+  return 1000.0 - 900.0 * ((x - peak_x) * (x - peak_x) +
+                           (y - peak_y) * (y - peak_y)) +
+         25.0 * job;
+}
+
+std::vector<KnobSpec> TestKnobs() {
+  return {IntegerKnob("cache_mb", 0, 100, 50),
+          RealKnob("target_ratio", 0.0, 1.0, 0.5)};
+}
+
+WireSessionSpec ExternalWireSpec(int job) {
+  WireSessionSpec spec;
+  spec.space_knobs = TestKnobs();
+  spec.maximize = true;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 100 + job;
+  spec.num_iterations = 12;
+  return spec;
+}
+
+/// A checkpoint's "state" line carries accumulated wall-clock
+/// optimizer seconds — the only non-deterministic bytes in an
+/// otherwise bit-exact trajectory. Zero that token so equality means
+/// "identical trial history".
+std::string Trajectory(const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("state ", 0) == 0) {
+      line = line.substr(0, line.find_last_of(' ')) + " <wall-clock>";
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+std::string FreshDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "llamatune-" + tag + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(counter++);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// Drives an external session over the wire until Ask says the budget
+/// is gone.
+void DriveOverWire(TuningClient& client, const std::string& name, int job) {
+  for (;;) {
+    Result<Trial> trial = client.Ask(name);
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(job, trial->config);
+    ASSERT_TRUE(client.Tell(name, result).ok());
+  }
+}
+
+/// In-process reference: same spec, same measure, plain TuningService.
+std::string ReferenceCheckpoint(int job, int rounds_before_checkpoint = -1) {
+  static ConfigSpace space = *ConfigSpace::Create(TestKnobs());
+  TuningService service;
+  SessionSpec spec;
+  spec.space = &space;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 100 + job;
+  spec.num_iterations = 12;
+  EXPECT_TRUE(service.CreateSession("ref", spec).ok());
+  int round = 0;
+  for (;;) {
+    if (rounds_before_checkpoint >= 0 && round == rounds_before_checkpoint) {
+      break;
+    }
+    Result<Trial> trial = service.Ask("ref");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(job, trial->config);
+    EXPECT_TRUE(service.Tell("ref", result).ok());
+    ++round;
+  }
+  Result<std::string> checkpoint = service.Checkpoint("ref");
+  EXPECT_TRUE(checkpoint.ok());
+  return checkpoint.ok() ? *checkpoint : std::string();
+}
+
+/// Raw-socket caller for protocol-level tests the typed client cannot
+/// express (garbage kinds, oversized frames).
+class RawConn {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const std::string& bytes) {
+    return ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  /// Reads until one frame decodes (or the peer closes / errors).
+  Result<Frame> ReadFrame() {
+    char buf[4096];
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder_.Next();
+      if (!next.ok()) return next.status();
+      if (next->has_value()) return std::move(**next);
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return Status::Internal("raw: connection closed");
+      decoder_.Feed(buf, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the server hangs up (recv sees EOF).
+  bool WaitForClose() {
+    char buf[256];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+TEST(ServerTest, WireDrivenSessionMatchesInProcessBitForBit) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Hello("tenant-a").ok());
+
+  ASSERT_TRUE(client.CreateSession("job", ExternalWireSpec(3)).ok());
+  DriveOverWire(client, "job", 3);
+
+  Result<WireSessionStatus> status = client.GetStatus("job");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->status.finished);
+  EXPECT_EQ(status->status.iterations_run, 12);
+  EXPECT_GT(status->status.created_unix_ms, 0);
+  EXPECT_GE(status->status.last_activity_unix_ms,
+            status->status.created_unix_ms);
+
+  // The end-to-end determinism pin: the wire-driven trial history is
+  // byte-identical to the in-process one.
+  Result<std::string> remote = client.Checkpoint("job");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(Trajectory(*remote), Trajectory(ReferenceCheckpoint(3)));
+
+  Result<WireCloseResult> closed = client.Close("job");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed->iterations_run, 12);
+  server.Stop();
+}
+
+TEST(ServerTest, BatchAskTellOverWire) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  WireSessionSpec spec = ExternalWireSpec(1);
+  spec.batch_size = 3;
+  ASSERT_TRUE(client.CreateSession("batched", spec).ok());
+
+  // First batch is the baseline alone (protocol invariant).
+  Result<std::vector<Trial>> first = client.AskBatch("batched", 3);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 1u);
+  EXPECT_TRUE((*first)[0].is_baseline);
+  std::vector<TrialResult> results;
+  for (const Trial& trial : *first) {
+    TrialResult r;
+    r.trial_id = trial.id;
+    r.value = ExternalMeasure(1, trial.config);
+    results.push_back(r);
+  }
+  ASSERT_TRUE(client.TellBatch("batched", results).ok());
+
+  Result<std::vector<Trial>> second = client.AskBatch("batched", 3);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), 3u);
+
+  Result<WireSessionStatus> status = client.GetStatus("batched");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status.pending_trials, 3);
+  server.Stop();
+}
+
+TEST(ServerTest, StartDriveRunsWorkloadSessionInBackground) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  WireSessionSpec spec;
+  spec.workload = "YCSB-A";
+  spec.optimizer_key = "random";
+  spec.adapter_key = "llamatune";
+  spec.seed = 5;
+  spec.num_iterations = 6;
+  ASSERT_TRUE(client.CreateSession("sim", spec).ok());
+  ASSERT_TRUE(client.StartDrive("sim").ok());
+  ASSERT_TRUE(client.StartDrive("sim").ok());  // idempotent while running
+
+  // The drive runs on the pool; the connection stays responsive.
+  ASSERT_TRUE(client.Ping().ok());
+  for (int i = 0; i < 3000; ++i) {
+    Result<WireSessionStatus> status = client.GetStatus("sim");
+    ASSERT_TRUE(status.ok());
+    if (status->status.finished && !status->driving) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Result<WireSessionStatus> status = client.GetStatus("sim");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->status.finished);
+  EXPECT_FALSE(status->driving);
+  EXPECT_EQ(status->status.iterations_run, 6);
+
+  // Bit-for-bit against an in-process Drive of the same spec.
+  Result<std::string> remote = client.Checkpoint("sim");
+  ASSERT_TRUE(remote.ok());
+  TuningService reference;
+  SessionSpec ref_spec;
+  ref_spec.workload = *dbsim::WorkloadByName("YCSB-A");
+  ref_spec.optimizer_key = "random";
+  ref_spec.adapter_key = "llamatune";
+  ref_spec.seed = 5;
+  ref_spec.num_iterations = 6;
+  ASSERT_TRUE(reference.CreateSession("ref", ref_spec).ok());
+  ASSERT_TRUE(reference.Drive("ref").ok());
+  Result<std::string> local = reference.Checkpoint("ref");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(Trajectory(*remote), Trajectory(*local));
+  server.Stop();
+}
+
+TEST(ServerTest, TypedErrorsSurviveTheWire) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Session-level codes arrive as themselves, not as strings.
+  EXPECT_EQ(client.Ask("nope").status().code(), StatusCode::kSessionNotFound);
+  EXPECT_EQ(client.Checkpoint("nope").status().code(),
+            StatusCode::kSessionNotFound);
+
+  ASSERT_TRUE(client.CreateSession("job", ExternalWireSpec(0)).ok());
+  EXPECT_EQ(client.CreateSession("job", ExternalWireSpec(0)).code(),
+            StatusCode::kSessionAlreadyExists);
+  EXPECT_EQ(client.Step("job").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.StartDrive("job").code(), StatusCode::kFailedPrecondition);
+
+  WireSessionSpec bad = ExternalWireSpec(0);
+  bad.optimizer_key = "no-such-optimizer";
+  EXPECT_EQ(client.CreateSession("other", bad).code(), StatusCode::kNotFound);
+
+  WireSessionSpec bad_workload;
+  bad_workload.workload = "NO-SUCH-WORKLOAD";
+  EXPECT_EQ(client.CreateSession("other", bad_workload).code(),
+            StatusCode::kNotFound);
+  server.Stop();
+}
+
+TEST(ServerTest, GarbageKindGetsUnknownKindReply) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_TRUE(raw.Send(EncodeFrame(static_cast<MessageKind>(201), "junk")));
+  Result<Frame> reply = raw.ReadFrame();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->kind, MessageKind::kError);
+  WireError code = WireError::kInternal;
+  std::string message;
+  ASSERT_TRUE(DecodeError(reply->payload, &code, &message).ok());
+  EXPECT_EQ(code, WireError::kUnknownKind);
+  server.Stop();
+}
+
+TEST(ServerTest, OversizedFrameGetsBadFrameThenDisconnect) {
+  TuningServerOptions options;
+  options.max_frame_payload = 1024;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kPing, std::string(2048, 'x'))));
+  Result<Frame> reply = raw.ReadFrame();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->kind, MessageKind::kError);
+  WireError code = WireError::kInternal;
+  std::string message;
+  ASSERT_TRUE(DecodeError(reply->payload, &code, &message).ok());
+  EXPECT_EQ(code, WireError::kBadFrame);
+  // Framing faults are unrecoverable: the server hangs up.
+  EXPECT_TRUE(raw.WaitForClose());
+  server.Stop();
+}
+
+TEST(ServerTest, PerTenantQuotaIsEnforcedAndReleased) {
+  TuningServerOptions options;
+  options.max_sessions_per_tenant = 2;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Hello("team-a").ok());
+
+  ASSERT_TRUE(client.CreateSession("a1", ExternalWireSpec(0)).ok());
+  ASSERT_TRUE(client.CreateSession("a2", ExternalWireSpec(1)).ok());
+  EXPECT_EQ(client.CreateSession("a3", ExternalWireSpec(2)).code(),
+            StatusCode::kResourceExhausted);
+
+  // A different tenant has its own budget.
+  TuningClient other;
+  ASSERT_TRUE(other.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(other.Hello("team-b").ok());
+  ASSERT_TRUE(other.CreateSession("b1", ExternalWireSpec(3)).ok());
+
+  // Closing releases the slot.
+  ASSERT_TRUE(client.Close("a1").ok());
+  ASSERT_TRUE(client.CreateSession("a3", ExternalWireSpec(2)).ok());
+  server.Stop();
+}
+
+TEST(ServerTest, BackpressureAnswersBusy) {
+  TuningServerOptions options;
+  options.max_pending_requests = 0;  // admit nothing: every request is Busy
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Status status = client.Ping();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(server.busy_rejections(), 1);
+  server.Stop();
+}
+
+TEST(ServerTest, IdleEvictionAutosavesAndResumeSavedContinuesExactly) {
+  TuningServerOptions options;
+  options.autosave_dir = FreshDir("evict");
+  options.idle_eviction_ms = 150;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Hello("team-a").ok());
+
+  // Drive 5 rounds, then go idle past the eviction horizon.
+  ASSERT_TRUE(client.CreateSession("job", ExternalWireSpec(3)).ok());
+  for (int round = 0; round < 5; ++round) {
+    Result<Trial> trial = client.Ask("job");
+    ASSERT_TRUE(trial.ok());
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(3, trial->config);
+    ASSERT_TRUE(client.Tell("job", result).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  server.RunMaintenance();
+  EXPECT_EQ(server.sessions_evicted(), 1);
+  EXPECT_GE(server.autosaves_written(), 1);
+  EXPECT_EQ(client.GetStatus("job").status().code(),
+            StatusCode::kSessionNotFound);
+
+  // ResumeSaved revives the session from the pre-eviction autosave and
+  // the continuation is bit-for-bit the uninterrupted run.
+  ASSERT_TRUE(client.ResumeSaved("job").ok());
+  Result<WireSessionStatus> revived = client.GetStatus("job");
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(revived->status.iterations_run, 4);  // baseline + 4 counted
+  DriveOverWire(client, "job", 3);
+  Result<std::string> remote = client.Checkpoint("job");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(Trajectory(*remote), Trajectory(ReferenceCheckpoint(3)));
+  server.Stop();
+}
+
+TEST(ServerTest, StatusPollingDoesNotPreventEviction) {
+  TuningServerOptions options;
+  options.idle_eviction_ms = 100;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession("job", ExternalWireSpec(0)).ok());
+
+  // Poll status well past the horizon: polling is not activity.
+  for (int i = 0; i < 15; ++i) {
+    client.GetStatus("job");
+    client.Checkpoint("job");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.RunMaintenance();
+  EXPECT_EQ(server.sessions_evicted(), 1);
+  server.Stop();
+}
+
+TEST(ServerTest, PeriodicAutosaveSweepWritesFiles) {
+  TuningServerOptions options;
+  options.autosave_dir = FreshDir("autosave");
+  options.autosave_interval_ms = 50;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession("job", ExternalWireSpec(2)).ok());
+
+  std::string path = options.autosave_dir + "/" + EncodeBytes("job") +
+                     ".autosave";
+  struct stat sb;
+  bool appeared = false;
+  for (int i = 0; i < 300; ++i) {
+    if (::stat(path.c_str(), &sb) == 0) {
+      appeared = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(appeared);
+  EXPECT_GE(server.autosaves_written(), 1);
+  server.Stop();
+}
+
+TEST(ServerTest, ListSessionsOverWire) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession("a", ExternalWireSpec(0)).ok());
+  ASSERT_TRUE(client.CreateSession("b", ExternalWireSpec(1)).ok());
+  Result<std::vector<WireSessionStatus>> list = client.ListSessions();
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].status.name, "a");
+  EXPECT_EQ((*list)[1].status.name, "b");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace llamatune

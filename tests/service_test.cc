@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -206,16 +207,21 @@ TEST_F(ServiceFixture, ErrorsSurfaceAsStatuses) {
   TuningService service;
   SessionSpec spec = ExternalSpec(0);
 
-  // Unknown names.
-  EXPECT_EQ(service.Ask("nope").status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(service.Checkpoint("nope").status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(service.Close("nope").status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(service.GetStatus("nope").status().code(), StatusCode::kNotFound);
+  // Unknown names carry the session-specific code — distinct from the
+  // generic kNotFound a bad registry key produces below, so remote
+  // callers can tell them apart without string matching.
+  EXPECT_EQ(service.Ask("nope").status().code(), StatusCode::kSessionNotFound);
+  EXPECT_EQ(service.Checkpoint("nope").status().code(),
+            StatusCode::kSessionNotFound);
+  EXPECT_EQ(service.Close("nope").status().code(),
+            StatusCode::kSessionNotFound);
+  EXPECT_EQ(service.GetStatus("nope").status().code(),
+            StatusCode::kSessionNotFound);
 
   // Duplicate create.
   ASSERT_TRUE(service.CreateSession("job", spec).ok());
   EXPECT_EQ(service.CreateSession("job", spec).code(),
-            StatusCode::kAlreadyExists);
+            StatusCode::kSessionAlreadyExists);
 
   // Step on an external session.
   EXPECT_EQ(service.Step("job").code(), StatusCode::kFailedPrecondition);
@@ -246,7 +252,36 @@ TEST_F(ServiceFixture, ErrorsSurfaceAsStatuses) {
   other_options.num_iterations = 99;
   EXPECT_FALSE(service.Resume("resumed", other_options, *checkpoint).ok());
   EXPECT_EQ(service.GetStatus("resumed").status().code(),
-            StatusCode::kNotFound);
+            StatusCode::kSessionNotFound);
+
+  // Resume into a live name is a session collision, not a generic
+  // AlreadyExists.
+  EXPECT_EQ(service.Resume("job", spec, *checkpoint).code(),
+            StatusCode::kSessionAlreadyExists);
+}
+
+TEST_F(ServiceFixture, StatusCarriesTimestampsAndActivity) {
+  TuningService service;
+  int64_t before = service::NowUnixMillis();
+  ASSERT_TRUE(service.CreateSession("job", ExternalSpec(0)).ok());
+
+  Result<SessionStatus> created = service.GetStatus("job");
+  ASSERT_TRUE(created.ok());
+  EXPECT_GE(created->created_unix_ms, before);
+  EXPECT_EQ(created->last_activity_unix_ms, created->created_unix_ms);
+
+  // Status polling is not activity; asking is.
+  Result<SessionStatus> polled = service.GetStatus("job");
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled->last_activity_unix_ms, created->last_activity_unix_ms);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(service.Ask("job").ok());
+  Result<SessionStatus> asked = service.GetStatus("job");
+  ASSERT_TRUE(asked.ok());
+  EXPECT_GT(asked->last_activity_unix_ms, created->last_activity_unix_ms);
+  EXPECT_EQ(asked->created_unix_ms, created->created_unix_ms);
+  EXPECT_EQ(asked->pending_trials, 1);
 }
 
 TEST_F(ServiceFixture, ListSessionsReportsAll) {
