@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/knobs/config_space.h"
 #include "src/net/tuning_client.h"
 #include "src/net/tuning_server.h"
@@ -199,6 +200,9 @@ int RunDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Crash-recovery and chaos tests arm seeded fault schedules in the
+  // forked server through this env var; unset, injection stays off.
+  FaultInjection::ConfigureFromEnv("LLAMATUNE_FAULTS");
   bool serve = false;
   std::string port_file;
   net::TuningServerOptions options;

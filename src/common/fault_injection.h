@@ -1,0 +1,80 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llamatune {
+
+/// \brief Deterministic, named-site fault injection.
+///
+/// Production code marks its failure points with a *site name* —
+/// "client.send.reset", "eval.crash", "autosave.torn" — and asks the
+/// global registry whether this particular hit of that site should
+/// fail:
+///
+/// ```cpp
+/// if (FaultInjection::ShouldFail("wal.append.torn")) { /* tear */ }
+/// ```
+///
+/// Disabled (the default), `ShouldFail` is a single relaxed atomic
+/// load and a branch: no locks, no allocation, no per-site lookup —
+/// safe to leave in release hot paths. Enabled, every call counts the
+/// site's hits and fires according to the site's trigger:
+///
+///  * **schedule** — an explicit list of 0-based hit indices; hit #k
+///    fails iff k is listed. Fully reproducible regardless of seed.
+///  * **probability** — hit #k fails with probability p, decided by a
+///    deterministic per-(site, hit) hash of the global seed, so a
+///    given (seed, spec) always yields the same fault sequence no
+///    matter how calls interleave across threads or sessions.
+///
+/// Configuration is a spec string so a forked server process can be
+/// configured through the LLAMATUNE_FAULTS environment variable:
+///
+/// ```
+/// seed=42;client.send.reset=p0.1;eval.crash=@2,5;server.recv.short=p0.05
+/// ```
+///
+/// `name=pX` sets probability X in [0,1]; `name=@a,b,c` schedules hit
+/// indices a, b, c. Entries are ';'-separated; a bare `seed=N` sets
+/// the global seed (default 0).
+class FaultInjection {
+ public:
+  /// True iff this hit of `site` should fail. Counts the hit when
+  /// injection is enabled; a pure cheap no-op otherwise.
+  static bool ShouldFail(const char* site) {
+    if (!enabled_.load(std::memory_order_relaxed)) return false;
+    return ShouldFailSlow(site);
+  }
+
+  /// Parses a spec string (see class comment) and enables injection.
+  /// Returns false on a malformed spec (state is then unchanged).
+  static bool Configure(const std::string& spec);
+
+  /// Reads the spec from `env_var` (default LLAMATUNE_FAULTS) and
+  /// configures from it; no-op (and true) when unset or empty.
+  static bool ConfigureFromEnv(const char* env_var = "LLAMATUNE_FAULTS");
+
+  /// Disables injection and clears all sites and counters.
+  static void Reset();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Total hits recorded for `site` (0 when unknown or disabled the
+  /// whole time). For tests asserting a site was actually exercised.
+  static uint64_t HitCount(const std::string& site);
+
+  /// Total faults fired for `site`.
+  static uint64_t FireCount(const std::string& site);
+
+ private:
+  static bool ShouldFailSlow(const char* site);
+
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace llamatune

@@ -33,6 +33,8 @@ const char* CodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kTrialExpired:
+      return "TrialExpired";
   }
   return "Unknown";
 }

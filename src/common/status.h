@@ -35,6 +35,12 @@ enum class StatusCode {
   /// A hard per-tenant limit was hit (the wire protocol's
   /// QuotaExceeded); retrying without releasing resources won't help.
   kResourceExhausted,
+  /// A Tell arrived for a pending trial whose deadline passed: the
+  /// session reclaimed its budget and the late result can no longer be
+  /// committed. Distinct from kNotFound (never existed) and
+  /// kAlreadyExists (committed) so evaluators can tell "my work was
+  /// abandoned" from "my work was duplicated".
+  kTrialExpired,
 };
 
 /// \brief A success-or-error outcome for fallible operations.
@@ -81,6 +87,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status TrialExpired(std::string msg) {
+    return Status(StatusCode::kTrialExpired, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/core/trial.h"
 #include "src/knobs/configuration.h"
 
 namespace llamatune {
@@ -15,11 +16,16 @@ struct IterationRecord {
   /// Physical configuration it projected to.
   Configuration config;
   /// Raw measured metric (throughput req/s or p95 latency ms); for
-  /// crashed runs, the penalized score actually reported back.
+  /// failed runs, the penalized score actually reported back.
   double measured = 0.0;
   /// Internal objective handed to the optimizer (maximize convention).
   double objective = 0.0;
+  /// True for kCrashed outcomes (kept alongside `outcome` for the
+  /// session-log CSV column and historical call sites).
   bool crashed = false;
+  /// How the evaluation ended (crash / timeout / lost runs score the
+  /// per-outcome penalty).
+  TrialOutcome outcome = TrialOutcome::kOk;
   /// DBMS internal metrics from the run (RL state vector).
   std::vector<double> metrics;
 };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/trial.h"
 #include "src/knobs/config_space.h"
 #include "src/knobs/configuration.h"
 
@@ -19,11 +20,24 @@ struct EvalResult {
   double value = 0.0;
   /// True when the DBMS failed to start or crashed under this
   /// configuration (e.g. OOM); the session assigns the paper's
-  /// quarter-of-worst penalty instead of `value`.
+  /// quarter-of-worst penalty instead of `value`. Kept as a plain
+  /// bool for objective implementations; `outcome` below carries the
+  /// full typed taxonomy (set it for timeouts / lost runs — when it
+  /// disagrees with `crashed`, a crashed=true result is treated as
+  /// kCrashed).
   bool crashed = false;
+  /// Typed outcome; defaults to kOk and mirrors `crashed` when only
+  /// the bool is set by a legacy objective.
+  TrialOutcome outcome = TrialOutcome::kOk;
   /// Internal DBMS metrics sampled during the run (pg_stat-style);
   /// consumed by RL optimizers as the state vector.
   std::vector<double> metrics;
+
+  /// The effective typed outcome: `crashed` wins over a stale kOk.
+  TrialOutcome EffectiveOutcome() const {
+    if (crashed && outcome == TrialOutcome::kOk) return TrialOutcome::kCrashed;
+    return outcome;
+  }
 };
 
 /// \brief The black-box objective f: configuration -> performance.

@@ -85,7 +85,8 @@ Result<Trial> ParseTrial(const std::string& line) {
 
 std::string SerializeTrialResult(const TrialResult& result) {
   std::ostringstream out;
-  out << "result " << result.trial_id << ' ' << (result.crashed ? 1 : 0) << ' '
+  out << "result " << result.trial_id << ' '
+      << static_cast<int>(result.outcome) << ' '
       << EncodeDoubleBits(result.value);
   out << " metrics " << result.metrics.size();
   for (double v : result.metrics) out << ' ' << EncodeDoubleBits(v);
@@ -98,20 +99,24 @@ Result<TrialResult> ParseTrialResult(const std::string& line) {
   if (!(in >> tag) || tag != "result") {
     return Status::InvalidArgument("expected 'result' line, got: " + line);
   }
-  std::string id_tok, crashed_tok, value_tok;
-  if (!(in >> id_tok >> crashed_tok >> value_tok)) {
+  std::string id_tok, outcome_tok, value_tok;
+  if (!(in >> id_tok >> outcome_tok >> value_tok)) {
     return Status::InvalidArgument("truncated result header");
   }
   Result<int64_t> id = ParseInt64(id_tok);
   if (!id.ok()) return id.status();
-  Result<int64_t> crashed = ParseInt64(crashed_tok);
-  if (!crashed.ok()) return crashed.status();
+  Result<int64_t> outcome = ParseInt64(outcome_tok);
+  if (!outcome.ok()) return outcome.status();
+  if (*outcome < 0 || *outcome > static_cast<int64_t>(TrialOutcome::kLost)) {
+    return Status::InvalidArgument("unknown trial outcome code " +
+                                   std::to_string(*outcome));
+  }
   Result<double> value = DecodeDoubleBits(value_tok);
   if (!value.ok()) return value.status();
 
   TrialResult result;
   result.trial_id = *id;
-  result.crashed = *crashed != 0;
+  result.outcome = static_cast<TrialOutcome>(*outcome);
   result.value = *value;
 
   std::string section, count_tok;

@@ -42,21 +42,50 @@ struct Trial {
   bool is_baseline = false;
 };
 
+/// \brief How a trial's evaluation ended.
+///
+/// Wire/serde values are part of the protocol — never renumber, only
+/// append. kOk/kCrashed keep the 0/1 values of the old boolean
+/// `crashed` field, so pre-existing serialized results parse
+/// unchanged.
+enum class TrialOutcome : int {
+  /// The workload ran to completion; `value` is the real measurement.
+  kOk = 0,
+  /// The DBMS failed to start or crashed under this configuration.
+  kCrashed = 1,
+  /// The evaluation exceeded its time budget and was aborted.
+  kTimedOut = 2,
+  /// The evaluator vanished (process death, network partition) and
+  /// the measurement is unrecoverable.
+  kLost = 3,
+};
+
+/// True for every non-kOk outcome: the session substitutes a penalty
+/// for `value` and skips metrics.
+inline bool IsFailure(TrialOutcome outcome) {
+  return outcome != TrialOutcome::kOk;
+}
+
 /// \brief The measured outcome the caller reports for a Trial.
 struct TrialResult {
   /// Must name a pending Trial's id; unknown or already-told ids are
-  /// rejected by Tell with NotFound / AlreadyExists.
+  /// rejected by Tell with NotFound / AlreadyExists, expired ids with
+  /// TrialExpired.
   int64_t trial_id = 0;
   /// The raw measured metric (throughput req/s, or latency ms for
-  /// minimization targets). Ignored when `crashed` is true — the
-  /// session substitutes the quarter-of-worst crash penalty.
+  /// minimization targets). Ignored for failure outcomes — the
+  /// session substitutes the per-outcome penalty (quarter-of-worst by
+  /// default). Must be finite for kOk results; Tell rejects NaN/Inf
+  /// with InvalidArgument.
   double value = 0.0;
-  /// True when the DBMS failed to start or crashed under this
-  /// configuration.
-  bool crashed = false;
+  /// How the evaluation ended; any failure outcome scores the
+  /// configured penalty instead of `value`.
+  TrialOutcome outcome = TrialOutcome::kOk;
   /// Internal DBMS metrics sampled during the run (RL state vector);
   /// may be empty for optimizers that do not consume them.
   std::vector<double> metrics;
+
+  bool crashed() const { return outcome == TrialOutcome::kCrashed; }
 };
 
 /// \name Bit-exact text serialization

@@ -20,8 +20,18 @@ double NowSeconds() {
       .count();
 }
 
+int64_t NowUnixMillis() {
+  using Clock = std::chrono::system_clock;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 constexpr char kCheckpointHeader[] = "llamatune-checkpoint";
-constexpr int kCheckpointVersion = 1;
+// v2: per-outcome penalty options, pending-trial deadlines, "told"
+// lines carry a typed outcome code, and expired round slots are
+// recorded as "expired" so replay reproduces the drop.
+constexpr int kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -45,6 +55,20 @@ Status SessionOptions::Validate() const {
   if (!(crash_penalty_divisor > 0.0)) {
     return Status::InvalidArgument(
         "SessionOptions: crash_penalty_divisor must be > 0");
+  }
+  if (!(timeout_penalty_divisor > 0.0)) {
+    return Status::InvalidArgument(
+        "SessionOptions: timeout_penalty_divisor must be > 0");
+  }
+  if (!(lost_penalty_divisor > 0.0)) {
+    return Status::InvalidArgument(
+        "SessionOptions: lost_penalty_divisor must be > 0");
+  }
+  if (pending_deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: pending_deadline_ms must be >= 0 (0 = no deadline), "
+        "got " +
+        std::to_string(pending_deadline_ms));
   }
   return Status::OK();
 }
@@ -71,19 +95,32 @@ TuningSession::TuningSession(const ConfigSpace* config_space, bool maximize,
       options_(std::move(options)),
       init_status_(options_.Validate()) {}
 
-double TuningSession::Penalized() const {
+double TuningSession::Penalized(double divisor) const {
   // Internal objectives are always maximize-convention; the paper
   // assigns a quarter of the worst seen so far.
   if (worst_objective_ >= 0.0) {
-    return worst_objective_ / options_.crash_penalty_divisor;
+    return worst_objective_ / divisor;
   }
-  return worst_objective_ * options_.crash_penalty_divisor;
+  return worst_objective_ * divisor;
+}
+
+double TuningSession::PenaltyDivisorFor(TrialOutcome outcome) const {
+  switch (outcome) {
+    case TrialOutcome::kTimedOut:
+      return options_.timeout_penalty_divisor;
+    case TrialOutcome::kLost:
+      return options_.lost_penalty_divisor;
+    case TrialOutcome::kCrashed:
+    case TrialOutcome::kOk:
+      break;
+  }
+  return options_.crash_penalty_divisor;
 }
 
 void TuningSession::ScoreResult(const TrialResult& result,
                                 double* objective_value, double* measured) {
-  if (result.crashed) {
-    *objective_value = Penalized();
+  if (IsFailure(result.outcome)) {
+    *objective_value = Penalized(PenaltyDivisorFor(result.outcome));
     *measured = maximize_ ? *objective_value : -*objective_value;
   } else {
     *objective_value = maximize_ ? result.value : -result.value;
@@ -100,7 +137,8 @@ void TuningSession::AppendRecord(const Trial& trial, const TrialResult& result,
   record.config = trial.config;
   record.measured = measured;
   record.objective = objective_value;
-  record.crashed = result.crashed;
+  record.crashed = result.crashed();
+  record.outcome = result.outcome;
   record.metrics = result.metrics;
   kb_.Add(std::move(record));
 
@@ -141,7 +179,8 @@ Result<Trial> TuningSession::Ask() {
     round.kind = Round::Kind::kBaseline;
     round.requested = 1;
     round.ids = {trial.id};
-    pending_.emplace(trial.id, PendingTrial{trial, std::nullopt});
+    pending_.emplace(trial.id,
+                    PendingTrial{trial, std::nullopt, NowUnixMillis()});
     open_rounds_.push_back(std::move(round));
     baseline_pending_ = true;
     return trial;
@@ -165,7 +204,8 @@ Result<Trial> TuningSession::Ask() {
   round.kind = Round::Kind::kSingle;
   round.requested = 1;
   round.ids = {trial.id};
-  pending_.emplace(trial.id, PendingTrial{trial, std::nullopt});
+  pending_.emplace(trial.id,
+                    PendingTrial{trial, std::nullopt, NowUnixMillis()});
   open_rounds_.push_back(std::move(round));
   return trial;
 }
@@ -214,7 +254,8 @@ Result<std::vector<Trial>> TuningSession::AskBatch(int n) {
     trial.config = adapter_->Project(point);
     trial.point = std::move(point);
     round.ids.push_back(trial.id);
-    pending_.emplace(trial.id, PendingTrial{trial, std::nullopt});
+    pending_.emplace(trial.id,
+                    PendingTrial{trial, std::nullopt, NowUnixMillis()});
     trials.push_back(std::move(trial));
   }
   open_rounds_.push_back(std::move(round));
@@ -225,6 +266,11 @@ Status TuningSession::Tell(const TrialResult& result) {
   if (!init_status_.ok()) return init_status_;
   auto it = pending_.find(result.trial_id);
   if (it == pending_.end()) {
+    if (expired_ids_.count(result.trial_id) > 0) {
+      return Status::TrialExpired(
+          "Tell: trial " + std::to_string(result.trial_id) +
+          " expired (deadline passed; its budget was reclaimed)");
+    }
     if (result.trial_id >= 1 && result.trial_id < next_trial_id_) {
       return Status::AlreadyExists(
           "Tell: trial " + std::to_string(result.trial_id) +
@@ -238,16 +284,94 @@ Status TuningSession::Tell(const TrialResult& result) {
                                  std::to_string(result.trial_id) +
                                  " was already told (buffered)");
   }
+  // A non-finite measurement would silently poison GP target
+  // standardization (every standardized target becomes NaN); refuse it
+  // at the boundary. Failure outcomes ignore `value`, so they pass.
+  if (!IsFailure(result.outcome) && !std::isfinite(result.value)) {
+    return Status::InvalidArgument(
+        "Tell: non-finite value for trial " +
+        std::to_string(result.trial_id) +
+        " (report a failure outcome instead of NaN/Inf)");
+  }
   it->second.result = result;
   CommitReadyRounds();
   return Status::OK();
 }
 
 Status TuningSession::TellBatch(const std::vector<TrialResult>& results) {
+  // Validate the whole batch before buffering anything: a non-finite
+  // value in result k must not leave results [0, k) half-applied (the
+  // caller would have to untangle which tells took).
+  for (const TrialResult& result : results) {
+    if (!IsFailure(result.outcome) && !std::isfinite(result.value)) {
+      return Status::InvalidArgument(
+          "TellBatch: non-finite value for trial " +
+          std::to_string(result.trial_id) +
+          " (use a failure outcome when there is no measurement)");
+    }
+  }
   for (const TrialResult& result : results) {
     LT_RETURN_NOT_OK(Tell(result));
   }
   return Status::OK();
+}
+
+Status TuningSession::Expire(int64_t trial_id) {
+  if (!init_status_.ok()) return init_status_;
+  auto it = pending_.find(trial_id);
+  if (it == pending_.end()) {
+    // Idempotent on already-expired ids: WAL replay may re-apply an
+    // expiry record that the autosave already captured.
+    if (expired_ids_.count(trial_id) > 0) return Status::OK();
+    if (trial_id >= 1 && trial_id < next_trial_id_) {
+      return Status::AlreadyExists("Expire: trial " +
+                                   std::to_string(trial_id) +
+                                   " was already told and committed");
+    }
+    return Status::NotFound("Expire: unknown trial id " +
+                            std::to_string(trial_id));
+  }
+  if (it->second.trial.is_baseline) {
+    return Status::FailedPrecondition(
+        "Expire: the baseline trial cannot expire (no session can start "
+        "without its crash-penalty floor)");
+  }
+  if (it->second.result.has_value()) {
+    return Status::FailedPrecondition(
+        "Expire: trial " + std::to_string(trial_id) +
+        " already has a buffered result");
+  }
+  pending_.erase(it);
+  expired_ids_.insert(trial_id);
+  // Dropping the slot may complete its round (all other slots told).
+  CommitReadyRounds();
+  return Status::OK();
+}
+
+std::vector<int64_t> TuningSession::ExpireOverdue(int64_t now_ms) {
+  if (!init_status_.ok() || options_.pending_deadline_ms <= 0) return {};
+  std::vector<int64_t> overdue;
+  for (const auto& [id, pending] : pending_) {
+    if (pending.trial.is_baseline || pending.result.has_value()) continue;
+    if (now_ms - pending.asked_at_ms >= options_.pending_deadline_ms) {
+      overdue.push_back(id);
+    }
+  }
+  std::vector<int64_t> expired;
+  expired.reserve(overdue.size());
+  for (int64_t id : overdue) {
+    if (Expire(id).ok()) expired.push_back(id);
+  }
+  return expired;
+}
+
+std::vector<Trial> TuningSession::PendingSnapshot() const {
+  std::vector<Trial> trials;
+  trials.reserve(pending_.size());
+  for (const auto& [id, pending] : pending_) {
+    if (!pending.result.has_value()) trials.push_back(pending.trial);
+  }
+  return trials;
 }
 
 void TuningSession::CommitReadyRounds() {
@@ -255,6 +379,7 @@ void TuningSession::CommitReadyRounds() {
     const Round& front = open_rounds_.front();
     bool complete = true;
     for (int64_t id : front.ids) {
+      if (expired_ids_.count(id) > 0) continue;  // dropped slot
       auto it = pending_.find(id);
       if (it == pending_.end() || !it->second.result.has_value()) {
         complete = false;
@@ -288,17 +413,23 @@ void TuningSession::CommitRound(const Round& round) {
     return;
   }
 
-  int n = static_cast<int>(round.ids.size());
+  // Expired slots were dropped from the round: no trial, no result,
+  // no observation. A round can even commit empty (every slot
+  // expired) — the optimizer's suggest draw already happened at ask
+  // time, so the draw sequence stays intact either way.
   std::vector<Trial> trials;
   std::vector<TrialResult> results;
-  trials.reserve(n);
-  results.reserve(n);
+  trials.reserve(round.ids.size());
+  results.reserve(round.ids.size());
   for (int64_t id : round.ids) {
+    if (expired_ids_.count(id) > 0) continue;
     auto it = pending_.find(id);
     trials.push_back(std::move(it->second.trial));
     results.push_back(std::move(*it->second.result));
     pending_.erase(it);
   }
+  int n = static_cast<int>(trials.size());
+  if (n == 0) return;
 
   // Score in suggestion order so crash penalties, best-so-far curves
   // and early stopping are independent of evaluation interleaving.
@@ -332,7 +463,7 @@ std::vector<TrialResult> TuningSession::EvaluateTrials(
     TrialResult result;
     result.trial_id = trial.id;
     result.value = r.value;
-    result.crashed = r.crashed;
+    result.outcome = r.EffectiveOutcome();
     result.metrics = r.metrics;
     return result;
   };
@@ -445,6 +576,9 @@ std::string TuningSession::Save() const {
   out << "maximize " << (maximize_ ? 1 : 0) << '\n';
   out << "options " << options_.num_iterations << ' ' << options_.batch_size
       << ' ' << EncodeDoubleBits(options_.crash_penalty_divisor) << ' '
+      << EncodeDoubleBits(options_.timeout_penalty_divisor) << ' '
+      << EncodeDoubleBits(options_.lost_penalty_divisor) << ' '
+      << options_.pending_deadline_ms << ' '
       << (options_.early_stopping.has_value() ? 1 : 0);
   if (options_.early_stopping.has_value()) {
     out << ' ' << EncodeDoubleBits(options_.early_stopping->min_improvement_pct())
@@ -488,9 +622,15 @@ std::string TuningSession::Save() const {
     out << "round " << tag << ' ' << round.requested << ' '
         << round.ids.size() << '\n';
     if (round.kind == Round::Kind::kBaseline) continue;
-    for (size_t i = 0; i < round.ids.size(); ++i, ++record_index) {
-      const IterationRecord& record = kb_.record(record_index);
-      out << "told " << (record.crashed ? 1 : 0) << ' '
+    for (size_t i = 0; i < round.ids.size(); ++i) {
+      // Expired slots committed without an observation or a KB
+      // record; replay must re-drop them, not re-tell them.
+      if (expired_ids_.count(round.ids[i]) > 0) {
+        out << "expired\n";
+        continue;
+      }
+      const IterationRecord& record = kb_.record(record_index++);
+      out << "told " << static_cast<int>(record.outcome) << ' '
           << EncodeDoubleBits(record.measured) << ' '
           << record.metrics.size();
       for (double v : record.metrics) out << ' ' << EncodeDoubleBits(v);
@@ -566,6 +706,12 @@ Status TuningSession::Restore(const std::string& checkpoint) {
   if (!saved_batch.ok()) return saved_batch.status();
   Result<double> saved_divisor = read_double("crash_penalty_divisor");
   if (!saved_divisor.ok()) return saved_divisor.status();
+  Result<double> saved_timeout_divisor = read_double("timeout_penalty_divisor");
+  if (!saved_timeout_divisor.ok()) return saved_timeout_divisor.status();
+  Result<double> saved_lost_divisor = read_double("lost_penalty_divisor");
+  if (!saved_lost_divisor.ok()) return saved_lost_divisor.status();
+  Result<int64_t> saved_deadline = read_int("pending_deadline_ms");
+  if (!saved_deadline.ok()) return saved_deadline.status();
   Result<int64_t> saved_has_es = read_int("early stopping flag");
   if (!saved_has_es.ok()) return saved_has_es.status();
   double saved_es_pct = 0.0;
@@ -582,6 +728,11 @@ Status TuningSession::Restore(const std::string& checkpoint) {
       *saved_batch != options_.batch_size ||
       EncodeDoubleBits(*saved_divisor) !=
           EncodeDoubleBits(options_.crash_penalty_divisor) ||
+      EncodeDoubleBits(*saved_timeout_divisor) !=
+          EncodeDoubleBits(options_.timeout_penalty_divisor) ||
+      EncodeDoubleBits(*saved_lost_divisor) !=
+          EncodeDoubleBits(options_.lost_penalty_divisor) ||
+      *saved_deadline != options_.pending_deadline_ms ||
       (*saved_has_es != 0) != options_.early_stopping.has_value() ||
       (options_.early_stopping.has_value() &&
        (EncodeDoubleBits(saved_es_pct) !=
@@ -662,7 +813,8 @@ Status TuningSession::Restore(const std::string& checkpoint) {
   if (!n_rounds.ok()) return n_rounds.status();
 
   struct SavedTold {
-    bool crashed = false;
+    bool expired = false;
+    TrialOutcome outcome = TrialOutcome::kOk;
     double value = 0.0;
     std::vector<double> metrics;
   };
@@ -694,11 +846,28 @@ Status TuningSession::Restore(const std::string& checkpoint) {
     round.size = static_cast<int>(*size);
     if (round.tag != 'D') {
       for (int i = 0; i < round.size; ++i) {
-        LT_RETURN_NOT_OK(expect("told"));
+        std::string slot_tag;
+        if (!(in >> slot_tag) ||
+            (slot_tag != "told" && slot_tag != "expired")) {
+          return Status::InvalidArgument(
+              "Restore: expected 'told' or 'expired' slot, got '" + slot_tag +
+              "'");
+        }
         SavedTold told;
-        Result<int64_t> crashed = read_int("told crashed flag");
-        if (!crashed.ok()) return crashed.status();
-        told.crashed = *crashed != 0;
+        if (slot_tag == "expired") {
+          told.expired = true;
+          round.told.push_back(std::move(told));
+          continue;
+        }
+        Result<int64_t> outcome = read_int("told outcome code");
+        if (!outcome.ok()) return outcome.status();
+        if (*outcome < 0 ||
+            *outcome > static_cast<int64_t>(TrialOutcome::kLost)) {
+          return Status::InvalidArgument(
+              "Restore: unknown told outcome code " +
+              std::to_string(*outcome));
+        }
+        told.outcome = static_cast<TrialOutcome>(*outcome);
         Result<double> value = read_double("told value");
         if (!value.ok()) return value.status();
         told.value = *value;
@@ -782,10 +951,19 @@ Status TuningSession::Restore(const std::string& checkpoint) {
       break;
     }
     for (int i = 0; i < round.size; ++i) {
+      if (round.told[i].expired) {
+        Status dropped = Expire(trials[i].id);
+        if (!dropped.ok()) {
+          replay_status = Status::Internal("Restore: replay Expire failed: " +
+                                           dropped.ToString());
+          break;
+        }
+        continue;
+      }
       TrialResult result;
       result.trial_id = trials[i].id;
       result.value = round.told[i].value;
-      result.crashed = round.told[i].crashed;
+      result.outcome = round.told[i].outcome;
       result.metrics = round.told[i].metrics;
       Status told = Tell(result);
       if (!told.ok()) {

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,20 @@ struct SessionOptions {
   /// Crash penalty: crashed configurations score (worst seen) / this
   /// factor under maximization (and worst * factor when minimizing).
   double crash_penalty_divisor = 4.0;
+  /// Penalty divisors for the other failure outcomes (same
+  /// quarter-of-worst convention): a timed-out evaluation, and one
+  /// whose evaluator vanished (kLost). Defaults match the crash
+  /// penalty, so a session that never distinguishes outcomes behaves
+  /// exactly as before.
+  double timeout_penalty_divisor = 4.0;
+  double lost_penalty_divisor = 4.0;
+  /// Deadline for pending (asked, untold) trials in milliseconds;
+  /// 0 disables. Expiry is never implicit: it happens only when the
+  /// caller invokes ExpireOverdue(now_ms) (the server's maintenance
+  /// sweep does) or Expire(id). An expired trial's budget is
+  /// reclaimed, it is dropped from its round without an observation,
+  /// and a late Tell for it fails with the typed TrialExpired status.
+  int64_t pending_deadline_ms = 0;
   /// Configurations suggested and evaluated per step. 1 reproduces the
   /// classic sequential loop unchanged. Larger batches draw
   /// Optimizer::SuggestBatch and evaluate concurrently across
@@ -174,12 +189,35 @@ class TuningSession {
   Result<std::vector<Trial>> AskBatch(int n);
 
   /// Reports one measurement. Unknown ids fail with NotFound,
-  /// duplicate tells with AlreadyExists. Commit happens when a round
-  /// completes (see class comment).
+  /// duplicate tells with AlreadyExists, expired ids with
+  /// TrialExpired, and a non-finite (NaN/Inf) value on a kOk result
+  /// with InvalidArgument. Commit happens when a round completes (see
+  /// class comment).
   Status Tell(const TrialResult& result);
 
   /// Tells several results; stops at the first error.
   Status TellBatch(const std::vector<TrialResult>& results);
+
+  /// Expires one pending trial: its budget is reclaimed, the trial is
+  /// dropped from its round without an observation, and a later Tell
+  /// for it fails with TrialExpired. Idempotent on already-expired
+  /// ids. Fails with NotFound for unknown ids, AlreadyExists for
+  /// committed ones, and FailedPrecondition for the baseline trial or
+  /// a trial whose result is already buffered.
+  Status Expire(int64_t trial_id);
+
+  /// Expires every non-baseline pending trial that was asked more
+  /// than SessionOptions::pending_deadline_ms before `now_ms` (Unix
+  /// millis) and has no buffered result; returns the expired ids (the
+  /// server appends them to its trial WAL). No-op (empty) when
+  /// pending_deadline_ms == 0.
+  std::vector<int64_t> ExpireOverdue(int64_t now_ms);
+
+  /// The pending (asked, result not yet buffered) trials in id order —
+  /// the server surfaces these so a retrying client can adopt a trial
+  /// whose Ask reply was lost instead of asking again (an extra ask
+  /// would advance the optimizer's draw sequence).
+  std::vector<Trial> PendingSnapshot() const;
 
   /// True once the session will hand out no further trials (budget
   /// exhausted or early-stopped).
@@ -187,6 +225,12 @@ class TuningSession {
 
   /// Trials asked but not yet told.
   int pending_trials() const { return static_cast<int>(pending_.size()); }
+
+  /// The id the next Ask will assign. After Restore this equals
+  /// (committed trials, expired included) + 1 — the cursor the
+  /// server's WAL replay uses to skip ask records the checkpoint
+  /// already covers.
+  int64_t next_trial_id() const { return next_trial_id_; }
 
   /// @}
 
@@ -241,6 +285,10 @@ class TuningSession {
   struct PendingTrial {
     Trial trial;
     std::optional<TrialResult> result;
+    /// Wall-clock ask time (Unix millis) for deadline expiry; never
+    /// serialized — expiry decisions are recorded in the checkpoint,
+    /// not re-derived from time.
+    int64_t asked_at_ms = 0;
   };
   /// One Ask/AskBatch call. `requested` is recorded for checkpoint
   /// replay: a SuggestBatch override may return fewer than requested,
@@ -253,10 +301,11 @@ class TuningSession {
     std::vector<int64_t> ids;
   };
 
-  double Penalized() const;
+  double Penalized(double divisor) const;
+  double PenaltyDivisorFor(TrialOutcome outcome) const;
   /// Converts a raw evaluation into the internal maximize-convention
-  /// objective and the reported measured value, applying the crash
-  /// penalty and updating the penalty floor.
+  /// objective and the reported measured value, applying the
+  /// per-outcome penalty and updating the penalty floor.
   void ScoreResult(const TrialResult& result, double* objective_value,
                    double* measured);
   /// Appends the iteration to the knowledge base and updates the
@@ -291,6 +340,10 @@ class TuningSession {
 
   int64_t next_trial_id_ = 1;
   std::map<int64_t, PendingTrial> pending_;
+  /// Ids dropped by Expire: a late Tell answers TrialExpired forever,
+  /// and Save writes their round slots as "expired" so replay
+  /// reproduces the drop deterministically.
+  std::set<int64_t> expired_ids_;
   std::deque<Round> open_rounds_;
   /// Committed rounds in commit order, for checkpoint replay.
   std::vector<Round> committed_rounds_;

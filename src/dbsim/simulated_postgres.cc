@@ -1,7 +1,10 @@
 #include "src/dbsim/simulated_postgres.h"
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
+#include "src/common/fault_injection.h"
 #include "src/common/rng.h"
 #include "src/dbsim/des/des_engine.h"
 
@@ -47,10 +50,31 @@ ModelOutput SimulatedPostgres::RunNoiseless(const Configuration& config) const {
 
 EvalResult SimulatedPostgres::Evaluate(const Configuration& config) {
   int eval_index = eval_count_++;
+  // Injected evaluation failures (chaos testing): a crash, a timeout
+  // abort, or a hang (stall, then the run completes normally). These
+  // model the evaluator-side failure taxonomy of a real DBMS run
+  // without perturbing the simulator's own noise stream.
+  if (FaultInjection::ShouldFail("eval.crash")) {
+    EvalResult result;
+    result.crashed = true;
+    result.outcome = TrialOutcome::kCrashed;
+    result.metrics.assign(kNumMetrics, 0.0);
+    return result;
+  }
+  if (FaultInjection::ShouldFail("eval.timeout")) {
+    EvalResult result;
+    result.outcome = TrialOutcome::kTimedOut;
+    result.metrics.assign(kNumMetrics, 0.0);
+    return result;
+  }
+  if (FaultInjection::ShouldFail("eval.hang")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
   ModelOutput out = RunNoiseless(config);
   EvalResult result;
   if (out.crashed) {
     result.crashed = true;
+    result.outcome = TrialOutcome::kCrashed;
     result.metrics.assign(kNumMetrics, 0.0);
     return result;
   }

@@ -77,6 +77,11 @@ TunerBuilder& TunerBuilder::EarlyStopping(EarlyStoppingPolicy policy) {
   return *this;
 }
 
+TunerBuilder& TunerBuilder::PendingDeadlineMs(int64_t deadline_ms) {
+  pending_deadline_ms_ = deadline_ms;
+  return *this;
+}
+
 Result<std::unique_ptr<Tuner>> TunerBuilder::Build() const {
   return BuildImpl(/*allow_detached=*/false);
 }
@@ -142,6 +147,7 @@ Result<std::unique_ptr<Tuner>> TunerBuilder::BuildImpl(
   session_options.batch_size = batch_size_;
   session_options.num_threads = num_threads_;
   session_options.early_stopping = early_stopping_;
+  session_options.pending_deadline_ms = pending_deadline_ms_;
   LT_RETURN_NOT_OK(session_options.Validate());
   if (tuner->objective_ != nullptr) {
     tuner->session_ = std::make_unique<TuningSession>(

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/core/objective.h"
@@ -40,6 +41,14 @@ class Tuner {
   Status TellBatch(const std::vector<TrialResult>& results) {
     return session_->TellBatch(results);
   }
+  Status Expire(int64_t trial_id) { return session_->Expire(trial_id); }
+  std::vector<int64_t> ExpireOverdue(int64_t now_ms) {
+    return session_->ExpireOverdue(now_ms);
+  }
+  std::vector<Trial> PendingSnapshot() const {
+    return session_->PendingSnapshot();
+  }
+  int64_t next_trial_id() const { return session_->next_trial_id(); }
   std::string Save() const { return session_->Save(); }
   Status Restore(const std::string& checkpoint) {
     return session_->Restore(checkpoint);
@@ -134,6 +143,10 @@ class TunerBuilder {
 
   TunerBuilder& EarlyStopping(EarlyStoppingPolicy policy);
 
+  /// Deadline for pending (asked, untold) trials in milliseconds;
+  /// 0 (default) disables. See SessionOptions::pending_deadline_ms.
+  TunerBuilder& PendingDeadlineMs(int64_t deadline_ms);
+
   /// Builds the stack. Fails when no objective source was configured,
   /// more than one was, or a registry key is unknown. Requires an
   /// evaluable source (Workload or Objective) — with only Space(),
@@ -162,6 +175,7 @@ class TunerBuilder {
   int batch_size_ = 1;
   int num_threads_ = 0;
   std::optional<EarlyStoppingPolicy> early_stopping_;
+  int64_t pending_deadline_ms_ = 0;
 };
 
 }  // namespace harness

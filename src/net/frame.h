@@ -35,6 +35,7 @@ enum class MessageKind : uint8_t {
   kCheckpoint = 13,
   kClose = 14,
   kPing = 15,
+  kGetPending = 16,  ///< pending trials of a session (retry adoption)
 
   // --- Replies.
   kOk = 64,            ///< empty success (create/resume/tell/drive/hello)
@@ -47,6 +48,7 @@ enum class MessageKind : uint8_t {
   kCheckpointReply = 71,  ///< checkpoint text
   kClosedReply = 72,      ///< final result scalars
   kPongReply = 73,
+  kPendingReply = 74,  ///< next trial id + n serialized pending Trials
 };
 
 /// First byte on the wire; a connection speaking anything else is not

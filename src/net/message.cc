@@ -37,6 +37,8 @@ WireError WireErrorFromStatus(const Status& status) {
       return WireError::kBusy;
     case StatusCode::kResourceExhausted:
       return WireError::kQuotaExceeded;
+    case StatusCode::kTrialExpired:
+      return WireError::kTrialExpired;
   }
   return WireError::kInternal;
 }
@@ -73,6 +75,8 @@ Status StatusFromWireError(WireError code, std::string message) {
       return Status::NotImplemented(std::move(message));
     case WireError::kShuttingDown:
       return Status::Unavailable(std::move(message));
+    case WireError::kTrialExpired:
+      return Status::TrialExpired(std::move(message));
   }
   return Status::Internal("unknown wire error code: " + std::move(message));
 }
@@ -253,7 +257,7 @@ Result<KnobSpec> DecodeKnob(std::istringstream* in) {
 }
 
 void EncodeSpecInto(std::ostringstream* out, const WireSessionSpec& spec) {
-  *out << " spec 1";
+  *out << " spec 2";
   PutStr(out, "workload", spec.workload);
   PutInt(out, "knobs", static_cast<int64_t>(spec.space_knobs.size()));
   for (const KnobSpec& knob : spec.space_knobs) EncodeKnob(out, knob);
@@ -264,12 +268,16 @@ void EncodeSpecInto(std::ostringstream* out, const WireSessionSpec& spec) {
   PutInt(out, "iterations", spec.num_iterations);
   PutInt(out, "batch", spec.batch_size);
   PutInt(out, "threads", spec.num_threads);
+  PutInt(out, "deadline", spec.pending_deadline_ms);
 }
 
 Result<WireSessionSpec> DecodeSpecFrom(std::istringstream* in) {
+  // v2 appended the pending-deadline field; v1 payloads (older peers,
+  // pre-upgrade autosave files) still decode, with the deadline at 0.
   std::string tag, version;
-  if (!(*in >> tag >> version) || tag != "spec" || version != "1") {
-    return Status::InvalidArgument("wire: expected 'spec 1' section");
+  if (!(*in >> tag >> version) || tag != "spec" ||
+      (version != "1" && version != "2")) {
+    return Status::InvalidArgument("wire: expected 'spec 1|2' section");
   }
   WireSessionSpec spec;
   Result<std::string> workload = GetStr(in, "workload");
@@ -309,6 +317,11 @@ Result<WireSessionSpec> DecodeSpecFrom(std::istringstream* in) {
   Result<int64_t> threads = GetInt(in, "threads");
   if (!threads.ok()) return threads.status();
   spec.num_threads = static_cast<int>(*threads);
+  if (version == "2") {
+    Result<int64_t> deadline = GetInt(in, "deadline");
+    if (!deadline.ok()) return deadline.status();
+    spec.pending_deadline_ms = *deadline;
+  }
   return spec;
 }
 
@@ -726,6 +739,47 @@ Result<WireCloseResult> DecodeClosedReply(const std::string& payload) {
   if (!default_performance.ok()) return default_performance.status();
   result.default_performance = *default_performance;
   return result;
+}
+
+std::string EncodePendingReply(int64_t next_trial_id,
+                               const std::vector<Trial>& trials) {
+  std::ostringstream out;
+  out << "pendingreply";
+  PutInt(&out, "next", next_trial_id);
+  PutInt(&out, "n", static_cast<int64_t>(trials.size()));
+  for (const Trial& trial : trials) {
+    out << " x" << EncodeBytes(SerializeTrial(trial));
+  }
+  return out.str();
+}
+
+Status DecodePendingReply(const std::string& payload, int64_t* next_trial_id,
+                          std::vector<Trial>* trials) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "pendingreply") {
+    return Status::InvalidArgument("wire: expected 'pendingreply' payload");
+  }
+  Result<int64_t> next = GetInt(&in, "next");
+  if (!next.ok()) return next.status();
+  Result<int64_t> n = GetInt(&in, "n");
+  if (!n.ok()) return n.status();
+  std::vector<Trial> out;
+  out.reserve(ClampReserve(*n));
+  for (int64_t i = 0; i < *n; ++i) {
+    std::string token;
+    if (!(in >> token) || token.empty() || token[0] != 'x') {
+      return Status::InvalidArgument("wire: truncated pending reply");
+    }
+    Result<std::string> line = DecodeBytes(token.substr(1));
+    if (!line.ok()) return line.status();
+    Result<Trial> trial = ParseTrial(*line);
+    if (!trial.ok()) return trial.status();
+    out.push_back(std::move(trial).ValueOrDie());
+  }
+  *next_trial_id = *next;
+  *trials = std::move(out);
+  return Status::OK();
 }
 
 }  // namespace net

@@ -35,7 +35,8 @@ enum class WireError : uint8_t {
   kFailedPrecondition = 12,
   kInternal = 13,
   kNotImplemented = 14,
-  kShuttingDown = 15,  ///< server is stopping; connection will close
+  kShuttingDown = 15,   ///< server is stopping; connection will close
+  kTrialExpired = 16,   ///< tell for a pending trial whose deadline passed
 };
 
 WireError WireErrorFromStatus(const Status& status);
@@ -64,6 +65,10 @@ struct WireSessionSpec {
   int num_iterations = 100;
   int batch_size = 1;
   int num_threads = 0;
+  /// Deadline for pending (asked, untold) trials in milliseconds; 0
+  /// disables (see service::SessionSpec::pending_deadline_ms). Added
+  /// in spec section v2; v1 payloads decode with 0.
+  int64_t pending_deadline_ms = 0;
 };
 
 /// \brief SessionStatus plus the server-side overlay.
@@ -151,6 +156,14 @@ Result<std::string> DecodeCheckpointReply(const std::string& payload);
 
 std::string EncodeClosedReply(const WireCloseResult& result);
 Result<WireCloseResult> DecodeClosedReply(const std::string& payload);
+
+/// kPendingReply: the session's next trial id (the client's dedup
+/// cursor — every id below it has already been drawn) plus the pending
+/// trials themselves. The kGetPending request is EncodeNameOnly.
+std::string EncodePendingReply(int64_t next_trial_id,
+                               const std::vector<Trial>& trials);
+Status DecodePendingReply(const std::string& payload, int64_t* next_trial_id,
+                          std::vector<Trial>* trials);
 
 /// @}
 

@@ -1,43 +1,124 @@
 #include "src/net/tuning_client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
+#include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "src/common/fault_injection.h"
 
 namespace llamatune {
 namespace net {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Milliseconds until `deadline_ms` (a SteadyNowMs value) for poll();
+/// -1 (wait forever) when no deadline is set, 0 when it passed.
+int PollBudget(int64_t deadline_ms) {
+  if (deadline_ms <= 0) return -1;
+  int64_t left = deadline_ms - SteadyNowMs();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<int64_t>(left, 60000));
+}
+
+}  // namespace
 
 TuningClient::~TuningClient() { Disconnect(); }
 
 Status TuningClient::Connect(const std::string& host, uint16_t port) {
   if (fd_ >= 0) return Status::FailedPrecondition("client: already connected");
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("client: bad IPv4 address '" + host + "'");
+  host_ = host;
+  port_ = port;
+  have_endpoint_ = true;
+  return ConnectInternal();
+}
+
+Status TuningClient::ConnectInternal() {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host_.c_str(), std::to_string(port_).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    return Status::InvalidArgument("client: getaddrinfo('" + host_ +
+                                   "'): " + ::gai_strerror(rc));
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("client: socket(): ") +
-                            std::strerror(errno));
+  Status last =
+      Status::Unavailable("client: no usable address for '" + host_ + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK,
+                      ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Internal(std::string("client: socket(): ") +
+                              std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      if (errno != EINPROGRESS) {
+        last = Status::Unavailable("client: connect(" + host_ + ":" +
+                                   std::to_string(port_) +
+                                   "): " + std::strerror(errno));
+        ::close(fd);
+        continue;
+      }
+      // Non-blocking connect: wait for writability, then read the
+      // final verdict from SO_ERROR.
+      pollfd p;
+      p.fd = fd;
+      p.events = POLLOUT;
+      p.revents = 0;
+      int timeout = options_.connect_timeout_ms > 0
+                        ? static_cast<int>(options_.connect_timeout_ms)
+                        : -1;
+      int pr = ::poll(&p, 1, timeout);
+      if (pr <= 0) {
+        last = Status::Unavailable("client: connect(" + host_ + ":" +
+                                   std::to_string(port_) + ") timed out");
+        ::close(fd);
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        last = Status::Unavailable("client: connect(" + host_ + ":" +
+                                   std::to_string(port_) +
+                                   "): " + std::strerror(err));
+        ::close(fd);
+        continue;
+      }
+    }
+    // The socket stays non-blocking; every read/write below polls, so
+    // per-call deadlines can interrupt a stuck peer.
+    ::freeaddrinfo(res);
+    fd_ = fd;
+    decoder_ = FrameDecoder();
+    return Status::OK();
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Status::Internal("client: connect(" + host + ":" +
-                                     std::to_string(port) +
-                                     "): " + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  fd_ = fd;
-  decoder_ = FrameDecoder();
-  return Status::OK();
+  ::freeaddrinfo(res);
+  return last;
 }
 
 void TuningClient::Disconnect() {
@@ -47,25 +128,96 @@ void TuningClient::Disconnect() {
   }
 }
 
-Status TuningClient::WriteAll(const std::string& bytes) {
-  size_t written = 0;
-  while (written < bytes.size()) {
-    ssize_t n = ::send(fd_, bytes.data() + written, bytes.size() - written,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("client: send(): ") +
-                              std::strerror(errno));
+Status TuningClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  if (!have_endpoint_) {
+    return Status::FailedPrecondition("client: not connected");
+  }
+  LT_RETURN_NOT_OK(ConnectInternal());
+  if (hello_done_) {
+    // The tenant declaration is per-connection state; replay it so
+    // quota accounting survives the reconnect.
+    Result<Frame> hello =
+        CallOnce(MessageKind::kHello, EncodeHello(tenant_), MessageKind::kOk);
+    if (!hello.ok()) {
+      Disconnect();
+      return hello.status();
     }
-    written += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
-Result<Frame> TuningClient::Call(MessageKind kind, const std::string& payload,
-                                 MessageKind expected) {
-  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
-  LT_RETURN_NOT_OK(WriteAll(EncodeFrame(kind, payload)));
+bool TuningClient::BackoffAndRetry(RetryState* state) {
+  const RetryPolicy& policy = options_.retry;
+  ++state->attempt;
+  if (state->attempt >= std::max(1, policy.max_attempts)) return false;
+  if (policy.retry_budget_ms > 0 &&
+      state->slept_ms >= policy.retry_budget_ms) {
+    return false;
+  }
+  if (jitter_state_ == 0) {
+    jitter_state_ = Mix64(policy.jitter_seed ^ 0x636c69656e74ULL);
+  }
+  // Decorrelated jitter: uniform in [base, 3 * previous sleep].
+  int64_t lo = std::max<int64_t>(policy.initial_backoff_ms, 1);
+  int64_t hi = std::max(lo + 1, state->prev_sleep_ms * 3);
+  uint64_t draw = Mix64(jitter_state_++);
+  int64_t sleep =
+      lo + static_cast<int64_t>(draw % static_cast<uint64_t>(hi - lo));
+  sleep = std::min(sleep, policy.max_backoff_ms);
+  if (policy.retry_budget_ms > 0) {
+    sleep = std::min(sleep, policy.retry_budget_ms - state->slept_ms);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
+  state->slept_ms += sleep;
+  state->prev_sleep_ms = sleep;
+  return true;
+}
+
+Status TuningClient::WriteAll(const std::string& bytes, int64_t deadline_ms) {
+  // Chaos hook: the connection resets before the request leaves.
+  if (FaultInjection::ShouldFail("client.send.reset")) {
+    Disconnect();
+    return Status::Unavailable("client: injected send reset");
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + written, bytes.size() - written,
+                       MSG_NOSIGNAL);
+    if (n >= 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      int budget = PollBudget(deadline_ms);
+      if (budget == 0) {
+        Disconnect();
+        return Status::Unavailable("client: send deadline exceeded");
+      }
+      pollfd p;
+      p.fd = fd_;
+      p.events = POLLOUT;
+      p.revents = 0;
+      ::poll(&p, 1, budget);
+      continue;
+    }
+    Status status = Status::Unavailable(std::string("client: send(): ") +
+                                        std::strerror(errno));
+    Disconnect();
+    return status;
+  }
+  return Status::OK();
+}
+
+Result<Frame> TuningClient::CallOnce(MessageKind kind,
+                                     const std::string& payload,
+                                     MessageKind expected) {
+  if (fd_ < 0) return Status::Unavailable("client: not connected");
+  int64_t deadline_ms = options_.call_timeout_ms > 0
+                            ? SteadyNowMs() + options_.call_timeout_ms
+                            : 0;
+  LT_RETURN_NOT_OK(WriteAll(EncodeFrame(kind, payload), deadline_ms));
   char buf[4096];
   for (;;) {
     Result<std::optional<Frame>> next = decoder_.Next();
@@ -91,15 +243,40 @@ Result<Frame> TuningClient::Call(MessageKind kind, const std::string& payload,
       }
       return frame;
     }
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    int budget = PollBudget(deadline_ms);
+    if (budget == 0) {
+      // The reply may still arrive after we stop waiting; reading it
+      // on the next call would answer the wrong request, so the
+      // connection cannot be reused.
+      Disconnect();
+      return Status::Unavailable("client: call deadline exceeded");
+    }
+    pollfd p;
+    p.fd = fd_;
+    p.events = POLLIN;
+    p.revents = 0;
+    int pr = ::poll(&p, 1, budget);
+    if (pr < 0 && errno != EINTR) {
+      Status status = Status::Unavailable(std::string("client: poll(): ") +
+                                          std::strerror(errno));
+      Disconnect();
+      return status;
+    }
+    if (pr <= 0) continue;
+    // Chaos hook: request a single byte so the decoder sees a torn
+    // frame boundary; the remainder stays queued in the socket (a
+    // short read, never data loss).
+    size_t want = sizeof(buf);
+    if (FaultInjection::ShouldFail("client.recv.short")) want = 1;
+    ssize_t n = ::recv(fd_, buf, want, 0);
     if (n == 0) {
       Disconnect();
-      return Status::Internal("client: server closed the connection");
+      return Status::Unavailable("client: server closed the connection");
     }
     if (n < 0) {
-      if (errno == EINTR) continue;
-      Status status = Status::Internal(std::string("client: recv(): ") +
-                                       std::strerror(errno));
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      Status status = Status::Unavailable(std::string("client: recv(): ") +
+                                          std::strerror(errno));
       Disconnect();
       return status;
     }
@@ -107,56 +284,259 @@ Result<Frame> TuningClient::Call(MessageKind kind, const std::string& payload,
   }
 }
 
+Result<Frame> TuningClient::Call(MessageKind kind, const std::string& payload,
+                                 MessageKind expected, bool* retried) {
+  if (retried != nullptr) *retried = false;
+  RetryState state;
+  for (;;) {
+    Status conn = EnsureConnected();
+    Status failure;
+    if (conn.ok()) {
+      Result<Frame> reply = CallOnce(kind, payload, expected);
+      if (reply.ok()) return reply;
+      // Only kUnavailable is transient (transport faults, Busy
+      // backpressure, deadlines); every typed application error is an
+      // answer, not a failure.
+      if (reply.status().code() != StatusCode::kUnavailable) {
+        return reply.status();
+      }
+      failure = reply.status();
+    } else {
+      if (conn.code() != StatusCode::kUnavailable) return conn;
+      failure = conn;
+    }
+    if (!BackoffAndRetry(&state)) return failure;
+    if (retried != nullptr) *retried = true;
+  }
+}
+
 Status TuningClient::Hello(const std::string& tenant) {
-  return Call(MessageKind::kHello, EncodeHello(tenant), MessageKind::kOk)
-      .status();
+  Status status =
+      Call(MessageKind::kHello, EncodeHello(tenant), MessageKind::kOk)
+          .status();
+  if (status.ok()) {
+    tenant_ = tenant;
+    hello_done_ = true;
+  }
+  return status;
 }
 
 Status TuningClient::CreateSession(const std::string& name,
                                    const WireSessionSpec& spec) {
-  return Call(MessageKind::kCreateSession, EncodeCreateSession(name, spec),
-              MessageKind::kOk)
-      .status();
+  bool retried = false;
+  Status status = Call(MessageKind::kCreateSession,
+                       EncodeCreateSession(name, spec), MessageKind::kOk,
+                       &retried)
+                      .status();
+  if (status.ok()) {
+    last_seen_trial_[name] = 0;
+    return status;
+  }
+  // A lost reply whose create committed answers the retry with
+  // SessionAlreadyExists — that is success, not a conflict.
+  if (retried && status.code() == StatusCode::kSessionAlreadyExists) {
+    last_seen_trial_[name] = 0;
+    return Status::OK();
+  }
+  return status;
 }
 
 Status TuningClient::Resume(const std::string& name,
                             const WireSessionSpec& spec,
                             const std::string& checkpoint) {
-  return Call(MessageKind::kResume, EncodeResume(name, spec, checkpoint),
-              MessageKind::kOk)
-      .status();
+  bool retried = false;
+  Status status =
+      Call(MessageKind::kResume, EncodeResume(name, spec, checkpoint),
+           MessageKind::kOk, &retried)
+          .status();
+  if (retried && status.code() == StatusCode::kSessionAlreadyExists) {
+    return Status::OK();
+  }
+  return status;
 }
 
 Status TuningClient::ResumeSaved(const std::string& name) {
-  return Call(MessageKind::kResumeSaved, EncodeNameOnly(name), MessageKind::kOk)
-      .status();
+  bool retried = false;
+  Status status = Call(MessageKind::kResumeSaved, EncodeNameOnly(name),
+                       MessageKind::kOk, &retried)
+                      .status();
+  if (retried && status.code() == StatusCode::kSessionAlreadyExists) {
+    return Status::OK();
+  }
+  return status;
 }
 
 Result<Trial> TuningClient::Ask(const std::string& name) {
-  Result<Frame> reply =
-      Call(MessageKind::kAsk, EncodeNameOnly(name), MessageKind::kTrialReply);
-  if (!reply.ok()) return reply.status();
-  return DecodeTrialReply(reply->payload);
+  RetryState state;
+  // Set once an attempt fails after the request may have reached the
+  // server: the ask could have committed with its reply lost, leaving
+  // an orphaned pending trial we must adopt rather than re-draw.
+  bool maybe_orphaned = false;
+  for (;;) {
+    Status conn = EnsureConnected();
+    Status failure;
+    if (!conn.ok()) {
+      if (conn.code() != StatusCode::kUnavailable) return conn;
+      failure = conn;
+    } else if (maybe_orphaned) {
+      Result<Frame> reply = CallOnce(MessageKind::kGetPending,
+                                     EncodeNameOnly(name),
+                                     MessageKind::kPendingReply);
+      if (reply.ok()) {
+        int64_t next = 0;
+        std::vector<Trial> pending;
+        Status parse = DecodePendingReply(reply->payload, &next, &pending);
+        if (!parse.ok()) return parse;
+        int64_t watermark = last_seen_trial_[name];
+        const Trial* adopt = nullptr;
+        for (const Trial& trial : pending) {
+          if (trial.id > watermark &&
+              (adopt == nullptr || trial.id < adopt->id)) {
+            adopt = &trial;
+          }
+        }
+        if (adopt != nullptr) {
+          last_seen_trial_[name] = adopt->id;
+          return *adopt;
+        }
+        // Nothing orphaned: the lost attempt never committed, so a
+        // fresh ask is the *same* deterministic draw, not a skip.
+        maybe_orphaned = false;
+        continue;
+      }
+      if (reply.status().code() != StatusCode::kUnavailable) {
+        return reply.status();
+      }
+      failure = reply.status();
+    } else {
+      Result<Frame> reply = CallOnce(MessageKind::kAsk, EncodeNameOnly(name),
+                                     MessageKind::kTrialReply);
+      if (reply.ok()) {
+        Result<Trial> trial = DecodeTrialReply(reply->payload);
+        if (trial.ok()) {
+          int64_t& watermark = last_seen_trial_[name];
+          watermark = std::max(watermark, trial->id);
+        }
+        return trial;
+      }
+      if (reply.status().code() != StatusCode::kUnavailable) {
+        return reply.status();
+      }
+      failure = reply.status();
+      maybe_orphaned = true;
+    }
+    if (!BackoffAndRetry(&state)) return failure;
+  }
 }
 
 Result<std::vector<Trial>> TuningClient::AskBatch(const std::string& name,
                                                   int n) {
-  Result<Frame> reply = Call(MessageKind::kAskBatch, EncodeAskBatch(name, n),
-                             MessageKind::kTrialsReply);
-  if (!reply.ok()) return reply.status();
-  return DecodeTrialsReply(reply->payload);
+  RetryState state;
+  bool maybe_orphaned = false;
+  for (;;) {
+    Status conn = EnsureConnected();
+    Status failure;
+    if (!conn.ok()) {
+      if (conn.code() != StatusCode::kUnavailable) return conn;
+      failure = conn;
+    } else if (maybe_orphaned) {
+      Result<Frame> reply = CallOnce(MessageKind::kGetPending,
+                                     EncodeNameOnly(name),
+                                     MessageKind::kPendingReply);
+      if (reply.ok()) {
+        int64_t next = 0;
+        std::vector<Trial> pending;
+        Status parse = DecodePendingReply(reply->payload, &next, &pending);
+        if (!parse.ok()) return parse;
+        int64_t watermark = last_seen_trial_[name];
+        std::vector<Trial> orphans;
+        for (const Trial& trial : pending) {
+          if (trial.id > watermark) orphans.push_back(trial);
+        }
+        std::sort(orphans.begin(), orphans.end(),
+                  [](const Trial& a, const Trial& b) { return a.id < b.id; });
+        // A committed batch leaves exactly the asked trials orphaned
+        // (this client is the only asker); adopt them wholesale. The
+        // server may legitimately hand out fewer than n at the budget
+        // boundary, so any non-empty orphan set is the lost batch.
+        if (!orphans.empty() &&
+            orphans.size() <= static_cast<size_t>(std::max(n, 1))) {
+          last_seen_trial_[name] = orphans.back().id;
+          return orphans;
+        }
+        maybe_orphaned = false;
+        continue;
+      }
+      if (reply.status().code() != StatusCode::kUnavailable) {
+        return reply.status();
+      }
+      failure = reply.status();
+    } else {
+      Result<Frame> reply = CallOnce(MessageKind::kAskBatch,
+                                     EncodeAskBatch(name, n),
+                                     MessageKind::kTrialsReply);
+      if (reply.ok()) {
+        Result<std::vector<Trial>> trials = DecodeTrialsReply(reply->payload);
+        if (trials.ok() && !trials->empty()) {
+          int64_t& watermark = last_seen_trial_[name];
+          for (const Trial& trial : *trials) {
+            watermark = std::max(watermark, trial.id);
+          }
+        }
+        return trials;
+      }
+      if (reply.status().code() != StatusCode::kUnavailable) {
+        return reply.status();
+      }
+      failure = reply.status();
+      maybe_orphaned = true;
+    }
+    if (!BackoffAndRetry(&state)) return failure;
+  }
 }
 
 Status TuningClient::Tell(const std::string& name, const TrialResult& result) {
-  return Call(MessageKind::kTell, EncodeTell(name, result), MessageKind::kOk)
-      .status();
+  bool retried = false;
+  Status status = Call(MessageKind::kTell, EncodeTell(name, result),
+                       MessageKind::kOk, &retried)
+                      .status();
+  // AlreadyExists on a retried tell means the lost first attempt
+  // committed — the result is in, which is what the caller asked for.
+  if (retried && status.code() == StatusCode::kAlreadyExists) {
+    return Status::OK();
+  }
+  return status;
 }
 
 Status TuningClient::TellBatch(const std::string& name,
                                const std::vector<TrialResult>& results) {
-  return Call(MessageKind::kTellBatch, EncodeTellBatch(name, results),
-              MessageKind::kOk)
-      .status();
+  bool retried = false;
+  Status status = Call(MessageKind::kTellBatch, EncodeTellBatch(name, results),
+                       MessageKind::kOk, &retried)
+                      .status();
+  if (!retried || status.code() != StatusCode::kAlreadyExists) return status;
+  // The lost first attempt committed a *prefix* of the batch (the
+  // server applies results in order, first error wins). Re-telling one
+  // by one lets the committed prefix answer AlreadyExists while the
+  // uncommitted tail still lands.
+  for (const TrialResult& result : results) {
+    Status one = Tell(name, result);
+    if (!one.ok() && one.code() != StatusCode::kAlreadyExists) return one;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Trial>> TuningClient::GetPending(const std::string& name,
+                                                    int64_t* next_trial_id) {
+  Result<Frame> reply = Call(MessageKind::kGetPending, EncodeNameOnly(name),
+                             MessageKind::kPendingReply);
+  if (!reply.ok()) return reply.status();
+  int64_t next = 0;
+  std::vector<Trial> pending;
+  Status parse = DecodePendingReply(reply->payload, &next, &pending);
+  if (!parse.ok()) return parse;
+  if (next_trial_id != nullptr) *next_trial_id = next;
+  return pending;
 }
 
 Status TuningClient::Step(const std::string& name, bool* progressed) {
@@ -182,8 +562,8 @@ Result<WireSessionStatus> TuningClient::GetStatus(const std::string& name) {
 }
 
 Result<std::vector<WireSessionStatus>> TuningClient::ListSessions() {
-  Result<Frame> reply = Call(MessageKind::kListSessions, "",
-                             MessageKind::kStatusListReply);
+  Result<Frame> reply =
+      Call(MessageKind::kListSessions, "", MessageKind::kStatusListReply);
   if (!reply.ok()) return reply.status();
   return DecodeStatusListReply(reply->payload);
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -12,30 +13,86 @@
 namespace llamatune {
 namespace net {
 
+/// \brief Retry schedule for transient failures: exponential backoff
+/// with decorrelated jitter (each sleep is drawn uniformly from
+/// [initial_backoff, 3 * previous_sleep], capped), bounded both by an
+/// attempt count and by a total-sleep budget.
+struct RetryPolicy {
+  /// Total tries per call, the first included; 1 disables retry (the
+  /// default — every failure surfaces immediately, as the pre-retry
+  /// client behaved).
+  int max_attempts = 1;
+  /// First sleep and the lower bound of every jittered draw.
+  int64_t initial_backoff_ms = 10;
+  /// Upper cap on any single sleep.
+  int64_t max_backoff_ms = 2000;
+  /// Cap on the summed sleep across one call's retries; 0 = only
+  /// max_attempts bounds the loop.
+  int64_t retry_budget_ms = 10000;
+  /// Seeds the jitter stream, so tests can pin retry timing.
+  uint64_t jitter_seed = 1;
+};
+
+/// \brief Connection and deadline knobs for TuningClient.
+struct TuningClientOptions {
+  /// Bound on establishing one TCP connection (getaddrinfo itself is
+  /// not bounded — use numeric addresses where that matters); 0 waits
+  /// forever.
+  int64_t connect_timeout_ms = 5000;
+  /// Per-attempt bound covering send + reply; 0 waits forever. A
+  /// timed-out attempt abandons the connection (its reply would
+  /// desynchronize the stream) and counts as retryable.
+  int64_t call_timeout_ms = 0;
+  RetryPolicy retry;
+};
+
 /// \brief Blocking client for a TuningServer: the remote face of
 /// TuningService, one method per request kind.
 ///
-/// The client is deliberately thin — it owns one TCP connection, sends
-/// one frame per call and blocks until the matching reply arrives
-/// (kError replies come back as the typed Status they encode, so
-/// remote error handling reads exactly like in-process error
-/// handling). It is not thread-safe; use one client per thread or
-/// serialize calls externally.
+/// The client owns one TCP connection, sends one frame per call and
+/// blocks until the matching reply arrives (kError replies come back
+/// as the typed Status they encode, so remote error handling reads
+/// exactly like in-process error handling). It is not thread-safe;
+/// use one client per thread or serialize calls externally.
+///
+/// With retry enabled (RetryPolicy::max_attempts > 1) the client is
+/// *resilient*: transient failures — connection resets, Busy
+/// backpressure, call deadlines — are retried with backoff after
+/// reconnecting (and re-sending Hello). Retries are made safe against
+/// lost replies:
+///
+///  * a retried Tell whose first attempt actually committed is
+///    answered AlreadyExists by the server and deduplicated back to
+///    OK here (same for TellBatch, per result);
+///  * a retried Ask first checks GetPending and *adopts* the trial
+///    the lost reply carried instead of drawing a fresh suggestion,
+///    so the optimizer's deterministic sequence is not perturbed;
+///  * a retried CreateSession/Resume/ResumeSaved treats
+///    SessionAlreadyExists as success.
+///
+/// Close is the one non-idempotent call left: a retried Close whose
+/// first attempt won may answer SessionNotFound.
 class TuningClient {
  public:
-  TuningClient() = default;
+  explicit TuningClient(TuningClientOptions options = TuningClientOptions())
+      : options_(options) {}
   ~TuningClient();
   TuningClient(const TuningClient&) = delete;
   TuningClient& operator=(const TuningClient&) = delete;
 
-  /// Connects to `host:port`. `host` must be a numeric IPv4 address
-  /// (the server binds "127.0.0.1" by default).
+  /// Connects to `host:port`. `host` is resolved through getaddrinfo,
+  /// so hostnames ("localhost") work alongside numeric IPv4/IPv6
+  /// addresses; candidates are tried in resolver order, each bounded
+  /// by options().connect_timeout_ms.
   Status Connect(const std::string& host, uint16_t port);
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
+  const TuningClientOptions& options() const { return options_; }
+
   /// Declares this connection's tenant for quota accounting. Optional;
-  /// connections that never say hello share the "" tenant.
+  /// connections that never say hello share the "" tenant. Remembered
+  /// and replayed automatically after a retry reconnect.
   Status Hello(const std::string& tenant);
 
   Status CreateSession(const std::string& name, const WireSessionSpec& spec);
@@ -51,6 +108,13 @@ class TuningClient {
   Status TellBatch(const std::string& name,
                    const std::vector<TrialResult>& results);
 
+  /// The session's pending (asked, untold) trials; optionally also the
+  /// id its next Ask will assign. This is the adoption primitive the
+  /// resilient Ask path uses — exposed for callers running their own
+  /// recovery.
+  Result<std::vector<Trial>> GetPending(const std::string& name,
+                                        int64_t* next_trial_id = nullptr);
+
   Status Step(const std::string& name, bool* progressed = nullptr);
   /// Asks the server to drive the session to completion in the
   /// background; returns as soon as the drive is registered. Poll
@@ -65,15 +129,54 @@ class TuningClient {
   Status Ping();
 
  private:
-  /// Sends one request frame, blocks for one reply frame. A kError
-  /// reply is decoded into its typed Status; a reply of any kind other
-  /// than `expected` is an Internal error (protocol violation).
-  Result<Frame> Call(MessageKind kind, const std::string& payload,
-                     MessageKind expected);
-  Status WriteAll(const std::string& bytes);
+  /// Tracks one call's retry loop: attempt count, summed sleep, and
+  /// the decorrelated-jitter state.
+  struct RetryState {
+    int attempt = 0;
+    int64_t slept_ms = 0;
+    int64_t prev_sleep_ms = 0;
+  };
 
+  /// One dial attempt over every resolved address (used by Connect and
+  /// by retry reconnects).
+  Status ConnectInternal();
+  /// Reconnects (and replays Hello) when a previous failure dropped
+  /// the connection.
+  Status EnsureConnected();
+  /// True (after sleeping) when the policy allows another attempt.
+  bool BackoffAndRetry(RetryState* state);
+
+  /// Sends one request frame and blocks for one reply frame, bounded
+  /// by call_timeout_ms. Transport-level failures (reset, deadline,
+  /// injected faults) come back as kUnavailable with the connection
+  /// dropped; a kError reply is decoded into its typed Status; a reply
+  /// of any kind other than `expected` is an Internal error (protocol
+  /// violation).
+  Result<Frame> CallOnce(MessageKind kind, const std::string& payload,
+                         MessageKind expected);
+  /// CallOnce under the retry policy. `*retried` (optional) reports
+  /// whether any attempt beyond the first ran — the dedup paths only
+  /// forgive AlreadyExists when a lost reply makes it ambiguous.
+  Result<Frame> Call(MessageKind kind, const std::string& payload,
+                     MessageKind expected, bool* retried = nullptr);
+  Status WriteAll(const std::string& bytes, int64_t deadline_ms);
+
+  TuningClientOptions options_;
   int fd_ = -1;
   FrameDecoder decoder_;
+
+  /// Remembered endpoint + tenant for retry reconnects.
+  std::string host_;
+  uint16_t port_ = 0;
+  bool have_endpoint_ = false;
+  std::string tenant_;
+  bool hello_done_ = false;
+
+  /// Highest trial id seen per session — the adoption watermark: a
+  /// pending trial above it was drawn by an ask whose reply we lost.
+  std::map<std::string, int64_t> last_seen_trial_;
+
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace net

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/common/serde.h"
 #include "src/common/thread_pool.h"
 #include "src/dbsim/workloads.h"
@@ -166,6 +167,10 @@ void TuningServer::EventLoop() {
                               : INT64_MAX;
   int64_t next_evict =
       evict_period > 0 ? service::NowUnixMillis() + evict_period : INT64_MAX;
+  // Pending-trial deadlines are swept on a fixed cadence; the sweep
+  // exits immediately when no wire session configured a deadline.
+  const int64_t expire_period = 200;
+  int64_t next_expire = service::NowUnixMillis() + expire_period;
 
   std::vector<pollfd> fds;
   while (!stopping_.load()) {
@@ -177,7 +182,8 @@ void TuningServer::EventLoop() {
     }
 
     int64_t now = service::NowUnixMillis();
-    int64_t next_timer = std::min(next_autosave, next_evict);
+    int64_t next_timer =
+        std::min(std::min(next_autosave, next_evict), next_expire);
     int timeout_ms = 1000;
     if (next_timer != INT64_MAX) {
       int64_t wait = next_timer - now;
@@ -201,6 +207,10 @@ void TuningServer::EventLoop() {
       std::lock_guard<std::mutex> lock(maintenance_mu_);
       EvictionSweep();
       next_evict = now + evict_period;
+    }
+    if (now >= next_expire) {
+      ExpireSweep();
+      next_expire = now + expire_period;
     }
     if (rc == 0) continue;
 
@@ -233,7 +243,13 @@ void TuningServer::EventLoop() {
 void TuningServer::HandleReadable(const ConnPtr& conn) {
   char buf[16384];
   for (;;) {
-    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    // Chaos hook: ask the kernel for a single byte so the decoder
+    // sees a torn frame boundary. Shrinking the *request* (instead of
+    // discarding part of what recv returned) keeps the remainder
+    // queued in the socket — a short read, never data loss.
+    size_t want = sizeof(buf);
+    if (FaultInjection::ShouldFail("server.recv.short")) want = 1;
+    ssize_t n = ::recv(conn->fd, buf, want, 0);
     if (n > 0) {
       conn->decoder.Feed(buf, static_cast<size_t>(n));
       continue;
@@ -295,6 +311,13 @@ void TuningServer::Dispatch(const ConnPtr& conn) {
 
 void TuningServer::RunHandler(const ConnPtr& conn, Frame frame) {
   std::string reply = HandleRequest(conn, frame);
+  // Chaos hook: the request committed server-side but its reply is
+  // lost and the connection resets — the client must reconnect and
+  // recover through retry + idempotent dedup.
+  if (FaultInjection::ShouldFail("server.send.reset")) {
+    conn->closed.store(true);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
   {
     std::lock_guard<std::mutex> lock(conn->write_mu);
     if (!conn->closed.load() &&
@@ -347,7 +370,7 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
     case MessageKind::kAsk: {
       Result<std::string> name = DecodeNameOnly(frame.payload);
       if (!name.ok()) return MalformedReplyFrame(name.status());
-      Result<Trial> trial = service_.Ask(*name);
+      Result<Trial> trial = DoAsk(*name);
       if (!trial.ok()) return ErrorReplyFrame(trial.status());
       return EncodeFrame(MessageKind::kTrialReply, EncodeTrialReply(*trial));
     }
@@ -356,7 +379,7 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
       int n = 0;
       Status parse = DecodeAskBatch(frame.payload, &name, &n);
       if (!parse.ok()) return MalformedReplyFrame(parse);
-      Result<std::vector<Trial>> trials = service_.AskBatch(name, n);
+      Result<std::vector<Trial>> trials = DoAskBatch(name, n);
       if (!trials.ok()) return ErrorReplyFrame(trials.status());
       return EncodeFrame(MessageKind::kTrialsReply,
                          EncodeTrialsReply(*trials));
@@ -366,7 +389,7 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
       TrialResult result;
       Status parse = DecodeTell(frame.payload, &name, &result);
       if (!parse.ok()) return MalformedReplyFrame(parse);
-      Status told = service_.Tell(name, result);
+      Status told = DoTell(name, result);
       if (!told.ok()) return ErrorReplyFrame(told);
       return EncodeFrame(MessageKind::kOk, "");
     }
@@ -375,7 +398,7 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
       std::vector<TrialResult> results;
       Status parse = DecodeTellBatch(frame.payload, &name, &results);
       if (!parse.ok()) return MalformedReplyFrame(parse);
-      Status told = service_.TellBatch(name, results);
+      Status told = DoTellBatch(name, results);
       if (!told.ok()) return ErrorReplyFrame(told);
       return EncodeFrame(MessageKind::kOk, "");
     }
@@ -383,10 +406,27 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
       Result<std::string> name = DecodeNameOnly(frame.payload);
       if (!name.ok()) return MalformedReplyFrame(name.status());
       bool progressed = false;
-      Status stepped = service_.Step(*name, &progressed);
+      Status stepped = DoStep(*name, &progressed);
       if (!stepped.ok()) return ErrorReplyFrame(stepped);
       return EncodeFrame(MessageKind::kSteppedReply,
                          EncodeSteppedReply(progressed));
+    }
+    case MessageKind::kGetPending: {
+      Result<std::string> name = DecodeNameOnly(frame.payload);
+      if (!name.ok()) return MalformedReplyFrame(name.status());
+      MetaPtr meta = FindMeta(*name);
+      // Hold op_mu (when the session is wire-created) so the cursor
+      // and the pending list are one consistent snapshot.
+      std::unique_lock<std::mutex> op_lock;
+      if (meta != nullptr) {
+        op_lock = std::unique_lock<std::mutex>(meta->op_mu);
+      }
+      Result<int64_t> next = service_.NextTrialId(*name);
+      if (!next.ok()) return ErrorReplyFrame(next.status());
+      Result<std::vector<Trial>> pending = service_.GetPending(*name);
+      if (!pending.ok()) return ErrorReplyFrame(pending.status());
+      return EncodeFrame(MessageKind::kPendingReply,
+                         EncodePendingReply(*next, *pending));
     }
     case MessageKind::kStartDrive: {
       Result<std::string> name = DecodeNameOnly(frame.payload);
@@ -446,6 +486,193 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
   }
 }
 
+TuningServer::MetaPtr TuningServer::FindMeta(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = metas_.find(name);
+  return it == metas_.end() ? nullptr : it->second;
+}
+
+Result<Trial> TuningServer::DoAsk(const std::string& name) {
+  MetaPtr meta = FindMeta(name);
+  if (meta == nullptr || !meta->wal.is_open()) return service_.Ask(name);
+  std::lock_guard<std::mutex> lock(meta->op_mu);
+  Result<Trial> trial = service_.Ask(name);
+  if (trial.ok()) {
+    meta->wal.Append("ask1 " + std::to_string(trial->id)).ok();
+  }
+  return trial;
+}
+
+Result<std::vector<Trial>> TuningServer::DoAskBatch(const std::string& name,
+                                                    int n) {
+  MetaPtr meta = FindMeta(name);
+  if (meta == nullptr || !meta->wal.is_open()) {
+    return service_.AskBatch(name, n);
+  }
+  std::lock_guard<std::mutex> lock(meta->op_mu);
+  Result<std::vector<Trial>> trials = service_.AskBatch(name, n);
+  if (trials.ok() && !trials->empty()) {
+    // Record the *request* (n), not the count handed out: replay must
+    // re-issue the identical call to draw the identical batch.
+    meta->wal
+        .Append("askb " + std::to_string(n) + " " +
+                std::to_string(trials->front().id))
+        .ok();
+  }
+  return trials;
+}
+
+Status TuningServer::DoTell(const std::string& name,
+                            const TrialResult& result) {
+  MetaPtr meta = FindMeta(name);
+  if (meta == nullptr || !meta->wal.is_open()) {
+    return service_.Tell(name, result);
+  }
+  std::lock_guard<std::mutex> lock(meta->op_mu);
+  Status told = service_.Tell(name, result);
+  if (told.ok()) {
+    meta->wal.Append("tell x" + EncodeBytes(SerializeTrialResult(result)))
+        .ok();
+  }
+  return told;
+}
+
+Status TuningServer::DoTellBatch(const std::string& name,
+                                 const std::vector<TrialResult>& results) {
+  MetaPtr meta = FindMeta(name);
+  if (meta == nullptr || !meta->wal.is_open()) {
+    return service_.TellBatch(name, results);
+  }
+  // TellBatch is defined as a sequential Tell loop (first error wins,
+  // earlier results stay committed), so logging per result keeps the
+  // WAL exact even on partial failure.
+  std::lock_guard<std::mutex> lock(meta->op_mu);
+  for (const TrialResult& result : results) {
+    Status told = service_.Tell(name, result);
+    if (!told.ok()) return told;
+    meta->wal.Append("tell x" + EncodeBytes(SerializeTrialResult(result)))
+        .ok();
+  }
+  return Status::OK();
+}
+
+Status TuningServer::DoStep(const std::string& name, bool* progressed) {
+  MetaPtr meta = FindMeta(name);
+  if (meta == nullptr || !meta->wal.is_open()) {
+    return service_.Step(name, progressed);
+  }
+  std::lock_guard<std::mutex> lock(meta->op_mu);
+  Result<service::SessionStatus> before = service_.GetStatus(name);
+  bool stepped = false;
+  Status status = service_.Step(name, &stepped);
+  if (status.ok() && stepped && before.ok()) {
+    meta->wal.Append("step " + std::to_string(before->iterations_run)).ok();
+  }
+  if (progressed != nullptr) *progressed = stepped;
+  return status;
+}
+
+void TuningServer::ExpireSweep() {
+  int64_t now = service::NowUnixMillis();
+  std::vector<std::pair<std::string, MetaPtr>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    for (const auto& [name, meta] : metas_) {
+      if (meta->spec.pending_deadline_ms > 0) {
+        candidates.emplace_back(name, meta);
+      }
+    }
+  }
+  for (const auto& [name, meta] : candidates) {
+    std::lock_guard<std::mutex> lock(meta->op_mu);
+    Result<std::vector<int64_t>> expired =
+        service_.ExpireOverdueSession(name, now);
+    if (!expired.ok() || !meta->wal.is_open()) continue;
+    for (int64_t id : *expired) {
+      meta->wal.Append("expire " + std::to_string(id)).ok();
+    }
+  }
+}
+
+Status TuningServer::ReplayWal(const std::string& name) {
+  Result<std::vector<std::string>> records =
+      service::TrialWal::ReadRecords(WalPath(name));
+  if (!records.ok()) return records.status();
+  for (const std::string& record : *records) {
+    std::istringstream in(record);
+    std::string op;
+    if (!(in >> op)) break;
+    if (op == "ask1" || op == "askb") {
+      int64_t requested = 1;
+      if (op == "askb" && !(in >> requested)) break;
+      int64_t first_id = 0;
+      if (!(in >> first_id)) break;
+      Result<int64_t> next = service_.NextTrialId(name);
+      if (!next.ok()) return next.status();
+      // Rounds commit whole, so the restored cursor always sits on a
+      // round boundary: an ask record is either entirely inside the
+      // checkpoint (skip), exactly at the cursor (re-issue the same
+      // deterministic draw), or past it (a gap from a lost append —
+      // nothing after it can be replayed either).
+      if (first_id < *next) continue;
+      if (first_id > *next) break;
+      if (op == "ask1") {
+        Result<Trial> trial = service_.Ask(name);
+        if (!trial.ok()) return trial.status();
+        if (trial->id != first_id) {
+          return Status::Internal("wal replay: re-asked trial id " +
+                                  std::to_string(trial->id) + " != logged " +
+                                  std::to_string(first_id));
+        }
+      } else {
+        Result<std::vector<Trial>> trials =
+            service_.AskBatch(name, static_cast<int>(requested));
+        if (!trials.ok()) return trials.status();
+        if (trials->empty() || trials->front().id != first_id) {
+          return Status::Internal(
+              "wal replay: re-asked batch does not start at logged id " +
+              std::to_string(first_id));
+        }
+      }
+    } else if (op == "tell") {
+      std::string token;
+      if (!(in >> token) || token.empty() || token[0] != 'x') break;
+      Result<std::string> line = DecodeBytes(token.substr(1));
+      if (!line.ok()) break;
+      Result<TrialResult> result = ParseTrialResult(*line);
+      if (!result.ok()) break;
+      Status told = service_.Tell(name, *result);
+      // AlreadyExists: the autosave checkpoint had committed this
+      // tell. TrialExpired: the trial expired and the checkpoint
+      // recorded the expiry. Both mean "already applied".
+      if (!told.ok() && told.code() != StatusCode::kAlreadyExists &&
+          told.code() != StatusCode::kTrialExpired) {
+        return told;
+      }
+    } else if (op == "expire") {
+      int64_t id = 0;
+      if (!(in >> id)) break;
+      Status expired = service_.Expire(name, id);
+      // AlreadyExists: the trial committed before this stale record.
+      if (!expired.ok() && expired.code() != StatusCode::kAlreadyExists) {
+        return expired;
+      }
+    } else if (op == "step") {
+      int64_t iters_before = 0;
+      if (!(in >> iters_before)) break;
+      Result<service::SessionStatus> status = service_.GetStatus(name);
+      if (!status.ok()) return status.status();
+      if (status->iterations_run > iters_before) continue;
+      bool progressed = false;
+      Status stepped = service_.Step(name, &progressed);
+      if (!stepped.ok()) return stepped;
+    } else {
+      break;  // unknown record: stop at the first thing we can't replay
+    }
+  }
+  return Status::OK();
+}
+
 std::string TuningServer::HandleCreateOrResume(const ConnPtr& conn,
                                                const Frame& frame) {
   std::string name, checkpoint;
@@ -471,6 +698,11 @@ std::string TuningServer::HandleCreateOrResume(const ConnPtr& conn,
   if (!registered.ok()) {
     ReleaseTenantSlot(meta->tenant);
     return ErrorReplyFrame(registered);
+  }
+  if (!options_.autosave_dir.empty()) {
+    // Fresh incarnation: a stale WAL from an earlier same-named
+    // session must not replay into this one.
+    if (meta->wal.Open(WalPath(name)).ok()) meta->wal.Truncate().ok();
   }
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
@@ -516,6 +748,17 @@ std::string TuningServer::HandleResumeSaved(const ConnPtr& conn,
     ReleaseTenantSlot(meta->tenant);
     return ErrorReplyFrame(resumed);
   }
+  // The autosave restored every committed round; the WAL tail holds
+  // whatever was told after that snapshot. Replay it before answering
+  // so the caller sees the post-crash state. A replay error stops at
+  // the last applicable record — the session is still a valid prefix
+  // of its pre-crash history (loss ≤ the request in flight), so the
+  // resume itself still succeeds.
+  ReplayWal(name).ok();
+  // Keep appending to the same WAL (no truncation: its records stay
+  // idempotent under a second replay, and truncating here would widen
+  // the window where a crash loses the tail).
+  meta->wal.Open(WalPath(name)).ok();
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     metas_[name] = std::move(meta);
@@ -583,7 +826,10 @@ std::string TuningServer::HandleClose(const std::string& name) {
   if (meta != nullptr) {
     ReleaseTenantSlot(meta->tenant);
     if (!options_.autosave_dir.empty()) {
-      ::unlink(AutosavePath(name).c_str());  // explicit close: done for good
+      meta->wal.Close();
+      // Explicit close: done for good — drop both recovery artifacts.
+      ::unlink(AutosavePath(name).c_str());
+      ::unlink(WalPath(name).c_str());
     }
   }
   WireCloseResult result;
@@ -614,6 +860,7 @@ Status TuningServer::BuildSessionSpec(const WireSessionSpec& wire,
   out->num_iterations = wire.num_iterations;
   out->batch_size = wire.batch_size;
   out->num_threads = wire.num_threads;
+  out->pending_deadline_ms = wire.pending_deadline_ms;
   return Status::OK();
 }
 
@@ -645,18 +892,38 @@ std::string TuningServer::AutosavePath(const std::string& name) const {
   return options_.autosave_dir + "/" + EncodeBytes(name) + ".autosave";
 }
 
+std::string TuningServer::WalPath(const std::string& name) const {
+  return options_.autosave_dir + "/" + EncodeBytes(name) + ".wal";
+}
+
 Status TuningServer::AutosaveSession(const std::string& name,
                                      const MetaPtr& meta) {
+  // op_mu makes checkpoint + pending-count + WAL truncation one
+  // atomic snapshot: no tell can commit between capturing the
+  // checkpoint and deciding whether its WAL records may be dropped.
+  std::lock_guard<std::mutex> op_lock(meta->op_mu);
   Result<std::string> checkpoint = service_.Checkpoint(name);
   if (!checkpoint.ok()) return checkpoint.status();
+  Result<service::SessionStatus> status = service_.GetStatus(name);
+  if (!status.ok()) return status.status();
   std::string path = AutosavePath(name);
   std::string tmp = path + ".tmp";
+  std::string content = EncodeSessionSpec(meta->spec) + '\n' + *checkpoint;
+  // Chaos hook: die mid-write — half the bytes land in the tmp file
+  // and the rename never happens. The previous autosave must stay
+  // untouched and fully loadable (this is what tmp+rename buys).
+  if (FaultInjection::ShouldFail("autosave.torn")) {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+    return Status::OK();
+  }
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       return Status::Internal("server: cannot write autosave tmp " + tmp);
     }
-    out << EncodeSessionSpec(meta->spec) << '\n' << *checkpoint;
+    out << content;
     if (!out.good()) {
       return Status::Internal("server: short write to " + tmp);
     }
@@ -666,6 +933,13 @@ Status TuningServer::AutosaveSession(const std::string& name,
                             std::strerror(errno));
   }
   autosaves_written_.fetch_add(1);
+  // The WAL may only shrink once everything it describes is inside a
+  // durable checkpoint. A pending trial's ask record is not — its
+  // round is uncommitted — so any pending trial blocks truncation
+  // (the tail replays idempotently instead).
+  if (meta->wal.is_open() && status->pending_trials == 0) {
+    meta->wal.Truncate().ok();
+  }
   return Status::OK();
 }
 
@@ -718,6 +992,7 @@ void TuningServer::EvictionSweep() {
 
 void TuningServer::RunMaintenance() {
   std::lock_guard<std::mutex> lock(maintenance_mu_);
+  ExpireSweep();
   AutosaveSweep();
   EvictionSweep();
 }

@@ -14,6 +14,7 @@
 #include "src/knobs/config_space.h"
 #include "src/net/frame.h"
 #include "src/net/message.h"
+#include "src/service/trial_wal.h"
 #include "src/service/tuning_service.h"
 
 namespace llamatune {
@@ -46,6 +47,13 @@ struct TuningServerOptions {
   /// empty disables autosave. Each wire-created session periodically
   /// saves to <hex(name)>.autosave — spec line + checkpoint text — and
   /// can be revived by ResumeSaved after a crash or eviction.
+  ///
+  /// When set, every wire-created session additionally keeps a
+  /// per-tell write-ahead log at <hex(name)>.wal: each committed
+  /// ask/tell/expire/step appends one fsync'd record, and ResumeSaved
+  /// replays the WAL tail on top of the last autosave, bounding data
+  /// loss after a crash to at most the request in flight (see
+  /// docs/resilience.md).
   std::string autosave_dir;
   /// Autosave sweep period; 0 disables the periodic sweep (explicit
   /// RunMaintenance() calls still autosave).
@@ -127,6 +135,12 @@ class TuningServer {
     std::string tenant;
     std::unique_ptr<ConfigSpace> owned_space;
     std::atomic<bool> driving{false};
+    /// Per-session trial WAL (open only when autosave_dir is set).
+    service::TrialWal wal;
+    /// Serializes each (service call + WAL append) pair so WAL record
+    /// order always matches the session's commit order. Taken before
+    /// the service's per-session mutex; never the other way around.
+    std::mutex op_mu;
   };
   using MetaPtr = std::shared_ptr<SessionMeta>;
 
@@ -159,7 +173,31 @@ class TuningServer {
   Status ReserveTenantSlot(const std::string& tenant);
   void ReleaseTenantSlot(const std::string& tenant);
 
+  /// \name WAL-aware session operations
+  ///
+  /// Each successful mutation on a wire-created session appends one
+  /// record to its WAL under meta->op_mu, keeping the log a faithful
+  /// prefix of the session's committed history. Sessions without an
+  /// open WAL (in-process, or autosave disabled) fall straight through
+  /// to the service.
+  /// @{
+  MetaPtr FindMeta(const std::string& name) const;
+  Result<Trial> DoAsk(const std::string& name);
+  Result<std::vector<Trial>> DoAskBatch(const std::string& name, int n);
+  Status DoTell(const std::string& name, const TrialResult& result);
+  Status DoTellBatch(const std::string& name,
+                     const std::vector<TrialResult>& results);
+  Status DoStep(const std::string& name, bool* progressed);
+  /// Expires overdue trials on every wire session with a deadline and
+  /// WAL-logs each expiry.
+  void ExpireSweep();
+  /// Replays the WAL tail on top of a freshly resumed session (see
+  /// docs/resilience.md for the cursor rules).
+  Status ReplayWal(const std::string& name);
+  /// @}
+
   std::string AutosavePath(const std::string& name) const;
+  std::string WalPath(const std::string& name) const;
   Status AutosaveSession(const std::string& name, const MetaPtr& meta);
   void AutosaveSweep();
   void EvictionSweep();
@@ -182,7 +220,7 @@ class TuningServer {
   std::map<int, ConnPtr> conns_;
 
   /// Wire-created sessions + per-tenant counts (guarded by meta_mu_).
-  std::mutex meta_mu_;
+  mutable std::mutex meta_mu_;
   std::map<std::string, MetaPtr> metas_;
   std::map<std::string, int> tenant_sessions_;
 

@@ -1,0 +1,105 @@
+#include "src/service/trial_wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/fault_injection.h"
+
+namespace llamatune {
+namespace service {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal("TrialWal: " + what + " failed for '" + path +
+                          "': " + std::strerror(errno));
+}
+
+// Writes all of `data`, retrying short writes and EINTR.
+bool WriteAllFd(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TrialWal::~TrialWal() { Close(); }
+
+Status TrialWal::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return Errno("open", path);
+  path_ = path;
+  return Status::OK();
+}
+
+Status TrialWal::Append(const std::string& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("TrialWal: not open");
+  std::string line = record;
+  line.push_back('\n');
+  if (FaultInjection::ShouldFail("wal.append.torn")) {
+    // The crash-interrupted append: a prefix lands, the newline does
+    // not. Recovery must drop this record (and everything after it).
+    size_t half = line.size() / 2;
+    WriteAllFd(fd_, line.data(), half);
+    ::fsync(fd_);
+    return Status::OK();
+  }
+  if (!WriteAllFd(fd_, line.data(), line.size())) {
+    return Errno("write", path_);
+  }
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status TrialWal::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("TrialWal: not open");
+  if (::ftruncate(fd_, 0) != 0) return Errno("ftruncate", path_);
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+void TrialWal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<std::string>> TrialWal::ReadRecords(
+    const std::string& path) {
+  std::vector<std::string> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return records;  // no log: nothing to replay
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string contents = buf.str();
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: drop
+    records.push_back(contents.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return records;
+}
+
+}  // namespace service
+}  // namespace llamatune

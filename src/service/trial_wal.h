@@ -1,0 +1,69 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace llamatune {
+namespace service {
+
+/// \brief Per-session write-ahead trial log.
+///
+/// The server appends one fsync'd record per committed state-changing
+/// request (ask, tell, expire, step), so a crash between periodic
+/// autosaves loses at most the request that was in flight: recovery
+/// loads the last autosave checkpoint, then replays the WAL tail
+/// idempotently on top (see docs/resilience.md for the record grammar
+/// and the recovery order proof sketch).
+///
+/// One record is one '\n'-terminated line. Appends are serialized by
+/// an internal mutex and each append is followed by fsync before the
+/// call returns — a record the caller saw acknowledged is durable.
+/// ReadRecords tolerates a torn tail: a final line without its
+/// newline (the append that was racing the crash) is ignored.
+///
+/// The log is truncated by the autosave sweep once a checkpoint
+/// covering every record has been persisted *and* the session has no
+/// pending trials (a pending trial's ask record must survive until
+/// its round commits into a checkpoint, or a tell recorded after the
+/// checkpoint would reference an id recovery cannot rebuild).
+class TrialWal {
+ public:
+  TrialWal() = default;
+  ~TrialWal();
+  TrialWal(const TrialWal&) = delete;
+  TrialWal& operator=(const TrialWal&) = delete;
+
+  /// Opens (creating if needed) the log at `path` for appending.
+  Status Open(const std::string& path);
+
+  /// Appends one record (a single line WITHOUT the trailing newline)
+  /// and fsyncs. Fault site "wal.append.torn" simulates the
+  /// crash-interrupted write: only a prefix of the record reaches the
+  /// file and no newline terminates it.
+  Status Append(const std::string& record);
+
+  /// Truncates the log to empty (after an autosave made it
+  /// redundant) and fsyncs.
+  Status Truncate();
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Reads every complete record from the log at `path`. A torn tail
+  /// (final line with no newline) is dropped silently; a missing file
+  /// yields an empty list.
+  static Result<std::vector<std::string>> ReadRecords(
+      const std::string& path);
+
+ private:
+  std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace service
+}  // namespace llamatune

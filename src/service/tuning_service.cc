@@ -43,7 +43,8 @@ Status TuningService::BuildEntry(const SessionSpec& spec,
       .Seed(spec.seed)
       .Iterations(spec.num_iterations)
       .BatchSize(spec.batch_size)
-      .Threads(spec.num_threads);
+      .Threads(spec.num_threads)
+      .PendingDeadlineMs(spec.pending_deadline_ms);
   if (spec.early_stopping.has_value()) {
     builder.EarlyStopping(*spec.early_stopping);
   }
@@ -136,6 +137,53 @@ Status TuningService::TellBatch(const std::string& name,
                                      std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(entry->mu);
   return entry->tuner->TellBatch(results);
+}
+
+Result<std::vector<Trial>> TuningService::GetPending(
+    const std::string& name) const {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) return NoSession(name);
+  // Deliberately not an activity update: adoption polling by a
+  // reconnecting client must not keep an abandoned session alive.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->PendingSnapshot();
+}
+
+Result<int64_t> TuningService::NextTrialId(const std::string& name) const {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) return NoSession(name);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->next_trial_id();
+}
+
+Status TuningService::Expire(const std::string& name, int64_t trial_id) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) return NoSession(name);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->Expire(trial_id);
+}
+
+int TuningService::ExpireOverdue(int64_t now_ms) {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(sessions_.size());
+    for (const auto& [name, entry] : sessions_) entries.push_back(entry);
+  }
+  int expired = 0;
+  for (const auto& entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    expired += static_cast<int>(entry->tuner->ExpireOverdue(now_ms).size());
+  }
+  return expired;
+}
+
+Result<std::vector<int64_t>> TuningService::ExpireOverdueSession(
+    const std::string& name, int64_t now_ms) {
+  std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) return NoSession(name);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->tuner->ExpireOverdue(now_ms);
 }
 
 Status TuningService::Step(const std::string& name, bool* progressed) {

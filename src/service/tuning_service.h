@@ -47,6 +47,11 @@ struct SessionSpec {
   /// the shared thread pool (0 = pool size).
   int num_threads = 0;
   std::optional<EarlyStoppingPolicy> early_stopping;
+  /// Deadline for pending (asked, untold) trials in milliseconds; 0
+  /// disables. Overdue trials are expired by ExpireOverdue (the
+  /// server's maintenance sweep calls it): budget reclaimed, late
+  /// Tell answered with TrialExpired.
+  int64_t pending_deadline_ms = 0;
 };
 
 /// \brief A point-in-time view of one managed session.
@@ -123,6 +128,28 @@ class TuningService {
   Status Tell(const std::string& name, const TrialResult& result);
   Status TellBatch(const std::string& name,
                    const std::vector<TrialResult>& results);
+
+  /// The session's pending (asked, untold) trials in id order — lets
+  /// a retrying remote caller adopt a trial whose Ask reply was lost
+  /// instead of drawing a fresh (different) suggestion.
+  Result<std::vector<Trial>> GetPending(const std::string& name) const;
+
+  /// Expires one pending trial (see TuningSession::Expire).
+  Status Expire(const std::string& name, int64_t trial_id);
+
+  /// The id the session's next Ask will assign (the server's WAL
+  /// replay cursor; see TuningSession::next_trial_id).
+  Result<int64_t> NextTrialId(const std::string& name) const;
+
+  /// Expires overdue pending trials on *every* session whose spec set
+  /// pending_deadline_ms; returns the total expired. Called by the
+  /// server's periodic maintenance sweep.
+  int ExpireOverdue(int64_t now_ms);
+
+  /// Per-session variant returning the expired ids, so the server can
+  /// append matching records to the session's trial WAL.
+  Result<std::vector<int64_t>> ExpireOverdueSession(const std::string& name,
+                                                    int64_t now_ms);
   /// @}
 
   /// Runs one session-driven round (workload/objective sources only;

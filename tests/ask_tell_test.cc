@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -426,7 +429,7 @@ TrialResult Measure(FakeObjective& objective, const Trial& trial) {
   TrialResult result;
   result.trial_id = trial.id;
   result.value = eval.value;
-  result.crashed = eval.crashed;
+  result.outcome = eval.EffectiveOutcome();
   result.metrics = eval.metrics;
   return result;
 }
@@ -508,6 +511,227 @@ TEST(AskTellProtocol, BudgetCountsPendingTrials) {
   EXPECT_EQ(f.session->iterations_run(), 5);
   EXPECT_TRUE(f.session->finished());
   EXPECT_FALSE(f.session->Step());
+}
+
+TEST(AskTellProtocol, NonFiniteValuesAreRejected) {
+  ProtocolFixture f;
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+
+  // NaN and Inf on an ok outcome are caller bugs, not measurements:
+  // they would poison the optimizer's history silently.
+  TrialResult bad;
+  bad.trial_id = baseline->id;
+  bad.value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(f.session->Tell(bad).code(), StatusCode::kInvalidArgument);
+  bad.value = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(f.session->Tell(bad).code(), StatusCode::kInvalidArgument);
+  bad.value = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(f.session->Tell(bad).code(), StatusCode::kInvalidArgument);
+  // The rejected tells committed nothing: the baseline is still open.
+  EXPECT_EQ(f.session->pending_trials(), 1);
+  EXPECT_EQ(f.session->iterations_run(), 0);
+
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+
+  // A failure outcome ignores `value`, so a NaN there is legal — the
+  // evaluator may have nothing meaningful to report for a crash.
+  Result<Trial> next = f.session->Ask();
+  ASSERT_TRUE(next.ok());
+  TrialResult crashed;
+  crashed.trial_id = next->id;
+  crashed.value = std::numeric_limits<double>::quiet_NaN();
+  crashed.outcome = TrialOutcome::kCrashed;
+  EXPECT_TRUE(f.session->Tell(crashed).ok());
+
+  // TellBatch validates before buffering anything.
+  Result<std::vector<Trial>> batch = f.session->AskBatch(2);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  std::vector<TrialResult> results = {Measure(f.objective, (*batch)[0]),
+                                      Measure(f.objective, (*batch)[1])};
+  results[1].value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(f.session->TellBatch(results).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.session->pending_trials(), 2);
+  results[1].value = 1.0;
+  EXPECT_TRUE(f.session->TellBatch(results).ok());
+}
+
+TEST(AskTellProtocol, ExpireDropsTrialAndReclaimsBudget) {
+  SessionOptions options;
+  options.num_iterations = 3;
+  ProtocolFixture f(options);
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+
+  // The baseline can never expire — no session starts without its
+  // penalty floor.
+  EXPECT_EQ(f.session->Expire(baseline->id).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+
+  Result<Trial> t2 = f.session->Ask();
+  Result<Trial> t3 = f.session->Ask();
+  Result<Trial> t4 = f.session->Ask();
+  ASSERT_TRUE(t2.ok() && t3.ok() && t4.ok());
+  EXPECT_EQ(f.session->Ask().status().code(), StatusCode::kOutOfRange);
+
+  // Expiring a pending trial reclaims its budget slot...
+  ASSERT_TRUE(f.session->Expire(t3->id).ok());
+  // ...idempotently (WAL replay may re-apply the same expiry)...
+  EXPECT_TRUE(f.session->Expire(t3->id).ok());
+  // ...and a late Tell for it earns the typed terminal status.
+  EXPECT_EQ(f.session->Tell(Measure(f.objective, *t3)).code(),
+            StatusCode::kTrialExpired);
+
+  Result<Trial> t5 = f.session->Ask();
+  ASSERT_TRUE(t5.ok()) << "expiry must free the budget slot";
+
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *t2)).ok());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *t4)).ok());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *t5)).ok());
+  EXPECT_EQ(f.session->iterations_run(), 3);
+  EXPECT_TRUE(f.session->finished());
+
+  // Expired ids answer TrialExpired forever; committed ids answer
+  // AlreadyExists; unknown ids NotFound.
+  EXPECT_EQ(f.session->Expire(t3->id).code(), StatusCode::kOk);
+  EXPECT_EQ(f.session->Expire(t2->id).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(f.session->Expire(999).code(), StatusCode::kNotFound);
+}
+
+TEST(AskTellProtocol, ExpireOverdueHonorsDeadlineAndSparesBaseline) {
+  SessionOptions options;
+  options.num_iterations = 5;
+  options.pending_deadline_ms = 60000;
+  ProtocolFixture f(options);
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+
+  // The untold baseline is never swept, no matter how stale.
+  EXPECT_TRUE(f.session->ExpireOverdue(int64_t{1} << 60).empty());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+
+  Result<std::vector<Trial>> batch = f.session->AskBatch(3);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  // A trial with a buffered (uncommitted) result is not overdue: its
+  // evaluator did answer, the round is just waiting on siblings.
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, (*batch)[1])).ok());
+
+  std::vector<int64_t> expired = f.session->ExpireOverdue(int64_t{1} << 60);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0], (*batch)[0].id);
+  EXPECT_EQ(expired[1], (*batch)[2].id);
+
+  // Nothing is overdue right after asking (now ~= asked_at).
+  Result<Trial> fresh = f.session->Ask();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(f.session->ExpireOverdue(0).empty());
+}
+
+TEST(AskTellProtocol, PerOutcomePenaltiesUseTheirDivisors) {
+  SessionOptions options;
+  options.num_iterations = 4;
+  options.crash_penalty_divisor = 4.0;
+  options.timeout_penalty_divisor = 2.0;
+  options.lost_penalty_divisor = 8.0;
+  ProtocolFixture f(options);
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+
+  const auto tell_outcome = [&](TrialOutcome outcome) {
+    Result<Trial> trial = f.session->Ask();
+    ASSERT_TRUE(trial.ok());
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.outcome = outcome;
+    ASSERT_TRUE(f.session->Tell(result).ok());
+  };
+  tell_outcome(TrialOutcome::kCrashed);
+  tell_outcome(TrialOutcome::kTimedOut);
+  tell_outcome(TrialOutcome::kLost);
+
+  // The baseline measurement (not a KB record) is the only real
+  // observation, so it is the penalty floor for all three failures.
+  const double worst = f.session->default_performance();
+  ASSERT_GT(worst, 0.0);
+  const KnowledgeBase& kb = f.session->knowledge_base();
+  ASSERT_EQ(kb.size(), 3);
+  EXPECT_DOUBLE_EQ(kb.record(0).objective, worst / 4.0);
+  EXPECT_DOUBLE_EQ(kb.record(1).objective, worst / 2.0);
+  EXPECT_DOUBLE_EQ(kb.record(2).objective, worst / 8.0);
+  EXPECT_EQ(kb.record(0).outcome, TrialOutcome::kCrashed);
+  EXPECT_EQ(kb.record(1).outcome, TrialOutcome::kTimedOut);
+  EXPECT_EQ(kb.record(2).outcome, TrialOutcome::kLost);
+  EXPECT_TRUE(kb.record(0).crashed);
+  EXPECT_FALSE(kb.record(1).crashed);
+}
+
+TEST(AskTellProtocol, CheckpointRoundTripsExpiredSlotsAndOutcomes) {
+  SessionOptions options;
+  options.num_iterations = 6;
+  ProtocolFixture f(options);
+  Result<Trial> baseline = f.session->Ask();
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, *baseline)).ok());
+
+  // One committed round with an expired slot, one failure outcome.
+  Result<std::vector<Trial>> batch = f.session->AskBatch(3);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(f.session->Expire((*batch)[1].id).ok());
+  ASSERT_TRUE(f.session->Tell(Measure(f.objective, (*batch)[0])).ok());
+  TrialResult timed_out;
+  timed_out.trial_id = (*batch)[2].id;
+  timed_out.outcome = TrialOutcome::kTimedOut;
+  ASSERT_TRUE(f.session->Tell(timed_out).ok());
+
+  const std::string saved = f.session->Save();
+
+  // The "state" line's last token is accumulated wall-clock optimizer
+  // seconds — the only bytes Restore cannot replay bit-for-bit.
+  const auto normalize = [](const std::string& checkpoint) {
+    std::istringstream in(checkpoint);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("state ", 0) == 0) {
+        line = line.substr(0, line.find_last_of(' ')) + " <wall-clock>";
+      }
+      out << line << '\n';
+    }
+    return out.str();
+  };
+
+  // Restore into a fresh identically-seeded session.
+  ProtocolFixture g(options);
+  Status restored = g.session->Restore(saved);
+  ASSERT_TRUE(restored.ok()) << restored.ToString();
+  EXPECT_EQ(normalize(g.session->Save()), normalize(saved));
+  EXPECT_EQ(g.session->next_trial_id(), f.session->next_trial_id());
+  EXPECT_EQ(g.session->iterations_run(), f.session->iterations_run());
+
+  // The expiry survived the round trip: the id still answers
+  // TrialExpired, not NotFound.
+  TrialResult late;
+  late.trial_id = (*batch)[1].id;
+  late.value = 1.0;
+  EXPECT_EQ(g.session->Tell(late).code(), StatusCode::kTrialExpired);
+
+  // Both sessions, driven to completion, stay bit-for-bit equal.
+  auto drain = [](ProtocolFixture& fixture) {
+    for (;;) {
+      Result<Trial> trial = fixture.session->Ask();
+      if (!trial.ok()) break;
+      TrialResult result = Measure(fixture.objective, *trial);
+      ASSERT_TRUE(fixture.session->Tell(result).ok());
+    }
+  };
+  drain(f);
+  drain(g);
+  EXPECT_EQ(normalize(f.session->Save()), normalize(g.session->Save()));
 }
 
 TEST(AskTellProtocol, OutOfOrderTellsCommitInAskOrder) {

@@ -1,0 +1,257 @@
+// Chaos test: drives full tuning sessions over the wire while the
+// deterministic fault-injection registry (src/common/fault_injection.h)
+// tears connections, shortens reads, drops replies and crashes
+// evaluations — then pins the surviving session history bit-for-bit
+// against the fault-free run. A resilient client (retry + dedup +
+// adoption) must make every injected transport fault invisible to the
+// recorded trajectory.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/knobs/config_space.h"
+#include "src/net/tuning_client.h"
+#include "src/net/tuning_server.h"
+#include "src/service/tuning_service.h"
+
+namespace llamatune {
+namespace net {
+namespace {
+
+double ExternalMeasure(const Configuration& config) {
+  double x = config[0] / 100.0;
+  double y = config[1];
+  return 1000.0 - 900.0 * ((x - 0.31) * (x - 0.31) + (y - 0.77) * (y - 0.77));
+}
+
+std::vector<KnobSpec> TestKnobs() {
+  return {IntegerKnob("cache_mb", 0, 100, 50),
+          RealKnob("target_ratio", 0.0, 1.0, 0.5)};
+}
+
+WireSessionSpec ChaosWireSpec() {
+  WireSessionSpec spec;
+  spec.space_knobs = TestKnobs();
+  spec.maximize = true;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 9001;
+  spec.num_iterations = 10;
+  return spec;
+}
+
+/// Zeroes the wall-clock token of the checkpoint "state" line so
+/// equality means "identical trial history" (same normalizer as
+/// server_test.cc).
+std::string Trajectory(const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("state ", 0) == 0) {
+      line = line.substr(0, line.find_last_of(' ')) + " <wall-clock>";
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+TuningClientOptions ResilientOptions() {
+  TuningClientOptions opts;
+  opts.call_timeout_ms = 5000;
+  opts.retry.max_attempts = 10;
+  opts.retry.initial_backoff_ms = 1;
+  opts.retry.max_backoff_ms = 50;
+  opts.retry.retry_budget_ms = 20000;
+  opts.retry.jitter_seed = 7;
+  return opts;
+}
+
+/// Runs one full external ask/tell session against an in-process
+/// server with `fault_spec` armed (empty = fault-free) and a
+/// retry-enabled client, and returns the normalized final history.
+std::string RunChaosSession(const std::string& fault_spec) {
+  FaultInjection::Reset();
+  TuningServer server;
+  EXPECT_TRUE(server.Start().ok());
+  TuningClient client(ResilientOptions());
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  if (!fault_spec.empty()) {
+    EXPECT_TRUE(FaultInjection::Configure(fault_spec));
+  }
+  EXPECT_TRUE(client.CreateSession("chaos", ChaosWireSpec()).ok());
+  for (;;) {
+    Result<Trial> trial = client.Ask("chaos");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    EXPECT_TRUE(client.Tell("chaos", result).ok());
+  }
+  // The history is fully formed; disarm injection so the final read
+  // cannot be the one call whose retries run dry.
+  FaultInjection::Reset();
+  Result<std::string> checkpoint = client.Checkpoint("chaos");
+  EXPECT_TRUE(checkpoint.ok());
+  std::string trajectory = checkpoint.ok() ? Trajectory(*checkpoint) : "";
+  server.Stop();
+  return trajectory;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+TEST_F(ChaosTest, TransportChaosPreservesHistoryBitForBit) {
+  const std::string baseline = RunChaosSession("");
+  ASSERT_FALSE(baseline.empty());
+
+  // Every transport fault site at once, probability-triggered: client
+  // writes reset, client reads shortened, server reads shortened,
+  // server replies dropped after commit. Retry + Tell dedup + Ask
+  // adoption must reassemble the exact same history.
+  const std::string chaotic = RunChaosSession(
+      "seed=42;client.send.reset=p0.15;client.recv.short=p0.2;"
+      "server.recv.short=p0.2;server.send.reset=p0.1");
+  EXPECT_EQ(chaotic, baseline);
+}
+
+TEST_F(ChaosTest, SecondSeedStillConverges) {
+  const std::string baseline = RunChaosSession("");
+  const std::string chaotic = RunChaosSession(
+      "seed=1337;client.send.reset=p0.2;server.send.reset=p0.15");
+  EXPECT_EQ(chaotic, baseline);
+}
+
+TEST_F(ChaosTest, DroppedTellReplyIsDeduplicated) {
+  const std::string baseline = RunChaosSession("");
+
+  // Reply hit indices on the single connection: CreateSession = 0,
+  // first Ask = 1, first Tell = 2. Dropping exactly the Tell reply
+  // commits the observation but loses the acknowledgment; the retried
+  // Tell earns AlreadyExists and the client dedups it back to OK.
+  const std::string chaotic = RunChaosSession("server.send.reset=@2");
+  EXPECT_EQ(chaotic, baseline);
+}
+
+TEST_F(ChaosTest, DroppedAskReplyIsAdoptedNotRedrawn) {
+  const std::string baseline = RunChaosSession("");
+
+  // Hit 1 is the first Ask's reply: the trial is drawn and pending on
+  // the server, but the client never sees it. The resilient Ask must
+  // adopt the orphaned pending trial via GetPending instead of asking
+  // again — a fresh draw would double-advance the optimizer stream
+  // and the trajectories would diverge.
+  const std::string chaotic = RunChaosSession("server.send.reset=@1");
+  EXPECT_EQ(chaotic, baseline);
+}
+
+/// Drives a workload-backed session via wire Step calls to completion
+/// and returns its normalized history.
+std::string RunWorkloadSession(const std::string& fault_spec) {
+  FaultInjection::Reset();
+  TuningServer server;
+  EXPECT_TRUE(server.Start().ok());
+  TuningClient client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  WireSessionSpec spec;
+  spec.workload = "YCSB-A";
+  spec.optimizer_key = "random";
+  spec.adapter_key = "llamatune";
+  spec.seed = 7;
+  spec.num_iterations = 6;
+  EXPECT_TRUE(client.CreateSession("sim", spec).ok());
+  if (!fault_spec.empty()) {
+    EXPECT_TRUE(FaultInjection::Configure(fault_spec));
+  }
+  for (;;) {
+    bool progressed = false;
+    Status status = client.Step("sim", &progressed);
+    if (!status.ok() || !progressed) break;
+  }
+  FaultInjection::Reset();
+  Result<std::string> checkpoint = client.Checkpoint("sim");
+  EXPECT_TRUE(checkpoint.ok());
+  std::string trajectory = checkpoint.ok() ? Trajectory(*checkpoint) : "";
+  server.Stop();
+  return trajectory;
+}
+
+TEST_F(ChaosTest, EvaluationFaultScheduleIsDeterministic) {
+  // Crash evaluation #1 and time out evaluation #3: the injected
+  // failures land in the recorded history (failed outcomes, penalty
+  // values), so the faulted run must differ from the clean run — but
+  // identically-scheduled runs must be bit-for-bit equal.
+  const std::string spec = "eval.crash=@1;eval.timeout=@3";
+  const std::string first = RunWorkloadSession(spec);
+  const std::string second = RunWorkloadSession(spec);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  const std::string clean = RunWorkloadSession("");
+  EXPECT_NE(first, clean);
+}
+
+TEST_F(ChaosTest, DisabledInjectionIsInert) {
+  FaultInjection::Reset();
+  ASSERT_FALSE(FaultInjection::enabled());
+  bool fired = false;
+  for (int i = 0; i < 1000000; ++i) {
+    fired |= FaultInjection::ShouldFail("hot.site");
+  }
+  EXPECT_FALSE(fired);
+  // Disabled, ShouldFail must not even count hits — zero bookkeeping
+  // on the hot path.
+  EXPECT_EQ(FaultInjection::HitCount("hot.site"), 0u);
+}
+
+TEST_F(ChaosTest, SpecGrammarAndCounters) {
+  // Schedule trigger: exactly hits 0 and 2 fire.
+  ASSERT_TRUE(FaultInjection::Configure("seed=5;site.a=@0,2"));
+  EXPECT_TRUE(FaultInjection::ShouldFail("site.a"));
+  EXPECT_FALSE(FaultInjection::ShouldFail("site.a"));
+  EXPECT_TRUE(FaultInjection::ShouldFail("site.a"));
+  EXPECT_FALSE(FaultInjection::ShouldFail("site.a"));
+  EXPECT_EQ(FaultInjection::HitCount("site.a"), 4u);
+  EXPECT_EQ(FaultInjection::FireCount("site.a"), 2u);
+  // Unconfigured sites never fire and stay untracked (no bookkeeping
+  // grows for sites the spec didn't name).
+  EXPECT_FALSE(FaultInjection::ShouldFail("site.b"));
+  EXPECT_EQ(FaultInjection::HitCount("site.b"), 0u);
+
+  // Probability triggers are deterministic in (seed, site, hit): the
+  // same spec replayed yields the same fault sequence.
+  auto sequence = [] {
+    FaultInjection::Reset();
+    EXPECT_TRUE(FaultInjection::Configure("seed=11;site.p=p0.5"));
+    std::string bits;
+    for (int i = 0; i < 64; ++i) {
+      bits += FaultInjection::ShouldFail("site.p") ? '1' : '0';
+    }
+    return bits;
+  };
+  const std::string first = sequence();
+  const std::string second = sequence();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+}
+
+TEST_F(ChaosTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(FaultInjection::Configure("site.a=p1.5"));   // p out of range
+  EXPECT_FALSE(FaultInjection::Configure("site.a=banana")); // no trigger
+  EXPECT_FALSE(FaultInjection::Configure("=p0.5"));         // empty name
+  EXPECT_FALSE(FaultInjection::Configure("site.a=@x"));     // bad index
+  // A failed Configure leaves injection disabled.
+  EXPECT_FALSE(FaultInjection::enabled());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace llamatune

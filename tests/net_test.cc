@@ -242,7 +242,7 @@ TEST(MessageTest, TrialAndResultRepliesAreBitExact) {
   TrialResult result;
   result.trial_id = 42;
   result.value = std::numeric_limits<double>::quiet_NaN();
-  result.crashed = true;
+  result.outcome = TrialOutcome::kCrashed;
   result.metrics = {1.0, 2.5};
   std::string rname;
   TrialResult rback;
@@ -250,7 +250,7 @@ TEST(MessageTest, TrialAndResultRepliesAreBitExact) {
   EXPECT_EQ(rname, "job");
   EXPECT_EQ(rback.trial_id, 42);
   EXPECT_TRUE(std::isnan(rback.value));
-  EXPECT_TRUE(rback.crashed);
+  EXPECT_TRUE(rback.crashed());
   EXPECT_EQ(rback.metrics, (std::vector<double>{1.0, 2.5}));
 }
 
@@ -277,13 +277,13 @@ TEST(MessageTest, BatchesRoundTrip) {
   results[0].trial_id = 1;
   results[0].value = 10.0;
   results[1].trial_id = 2;
-  results[1].crashed = true;
+  results[1].outcome = TrialOutcome::kCrashed;
   std::vector<TrialResult> rback;
   ASSERT_TRUE(
       DecodeTellBatch(EncodeTellBatch("s", results), &name, &rback).ok());
   ASSERT_EQ(rback.size(), 2u);
   EXPECT_TRUE(SameBits(rback[0].value, 10.0));
-  EXPECT_TRUE(rback[1].crashed);
+  EXPECT_TRUE(rback[1].crashed());
 }
 
 TEST(MessageTest, StatusRepliesCarryTimestampsAndDriving) {
@@ -318,7 +318,7 @@ TEST(MessageTest, StatusRepliesCarryTimestampsAndDriving) {
 }
 
 TEST(MessageTest, ErrorRoundTripsEveryCode) {
-  for (int code = 1; code <= 15; ++code) {
+  for (int code = 1; code <= 16; ++code) {
     WireError in = static_cast<WireError>(code);
     WireError out = WireError::kInternal;
     std::string message;
@@ -337,6 +337,7 @@ TEST(MessageTest, StatusToWireErrorMappingRoundTrips) {
       Status::Unavailable("c"),        Status::ResourceExhausted("d"),
       Status::InvalidArgument("e"),    Status::NotFound("f"),
       Status::FailedPrecondition("g"), Status::Internal("h"),
+      Status::TrialExpired("i"),
   };
   for (const Status& status : statuses) {
     Status back =
@@ -362,6 +363,139 @@ TEST(MessageTest, CheckpointAndClosedRepliesRoundTrip) {
   EXPECT_EQ(back->iterations_run, 20);
   EXPECT_TRUE(SameBits(back->best_performance, 999.125));
   EXPECT_TRUE(SameBits(back->default_performance, -3.5));
+}
+
+TEST(MessageTest, TrialExpiredSurvivesTheWire) {
+  // New code 16: a late Tell against an expired trial must arrive as
+  // kTrialExpired, not as a stringly Internal error.
+  Status typed = Status::TrialExpired("trial 7 expired");
+  Status back = StatusFromWireError(WireErrorFromStatus(typed), typed.message());
+  EXPECT_EQ(back.code(), StatusCode::kTrialExpired);
+  EXPECT_EQ(back.message(), "trial 7 expired");
+
+  WireError code = WireError::kInternal;
+  std::string message;
+  ASSERT_TRUE(DecodeError(EncodeError(WireError::kTrialExpired, "late"),
+                          &code, &message)
+                  .ok());
+  EXPECT_EQ(code, WireError::kTrialExpired);
+}
+
+TEST(MessageTest, SessionSpecRoundTripsPendingDeadlineAndLegacyV1) {
+  WireSessionSpec spec;
+  spec.workload = "YCSB-A";
+  spec.pending_deadline_ms = 45000;
+  std::string payload = EncodeSessionSpec(spec);
+  Result<WireSessionSpec> back = DecodeSessionSpec(payload);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->pending_deadline_ms, 45000);
+
+  // A v1 payload (older peer, pre-upgrade autosave file) carries no
+  // deadline token; it must still decode, with the deadline at 0.
+  size_t deadline = payload.rfind(" deadline ");
+  ASSERT_NE(deadline, std::string::npos);
+  std::string v1 = payload.substr(0, deadline);
+  size_t version = v1.find("spec 2");
+  ASSERT_NE(version, std::string::npos);
+  v1.replace(version, 6, "spec 1");
+  Result<WireSessionSpec> old = DecodeSessionSpec(v1);
+  ASSERT_TRUE(old.ok()) << old.status().ToString();
+  EXPECT_EQ(old->workload, "YCSB-A");
+  EXPECT_EQ(old->pending_deadline_ms, 0);
+}
+
+TEST(MessageTest, PendingReplyRoundTrips) {
+  std::vector<Trial> trials(2);
+  trials[0].id = 5;
+  trials[0].point = {0.25, 0.5};
+  trials[1].id = 6;
+  trials[1].is_baseline = true;
+
+  int64_t next = 0;
+  std::vector<Trial> back;
+  ASSERT_TRUE(
+      DecodePendingReply(EncodePendingReply(7, trials), &next, &back).ok());
+  EXPECT_EQ(next, 7);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, 5);
+  EXPECT_EQ(back[0].point, (std::vector<double>{0.25, 0.5}));
+  EXPECT_EQ(back[1].id, 6);
+  EXPECT_TRUE(back[1].is_baseline);
+
+  // Empty pending set is representable (session quiesced).
+  ASSERT_TRUE(DecodePendingReply(EncodePendingReply(1, {}), &next, &back).ok());
+  EXPECT_EQ(next, 1);
+  EXPECT_TRUE(back.empty());
+
+  EXPECT_FALSE(DecodePendingReply("garbage", &next, &back).ok());
+}
+
+TEST(FrameTest, ByteAtATimeDecodesEveryMessageKind) {
+  // One frame of every request and reply kind, pushed through a
+  // single decoder one byte at a time: no kind may depend on its
+  // payload arriving in fewer reads.
+  WireSessionSpec spec = SpaceSpecForTest();
+  TrialResult result;
+  result.trial_id = 3;
+  result.value = 12.5;
+  Trial trial;
+  trial.id = 4;
+  trial.point = {0.5};
+  WireSessionStatus status;
+  status.status.name = "job";
+  WireCloseResult close;
+  close.iterations_run = 2;
+
+  const std::vector<std::pair<MessageKind, std::string>> messages = {
+      {MessageKind::kHello, EncodeHello("tenant x")},
+      {MessageKind::kCreateSession, EncodeCreateSession("job", spec)},
+      {MessageKind::kResume, EncodeResume("job", spec, "ckpt\ntext\n")},
+      {MessageKind::kResumeSaved, EncodeNameOnly("job")},
+      {MessageKind::kAsk, EncodeNameOnly("job")},
+      {MessageKind::kAskBatch, EncodeAskBatch("job", 3)},
+      {MessageKind::kTell, EncodeTell("job", result)},
+      {MessageKind::kTellBatch, EncodeTellBatch("job", {result, result})},
+      {MessageKind::kStep, EncodeNameOnly("job")},
+      {MessageKind::kStartDrive, EncodeNameOnly("job")},
+      {MessageKind::kGetStatus, EncodeNameOnly("job")},
+      {MessageKind::kListSessions, ""},
+      {MessageKind::kCheckpoint, EncodeNameOnly("job")},
+      {MessageKind::kClose, EncodeNameOnly("job")},
+      {MessageKind::kPing, ""},
+      {MessageKind::kGetPending, EncodeNameOnly("job")},
+      {MessageKind::kOk, ""},
+      {MessageKind::kError, EncodeError(WireError::kTrialExpired, "late")},
+      {MessageKind::kTrialReply, EncodeTrialReply(trial)},
+      {MessageKind::kTrialsReply, EncodeTrialsReply({trial})},
+      {MessageKind::kSteppedReply, EncodeSteppedReply(true)},
+      {MessageKind::kStatusReply, EncodeStatusReply(status)},
+      {MessageKind::kStatusListReply, EncodeStatusListReply({status})},
+      {MessageKind::kCheckpointReply, EncodeCheckpointReply("text")},
+      {MessageKind::kClosedReply, EncodeClosedReply(close)},
+      {MessageKind::kPongReply, ""},
+      {MessageKind::kPendingReply, EncodePendingReply(2, {trial})},
+  };
+
+  FrameDecoder decoder;
+  for (const auto& message : messages) {
+    std::string bytes = EncodeFrame(message.first, message.second);
+    std::optional<Frame> got;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      decoder.Feed(bytes.data() + i, 1);
+      Result<std::optional<Frame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << "kind " << static_cast<int>(message.first)
+                             << " byte " << i;
+      if (next->has_value()) {
+        EXPECT_EQ(i, bytes.size() - 1) << "frame completed early";
+        got = std::move(*next);
+      }
+    }
+    ASSERT_TRUE(got.has_value())
+        << "kind " << static_cast<int>(message.first) << " never completed";
+    EXPECT_EQ(got->kind, message.first);
+    EXPECT_EQ(got->payload, message.second);
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -69,12 +69,19 @@ std::string Trajectory(const std::string& checkpoint) {
 class ServerProcess {
  public:
   /// Forks serve_remote --serve on an ephemeral port. Returns the
-  /// bound port via the port-file handshake, or -1.
+  /// bound port via the port-file handshake, or -1. `faults`, when
+  /// non-empty, arms the child's fault-injection registry through the
+  /// LLAMATUNE_FAULTS environment variable.
   int Launch(const std::string& bin, const std::string& autosave_dir,
-             const std::string& port_file) {
+             const std::string& port_file, const std::string& faults = "") {
     ::unlink(port_file.c_str());
     pid_ = ::fork();
     if (pid_ == 0) {
+      if (!faults.empty()) {
+        ::setenv("LLAMATUNE_FAULTS", faults.c_str(), 1);
+      } else {
+        ::unsetenv("LLAMATUNE_FAULTS");
+      }
       ::execl(bin.c_str(), bin.c_str(), "--serve", "--port", "0",
               "--port-file", port_file.c_str(), "--autosave-dir",
               autosave_dir.c_str(), "--autosave-interval-ms", "25",
@@ -222,6 +229,153 @@ TEST(ServerCrashTest, Kill9ThenResumeSavedMatchesUninterruptedRun) {
   // The pin: kill -9 plus autosave-based resume loses nothing — the
   // final trajectory is byte-identical to never having crashed.
   EXPECT_EQ(Trajectory(*after_crash), Trajectory(*uninterrupted));
+#endif
+}
+
+// SIGKILL *between* autosaves: rounds committed after the last durable
+// snapshot exist only in the per-tell WAL, and ResumeSaved must replay
+// that tail on top of the stale autosave — recovering every committed
+// round, not just the snapshotted ones.
+TEST(ServerCrashTest, Kill9BetweenAutosavesRecoversTailFromWal) {
+#ifndef LLAMATUNE_SERVE_REMOTE_BIN
+  GTEST_SKIP() << "serve_remote example not built";
+#else
+  const std::string bin = LLAMATUNE_SERVE_REMOTE_BIN;
+  struct stat sb;
+  if (::stat(bin.c_str(), &sb) != 0) {
+    GTEST_SKIP() << "serve_remote binary missing at " << bin;
+  }
+  const std::string dir = ::testing::TempDir() + "llamatune-walcrash-" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string port_file = dir + "/port";
+  const std::string autosave =
+      dir + "/" + EncodeBytes("wal-job") + ".autosave";
+
+  auto drive_rounds = [](TuningClient& client, const std::string& name,
+                         int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      Result<Trial> trial = client.Ask(name);
+      ASSERT_TRUE(trial.ok()) << trial.status().ToString();
+      TrialResult result;
+      result.trial_id = trial->id;
+      result.value = ExternalMeasure(trial->config);
+      ASSERT_TRUE(client.Tell(name, result).ok());
+    }
+  };
+
+  // --- Phase 1: 4 rounds, wait until the autosave captures them.
+  ServerProcess first;
+  int port = first.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "server did not come up";
+  TuningClient client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(client.CreateSession("wal-job", CrashWireSpec()).ok());
+  drive_rounds(client, "wal-job", 4);
+  Result<std::string> phase1 = client.Checkpoint("wal-job");
+  ASSERT_TRUE(phase1.ok());
+  bool captured = false;
+  for (int i = 0; i < 1000 && !captured; ++i) {
+    FILE* in = std::fopen(autosave.c_str(), "r");
+    if (in != nullptr) {
+      std::string content;
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+        content.append(buf, n);
+      }
+      std::fclose(in);
+      captured = content.find(*phase1) != std::string::npos;
+    }
+    if (!captured) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(captured) << "autosave never caught up";
+  first.Kill9();
+  client.Disconnect();
+
+  // --- Phase 2: resume on a server whose every autosave write is
+  // torn mid-file (LLAMATUNE_FAULTS). The durable snapshot stays
+  // frozen at phase 1 while 4 more rounds commit — those rounds live
+  // only in the fsync'd WAL when SIGKILL lands.
+  ServerProcess torn;
+  port = torn.Launch(bin, dir, port_file, "autosave.torn=p1");
+  ASSERT_GT(port, 0) << "torn-autosave server did not come up";
+  TuningClient mid;
+  ASSERT_TRUE(mid.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(mid.ResumeSaved("wal-job").ok());
+  drive_rounds(mid, "wal-job", 4);
+  Result<std::string> at_kill = mid.Checkpoint("wal-job");
+  ASSERT_TRUE(at_kill.ok());
+  EXPECT_NE(Trajectory(*at_kill), Trajectory(*phase1));
+  torn.Kill9();
+  mid.Disconnect();
+
+  // The autosave on disk must still be the phase-1 snapshot: the torn
+  // writes never replaced it.
+  {
+    FILE* in = std::fopen(autosave.c_str(), "r");
+    ASSERT_NE(in, nullptr);
+    std::string content;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      content.append(buf, n);
+    }
+    std::fclose(in);
+    EXPECT_NE(content.find(*phase1), std::string::npos);
+    EXPECT_EQ(content.find(*at_kill), std::string::npos);
+  }
+
+  // --- Phase 3: clean restart. ResumeSaved = stale autosave + WAL
+  // tail; the revived session must sit exactly where the kill left it.
+  ServerProcess third;
+  port = third.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "restarted server did not come up";
+  TuningClient revived;
+  ASSERT_TRUE(
+      revived.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  Status resumed = revived.ResumeSaved("wal-job");
+  ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+  Result<std::string> recovered = revived.Checkpoint("wal-job");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Trajectory(*recovered), Trajectory(*at_kill));
+
+  // Drive out the budget and pin against the uninterrupted run.
+  for (;;) {
+    Result<Trial> trial = revived.Ask("wal-job");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    ASSERT_TRUE(revived.Tell("wal-job", result).ok());
+  }
+  Result<std::string> final_run = revived.Checkpoint("wal-job");
+  ASSERT_TRUE(final_run.ok());
+  third.Kill9();
+
+  ConfigSpace space = *ConfigSpace::Create(TestKnobs());
+  service::TuningService reference;
+  service::SessionSpec spec;
+  spec.space = &space;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 4242;
+  spec.num_iterations = 16;
+  ASSERT_TRUE(reference.CreateSession("ref", spec).ok());
+  for (;;) {
+    Result<Trial> trial = reference.Ask("ref");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    ASSERT_TRUE(reference.Tell("ref", result).ok());
+  }
+  Result<std::string> uninterrupted = reference.Checkpoint("ref");
+  ASSERT_TRUE(uninterrupted.ok());
+  EXPECT_EQ(Trajectory(*final_run), Trajectory(*uninterrupted));
 #endif
 }
 

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -318,6 +319,71 @@ TEST(ServerTest, TypedErrorsSurviveTheWire) {
   server.Stop();
 }
 
+TEST(ServerTest, NaNTellsAreRejectedOverTheWire) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession("nan", ExternalWireSpec(1)).ok());
+
+  Result<Trial> baseline = client.Ask("nan");
+  ASSERT_TRUE(baseline.ok());
+  TrialResult bad;
+  bad.trial_id = baseline->id;
+  bad.value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(client.Tell("nan", bad).code(), StatusCode::kInvalidArgument);
+  bad.value = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(client.TellBatch("nan", {bad}).code(),
+            StatusCode::kInvalidArgument);
+
+  // The session is unharmed: the real measurement still lands.
+  bad.value = ExternalMeasure(1, baseline->config);
+  EXPECT_TRUE(client.Tell("nan", bad).ok());
+  server.Stop();
+}
+
+TEST(ServerTest, DeadlineExpiryOverTheWire) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  WireSessionSpec spec = ExternalWireSpec(2);
+  spec.pending_deadline_ms = 30;
+  ASSERT_TRUE(client.CreateSession("exp", spec).ok());
+  Result<Trial> baseline = client.Ask("exp");
+  ASSERT_TRUE(baseline.ok());
+  TrialResult result;
+  result.trial_id = baseline->id;
+  result.value = ExternalMeasure(2, baseline->config);
+  ASSERT_TRUE(client.Tell("exp", result).ok());
+
+  Result<Trial> doomed = client.Ask("exp");
+  ASSERT_TRUE(doomed.ok());
+
+  // GetPending (the retry-adoption primitive) sees the open trial.
+  int64_t next_id = 0;
+  Result<std::vector<Trial>> pending = client.GetPending("exp", &next_id);
+  ASSERT_TRUE(pending.ok());
+  ASSERT_EQ(pending->size(), 1u);
+  EXPECT_EQ((*pending)[0].id, doomed->id);
+  EXPECT_GT(next_id, doomed->id);
+
+  // Let the deadline lapse; the maintenance sweep expires the trial.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  server.RunMaintenance();
+
+  result.trial_id = doomed->id;
+  result.value = ExternalMeasure(2, doomed->config);
+  EXPECT_EQ(client.Tell("exp", result).code(), StatusCode::kTrialExpired);
+
+  // The expired trial's budget slot is free again.
+  Result<Trial> fresh = client.Ask("exp");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->id, doomed->id);
+  server.Stop();
+}
+
 TEST(ServerTest, GarbageKindGetsUnknownKindReply) {
   TuningServer server;
   ASSERT_TRUE(server.Start().ok());
@@ -351,6 +417,36 @@ TEST(ServerTest, OversizedFrameGetsBadFrameThenDisconnect) {
   EXPECT_EQ(code, WireError::kBadFrame);
   // Framing faults are unrecoverable: the server hangs up.
   EXPECT_TRUE(raw.WaitForClose());
+  server.Stop();
+}
+
+TEST(ServerTest, HalfWrittenFrameThenDisconnectLeavesServerHealthy) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+
+  // A client dies mid-frame: the header promises a payload that never
+  // arrives, then the socket closes. The server must just drop the
+  // connection — no reply, no stall, no poisoning of other clients.
+  {
+    RawConn raw;
+    ASSERT_TRUE(raw.Connect(server.port()));
+    std::string frame = EncodeFrame(MessageKind::kPing, "never finished");
+    ASSERT_TRUE(raw.Send(frame.substr(0, frame.size() / 2)));
+  }  // RawConn destructor closes the socket with the frame half-sent.
+
+  // Same with a half-written *header* (fewer than kFrameHeaderBytes).
+  {
+    RawConn raw;
+    ASSERT_TRUE(raw.Connect(server.port()));
+    std::string frame = EncodeFrame(MessageKind::kAsk, EncodeNameOnly("j"));
+    ASSERT_TRUE(raw.Send(frame.substr(0, 3)));
+  }
+
+  // A fresh client on the same server works immediately.
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.Ask("ghost").status().code(), StatusCode::kSessionNotFound);
   server.Stop();
 }
 

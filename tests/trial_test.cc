@@ -84,13 +84,14 @@ TEST(TrialTest, TrialResultRoundTrips) {
   TrialResult result;
   result.trial_id = 99;
   result.value = 1234.5678;
-  result.crashed = true;
+  result.outcome = TrialOutcome::kCrashed;
   result.metrics = {1.0, -0.0, 2.5};
 
   Result<TrialResult> back = ParseTrialResult(SerializeTrialResult(result));
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->trial_id, result.trial_id);
-  EXPECT_EQ(back->crashed, result.crashed);
+  EXPECT_EQ(back->outcome, result.outcome);
+  EXPECT_TRUE(back->crashed());
   EXPECT_TRUE(SameBits(back->value, result.value));
   ASSERT_EQ(back->metrics.size(), result.metrics.size());
   for (size_t i = 0; i < result.metrics.size(); ++i) {
