@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads outside the allowlist.
+#include <chrono>
+#include <ctime>
+
+long NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+long SteadyTick() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long UnixSeconds() { return time(nullptr); }

@@ -1,0 +1,15 @@
+// Fixture: raw standard-library locking outside src/common/sync.h.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_mu;
+std::condition_variable g_cv;
+
+void Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);
+}
+
+void Waiting() {
+  std::unique_lock<std::mutex> lock(g_mu);
+  g_cv.wait(lock);
+}

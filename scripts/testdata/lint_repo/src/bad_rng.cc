@@ -1,0 +1,16 @@
+// Fixture: every line here must trip raw-rng.
+#include <random>
+
+int EntropyFromDevice() {
+  std::random_device device;  // nondeterministic seed source
+  return static_cast<int>(device());
+}
+
+int LibcRand() { return rand() % 7; }
+
+void SeedLibc() { srand(42); }
+
+double UnseededEngine() {
+  std::mt19937 engine;  // default-seeded: mt19937::default_seed
+  return static_cast<double>(engine());
+}

@@ -1,0 +1,7 @@
+// Fixture: an ad-hoc thread outside the ThreadPool.
+#include <thread>
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,10 @@
+// Fixture: banned constructs that appear only inside comments must
+// not be reported — e.g. std::mutex, rand(), std::thread here.
+/* Block comments too:
+   std::random_device device;
+   std::chrono::system_clock::now();
+*/
+int Answer() {
+  int value = 42;  // was once: value = rand() % 100 (std::mutex held)
+  return value;
+}

@@ -1,0 +1,13 @@
+// Fixture: src/common/rng is THE allowlisted home for raw randomness —
+// none of these may be reported.
+#include <random>
+
+unsigned SeedFromEntropy() {
+  std::random_device device;
+  return device();
+}
+
+double Draw() {
+  std::mt19937 engine;  // wrapped and re-seeded by the real Rng class
+  return static_cast<double>(engine());
+}

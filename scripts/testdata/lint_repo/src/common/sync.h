@@ -1,0 +1,11 @@
+// Fixture: src/common/sync.h is the one allowed home for std::mutex
+// and std::condition_variable — must lint clean.
+#pragma once
+#include <condition_variable>
+#include <mutex>
+
+struct FixtureMutex {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::lock_guard<std::mutex> Hold() = delete;
+};

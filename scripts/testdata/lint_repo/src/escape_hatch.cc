@@ -1,0 +1,18 @@
+// Fixture: lint:allow suppressions — every construct here is banned
+// but carries a justified escape hatch, so the file must lint clean.
+#include <chrono>
+#include <thread>
+
+void DedicatedWatchdog() {
+  // This thread must outlive the pool during shutdown.
+  // lint:allow(raw-thread)
+  std::thread watchdog([] {});
+  watchdog.join();
+}
+
+long OperationalTimestamp() {
+  // Operational log timestamp, never serialized.
+  return std::chrono::system_clock::now()  // lint:allow(wall-clock)
+      .time_since_epoch()
+      .count();
+}

@@ -1,0 +1,17 @@
+// Fixture: lossy double formatting in a serde-adjacent path.
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+std::string FormatPerformance(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+std::string StreamPerformance(double value) {
+  std::ostringstream out;
+  out << std::setprecision(6) << value;
+  return out.str();
+}

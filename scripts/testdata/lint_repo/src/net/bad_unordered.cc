@@ -1,0 +1,18 @@
+// Fixture: unordered containers in a wire path (src/net/) — the
+// serialized byte order would depend on the hash seed.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::string SerializeCounts(
+    const std::unordered_map<std::string, int>& counts) {
+  std::string out;
+  for (const auto& [key, value] : counts) {
+    out += key + "=" + std::to_string(value) + ";";
+  }
+  return out;
+}
+
+int CountDistinct(const std::unordered_set<std::string>& seen) {
+  return static_cast<int>(seen.size());
+}

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <sstream>
+
+#include "src/common/sync.h"
 
 namespace llamatune {
 
@@ -19,9 +20,9 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  uint64_t seed = 0;
-  std::map<std::string, SiteState> sites;
+  Mutex mu;
+  uint64_t seed GUARDED_BY(mu) = 0;
+  std::map<std::string, SiteState> sites GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -101,7 +102,7 @@ bool FaultInjection::Configure(const std::string& spec) {
   std::map<std::string, SiteState> sites;
   if (!ParseSpecInto(spec, &seed, &sites)) return false;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.seed = seed;
   registry.sites = std::move(sites);
   enabled_.store(!registry.sites.empty(), std::memory_order_relaxed);
@@ -116,7 +117,7 @@ bool FaultInjection::ConfigureFromEnv(const char* env_var) {
 
 void FaultInjection::Reset() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   enabled_.store(false, std::memory_order_relaxed);
   registry.seed = 0;
   registry.sites.clear();
@@ -124,21 +125,21 @@ void FaultInjection::Reset() {
 
 uint64_t FaultInjection::HitCount(const std::string& site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.sites.find(site);
   return it == registry.sites.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjection::FireCount(const std::string& site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.sites.find(site);
   return it == registry.sites.end() ? 0 : it->second.fires;
 }
 
 bool FaultInjection::ShouldFailSlow(const char* site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.sites.find(site);
   if (it == registry.sites.end()) return false;
   SiteState& state = it->second;

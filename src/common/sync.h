@@ -1,0 +1,122 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+/// \file
+/// Annotated synchronization primitives: the only place in the library
+/// allowed to touch `std::mutex` / `std::condition_variable` directly
+/// (scripts/lint_determinism.py rule `raw-mutex` enforces this).
+///
+/// The wrappers carry Clang Thread Safety Analysis attributes, so a
+/// clang build with `-Wthread-safety -Werror=thread-safety` (the
+/// `thread-safety` CI job) proves at compile time that every field
+/// marked `GUARDED_BY(mu)` is only touched with `mu` held and that
+/// every method marked `REQUIRES(mu)` is only called under it. On
+/// compilers without the attributes (gcc) the macros expand to
+/// nothing and the wrappers are zero-cost shims over the std types.
+///
+/// Conventions (see docs/static-analysis.md for the full guide):
+///  * every mutex-protected field is annotated `GUARDED_BY(mu_)`;
+///  * helpers that assume a caller-held lock are annotated
+///    `REQUIRES(mu_)` instead of re-locking;
+///  * prefer `MutexLock` over manual Lock/Unlock pairs — it is a
+///    `SCOPED_CAPABILITY`, so the analysis tracks its whole scope.
+
+// ---------------------------------------------------------------------------
+// Thread-safety annotation macros (no-ops outside clang).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define LT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LT_THREAD_ANNOTATION(x)  // not supported by this compiler
+#endif
+
+#define CAPABILITY(x) LT_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY LT_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) LT_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) LT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) LT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) LT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) LT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  LT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) LT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) LT_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) LT_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace llamatune {
+
+/// \brief Annotated std::mutex. Lock/Unlock are public for the rare
+/// manual pairing; prefer MutexLock.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over Mutex (the lock_guard of this library).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with Mutex. Wait atomically
+/// releases the lock's mutex and reacquires it before returning, so
+/// the caller's capability set is unchanged across the call (no
+/// acquire/release annotation is needed or correct here).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One wakeup-or-spurious-return wait; use the predicate overload
+  /// unless you re-check the condition yourself.
+  ///
+  /// The analysis cannot see which mutex a MutexLock refers to, so
+  /// Wait opts out of checking; annotate the *predicate* with
+  /// REQUIRES(mu) when it reads guarded fields — its body is still
+  /// analyzed, and real callers do hold the lock.
+  void Wait(MutexLock& lock) NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held mutex for the duration of the wait, then
+    // release the unique_lock's ownership claim so MutexLock's
+    // destructor stays the one true unlocker.
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `pred()` holds (checked with the mutex held).
+  template <typename Predicate>
+  void Wait(MutexLock& lock, Predicate pred) NO_THREAD_SAFETY_ANALYSIS {
+    while (!pred()) Wait(lock);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace llamatune

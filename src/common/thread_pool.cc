@@ -17,27 +17,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(lock, [this]() REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -60,10 +62,10 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
     std::atomic<int> completed{0};
     int n = 0;
     const std::function<void(int)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    int error_index = std::numeric_limits<int>::max();
+    Mutex mu;
+    CondVar done_cv;
+    std::exception_ptr error GUARDED_BY(mu);
+    int error_index GUARDED_BY(mu) = std::numeric_limits<int>::max();
   };
   auto state = std::make_shared<LoopState>();
   state->n = n;
@@ -79,15 +81,15 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
       try {
         (*state->fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (i < state->error_index) {
           state->error_index = i;
           state->error = std::current_exception();
         }
       }
       if (state->completed.fetch_add(1) + 1 == state->n) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->done_cv.notify_all();
+        MutexLock lock(state->mu);
+        state->done_cv.NotifyAll();
       }
     }
   };
@@ -97,8 +99,8 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
   drain();  // caller participates: progress is guaranteed even when
             // every pool worker is busy with (or blocked on) other work
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock,
+  MutexLock lock(state->mu);
+  state->done_cv.Wait(lock,
                       [&] { return state->completed.load() == state->n; });
   if (state->error) std::rethrow_exception(state->error);
 }

@@ -128,6 +128,7 @@ Status TuningServer::Start() {
   listen_fd_ = fd;
   stopping_.store(false);
   running_.store(true);
+  // lint:allow(raw-thread) — dedicated poll-loop thread (see header)
   loop_ = std::thread(&TuningServer::EventLoop, this);
   return Status::OK();
 }
@@ -140,11 +141,12 @@ void TuningServer::Stop() {
   (void)ignored;
   loop_.join();
   {
-    std::unique_lock<std::mutex> lock(tasks_mu_);
-    tasks_cv_.wait(lock, [this] { return active_tasks_ == 0; });
+    MutexLock lock(tasks_mu_);
+    tasks_cv_.Wait(lock,
+                   [this]() REQUIRES(tasks_mu_) { return active_tasks_ == 0; });
   }
   if (!options_.autosave_dir.empty()) {
-    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    MutexLock lock(maintenance_mu_);
     AutosaveSweep();
   }
   conns_.clear();
@@ -199,12 +201,12 @@ void TuningServer::EventLoop() {
 
     now = service::NowUnixMillis();
     if (now >= next_autosave) {
-      std::lock_guard<std::mutex> lock(maintenance_mu_);
+      MutexLock lock(maintenance_mu_);
       AutosaveSweep();
       next_autosave = now + autosave_period;
     }
     if (now >= next_evict) {
-      std::lock_guard<std::mutex> lock(maintenance_mu_);
+      MutexLock lock(maintenance_mu_);
       EvictionSweep();
       next_evict = now + evict_period;
     }
@@ -286,7 +288,7 @@ void TuningServer::HandleReadable(const ConnPtr& conn) {
     }
     pending_requests_.fetch_add(1);
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       conn->inbox.push_back(std::move(frame));
     }
     Dispatch(conn);
@@ -296,7 +298,7 @@ void TuningServer::HandleReadable(const ConnPtr& conn) {
 void TuningServer::Dispatch(const ConnPtr& conn) {
   Frame frame;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->busy || conn->inbox.empty()) return;
     conn->busy = true;
     frame = std::move(conn->inbox.front());
@@ -319,7 +321,7 @@ void TuningServer::RunHandler(const ConnPtr& conn, Frame frame) {
     ::shutdown(conn->fd, SHUT_RDWR);
   }
   {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
+    MutexLock lock(conn->write_mu);
     if (!conn->closed.load() &&
         !SendAll(conn->fd, reply.data(), reply.size())) {
       conn->closed.store(true);
@@ -327,7 +329,7 @@ void TuningServer::RunHandler(const ConnPtr& conn, Frame frame) {
   }
   pending_requests_.fetch_sub(1);
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->busy = false;
   }
   Dispatch(conn);
@@ -337,7 +339,7 @@ void TuningServer::RunHandler(const ConnPtr& conn, Frame frame) {
 void TuningServer::WriteFrame(const ConnPtr& conn, MessageKind kind,
                               const std::string& payload) {
   std::string bytes = EncodeFrame(kind, payload);
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  MutexLock lock(conn->write_mu);
   if (conn->closed.load()) return;
   if (!SendAll(conn->fd, bytes.data(), bytes.size())) {
     conn->closed.store(true);
@@ -415,18 +417,21 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
       Result<std::string> name = DecodeNameOnly(frame.payload);
       if (!name.ok()) return MalformedReplyFrame(name.status());
       MetaPtr meta = FindMeta(*name);
+      auto snapshot = [&]() -> std::string {
+        Result<int64_t> next = service_.NextTrialId(*name);
+        if (!next.ok()) return ErrorReplyFrame(next.status());
+        Result<std::vector<Trial>> pending = service_.GetPending(*name);
+        if (!pending.ok()) return ErrorReplyFrame(pending.status());
+        return EncodeFrame(MessageKind::kPendingReply,
+                           EncodePendingReply(*next, *pending));
+      };
       // Hold op_mu (when the session is wire-created) so the cursor
       // and the pending list are one consistent snapshot.
-      std::unique_lock<std::mutex> op_lock;
       if (meta != nullptr) {
-        op_lock = std::unique_lock<std::mutex>(meta->op_mu);
+        MutexLock op_lock(meta->op_mu);
+        return snapshot();
       }
-      Result<int64_t> next = service_.NextTrialId(*name);
-      if (!next.ok()) return ErrorReplyFrame(next.status());
-      Result<std::vector<Trial>> pending = service_.GetPending(*name);
-      if (!pending.ok()) return ErrorReplyFrame(pending.status());
-      return EncodeFrame(MessageKind::kPendingReply,
-                         EncodePendingReply(*next, *pending));
+      return snapshot();
     }
     case MessageKind::kStartDrive: {
       Result<std::string> name = DecodeNameOnly(frame.payload);
@@ -441,7 +446,7 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
       WireSessionStatus wire;
       wire.status = *status;
       {
-        std::lock_guard<std::mutex> lock(meta_mu_);
+        MutexLock lock(meta_mu_);
         auto it = metas_.find(*name);
         if (it != metas_.end()) wire.driving = it->second->driving.load();
       }
@@ -451,7 +456,7 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
       std::vector<service::SessionStatus> statuses = service_.ListSessions();
       std::vector<WireSessionStatus> wire;
       wire.reserve(statuses.size());
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      MutexLock lock(meta_mu_);
       for (service::SessionStatus& status : statuses) {
         WireSessionStatus w;
         auto it = metas_.find(status.name);
@@ -487,7 +492,7 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
 }
 
 TuningServer::MetaPtr TuningServer::FindMeta(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   auto it = metas_.find(name);
   return it == metas_.end() ? nullptr : it->second;
 }
@@ -495,7 +500,7 @@ TuningServer::MetaPtr TuningServer::FindMeta(const std::string& name) const {
 Result<Trial> TuningServer::DoAsk(const std::string& name) {
   MetaPtr meta = FindMeta(name);
   if (meta == nullptr || !meta->wal.is_open()) return service_.Ask(name);
-  std::lock_guard<std::mutex> lock(meta->op_mu);
+  MutexLock lock(meta->op_mu);
   Result<Trial> trial = service_.Ask(name);
   if (trial.ok()) {
     meta->wal.Append("ask1 " + std::to_string(trial->id)).ok();
@@ -509,7 +514,7 @@ Result<std::vector<Trial>> TuningServer::DoAskBatch(const std::string& name,
   if (meta == nullptr || !meta->wal.is_open()) {
     return service_.AskBatch(name, n);
   }
-  std::lock_guard<std::mutex> lock(meta->op_mu);
+  MutexLock lock(meta->op_mu);
   Result<std::vector<Trial>> trials = service_.AskBatch(name, n);
   if (trials.ok() && !trials->empty()) {
     // Record the *request* (n), not the count handed out: replay must
@@ -528,7 +533,7 @@ Status TuningServer::DoTell(const std::string& name,
   if (meta == nullptr || !meta->wal.is_open()) {
     return service_.Tell(name, result);
   }
-  std::lock_guard<std::mutex> lock(meta->op_mu);
+  MutexLock lock(meta->op_mu);
   Status told = service_.Tell(name, result);
   if (told.ok()) {
     meta->wal.Append("tell x" + EncodeBytes(SerializeTrialResult(result)))
@@ -546,7 +551,7 @@ Status TuningServer::DoTellBatch(const std::string& name,
   // TellBatch is defined as a sequential Tell loop (first error wins,
   // earlier results stay committed), so logging per result keeps the
   // WAL exact even on partial failure.
-  std::lock_guard<std::mutex> lock(meta->op_mu);
+  MutexLock lock(meta->op_mu);
   for (const TrialResult& result : results) {
     Status told = service_.Tell(name, result);
     if (!told.ok()) return told;
@@ -561,7 +566,7 @@ Status TuningServer::DoStep(const std::string& name, bool* progressed) {
   if (meta == nullptr || !meta->wal.is_open()) {
     return service_.Step(name, progressed);
   }
-  std::lock_guard<std::mutex> lock(meta->op_mu);
+  MutexLock lock(meta->op_mu);
   Result<service::SessionStatus> before = service_.GetStatus(name);
   bool stepped = false;
   Status status = service_.Step(name, &stepped);
@@ -576,7 +581,7 @@ void TuningServer::ExpireSweep() {
   int64_t now = service::NowUnixMillis();
   std::vector<std::pair<std::string, MetaPtr>> candidates;
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     for (const auto& [name, meta] : metas_) {
       if (meta->spec.pending_deadline_ms > 0) {
         candidates.emplace_back(name, meta);
@@ -584,7 +589,7 @@ void TuningServer::ExpireSweep() {
     }
   }
   for (const auto& [name, meta] : candidates) {
-    std::lock_guard<std::mutex> lock(meta->op_mu);
+    MutexLock lock(meta->op_mu);
     Result<std::vector<int64_t>> expired =
         service_.ExpireOverdueSession(name, now);
     if (!expired.ok() || !meta->wal.is_open()) continue;
@@ -705,7 +710,7 @@ std::string TuningServer::HandleCreateOrResume(const ConnPtr& conn,
     if (meta->wal.Open(WalPath(name)).ok()) meta->wal.Truncate().ok();
   }
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     metas_[name] = std::move(meta);
   }
   return EncodeFrame(MessageKind::kOk, "");
@@ -760,7 +765,7 @@ std::string TuningServer::HandleResumeSaved(const ConnPtr& conn,
   // the window where a crash loses the tail).
   meta->wal.Open(WalPath(name)).ok();
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     metas_[name] = std::move(meta);
   }
   return EncodeFrame(MessageKind::kOk, "");
@@ -776,7 +781,7 @@ std::string TuningServer::HandleStartDrive(const std::string& name) {
   }
   MetaPtr meta;
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     auto it = metas_.find(name);
     if (it != metas_.end()) meta = it->second;
   }
@@ -784,7 +789,7 @@ std::string TuningServer::HandleStartDrive(const std::string& name) {
     // Session created in-process through service(): still driveable,
     // just invisible to autosave (no wire spec to persist).
     meta = std::make_shared<SessionMeta>();
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     metas_.emplace(name, meta);
     meta = metas_[name];
   }
@@ -816,7 +821,7 @@ std::string TuningServer::HandleClose(const std::string& name) {
   if (!closed.ok()) return ErrorReplyFrame(closed.status());
   MetaPtr meta;
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     auto it = metas_.find(name);
     if (it != metas_.end()) {
       meta = std::move(it->second);
@@ -866,7 +871,7 @@ Status TuningServer::BuildSessionSpec(const WireSessionSpec& wire,
 
 Status TuningServer::ReserveTenantSlot(const std::string& tenant) {
   if (options_.max_sessions_per_tenant <= 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   int& count = tenant_sessions_[tenant];
   if (count >= options_.max_sessions_per_tenant) {
     return Status::ResourceExhausted(
@@ -879,7 +884,7 @@ Status TuningServer::ReserveTenantSlot(const std::string& tenant) {
 
 void TuningServer::ReleaseTenantSlot(const std::string& tenant) {
   if (options_.max_sessions_per_tenant <= 0) return;
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   auto it = tenant_sessions_.find(tenant);
   if (it != tenant_sessions_.end() && --it->second <= 0) {
     tenant_sessions_.erase(it);
@@ -901,7 +906,7 @@ Status TuningServer::AutosaveSession(const std::string& name,
   // op_mu makes checkpoint + pending-count + WAL truncation one
   // atomic snapshot: no tell can commit between capturing the
   // checkpoint and deciding whether its WAL records may be dropped.
-  std::lock_guard<std::mutex> op_lock(meta->op_mu);
+  MutexLock op_lock(meta->op_mu);
   Result<std::string> checkpoint = service_.Checkpoint(name);
   if (!checkpoint.ok()) return checkpoint.status();
   Result<service::SessionStatus> status = service_.GetStatus(name);
@@ -948,7 +953,7 @@ void TuningServer::AutosaveSweep() {
   for (const service::SessionStatus& status : service_.ListSessions()) {
     MetaPtr meta;
     {
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      MutexLock lock(meta_mu_);
       auto it = metas_.find(status.name);
       if (it != metas_.end()) meta = it->second;
     }
@@ -968,7 +973,7 @@ void TuningServer::EvictionSweep() {
   for (const service::SessionStatus& status : service_.ListSessions()) {
     MetaPtr meta;
     {
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      MutexLock lock(meta_mu_);
       auto it = metas_.find(status.name);
       if (it != metas_.end()) meta = it->second;
     }
@@ -984,28 +989,28 @@ void TuningServer::EvictionSweep() {
     if (service_.Close(status.name).ok()) {
       sessions_evicted_.fetch_add(1);
       ReleaseTenantSlot(meta->tenant);
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      MutexLock lock(meta_mu_);
       metas_.erase(status.name);
     }
   }
 }
 
 void TuningServer::RunMaintenance() {
-  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  MutexLock lock(maintenance_mu_);
   ExpireSweep();
   AutosaveSweep();
   EvictionSweep();
 }
 
 void TuningServer::TaskStarted() {
-  std::lock_guard<std::mutex> lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   ++active_tasks_;
 }
 
 void TuningServer::TaskFinished() {
-  std::lock_guard<std::mutex> lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   --active_tasks_;
-  tasks_cv_.notify_all();
+  tasks_cv_.NotifyAll();
 }
 
 }  // namespace net

@@ -1,16 +1,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/knobs/config_space.h"
 #include "src/net/frame.h"
 #include "src/net/message.h"
@@ -114,15 +113,19 @@ class TuningServer {
         : fd(fd), decoder(max_payload) {}
     ~Conn();
     const int fd;
+    /// Fed and drained by the event loop only.
     FrameDecoder decoder;
-    /// Tenant declared by kHello; "" until then.
+    /// Tenant declared by kHello; "" until then. Written by the kHello
+    /// handler and read by later handlers on the same connection —
+    /// safe unguarded because the per-connection FIFO (busy flag under
+    /// mu) puts every handler in a happens-before chain.
     std::string tenant;
-    /// Queued requests + the one-in-flight flag (guarded by mu).
-    std::deque<Frame> inbox;
-    bool busy = false;
-    std::mutex mu;
+    Mutex mu;
+    /// Queued requests + the one-in-flight flag.
+    std::deque<Frame> inbox GUARDED_BY(mu);
+    bool busy GUARDED_BY(mu) = false;
     /// Serializes whole-frame writes so replies never interleave.
-    std::mutex write_mu;
+    Mutex write_mu;
     std::atomic<bool> closed{false};
   };
   using ConnPtr = std::shared_ptr<Conn>;
@@ -140,7 +143,7 @@ class TuningServer {
     /// Serializes each (service call + WAL append) pair so WAL record
     /// order always matches the session's commit order. Taken before
     /// the service's per-session mutex; never the other way around.
-    std::mutex op_mu;
+    Mutex op_mu;
   };
   using MetaPtr = std::shared_ptr<SessionMeta>;
 
@@ -170,8 +173,8 @@ class TuningServer {
                                  service::SessionSpec* out);
 
   /// Quota bookkeeping (meta_mu_).
-  Status ReserveTenantSlot(const std::string& tenant);
-  void ReleaseTenantSlot(const std::string& tenant);
+  Status ReserveTenantSlot(const std::string& tenant) EXCLUDES(meta_mu_);
+  void ReleaseTenantSlot(const std::string& tenant) EXCLUDES(meta_mu_);
 
   /// \name WAL-aware session operations
   ///
@@ -181,7 +184,7 @@ class TuningServer {
   /// open WAL (in-process, or autosave disabled) fall straight through
   /// to the service.
   /// @{
-  MetaPtr FindMeta(const std::string& name) const;
+  MetaPtr FindMeta(const std::string& name) const EXCLUDES(meta_mu_);
   Result<Trial> DoAsk(const std::string& name);
   Result<std::vector<Trial>> DoAskBatch(const std::string& name, int n);
   Status DoTell(const std::string& name, const TrialResult& result);
@@ -202,8 +205,8 @@ class TuningServer {
   void AutosaveSweep();
   void EvictionSweep();
 
-  void TaskStarted();
-  void TaskFinished();
+  void TaskStarted() EXCLUDES(tasks_mu_);
+  void TaskFinished() EXCLUDES(tasks_mu_);
 
   TuningServerOptions options_;
   service::TuningService service_;
@@ -211,7 +214,9 @@ class TuningServer {
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
-  std::thread loop_;
+  /// The poll event loop owns a dedicated thread: its poll() blocks,
+  /// so it must never run on (or starve) the shared worker pool.
+  std::thread loop_;  // lint:allow(raw-thread)
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
@@ -219,20 +224,20 @@ class TuningServer {
   /// Start, so unguarded there; Stop joins the loop before clearing).
   std::map<int, ConnPtr> conns_;
 
-  /// Wire-created sessions + per-tenant counts (guarded by meta_mu_).
-  mutable std::mutex meta_mu_;
-  std::map<std::string, MetaPtr> metas_;
-  std::map<std::string, int> tenant_sessions_;
+  /// Wire-created sessions + per-tenant counts.
+  mutable Mutex meta_mu_;
+  std::map<std::string, MetaPtr> metas_ GUARDED_BY(meta_mu_);
+  std::map<std::string, int> tenant_sessions_ GUARDED_BY(meta_mu_);
 
   /// One sweep at a time (loop timer vs RunMaintenance).
-  std::mutex maintenance_mu_;
+  Mutex maintenance_mu_;
 
   /// Admitted-but-unanswered requests, for backpressure.
   std::atomic<int> pending_requests_{0};
   /// In-flight pool tasks (handlers + drive steps), drained by Stop.
-  std::mutex tasks_mu_;
-  std::condition_variable tasks_cv_;
-  int active_tasks_ = 0;
+  Mutex tasks_mu_;
+  CondVar tasks_cv_;
+  int active_tasks_ GUARDED_BY(tasks_mu_) = 0;
 
   std::atomic<int64_t> busy_rejections_{0};
   std::atomic<int64_t> sessions_evicted_{0};

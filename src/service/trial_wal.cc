@@ -39,7 +39,7 @@ bool WriteAllFd(int fd, const char* data, size_t size) {
 TrialWal::~TrialWal() { Close(); }
 
 Status TrialWal::Open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ >= 0) ::close(fd_);
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) return Errno("open", path);
@@ -48,7 +48,7 @@ Status TrialWal::Open(const std::string& path) {
 }
 
 Status TrialWal::Append(const std::string& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("TrialWal: not open");
   std::string line = record;
   line.push_back('\n');
@@ -68,7 +68,7 @@ Status TrialWal::Append(const std::string& record) {
 }
 
 Status TrialWal::Truncate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("TrialWal: not open");
   if (::ftruncate(fd_, 0) != 0) return Errno("ftruncate", path_);
   if (::fsync(fd_) != 0) return Errno("fsync", path_);
@@ -76,7 +76,7 @@ Status TrialWal::Truncate() {
 }
 
 void TrialWal::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;

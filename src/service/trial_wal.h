@@ -1,10 +1,10 @@
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 
 namespace llamatune {
 namespace service {
@@ -50,8 +50,14 @@ class TrialWal {
   Status Truncate();
 
   void Close();
-  bool is_open() const { return fd_ >= 0; }
-  const std::string& path() const { return path_; }
+  bool is_open() const {
+    MutexLock lock(mu_);
+    return fd_ >= 0;
+  }
+  std::string path() const {
+    MutexLock lock(mu_);
+    return path_;
+  }
 
   /// Reads every complete record from the log at `path`. A torn tail
   /// (final line with no newline) is dropped silently; a missing file
@@ -60,9 +66,9 @@ class TrialWal {
       const std::string& path);
 
  private:
-  std::mutex mu_;
-  int fd_ = -1;
-  std::string path_;
+  mutable Mutex mu_;
+  int fd_ GUARDED_BY(mu_) = -1;
+  std::string path_ GUARDED_BY(mu_);
 };
 
 }  // namespace service

@@ -56,7 +56,13 @@ Status TuningService::BuildEntry(const SessionSpec& spec,
   if (!tuner.ok()) return tuner.status();
 
   auto entry = std::make_shared<Entry>();
-  entry->tuner = std::move(tuner).ValueOrDie();
+  {
+    // The entry is not yet published, but tuner is guarded by mu and
+    // the analysis cannot see construction-time exclusivity; the
+    // uncontended lock keeps the annotation honest.
+    MutexLock lock(entry->mu);
+    entry->tuner = std::move(tuner).ValueOrDie();
+  }
   entry->optimizer_key = spec.optimizer_key;
   entry->adapter_key = spec.adapter_key;
   entry->external = spec.space != nullptr;
@@ -72,7 +78,7 @@ Status TuningService::CreateSession(const std::string& name,
                                     const SessionSpec& spec) {
   std::shared_ptr<Entry> entry;
   LT_RETURN_NOT_OK(BuildEntry(spec, &entry));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!sessions_.emplace(name, std::move(entry)).second) {
     return Status::SessionAlreadyExists("TuningService: session '" + name +
                                         "' already exists");
@@ -84,8 +90,11 @@ Status TuningService::Resume(const std::string& name, const SessionSpec& spec,
                              const std::string& checkpoint) {
   std::shared_ptr<Entry> entry;
   LT_RETURN_NOT_OK(BuildEntry(spec, &entry));
-  LT_RETURN_NOT_OK(entry->tuner->Restore(checkpoint));
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    MutexLock lock(entry->mu);
+    LT_RETURN_NOT_OK(entry->tuner->Restore(checkpoint));
+  }
+  MutexLock lock(mu_);
   if (!sessions_.emplace(name, std::move(entry)).second) {
     return Status::SessionAlreadyExists("TuningService: session '" + name +
                                         "' already exists");
@@ -95,7 +104,7 @@ Status TuningService::Resume(const std::string& name, const SessionSpec& spec,
 
 std::shared_ptr<TuningService::Entry> TuningService::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(name);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -105,7 +114,7 @@ Result<Trial> TuningService::Ask(const std::string& name) {
   if (entry == nullptr) return NoSession(name);
   entry->last_activity_unix_ms.store(NowUnixMillis(),
                                      std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->Ask();
 }
 
@@ -115,7 +124,7 @@ Result<std::vector<Trial>> TuningService::AskBatch(const std::string& name,
   if (entry == nullptr) return NoSession(name);
   entry->last_activity_unix_ms.store(NowUnixMillis(),
                                      std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->AskBatch(n);
 }
 
@@ -125,7 +134,7 @@ Status TuningService::Tell(const std::string& name,
   if (entry == nullptr) return NoSession(name);
   entry->last_activity_unix_ms.store(NowUnixMillis(),
                                      std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->Tell(result);
 }
 
@@ -135,7 +144,7 @@ Status TuningService::TellBatch(const std::string& name,
   if (entry == nullptr) return NoSession(name);
   entry->last_activity_unix_ms.store(NowUnixMillis(),
                                      std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->TellBatch(results);
 }
 
@@ -145,34 +154,34 @@ Result<std::vector<Trial>> TuningService::GetPending(
   if (entry == nullptr) return NoSession(name);
   // Deliberately not an activity update: adoption polling by a
   // reconnecting client must not keep an abandoned session alive.
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->PendingSnapshot();
 }
 
 Result<int64_t> TuningService::NextTrialId(const std::string& name) const {
   std::shared_ptr<Entry> entry = Find(name);
   if (entry == nullptr) return NoSession(name);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->next_trial_id();
 }
 
 Status TuningService::Expire(const std::string& name, int64_t trial_id) {
   std::shared_ptr<Entry> entry = Find(name);
   if (entry == nullptr) return NoSession(name);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->Expire(trial_id);
 }
 
 int TuningService::ExpireOverdue(int64_t now_ms) {
   std::vector<std::shared_ptr<Entry>> entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries.reserve(sessions_.size());
     for (const auto& [name, entry] : sessions_) entries.push_back(entry);
   }
   int expired = 0;
   for (const auto& entry : entries) {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(entry->mu);
     expired += static_cast<int>(entry->tuner->ExpireOverdue(now_ms).size());
   }
   return expired;
@@ -182,7 +191,7 @@ Result<std::vector<int64_t>> TuningService::ExpireOverdueSession(
     const std::string& name, int64_t now_ms) {
   std::shared_ptr<Entry> entry = Find(name);
   if (entry == nullptr) return NoSession(name);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->ExpireOverdue(now_ms);
 }
 
@@ -191,7 +200,7 @@ Status TuningService::Step(const std::string& name, bool* progressed) {
   if (entry == nullptr) return NoSession(name);
   entry->last_activity_unix_ms.store(NowUnixMillis(),
                                      std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   if (!entry->tuner->has_objective()) {
     return Status::FailedPrecondition(
         "TuningService: session '" + name +
@@ -205,7 +214,7 @@ Status TuningService::Step(const std::string& name, bool* progressed) {
 Status TuningService::Drive(const std::string& name) {
   std::shared_ptr<Entry> entry = Find(name);
   if (entry == nullptr) return NoSession(name);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   if (!entry->tuner->has_objective()) {
     return Status::FailedPrecondition(
         "TuningService: session '" + name +
@@ -221,7 +230,7 @@ Status TuningService::Drive(const std::string& name) {
 Result<std::string> TuningService::Checkpoint(const std::string& name) const {
   std::shared_ptr<Entry> entry = Find(name);
   if (entry == nullptr) return NoSession(name);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->Save();
 }
 
@@ -250,20 +259,20 @@ SessionStatus TuningService::StatusLocked(const std::string& name,
 Result<SessionStatus> TuningService::GetStatus(const std::string& name) const {
   std::shared_ptr<Entry> entry = Find(name);
   if (entry == nullptr) return NoSession(name);
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return StatusLocked(name, *entry);
 }
 
 std::vector<SessionStatus> TuningService::ListSessions() const {
   std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries.assign(sessions_.begin(), sessions_.end());
   }
   std::vector<SessionStatus> statuses;
   statuses.reserve(entries.size());
   for (const auto& [name, entry] : entries) {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(entry->mu);
     statuses.push_back(StatusLocked(name, *entry));
   }
   return statuses;
@@ -272,18 +281,18 @@ std::vector<SessionStatus> TuningService::ListSessions() const {
 Result<SessionResult> TuningService::Close(const std::string& name) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(name);
     if (it == sessions_.end()) return NoSession(name);
     entry = std::move(it->second);
     sessions_.erase(it);
   }
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   return entry->tuner->session().Snapshot();
 }
 
 int TuningService::session_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(sessions_.size());
 }
 

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/core/early_stopping.h"
 #include "src/core/trial.h"
 #include "src/core/tuning_session.h"
@@ -175,7 +175,15 @@ class TuningService {
 
  private:
   struct Entry {
-    std::unique_ptr<harness::Tuner> tuner;
+    /// Serializes all operations on this session; taken *after*
+    /// releasing the registry mutex so sessions never block each
+    /// other.
+    mutable Mutex mu;
+    /// The whole tuner stack is mu-serialized: every Ask/Tell/Step/
+    /// Save path mutates optimizer and session state behind this
+    /// pointer.
+    std::unique_ptr<harness::Tuner> tuner GUARDED_BY(mu);
+    /// Immutable after BuildEntry publishes the entry.
     std::string optimizer_key;
     std::string adapter_key;
     bool external = false;
@@ -184,22 +192,18 @@ class TuningService {
     /// Updated lock-free by every driving operation (see
     /// SessionStatus::last_activity_unix_ms for what counts).
     std::atomic<int64_t> last_activity_unix_ms{0};
-    /// Serializes all operations on this session; taken *after*
-    /// releasing the registry mutex so sessions never block each
-    /// other.
-    mutable std::mutex mu;
   };
 
   /// Looks up `name` under the registry lock; the returned shared_ptr
   /// keeps the entry alive even if Close() races.
   std::shared_ptr<Entry> Find(const std::string& name) const;
   SessionStatus StatusLocked(const std::string& name,
-                             const Entry& entry) const;
+                             const Entry& entry) const REQUIRES(entry.mu);
   static Status BuildEntry(const SessionSpec& spec,
                            std::shared_ptr<Entry>* out);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> sessions_ GUARDED_BY(mu_);
 };
 
 }  // namespace service

@@ -110,9 +110,14 @@ TEST_P(WorkloadSweep, FixedRateLatencyMonotoneInRate) {
 
 INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadSweep, ::testing::Range(0, 6),
                          [](const auto& info) {
-                           // gtest names must be alphanumeric.
+                           // gtest names must be alphanumeric. Hold the
+                           // workload list in a local: range-for over
+                           // AllWorkloads()[i].name would iterate a
+                           // member of an already-destroyed temporary.
+                           std::vector<WorkloadSpec> workloads =
+                               AllWorkloads();
                            std::string name;
-                           for (char c : AllWorkloads()[info.param].name) {
+                           for (char c : workloads[info.param].name) {
                              if (std::isalnum(static_cast<unsigned char>(c))) {
                                name.push_back(c);
                              }
