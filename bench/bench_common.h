@@ -101,5 +101,75 @@ inline int EvalsToReach(const std::vector<double>& curve, double target) {
 
 /// @}
 
+/// \name The fixed-seed racing grid (noisy TPC-C DES)
+///
+/// TPC-C through the discrete-event engine — run-to-run noise is
+/// measured from the sampled transaction stream, so a short (low
+/// fidelity) run is genuinely noisier, not synthetically so — with the
+/// hesbo8 projection and random search. Random search isolates what
+/// racing actually changes: both cells draw candidates from the same
+/// RNG stream (racing's 5 SuggestBatch(8) draws are the fixed cell's
+/// first 40 Suggest draws), so the comparison measures measurement
+/// *allocation* — full runs for everyone vs short screening runs with
+/// full runs for survivors — on an identical candidate pool, free of
+/// the model-feedback confound a learning optimizer would add. One
+/// definition shared by bench/bm_racing.cc (which CI regression-tracks
+/// via BENCH_racing.json) and tests/racing_test.cc (which pins the
+/// ISSUE 9 work/quality acceptance bound on it), so the pinned grid
+/// and the tracked grid cannot drift apart. Every cell is bit-for-bit
+/// deterministic at any thread count.
+/// @{
+
+constexpr uint64_t kRacingGridBaseSeed = 42;
+/// Transactions per full-fidelity DES run. Short enough for CI, long
+/// enough that fidelity-0.25 runs keep a usable signal-to-noise ratio.
+constexpr int kRacingGridTransactions = 6000;
+
+inline RacingOptions RacingGridOptions() {
+  RacingOptions racing;
+  racing.cohort = 8;
+  racing.rungs = 3;
+  racing.min_fidelity = 0.125;
+  racing.eta = 2.0;
+  racing.ci_z = 1.96;
+  return racing;
+}
+
+struct RacingCell {
+  SessionResult session;
+  /// Noise-free model throughput of the best configuration found —
+  /// measures the configuration, not a lucky noise draw.
+  double true_best = 0.0;
+};
+
+/// Runs one (seed, racing on/off) cell of the grid to completion.
+inline RacingCell RunRacingGridCell(uint64_t seed, int iterations,
+                                    bool racing) {
+  dbsim::SimulatedPostgresOptions db_options;
+  db_options.engine = dbsim::EngineKind::kDiscreteEvent;
+  db_options.des_transactions = kRacingGridTransactions;
+  db_options.noise_seed = seed;
+  dbsim::SimulatedPostgres objective(dbsim::TpcC(), db_options);
+  std::unique_ptr<SpaceAdapter> adapter =
+      std::move(AdapterRegistry::Global().Create(
+                    "hesbo8", &objective.config_space(), seed))
+          .ValueOrDie();
+  std::unique_ptr<Optimizer> optimizer =
+      std::move(OptimizerRegistry::Global().Create(
+                    "random", adapter->search_space(), seed))
+          .ValueOrDie();
+  SessionOptions options;
+  options.num_iterations = iterations;
+  if (racing) options.racing = RacingGridOptions();
+  TuningSession session(&objective, adapter.get(), optimizer.get(), options);
+  RacingCell cell;
+  cell.session = session.Run();
+  cell.true_best =
+      objective.RunNoiseless(cell.session.best_config).throughput;
+  return cell;
+}
+
+/// @}
+
 }  // namespace bench
 }  // namespace llamatune

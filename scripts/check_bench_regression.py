@@ -144,10 +144,33 @@ def collect_service_metrics(doc):
     return metrics
 
 
+def collect_racing_metrics(doc):
+    """Flattens BENCH_racing.json into {metric_name: (value,
+    deterministic)}.
+
+    Both summary metrics are lower-is-better ratios and bit-for-bit
+    deterministic for fixed seeds (the DES grid is seeded), so any
+    drift is a real behavior change in the racing stage. Metric names
+    embed the run configuration so mismatched settings fail to
+    intersect instead of comparing incomparable numbers."""
+    config = doc.get("config", {})
+    key = (f"seeds={config.get('seeds')},fixed={config.get('fixed_iters')},"
+           f"races={config.get('races')},cohort={config.get('cohort')},"
+           f"rungs={config.get('rungs')},minfid={config.get('min_fidelity')}")
+    metrics = {}
+    summary = doc.get("summary", {})
+    for field in ("work_ratio", "fixed_over_racing_best"):
+        if field in summary:
+            metrics[f"{field}[{key}]"] = (summary[field], True)
+    return metrics
+
+
 def collect_metrics(doc):
     """Returns {metric_name: (value, deterministic)}."""
     if doc.get("bench") == "batch":
         return collect_batch_metrics(doc)
+    if doc.get("bench") == "racing":
+        return collect_racing_metrics(doc)
     if doc.get("bench") == "largen":
         return collect_largen_metrics(doc)
     if doc.get("bench") == "service":

@@ -32,6 +32,10 @@ struct EvalResult {
   /// Internal DBMS metrics sampled during the run (pg_stat-style);
   /// consumed by RL optimizers as the state vector.
   std::vector<double> metrics;
+  /// Fidelity the run was taken at, in (0, 1]. Evaluate() always
+  /// produces 1.0; EvaluateAt(config, f) stamps f so the racing stage
+  /// can account simulated work per measurement.
+  double fidelity = 1.0;
 
   /// The effective typed outcome: `crashed` wins over a stale kOk.
   TrialOutcome EffectiveOutcome() const {
@@ -52,6 +56,18 @@ class ObjectiveFunction {
   /// Runs the workload under `config` and reports the result.
   /// Evaluations may be noisy; repeat calls can differ.
   virtual EvalResult Evaluate(const Configuration& config) = 0;
+
+  /// Runs a reduced-length measurement at `fidelity` in (0, 1]: a
+  /// fraction of the full run (the DES backend scales its transaction
+  /// budget, see SimulatedPostgres). Contract: fidelity >= 1.0 must be
+  /// exactly Evaluate(config) — same RNG stream, same result bits — so
+  /// a racing session with full-fidelity rungs reduces bit-for-bit to
+  /// a non-racing one. The default ignores the knob (a real DBMS whose
+  /// run length the tuner does not control) and reports full fidelity.
+  virtual EvalResult EvaluateAt(const Configuration& config,
+                                double /*fidelity*/) {
+    return Evaluate(config);
+  }
 
   /// The knob space this objective is defined over.
   virtual const ConfigSpace& config_space() const = 0;

@@ -1,0 +1,98 @@
+#include "src/core/running_stat.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/common/serde.h"
+
+namespace llamatune {
+
+namespace {
+
+/// One Neumaier step: adds `x` into the (sum, carry) pair, routing the
+/// rounding error of whichever operand is smaller into the carry.
+void NeumaierAdd(double x, double* sum, double* carry) {
+  double t = *sum + x;
+  if (std::abs(*sum) >= std::abs(x)) {
+    *carry += (*sum - t) + x;
+  } else {
+    *carry += (x - t) + *sum;
+  }
+  *sum = t;
+}
+
+}  // namespace
+
+void RunningStat::Push(double x) {
+  if (count_ == 0) {
+    shift_ = x;
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  double d = x - shift_;
+  NeumaierAdd(d, &sum_, &sum_c_);
+  NeumaierAdd(d * d, &sum_sq_, &sum_sq_c_);
+}
+
+double RunningStat::Mean() const {
+  if (count_ == 0) return 0.0;
+  return shift_ + (sum_ + sum_c_) / static_cast<double>(count_);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) return 0.0;
+  double n = static_cast<double>(count_);
+  double s = sum_ + sum_c_;
+  double ss = sum_sq_ + sum_sq_c_;
+  double var = (ss - s * s / n) / (n - 1.0);
+  return var > 0.0 ? var : 0.0;
+}
+
+double RunningStat::CiHalfWidth(double z) const {
+  if (count_ < 2) return std::numeric_limits<double>::infinity();
+  return z * std::sqrt(Variance() / static_cast<double>(count_));
+}
+
+std::string RunningStat::Serialize() const {
+  std::ostringstream out;
+  out << "stat " << count_;
+  for (double v : {shift_, sum_, sum_c_, sum_sq_, sum_sq_c_, min_, max_}) {
+    out << ' ' << EncodeDoubleBits(v);
+  }
+  return out.str();
+}
+
+Result<RunningStat> RunningStat::Parse(const std::string& line) {
+  std::istringstream in(line);
+  std::string tag, count_tok;
+  if (!(in >> tag >> count_tok) || tag != "stat") {
+    return Status::InvalidArgument("expected 'stat' line, got: " + line);
+  }
+  Result<int64_t> count = ParseInt64(count_tok);
+  if (!count.ok()) return count.status();
+  if (*count < 0) {
+    return Status::InvalidArgument("negative stat count: " + count_tok);
+  }
+  RunningStat stat;
+  stat.count_ = *count;
+  double* fields[] = {&stat.shift_,  &stat.sum_,    &stat.sum_c_,
+                      &stat.sum_sq_, &stat.sum_sq_c_, &stat.min_,
+                      &stat.max_};
+  std::string token;
+  for (double* field : fields) {
+    if (!(in >> token)) {
+      return Status::InvalidArgument("truncated stat line: " + line);
+    }
+    Result<double> value = DecodeDoubleBits(token);
+    if (!value.ok()) return value.status();
+    *field = *value;
+  }
+  return stat;
+}
+
+}  // namespace llamatune

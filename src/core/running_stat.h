@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace llamatune {
+
+/// \brief Streaming mean/variance/confidence-interval accumulator —
+/// the per-candidate quality statistic behind the racing stage.
+///
+/// Numerics: values accumulate as Neumaier-compensated sums of
+/// (x - shift) and (x - shift)^2, where the shift is the first value
+/// pushed. The shift keeps the squared sums small for the narrow,
+/// far-from-zero distributions DES throughput produces, and the
+/// compensation makes the running sums match a two-pass batch oracle
+/// (same shift) to 1 ulp — pinned in tests/racing_test.cc. Everything
+/// is plain double arithmetic in push order, so the accumulator is
+/// bit-deterministic for a given value sequence and serializes
+/// bit-exactly via the EncodeDoubleBits codec.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Push(double x);
+
+  /// Number of observations pushed.
+  int64_t count() const { return count_; }
+  /// Sample mean; 0 when empty.
+  double Mean() const;
+  /// Unbiased sample variance (n-1 denominator, clamped at 0);
+  /// 0 when count() < 2.
+  double Variance() const;
+  /// Half-width of the normal-approximation confidence interval at
+  /// critical value `z` (e.g. 1.96 for 95%). Infinity when count() < 2
+  /// — a candidate measured once cannot be eliminated on CI overlap.
+  double CiHalfWidth(double z) const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  /// \name Bit-exact text serialization (single line, space-separated;
+  /// doubles as bit patterns). Round-tripping restores the exact
+  /// accumulator state, so checkpointed races resume bit-for-bit.
+  /// @{
+  std::string Serialize() const;
+  static Result<RunningStat> Parse(const std::string& line);
+  /// @}
+
+ private:
+  int64_t count_ = 0;
+  double shift_ = 0.0;
+  double sum_ = 0.0;        ///< compensated sum of (x - shift)
+  double sum_c_ = 0.0;      ///< Neumaier carry for sum_
+  double sum_sq_ = 0.0;     ///< compensated sum of (x - shift)^2
+  double sum_sq_c_ = 0.0;   ///< Neumaier carry for sum_sq_
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace llamatune

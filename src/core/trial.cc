@@ -31,6 +31,35 @@ Result<std::vector<double>> ReadDoubles(std::istringstream* in, int64_t count,
   return values;
 }
 
+/// Consumes an optional trailing `fid <bits>` token pair. Absent token
+/// means full fidelity (the only value pre-fidelity writers produced),
+/// so old serialized trials/results parse unchanged; conversely the
+/// writers below emit the token only for fidelity != 1.0, keeping the
+/// full-fidelity encoding byte-identical to the pre-fidelity format.
+Status ReadOptionalFidelity(std::istringstream* in, double* fidelity) {
+  *fidelity = 1.0;
+  std::string section;
+  if (!(*in >> section)) return Status::OK();
+  if (section != "fid") {
+    return Status::InvalidArgument("unexpected trailing section '" + section +
+                                   "'");
+  }
+  std::string bits;
+  if (!(*in >> bits)) return Status::InvalidArgument("truncated fid token");
+  Result<double> value = DecodeDoubleBits(bits);
+  if (!value.ok()) return value.status();
+  if (!(*value > 0.0) || *value > 1.0) {
+    return Status::InvalidArgument("fidelity out of (0, 1]: " + bits);
+  }
+  std::string extra;
+  if (*in >> extra) {
+    return Status::InvalidArgument("unexpected trailing section '" + extra +
+                                   "'");
+  }
+  *fidelity = *value;
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string SerializeTrial(const Trial& trial) {
@@ -40,6 +69,7 @@ std::string SerializeTrial(const Trial& trial) {
   for (double v : trial.point) out << ' ' << EncodeDoubleBits(v);
   out << " config " << trial.config.size();
   for (double v : trial.config.values()) out << ' ' << EncodeDoubleBits(v);
+  if (trial.fidelity != 1.0) out << " fid " << EncodeDoubleBits(trial.fidelity);
   return out.str();
 }
 
@@ -80,6 +110,8 @@ Result<Trial> ParseTrial(const std::string& line) {
   Result<std::vector<double>> config = ReadDoubles(&in, *n_config, "config");
   if (!config.ok()) return config.status();
   trial.config = Configuration(std::move(config).ValueOrDie());
+  Status fid = ReadOptionalFidelity(&in, &trial.fidelity);
+  if (!fid.ok()) return fid;
   return trial;
 }
 
@@ -90,6 +122,9 @@ std::string SerializeTrialResult(const TrialResult& result) {
       << EncodeDoubleBits(result.value);
   out << " metrics " << result.metrics.size();
   for (double v : result.metrics) out << ' ' << EncodeDoubleBits(v);
+  if (result.fidelity != 1.0) {
+    out << " fid " << EncodeDoubleBits(result.fidelity);
+  }
   return out.str();
 }
 
@@ -128,6 +163,8 @@ Result<TrialResult> ParseTrialResult(const std::string& line) {
   Result<std::vector<double>> metrics = ReadDoubles(&in, *n_metrics, "metrics");
   if (!metrics.ok()) return metrics.status();
   result.metrics = std::move(metrics).ValueOrDie();
+  Status fid = ReadOptionalFidelity(&in, &result.fidelity);
+  if (!fid.ok()) return fid;
   return result;
 }
 

@@ -40,6 +40,13 @@ struct Trial {
   /// observation (paper convention: synthetic low-dimensional spaces
   /// have no preimage for the default configuration).
   bool is_baseline = false;
+  /// Measurement fidelity in (0, 1]: the fraction of a full-length
+  /// evaluation this trial asks for. 1.0 (the default, and the only
+  /// value non-racing sessions produce) is a full measurement; racing
+  /// rungs hand out short runs with fidelity < 1. Objectives scale
+  /// their run length by this factor (the DES backend scales
+  /// max_transactions; see ObjectiveFunction::EvaluateAt).
+  double fidelity = 1.0;
 };
 
 /// \brief How a trial's evaluation ended.
@@ -84,6 +91,13 @@ struct TrialResult {
   /// Internal DBMS metrics sampled during the run (RL state vector);
   /// may be empty for optimizers that do not consume them.
   std::vector<double> metrics;
+  /// Fidelity the measurement was taken at. Serialized as an optional
+  /// trailing token, so results from pre-fidelity peers (wire spec 2,
+  /// checkpoint v2, old WALs) decode as full-fidelity. The session
+  /// treats the asked Trial's fidelity as authoritative and overrides
+  /// this field on Tell, so a full-fidelity-only client can still
+  /// answer racing trials.
+  double fidelity = 1.0;
 
   bool crashed() const { return outcome == TrialOutcome::kCrashed; }
 };

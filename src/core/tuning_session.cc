@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -31,9 +32,37 @@ constexpr char kCheckpointHeader[] = "llamatune-checkpoint";
 // v2: per-outcome penalty options, pending-trial deadlines, "told"
 // lines carry a typed outcome code, and expired round slots are
 // recorded as "expired" so replay reproduces the drop.
-constexpr int kCheckpointVersion = 2;
+// v3: the options line carries a trailing racing block, and racing
+// rung rounds serialize as tag 'R' with per-slot "rung" lines
+// (outcome, value, fidelity, metrics). Restore still accepts v2
+// files — they simply predate racing and fidelity, so every recorded
+// measurement is full-fidelity.
+constexpr int kCheckpointVersion = 3;
+constexpr int kMinCheckpointVersion = 2;
 
 }  // namespace
+
+Status RacingOptions::Validate() const {
+  if (cohort < 1) {
+    return Status::InvalidArgument("RacingOptions: cohort must be >= 1, got " +
+                                   std::to_string(cohort));
+  }
+  if (rungs < 1) {
+    return Status::InvalidArgument("RacingOptions: rungs must be >= 1, got " +
+                                   std::to_string(rungs));
+  }
+  if (!(min_fidelity > 0.0) || min_fidelity > 1.0) {
+    return Status::InvalidArgument(
+        "RacingOptions: min_fidelity must be in (0, 1]");
+  }
+  if (!(eta > 1.0)) {
+    return Status::InvalidArgument("RacingOptions: eta must be > 1");
+  }
+  if (ci_z < 0.0) {
+    return Status::InvalidArgument("RacingOptions: ci_z must be >= 0");
+  }
+  return Status::OK();
+}
 
 Status SessionOptions::Validate() const {
   if (num_iterations < 0) {
@@ -69,6 +98,9 @@ Status SessionOptions::Validate() const {
         "SessionOptions: pending_deadline_ms must be >= 0 (0 = no deadline), "
         "got " +
         std::to_string(pending_deadline_ms));
+  }
+  if (racing.has_value()) {
+    LT_RETURN_NOT_OK(racing->Validate());
   }
   return Status::OK();
 }
@@ -152,6 +184,13 @@ void TuningSession::AppendRecord(const Trial& trial, const TrialResult& result,
 }
 
 int TuningSession::RemainingBudget() const {
+  // A race is one budget iteration however many rung trials it holds
+  // pending; in a racing session all non-baseline pending trials
+  // belong to the active race.
+  if (options_.racing.has_value()) {
+    return options_.num_iterations - iterations_run_ -
+           (race_.has_value() ? 1 : 0);
+  }
   int pending = static_cast<int>(pending_.size());
   if (baseline_pending_) --pending;
   return options_.num_iterations - iterations_run_ - pending;
@@ -161,7 +200,199 @@ bool TuningSession::finished() const {
   if (!init_status_.ok()) return true;
   if (stopped_) return true;
   if (!baseline_done_) return false;
+  // An active race counts as one budget iteration, so RemainingBudget
+  // hits 0 while its later rungs still hand out trials — the session is
+  // not finished until the champion commits.
+  if (race_.has_value()) return false;
   return RemainingBudget() <= 0;
+}
+
+double TuningSession::RungFidelity(int rung) const {
+  const RacingOptions& racing = *options_.racing;
+  // Geometric ladder min_fidelity^((R-1-r)/(R-1)): rung 0 runs at
+  // min_fidelity, the final rung at exactly 1.0 (the literal, not a
+  // computed power — full-fidelity rung trials must evaluate
+  // bit-identically to ordinary trials).
+  if (racing.rungs <= 1 || rung >= racing.rungs - 1) return 1.0;
+  double exponent = static_cast<double>(racing.rungs - 1 - rung) /
+                    static_cast<double>(racing.rungs - 1);
+  return std::pow(racing.min_fidelity, exponent);
+}
+
+Status TuningSession::StartRace() {
+  const RacingOptions& racing = *options_.racing;
+  double t0 = NowSeconds();
+  std::vector<std::vector<double>> points;
+  if (racing.cohort == 1) {
+    // The single-candidate draw goes through Suggest(), exactly like a
+    // non-racing Ask — the degenerate race must consume the identical
+    // optimizer call sequence.
+    points.push_back(optimizer_->Suggest());
+  } else {
+    points = optimizer_->SuggestBatch(racing.cohort);
+    if (static_cast<int>(points.size()) > racing.cohort) {
+      points.resize(racing.cohort);
+    }
+  }
+  optimizer_seconds_ += NowSeconds() - t0;
+  if (points.empty()) {
+    stopped_ = true;
+    return Status::OutOfRange("Ask: optimizer returned no race candidates");
+  }
+  race_.emplace();
+  race_->candidates.reserve(points.size());
+  for (auto& point : points) {
+    RaceCandidate candidate;
+    candidate.config = adapter_->Project(point);
+    candidate.point = std::move(point);
+    race_->candidates.push_back(std::move(candidate));
+  }
+  StartRung();
+  return Status::OK();
+}
+
+void TuningSession::StartRung() {
+  double fidelity = RungFidelity(race_->rung);
+  Round round;
+  round.kind = Round::Kind::kRung;
+  race_->slot_candidates.clear();
+  race_->slot_of_id.clear();
+  race_->unserved.clear();
+  for (size_t c = 0; c < race_->candidates.size(); ++c) {
+    if (!race_->candidates[c].alive) continue;
+    Trial trial;
+    trial.id = next_trial_id_++;
+    trial.point = race_->candidates[c].point;
+    trial.config = race_->candidates[c].config;
+    trial.fidelity = fidelity;
+    int slot = static_cast<int>(round.ids.size());
+    round.ids.push_back(trial.id);
+    race_->slot_candidates.push_back(static_cast<int>(c));
+    race_->slot_of_id.emplace(trial.id, slot);
+    race_->unserved.push_back(trial.id);
+    pending_.emplace(trial.id,
+                     PendingTrial{std::move(trial), std::nullopt,
+                                  NowUnixMillis()});
+  }
+  round.requested = static_cast<int>(round.ids.size());
+  open_rounds_.push_back(std::move(round));
+}
+
+void TuningSession::EliminateAfterRung() {
+  const RacingOptions& racing = *options_.racing;
+  std::vector<int> alive;
+  for (size_t c = 0; c < race_->candidates.size(); ++c) {
+    if (race_->candidates[c].alive) alive.push_back(static_cast<int>(c));
+  }
+  if (alive.size() <= 1) return;
+  // CI-overlap rule: a candidate whose upper confidence bound lies
+  // below the best candidate's lower bound cannot win; drop it. With
+  // fewer than two samples the half-width is infinite, so nothing is
+  // eliminated on confidence alone — the rank cap below still bites.
+  if (racing.ci_z > 0.0) {
+    double best_lower = -std::numeric_limits<double>::infinity();
+    for (int c : alive) {
+      const RunningStat& stat = race_->candidates[c].stat;
+      double lower = stat.Mean() - stat.CiHalfWidth(racing.ci_z);
+      if (lower > best_lower) best_lower = lower;
+    }
+    for (int c : alive) {
+      const RunningStat& stat = race_->candidates[c].stat;
+      if (stat.Mean() + stat.CiHalfWidth(racing.ci_z) < best_lower) {
+        race_->candidates[c].alive = false;
+      }
+    }
+  }
+  // Successive-halving cap: at most ceil(alive / eta) candidates
+  // advance, ranked by accumulated mean; stable sort keeps draw order
+  // on ties, so the cut is deterministic.
+  int target = std::max(
+      1, static_cast<int>(std::ceil(static_cast<double>(alive.size()) /
+                                    racing.eta)));
+  std::vector<int> survivors;
+  for (int c : alive) {
+    if (race_->candidates[c].alive) survivors.push_back(c);
+  }
+  if (static_cast<int>(survivors.size()) <= target) return;
+  std::stable_sort(survivors.begin(), survivors.end(), [this](int a, int b) {
+    return race_->candidates[a].stat.Mean() >
+           race_->candidates[b].stat.Mean();
+  });
+  for (size_t rank = target; rank < survivors.size(); ++rank) {
+    race_->candidates[survivors[rank]].alive = false;
+  }
+}
+
+void TuningSession::CommitRungRound(Round& round) {
+  const RacingOptions& racing = *options_.racing;
+  int n = static_cast<int>(round.ids.size());
+  std::vector<Trial> trials;
+  trials.reserve(n);
+  round.rung_results.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto it = pending_.find(round.ids[i]);
+    trials.push_back(std::move(it->second.trial));
+    round.rung_results.push_back(std::move(*it->second.result));
+    pending_.erase(it);
+  }
+  std::vector<int> slot_candidates = race_->slot_candidates;
+  // Feed the accumulated statistics in slot (= draw) order; a failure
+  // outcome kills the candidate outright. Rung measurements never
+  // touch the penalty floor — only the committed champion does.
+  for (int i = 0; i < n; ++i) {
+    RaceCandidate& candidate = race_->candidates[slot_candidates[i]];
+    const TrialResult& result = round.rung_results[i];
+    simulated_work_ += trials[i].fidelity;
+    if (IsFailure(result.outcome)) {
+      candidate.alive = false;
+    } else {
+      candidate.stat.Push(maximize_ ? result.value : -result.value);
+    }
+  }
+  bool final_rung = race_->rung >= racing.rungs - 1;
+  bool any_alive = false;
+  for (const RaceCandidate& candidate : race_->candidates) {
+    if (candidate.alive) {
+      any_alive = true;
+      break;
+    }
+  }
+  if (!final_rung && any_alive) {
+    EliminateAfterRung();
+    ++race_->rung;
+    StartRung();
+    return;
+  }
+
+  // Final rung (or every candidate failed): commit exactly ONE
+  // observation for the whole race — the champion's full-fidelity
+  // result, chosen by best accumulated mean among surviving candidates
+  // (ties go to draw order). When nothing survived, the first slot's
+  // failure commits instead and scores its outcome's penalty, so a
+  // race always costs exactly one budget iteration.
+  round.final_rung = true;
+  int champion_slot = -1;
+  for (int i = 0; i < n; ++i) {
+    const RaceCandidate& candidate = race_->candidates[slot_candidates[i]];
+    if (!candidate.alive || IsFailure(round.rung_results[i].outcome)) continue;
+    if (champion_slot < 0 ||
+        candidate.stat.Mean() >
+            race_->candidates[slot_candidates[champion_slot]].stat.Mean()) {
+      champion_slot = i;
+    }
+  }
+  if (champion_slot < 0) champion_slot = 0;
+  const Trial& champ_trial = trials[champion_slot];
+  const TrialResult& champ_result = round.rung_results[champion_slot];
+  double objective_value = 0.0;
+  double measured = 0.0;
+  ScoreResult(champ_result, &objective_value, &measured);
+  double t0 = NowSeconds();
+  optimizer_->ObserveMetrics(champ_result.metrics);
+  optimizer_->Observe(champ_trial.point, objective_value);
+  optimizer_seconds_ += NowSeconds() - t0;
+  AppendRecord(champ_trial, champ_result, objective_value, measured);
+  race_.reset();
 }
 
 Result<Trial> TuningSession::Ask() {
@@ -187,6 +418,23 @@ Result<Trial> TuningSession::Ask() {
   }
   if (stopped_ && !replaying_) {
     return Status::OutOfRange("Ask: session stopped (budget or early stop)");
+  }
+  if (options_.racing.has_value()) {
+    if (!race_.has_value()) {
+      if (RemainingBudget() <= 0) {
+        return Status::OutOfRange(
+            "Ask: iteration budget exhausted (counting the active race)");
+      }
+      LT_RETURN_NOT_OK(StartRace());
+    }
+    if (race_->unserved.empty()) {
+      return Status::FailedPrecondition(
+          "Ask: the current racing rung is fully handed out; Tell its "
+          "results to open the next rung");
+    }
+    int64_t id = race_->unserved.front();
+    race_->unserved.pop_front();
+    return pending_.at(id).trial;
   }
   if (RemainingBudget() <= 0) {
     return Status::OutOfRange(
@@ -223,6 +471,29 @@ Result<std::vector<Trial>> TuningSession::AskBatch(int n) {
   }
   if (stopped_ && !replaying_) {
     return Status::OutOfRange("AskBatch: session stopped");
+  }
+  if (options_.racing.has_value()) {
+    if (!race_.has_value()) {
+      if (RemainingBudget() <= 0) {
+        return Status::OutOfRange(
+            "AskBatch: iteration budget exhausted (counting the active "
+            "race)");
+      }
+      LT_RETURN_NOT_OK(StartRace());
+    }
+    if (race_->unserved.empty()) {
+      return Status::FailedPrecondition(
+          "AskBatch: the current racing rung is fully handed out; Tell its "
+          "results to open the next rung");
+    }
+    std::vector<Trial> trials;
+    while (!race_->unserved.empty() &&
+           static_cast<int>(trials.size()) < n) {
+      int64_t id = race_->unserved.front();
+      race_->unserved.pop_front();
+      trials.push_back(pending_.at(id).trial);
+    }
+    return trials;
   }
   int budget = RemainingBudget();
   if (budget <= 0) {
@@ -294,6 +565,10 @@ Status TuningSession::Tell(const TrialResult& result) {
         " (report a failure outcome instead of NaN/Inf)");
   }
   it->second.result = result;
+  // The asked Trial's fidelity is authoritative: a peer that predates
+  // the fidelity token (or simply echoes the default) still answers
+  // short-run trials correctly.
+  it->second.result->fidelity = it->second.trial.fidelity;
   CommitReadyRounds();
   return Status::OK();
 }
@@ -341,6 +616,12 @@ Status TuningSession::Expire(int64_t trial_id) {
         "Expire: trial " + std::to_string(trial_id) +
         " already has a buffered result");
   }
+  if (race_.has_value() && race_->slot_of_id.count(trial_id) > 0) {
+    return Status::FailedPrecondition(
+        "Expire: trial " + std::to_string(trial_id) +
+        " belongs to the active racing rung; every rung slot must be told "
+        "for the race to stay deterministic");
+  }
   pending_.erase(it);
   expired_ids_.insert(trial_id);
   // Dropping the slot may complete its round (all other slots told).
@@ -353,6 +634,9 @@ std::vector<int64_t> TuningSession::ExpireOverdue(int64_t now_ms) {
   std::vector<int64_t> overdue;
   for (const auto& [id, pending] : pending_) {
     if (pending.trial.is_baseline || pending.result.has_value()) continue;
+    // Racing rung trials are exempt: dropping a slot would change the
+    // race's elimination sequence, so rungs must complete.
+    if (race_.has_value() && race_->slot_of_id.count(id) > 0) continue;
     if (now_ms - pending.asked_at_ms >= options_.pending_deadline_ms) {
       overdue.push_back(id);
     }
@@ -394,7 +678,11 @@ void TuningSession::CommitReadyRounds() {
   }
 }
 
-void TuningSession::CommitRound(const Round& round) {
+void TuningSession::CommitRound(Round& round) {
+  if (round.kind == Round::Kind::kRung) {
+    CommitRungRound(round);
+    return;
+  }
   if (round.kind == Round::Kind::kBaseline) {
     auto it = pending_.find(round.ids[0]);
     TrialResult result = std::move(*it->second.result);
@@ -406,6 +694,7 @@ void TuningSession::CommitRound(const Round& round) {
     double objective_value = maximize_ ? result.value : -result.value;
     default_performance_ = result.value;
     worst_objective_ = objective_value;
+    simulated_work_ += 1.0;  // the baseline is always a full run
     baseline_metrics_ = result.metrics;
     optimizer_->ObserveMetrics(baseline_metrics_);
     baseline_done_ = true;
@@ -436,6 +725,7 @@ void TuningSession::CommitRound(const Round& round) {
   std::vector<double> values(n);
   std::vector<double> measured(n);
   for (int i = 0; i < n; ++i) {
+    simulated_work_ += trials[i].fidelity;
     ScoreResult(results[i], &values[i], &measured[i]);
   }
   // Only genuine optimizer work counts toward optimizer_seconds_
@@ -465,22 +755,36 @@ std::vector<TrialResult> TuningSession::EvaluateTrials(
     result.value = r.value;
     result.outcome = r.EffectiveOutcome();
     result.metrics = r.metrics;
+    result.fidelity = r.fidelity;
     return result;
+  };
+  // Full-fidelity trials go through Evaluate() itself — the exact
+  // pre-fidelity call — so existing sessions stay bit-identical even
+  // against objectives that override only Evaluate.
+  auto evaluate = [](ObjectiveFunction* fn, const Trial& trial) {
+    return trial.fidelity < 1.0 ? fn->EvaluateAt(trial.config, trial.fidelity)
+                                : fn->Evaluate(trial.config);
   };
 
   // The baseline and the sequential (batch_size == 1) path evaluate on
   // the objective itself, exactly like the classic loop.
   if (n == 1 && (trials[0].is_baseline || options_.batch_size <= 1)) {
-    results[0] = to_result(trials[0], objective_->Evaluate(trials[0].config));
+    results[0] = to_result(trials[0], evaluate(objective_, trials[0]));
     return results;
   }
 
   // One clone per batch slot, built once and reused: each slot keeps
   // its own evaluation counter, so a session is deterministic for a
-  // fixed (seed, batch size) pair.
+  // fixed (seed, batch size) pair. Racing rungs can be wider than the
+  // batch size, so the pool covers the cohort too — two slots must
+  // never share a clone concurrently.
   if (!clone_pool_built_) {
     clone_pool_built_ = true;
-    for (int i = 0; i < options_.batch_size; ++i) {
+    int pool_size = options_.batch_size;
+    if (options_.racing.has_value()) {
+      pool_size = std::max(pool_size, options_.racing->cohort);
+    }
+    for (int i = 0; i < pool_size; ++i) {
       std::unique_ptr<ObjectiveFunction> clone = objective_->Clone();
       if (clone == nullptr) {
         clone_pool_.clear();
@@ -493,7 +797,7 @@ std::vector<TrialResult> TuningSession::EvaluateTrials(
   if (clone_pool_.empty()) {
     // Objective cannot be cloned: evaluate the batch sequentially.
     for (int i = 0; i < n; ++i) {
-      results[i] = to_result(trials[i], objective_->Evaluate(trials[i].config));
+      results[i] = to_result(trials[i], evaluate(objective_, trials[i]));
     }
   } else {
     // Each batch slot evaluates on its own clone over the shared pool
@@ -502,11 +806,10 @@ std::vector<TrialResult> TuningSession::EvaluateTrials(
     // to clone i, so results are independent of scheduling.
     ThreadPool::Global().ParallelFor(
         n,
-        [this, &trials, &results, &to_result](int i) {
+        [this, &trials, &results, &to_result, &evaluate](int i) {
           ObjectiveFunction* instance =
               clone_pool_[i % clone_pool_.size()].get();
-          results[i] =
-              to_result(trials[i], instance->Evaluate(trials[i].config));
+          results[i] = to_result(trials[i], evaluate(instance, trials[i]));
         },
         options_.num_threads);
   }
@@ -529,6 +832,18 @@ bool TuningSession::Step() {
   if (iterations_run_ >= options_.num_iterations) {
     stopped_ = true;
     return false;
+  }
+
+  if (options_.racing.has_value()) {
+    // One Step = one rung: ask the whole rung, measure it (in parallel
+    // across clones when the cohort is wide), and tell the results —
+    // the commit path then eliminates candidates and opens the next
+    // rung, or commits the race champion.
+    Result<std::vector<Trial>> trials = AskBatch(options_.racing->cohort);
+    if (!trials.ok()) return false;
+    std::vector<TrialResult> results = EvaluateTrials(*trials);
+    TellBatch(results);
+    return true;
   }
 
   if (options_.batch_size > 1) {
@@ -562,6 +877,7 @@ SessionResult TuningSession::Snapshot() const {
   result.default_performance = default_performance_;
   result.iterations_run = iterations_run_;
   result.optimizer_seconds = optimizer_seconds_;
+  result.simulated_work = simulated_work_;
   int best = kb_.BestIndex();
   if (best >= 0) {
     result.best_performance = kb_.record(best).measured;
@@ -583,6 +899,15 @@ std::string TuningSession::Save() const {
   if (options_.early_stopping.has_value()) {
     out << ' ' << EncodeDoubleBits(options_.early_stopping->min_improvement_pct())
         << ' ' << options_.early_stopping->patience();
+  }
+  // v3: trailing racing block. Everything a v3 file adds over v2 for a
+  // non-racing session is the version number and this one token.
+  out << " racing " << (options_.racing.has_value() ? 1 : 0);
+  if (options_.racing.has_value()) {
+    out << ' ' << options_.racing->cohort << ' ' << options_.racing->rungs
+        << ' ' << EncodeDoubleBits(options_.racing->min_fidelity) << ' '
+        << EncodeDoubleBits(options_.racing->eta) << ' '
+        << EncodeDoubleBits(options_.racing->ci_z);
   }
   out << '\n';
   out << "state " << iterations_run_ << ' '
@@ -616,12 +941,42 @@ std::string TuningSession::Save() const {
   out << "rounds " << committed_rounds_.size() << '\n';
   int record_index = 0;
   for (const Round& round : committed_rounds_) {
-    char tag = round.kind == Round::Kind::kBaseline
-                   ? 'D'
-                   : (round.kind == Round::Kind::kSingle ? 'S' : 'B');
+    char tag = 'B';
+    switch (round.kind) {
+      case Round::Kind::kBaseline:
+        tag = 'D';
+        break;
+      case Round::Kind::kSingle:
+        tag = 'S';
+        break;
+      case Round::Kind::kBatch:
+        tag = 'B';
+        break;
+      case Round::Kind::kRung:
+        tag = 'R';
+        break;
+    }
     out << "round " << tag << ' ' << round.requested << ' '
         << round.ids.size() << '\n';
     if (round.kind == Round::Kind::kBaseline) continue;
+    if (round.kind == Round::Kind::kRung) {
+      // Rung measurements are not knowledge-base records (only the
+      // race champion is); they were captured at commit. Replay
+      // re-tells them through the race machinery, which re-derives
+      // eliminations, the champion, and its KB record.
+      for (const TrialResult& result : round.rung_results) {
+        out << "rung " << static_cast<int>(result.outcome) << ' '
+            << EncodeDoubleBits(result.value) << ' '
+            << EncodeDoubleBits(result.fidelity) << ' '
+            << result.metrics.size();
+        for (double v : result.metrics) out << ' ' << EncodeDoubleBits(v);
+        out << '\n';
+      }
+      // A final rung committed the champion's KB record; keep the
+      // told-line cursor in sync for the rounds that follow.
+      if (round.final_rung) ++record_index;
+      continue;
+    }
     for (size_t i = 0; i < round.ids.size(); ++i) {
       // Expired slots committed without an observation or a KB
       // record; replay must re-drop them, not re-tell them.
@@ -659,7 +1014,11 @@ Status TuningSession::Restore(const std::string& checkpoint) {
   if (!(in >> header >> version) || header != kCheckpointHeader) {
     return Status::InvalidArgument("Restore: not a llamatune checkpoint");
   }
-  if (version != "v" + std::to_string(kCheckpointVersion)) {
+  int file_version = 0;
+  for (int v = kMinCheckpointVersion; v <= kCheckpointVersion; ++v) {
+    if (version == "v" + std::to_string(v)) file_version = v;
+  }
+  if (file_version == 0) {
     return Status::InvalidArgument("Restore: unsupported checkpoint version " +
                                    version);
   }
@@ -723,6 +1082,48 @@ Status TuningSession::Restore(const std::string& checkpoint) {
     Result<int64_t> patience = read_int("early stopping patience");
     if (!patience.ok()) return patience.status();
     saved_es_patience = *patience;
+  }
+  // v3 racing block; a v2 file predates racing, so it can only restore
+  // into a non-racing session.
+  bool saved_racing = false;
+  RacingOptions saved_racing_opts;
+  if (file_version >= 3) {
+    LT_RETURN_NOT_OK(expect("racing"));
+    Result<int64_t> racing_flag = read_int("racing flag");
+    if (!racing_flag.ok()) return racing_flag.status();
+    saved_racing = *racing_flag != 0;
+    if (saved_racing) {
+      Result<int64_t> cohort = read_int("racing cohort");
+      if (!cohort.ok()) return cohort.status();
+      saved_racing_opts.cohort = static_cast<int>(*cohort);
+      Result<int64_t> rungs = read_int("racing rungs");
+      if (!rungs.ok()) return rungs.status();
+      saved_racing_opts.rungs = static_cast<int>(*rungs);
+      Result<double> min_fid = read_double("racing min_fidelity");
+      if (!min_fid.ok()) return min_fid.status();
+      saved_racing_opts.min_fidelity = *min_fid;
+      Result<double> eta = read_double("racing eta");
+      if (!eta.ok()) return eta.status();
+      saved_racing_opts.eta = *eta;
+      Result<double> ci_z = read_double("racing ci_z");
+      if (!ci_z.ok()) return ci_z.status();
+      saved_racing_opts.ci_z = *ci_z;
+    }
+  }
+  if (saved_racing != options_.racing.has_value() ||
+      (saved_racing &&
+       (saved_racing_opts.cohort != options_.racing->cohort ||
+        saved_racing_opts.rungs != options_.racing->rungs ||
+        EncodeDoubleBits(saved_racing_opts.min_fidelity) !=
+            EncodeDoubleBits(options_.racing->min_fidelity) ||
+        EncodeDoubleBits(saved_racing_opts.eta) !=
+            EncodeDoubleBits(options_.racing->eta) ||
+        EncodeDoubleBits(saved_racing_opts.ci_z) !=
+            EncodeDoubleBits(options_.racing->ci_z)))) {
+    return Status::FailedPrecondition(
+        "Restore: racing options do not match the checkpoint (rebuild the "
+        "session with the saved racing settings, or without racing for a "
+        "pre-racing checkpoint)");
   }
   if (*saved_iters != options_.num_iterations ||
       *saved_batch != options_.batch_size ||
@@ -816,6 +1217,7 @@ Status TuningSession::Restore(const std::string& checkpoint) {
     bool expired = false;
     TrialOutcome outcome = TrialOutcome::kOk;
     double value = 0.0;
+    double fidelity = 1.0;
     std::vector<double> metrics;
   };
   struct SavedRound {
@@ -833,8 +1235,13 @@ Status TuningSession::Restore(const std::string& checkpoint) {
     LT_RETURN_NOT_OK(expect("round"));
     std::string tag;
     if (!(in >> tag) || tag.size() != 1 ||
-        (tag[0] != 'D' && tag[0] != 'S' && tag[0] != 'B')) {
+        (tag[0] != 'D' && tag[0] != 'S' && tag[0] != 'B' &&
+         tag[0] != 'R')) {
       return Status::InvalidArgument("Restore: bad round kind tag");
+    }
+    if (tag[0] == 'R' && file_version < 3) {
+      return Status::InvalidArgument(
+          "Restore: rung round in a pre-v3 checkpoint");
     }
     SavedRound round;
     round.tag = tag[0];
@@ -846,12 +1253,17 @@ Status TuningSession::Restore(const std::string& checkpoint) {
     round.size = static_cast<int>(*size);
     if (round.tag != 'D') {
       for (int i = 0; i < round.size; ++i) {
+        // Rung slots carry their measurement inline (they are not KB
+        // records) and are never expired.
+        const bool is_rung = round.tag == 'R';
         std::string slot_tag;
         if (!(in >> slot_tag) ||
-            (slot_tag != "told" && slot_tag != "expired")) {
+            (is_rung ? slot_tag != "rung"
+                     : (slot_tag != "told" && slot_tag != "expired"))) {
           return Status::InvalidArgument(
-              "Restore: expected 'told' or 'expired' slot, got '" + slot_tag +
-              "'");
+              std::string("Restore: expected ") +
+              (is_rung ? "'rung'" : "'told' or 'expired'") +
+              " slot, got '" + slot_tag + "'");
         }
         SavedTold told;
         if (slot_tag == "expired") {
@@ -871,6 +1283,11 @@ Status TuningSession::Restore(const std::string& checkpoint) {
         Result<double> value = read_double("told value");
         if (!value.ok()) return value.status();
         told.value = *value;
+        if (is_rung) {
+          Result<double> fid = read_double("rung fidelity");
+          if (!fid.ok()) return fid.status();
+          told.fidelity = *fid;
+        }
         Result<int64_t> n_metrics = read_int("told metrics count");
         if (!n_metrics.ok()) return n_metrics.status();
         for (int64_t m = 0; m < *n_metrics; ++m) {
@@ -949,6 +1366,20 @@ Status TuningSession::Restore(const std::string& checkpoint) {
           "Restore: replay produced a different round size than the "
           "checkpoint (optimizer mismatch?)");
       break;
+    }
+    if (round.tag == 'R') {
+      // The race machinery regenerates rung trials; their fidelities
+      // must land exactly where the checkpoint recorded them.
+      for (int i = 0; i < round.size; ++i) {
+        if (EncodeDoubleBits(trials[i].fidelity) !=
+            EncodeDoubleBits(round.told[i].fidelity)) {
+          replay_status = Status::Internal(
+              "Restore: replayed rung fidelity diverges from the "
+              "checkpoint");
+          break;
+        }
+      }
+      if (!replay_status.ok()) break;
     }
     for (int i = 0; i < round.size; ++i) {
       if (round.told[i].expired) {

@@ -13,11 +13,58 @@
 #include "src/core/early_stopping.h"
 #include "src/core/knowledge_base.h"
 #include "src/core/objective.h"
+#include "src/core/running_stat.h"
 #include "src/core/space_adapter.h"
 #include "src/core/trial.h"
 #include "src/optimizer/optimizer.h"
 
 namespace llamatune {
+
+/// \brief Successive-halving racing over measurement fidelities.
+///
+/// A racing session replaces each single full-length measurement with
+/// a *race*: `cohort` candidate configurations drawn from the
+/// optimizer at once, run through `rungs` rounds of increasingly long
+/// measurements. Rung r measures every surviving candidate at
+/// fidelity min_fidelity^((rungs-1-r)/(rungs-1)) — a geometric ladder
+/// from min_fidelity up to exactly 1.0 at the final rung. After each
+/// non-final rung, candidates whose confidence interval (normal
+/// approximation at critical value `ci_z` over their accumulated
+/// per-rung measurements) lies entirely below the best candidate's
+/// lower bound are eliminated, and the survivor count is capped at
+/// ceil(alive / eta) by mean rank (ties broken by draw order). The
+/// race commits exactly ONE observation to the optimizer: the
+/// champion's final-rung full-fidelity measurement. One race therefore
+/// costs one unit of the session's iteration budget while spending
+/// roughly sum_r alive_r * fidelity_r units of simulated work —
+/// the ≤0.5x-work property bench/bm_racing.cc pins.
+///
+/// Determinism: candidates are drawn once per race (Suggest when
+/// cohort == 1, SuggestBatch otherwise), rung results commit in draw
+/// order whatever the Tell interleaving, and elimination compares the
+/// bit-exact accumulated statistics — so survivors, champion, and the
+/// committed trajectory are a pure function of (seed, measured
+/// values), independent of thread count. With cohort == 1, rungs == 1
+/// the race degenerates bit-for-bit to the non-racing session.
+struct RacingOptions {
+  /// Candidates drawn per race. 1 disables the tournament (every race
+  /// is a single candidate measured at full fidelity in the last
+  /// rung).
+  int cohort = 8;
+  /// Measurement rounds per race; the final rung always runs at
+  /// fidelity 1.0. 1 means a single full-fidelity round.
+  int rungs = 3;
+  /// Fidelity of the first rung, in (0, 1].
+  double min_fidelity = 0.25;
+  /// Survivor cap factor: after each non-final rung at most
+  /// ceil(alive / eta) candidates advance.
+  double eta = 2.0;
+  /// Critical value for the CI-overlap elimination rule (1.96 = 95%).
+  /// 0 disables CI elimination (pure rank halving).
+  double ci_z = 1.96;
+
+  Status Validate() const;
+};
 
 /// \brief Session-level settings (paper §6.1 defaults).
 struct SessionOptions {
@@ -68,6 +115,13 @@ struct SessionOptions {
   int num_threads = 0;
   /// Optional early-stopping policy (appendix, Table 11).
   std::optional<EarlyStoppingPolicy> early_stopping;
+  /// Optional multi-fidelity racing stage (see RacingOptions). When
+  /// set, every post-baseline iteration is a race: Ask/AskBatch hand
+  /// out the current rung's short-run trials, and one observation (the
+  /// champion's full-fidelity measurement) commits per race. Racing
+  /// trials are exempt from pending-deadline expiry — a rung must
+  /// complete for the race to stay deterministic.
+  std::optional<RacingOptions> racing;
 
   /// Rejects out-of-domain settings (batch_size < 1, num_threads < 0,
   /// num_iterations < 0, crash_penalty_divisor <= 0). TuningSession
@@ -92,6 +146,11 @@ struct SessionResult {
   /// Observe (the paper's Table 10 "optimizer overhead"; excludes the
   /// workload runs themselves).
   double optimizer_seconds = 0.0;
+  /// Total simulated measurement work committed, in full-run units:
+  /// each committed result contributes its fidelity (1.0 for ordinary
+  /// trials and the baseline; rung trials their short-run fraction).
+  /// The denominator of the racing stage's ≤0.5x-work target.
+  double simulated_work = 0.0;
 };
 
 /// \brief The experiment controller of paper Fig. 1, redesigned around
@@ -280,6 +339,10 @@ class TuningSession {
     return best >= 0 ? kb_.record(best).measured : 0.0;
   }
 
+  /// Committed measurement work in full-run units (each committed
+  /// result contributes its fidelity).
+  double simulated_work() const { return simulated_work_; }
+
  private:
   /// A pending (asked, untold) trial plus its buffered result.
   struct PendingTrial {
@@ -295,10 +358,40 @@ class TuningSession {
   /// and replay must re-issue the original request to keep the
   /// optimizer's draw sequence intact.
   struct Round {
-    enum class Kind { kBaseline, kSingle, kBatch };
+    enum class Kind { kBaseline, kSingle, kBatch, kRung };
     Kind kind = Kind::kSingle;
     int requested = 1;
     std::vector<int64_t> ids;
+    /// kRung only: the rung's told results in slot order, captured at
+    /// commit. Rung measurements never reach the knowledge base (only
+    /// the race champion does), so Save() reads them from here.
+    std::vector<TrialResult> rung_results;
+    /// kRung only: true for a race's last rung (its commit appended
+    /// the champion's record to the knowledge base).
+    bool final_rung = false;
+  };
+
+  /// One candidate configuration inside the active race.
+  struct RaceCandidate {
+    std::vector<double> point;
+    Configuration config;
+    /// Accumulated maximize-convention measurements across rungs.
+    RunningStat stat;
+    bool alive = true;
+  };
+  /// The active race (at most one; reset when the champion commits).
+  struct RaceState {
+    std::vector<RaceCandidate> candidates;
+    /// Current rung index, 0-based.
+    int rung = 0;
+    /// Candidate index behind each slot of the current rung's round.
+    std::vector<int> slot_candidates;
+    /// Trial id -> slot for the current rung (exempts these ids from
+    /// deadline expiry).
+    std::map<int64_t, int> slot_of_id;
+    /// Created-but-unserved trial ids of the current rung, in slot
+    /// order; Ask/AskBatch drain this queue.
+    std::deque<int64_t> unserved;
   };
 
   double Penalized(double divisor) const;
@@ -314,7 +407,26 @@ class TuningSession {
                     double objective_value, double measured);
   /// Commits fully told rounds at the queue front, in order.
   void CommitReadyRounds();
-  void CommitRound(const Round& round);
+  void CommitRound(Round& round);
+  /// \name Racing stage
+  /// @{
+  /// Fidelity of rung r under the configured schedule.
+  double RungFidelity(int rung) const;
+  /// Draws the cohort and opens rung 0. Fails like Ask on optimizer
+  /// exhaustion.
+  Status StartRace();
+  /// Creates the current rung's trials (one per alive candidate) as a
+  /// new open round and queues them for Ask.
+  void StartRung();
+  /// Applies CI-overlap elimination + the ceil(alive/eta) survivor cap
+  /// after a non-final rung.
+  void EliminateAfterRung();
+  /// Commits one completed rung round: feeds the candidates'
+  /// statistics, then either opens the next rung or (final rung / all
+  /// candidates dead) commits the champion's observation and ends the
+  /// race.
+  void CommitRungRound(Round& round);
+  /// @}
   /// Iteration budget not yet consumed by committed or pending trials.
   int RemainingBudget() const;
   /// Evaluates trials against the attached objective: the baseline and
@@ -340,6 +452,8 @@ class TuningSession {
 
   int64_t next_trial_id_ = 1;
   std::map<int64_t, PendingTrial> pending_;
+  /// Active race, when options_.racing is set and a race is underway.
+  std::optional<RaceState> race_;
   /// Ids dropped by Expire: a late Tell answers TrialExpired forever,
   /// and Save writes their round slots as "expired" so replay
   /// reproduces the drop deterministically.
@@ -360,6 +474,8 @@ class TuningSession {
   bool replaying_ = false;
   int iterations_run_ = 0;
   double optimizer_seconds_ = 0.0;
+  /// Committed measurement work in full-run units (see SessionResult).
+  double simulated_work_ = 0.0;
 };
 
 }  // namespace llamatune

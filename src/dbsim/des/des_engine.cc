@@ -185,6 +185,7 @@ DesResult SimulateRun(const ModelOutput& analytic,
   result.throughput = measured_window_s > 0
                           ? result.completed / measured_window_s
                           : 0.0;
+  if (options.capture_latencies) result.latencies = std::move(latencies);
   return result;
 }
 

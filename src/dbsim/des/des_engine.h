@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/dbsim/perf_model.h"
 #include "src/dbsim/workloads.h"
@@ -16,6 +17,11 @@ struct DesOptions {
   /// Leading fraction of completions discarded as warm-up.
   double warmup_fraction = 0.1;
   uint64_t seed = 1;
+  /// When true, DesResult::latencies records every completion's
+  /// latency (pre-warmup, completion order). Test/diagnostic hook for
+  /// the variable-length-run prefix property (see tests/des_test.cc);
+  /// does not perturb the simulation.
+  bool capture_latencies = false;
 };
 
 /// \brief Measured outcome of one discrete-event run.
@@ -26,6 +32,9 @@ struct DesResult {
   double p99_latency_ms = 0.0;
   int completed = 0;
   double sim_seconds = 0.0;
+  /// Raw per-completion latencies (ms), warm-up included; filled only
+  /// when DesOptions::capture_latencies is set.
+  std::vector<double> latencies;
 };
 
 /// \brief Closed-loop discrete-event simulation layered on the

@@ -1,5 +1,6 @@
 #include "src/dbsim/simulated_postgres.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -49,6 +50,12 @@ ModelOutput SimulatedPostgres::RunNoiseless(const Configuration& config) const {
 }
 
 EvalResult SimulatedPostgres::Evaluate(const Configuration& config) {
+  return EvaluateAt(config, 1.0);
+}
+
+EvalResult SimulatedPostgres::EvaluateAt(const Configuration& config,
+                                         double fidelity) {
+  if (!(fidelity > 0.0) || fidelity > 1.0) fidelity = 1.0;
   int eval_index = eval_count_++;
   // Injected evaluation failures (chaos testing): a crash, a timeout
   // abort, or a hang (stall, then the run completes normally). These
@@ -83,7 +90,11 @@ EvalResult SimulatedPostgres::Evaluate(const Configuration& config) {
     // latency are measured, and run-to-run noise is inherent in the
     // sampled transaction stream (no synthetic noise on top).
     des::DesOptions des_options;
-    des_options.max_transactions = options_.des_transactions;
+    des_options.max_transactions =
+        fidelity < 1.0
+            ? std::max<int>(1, static_cast<int>(std::lround(
+                                   options_.des_transactions * fidelity)))
+            : options_.des_transactions;
     des_options.seed = HashCombine(
         HashCombine(options_.noise_seed, config.Hash()),
         static_cast<uint64_t>(eval_index));
@@ -92,6 +103,7 @@ EvalResult SimulatedPostgres::Evaluate(const Configuration& config) {
     result.value = options_.target == TuningTarget::kThroughput
                        ? run.throughput
                        : run.p95_latency_ms;
+    result.fidelity = fidelity;
     RunCounters counters = out.counters;
     counters.avg_latency_ms = run.avg_latency_ms;
     counters.p95_latency_ms = run.p95_latency_ms;
@@ -102,8 +114,12 @@ EvalResult SimulatedPostgres::Evaluate(const Configuration& config) {
   if (options_.noise_sigma > 0.0) {
     Rng rng(HashCombine(HashCombine(options_.noise_seed, config.Hash()),
                         static_cast<uint64_t>(eval_index)));
-    noise = std::exp(rng.Gaussian(0.0, options_.noise_sigma));
+    // A run over f * N transactions averages f times fewer samples, so
+    // its measurement error scales by 1/sqrt(f).
+    double sigma = options_.noise_sigma / std::sqrt(fidelity);
+    noise = std::exp(rng.Gaussian(0.0, sigma));
   }
+  result.fidelity = fidelity;
   if (options_.target == TuningTarget::kThroughput) {
     result.value = out.throughput * noise;
   } else {

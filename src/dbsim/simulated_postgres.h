@@ -56,6 +56,17 @@ class SimulatedPostgres : public ObjectiveFunction {
   SimulatedPostgres(WorkloadSpec workload, SimulatedPostgresOptions options = {});
 
   EvalResult Evaluate(const Configuration& config) override;
+
+  /// Short measurement: the DES engine runs round(des_transactions *
+  /// fidelity) transactions (at least 1); the analytic engine models a
+  /// shorter run as noisier — sigma grows by 1/sqrt(fidelity), the
+  /// standard-error scaling of averaging over fewer transactions.
+  /// fidelity >= 1 is exactly Evaluate(config) (same noise stream,
+  /// same bits). Every call consumes one evaluation index, whatever
+  /// the fidelity, so the noise stream stays a function of evaluation
+  /// order alone.
+  EvalResult EvaluateAt(const Configuration& config, double fidelity) override;
+
   const ConfigSpace& config_space() const override { return space_; }
 
   /// Independent simulator instance over the same workload and

@@ -82,6 +82,11 @@ TunerBuilder& TunerBuilder::PendingDeadlineMs(int64_t deadline_ms) {
   return *this;
 }
 
+TunerBuilder& TunerBuilder::Racing(RacingOptions racing) {
+  racing_ = racing;
+  return *this;
+}
+
 Result<std::unique_ptr<Tuner>> TunerBuilder::Build() const {
   return BuildImpl(/*allow_detached=*/false);
 }
@@ -148,6 +153,7 @@ Result<std::unique_ptr<Tuner>> TunerBuilder::BuildImpl(
   session_options.num_threads = num_threads_;
   session_options.early_stopping = early_stopping_;
   session_options.pending_deadline_ms = pending_deadline_ms_;
+  session_options.racing = racing_;
   LT_RETURN_NOT_OK(session_options.Validate());
   if (tuner->objective_ != nullptr) {
     tuner->session_ = std::make_unique<TuningSession>(

@@ -147,6 +147,11 @@ class TunerBuilder {
   /// 0 (default) disables. See SessionOptions::pending_deadline_ms.
   TunerBuilder& PendingDeadlineMs(int64_t deadline_ms);
 
+  /// Racing (successive-halving) evaluation: each budget iteration
+  /// races a cohort through rungs of short runs and commits only the
+  /// champion. See SessionOptions::racing and docs/racing.md.
+  TunerBuilder& Racing(RacingOptions racing);
+
   /// Builds the stack. Fails when no objective source was configured,
   /// more than one was, or a registry key is unknown. Requires an
   /// evaluable source (Workload or Objective) — with only Space(),
@@ -176,6 +181,7 @@ class TunerBuilder {
   int num_threads_ = 0;
   std::optional<EarlyStoppingPolicy> early_stopping_;
   int64_t pending_deadline_ms_ = 0;
+  std::optional<RacingOptions> racing_;
 };
 
 }  // namespace harness

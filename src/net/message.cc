@@ -257,7 +257,7 @@ Result<KnobSpec> DecodeKnob(std::istringstream* in) {
 }
 
 void EncodeSpecInto(std::ostringstream* out, const WireSessionSpec& spec) {
-  *out << " spec 2";
+  *out << " spec 3";
   PutStr(out, "workload", spec.workload);
   PutInt(out, "knobs", static_cast<int64_t>(spec.space_knobs.size()));
   for (const KnobSpec& knob : spec.space_knobs) EncodeKnob(out, knob);
@@ -269,15 +269,24 @@ void EncodeSpecInto(std::ostringstream* out, const WireSessionSpec& spec) {
   PutInt(out, "batch", spec.batch_size);
   PutInt(out, "threads", spec.num_threads);
   PutInt(out, "deadline", spec.pending_deadline_ms);
+  PutBool(out, "racing", spec.racing);
+  if (spec.racing) {
+    PutInt(out, "cohort", spec.racing_cohort);
+    PutInt(out, "rungs", spec.racing_rungs);
+    PutBits(out, "minfid", spec.racing_min_fidelity);
+    PutBits(out, "eta", spec.racing_eta);
+    PutBits(out, "ciz", spec.racing_ci_z);
+  }
 }
 
 Result<WireSessionSpec> DecodeSpecFrom(std::istringstream* in) {
-  // v2 appended the pending-deadline field; v1 payloads (older peers,
-  // pre-upgrade autosave files) still decode, with the deadline at 0.
+  // v2 appended the pending-deadline field, v3 the racing block; v1/v2
+  // payloads (older peers, pre-upgrade autosave files) still decode,
+  // with the deadline at 0 and racing off.
   std::string tag, version;
   if (!(*in >> tag >> version) || tag != "spec" ||
-      (version != "1" && version != "2")) {
-    return Status::InvalidArgument("wire: expected 'spec 1|2' section");
+      (version != "1" && version != "2" && version != "3")) {
+    return Status::InvalidArgument("wire: expected 'spec 1|2|3' section");
   }
   WireSessionSpec spec;
   Result<std::string> workload = GetStr(in, "workload");
@@ -317,10 +326,32 @@ Result<WireSessionSpec> DecodeSpecFrom(std::istringstream* in) {
   Result<int64_t> threads = GetInt(in, "threads");
   if (!threads.ok()) return threads.status();
   spec.num_threads = static_cast<int>(*threads);
-  if (version == "2") {
+  if (version == "2" || version == "3") {
     Result<int64_t> deadline = GetInt(in, "deadline");
     if (!deadline.ok()) return deadline.status();
     spec.pending_deadline_ms = *deadline;
+  }
+  if (version == "3") {
+    Result<bool> racing = GetBool(in, "racing");
+    if (!racing.ok()) return racing.status();
+    spec.racing = *racing;
+    if (spec.racing) {
+      Result<int64_t> cohort = GetInt(in, "cohort");
+      if (!cohort.ok()) return cohort.status();
+      spec.racing_cohort = static_cast<int>(*cohort);
+      Result<int64_t> rungs = GetInt(in, "rungs");
+      if (!rungs.ok()) return rungs.status();
+      spec.racing_rungs = static_cast<int>(*rungs);
+      Result<double> minfid = GetBits(in, "minfid");
+      if (!minfid.ok()) return minfid.status();
+      spec.racing_min_fidelity = *minfid;
+      Result<double> eta = GetBits(in, "eta");
+      if (!eta.ok()) return eta.status();
+      spec.racing_eta = *eta;
+      Result<double> ciz = GetBits(in, "ciz");
+      if (!ciz.ok()) return ciz.status();
+      spec.racing_ci_z = *ciz;
+    }
   }
   return spec;
 }

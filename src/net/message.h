@@ -69,6 +69,16 @@ struct WireSessionSpec {
   /// disables (see service::SessionSpec::pending_deadline_ms). Added
   /// in spec section v2; v1 payloads decode with 0.
   int64_t pending_deadline_ms = 0;
+  /// Racing (successive-halving) evaluation. Added in spec section
+  /// v3; v1/v2 payloads decode with racing off, so pre-racing peers
+  /// and autosave files keep their fixed-fidelity behavior. The
+  /// parameter fields mirror core::RacingOptions.
+  bool racing = false;
+  int racing_cohort = 8;
+  int racing_rungs = 3;
+  double racing_min_fidelity = 0.25;
+  double racing_eta = 2.0;
+  double racing_ci_z = 1.96;
 };
 
 /// \brief SessionStatus plus the server-side overlay.

@@ -866,6 +866,15 @@ Status TuningServer::BuildSessionSpec(const WireSessionSpec& wire,
   out->batch_size = wire.batch_size;
   out->num_threads = wire.num_threads;
   out->pending_deadline_ms = wire.pending_deadline_ms;
+  if (wire.racing) {
+    RacingOptions racing;
+    racing.cohort = wire.racing_cohort;
+    racing.rungs = wire.racing_rungs;
+    racing.min_fidelity = wire.racing_min_fidelity;
+    racing.eta = wire.racing_eta;
+    racing.ci_z = wire.racing_ci_z;
+    out->racing = racing;
+  }
   return Status::OK();
 }
 

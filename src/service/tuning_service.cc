@@ -48,6 +48,9 @@ Status TuningService::BuildEntry(const SessionSpec& spec,
   if (spec.early_stopping.has_value()) {
     builder.EarlyStopping(*spec.early_stopping);
   }
+  if (spec.racing.has_value()) {
+    builder.Racing(*spec.racing);
+  }
 
   // Sessions are always built detached-capable: ask/tell is the
   // service's native protocol, and Step/Drive additionally work when

@@ -52,6 +52,10 @@ struct SessionSpec {
   /// server's maintenance sweep calls it): budget reclaimed, late
   /// Tell answered with TrialExpired.
   int64_t pending_deadline_ms = 0;
+  /// Racing (successive-halving) evaluation: each budget iteration
+  /// races a cohort of configurations through rungs of short runs
+  /// (see SessionOptions::racing).
+  std::optional<RacingOptions> racing;
 };
 
 /// \brief A point-in-time view of one managed session.

@@ -307,6 +307,150 @@ TEST(CheckpointTest, CheckpointFileRoundTrips) {
             StatusCode::kNotFound);
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint v3: the racing block and rung rounds
+// ---------------------------------------------------------------------------
+
+RacingOptions CkptRacing() {
+  RacingOptions racing;
+  racing.cohort = 4;
+  racing.rungs = 3;
+  racing.min_fidelity = 0.25;
+  racing.eta = 2.0;
+  racing.ci_z = 1.96;
+  return racing;
+}
+
+/// Removes the trailing " racing ..." block from the options line —
+/// reconstructing the exact bytes a v2 (pre-fidelity) build wrote.
+std::string StripRacingToken(const std::string& checkpoint) {
+  size_t line = checkpoint.find("\noptions ");
+  size_t racing = checkpoint.find(" racing ", line);
+  size_t eol = checkpoint.find('\n', racing);
+  std::string out = checkpoint;
+  out.erase(racing, eol - racing);
+  return out;
+}
+
+std::string SwapVersion(const std::string& checkpoint, const char* from,
+                        const char* to) {
+  std::string out = checkpoint;
+  size_t pos = out.find(from);
+  out.replace(pos, std::strlen(from), to);
+  return out;
+}
+
+// Save mid-race (between rungs of an uncommitted race) and on race
+// boundaries; the restored session must finish bit-for-bit identical
+// to the uninterrupted run, including the simulated-work accounting
+// (recomputed during replay, never serialized).
+TEST(RacingCheckpointTest, MidRaceResumeIsBitForBit) {
+  SessionOptions options;
+  options.num_iterations = 4;
+  options.racing = CkptRacing();
+  const uint64_t seed = 42;
+  Stack reference = MakeStack("random", "llamatune", seed, options);
+  SessionResult uninterrupted = reference.session->Run();
+  ASSERT_EQ(uninterrupted.iterations_run, 4);
+
+  // One Step = one rung, so with 3 rungs per race, step 1 is the
+  // baseline, steps 2-4 are race 1's rungs, steps 5-7 race 2's:
+  // save points 2, 3, and 5 land mid-race, 4 and 7 on race boundaries.
+  for (int steps : {1, 2, 3, 4, 5, 7}) {
+    Stack first = MakeStack("random", "llamatune", seed, options);
+    for (int i = 0; i < steps; ++i) ASSERT_TRUE(first.session->Step());
+    std::string checkpoint = first.session->Save();
+
+    Stack resumed = MakeStack("random", "llamatune", seed, options);
+    Status restored = resumed.session->Restore(checkpoint);
+    ASSERT_TRUE(restored.ok())
+        << "steps=" << steps << ": " << restored.ToString();
+    SessionResult final_result = resumed.session->Run();
+    EXPECT_TRUE(ResultsBitIdentical(uninterrupted, final_result))
+        << "steps=" << steps;
+    EXPECT_TRUE(SameBits(final_result.simulated_work,
+                         uninterrupted.simulated_work))
+        << "steps=" << steps << ": simulated_work "
+        << final_result.simulated_work << " vs "
+        << uninterrupted.simulated_work;
+  }
+}
+
+TEST(RacingCheckpointTest, CheckpointGrammarAndV2Compat) {
+  SessionOptions options;
+  options.num_iterations = 6;
+  Stack first = MakeStack("random", "identity", 11, options);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(first.session->Step());
+  std::string v3 = first.session->Save();
+  // A non-racing v3 file differs from v2 only in the version number
+  // and the "racing 0" token.
+  EXPECT_NE(v3.find("llamatune-checkpoint v3\n"), std::string::npos);
+  EXPECT_NE(v3.find(" racing 0\n"), std::string::npos);
+
+  // The reconstructed v2 bytes (old build's output) still restore...
+  std::string v2 =
+      SwapVersion(StripRacingToken(v3), "checkpoint v3", "checkpoint v2");
+  Stack resumed = MakeStack("random", "identity", 11, options);
+  Status restored = resumed.session->Restore(v2);
+  ASSERT_TRUE(restored.ok()) << restored.ToString();
+  SessionResult via_v2 = resumed.session->Run();
+  Stack reference = MakeStack("random", "identity", 11, options);
+  EXPECT_TRUE(ResultsBitIdentical(reference.session->Run(), via_v2));
+
+  // ...but never into a racing session: a pre-fidelity file cannot
+  // seed a race, and the refusal must be loud, not a silent restart.
+  SessionOptions racing_options = options;
+  racing_options.racing = CkptRacing();
+  Stack racing_stack = MakeStack("random", "identity", 11, racing_options);
+  Status refused = racing_stack.session->Restore(v2);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+      << refused.ToString();
+}
+
+TEST(RacingCheckpointTest, RungRoundsRequireV3) {
+  SessionOptions options;
+  options.num_iterations = 2;
+  options.racing = CkptRacing();
+  Stack first = MakeStack("random", "llamatune", 5, options);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(first.session->Step());
+  std::string v3 = first.session->Save();
+  ASSERT_NE(v3.find("\nround R "), std::string::npos);
+
+  // A doctored pre-v3 file containing rung rounds is structurally
+  // invalid — the parser rejects it instead of misreading the slots.
+  std::string v2 =
+      SwapVersion(StripRacingToken(v3), "checkpoint v3", "checkpoint v2");
+  SessionOptions plain;
+  plain.num_iterations = 2;
+  Stack fresh = MakeStack("random", "llamatune", 5, plain);
+  Status refused = fresh.session->Restore(v2);
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument)
+      << refused.ToString();
+}
+
+TEST(RacingCheckpointTest, RestoreRejectsMismatchedRacingOptions) {
+  SessionOptions options;
+  options.num_iterations = 3;
+  options.racing = CkptRacing();
+  Stack first = MakeStack("random", "llamatune", 42, options);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(first.session->Step());
+  std::string checkpoint = first.session->Save();
+
+  // Different racing geometry replays a different tournament.
+  SessionOptions other = options;
+  other.racing->cohort = 6;
+  Stack mismatched = MakeStack("random", "llamatune", 42, other);
+  Status restored = mismatched.session->Restore(checkpoint);
+  EXPECT_EQ(restored.code(), StatusCode::kFailedPrecondition);
+
+  // A racing checkpoint cannot restore into a non-racing session.
+  SessionOptions plain;
+  plain.num_iterations = 3;
+  Stack non_racing = MakeStack("random", "llamatune", 42, plain);
+  Status refused = non_racing.session->Restore(checkpoint);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(CheckpointTest, EarlyStoppedSessionRoundTrips) {
   SessionOptions options;
   options.num_iterations = 60;

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/serde.h"
+#include "src/core/trial.h"
 #include "src/net/frame.h"
 #include "src/net/message.h"
 
@@ -254,6 +256,95 @@ TEST(MessageTest, TrialAndResultRepliesAreBitExact) {
   EXPECT_EQ(rback.metrics, (std::vector<double>{1.0, 2.5}));
 }
 
+TEST(MessageTest, FidelityTokenRoundTripsAndLegacyDecodes) {
+  // Racing rung trials carry a fidelity in (0, 1]; it must survive the
+  // wire bit-for-bit.
+  Trial trial;
+  trial.id = 7;
+  trial.point = {0.5};
+  trial.fidelity = 0.25;
+  Result<Trial> back = DecodeTrialReply(EncodeTrialReply(trial));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(SameBits(back->fidelity, 0.25));
+
+  TrialResult result;
+  result.trial_id = 7;
+  result.value = 2.0;
+  result.fidelity = std::nextafter(0.5, 1.0);
+  std::string rname;
+  TrialResult rback;
+  ASSERT_TRUE(DecodeTell(EncodeTell("job", result), &rname, &rback).ok());
+  EXPECT_TRUE(SameBits(rback.fidelity, std::nextafter(0.5, 1.0)));
+
+  // Full fidelity is the default and emits no token: the encoding is
+  // byte-identical to the pre-fidelity format, so pre-racing peers
+  // decode full-fidelity traffic unchanged and their own encodings
+  // decode here as full fidelity (old clients = full fidelity).
+  Trial full = trial;
+  full.fidelity = 1.0;
+  std::string legacy = SerializeTrial(full);
+  EXPECT_EQ(legacy.find(" fid "), std::string::npos);
+  Result<Trial> legacy_back = ParseTrial(legacy);
+  ASSERT_TRUE(legacy_back.ok()) << legacy_back.status().ToString();
+  EXPECT_TRUE(SameBits(legacy_back->fidelity, 1.0));
+  TrialResult full_result = result;
+  full_result.fidelity = 1.0;
+  std::string legacy_result = SerializeTrialResult(full_result);
+  EXPECT_EQ(legacy_result.find(" fid "), std::string::npos);
+  Result<TrialResult> legacy_result_back = ParseTrialResult(legacy_result);
+  ASSERT_TRUE(legacy_result_back.ok());
+  EXPECT_TRUE(SameBits(legacy_result_back->fidelity, 1.0));
+
+  // Unknown trailing sections and out-of-range fidelities are
+  // rejected, not clamped or ignored.
+  EXPECT_FALSE(ParseTrial(SerializeTrial(trial) + " zzz").ok());
+  EXPECT_FALSE(ParseTrial(legacy + " fid").ok());
+  EXPECT_FALSE(
+      ParseTrial(legacy + " fid " + EncodeDoubleBits(0.0)).ok());
+  EXPECT_FALSE(
+      ParseTrial(legacy + " fid " + EncodeDoubleBits(1.5)).ok());
+  EXPECT_FALSE(
+      ParseTrial(legacy + " fid " +
+                 EncodeDoubleBits(std::numeric_limits<double>::quiet_NaN()))
+          .ok());
+}
+
+TEST(FuzzTest, FidelityTokenParserNeverCrashesOnMutatedBytes) {
+  // Byte-level fuzz of the fidelity-carrying serde forms: truncations
+  // and random mutations must return a Status, never crash, and any
+  // accepted fidelity must be in (0, 1].
+  Trial trial;
+  trial.id = 9;
+  trial.point = {0.25, 0.75};
+  trial.fidelity = 0.5;
+  TrialResult result;
+  result.trial_id = 9;
+  result.value = 3.5;
+  result.fidelity = 0.125;
+  const std::string trial_line = SerializeTrial(trial);
+  const std::string result_line = SerializeTrialResult(result);
+  for (size_t cut = 0; cut <= trial_line.size(); ++cut) {
+    Result<Trial> got = ParseTrial(trial_line.substr(0, cut));
+    if (got.ok()) EXPECT_TRUE(got->fidelity > 0.0 && got->fidelity <= 1.0);
+  }
+  for (size_t cut = 0; cut <= result_line.size(); ++cut) {
+    Result<TrialResult> got = ParseTrialResult(result_line.substr(0, cut));
+    if (got.ok()) EXPECT_TRUE(got->fidelity > 0.0 && got->fidelity <= 1.0);
+  }
+  Rng rng(20260808);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = rng.Bernoulli(0.5) ? trial_line : result_line;
+    for (int m = 0; m < 3 && !mutated.empty(); ++m) {
+      mutated[rng.UniformInt(0, mutated.size() - 1)] =
+          static_cast<char>(rng.UniformInt(0, 255));
+    }
+    Result<Trial> t = ParseTrial(mutated);
+    if (t.ok()) EXPECT_TRUE(t->fidelity > 0.0 && t->fidelity <= 1.0);
+    Result<TrialResult> r = ParseTrialResult(mutated);
+    if (r.ok()) EXPECT_TRUE(r->fidelity > 0.0 && r->fidelity <= 1.0);
+  }
+}
+
 TEST(MessageTest, BatchesRoundTrip) {
   std::string name;
   int n = 0;
@@ -389,19 +480,53 @@ TEST(MessageTest, SessionSpecRoundTripsPendingDeadlineAndLegacyV1) {
   Result<WireSessionSpec> back = DecodeSessionSpec(payload);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->pending_deadline_ms, 45000);
+  EXPECT_FALSE(back->racing);
 
-  // A v1 payload (older peer, pre-upgrade autosave file) carries no
-  // deadline token; it must still decode, with the deadline at 0.
-  size_t deadline = payload.rfind(" deadline ");
+  // A v2 payload (pre-racing peer) ends at the deadline token; it must
+  // still decode, with racing off.
+  size_t racing = payload.rfind(" racing ");
+  ASSERT_NE(racing, std::string::npos);
+  std::string v2 = payload.substr(0, racing);
+  size_t version = v2.find("spec 3");
+  ASSERT_NE(version, std::string::npos);
+  v2.replace(version, 6, "spec 2");
+  Result<WireSessionSpec> pre_racing = DecodeSessionSpec(v2);
+  ASSERT_TRUE(pre_racing.ok()) << pre_racing.status().ToString();
+  EXPECT_EQ(pre_racing->pending_deadline_ms, 45000);
+  EXPECT_FALSE(pre_racing->racing);
+
+  // A v1 payload (older still) also carries no deadline token; it must
+  // still decode, with the deadline at 0.
+  size_t deadline = v2.rfind(" deadline ");
   ASSERT_NE(deadline, std::string::npos);
-  std::string v1 = payload.substr(0, deadline);
-  size_t version = v1.find("spec 2");
+  std::string v1 = v2.substr(0, deadline);
+  version = v1.find("spec 2");
   ASSERT_NE(version, std::string::npos);
   v1.replace(version, 6, "spec 1");
   Result<WireSessionSpec> old = DecodeSessionSpec(v1);
   ASSERT_TRUE(old.ok()) << old.status().ToString();
   EXPECT_EQ(old->workload, "YCSB-A");
   EXPECT_EQ(old->pending_deadline_ms, 0);
+  EXPECT_FALSE(old->racing);
+}
+
+TEST(MessageTest, SessionSpecRoundTripsRacingBlock) {
+  WireSessionSpec spec;
+  spec.workload = "TPC-C";
+  spec.racing = true;
+  spec.racing_cohort = 6;
+  spec.racing_rungs = 4;
+  spec.racing_min_fidelity = 0.125;
+  spec.racing_eta = 3.0;
+  spec.racing_ci_z = 2.33;
+  Result<WireSessionSpec> back = DecodeSessionSpec(EncodeSessionSpec(spec));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->racing);
+  EXPECT_EQ(back->racing_cohort, 6);
+  EXPECT_EQ(back->racing_rungs, 4);
+  EXPECT_EQ(back->racing_min_fidelity, 0.125);
+  EXPECT_EQ(back->racing_eta, 3.0);
+  EXPECT_EQ(back->racing_ci_z, 2.33);
 }
 
 TEST(MessageTest, PendingReplyRoundTrips) {
@@ -438,9 +563,11 @@ TEST(FrameTest, ByteAtATimeDecodesEveryMessageKind) {
   TrialResult result;
   result.trial_id = 3;
   result.value = 12.5;
+  result.fidelity = 0.5;  // rung result: exercises the fid token
   Trial trial;
   trial.id = 4;
   trial.point = {0.5};
+  trial.fidelity = 0.25;  // rung trial: exercises the fid token
   WireSessionStatus status;
   status.status.name = "job";
   WireCloseResult close;
@@ -546,9 +673,11 @@ TEST(FuzzTest, PayloadDecodersNeverCrashOnRandomBytes) {
   Trial trial;
   trial.id = 3;
   trial.point = {0.5, 0.25};
+  trial.fidelity = 0.5;
   TrialResult result;
   result.trial_id = 3;
   result.value = 1.5;
+  result.fidelity = 0.25;
   WireSessionStatus status;
   status.status.name = "s";
   const std::vector<std::string> corpus = {

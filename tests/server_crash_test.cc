@@ -379,6 +379,168 @@ TEST(ServerCrashTest, Kill9BetweenAutosavesRecoversTailFromWal) {
 #endif
 }
 
+// SIGKILL in the middle of a race (race 2's first rung committed, its
+// second rung pending): the autosaved mid-race checkpoint must rebuild
+// the tournament — accumulated candidate statistics, eliminations, the
+// open rung — and the continuation must be byte-identical to a server
+// that never crashed. The driving client never sets a result fidelity
+// (a pre-fidelity client can't), which also pins that full-fidelity-
+// only clients can answer racing trials: the server treats the asked
+// trial's fidelity as authoritative.
+TEST(ServerCrashTest, Kill9MidRaceResumesTournamentBitForBit) {
+#ifndef LLAMATUNE_SERVE_REMOTE_BIN
+  GTEST_SKIP() << "serve_remote example not built";
+#else
+  const std::string bin = LLAMATUNE_SERVE_REMOTE_BIN;
+  struct stat sb;
+  if (::stat(bin.c_str(), &sb) != 0) {
+    GTEST_SKIP() << "serve_remote binary missing at " << bin;
+  }
+  const std::string dir = ::testing::TempDir() + "llamatune-racecrash-" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string port_file = dir + "/port";
+  const std::string autosave =
+      dir + "/" + EncodeBytes("race-job") + ".autosave";
+
+  WireSessionSpec spec_wire;
+  spec_wire.space_knobs = TestKnobs();
+  spec_wire.optimizer_key = "random";
+  spec_wire.adapter_key = "identity";
+  spec_wire.seed = 777;
+  spec_wire.num_iterations = 4;
+  spec_wire.racing = true;
+  spec_wire.racing_cohort = 4;
+  spec_wire.racing_rungs = 3;
+  spec_wire.racing_min_fidelity = 0.25;
+  spec_wire.racing_eta = 2.0;
+  spec_wire.racing_ci_z = 1.96;
+
+  // Asks out the current round — the baseline, or one whole rung (the
+  // server answers FailedPrecondition once the rung is fully handed
+  // out) — and tells every result. Sets `empty` when the budget is
+  // done and nothing was handed out.
+  auto drive_round = [](TuningClient& client, const std::string& name,
+                        bool* empty) {
+    std::vector<Trial> trials;
+    for (;;) {
+      Result<Trial> trial = client.Ask(name);
+      if (!trial.ok()) break;
+      bool is_baseline = trial->is_baseline;
+      trials.push_back(std::move(trial).ValueOrDie());
+      if (is_baseline) break;
+    }
+    *empty = trials.empty();
+    for (const Trial& trial : trials) {
+      TrialResult result;
+      result.trial_id = trial.id;
+      result.value = ExternalMeasure(trial.config);
+      ASSERT_TRUE(client.Tell(name, result).ok());
+    }
+  };
+
+  // --- Phase 1: baseline + race 1 (3 rungs) + race 2's first rung.
+  ServerProcess first;
+  int port = first.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "server did not come up";
+  TuningClient client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(client.CreateSession("race-job", spec_wire).ok());
+  for (int round = 0; round < 5; ++round) {
+    bool empty = true;
+    drive_round(client, "race-job", &empty);
+    ASSERT_FALSE(empty) << "round " << round << " handed out no trials";
+  }
+  // Mid-race: exactly one race (one budget iteration) has committed.
+  Result<WireSessionStatus> mid_status = client.GetStatus("race-job");
+  ASSERT_TRUE(mid_status.ok());
+  EXPECT_EQ(mid_status->status.iterations_run, 1);
+
+  Result<std::string> at_kill = client.Checkpoint("race-job");
+  ASSERT_TRUE(at_kill.ok());
+  bool captured = false;
+  for (int i = 0; i < 1000 && !captured; ++i) {
+    FILE* in = std::fopen(autosave.c_str(), "r");
+    if (in != nullptr) {
+      std::string content;
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+        content.append(buf, n);
+      }
+      std::fclose(in);
+      captured = content.find(*at_kill) != std::string::npos;
+    }
+    if (!captured) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(captured) << "autosave never caught up before the kill";
+  first.Kill9();
+  client.Disconnect();
+
+  // --- Phase 2: restart, resume the half-run race, drive it out.
+  ServerProcess second;
+  port = second.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "restarted server did not come up";
+  TuningClient revived;
+  ASSERT_TRUE(
+      revived.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  Status resumed = revived.ResumeSaved("race-job");
+  ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+  Result<WireSessionStatus> status = revived.GetStatus("race-job");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status.iterations_run, 1);
+  for (;;) {
+    bool empty = true;
+    drive_round(revived, "race-job", &empty);
+    if (empty) break;
+  }
+  Result<std::string> after_crash = revived.Checkpoint("race-job");
+  ASSERT_TRUE(after_crash.ok());
+  second.Kill9();
+
+  // --- Reference: same racing session, never interrupted, in-process.
+  ConfigSpace space = *ConfigSpace::Create(TestKnobs());
+  service::TuningService reference;
+  service::SessionSpec spec;
+  spec.space = &space;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = 777;
+  spec.num_iterations = 4;
+  RacingOptions racing;
+  racing.cohort = 4;
+  racing.rungs = 3;
+  racing.min_fidelity = 0.25;
+  racing.eta = 2.0;
+  racing.ci_z = 1.96;
+  spec.racing = racing;
+  ASSERT_TRUE(reference.CreateSession("ref", spec).ok());
+  for (;;) {
+    std::vector<Trial> trials;
+    for (;;) {
+      Result<Trial> trial = reference.Ask("ref");
+      if (!trial.ok()) break;
+      bool is_baseline = trial->is_baseline;
+      trials.push_back(std::move(trial).ValueOrDie());
+      if (is_baseline) break;
+    }
+    if (trials.empty()) break;
+    for (const Trial& trial : trials) {
+      TrialResult result;
+      result.trial_id = trial.id;
+      result.value = ExternalMeasure(trial.config);
+      ASSERT_TRUE(reference.Tell("ref", result).ok());
+    }
+  }
+  Result<std::string> uninterrupted = reference.Checkpoint("ref");
+  ASSERT_TRUE(uninterrupted.ok());
+  EXPECT_EQ(Trajectory(*after_crash), Trajectory(*uninterrupted));
+#endif
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace llamatune
