@@ -7,6 +7,14 @@
 // Close — so throughput covers framing, dispatch, quota bookkeeping
 // and service work, not just raw socket echo.
 //
+// A second, overload phase reruns the same workload at 4x the client
+// parallelism against a server whose expensive-admission queue is
+// deliberately tiny: most asks are shed with kOverloaded + a
+// retry-after hint that the resilient clients honor. The phase pins
+// the load-shedding contract — admitted asks keep a p99 near the
+// unloaded number because queue depth is bounded, and the shed/hint
+// counters prove the cooperation happened.
+//
 // Emits machine-readable BENCH_service.json in the working directory:
 //   sessions_per_sec     — completed session lifecycles per second
 //                          (headline, higher is better)
@@ -14,9 +22,12 @@
 //                          (lower is better; what the regression
 //                          check compares)
 //   ask_seconds p50/p99  — per-Ask round-trip latency over the wire
+//   overload {...}       — shed counters, hinted retries, admitted-ask
+//                          percentiles and their ratio to unloaded p99
 //
 // Usage: bm_service [--sessions=N] [--iterations=N] [--clients=N]
-//        (defaults: 200 sessions, 6 ask/tell rounds each, 4 clients)
+//        (defaults: 200 sessions, 6 ask/tell rounds each, 4 clients;
+//        the overload phase always uses 4x clients)
 
 #include <algorithm>
 #include <atomic>
@@ -72,6 +83,9 @@ struct ClientStats {
   int errors = 0;
   std::vector<double> ask_seconds;
   std::vector<double> session_seconds;
+  /// Overload phase only: retry sleeps driven by a server retry-after
+  /// hint instead of the client's own jitter.
+  int64_t hinted_retries = 0;
 };
 
 // One worker: connects once, then runs its share of session
@@ -118,6 +132,69 @@ ClientStats RunClient(uint16_t port, int client_id, int sessions,
       (void)client.Close(name);  // best-effort cleanup
     }
   }
+  return stats;
+}
+
+// One overload worker: the same lifecycle as RunClient, but through a
+// resilient client with per-request deadlines, hammering a server
+// whose admission queue is deliberately tiny. An Ask that completes
+// without ever seeing a retry-after hint was admitted on its first
+// attempt — only those latencies count toward the admitted-ask
+// percentiles; hinted retries are tallied instead of timed.
+ClientStats RunOverloadClient(uint16_t port, int client_id, int sessions,
+                              int iterations) {
+  ClientStats stats;
+  net::TuningClientOptions copts;
+  copts.request_deadline_ms = 500;
+  copts.retry.max_attempts = 20;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 50;
+  copts.retry.retry_budget_ms = 60000;
+  copts.retry.jitter_seed = 100 + static_cast<uint64_t>(client_id);
+  net::TuningClient client(copts);
+  if (!client.Connect("127.0.0.1", port).ok() ||
+      !client.Hello("overload-tenant-" + std::to_string(client_id)).ok()) {
+    stats.errors = sessions;
+    return stats;
+  }
+  for (int s = 0; s < sessions; ++s) {
+    const std::string name =
+        "ov-" + std::to_string(client_id) + "-" + std::to_string(s);
+    double t0 = NowSeconds();
+    uint64_t seed = 500000 + static_cast<uint64_t>(client_id) * 100000 + s;
+    if (!client.CreateSession(name, BenchSpec(iterations, seed)).ok()) {
+      ++stats.errors;
+      continue;
+    }
+    bool ok = true;
+    for (int round = 0; round < iterations && ok; ++round) {
+      int64_t hints_before = client.retry_hints_seen();
+      double a0 = NowSeconds();
+      Result<Trial> trial = client.Ask(name);
+      double elapsed = NowSeconds() - a0;
+      if (!trial.ok()) {
+        ok = false;
+        break;
+      }
+      if (client.retry_hints_seen() == hints_before) {
+        stats.ask_seconds.push_back(elapsed);
+      }
+      TrialResult result;
+      result.trial_id = trial->id;
+      result.value = Measure(trial->config);
+      ok = client.Tell(name, result).ok();
+    }
+    ok = ok && client.Checkpoint(name).ok();
+    ok = ok && client.Close(name).ok();
+    if (ok) {
+      ++stats.sessions_completed;
+      stats.session_seconds.push_back(NowSeconds() - t0);
+    } else {
+      ++stats.errors;
+      (void)client.Close(name);  // best-effort cleanup
+    }
+  }
+  stats.hinted_retries = client.retry_hints_seen();
   return stats;
 }
 
@@ -202,6 +279,77 @@ int main(int argc, char** argv) {
   double ask_p50 = Percentile(ask_seconds, 0.50);
   double ask_p99 = Percentile(ask_seconds, 0.99);
 
+  // --- Overload phase: 4x the clients against a tiny admission
+  // queue. Shedding keeps queue depth (and so admitted-ask latency)
+  // bounded while the retry-after hints pace the herd.
+  net::TuningServerOptions ov_options;
+  ov_options.max_pending_requests = 6;
+  ov_options.cheap_admission_reserve = 2;  // expensive-class cap: 4
+  ov_options.default_request_deadline_ms = 500;
+  ov_options.shed_retry_base_ms = 2;  // keep the bench brisk
+  ov_options.shed_retry_max_ms = 25;
+  net::TuningServer ov_server(ov_options);
+  Status ov_started = ov_server.Start();
+  if (!ov_started.ok()) {
+    std::fprintf(stderr, "overload server start failed: %s\n",
+                 ov_started.ToString().c_str());
+    return 1;
+  }
+  int ov_clients = clients * 4;
+  std::printf("[service] overload: %d sessions x %d iterations over %d "
+              "clients, %d admission slots (port %u)...\n",
+              sessions, iterations, ov_clients,
+              ov_options.max_pending_requests, ov_server.port());
+
+  std::vector<int> ov_share(ov_clients, sessions / ov_clients);
+  for (int i = 0; i < sessions % ov_clients; ++i) ++ov_share[i];
+  std::vector<ClientStats> ov_stats(ov_clients);
+  double ov_t0 = NowSeconds();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(ov_clients);
+    for (int c = 0; c < ov_clients; ++c) {
+      workers.emplace_back([&, c] {
+        ov_stats[c] =
+            RunOverloadClient(ov_server.port(), c, ov_share[c], iterations);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  double ov_wall = NowSeconds() - ov_t0;
+
+  // Scrape the shed counters the way an operator would — over the
+  // wire via kServerStats — before stopping the server.
+  long long shed_overload = 0;
+  long long shed_deadline = 0;
+  {
+    net::TuningClient probe;
+    if (probe.Connect("127.0.0.1", ov_server.port()).ok()) {
+      Result<net::WireServerStats> wire = probe.ServerStats();
+      if (wire.ok()) {
+        shed_overload = wire->shed_overload;
+        shed_deadline = wire->shed_deadline;
+      }
+    }
+  }
+  ov_server.Stop();
+
+  int ov_completed = 0;
+  int ov_errors = 0;
+  long long hinted_retries = 0;
+  std::vector<double> admitted_ask;
+  for (const ClientStats& s : ov_stats) {
+    ov_completed += s.sessions_completed;
+    ov_errors += s.errors;
+    hinted_retries += s.hinted_retries;
+    admitted_ask.insert(admitted_ask.end(), s.ask_seconds.begin(),
+                        s.ask_seconds.end());
+  }
+  std::sort(admitted_ask.begin(), admitted_ask.end());
+  double ov_ask_p50 = Percentile(admitted_ask, 0.50);
+  double ov_ask_p99 = Percentile(admitted_ask, 0.99);
+  double p99_ratio = ask_p99 > 0.0 ? ov_ask_p99 / ask_p99 : 0.0;
+
   FILE* json = std::fopen("BENCH_service.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_service.json\n");
@@ -219,8 +367,22 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"per_session_seconds\": %.6e,\n", per_session);
   std::fprintf(json,
                "  \"ask_seconds\": {\"count\": %zu, \"p50\": %.6e, "
-               "\"p99\": %.6e}\n",
+               "\"p99\": %.6e},\n",
                ask_seconds.size(), ask_p50, ask_p99);
+  std::fprintf(json,
+               "  \"overload\": {\"clients\": %d, \"sessions_completed\": "
+               "%d, \"errors\": %d, \"wall_seconds\": %.4f,\n",
+               ov_clients, ov_completed, ov_errors, ov_wall);
+  std::fprintf(json,
+               "    \"shed_overload\": %lld, \"shed_deadline\": %lld, "
+               "\"retry_hints_seen\": %lld,\n",
+               shed_overload, shed_deadline, hinted_retries);
+  std::fprintf(json,
+               "    \"admitted_ask_seconds\": {\"count\": %zu, "
+               "\"p50\": %.6e, \"p99\": %.6e},\n",
+               admitted_ask.size(), ov_ask_p50, ov_ask_p99);
+  std::fprintf(json, "    \"admitted_p99_over_unloaded_p99\": %.3f}\n",
+               p99_ratio);
   std::fprintf(json, "}\n");
   std::fclose(json);
 
@@ -229,6 +391,12 @@ int main(int argc, char** argv) {
               "ask p50 %.3f ms p99 %.3f ms\n",
               completed, sessions, errors, wall, sessions_per_sec,
               per_session * 1e3, ask_p50 * 1e3, ask_p99 * 1e3);
+  std::printf("[service] overload: %d/%d sessions ok (%d errors), "
+              "shed %lld (+%lld deadline), %lld hinted retries, "
+              "admitted ask p50 %.3f ms p99 %.3f ms (%.2fx unloaded)\n",
+              ov_completed, sessions, ov_errors, shed_overload,
+              shed_deadline, hinted_retries, ov_ask_p50 * 1e3,
+              ov_ask_p99 * 1e3, p99_ratio);
   std::printf("[service] wrote BENCH_service.json\n");
-  return errors == 0 ? 0 : 1;
+  return (errors == 0 && ov_errors == 0) ? 0 : 1;
 }

@@ -68,11 +68,18 @@ int RunServer(const net::TuningServerOptions& options,
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
-  while (!g_stop) {
+  // Two ways out of this loop: a signal (SIGTERM/SIGINT sets g_stop)
+  // or a wire kDrain (the server leaves Running on its own). Either
+  // way Stop() finishes the drain — in-flight work completes, every
+  // session autosaves durably — and the process exits 0 so a
+  // supervisor restarts it cleanly.
+  while (!g_stop && server.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  std::printf("[serve_remote] shutting down\n");
-  server.Stop();  // drains handlers, final autosave
+  std::printf("[serve_remote] draining\n");
+  std::fflush(stdout);
+  server.Stop();  // completes in-flight work, final autosave sweep
+  std::printf("[serve_remote] stopped\n");
   return 0;
 }
 
@@ -229,12 +236,22 @@ int main(int argc, char** argv) {
       options.max_sessions_per_tenant = std::atoi(next());
     } else if (arg == "--max-pending") {
       options.max_pending_requests = std::atoi(next());
+    } else if (arg == "--drain-deadline-ms") {
+      options.drain_deadline_ms = std::atol(next());
+    } else if (arg == "--request-deadline-ms") {
+      options.default_request_deadline_ms = std::atol(next());
+    } else if (arg == "--resume-on-start") {
+      // Hot restart: revive every autosaved session from a drained
+      // predecessor sharing this --autosave-dir.
+      options.resume_saved_on_start = true;
     } else {
       std::fprintf(stderr,
                    "usage: serve_remote [--serve] [--host H] [--port P] "
                    "[--port-file F] [--autosave-dir D] "
                    "[--autosave-interval-ms N] [--idle-eviction-ms N] "
-                   "[--max-sessions-per-tenant N] [--max-pending N]\n");
+                   "[--max-sessions-per-tenant N] [--max-pending N] "
+                   "[--drain-deadline-ms N] [--request-deadline-ms N] "
+                   "[--resume-on-start]\n");
       return 2;
     }
   }

@@ -141,6 +141,21 @@ def collect_service_metrics(doc):
     for field in ("p50", "p99"):
         if field in ask:
             metrics[f"ask_seconds.{field}[{key}]"] = (ask[field], False)
+    # Overload phase: admitted-ask latency under 4x saturation plus its
+    # ratio to the unloaded p99 — the load-shedding contract ("admitted
+    # work stays fast because the queue is bounded"). The shed/hint
+    # counters stay human-only: their magnitude tracks scheduling luck,
+    # not a lower-is-better cost.
+    overload = doc.get("overload", {})
+    ov_key = f"{key},ov_clients={overload.get('clients')}"
+    admitted = overload.get("admitted_ask_seconds", {})
+    for field in ("p50", "p99"):
+        if field in admitted:
+            metrics[f"overload.admitted_ask_seconds.{field}[{ov_key}]"] = (
+                admitted[field], False)
+    if "admitted_p99_over_unloaded_p99" in overload:
+        metrics[f"overload.admitted_p99_over_unloaded_p99[{ov_key}]"] = (
+            overload["admitted_p99_over_unloaded_p99"], False)
     return metrics
 
 

@@ -36,6 +36,9 @@ enum class MessageKind : uint8_t {
   kClose = 14,
   kPing = 15,
   kGetPending = 16,  ///< pending trials of a session (retry adoption)
+  kDrain = 17,       ///< begin graceful drain; server stops accepting work
+  kHealthCheck = 18,  ///< cheap liveness probe (lifecycle + queue depth)
+  kServerStats = 19,  ///< full operational counters snapshot
 
   // --- Replies.
   kOk = 64,            ///< empty success (create/resume/tell/drive/hello)
@@ -49,6 +52,8 @@ enum class MessageKind : uint8_t {
   kClosedReply = 72,      ///< final result scalars
   kPongReply = 73,
   kPendingReply = 74,  ///< next trial id + n serialized pending Trials
+  kHealthReply = 75,   ///< lifecycle state + queue depth + session count
+  kStatsReply = 76,    ///< full WireServerStats snapshot
 };
 
 /// First byte on the wire; a connection speaking anything else is not

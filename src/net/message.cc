@@ -77,6 +77,8 @@ Status StatusFromWireError(WireError code, std::string message) {
       return Status::Unavailable(std::move(message));
     case WireError::kTrialExpired:
       return Status::TrialExpired(std::move(message));
+    case WireError::kOverloaded:
+      return Status::Unavailable(std::move(message));
   }
   return Status::Internal("unknown wire error code: " + std::move(message));
 }
@@ -591,16 +593,20 @@ Status DecodeTellBatch(const std::string& payload, std::string* name,
   return Status::OK();
 }
 
-std::string EncodeError(WireError code, const std::string& message) {
+std::string EncodeError(WireError code, const std::string& message,
+                        int64_t retry_after_ms) {
   std::ostringstream out;
   out << "error";
   PutInt(&out, "code", static_cast<int>(code));
   PutStr(&out, "message", message);
+  // Optional trailing hint: pre-hint decoders stop after 'message' and
+  // never see it (the append-only payload evolution rule).
+  if (retry_after_ms > 0) PutInt(&out, "retryms", retry_after_ms);
   return out.str();
 }
 
 Status DecodeError(const std::string& payload, WireError* code,
-                   std::string* message) {
+                   std::string* message, int64_t* retry_after_ms) {
   std::istringstream in(payload);
   std::string tag;
   if (!(in >> tag) || tag != "error") {
@@ -610,6 +616,11 @@ Status DecodeError(const std::string& payload, WireError* code,
   if (!got_code.ok()) return got_code.status();
   Result<std::string> got_message = GetStr(&in, "message");
   if (!got_message.ok()) return got_message.status();
+  if (retry_after_ms != nullptr) {
+    *retry_after_ms = 0;
+    Result<int64_t> hint = GetInt(&in, "retryms");
+    if (hint.ok() && *hint > 0) *retry_after_ms = *hint;
+  }
   *code = static_cast<WireError>(*got_code);
   *message = *got_message;
   return Status::OK();
@@ -811,6 +822,139 @@ Status DecodePendingReply(const std::string& payload, int64_t* next_trial_id,
   *next_trial_id = *next;
   *trials = std::move(out);
   return Status::OK();
+}
+
+namespace {
+
+Result<ServerLifecycle> GetLifecycle(std::istringstream* in) {
+  Result<int64_t> raw = GetInt(in, "lifecycle");
+  if (!raw.ok()) return raw.status();
+  if (*raw < 0 || *raw > static_cast<int64_t>(ServerLifecycle::kStopped)) {
+    return Status::InvalidArgument("wire: unknown lifecycle state");
+  }
+  return static_cast<ServerLifecycle>(*raw);
+}
+
+}  // namespace
+
+std::string EncodeHealthReply(const WireServerHealth& health) {
+  std::ostringstream out;
+  out << "health";
+  PutInt(&out, "lifecycle", static_cast<int>(health.lifecycle));
+  PutInt(&out, "pending", health.pending_requests);
+  PutInt(&out, "sessions", health.sessions);
+  return out.str();
+}
+
+Result<WireServerHealth> DecodeHealthReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "health") {
+    return Status::InvalidArgument("wire: expected 'health' payload");
+  }
+  WireServerHealth health;
+  Result<ServerLifecycle> lifecycle = GetLifecycle(&in);
+  if (!lifecycle.ok()) return lifecycle.status();
+  health.lifecycle = *lifecycle;
+  Result<int64_t> pending = GetInt(&in, "pending");
+  if (!pending.ok()) return pending.status();
+  health.pending_requests = *pending;
+  Result<int64_t> sessions = GetInt(&in, "sessions");
+  if (!sessions.ok()) return sessions.status();
+  health.sessions = *sessions;
+  return health;
+}
+
+std::string EncodeStatsReply(const WireServerStats& stats) {
+  std::ostringstream out;
+  out << "stats";
+  PutInt(&out, "lifecycle", static_cast<int>(stats.lifecycle));
+  PutInt(&out, "pending", stats.pending_requests);
+  PutInt(&out, "pendingexp", stats.pending_expensive);
+  PutInt(&out, "sessions", stats.sessions);
+  PutInt(&out, "busy", stats.busy_rejections);
+  PutInt(&out, "shedover", stats.shed_overload);
+  PutInt(&out, "shedddl", stats.shed_deadline);
+  PutInt(&out, "evicted", stats.sessions_evicted);
+  PutInt(&out, "autosaves", stats.autosaves_written);
+  PutInt(&out, "restored", stats.sessions_restored);
+  PutInt(&out, "tenants", static_cast<int64_t>(stats.tenant_sessions.size()));
+  for (const auto& [tenant, count] : stats.tenant_sessions) {
+    out << " x" << EncodeBytes(tenant) << ' ' << count;
+  }
+  return out.str();
+}
+
+Result<WireServerStats> DecodeStatsReply(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "stats") {
+    return Status::InvalidArgument("wire: expected 'stats' payload");
+  }
+  WireServerStats stats;
+  Result<ServerLifecycle> lifecycle = GetLifecycle(&in);
+  if (!lifecycle.ok()) return lifecycle.status();
+  stats.lifecycle = *lifecycle;
+  struct Field {
+    const char* tag;
+    int64_t* dst;
+  };
+  const Field fields[] = {
+      {"pending", &stats.pending_requests},
+      {"pendingexp", &stats.pending_expensive},
+      {"sessions", &stats.sessions},
+      {"busy", &stats.busy_rejections},
+      {"shedover", &stats.shed_overload},
+      {"shedddl", &stats.shed_deadline},
+      {"evicted", &stats.sessions_evicted},
+      {"autosaves", &stats.autosaves_written},
+      {"restored", &stats.sessions_restored},
+  };
+  for (const Field& field : fields) {
+    Result<int64_t> value = GetInt(&in, field.tag);
+    if (!value.ok()) return value.status();
+    *field.dst = *value;
+  }
+  Result<int64_t> tenants = GetInt(&in, "tenants");
+  if (!tenants.ok()) return tenants.status();
+  stats.tenant_sessions.reserve(ClampReserve(*tenants));
+  for (int64_t i = 0; i < *tenants; ++i) {
+    std::string token, count_token;
+    if (!(in >> token >> count_token) || token.empty() || token[0] != 'x') {
+      return Status::InvalidArgument("wire: truncated tenant stats");
+    }
+    Result<std::string> tenant = DecodeBytes(token.substr(1));
+    if (!tenant.ok()) return tenant.status();
+    Result<int64_t> count = ParseInt64(count_token);
+    if (!count.ok()) return count.status();
+    stats.tenant_sessions.emplace_back(*tenant, *count);
+  }
+  return stats;
+}
+
+void AppendDeadlineRider(std::string* payload, int64_t deadline_ms) {
+  if (deadline_ms <= 0) return;
+  std::ostringstream out;
+  PutInt(&out, "ddl", deadline_ms);
+  *payload += out.str();
+}
+
+int64_t DeadlineRiderMs(const std::string& payload) {
+  // The rider is the last two whitespace-delimited tokens: 'ddl' N.
+  // Scanning from the tail keeps this O(rider) on large payloads.
+  size_t end = payload.find_last_not_of(" \t\n");
+  if (end == std::string::npos) return 0;
+  size_t value_start = payload.find_last_of(" \t\n", end);
+  if (value_start == std::string::npos) return 0;
+  size_t tag_end = payload.find_last_not_of(" \t\n", value_start);
+  if (tag_end == std::string::npos) return 0;
+  size_t tag_start = payload.find_last_of(" \t\n", tag_end);
+  size_t tag_from = tag_start == std::string::npos ? 0 : tag_start + 1;
+  if (payload.compare(tag_from, tag_end - tag_from + 1, "ddl") != 0) return 0;
+  Result<int64_t> value =
+      ParseInt64(payload.substr(value_start + 1, end - value_start));
+  if (!value.ok() || *value <= 0) return 0;
+  return *value;
 }
 
 }  // namespace net

@@ -37,6 +37,7 @@ enum class WireError : uint8_t {
   kNotImplemented = 14,
   kShuttingDown = 15,   ///< server is stopping; connection will close
   kTrialExpired = 16,   ///< tell for a pending trial whose deadline passed
+  kOverloaded = 17,     ///< request shed under load; retry after the hint
 };
 
 WireError WireErrorFromStatus(const Status& status);
@@ -79,6 +80,46 @@ struct WireSessionSpec {
   double racing_min_fidelity = 0.25;
   double racing_eta = 2.0;
   double racing_ci_z = 1.96;
+};
+
+/// \brief Server lifecycle state machine (docs/resilience.md).
+///
+/// Running → Draining → Stopped, one-way. Draining servers refuse new
+/// connections and answer expensive requests with kShuttingDown while
+/// in-flight handlers and background drives run to completion, then
+/// autosave every session and stop. Values travel in kHealthReply /
+/// kStatsReply payloads: never renumber, only append.
+enum class ServerLifecycle : int {
+  kRunning = 0,
+  kDraining = 1,
+  kStopped = 2,
+};
+
+/// \brief kHealthReply payload: the cheap liveness probe.
+struct WireServerHealth {
+  ServerLifecycle lifecycle = ServerLifecycle::kRunning;
+  int64_t pending_requests = 0;  ///< admitted-but-unfinished requests
+  int64_t sessions = 0;          ///< live sessions
+};
+
+/// \brief kStatsReply payload: full operational counters snapshot.
+///
+/// Monotonic counters reset only on server restart; gauges (pending_*,
+/// sessions) are instantaneous. Fields are append-only on the wire.
+struct WireServerStats {
+  ServerLifecycle lifecycle = ServerLifecycle::kRunning;
+  int64_t pending_requests = 0;   ///< gauge: admitted, unfinished
+  int64_t pending_expensive = 0;  ///< gauge: expensive class in flight
+  int64_t sessions = 0;           ///< gauge: live sessions
+  int64_t busy_rejections = 0;    ///< kBusy answers (queue full, cheap)
+  int64_t shed_overload = 0;      ///< kOverloaded answers at admission
+  int64_t shed_deadline = 0;      ///< requests dead on arrival at dispatch
+  int64_t sessions_evicted = 0;   ///< idle-eviction autosave+close count
+  int64_t autosaves_written = 0;  ///< durable autosave files written
+  int64_t sessions_restored = 0;  ///< sessions revived by the startup sweep
+  /// Live session count per tenant, sorted by tenant name so the
+  /// encoding is deterministic.
+  std::vector<std::pair<std::string, int64_t>> tenant_sessions;
 };
 
 /// \brief SessionStatus plus the server-side overlay.
@@ -141,9 +182,16 @@ std::string EncodeTellBatch(const std::string& name,
 Status DecodeTellBatch(const std::string& payload, std::string* name,
                        std::vector<TrialResult>* results);
 
-std::string EncodeError(WireError code, const std::string& message);
+/// A kError payload is `error <code> <message>` plus, when
+/// retry_after_ms > 0, an optional trailing ` retryms N` token — the
+/// server's decorrelated retry-after hint on kOverloaded /
+/// kShuttingDown replies. Decoders that stop after the required
+/// fields (all pre-hint peers) ignore it, per the append-only
+/// versioning rule.
+std::string EncodeError(WireError code, const std::string& message,
+                        int64_t retry_after_ms = 0);
 Status DecodeError(const std::string& payload, WireError* code,
-                   std::string* message);
+                   std::string* message, int64_t* retry_after_ms = nullptr);
 
 std::string EncodeTrialReply(const Trial& trial);
 Result<Trial> DecodeTrialReply(const std::string& payload);
@@ -174,6 +222,32 @@ std::string EncodePendingReply(int64_t next_trial_id,
                                const std::vector<Trial>& trials);
 Status DecodePendingReply(const std::string& payload, int64_t* next_trial_id,
                           std::vector<Trial>* trials);
+
+std::string EncodeHealthReply(const WireServerHealth& health);
+Result<WireServerHealth> DecodeHealthReply(const std::string& payload);
+
+std::string EncodeStatsReply(const WireServerStats& stats);
+Result<WireServerStats> DecodeStatsReply(const std::string& payload);
+
+/// \name Per-request deadline rider
+///
+/// Any request payload may carry an optional trailing ` ddl N` token —
+/// the caller's deadline for this request in milliseconds from server
+/// receipt. Every request decoder stops after its required fields, so
+/// the rider is invisible to handlers; the server's admission layer
+/// strips it with DeadlineRiderMs before dispatch and sheds requests
+/// that are dead on arrival with kOverloaded instead of doing the
+/// work.
+/// @{
+
+/// Appends ` ddl N` to a request payload (no-op when deadline_ms <= 0).
+void AppendDeadlineRider(std::string* payload, int64_t deadline_ms);
+
+/// Returns the rider's deadline in ms, or 0 when the payload carries
+/// none. Total: never fails on garbage, just returns 0.
+int64_t DeadlineRiderMs(const std::string& payload);
+
+/// @}
 
 /// @}
 

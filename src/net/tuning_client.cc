@@ -165,6 +165,14 @@ bool TuningClient::BackoffAndRetry(RetryState* state) {
   int64_t sleep =
       lo + static_cast<int64_t>(draw % static_cast<uint64_t>(hi - lo));
   sleep = std::min(sleep, policy.max_backoff_ms);
+  if (pending_retry_hint_ms_ > 0) {
+    // The server told us when to come back (its decorrelated shed
+    // hint, or the remaining drain window) — better information than
+    // our blind jitter, still bounded by our own caps.
+    sleep = std::min(pending_retry_hint_ms_, policy.max_backoff_ms);
+    pending_retry_hint_ms_ = 0;
+    ++retry_hints_seen_;
+  }
   if (policy.retry_budget_ms > 0) {
     sleep = std::min(sleep, policy.retry_budget_ms - state->slept_ms);
   }
@@ -214,10 +222,15 @@ Result<Frame> TuningClient::CallOnce(MessageKind kind,
                                      const std::string& payload,
                                      MessageKind expected) {
   if (fd_ < 0) return Status::Unavailable("client: not connected");
+  // A retry-after hint is advice for the backoff right after the reply
+  // that carried it; a fresh attempt makes any unconsumed hint stale.
+  pending_retry_hint_ms_ = 0;
   int64_t deadline_ms = options_.call_timeout_ms > 0
                             ? SteadyNowMs() + options_.call_timeout_ms
                             : 0;
-  LT_RETURN_NOT_OK(WriteAll(EncodeFrame(kind, payload), deadline_ms));
+  std::string wire_payload = payload;
+  AppendDeadlineRider(&wire_payload, options_.request_deadline_ms);
+  LT_RETURN_NOT_OK(WriteAll(EncodeFrame(kind, wire_payload), deadline_ms));
   char buf[4096];
   for (;;) {
     Result<std::optional<Frame>> next = decoder_.Next();
@@ -230,8 +243,11 @@ Result<Frame> TuningClient::CallOnce(MessageKind kind,
       if (frame.kind == MessageKind::kError) {
         WireError code = WireError::kInternal;
         std::string message;
-        Status parse = DecodeError(frame.payload, &code, &message);
+        int64_t retry_after_ms = 0;
+        Status parse =
+            DecodeError(frame.payload, &code, &message, &retry_after_ms);
         if (!parse.ok()) return parse;
+        if (retry_after_ms > 0) pending_retry_hint_ms_ = retry_after_ms;
         return StatusFromWireError(code, std::move(message));
       }
       if (frame.kind != expected) {
@@ -584,6 +600,26 @@ Result<WireCloseResult> TuningClient::Close(const std::string& name) {
 
 Status TuningClient::Ping() {
   return Call(MessageKind::kPing, "", MessageKind::kPongReply).status();
+}
+
+Status TuningClient::Drain() {
+  // kDrain is idempotent server-side (a drain is already in progress
+  // on retry), so the plain retry loop is safe.
+  return Call(MessageKind::kDrain, "", MessageKind::kOk).status();
+}
+
+Result<WireServerHealth> TuningClient::HealthCheck() {
+  Result<Frame> reply =
+      Call(MessageKind::kHealthCheck, "", MessageKind::kHealthReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeHealthReply(reply->payload);
+}
+
+Result<WireServerStats> TuningClient::ServerStats() {
+  Result<Frame> reply =
+      Call(MessageKind::kServerStats, "", MessageKind::kStatsReply);
+  if (!reply.ok()) return reply.status();
+  return DecodeStatsReply(reply->payload);
 }
 
 }  // namespace net

@@ -43,6 +43,12 @@ struct TuningClientOptions {
   /// timed-out attempt abandons the connection (its reply would
   /// desynchronize the stream) and counts as retryable.
   int64_t call_timeout_ms = 0;
+  /// Server-side deadline attached to every request (the ` ddl N`
+  /// payload rider): the server sheds a request still queued after
+  /// this many milliseconds with kOverloaded instead of doing work
+  /// nobody is waiting for. 0 sends no rider. Relative to server
+  /// receipt, so each retry attempt gets a fresh window.
+  int64_t request_deadline_ms = 0;
   RetryPolicy retry;
 };
 
@@ -128,6 +134,25 @@ class TuningClient {
 
   Status Ping();
 
+  /// Asks the server to begin a graceful drain (lifecycle →
+  /// Draining): it stops accepting connections, finishes in-flight
+  /// work, autosaves every session and exits its event loop. Returns
+  /// as soon as the drain is registered; poll HealthCheck() — or just
+  /// watch the connection close — to see it complete.
+  Status Drain();
+
+  /// Cheap liveness probe: lifecycle state, admitted-request queue
+  /// depth and live session count. Served even while draining.
+  Result<WireServerHealth> HealthCheck();
+
+  /// Full operational counters snapshot (docs/resilience.md).
+  Result<WireServerStats> ServerStats();
+
+  /// kOverloaded / kShuttingDown replies whose retry-after hint this
+  /// client honored instead of its own jittered backoff. Monotonic;
+  /// lets callers (and the overload bench) see shedding cooperation.
+  int64_t retry_hints_seen() const { return retry_hints_seen_; }
+
  private:
   /// Tracks one call's retry loop: attempt count, summed sleep, and
   /// the decorrelated-jitter state.
@@ -177,6 +202,12 @@ class TuningClient {
   std::map<std::string, int64_t> last_seen_trial_;
 
   uint64_t jitter_state_ = 0;
+
+  /// Retry-after hint from the most recent kError reply (0 = none);
+  /// consumed by the next BackoffAndRetry in place of the jittered
+  /// draw, then cleared.
+  int64_t pending_retry_hint_ms_ = 0;
+  int64_t retry_hints_seen_ = 0;
 };
 
 }  // namespace net

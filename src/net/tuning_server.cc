@@ -1,6 +1,7 @@
 #include "src/net/tuning_server.h"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -10,6 +11,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -58,6 +60,55 @@ std::string MalformedReplyFrame(const Status& status) {
                      EncodeError(WireError::kMalformed, status.message()));
 }
 
+/// Expensive admission class: requests that draw trials, mutate
+/// sessions or start background work. Everything else — status polls,
+/// health probes, ping, and unknown kinds (whose kUnknownKind reply
+/// costs nothing) — is cheap and keeps working while the server drains
+/// or sheds. kClose is expensive on purpose: a drain must not let a
+/// close unlink the autosave the successor will resume from.
+bool IsExpensiveKind(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kCreateSession:
+    case MessageKind::kResume:
+    case MessageKind::kResumeSaved:
+    case MessageKind::kAsk:
+    case MessageKind::kAskBatch:
+    case MessageKind::kTell:
+    case MessageKind::kTellBatch:
+    case MessageKind::kStep:
+    case MessageKind::kStartDrive:
+    case MessageKind::kClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// splitmix64 finalizer — the same cheap deterministic mixer the
+/// resilient client uses for its decorrelated jitter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The autosave header line is EncodeSessionSpec(spec) followed by a
+/// trailing ` tenant xHEX` token (DecodeSessionSpec stops at the spec,
+/// so files with and without the token both decode). Recovers the
+/// owning tenant; pre-token files yield "".
+std::string TenantFromAutosaveHeader(const std::string& header) {
+  std::istringstream in(header);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  if (tokens.size() < 2 || tokens[tokens.size() - 2] != "tenant") return "";
+  const std::string& value = tokens.back();
+  if (value.empty() || value[0] != 'x') return "";
+  Result<std::string> tenant = DecodeBytes(value.substr(1));
+  return tenant.ok() ? *tenant : "";
+}
+
 }  // namespace
 
 TuningServer::Conn::~Conn() { ::close(fd); }
@@ -68,7 +119,7 @@ TuningServer::TuningServer(TuningServerOptions options)
 TuningServer::~TuningServer() { Stop(); }
 
 Status TuningServer::Start() {
-  if (running_.load()) {
+  if (lifecycle() != ServerLifecycle::kStopped) {
     return Status::FailedPrecondition("server: already running");
   }
   if (!options_.autosave_dir.empty()) {
@@ -112,7 +163,7 @@ Status TuningServer::Start() {
     return status;
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(fd, 128) != 0) {
+  if (::listen(fd, options_.listen_backlog) != 0) {
     Status status = Status::Internal(std::string("server: listen(): ") +
                                      std::strerror(errno));
     ::close(fd);
@@ -126,36 +177,79 @@ Status TuningServer::Start() {
   }
 
   listen_fd_ = fd;
-  stopping_.store(false);
-  running_.store(true);
+  hard_stop_.store(false);
+  teardown_claimed_.store(false);
+  drain_deadline_unix_ms_.store(0);
+  // Hot restart: revive the predecessor's drained sessions before the
+  // first connection can arrive, so a client's first GetStatus already
+  // sees them.
+  if (options_.resume_saved_on_start && !options_.autosave_dir.empty()) {
+    ResumeSavedStartupSweep();
+  }
+  lifecycle_.store(static_cast<int>(ServerLifecycle::kRunning));
   // lint:allow(raw-thread) — dedicated poll-loop thread (see header)
   loop_ = std::thread(&TuningServer::EventLoop, this);
   return Status::OK();
 }
 
-void TuningServer::Stop() {
-  if (!running_.load()) return;
-  stopping_.store(true);
-  char byte = 'x';
+void TuningServer::Drain() {
+  int expected = static_cast<int>(ServerLifecycle::kRunning);
+  if (!lifecycle_.compare_exchange_strong(
+          expected, static_cast<int>(ServerLifecycle::kDraining))) {
+    return;  // already draining or stopped
+  }
+  drain_deadline_unix_ms_.store(
+      service::NowUnixMillis() +
+      std::max<int64_t>(options_.drain_deadline_ms, 0));
+  char byte = 'd';
   ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
   (void)ignored;
-  loop_.join();
+}
+
+void TuningServer::Stop() {
+  if (lifecycle() == ServerLifecycle::kStopped) return;
+  Drain();
+  if (teardown_claimed_.exchange(true)) {
+    // Another Stop() owns the teardown; wait until it finishes so
+    // every caller returns to a fully stopped server.
+    MutexLock lock(lifecycle_mu_);
+    lifecycle_cv_.Wait(lock, [this]() REQUIRES(lifecycle_mu_) {
+      return lifecycle() == ServerLifecycle::kStopped;
+    });
+    return;
+  }
+  // The loop exits on its own once the drain quiesces or the drain
+  // deadline passes.
+  if (loop_.joinable()) loop_.join();
+  hard_stop_.store(true);
   {
     MutexLock lock(tasks_mu_);
     tasks_cv_.Wait(lock,
                    [this]() REQUIRES(tasks_mu_) { return active_tasks_ == 0; });
+  }
+  // Chaos hook: teardown stalls (slow disk, wedged fsync) — shutdown
+  // still completes, just later; nothing after this point can lose
+  // committed work.
+  if (FaultInjection::ShouldFail("drain.slow")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   if (!options_.autosave_dir.empty()) {
     MutexLock lock(maintenance_mu_);
     AutosaveSweep();
   }
   conns_.clear();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
   ::close(wake_pipe_[0]);
   ::close(wake_pipe_[1]);
   wake_pipe_[0] = wake_pipe_[1] = -1;
-  running_.store(false);
+  {
+    MutexLock lock(lifecycle_mu_);
+    lifecycle_.store(static_cast<int>(ServerLifecycle::kStopped));
+    lifecycle_cv_.NotifyAll();
+  }
 }
 
 void TuningServer::EventLoop() {
@@ -175,10 +269,31 @@ void TuningServer::EventLoop() {
   int64_t next_expire = service::NowUnixMillis() + expire_period;
 
   std::vector<pollfd> fds;
-  while (!stopping_.load()) {
+  while (!hard_stop_.load()) {
+    const bool draining_now = draining();
+    if (draining_now) {
+      if (listen_fd_ >= 0) {
+        // Stop accepting: connects refuse from here on, while live
+        // connections keep getting (cheap) answers.
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Drain complete: every admitted request answered and every
+      // background drive finished — or the deadline says stop waiting.
+      if ((pending_requests_.load() == 0 && ActiveTasks() == 0) ||
+          service::NowUnixMillis() >= drain_deadline_unix_ms_.load()) {
+        break;
+      }
+    }
+
     fds.clear();
     fds.push_back({wake_pipe_[0], POLLIN, 0});
-    fds.push_back({listen_fd_, POLLIN, 0});
+    size_t listen_index = 0;
+    if (listen_fd_ >= 0) {
+      listen_index = fds.size();
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    const size_t conn_base = fds.size();
     for (const auto& [fd, conn] : conns_) {
       fds.push_back({fd, POLLIN, 0});
     }
@@ -186,14 +301,17 @@ void TuningServer::EventLoop() {
     int64_t now = service::NowUnixMillis();
     int64_t next_timer =
         std::min(std::min(next_autosave, next_evict), next_expire);
-    int timeout_ms = 1000;
+    int timeout_ms = std::max(options_.poll_timeout_ms, 0);
+    // While draining, poll briefly: quiescence happens on the pool
+    // (handlers and drive steps finishing), which poll can't see.
+    if (draining_now) timeout_ms = std::min(timeout_ms, 10);
     if (next_timer != INT64_MAX) {
       int64_t wait = next_timer - now;
       if (wait < 0) wait = 0;
       if (wait < timeout_ms) timeout_ms = static_cast<int>(wait);
     }
     int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
-    if (stopping_.load()) break;
+    if (hard_stop_.load()) break;
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
@@ -221,7 +339,7 @@ void TuningServer::EventLoop() {
       while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
       }
     }
-    if (fds[1].revents & POLLIN) {
+    if (listen_index != 0 && (fds[listen_index].revents & POLLIN)) {
       for (;;) {
         int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
         if (cfd < 0) break;
@@ -229,7 +347,7 @@ void TuningServer::EventLoop() {
             cfd, std::make_shared<Conn>(cfd, options_.max_frame_payload));
       }
     }
-    for (size_t i = 2; i < fds.size(); ++i) {
+    for (size_t i = conn_base; i < fds.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       auto it = conns_.find(fds[i].fd);
       if (it == conns_.end()) continue;
@@ -277,42 +395,124 @@ void TuningServer::HandleReadable(const ConnPtr& conn) {
       return;
     }
     if (!next->has_value()) return;
-    Frame frame = std::move(**next);
+    AdmitFrame(conn, std::move(**next));
+  }
+}
 
-    if (pending_requests_.load() >= options_.max_pending_requests) {
+void TuningServer::AdmitFrame(const ConnPtr& conn, Frame frame) {
+  const bool expensive = IsExpensiveKind(frame.kind);
+  const int64_t now = service::NowUnixMillis();
+
+  if (expensive && draining()) {
+    WriteFrame(conn, MessageKind::kError,
+               EncodeError(WireError::kShuttingDown,
+                           "server draining: not accepting new work",
+                           DrainRetryHintMs(now)));
+    return;
+  }
+  if (pending_requests_.load() >= options_.max_pending_requests) {
+    if (expensive) {
+      shed_overload_.fetch_add(1);
+      WriteFrame(
+          conn, MessageKind::kError,
+          EncodeError(WireError::kOverloaded,
+                      "server overloaded: pending-request queue is full",
+                      NextShedHintMs()));
+    } else {
       busy_rejections_.fetch_add(1);
       WriteFrame(conn, MessageKind::kError,
                  EncodeError(WireError::kBusy,
                              "server busy: pending-request queue is full"));
-      continue;
     }
-    pending_requests_.fetch_add(1);
-    {
-      MutexLock lock(conn->mu);
-      conn->inbox.push_back(std::move(frame));
-    }
-    Dispatch(conn);
+    return;
   }
+  std::string tenant;
+  {
+    MutexLock lock(conn->mu);
+    tenant = conn->tenant;
+  }
+  if (expensive) {
+    const int cap = ExpensiveCap();
+    std::string why;
+    if (pending_expensive_.load() >= cap ||
+        FaultInjection::ShouldFail("shed.force")) {
+      why = "server overloaded: expensive-request budget is full";
+    } else {
+      // Fair admission: under pressure, a tenant already holding its
+      // share of the expensive budget is shed so one hot tenant can't
+      // starve the rest. The slot reservation happens under the same
+      // lock as the check so concurrent admits can't oversubscribe.
+      MutexLock lock(meta_mu_);
+      auto it = tenant_inflight_.find(tenant);
+      const int inflight = it == tenant_inflight_.end() ? 0 : it->second;
+      const int active = static_cast<int>(tenant_inflight_.size()) +
+                         (it == tenant_inflight_.end() ? 1 : 0);
+      if (FairShareExceeded(inflight, active, cap,
+                            pending_expensive_.load())) {
+        why = "server overloaded: tenant '" + tenant +
+              "' is over its fair share";
+      } else {
+        ++tenant_inflight_[tenant];
+      }
+    }
+    if (!why.empty()) {
+      shed_overload_.fetch_add(1);
+      WriteFrame(conn, MessageKind::kError,
+                 EncodeError(WireError::kOverloaded, why, NextShedHintMs()));
+      return;
+    }
+    pending_expensive_.fetch_add(1);
+  }
+
+  PendingRequest request;
+  int64_t deadline_ms = DeadlineRiderMs(frame.payload);
+  if (deadline_ms <= 0) deadline_ms = options_.default_request_deadline_ms;
+  request.deadline_unix_ms = deadline_ms > 0 ? now + deadline_ms : 0;
+  request.expensive = expensive;
+  request.tenant = std::move(tenant);
+  request.frame = std::move(frame);
+  pending_requests_.fetch_add(1);
+  {
+    MutexLock lock(conn->mu);
+    conn->inbox.push_back(std::move(request));
+  }
+  Dispatch(conn);
 }
 
 void TuningServer::Dispatch(const ConnPtr& conn) {
-  Frame frame;
+  PendingRequest request;
   {
     MutexLock lock(conn->mu);
     if (conn->busy || conn->inbox.empty()) return;
     conn->busy = true;
-    frame = std::move(conn->inbox.front());
+    request = std::move(conn->inbox.front());
     conn->inbox.pop_front();
   }
   TaskStarted();
   ThreadPool::Global().Submit(
-      [this, conn, frame = std::move(frame)]() mutable {
-        RunHandler(conn, std::move(frame));
+      [this, conn, request = std::move(request)]() mutable {
+        RunHandler(conn, std::move(request));
       });
 }
 
-void TuningServer::RunHandler(const ConnPtr& conn, Frame frame) {
-  std::string reply = HandleRequest(conn, frame);
+void TuningServer::RunHandler(const ConnPtr& conn, PendingRequest request) {
+  std::string reply;
+  const int64_t now = service::NowUnixMillis();
+  if (hard_stop_.load()) {
+    // Forced teardown after the drain deadline: answer, don't work.
+    reply = EncodeFrame(MessageKind::kError,
+                        EncodeError(WireError::kShuttingDown,
+                                    "server stopping: request abandoned"));
+  } else if ((request.deadline_unix_ms > 0 &&
+              now > request.deadline_unix_ms) ||
+             FaultInjection::ShouldFail("shed.deadline.force")) {
+    // Dead on arrival: the caller stopped waiting while this request
+    // sat in the queue; doing the work would burn budget for nobody.
+    shed_deadline_.fetch_add(1);
+    reply = OverloadedReplyFrame("request deadline passed while queued");
+  } else {
+    reply = HandleRequest(conn, request.frame);
+  }
   // Chaos hook: the request committed server-side but its reply is
   // lost and the connection resets — the client must reconnect and
   // recover through retry + idempotent dedup.
@@ -328,6 +528,14 @@ void TuningServer::RunHandler(const ConnPtr& conn, Frame frame) {
     }
   }
   pending_requests_.fetch_sub(1);
+  if (request.expensive) {
+    pending_expensive_.fetch_sub(1);
+    MutexLock lock(meta_mu_);
+    auto it = tenant_inflight_.find(request.tenant);
+    if (it != tenant_inflight_.end() && --it->second <= 0) {
+      tenant_inflight_.erase(it);
+    }
+  }
   {
     MutexLock lock(conn->mu);
     conn->busy = false;
@@ -352,13 +560,22 @@ std::string TuningServer::ErrorReplyFrame(const Status& status) const {
       EncodeError(WireErrorFromStatus(status), status.message()));
 }
 
+std::string TuningServer::OverloadedReplyFrame(const std::string& why) {
+  return EncodeFrame(
+      MessageKind::kError,
+      EncodeError(WireError::kOverloaded, why, NextShedHintMs()));
+}
+
 std::string TuningServer::HandleRequest(const ConnPtr& conn,
                                         const Frame& frame) {
   switch (frame.kind) {
     case MessageKind::kHello: {
       Result<std::string> tenant = DecodeHello(frame.payload);
       if (!tenant.ok()) return MalformedReplyFrame(tenant.status());
-      conn->tenant = *tenant;
+      {
+        MutexLock lock(conn->mu);
+        conn->tenant = *tenant;
+      }
       return EncodeFrame(MessageKind::kOk, "");
     }
     case MessageKind::kCreateSession:
@@ -482,6 +699,18 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
     }
     case MessageKind::kPing:
       return EncodeFrame(MessageKind::kPongReply, frame.payload);
+    case MessageKind::kDrain:
+      // Begin draining and answer OK; the caller polls health (or just
+      // watches its connection close) to see the drain complete. Never
+      // Stop() from here — Stop waits for in-flight handlers, and this
+      // handler is one of them.
+      Drain();
+      return EncodeFrame(MessageKind::kOk, "");
+    case MessageKind::kHealthCheck:
+      return EncodeFrame(MessageKind::kHealthReply,
+                         EncodeHealthReply(Health()));
+    case MessageKind::kServerStats:
+      return EncodeFrame(MessageKind::kStatsReply, EncodeStatsReply(Stats()));
     default:
       return EncodeFrame(
           MessageKind::kError,
@@ -489,6 +718,73 @@ std::string TuningServer::HandleRequest(const ConnPtr& conn,
                       "unknown or non-request message kind " +
                           std::to_string(static_cast<int>(frame.kind))));
   }
+}
+
+WireServerHealth TuningServer::Health() const {
+  WireServerHealth health;
+  health.lifecycle = lifecycle();
+  health.pending_requests = pending_requests_.load();
+  health.sessions = service_.session_count();
+  return health;
+}
+
+WireServerStats TuningServer::Stats() const {
+  WireServerStats stats;
+  stats.lifecycle = lifecycle();
+  stats.pending_requests = pending_requests_.load();
+  stats.pending_expensive = pending_expensive_.load();
+  stats.sessions = service_.session_count();
+  stats.busy_rejections = busy_rejections_.load();
+  stats.shed_overload = shed_overload_.load();
+  stats.shed_deadline = shed_deadline_.load();
+  stats.sessions_evicted = sessions_evicted_.load();
+  stats.autosaves_written = autosaves_written_.load();
+  stats.sessions_restored = sessions_restored_.load();
+  {
+    MutexLock lock(meta_mu_);
+    std::map<std::string, int64_t> by_tenant;
+    for (const auto& [name, meta] : metas_) ++by_tenant[meta->tenant];
+    stats.tenant_sessions.assign(by_tenant.begin(), by_tenant.end());
+  }
+  return stats;
+}
+
+bool TuningServer::FairShareExceeded(int tenant_inflight, int active_tenants,
+                                     int expensive_cap,
+                                     int pending_expensive) {
+  if (active_tenants <= 1 || expensive_cap <= 0) return false;
+  // Below half the budget there is headroom — let bursts through and
+  // keep the single-tenant fast path unthrottled.
+  if (pending_expensive * 2 < expensive_cap) return false;
+  const int fair_share = std::max(1, expensive_cap / active_tenants);
+  return tenant_inflight >= fair_share;
+}
+
+int TuningServer::ExpensiveCap() const {
+  return std::max(1, options_.max_pending_requests -
+                         std::max(options_.cheap_admission_reserve, 0));
+}
+
+int64_t TuningServer::NextShedHintMs() {
+  MutexLock lock(shed_mu_);
+  const int64_t lo = std::max<int64_t>(options_.shed_retry_base_ms, 1);
+  const int64_t cap = std::max<int64_t>(options_.shed_retry_max_ms, lo);
+  const int64_t hi =
+      std::min(cap, std::max<int64_t>(lo + 1, shed_prev_hint_ * 3));
+  shed_rng_ = Mix64(shed_rng_);
+  const int64_t hint =
+      lo +
+      static_cast<int64_t>(shed_rng_ % static_cast<uint64_t>(hi - lo + 1));
+  shed_prev_hint_ = hint;
+  return hint;
+}
+
+int64_t TuningServer::DrainRetryHintMs(int64_t now_unix_ms) const {
+  // Come back once the drain window has passed (a successor may be
+  // listening by then); never hint below the shed base.
+  const int64_t remaining = drain_deadline_unix_ms_.load() - now_unix_ms;
+  return std::max<int64_t>(std::max<int64_t>(options_.shed_retry_base_ms, 1),
+                           remaining);
 }
 
 TuningServer::MetaPtr TuningServer::FindMeta(const std::string& name) const {
@@ -690,7 +986,10 @@ std::string TuningServer::HandleCreateOrResume(const ConnPtr& conn,
 
   auto meta = std::make_shared<SessionMeta>();
   meta->spec = wire;
-  meta->tenant = conn->tenant;
+  {
+    MutexLock lock(conn->mu);
+    meta->tenant = conn->tenant;
+  }
   service::SessionSpec spec;
   Status built = BuildSessionSpec(wire, &meta->owned_space, &spec);
   if (!built.ok()) return ErrorReplyFrame(built);
@@ -718,40 +1017,51 @@ std::string TuningServer::HandleCreateOrResume(const ConnPtr& conn,
 
 std::string TuningServer::HandleResumeSaved(const ConnPtr& conn,
                                             const std::string& name) {
+  std::string tenant;
+  {
+    MutexLock lock(conn->mu);
+    tenant = conn->tenant;
+  }
+  Status resumed = ResumeSavedSession(name, &tenant);
+  if (!resumed.ok()) return ErrorReplyFrame(resumed);
+  return EncodeFrame(MessageKind::kOk, "");
+}
+
+Status TuningServer::ResumeSavedSession(const std::string& name,
+                                        const std::string* tenant_override) {
   if (options_.autosave_dir.empty()) {
-    return ErrorReplyFrame(
-        Status::FailedPrecondition("server: autosave is not configured"));
+    return Status::FailedPrecondition("server: autosave is not configured");
   }
   std::ifstream in(AutosavePath(name), std::ios::binary);
   if (!in) {
-    return ErrorReplyFrame(
-        Status::NotFound("server: no autosave for session '" + name + "'"));
+    return Status::NotFound("server: no autosave for session '" + name + "'");
   }
   std::ostringstream content;
   content << in.rdbuf();
   std::string text = content.str();
   size_t newline = text.find('\n');
   if (newline == std::string::npos) {
-    return ErrorReplyFrame(
-        Status::Internal("server: corrupt autosave for '" + name + "'"));
+    return Status::Internal("server: corrupt autosave for '" + name + "'");
   }
-  Result<WireSessionSpec> wire = DecodeSessionSpec(text.substr(0, newline));
-  if (!wire.ok()) return ErrorReplyFrame(wire.status());
+  const std::string header = text.substr(0, newline);
+  Result<WireSessionSpec> wire = DecodeSessionSpec(header);
+  if (!wire.ok()) return wire.status();
   std::string checkpoint = text.substr(newline + 1);
 
   auto meta = std::make_shared<SessionMeta>();
   meta->spec = *wire;
-  meta->tenant = conn->tenant;
+  meta->tenant = tenant_override != nullptr ? *tenant_override
+                                            : TenantFromAutosaveHeader(header);
   service::SessionSpec spec;
   Status built = BuildSessionSpec(meta->spec, &meta->owned_space, &spec);
-  if (!built.ok()) return ErrorReplyFrame(built);
+  if (!built.ok()) return built;
 
   Status quota = ReserveTenantSlot(meta->tenant);
-  if (!quota.ok()) return ErrorReplyFrame(quota);
+  if (!quota.ok()) return quota;
   Status resumed = service_.Resume(name, spec, checkpoint);
   if (!resumed.ok()) {
     ReleaseTenantSlot(meta->tenant);
-    return ErrorReplyFrame(resumed);
+    return resumed;
   }
   // The autosave restored every committed round; the WAL tail holds
   // whatever was told after that snapshot. Replay it before answering
@@ -768,7 +1078,36 @@ std::string TuningServer::HandleResumeSaved(const ConnPtr& conn,
     MutexLock lock(meta_mu_);
     metas_[name] = std::move(meta);
   }
-  return EncodeFrame(MessageKind::kOk, "");
+  return Status::OK();
+}
+
+void TuningServer::ResumeSavedStartupSweep() {
+  DIR* dir = ::opendir(options_.autosave_dir.c_str());
+  if (dir == nullptr) return;
+  std::vector<std::string> names;
+  for (dirent* entry = ::readdir(dir); entry != nullptr;
+       entry = ::readdir(dir)) {
+    const std::string file = entry->d_name;
+    const std::string suffix = ".autosave";
+    if (file.size() <= suffix.size() ||
+        file.compare(file.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    Result<std::string> name =
+        DecodeBytes(file.substr(0, file.size() - suffix.size()));
+    if (name.ok()) names.push_back(*name);
+  }
+  ::closedir(dir);
+  // Directory order is filesystem-dependent; sorted order makes the
+  // sweep (and any quota contention inside it) deterministic.
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (service_.GetStatus(name).ok()) continue;  // already live
+    if (ResumeSavedSession(name, nullptr).ok()) {
+      sessions_restored_.fetch_add(1);
+    }
+  }
 }
 
 std::string TuningServer::HandleStartDrive(const std::string& name) {
@@ -804,7 +1143,10 @@ std::string TuningServer::HandleStartDrive(const std::string& name) {
 void TuningServer::DriveStep(const std::string& name, MetaPtr meta) {
   bool progressed = false;
   Status status = service_.Step(name, &progressed);
-  if (stopping_.load() || !status.ok() || !progressed) {
+  // A drain lets the drive run to completion (its session autosaves in
+  // the final sweep either way); only the forced teardown after the
+  // drain deadline halts it mid-run.
+  if (hard_stop_.load() || !status.ok() || !progressed) {
     meta->driving.store(false);
     TaskFinished();
     return;
@@ -922,7 +1264,11 @@ Status TuningServer::AutosaveSession(const std::string& name,
   if (!status.ok()) return status.status();
   std::string path = AutosavePath(name);
   std::string tmp = path + ".tmp";
-  std::string content = EncodeSessionSpec(meta->spec) + '\n' + *checkpoint;
+  // The tenant rides as a trailing token on the spec line so a
+  // hot-restart sweep can rebuild ownership; DecodeSessionSpec stops
+  // at the spec, so pre-token readers still load the file.
+  std::string content = EncodeSessionSpec(meta->spec) + " tenant x" +
+                        EncodeBytes(meta->tenant) + '\n' + *checkpoint;
   // Chaos hook: die mid-write — half the bytes land in the tmp file
   // and the rename never happens. The previous autosave must stay
   // untouched and fully loadable (this is what tmp+rename buys).
@@ -1020,6 +1366,11 @@ void TuningServer::TaskFinished() {
   MutexLock lock(tasks_mu_);
   --active_tasks_;
   tasks_cv_.NotifyAll();
+}
+
+int TuningServer::ActiveTasks() {
+  MutexLock lock(tasks_mu_);
+  return active_tasks_;
 }
 
 }  // namespace net

@@ -409,7 +409,7 @@ TEST(MessageTest, StatusRepliesCarryTimestampsAndDriving) {
 }
 
 TEST(MessageTest, ErrorRoundTripsEveryCode) {
-  for (int code = 1; code <= 16; ++code) {
+  for (int code = 1; code <= 17; ++code) {
     WireError in = static_cast<WireError>(code);
     WireError out = WireError::kInternal;
     std::string message;
@@ -555,6 +555,118 @@ TEST(MessageTest, PendingReplyRoundTrips) {
   EXPECT_FALSE(DecodePendingReply("garbage", &next, &back).ok());
 }
 
+TEST(MessageTest, ErrorRetryAfterHintRoundTripsAndLegacyDecodes) {
+  // New trailing token: kOverloaded/kShuttingDown replies carry a
+  // retry-after hint the resilient client honors.
+  std::string payload =
+      EncodeError(WireError::kOverloaded, "shed under load", 1250);
+  WireError code = WireError::kInternal;
+  std::string message;
+  int64_t retry_ms = 0;
+  ASSERT_TRUE(DecodeError(payload, &code, &message, &retry_ms).ok());
+  EXPECT_EQ(code, WireError::kOverloaded);
+  EXPECT_EQ(message, "shed under load");
+  EXPECT_EQ(retry_ms, 1250);
+
+  // A pre-hint decoder (no retry pointer) must still parse the hinted
+  // payload — the append-only versioning rule.
+  WireError legacy_code = WireError::kInternal;
+  std::string legacy_message;
+  ASSERT_TRUE(DecodeError(payload, &legacy_code, &legacy_message).ok());
+  EXPECT_EQ(legacy_code, WireError::kOverloaded);
+  EXPECT_EQ(legacy_message, "shed under load");
+
+  // And a hint-aware decoder reading a hint-less payload sees 0.
+  retry_ms = 99;
+  ASSERT_TRUE(DecodeError(EncodeError(WireError::kBusy, "no hint"), &code,
+                          &message, &retry_ms)
+                  .ok());
+  EXPECT_EQ(retry_ms, 0);
+
+  // kOverloaded arrives client-side as Unavailable — retryable.
+  EXPECT_EQ(StatusFromWireError(WireError::kOverloaded, "m").code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(MessageTest, HealthReplyRoundTrips) {
+  WireServerHealth health;
+  health.lifecycle = ServerLifecycle::kDraining;
+  health.pending_requests = 17;
+  health.sessions = 4;
+  Result<WireServerHealth> back = DecodeHealthReply(EncodeHealthReply(health));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->lifecycle, ServerLifecycle::kDraining);
+  EXPECT_EQ(back->pending_requests, 17);
+  EXPECT_EQ(back->sessions, 4);
+
+  EXPECT_FALSE(DecodeHealthReply("").ok());
+  // An out-of-range lifecycle value must not decode into the enum.
+  EXPECT_FALSE(DecodeHealthReply("health lifecycle 9 pending 0 sessions 0")
+                   .ok());
+}
+
+TEST(MessageTest, StatsReplyRoundTripsIncludingTenantBreakdown) {
+  WireServerStats stats;
+  stats.lifecycle = ServerLifecycle::kRunning;
+  stats.pending_requests = 3;
+  stats.pending_expensive = 2;
+  stats.sessions = 5;
+  stats.busy_rejections = 7;
+  stats.shed_overload = 11;
+  stats.shed_deadline = 13;
+  stats.sessions_evicted = 17;
+  stats.autosaves_written = 19;
+  stats.sessions_restored = 23;
+  stats.tenant_sessions = {{"", 1}, {"tenant a", 3}, {"z", 1}};
+  Result<WireServerStats> back = DecodeStatsReply(EncodeStatsReply(stats));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->lifecycle, ServerLifecycle::kRunning);
+  EXPECT_EQ(back->pending_requests, 3);
+  EXPECT_EQ(back->pending_expensive, 2);
+  EXPECT_EQ(back->sessions, 5);
+  EXPECT_EQ(back->busy_rejections, 7);
+  EXPECT_EQ(back->shed_overload, 11);
+  EXPECT_EQ(back->shed_deadline, 13);
+  EXPECT_EQ(back->sessions_evicted, 17);
+  EXPECT_EQ(back->autosaves_written, 19);
+  EXPECT_EQ(back->sessions_restored, 23);
+  ASSERT_EQ(back->tenant_sessions.size(), 3u);
+  EXPECT_EQ(back->tenant_sessions[0].first, "");
+  EXPECT_EQ(back->tenant_sessions[1].first, "tenant a");
+  EXPECT_EQ(back->tenant_sessions[1].second, 3);
+
+  EXPECT_FALSE(DecodeStatsReply("stats truncated").ok());
+}
+
+TEST(MessageTest, DeadlineRiderIsInvisibleToRequestDecoders) {
+  // The rider rides any request payload; decoders that stop after
+  // their required fields must not see it, and DeadlineRiderMs must
+  // recover it exactly.
+  std::string payload = EncodeNameOnly("job-1");
+  AppendDeadlineRider(&payload, 750);
+  EXPECT_EQ(DeadlineRiderMs(payload), 750);
+  Result<std::string> name = DecodeNameOnly(payload);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "job-1");
+
+  // No-op cases: non-positive deadline appends nothing; garbage or
+  // rider-less payloads read back as 0.
+  std::string untouched = EncodeNameOnly("job-1");
+  AppendDeadlineRider(&untouched, 0);
+  EXPECT_EQ(untouched, EncodeNameOnly("job-1"));
+  EXPECT_EQ(DeadlineRiderMs(untouched), 0);
+  EXPECT_EQ(DeadlineRiderMs(""), 0);
+  EXPECT_EQ(DeadlineRiderMs("ddl"), 0);
+  EXPECT_EQ(DeadlineRiderMs("ddl -5"), 0);
+  EXPECT_EQ(DeadlineRiderMs("ddl notanumber"), 0);
+  EXPECT_EQ(DeadlineRiderMs("x ddl 5 trailing"), 0);
+
+  // An empty payload (kPing-style) still carries a rider cleanly.
+  std::string empty;
+  AppendDeadlineRider(&empty, 42);
+  EXPECT_EQ(DeadlineRiderMs(empty), 42);
+}
+
 TEST(FrameTest, ByteAtATimeDecodesEveryMessageKind) {
   // One frame of every request and reply kind, pushed through a
   // single decoder one byte at a time: no kind may depend on its
@@ -690,6 +802,7 @@ TEST(FuzzTest, PayloadDecodersNeverCrashOnRandomBytes) {
       EncodeTell("n", result),
       EncodeTellBatch("n", {result, result}),
       EncodeError(WireError::kBusy, "m"),
+      EncodeError(WireError::kOverloaded, "shed", 125),
       EncodeTrialReply(trial),
       EncodeTrialsReply({trial}),
       EncodeSteppedReply(true),
@@ -697,6 +810,9 @@ TEST(FuzzTest, PayloadDecodersNeverCrashOnRandomBytes) {
       EncodeStatusListReply({status}),
       EncodeCheckpointReply("cp"),
       EncodeClosedReply(WireCloseResult()),
+      EncodeHealthReply(WireServerHealth()),
+      EncodeStatsReply(WireServerStats()),
+      EncodeNameOnly("n") + " ddl 500",
   };
 
   for (int round = 0; round < 3000; ++round) {
@@ -731,7 +847,9 @@ TEST(FuzzTest, PayloadDecodersNeverCrashOnRandomBytes) {
     DecodeAskBatch(payload, &s1, &n);
     DecodeTell(payload, &s1, &d_result);
     DecodeTellBatch(payload, &s1, &d_results);
+    int64_t d_retry = 0;
     DecodeError(payload, &d_code, &s1);
+    DecodeError(payload, &d_code, &s1, &d_retry);
     DecodeTrialReply(payload);
     DecodeTrialsReply(payload);
     DecodeSteppedReply(payload);
@@ -739,6 +857,9 @@ TEST(FuzzTest, PayloadDecodersNeverCrashOnRandomBytes) {
     DecodeStatusListReply(payload);
     DecodeCheckpointReply(payload);
     DecodeClosedReply(payload);
+    DecodeHealthReply(payload);
+    DecodeStatsReply(payload);
+    DeadlineRiderMs(payload);
   }
 }
 

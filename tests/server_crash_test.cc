@@ -1,9 +1,16 @@
-// Crash/kill/resume integration test: forks the serve_remote example
-// as a real server process, drives a session over the wire, kills the
-// server with SIGKILL (no shutdown path runs — only the periodic
-// autosave can have persisted state), restarts it on the same autosave
-// directory, resumes, and verifies the continuation is bit-for-bit the
-// uninterrupted run.
+// Crash/kill/resume and drain/restart integration tests: fork the
+// serve_remote example as a real server process, drive sessions over
+// the wire, then take the process down two ways —
+//
+//  * SIGKILL (no shutdown path runs — only the periodic autosave can
+//    have persisted state), restart, ResumeSaved;
+//  * graceful drain (SIGTERM or a wire kDrain): the dying server
+//    itself finishes in-flight work, durably autosaves every session
+//    and exits 0, and a successor with --resume-on-start revives them
+//    without any client-side recovery call.
+//
+// Either way the continuation must be bit-for-bit the uninterrupted
+// run.
 
 #include <gtest/gtest.h>
 #include <signal.h>
@@ -49,6 +56,63 @@ WireSessionSpec CrashWireSpec() {
   return spec;
 }
 
+WireSessionSpec DrainWireSpec(uint64_t seed, int num_iterations) {
+  WireSessionSpec spec;
+  spec.space_knobs = TestKnobs();
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = seed;
+  spec.num_iterations = num_iterations;
+  return spec;
+}
+
+void DriveRounds(TuningClient& client, const std::string& name, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    Result<Trial> trial = client.Ask(name);
+    ASSERT_TRUE(trial.ok()) << trial.status().ToString();
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    ASSERT_TRUE(client.Tell(name, result).ok());
+  }
+}
+
+void DriveOut(TuningClient& client, const std::string& name) {
+  for (;;) {
+    Result<Trial> trial = client.Ask(name);
+    if (!trial.ok()) break;  // budget exhausted
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    ASSERT_TRUE(client.Tell(name, result).ok());
+  }
+}
+
+/// The never-interrupted reference: the same spec driven in-process.
+/// Returns the raw checkpoint; run it through Trajectory() to compare.
+std::string UninterruptedCheckpoint(uint64_t seed, int num_iterations) {
+  ConfigSpace space = *ConfigSpace::Create(TestKnobs());
+  service::TuningService reference;
+  service::SessionSpec spec;
+  spec.space = &space;
+  spec.optimizer_key = "random";
+  spec.adapter_key = "identity";
+  spec.seed = seed;
+  spec.num_iterations = num_iterations;
+  EXPECT_TRUE(reference.CreateSession("ref", spec).ok());
+  for (;;) {
+    Result<Trial> trial = reference.Ask("ref");
+    if (!trial.ok()) break;
+    TrialResult result;
+    result.trial_id = trial->id;
+    result.value = ExternalMeasure(trial->config);
+    EXPECT_TRUE(reference.Tell("ref", result).ok());
+  }
+  Result<std::string> checkpoint = reference.Checkpoint("ref");
+  EXPECT_TRUE(checkpoint.ok());
+  return checkpoint.ok() ? *checkpoint : std::string();
+}
+
 /// A checkpoint's "state" line carries accumulated wall-clock
 /// optimizer seconds — the only non-deterministic bytes in an
 /// otherwise bit-exact trajectory. Zero that token so equality means
@@ -68,12 +132,14 @@ std::string Trajectory(const std::string& checkpoint) {
 
 class ServerProcess {
  public:
-  /// Forks serve_remote --serve on an ephemeral port. Returns the
-  /// bound port via the port-file handshake, or -1. `faults`, when
-  /// non-empty, arms the child's fault-injection registry through the
-  /// LLAMATUNE_FAULTS environment variable.
+  /// Forks serve_remote --serve on an ephemeral port (unless
+  /// `extra_args` pins one with --port). Returns the bound port via
+  /// the port-file handshake, or -1. `faults`, when non-empty, arms
+  /// the child's fault-injection registry through the LLAMATUNE_FAULTS
+  /// environment variable.
   int Launch(const std::string& bin, const std::string& autosave_dir,
-             const std::string& port_file, const std::string& faults = "") {
+             const std::string& port_file, const std::string& faults = "",
+             const std::vector<std::string>& extra_args = {}) {
     ::unlink(port_file.c_str());
     pid_ = ::fork();
     if (pid_ == 0) {
@@ -82,10 +148,28 @@ class ServerProcess {
       } else {
         ::unsetenv("LLAMATUNE_FAULTS");
       }
-      ::execl(bin.c_str(), bin.c_str(), "--serve", "--port", "0",
-              "--port-file", port_file.c_str(), "--autosave-dir",
-              autosave_dir.c_str(), "--autosave-interval-ms", "25",
-              static_cast<char*>(nullptr));
+      std::vector<std::string> args = {bin,
+                                       "--serve",
+                                       "--port-file",
+                                       port_file,
+                                       "--autosave-dir",
+                                       autosave_dir,
+                                       "--autosave-interval-ms",
+                                       "25"};
+      bool port_pinned = false;
+      for (const std::string& arg : extra_args) {
+        if (arg == "--port") port_pinned = true;
+        args.push_back(arg);
+      }
+      if (!port_pinned) {
+        args.push_back("--port");
+        args.push_back("0");
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(&arg[0]);
+      argv.push_back(nullptr);
+      ::execv(bin.c_str(), argv.data());
       _exit(127);  // exec failed
     }
     if (pid_ < 0) return -1;
@@ -109,6 +193,31 @@ class ServerProcess {
       ::waitpid(pid_, &status, 0);
       pid_ = -1;
     }
+  }
+
+  /// Waits (bounded) for the child to exit of its own accord. True iff
+  /// it exited — was not signaled — with status 0. A child still alive
+  /// at the timeout is SIGKILLed and reported as failure.
+  bool WaitExit(int64_t timeout_ms = 15000) {
+    if (pid_ <= 0) return false;
+    for (int64_t waited = 0; waited < timeout_ms; waited += 10) {
+      int status = 0;
+      pid_t done = ::waitpid(pid_, &status, WNOHANG);
+      if (done == pid_) {
+        pid_ = -1;
+        return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    Kill9();
+    return false;
+  }
+
+  /// The graceful path: SIGTERM, then the clean-exit-0 wait.
+  bool Terminate(int64_t timeout_ms = 15000) {
+    if (pid_ <= 0) return false;
+    ::kill(pid_, SIGTERM);
+    return WaitExit(timeout_ms);
   }
 
   ~ServerProcess() { Kill9(); }
@@ -538,6 +647,218 @@ TEST(ServerCrashTest, Kill9MidRaceResumesTournamentBitForBit) {
   Result<std::string> uninterrupted = reference.Checkpoint("ref");
   ASSERT_TRUE(uninterrupted.ok());
   EXPECT_EQ(Trajectory(*after_crash), Trajectory(*uninterrupted));
+#endif
+}
+
+// Graceful drain is stronger than crash recovery: SIGTERM makes the
+// dying server itself finish in-flight work and durably autosave every
+// session — including a pending (asked, untold) trial that only the
+// drain's final sweep can capture — before exiting 0. No "wait for the
+// periodic autosave to catch up" dance is needed, and the successor's
+// --resume-on-start sweep revives the session without any explicit
+// ResumeSaved from the client.
+TEST(ServerDrainTest, SigtermDrainSavesPendingWorkAndHotRestartResumes) {
+#ifndef LLAMATUNE_SERVE_REMOTE_BIN
+  GTEST_SKIP() << "serve_remote example not built";
+#else
+  const std::string bin = LLAMATUNE_SERVE_REMOTE_BIN;
+  struct stat sb;
+  if (::stat(bin.c_str(), &sb) != 0) {
+    GTEST_SKIP() << "serve_remote binary missing at " << bin;
+  }
+  const std::string dir = ::testing::TempDir() + "llamatune-drain-" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string port_file = dir + "/port";
+
+  // --- Phase 1: half the budget, plus one trial left pending.
+  ServerProcess first;
+  int port = first.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "server did not come up";
+  TuningClient client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(client.Hello("drain-tenant").ok());
+  ASSERT_TRUE(client.CreateSession("drain-job", CrashWireSpec()).ok());
+  DriveRounds(client, "drain-job", 8);
+  Result<Trial> held = client.Ask("drain-job");
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+
+  // --- The drain: SIGTERM, clean exit 0. Deliberately no autosave
+  // wait — durability on this path is the server's job, not the
+  // test's.
+  ASSERT_TRUE(first.Terminate()) << "SIGTERM did not produce exit 0";
+  client.Disconnect();
+
+  // --- Phase 2: hot restart. The startup sweep revives the session;
+  // the client goes straight to GetStatus, answers the trial it was
+  // holding across the restart, and drives out the budget.
+  ServerProcess second;
+  port = second.Launch(bin, dir, port_file, "", {"--resume-on-start"});
+  ASSERT_GT(port, 0) << "hot-restarted server did not come up";
+  TuningClient revived;
+  ASSERT_TRUE(
+      revived.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(revived.Hello("drain-tenant").ok());
+  Result<WireSessionStatus> status = revived.GetStatus("drain-job");
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status->status.iterations_run, 7);  // baseline + 7 counted
+
+  TrialResult held_result;
+  held_result.trial_id = held->id;
+  held_result.value = ExternalMeasure(held->config);
+  ASSERT_TRUE(revived.Tell("drain-job", held_result).ok());
+  DriveOut(revived, "drain-job");
+  Result<std::string> after_drain = revived.Checkpoint("drain-job");
+  ASSERT_TRUE(after_drain.ok());
+  ASSERT_TRUE(second.Terminate());
+
+  // The pin: drain → hot restart loses nothing, the final trajectory
+  // is byte-identical to never having restarted.
+  EXPECT_EQ(Trajectory(*after_drain),
+            Trajectory(UninterruptedCheckpoint(4242, 16)));
+#endif
+}
+
+// The wire path to the same outcome: a client kDrain moves the server
+// out of Running on its own, serve_remote's loop notices and the
+// process exits 0 with no signal involved. The drained state
+// hot-restarts cleanly.
+TEST(ServerDrainTest, WireDrainSelfExitsZeroAndSuccessorResumes) {
+#ifndef LLAMATUNE_SERVE_REMOTE_BIN
+  GTEST_SKIP() << "serve_remote example not built";
+#else
+  const std::string bin = LLAMATUNE_SERVE_REMOTE_BIN;
+  struct stat sb;
+  if (::stat(bin.c_str(), &sb) != 0) {
+    GTEST_SKIP() << "serve_remote binary missing at " << bin;
+  }
+  const std::string dir = ::testing::TempDir() + "llamatune-wiredrain-" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string port_file = dir + "/port";
+
+  ServerProcess first;
+  int port = first.Launch(bin, dir, port_file);
+  ASSERT_GT(port, 0) << "server did not come up";
+  TuningClient client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(client.Hello("drain-tenant").ok());
+  ASSERT_TRUE(
+      client.CreateSession("wire-drain-job", DrainWireSpec(9090, 12)).ok());
+  DriveRounds(client, "wire-drain-job", 5);
+
+  Status drained = client.Drain();
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+  ASSERT_TRUE(first.WaitExit()) << "server did not self-exit 0 after kDrain";
+  client.Disconnect();
+
+  ServerProcess second;
+  port = second.Launch(bin, dir, port_file, "", {"--resume-on-start"});
+  ASSERT_GT(port, 0) << "hot-restarted server did not come up";
+  TuningClient revived;
+  ASSERT_TRUE(
+      revived.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(revived.Hello("drain-tenant").ok());
+  Result<WireSessionStatus> status = revived.GetStatus("wire-drain-job");
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status->status.iterations_run, 4);
+  DriveOut(revived, "wire-drain-job");
+  Result<std::string> after_drain = revived.Checkpoint("wire-drain-job");
+  ASSERT_TRUE(after_drain.ok());
+  ASSERT_TRUE(second.Terminate());
+
+  EXPECT_EQ(Trajectory(*after_drain),
+            Trajectory(UninterruptedCheckpoint(9090, 12)));
+#endif
+}
+
+// Chaos soak: a seeded fault schedule resets server→client sends at
+// random while a resilient client drives three sessions; mid-run the
+// server is SIGTERM-drained and a successor hot-restarts ON THE SAME
+// PORT, so the client's transparent reconnect (re-dial + Hello replay
+// inside the retry loop) carries it across the restart without the
+// test ever touching the connection. Every final history must be
+// bit-for-bit the uninterrupted run — resets, retries, drain and
+// restart all invisible in the trajectory. CI soaks this test with
+// --gtest_repeat to vary scheduling.
+TEST(ServerDrainTest, ChaosSoakDrainRestartUnderFaultsKeepsHistoriesExact) {
+#ifndef LLAMATUNE_SERVE_REMOTE_BIN
+  GTEST_SKIP() << "serve_remote example not built";
+#else
+  const std::string bin = LLAMATUNE_SERVE_REMOTE_BIN;
+  struct stat sb;
+  if (::stat(bin.c_str(), &sb) != 0) {
+    GTEST_SKIP() << "serve_remote binary missing at " << bin;
+  }
+  const std::string dir = ::testing::TempDir() + "llamatune-chaos-" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string port_file = dir + "/port";
+  const std::string kFaults = "seed=7;server.send.reset=p0.15";
+  const int kSessions = 3;
+  const int kIterations = 12;
+
+  TuningClientOptions copts;
+  copts.retry.max_attempts = 8;
+  copts.retry.initial_backoff_ms = 5;
+  copts.retry.max_backoff_ms = 200;
+  copts.retry.retry_budget_ms = 30000;
+  copts.retry.jitter_seed = 3;
+
+  // --- Phase 1: three sessions half-driven under send-reset chaos,
+  // one trial held pending across the drain.
+  ServerProcess first;
+  int port = first.Launch(bin, dir, port_file, kFaults);
+  ASSERT_GT(port, 0) << "server did not come up";
+  TuningClient client(copts);
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", static_cast<uint16_t>(port)).ok());
+  ASSERT_TRUE(client.Hello("chaos-tenant").ok());
+  for (int s = 0; s < kSessions; ++s) {
+    const std::string name = "chaos-" + std::to_string(s);
+    ASSERT_TRUE(
+        client.CreateSession(name, DrainWireSpec(5000 + s, kIterations))
+            .ok());
+    DriveRounds(client, name, 6);
+  }
+  Result<Trial> held = client.Ask("chaos-0");
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+
+  ASSERT_TRUE(first.Terminate())
+      << "drain under faults did not produce exit 0";
+
+  // --- Phase 2: successor on the SAME port, same fault schedule. The
+  // client object is reused as-is: its next call fails on the dead
+  // connection and the retry layer re-dials and replays Hello.
+  ServerProcess second;
+  int port2 = second.Launch(bin, dir, port_file, kFaults,
+                            {"--resume-on-start", "--port",
+                             std::to_string(port)});
+  ASSERT_EQ(port2, port) << "successor did not bind the same port";
+
+  TrialResult held_result;
+  held_result.trial_id = held->id;
+  held_result.value = ExternalMeasure(held->config);
+  ASSERT_TRUE(client.Tell("chaos-0", held_result).ok());
+  for (int s = 0; s < kSessions; ++s) {
+    DriveOut(client, "chaos-" + std::to_string(s));
+  }
+  std::vector<std::string> finals;
+  for (int s = 0; s < kSessions; ++s) {
+    Result<std::string> checkpoint =
+        client.Checkpoint("chaos-" + std::to_string(s));
+    ASSERT_TRUE(checkpoint.ok());
+    finals.push_back(*checkpoint);
+  }
+  ASSERT_TRUE(second.Terminate());
+
+  for (int s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(Trajectory(finals[s]),
+              Trajectory(UninterruptedCheckpoint(5000 + s, kIterations)))
+        << "session chaos-" << s << " diverged";
+  }
 #endif
 }
 

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/common/serde.h"
 #include "src/knobs/config_space.h"
 #include "src/net/frame.h"
@@ -572,6 +573,307 @@ TEST(ServerTest, PeriodicAutosaveSweepWritesFiles) {
   }
   EXPECT_TRUE(appeared);
   EXPECT_GE(server.autosaves_written(), 1);
+  server.Stop();
+}
+
+TEST(ServerTest, StopIsSafeAgainstDoubleAndConcurrentInvocation) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession("job", ExternalWireSpec(0)).ok());
+
+  // Several threads race Stop(); exactly one tears down, the others
+  // block until it finishes — every caller returns to a fully stopped
+  // server, and nothing double-closes or double-joins.
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 3; ++i) {
+    stoppers.emplace_back([&server] { server.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_EQ(server.lifecycle(), ServerLifecycle::kStopped);
+  EXPECT_FALSE(server.running());
+
+  server.Stop();  // sequential double-Stop is a no-op
+  EXPECT_EQ(server.lifecycle(), ServerLifecycle::kStopped);
+}
+
+TEST(ServerTest, RestartBindsSamePortAfterStop) {
+  uint16_t port = 0;
+  {
+    TuningServer first;
+    ASSERT_TRUE(first.Start().ok());
+    port = first.port();
+    TuningClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+    ASSERT_TRUE(client.Ping().ok());
+    first.Stop();
+  }
+  // SO_REUSEADDR: a successor binds the drained predecessor's port
+  // immediately, without waiting out TIME_WAIT.
+  TuningServerOptions options;
+  options.port = port;
+  TuningServer second(options);
+  ASSERT_TRUE(second.Start().ok());
+  EXPECT_EQ(second.port(), port);
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  second.Stop();
+}
+
+TEST(ServerTest, DrainRefusesExpensiveAnswersCheapAndCompletesDrive) {
+  TuningServerOptions server_options;
+  server_options.autosave_dir = FreshDir("drain");
+  TuningServer server(server_options);
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // A background drive whose every step stalls 50ms (eval.hang) keeps
+  // the server measurably mid-work while we drain it.
+  WireSessionSpec sim;
+  sim.workload = "YCSB-A";
+  sim.optimizer_key = "random";
+  sim.adapter_key = "llamatune";
+  sim.seed = 9;
+  sim.num_iterations = 6;
+  ASSERT_TRUE(client.CreateSession("bg", sim).ok());
+  ASSERT_TRUE(FaultInjection::Configure("seed=1;eval.hang=p1"));
+  ASSERT_TRUE(client.StartDrive("bg").ok());
+
+  // Establish a connection (and get it accepted) before the drain
+  // closes the listen socket.
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kPing, "warm")));
+  ASSERT_TRUE(raw.ReadFrame().ok());
+
+  server.Drain();
+  EXPECT_EQ(server.lifecycle(), ServerLifecycle::kDraining);
+  EXPECT_FALSE(server.running());
+
+  // Expensive work is refused with the typed shutdown error and a
+  // usable retry-after hint (roughly the remaining drain window).
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kAsk, EncodeNameOnly("bg"))));
+  Result<Frame> refused = raw.ReadFrame();
+  ASSERT_TRUE(refused.ok());
+  ASSERT_EQ(refused->kind, MessageKind::kError);
+  WireError code = WireError::kInternal;
+  std::string message;
+  int64_t retry_ms = 0;
+  ASSERT_TRUE(DecodeError(refused->payload, &code, &message, &retry_ms).ok());
+  EXPECT_EQ(code, WireError::kShuttingDown);
+  EXPECT_GT(retry_ms, 0);
+
+  // Cheap requests still answer: health reports the drain, a second
+  // drain is an idempotent OK, and status polling keeps working.
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kHealthCheck, "")));
+  Result<Frame> health_reply = raw.ReadFrame();
+  ASSERT_TRUE(health_reply.ok());
+  ASSERT_EQ(health_reply->kind, MessageKind::kHealthReply);
+  Result<WireServerHealth> health = DecodeHealthReply(health_reply->payload);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->lifecycle, ServerLifecycle::kDraining);
+
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kDrain, "")));
+  Result<Frame> again = raw.ReadFrame();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->kind, MessageKind::kOk);
+
+  // Stop() finishes the drain: it waits for the drive to run to
+  // completion (unstall it first), then runs the final durable
+  // autosave sweep.
+  FaultInjection::Reset();
+  server.Stop();
+  EXPECT_EQ(server.lifecycle(), ServerLifecycle::kStopped);
+  EXPECT_GE(server.autosaves_written(), 1);
+
+  // A successor on the same autosave dir proves the drive completed
+  // *during* the drain: the startup sweep revives the session already
+  // finished, with every iteration run.
+  TuningServerOptions successor_options;
+  successor_options.autosave_dir = server_options.autosave_dir;
+  successor_options.resume_saved_on_start = true;
+  TuningServer successor(successor_options);
+  ASSERT_TRUE(successor.Start().ok());
+  EXPECT_EQ(successor.sessions_restored(), 1);
+  TuningClient reconnect;
+  ASSERT_TRUE(reconnect.Connect("127.0.0.1", successor.port()).ok());
+  Result<WireSessionStatus> revived = reconnect.GetStatus("bg");
+  ASSERT_TRUE(revived.ok());
+  EXPECT_TRUE(revived->status.finished);
+  EXPECT_EQ(revived->status.iterations_run, 6);
+  successor.Stop();
+}
+
+TEST(ServerTest, StopCompletesInFlightRequestBeforeTeardown) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  WireSessionSpec sim;
+  sim.workload = "YCSB-A";
+  sim.optimizer_key = "random";
+  sim.adapter_key = "llamatune";
+  sim.seed = 4;
+  sim.num_iterations = 4;
+  ASSERT_TRUE(client.CreateSession("slow", sim).ok());
+
+  // A kStep whose measurement stalls 50ms is in flight when Stop()
+  // lands; the drain completes it and its reply reaches the socket
+  // before teardown closes anything.
+  ASSERT_TRUE(FaultInjection::Configure("seed=1;eval.hang=p1"));
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  // The server decrements its pending gauge *after* sending a reply,
+  // so the CreateSession above may still be counted; wait for true
+  // quiescence so the next pending request is unambiguously our step.
+  for (int i = 0; i < 500 && server.Health().pending_requests != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(
+      raw.Send(EncodeFrame(MessageKind::kStep, EncodeNameOnly("slow"))));
+  for (int i = 0; i < 500 && server.Health().pending_requests == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  FaultInjection::Reset();
+
+  Result<Frame> reply = raw.ReadFrame();
+  ASSERT_TRUE(reply.ok());
+  if (reply->kind == MessageKind::kError) {
+    WireError code = WireError::kInternal;
+    std::string message;
+    DecodeError(reply->payload, &code, &message).ok();
+    FAIL() << "got kError " << static_cast<int>(code) << ": " << message;
+  }
+  ASSERT_EQ(reply->kind, MessageKind::kSteppedReply);
+  Result<bool> progressed = DecodeSteppedReply(reply->payload);
+  ASSERT_TRUE(progressed.ok());
+  EXPECT_TRUE(*progressed);
+}
+
+TEST(ServerTest, ForcedShedAnswersOverloadedWithRetryHint) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kPing, "warm")));
+  ASSERT_TRUE(raw.ReadFrame().ok());
+
+  // shed.force trips the expensive-budget check on the next expensive
+  // admission, regardless of actual load.
+  ASSERT_TRUE(FaultInjection::Configure("seed=1;shed.force=@0"));
+  ASSERT_TRUE(
+      raw.Send(EncodeFrame(MessageKind::kAsk, EncodeNameOnly("ghost"))));
+  Result<Frame> shed = raw.ReadFrame();
+  FaultInjection::Reset();
+  ASSERT_TRUE(shed.ok());
+  ASSERT_EQ(shed->kind, MessageKind::kError);
+  WireError code = WireError::kInternal;
+  std::string message;
+  int64_t retry_ms = 0;
+  ASSERT_TRUE(DecodeError(shed->payload, &code, &message, &retry_ms).ok());
+  EXPECT_EQ(code, WireError::kOverloaded);
+  EXPECT_GT(retry_ms, 0);
+  EXPECT_GE(server.shed_overload(), 1);
+
+  // The shed was per-request, not per-connection: the next request on
+  // the same socket gets a normal (typed) answer.
+  ASSERT_TRUE(
+      raw.Send(EncodeFrame(MessageKind::kAsk, EncodeNameOnly("ghost"))));
+  Result<Frame> normal = raw.ReadFrame();
+  ASSERT_TRUE(normal.ok());
+  ASSERT_EQ(normal->kind, MessageKind::kError);
+  ASSERT_TRUE(DecodeError(normal->payload, &code, &message).ok());
+  EXPECT_EQ(code, WireError::kSessionNotFound);
+  server.Stop();
+}
+
+TEST(ServerTest, DeadlineShedDropsQueuedRequestBeforeDoingWork) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kPing, "warm")));
+  ASSERT_TRUE(raw.ReadFrame().ok());
+
+  // shed.deadline.force makes the dispatcher treat the next request as
+  // dead on arrival (its caller's deadline passed while it queued).
+  ASSERT_TRUE(FaultInjection::Configure("seed=1;shed.deadline.force=@0"));
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kPing, "doomed")));
+  Result<Frame> shed = raw.ReadFrame();
+  FaultInjection::Reset();
+  ASSERT_TRUE(shed.ok());
+  ASSERT_EQ(shed->kind, MessageKind::kError);
+  WireError code = WireError::kInternal;
+  std::string message;
+  int64_t retry_ms = 0;
+  ASSERT_TRUE(DecodeError(shed->payload, &code, &message, &retry_ms).ok());
+  EXPECT_EQ(code, WireError::kOverloaded);
+  EXPECT_GT(retry_ms, 0);
+  EXPECT_GE(server.shed_deadline(), 1);
+
+  // A real (future) deadline rider is invisible to handlers: the same
+  // request with a generous ddl answers normally.
+  std::string payload = EncodeNameOnly("ghost");
+  AppendDeadlineRider(&payload, 60000);
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageKind::kAsk, payload)));
+  Result<Frame> normal = raw.ReadFrame();
+  ASSERT_TRUE(normal.ok());
+  ASSERT_EQ(normal->kind, MessageKind::kError);
+  ASSERT_TRUE(DecodeError(normal->payload, &code, &message).ok());
+  EXPECT_EQ(code, WireError::kSessionNotFound);
+  server.Stop();
+}
+
+TEST(ServerTest, FairShareAdmissionMath) {
+  // Single tenant: never fair-share-shed, whatever the pressure.
+  EXPECT_FALSE(TuningServer::FairShareExceeded(5, 1, 8, 8));
+  // Below half the expensive budget there is headroom: bursts pass.
+  EXPECT_FALSE(TuningServer::FairShareExceeded(5, 2, 8, 3));
+  // Under pressure, a tenant at its share (cap/active) is shed...
+  EXPECT_TRUE(TuningServer::FairShareExceeded(4, 2, 8, 4));
+  // ...and one under it is not.
+  EXPECT_FALSE(TuningServer::FairShareExceeded(3, 2, 8, 4));
+  // Many tenants: the share floors at 1 in-flight each.
+  EXPECT_TRUE(TuningServer::FairShareExceeded(1, 8, 8, 8));
+  EXPECT_FALSE(TuningServer::FairShareExceeded(0, 8, 8, 8));
+}
+
+TEST(ServerTest, HealthAndStatsOverTheWire) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TuningClient alpha;
+  ASSERT_TRUE(alpha.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(alpha.Hello("alpha").ok());
+  ASSERT_TRUE(alpha.CreateSession("a1", ExternalWireSpec(0)).ok());
+  ASSERT_TRUE(alpha.CreateSession("a2", ExternalWireSpec(1)).ok());
+  TuningClient beta;
+  ASSERT_TRUE(beta.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(beta.Hello("beta").ok());
+  ASSERT_TRUE(beta.CreateSession("b1", ExternalWireSpec(2)).ok());
+
+  Result<WireServerHealth> health = alpha.HealthCheck();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->lifecycle, ServerLifecycle::kRunning);
+  EXPECT_EQ(health->sessions, 3);
+
+  Result<WireServerStats> stats = beta.ServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->lifecycle, ServerLifecycle::kRunning);
+  EXPECT_EQ(stats->sessions, 3);
+  EXPECT_EQ(stats->busy_rejections, server.busy_rejections());
+  EXPECT_EQ(stats->shed_overload, server.shed_overload());
+  EXPECT_EQ(stats->sessions_evicted, server.sessions_evicted());
+  EXPECT_EQ(stats->autosaves_written, server.autosaves_written());
+  EXPECT_EQ(stats->sessions_restored, server.sessions_restored());
+  ASSERT_EQ(stats->tenant_sessions.size(), 2u);
+  EXPECT_EQ(stats->tenant_sessions[0].first, "alpha");
+  EXPECT_EQ(stats->tenant_sessions[0].second, 2);
+  EXPECT_EQ(stats->tenant_sessions[1].first, "beta");
+  EXPECT_EQ(stats->tenant_sessions[1].second, 1);
   server.Stop();
 }
 
